@@ -1,0 +1,45 @@
+//! Criterion benchmarks of the scheme-level software operations — the CPU
+//! baselines of Table 7 / Fig. 6b at reduced parameters (the table
+//! binaries measure full paper parameters).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fhe_ckks::{CkksContext, CkksParams, Encoder, Evaluator, GaloisKeys, RelinKey, SecretKey};
+use fhe_tfhe::{generate_keys, TfheParams};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_ckks_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ckks_small");
+    group.sample_size(10);
+    let ctx = CkksContext::new(CkksParams::small().unwrap()).unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(77);
+    let sk = SecretKey::generate(&ctx, &mut rng);
+    let rlk = RelinKey::generate(&ctx, &sk, &mut rng).unwrap();
+    let gk = GaloisKeys::generate(&ctx, &sk, &[1], false, &mut rng).unwrap();
+    let enc = Encoder::new(&ctx);
+    let ev = Evaluator::new(&ctx);
+    let values: Vec<f64> = (0..enc.slots()).map(|i| (i as f64 * 0.001).sin()).collect();
+    let pt = enc.encode(&values).unwrap();
+    let ct = sk.encrypt(&ctx, &pt, &mut rng).unwrap();
+
+    group.bench_function("hadd", |b| b.iter(|| ev.add(&ct, &ct).unwrap()));
+    group.bench_function("pmult", |b| b.iter(|| ev.mul_plain(&ct, &pt).unwrap()));
+    group.bench_function("cmult_rescale", |b| {
+        b.iter(|| ev.rescale(&ev.mul(&ct, &ct, &rlk).unwrap()).unwrap())
+    });
+    group.bench_function("rotation", |b| b.iter(|| ev.rotate(&ct, 1, &gk).unwrap()));
+    group.finish();
+}
+
+fn bench_tfhe_pbs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tfhe");
+    group.sample_size(10);
+    let mut rng = ChaCha8Rng::seed_from_u64(78);
+    let (client, server) = generate_keys(&TfheParams::toy(), &mut rng).unwrap();
+    let ct = client.encrypt_bit(true, &mut rng);
+    group.bench_function("gate_bootstrap_toy", |b| b.iter(|| server.bootstrap_to_bit(&ct)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_ckks_ops, bench_tfhe_pbs);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion benchmarks of the cycle simulator itself: how fast the
+//! workload compiler + simulator evaluate the paper's workloads (useful
+//! when sweeping configurations in DSE loops).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_simulator(c: &mut Criterion) {
+    use alchemist_core::{workloads, ArchConfig, Simulator};
+    let mut group = c.benchmark_group("simulator");
+    let sim = Simulator::new(ArchConfig::paper());
+    let p = workloads::CkksSimParams::paper();
+    group.bench_function("compile_and_run_cmult", |b| {
+        b.iter(|| sim.run(&workloads::cmult(&p)))
+    });
+    group.bench_function("compile_and_run_bootstrapping", |b| {
+        b.iter(|| sim.run(&workloads::bootstrapping(&p)))
+    });
+    group.bench_function("lane_sweep_dse", |b| b.iter(alchemist_core::dse::lane_sweep));
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Design-space exploration and ablations behind §5.4's design choices:
+//! lane width `j`, computing-unit count, and slot-based vs channel-based
+//! data partitioning.
+
+use alchemist_core::dse;
+
+fn print_points(title: &str, points: &[dse::DsePoint]) {
+    println!("{title}\n");
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.label.clone(),
+                format!("{:.1}", p.area_mm2),
+                bench::fmt_time(p.seconds),
+                format!("{:.2}", p.utilization),
+                format!("{:.3}", p.perf_per_area() * 1e3),
+            ]
+        })
+        .collect();
+    bench::print_table(
+        &["Config", "Area (mm2)", "Bootstrap", "Utilization", "Perf/area (1/ms/mm2 x1e3)"],
+        &rows,
+    );
+    println!();
+}
+
+fn main() {
+    print_points("Lane-width sweep (paper fixes j = 8, section 4.2):", &dse::lane_sweep());
+    print_points("Computing-unit sweep (paper selects 128, section 5.4):", &dse::unit_sweep());
+    print_points(
+        "Data partitioning ablation (slot-based vs channel-based, section 5.3):",
+        &dse::partitioning_ablation(),
+    );
+}

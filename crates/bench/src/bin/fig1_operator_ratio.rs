@@ -1,0 +1,84 @@
+//! Regenerates **Figure 1**: operator ratio (NTT / Bconv / DecompPolyMult)
+//! per workload, and overall hardware utilization of each accelerator on
+//! those workloads (plus the Table 4 access-pattern summary).
+
+use alchemist_core::{workloads, ArchConfig, Simulator};
+use baselines::designs::{CRATERLAKE, F1, SHARP, STRIX};
+use baselines::modular::WorkProfile;
+use metaop::counts::{bootstrapping, cmult, pbs, CkksCountParams, TfheCountParams};
+use metaop::{AccessPattern, OpClass};
+
+fn main() {
+    let p = CkksCountParams::paper_default();
+
+    println!("Figure 1 (top): operator ratio in the algorithm\n");
+    let workload_mults = [
+        ("TFHE-PBS", pbs(&TfheCountParams::set_i())),
+        ("Cmult-L=24", cmult(&p.at_level(24))),
+        ("Cmult-L=44", cmult(&p.at_level(44))),
+        ("BSP-L=24", bootstrapping(&CkksCountParams { l_max: 24, level: 24, ..p }, false)),
+        ("BSP-L=44", bootstrapping(&p, false)),
+        ("BSP-L=44+", bootstrapping(&p, true)),
+    ];
+    let rows: Vec<Vec<String>> = workload_mults
+        .iter()
+        .map(|(name, m)| {
+            let f = m.class_fractions();
+            vec![
+                name.to_string(),
+                format!("{:.0}%", f[0].1 * 100.0),
+                format!("{:.0}%", f[1].1 * 100.0),
+                format!("{:.0}%", f[2].1 * 100.0),
+                format!("{:.0}%", f[3].1 * 100.0),
+            ]
+        })
+        .collect();
+    bench::print_table(&["Workload", "NTT", "Bconv", "DecompPolyMult", "Elementwise"], &rows);
+
+    println!("\nFigure 1 (bottom): overall hardware utilization per accelerator\n");
+    let sp = workloads::CkksSimParams::paper();
+    let sim = Simulator::new(ArchConfig::paper());
+    let sim_workloads = [
+        ("TFHE-PBS", workloads::tfhe_pbs(&workloads::TfheSimParams::set_i(), 128), false),
+        ("Cmult-L=24", workloads::cmult(&sp.at_level(24)), true),
+        ("Cmult-L=44", workloads::cmult(&sp.at_level(44)), true),
+        ("BSP-L=44+", workloads::bootstrapping(&sp), true),
+    ];
+    let mut rows = Vec::new();
+    for (name, steps, is_arith) in &sim_workloads {
+        let profile = WorkProfile::from_steps(steps);
+        let ours = sim.run(steps);
+        let cell = |d: &baselines::BaselineDesign, wants_arith: bool| -> String {
+            if (wants_arith && !d.arithmetic) || (!wants_arith && !d.logic) {
+                "n/a".into()
+            } else {
+                format!("{:.2}", d.simulate(&profile).utilization)
+            }
+        };
+        rows.push(vec![
+            name.to_string(),
+            cell(&F1, *is_arith),
+            cell(&CRATERLAKE, *is_arith),
+            cell(&SHARP, *is_arith),
+            cell(&STRIX, *is_arith),
+            format!("{:.2}", ours.utilization()),
+        ]);
+    }
+    bench::print_table(&["Workload", "F1", "CraterLake", "SHARP", "Strix", "Alchemist"], &rows);
+
+    println!("\nTable 4: access pattern per operation\n");
+    let rows: Vec<Vec<String>> = [OpClass::Ntt, OpClass::DecompPolyMult, OpClass::Bconv]
+        .iter()
+        .map(|&c| {
+            let pat = c.access_pattern();
+            let mark = |p: AccessPattern| if pat == p { "Y" } else { "-" };
+            vec![
+                c.to_string(),
+                mark(AccessPattern::Slots).into(),
+                mark(AccessPattern::Channel).into(),
+                mark(AccessPattern::DnumGroup).into(),
+            ]
+        })
+        .collect();
+    bench::print_table(&["Computation", "Slots", "Channel", "Dnum_group"], &rows);
+}

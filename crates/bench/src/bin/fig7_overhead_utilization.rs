@@ -1,0 +1,90 @@
+//! Regenerates **Figure 7**: (a) computation overhead of Cmult and
+//! bootstrapping with and without the Meta-OP `(M_j A_j)_n R_j`
+//! transformation, and (b) utilization-rate comparison against SHARP and
+//! CraterLake.
+
+use alchemist_core::{workloads, ArchConfig, Simulator};
+use baselines::designs::{CRATERLAKE, SHARP};
+use baselines::modular::WorkProfile;
+use baselines::published;
+use metaop::counts::{bootstrapping, cmult, pbs, CkksCountParams, TfheCountParams};
+use metaop::OpClass;
+
+fn main() {
+    let p = CkksCountParams::paper_default();
+
+    println!("Figure 7a: multiplication overhead w/ and w/o (MjAj)nRj\n");
+    let cases = [
+        ("TFHE PBS", pbs(&TfheCountParams::set_i())),
+        ("CKKS Cmult L=24", cmult(&p.at_level(24))),
+        ("CKKS BSP L=44 (hoisted)", bootstrapping(&p, true)),
+    ];
+    let rows: Vec<Vec<String>> = cases
+        .iter()
+        .zip(published::FIG7A_CHANGES)
+        .map(|((name, m), (_, paper_pct))| {
+            vec![
+                name.to_string(),
+                format!("{:.3e}", m.total_original() as f64),
+                format!("{:.3e}", m.total_meta() as f64),
+                format!("{:+.1}%", m.change_pct()),
+                format!("{paper_pct:+.1}%"),
+            ]
+        })
+        .collect();
+    bench::print_table(
+        &["Workload", "#Mults w/o Meta-OP", "#Mults w/ Meta-OP", "Change (measured)", "Change (paper)"],
+        &rows,
+    );
+
+    println!("\nFigure 7b: utilization rates on bootstrapping (HELR-1024)\n");
+    let sim = Simulator::new(ArchConfig::paper());
+    let sp = workloads::CkksSimParams::paper();
+    let boot = workloads::bootstrapping(&sp);
+    let helr = workloads::helr_iteration(&sp);
+    let boot_report = sim.run(&boot);
+    let helr_report = sim.run(&helr);
+    let boot_profile = WorkProfile::from_steps(&boot);
+    let helr_profile = WorkProfile::from_steps(&helr);
+
+    let rows = vec![
+        vec![
+            "Alchemist per-class (NTT/Bconv/Decomp)".to_string(),
+            format!(
+                "{:.2} / {:.2} / {:.2}",
+                boot_report.class_utilization(OpClass::Ntt),
+                boot_report.class_utilization(OpClass::Bconv),
+                boot_report.class_utilization(OpClass::DecompPolyMult)
+            ),
+            "0.85 / 0.89 / 0.87".to_string(),
+        ],
+        vec![
+            "Alchemist overall (boot / HELR)".to_string(),
+            format!("{:.2} / {:.2}", boot_report.utilization(), helr_report.utilization()),
+            format!("{:.2} (paper avg)", published::FIG7B_ALCHEMIST_OVERALL),
+        ],
+        vec![
+            "SHARP overall (boot / HELR)".to_string(),
+            format!(
+                "{:.2} / {:.2}",
+                SHARP.simulate(&boot_profile).utilization,
+                SHARP.simulate(&helr_profile).utilization
+            ),
+            "0.55 / 0.52".to_string(),
+        ],
+        vec![
+            "CraterLake overall (boot)".to_string(),
+            format!("{:.2}", CRATERLAKE.simulate(&boot_profile).utilization),
+            "0.42".to_string(),
+        ],
+    ];
+    bench::print_table(&["Metric", "Measured", "Paper"], &rows);
+
+    let improvement =
+        boot_report.utilization() / SHARP.simulate(&boot_profile).utilization;
+    println!(
+        "\nutilization improvement over SHARP: {improvement:.2}x (paper: ~1.57x);\nboot {} | HELR iter {}",
+        bench::fmt_time(boot_report.seconds()),
+        bench::fmt_time(helr_report.seconds()),
+    );
+}

@@ -1,0 +1,51 @@
+//! Regenerates **Tables 2 and 3**: multiplication counts of
+//! `DecompPolyMult` and `Modup` before and after the Meta-OP
+//! transformation, swept over the paper's parameter ranges.
+
+use metaop::counts::{bconv_counts, decomp_poly_mult_counts, ntt_counts};
+
+fn main() {
+    println!("Table 2: DecompPolyMult transformation (per output channel, N = 2^16)\n");
+    let n = 1u64 << 16;
+    let rows: Vec<Vec<String>> = (1..=6)
+        .map(|dnum| {
+            let c = decomp_poly_mult_counts(dnum, n);
+            vec![
+                format!("dnum={dnum}"),
+                format!("3*dnum*N = {}", c.original),
+                format!("(dnum+2)*N = {}", c.meta),
+                format!("{:.2}x fewer", c.original as f64 / c.meta as f64),
+            ]
+        })
+        .collect();
+    bench::print_table(&["Config", "Origin #Mults", "Meta-OP #Mults", "Saving"], &rows);
+
+    println!("\nTable 3: Modup transformation (per polynomial, N = 2^16)\n");
+    let rows: Vec<Vec<String>> = [(2u64, 2u64), (7, 25), (12, 45), (12, 57), (23, 45)]
+        .iter()
+        .map(|&(l, k)| {
+            let c = bconv_counts(l, k, n);
+            vec![
+                format!("L={l}, K={k}"),
+                format!("(3KL+3L)*N = {}", c.original),
+                format!("(KL+3L+2K)*N = {}", c.meta),
+                format!("{:.2}x fewer", c.original as f64 / c.meta as f64),
+            ]
+        })
+        .collect();
+    bench::print_table(&["Config", "Origin #Mults", "Meta-OP #Mults", "Saving"], &rows);
+
+    println!("\nNTT penalty check (paper section 4.2: 'only a 10% multiplication increase'):\n");
+    let rows: Vec<Vec<String>> = (10..=16)
+        .map(|log| {
+            let c = ntt_counts(1 << log);
+            vec![
+                format!("N=2^{log}"),
+                c.original.to_string(),
+                c.meta.to_string(),
+                format!("{:+.1}%", c.change_pct()),
+            ]
+        })
+        .collect();
+    bench::print_table(&["Size", "Origin #Mults", "Meta-OP #Mults", "Change"], &rows);
+}

@@ -1,0 +1,25 @@
+//! Regenerates **Table 5**: area breakdown of Alchemist (14 nm).
+
+use alchemist_core::{ArchConfig, AreaModel};
+
+fn main() {
+    let model = AreaModel::new(ArchConfig::paper());
+    println!("Table 5: Area breakdown of Alchemist (14 nm)\n");
+    let rows: Vec<Vec<String>> = model
+        .breakdown()
+        .into_iter()
+        .map(|(label, qty, unit, total)| {
+            vec![
+                label,
+                if qty > 1 { format!("{qty} x {unit:.3}") } else { format!("{unit:.3}") },
+                format!("{total:.3}"),
+            ]
+        })
+        .collect();
+    bench::print_table(&["Component", "Area (mm2 each)", "Total (mm2)"], &rows);
+    println!(
+        "\nPaper total: 181.086 mm2; model total: {:.3} mm2; average power: {:.1} W (paper: 77.9 W)",
+        model.total_mm2(),
+        model.average_power_w()
+    );
+}

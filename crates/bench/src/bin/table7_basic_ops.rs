@@ -1,0 +1,71 @@
+//! Regenerates **Table 7**: throughput of basic CKKS operators at
+//! `N = 2^16, L = 44, dnum = 4`.
+//!
+//! The Alchemist column comes from the cycle simulator; the CPU column is
+//! measured live on this machine with the workspace's own software CKKS
+//! (single thread) unless `TABLE7_SKIP_CPU=1`, in which case the paper's
+//! published CPU numbers are used. GPU and Poseidon columns are the
+//! paper's published references.
+
+use alchemist_core::{workloads, ArchConfig, Simulator};
+use baselines::cpu::{measure_ckks_op, CkksOp};
+use baselines::published::TABLE7;
+use fhe_ckks::CkksParams;
+
+fn main() {
+    let sim = Simulator::new(ArchConfig::paper());
+    let p = workloads::CkksSimParams::paper();
+    let ours: Vec<(CkksOp, f64)> = vec![
+        (CkksOp::Pmult, 1.0 / sim.run(&workloads::pmult(&p)).seconds()),
+        (CkksOp::Hadd, 1.0 / sim.run(&workloads::hadd(&p)).seconds()),
+        (CkksOp::Keyswitch, 1.0 / sim.run(&workloads::keyswitch(&p)).seconds()),
+        (CkksOp::Cmult, 1.0 / sim.run(&workloads::cmult(&p)).seconds()),
+        (CkksOp::Rotation, 1.0 / sim.run(&workloads::rotation(&p)).seconds()),
+    ];
+
+    let skip_cpu = std::env::var("TABLE7_SKIP_CPU").is_ok();
+    let cpu: Vec<f64> = if skip_cpu {
+        TABLE7.iter().map(|r| r.cpu).collect()
+    } else {
+        println!("measuring CPU baseline at paper parameters (this takes ~a minute)...");
+        let params = CkksParams::paper().expect("paper parameters construct");
+        CkksOp::all()
+            .iter()
+            .map(|&op| {
+                let iters = match op {
+                    CkksOp::Pmult | CkksOp::Hadd => 3,
+                    _ => 1,
+                };
+                1.0 / measure_ckks_op(params.clone(), op, iters).expect("measurement")
+            })
+            .collect()
+    };
+
+    println!("\nTable 7: Throughput (ops/s) for basic operators, N=2^16 L=44 dnum=4\n");
+    let rows: Vec<Vec<String>> = TABLE7
+        .iter()
+        .zip(&ours)
+        .zip(&cpu)
+        .map(|((reference, (op, alch)), cpu_ops)| {
+            vec![
+                op.label().to_string(),
+                format!(
+                    "{}{}",
+                    bench::fmt_ops(*cpu_ops),
+                    if skip_cpu { " (paper)" } else { " (measured)" }
+                ),
+                reference.gpu.map_or("/".into(), bench::fmt_ops),
+                bench::fmt_ops(reference.poseidon),
+                bench::fmt_ops(*alch),
+                bench::fmt_ops(reference.alchemist),
+                format!("{:.0}x", alch / cpu_ops),
+                format!("{:.0}x", reference.speedup),
+            ]
+        })
+        .collect();
+    bench::print_table(
+        &["Op", "CPU", "GPU*", "Poseidon*", "Alchemist(sim)", "Alchemist(paper)", "Speedup(sim)", "Speedup(paper)"],
+        &rows,
+    );
+    println!("\n* GPU and Poseidon columns are the paper's published references.");
+}

@@ -1,0 +1,69 @@
+//! Prints the step-by-step schedule of a named workload on the Alchemist
+//! simulator — the compiled instruction stream a downstream user would
+//! inspect when porting a new FHE application.
+//!
+//! ```sh
+//! cargo run -p bench --bin trace_workload -- cmult
+//! cargo run -p bench --bin trace_workload -- bootstrapping
+//! ```
+
+use alchemist_core::{workloads, ArchConfig, Simulator, Step};
+
+fn steps_for(name: &str) -> Option<Vec<Step>> {
+    let p = workloads::CkksSimParams::paper();
+    Some(match name {
+        "pmult" => workloads::pmult(&p),
+        "hadd" => workloads::hadd(&p),
+        "keyswitch" => workloads::keyswitch(&p),
+        "cmult" => workloads::cmult(&p),
+        "rotation" => workloads::rotation(&p),
+        "bootstrapping" => workloads::bootstrapping(&p),
+        "helr" => workloads::helr_iteration(&p),
+        "lola" => workloads::lola_mnist(true).1,
+        "pbs" => workloads::tfhe_pbs(&workloads::TfheSimParams::set_i(), 128),
+        "cross" => workloads::cross_scheme(
+            &p.at_level(24),
+            &workloads::TfheSimParams::set_i(),
+            2,
+        ),
+        _ => return None,
+    })
+}
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "cmult".into());
+    let Some(steps) = steps_for(&name) else {
+        eprintln!(
+            "unknown workload '{name}'. options: pmult hadd keyswitch cmult rotation \
+             bootstrapping helr lola pbs cross"
+        );
+        std::process::exit(1);
+    };
+    let arch = ArchConfig::paper();
+    let sim = Simulator::new(arch);
+    println!("workload '{name}' on the paper configuration ({} steps):\n", steps.len());
+    let shown = steps.len().min(40);
+    let rows: Vec<Vec<String>> = steps
+        .iter()
+        .take(shown)
+        .map(|s| {
+            vec![
+                s.label.clone(),
+                s.class.to_string(),
+                s.meta_ops.to_string(),
+                s.n.to_string(),
+                s.compute_cycles(&arch).to_string(),
+                s.onchip_cycles(&arch).to_string(),
+                s.hbm_cycles(&arch).to_string(),
+            ]
+        })
+        .collect();
+    bench::print_table(
+        &["step", "class", "meta-ops", "n", "compute cyc", "sram cyc", "hbm cyc"],
+        &rows,
+    );
+    if steps.len() > shown {
+        println!("... ({} more steps)", steps.len() - shown);
+    }
+    println!("\n{}", sim.run(&steps).summary());
+}

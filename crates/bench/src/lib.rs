@@ -1,0 +1,84 @@
+//! Shared helpers for the table/figure regeneration binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper (see `DESIGN.md` §4 for the index) and prints a plain-text table
+//! with a `paper` column next to the `measured` column so deviations are
+//! visible at a glance; `EXPERIMENTS.md` records a snapshot.
+
+/// Prints an aligned plain-text table.
+///
+/// # Example
+///
+/// ```
+/// bench::print_table(
+///     &["op", "value"],
+///     &[vec!["Pmult".into(), "42".into()]],
+/// );
+/// ```
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut out = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            out.push_str(&format!("{:<width$}  ", cell, width = widths[i]));
+        }
+        println!("{}", out.trim_end());
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    println!("{}", widths.iter().map(|w| "-".repeat(*w + 2)).collect::<String>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Formats a throughput (ops/s) with thousands separators.
+pub fn fmt_ops(v: f64) -> String {
+    if v >= 1000.0 {
+        let int = v.round() as u64;
+        let s = int.to_string();
+        let mut out = String::new();
+        for (i, c) in s.chars().enumerate() {
+            if i > 0 && (s.len() - i).is_multiple_of(3) {
+                out.push(',');
+            }
+            out.push(c);
+        }
+        out
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Formats seconds using an appropriate unit.
+pub fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.2} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.2} us", seconds * 1e6)
+    } else {
+        format!("{:.0} ns", seconds * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_ops(946_970.4), "946,970");
+        assert_eq!(fmt_ops(38.14), "38.14");
+        assert_eq!(fmt_time(0.0023), "2.30 ms");
+        assert_eq!(fmt_time(2.0), "2.00 s");
+        assert_eq!(fmt_time(4.2e-5), "42.00 us");
+    }
+}

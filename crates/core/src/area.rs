@@ -1,0 +1,153 @@
+//! Area and power model (paper Table 5).
+//!
+//! The paper synthesized RTL in a commercial 14 nm process (Design
+//! Compiler + CACTI). We reproduce the *model*: per-component area
+//! constants taken from Table 5, composed structurally so that
+//! configuration sweeps (unit count, SRAM size) scale the right terms —
+//! the substitution is recorded in DESIGN.md §3.
+
+use crate::ArchConfig;
+
+/// Per-component area constants in mm² (14 nm), from paper Table 5.
+///
+/// `(component, unit area, paper quantity)`.
+pub const COMPONENT_AREAS_MM2: &[(&str, f64, usize)] = &[
+    ("core", 0.043, 2048),
+    ("local_sram_512k", 0.427, 128),
+    ("transpose_register_file", 6.380, 1),
+    ("shared_memory_2m", 1.801, 1),
+    ("hbm2_phy_pair", 29.801, 1),
+];
+
+/// Structural area/power model.
+#[derive(Debug, Clone, Copy)]
+pub struct AreaModel {
+    arch: ArchConfig,
+}
+
+impl AreaModel {
+    /// Builds the model for a configuration.
+    pub fn new(arch: ArchConfig) -> Self {
+        AreaModel { arch }
+    }
+
+    /// Area of one Meta-OP core.
+    pub fn core_mm2(&self) -> f64 {
+        // Table 5 gives the 8-lane core; scale linearly in lane count.
+        0.043 * self.arch.lanes as f64 / 8.0
+    }
+
+    /// Area of one local scratchpad (CACTI-style linear-in-capacity).
+    pub fn local_sram_mm2(&self) -> f64 {
+        0.427 * self.arch.scratchpad_kib as f64 / 512.0
+    }
+
+    /// One computing unit: core cluster + local scratchpad + control
+    /// (the paper's 1.118 = 16×0.043 + 0.427 + glue).
+    pub fn computing_unit_mm2(&self) -> f64 {
+        let glue = 1.118 - (16.0 * 0.043 + 0.427);
+        self.arch.cores_per_unit as f64 * self.core_mm2() + self.local_sram_mm2() + glue
+    }
+
+    /// Transpose register file (scales with unit count relative to 128).
+    pub fn transpose_mm2(&self) -> f64 {
+        6.380 * self.arch.units as f64 / 128.0
+    }
+
+    /// Shared memory.
+    pub fn shared_memory_mm2(&self) -> f64 {
+        1.801 * self.arch.shared_kib as f64 / 2048.0
+    }
+
+    /// Memory interface (2× HBM2 PHYs; scales with bandwidth).
+    pub fn memory_interface_mm2(&self) -> f64 {
+        29.801 * self.arch.hbm_bytes_per_cycle / 1024.0
+    }
+
+    /// Total die area.
+    pub fn total_mm2(&self) -> f64 {
+        self.arch.units as f64 * self.computing_unit_mm2()
+            + self.transpose_mm2()
+            + self.shared_memory_mm2()
+            + self.memory_interface_mm2()
+    }
+
+    /// Average power in watts (paper: 77.9 W at the default config; scaled
+    /// by active silicon area).
+    pub fn average_power_w(&self) -> f64 {
+        77.9 * self.total_mm2() / 181.086
+    }
+
+    /// The Table 5 breakdown rows: `(label, quantity, unit mm², total mm²)`.
+    pub fn breakdown(&self) -> Vec<(String, usize, f64, f64)> {
+        let units = self.arch.units;
+        let cores = self.arch.cores_per_unit;
+        vec![
+            (
+                format!("1x Core Cluster ({cores}x CORE)"),
+                cores,
+                self.core_mm2(),
+                cores as f64 * self.core_mm2(),
+            ),
+            ("1x Local SRAM".into(), 1, self.local_sram_mm2(), self.local_sram_mm2()),
+            (
+                "1x Computing Unit (Core Cluster + Local SRAM)".into(),
+                1,
+                self.computing_unit_mm2(),
+                self.computing_unit_mm2(),
+            ),
+            (
+                format!("{units}x Computing Unit"),
+                units,
+                self.computing_unit_mm2(),
+                units as f64 * self.computing_unit_mm2(),
+            ),
+            ("Register file for transpose".into(), 1, self.transpose_mm2(), self.transpose_mm2()),
+            ("Shared memory".into(), 1, self.shared_memory_mm2(), self.shared_memory_mm2()),
+            (
+                "Memory interface (2x HBM2 PHYs)".into(),
+                1,
+                self.memory_interface_mm2(),
+                self.memory_interface_mm2(),
+            ),
+            ("Total".into(), 1, self.total_mm2(), self.total_mm2()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_reproduced() {
+        let m = AreaModel::new(ArchConfig::paper());
+        assert!((m.core_mm2() - 0.043).abs() < 1e-9);
+        assert!((m.local_sram_mm2() - 0.427).abs() < 1e-9);
+        assert!((m.computing_unit_mm2() - 1.118).abs() < 1e-6);
+        let units_total = 128.0 * m.computing_unit_mm2();
+        assert!((units_total - 143.104).abs() < 1e-3, "got {units_total}");
+        assert!((m.total_mm2() - 181.086).abs() < 0.01, "got {}", m.total_mm2());
+        assert!((m.average_power_w() - 77.9).abs() < 0.1);
+    }
+
+    #[test]
+    fn area_scales_with_configuration() {
+        let mut arch = ArchConfig::paper();
+        arch.units = 64;
+        let m = AreaModel::new(arch);
+        assert!(m.total_mm2() < 181.0 / 1.5, "halving units should shrink the die");
+        let mut wide = ArchConfig::paper();
+        wide.lanes = 16;
+        let w = AreaModel::new(wide);
+        assert!(w.total_mm2() > 181.0, "doubling lanes should grow the die");
+    }
+
+    #[test]
+    fn breakdown_totals_consistent() {
+        let m = AreaModel::new(ArchConfig::paper());
+        let rows = m.breakdown();
+        let total = rows.last().unwrap().3;
+        assert!((total - m.total_mm2()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,177 @@
+//! Design-space exploration and ablations (paper §5.4).
+//!
+//! Three sweeps back the design choices DESIGN.md calls out:
+//!
+//! * **lane width `j`** — radix-8 NTT butterflies cannot fill more than 8
+//!   lanes, so `j = 16` wastes half the multipliers on NTT work while
+//!   `j = 4` doubles every op's issue count; `j = 8` maximizes
+//!   performance per area (the paper's conclusion, §4.2);
+//! * **unit count** — perf/area across 64/128/256 units;
+//! * **data partitioning** — slot-based (the paper's choice: all three
+//!   access patterns are unit-local) vs channel-based (base conversion
+//!   becomes all-to-all through the transpose fabric).
+
+use crate::workloads::{bootstrapping, CkksSimParams};
+use crate::{ArchConfig, AreaModel, Simulator, Step};
+use metaop::OpClass;
+
+/// One evaluated design point.
+#[derive(Debug, Clone)]
+pub struct DsePoint {
+    /// Configuration label.
+    pub label: String,
+    /// Die area.
+    pub area_mm2: f64,
+    /// Bootstrapping latency in seconds.
+    pub seconds: f64,
+    /// Overall utilization.
+    pub utilization: f64,
+}
+
+impl DsePoint {
+    /// Performance per area (1 / (s · mm²)), the paper's ranking metric.
+    pub fn perf_per_area(&self) -> f64 {
+        1.0 / (self.seconds * self.area_mm2)
+    }
+}
+
+/// Rescales a step sequence for a different lane width `j`.
+///
+/// Non-NTT Meta-OPs process `j` coefficients per op, so op counts scale by
+/// `8/j`; NTT radix-8 butterflies span exactly 8 lanes, so wider cores gain
+/// nothing there (`max(1, 8/j)`).
+fn rescale_for_lanes(steps: &[Step], j: usize) -> Vec<Step> {
+    steps
+        .iter()
+        .cloned()
+        .map(|mut s| {
+            let factor = match s.class {
+                OpClass::Ntt => (8.0 / j as f64).max(1.0),
+                _ => 8.0 / j as f64,
+            };
+            s.meta_ops = ((s.meta_ops as f64) * factor).ceil() as u64;
+            s
+        })
+        .collect()
+}
+
+/// Sweeps the Meta-OP lane width over the bootstrapping workload.
+pub fn lane_sweep() -> Vec<DsePoint> {
+    let p = CkksSimParams::paper();
+    let base = bootstrapping(&p);
+    [4usize, 8, 16]
+        .into_iter()
+        .map(|j| {
+            let mut arch = ArchConfig::paper();
+            arch.lanes = j;
+            let steps = rescale_for_lanes(&base, j);
+            let r = Simulator::new(arch).run(&steps);
+            DsePoint {
+                label: format!("j={j}"),
+                area_mm2: AreaModel::new(arch).total_mm2(),
+                seconds: r.seconds(),
+                utilization: r.utilization(),
+            }
+        })
+        .collect()
+}
+
+/// Sweeps the computing-unit count over the bootstrapping workload.
+pub fn unit_sweep() -> Vec<DsePoint> {
+    let p = CkksSimParams::paper();
+    let base = bootstrapping(&p);
+    [64usize, 128, 256]
+        .into_iter()
+        .map(|units| {
+            let mut arch = ArchConfig::paper();
+            arch.units = units;
+            // On-chip bandwidth scales with the unit count.
+            arch.onchip_bytes_per_cycle = 67_584.0 * units as f64 / 128.0;
+            let r = Simulator::new(arch).run(&base);
+            DsePoint {
+                label: format!("units={units}"),
+                area_mm2: AreaModel::new(arch).total_mm2(),
+                seconds: r.seconds(),
+                utilization: r.utilization(),
+            }
+        })
+        .collect()
+}
+
+/// Compares slot-based partitioning (paper §5.3) with channel-based
+/// partitioning, where every base conversion becomes an all-to-all exchange
+/// through the transpose fabric (modeled at 1/16 of aggregate scratchpad
+/// bandwidth, the transpose register file's share).
+pub fn partitioning_ablation() -> Vec<DsePoint> {
+    let p = CkksSimParams::paper();
+    let arch = ArchConfig::paper();
+    let base = bootstrapping(&p);
+
+    let slot = Simulator::new(arch).run(&base);
+    let mut points = vec![DsePoint {
+        label: "slot-based".into(),
+        area_mm2: AreaModel::new(arch).total_mm2(),
+        seconds: slot.seconds(),
+        utilization: slot.utilization(),
+    }];
+
+    // Channel-based: every Bconv / DecompPolyMult step additionally routes
+    // its operands across units.
+    let fabric_bpc = arch.onchip_bytes_per_cycle / 16.0;
+    let channel_steps: Vec<Step> = base
+        .iter()
+        .cloned()
+        .map(|s| {
+            if matches!(s.class, OpClass::Bconv | OpClass::DecompPolyMult) {
+                let extra = (s.onchip_bytes as f64 * arch.onchip_bytes_per_cycle
+                    / fabric_bpc) as u64;
+                s.with_onchip(extra)
+            } else {
+                s
+            }
+        })
+        .collect();
+    let chan = Simulator::new(arch).run(&channel_steps);
+    points.push(DsePoint {
+        label: "channel-based".into(),
+        area_mm2: AreaModel::new(arch).total_mm2(),
+        seconds: chan.seconds(),
+        utilization: chan.utilization(),
+    });
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_lanes_win_perf_per_area() {
+        let points = lane_sweep();
+        let best = points
+            .iter()
+            .max_by(|a, b| a.perf_per_area().total_cmp(&b.perf_per_area()))
+            .unwrap();
+        assert_eq!(best.label, "j=8", "paper's DSE picks j = 8: {points:?}");
+    }
+
+    #[test]
+    fn unit_sweep_monotone_area() {
+        let points = unit_sweep();
+        assert!(points[0].area_mm2 < points[1].area_mm2);
+        assert!(points[1].area_mm2 < points[2].area_mm2);
+        // More units should not slow the workload down.
+        assert!(points[2].seconds <= points[1].seconds * 1.05);
+    }
+
+    #[test]
+    fn slot_partitioning_beats_channel_partitioning() {
+        let points = partitioning_ablation();
+        assert_eq!(points[0].label, "slot-based");
+        assert!(
+            points[0].seconds < points[1].seconds,
+            "slot-based must be faster: {points:?}"
+        );
+        assert!(points[0].utilization > points[1].utilization);
+    }
+}

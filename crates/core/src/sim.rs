@@ -1,0 +1,369 @@
+//! The cycle-level simulator.
+//!
+//! A workload is a sequence of [`Step`]s; each step occupies three
+//! resources — the Meta-OP core pipeline, aggregate scratchpad bandwidth,
+//! and HBM bandwidth — and double buffering overlaps them, so a step's
+//! latency is the maximum of its three resource times (the paper's
+//! time-shared schedule with 64+2 MB of SRAM removes all other stalls,
+//! §5.4). Utilization is compute-busy cycles over total cycles, reported
+//! overall and per operator class (Fig. 7b).
+
+use crate::ArchConfig;
+use metaop::OpClass;
+
+/// One scheduled step of a workload.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Step {
+    /// Human-readable label (kernels print these in traces).
+    pub label: String,
+    /// Operator class for the utilization breakdown.
+    pub class: OpClass,
+    /// Total Meta-OP instances across the chip.
+    pub meta_ops: u64,
+    /// The Meta-OP iteration parameter `n`.
+    pub n: u32,
+    /// `true` for addition-only work (`Hadd`): one cycle per op, the
+    /// multiplier array idles.
+    pub add_only: bool,
+    /// Off-chip traffic in bytes (key material, spills).
+    pub hbm_bytes: u64,
+    /// On-chip scratchpad traffic in bytes (reads + writes).
+    pub onchip_bytes: u64,
+}
+
+impl Step {
+    /// A pure compute step.
+    pub fn compute(label: impl Into<String>, class: OpClass, meta_ops: u64, n: u32) -> Self {
+        Step {
+            label: label.into(),
+            class,
+            meta_ops,
+            n,
+            add_only: false,
+            hbm_bytes: 0,
+            onchip_bytes: 0,
+        }
+    }
+
+    /// An addition-only step (no multiplier usage).
+    pub fn adds(label: impl Into<String>, ops: u64) -> Self {
+        Step {
+            label: label.into(),
+            class: OpClass::Elementwise,
+            meta_ops: ops,
+            n: 1,
+            add_only: true,
+            hbm_bytes: 0,
+            onchip_bytes: 0,
+        }
+    }
+
+    /// A pure data-movement step (DMA, transpose, automorphism shuffles).
+    pub fn transfer(label: impl Into<String>, hbm_bytes: u64, onchip_bytes: u64) -> Self {
+        Step {
+            label: label.into(),
+            class: OpClass::Elementwise,
+            meta_ops: 0,
+            n: 1,
+            add_only: true,
+            hbm_bytes,
+            onchip_bytes,
+        }
+    }
+
+    /// Converts a functional Meta-OP trace (from the `metaop` lowerings)
+    /// into simulator steps, one per aggregated `(descriptor, count)`
+    /// entry — the path from *executing* an operator in software to
+    /// *scheduling* it on the modeled hardware.
+    pub fn from_trace(label_prefix: &str, trace: &metaop::MetaOpTrace) -> Vec<Step> {
+        trace
+            .entries()
+            .iter()
+            .enumerate()
+            .map(|(i, &(op, count))| {
+                Step::compute(
+                    format!("{label_prefix}/{}#{i}", op.class()),
+                    op.class(),
+                    count,
+                    op.n(),
+                )
+            })
+            .collect()
+    }
+
+    /// Adds HBM traffic to the step.
+    pub fn with_hbm(mut self, bytes: u64) -> Self {
+        self.hbm_bytes += bytes;
+        self
+    }
+
+    /// Adds scratchpad traffic to the step.
+    pub fn with_onchip(mut self, bytes: u64) -> Self {
+        self.onchip_bytes += bytes;
+        self
+    }
+
+    /// Core-pipeline cycles on `arch`.
+    pub fn compute_cycles(&self, arch: &ArchConfig) -> u64 {
+        if self.meta_ops == 0 {
+            return 0;
+        }
+        let per_op = if self.add_only { 1 } else { self.n as u64 + 2 };
+        let waves = self.meta_ops.div_ceil(arch.total_cores() as u64);
+        ((waves * per_op) as f64 / arch.pipeline_efficiency).ceil() as u64
+    }
+
+    /// Scratchpad-bandwidth cycles.
+    pub fn onchip_cycles(&self, arch: &ArchConfig) -> u64 {
+        (self.onchip_bytes as f64 / arch.onchip_bytes_per_cycle).ceil() as u64
+    }
+
+    /// HBM-bandwidth cycles.
+    pub fn hbm_cycles(&self, arch: &ArchConfig) -> u64 {
+        (self.hbm_bytes as f64 / arch.hbm_bytes_per_cycle).ceil() as u64
+    }
+}
+
+/// Per-class accounting in a report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassStats {
+    /// Cycles the cores were busy on this class.
+    pub busy_cycles: u64,
+    /// Wall cycles attributed to steps of this class (busy + stalls).
+    pub attributed_cycles: u64,
+}
+
+/// The result of simulating a workload.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    arch: ArchConfig,
+    /// Total wall cycles.
+    pub cycles: u64,
+    /// Total compute-busy cycles.
+    pub busy_cycles: u64,
+    /// Total HBM bytes moved.
+    pub hbm_bytes: u64,
+    /// Total scratchpad bytes moved.
+    pub onchip_bytes: u64,
+    per_class: [(OpClass, ClassStats); 4],
+}
+
+impl SimReport {
+    /// Wall-clock seconds at the configured frequency.
+    pub fn seconds(&self) -> f64 {
+        self.cycles as f64 * self.arch.cycle_seconds()
+    }
+
+    /// Overall compute-resource utilization (busy / total).
+    pub fn utilization(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.busy_cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Utilization within steps of one class.
+    pub fn class_utilization(&self, class: OpClass) -> f64 {
+        let stats = self
+            .per_class
+            .iter()
+            .find(|(c, _)| *c == class)
+            .map(|(_, s)| *s)
+            .unwrap_or_default();
+        if stats.attributed_cycles == 0 {
+            0.0
+        } else {
+            stats.busy_cycles as f64 / stats.attributed_cycles as f64
+        }
+    }
+
+    /// Fraction of wall cycles attributed to each class.
+    pub fn class_time_fractions(&self) -> [(OpClass, f64); 4] {
+        let total = self.cycles.max(1) as f64;
+        self.per_class.map(|(c, s)| (c, s.attributed_cycles as f64 / total))
+    }
+
+    /// The architecture the report was produced on.
+    pub fn arch(&self) -> &ArchConfig {
+        &self.arch
+    }
+
+    /// Operations per second if the simulated sequence covered `batch`
+    /// logical operations.
+    pub fn throughput(&self, batch: u64) -> f64 {
+        batch as f64 / self.seconds()
+    }
+
+    /// Energy in millijoules at the configuration's average power (the
+    /// paper's 77.9 W at the default configuration, scaled by active area).
+    pub fn energy_mj(&self) -> f64 {
+        crate::AreaModel::new(self.arch).average_power_w() * self.seconds() * 1e3
+    }
+
+    /// A human-readable multi-line summary (cycles, time, utilization,
+    /// per-class split, traffic).
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} cycles ({:.3} ms @ {} GHz), utilization {:.2}",
+            self.cycles,
+            self.seconds() * 1e3,
+            self.arch.freq_ghz,
+            self.utilization()
+        );
+        for (class, frac) in self.class_time_fractions() {
+            if frac > 0.0005 {
+                let _ = writeln!(
+                    out,
+                    "  {class:<18} {:>5.1}% of time, class utilization {:.2}",
+                    frac * 100.0,
+                    self.class_utilization(class)
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "  traffic: {:.1} MB HBM, {:.1} MB scratchpad",
+            self.hbm_bytes as f64 / 1e6,
+            self.onchip_bytes as f64 / 1e6
+        );
+        out
+    }
+}
+
+/// The simulator.
+#[derive(Debug, Clone, Copy)]
+pub struct Simulator {
+    arch: ArchConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator for a configuration.
+    pub fn new(arch: ArchConfig) -> Self {
+        Simulator { arch }
+    }
+
+    /// The configuration.
+    pub fn arch(&self) -> &ArchConfig {
+        &self.arch
+    }
+
+    /// Runs a step sequence and produces the report.
+    pub fn run(&self, steps: &[Step]) -> SimReport {
+        let mut per_class = OpClass::all().map(|c| (c, ClassStats::default()));
+        let mut step_cycles = 0u64;
+        let mut hbm_cycles = 0u64;
+        let mut busy = 0u64;
+        let mut hbm = 0u64;
+        let mut onchip = 0u64;
+        for step in steps {
+            let c = step.compute_cycles(&self.arch);
+            // HBM transfers are double-buffered against the whole schedule
+            // (paper §5.4); compute and scratchpad traffic serialize per
+            // step.
+            let wall = c.max(step.onchip_cycles(&self.arch));
+            step_cycles += wall;
+            hbm_cycles += step.hbm_cycles(&self.arch);
+            // Busy discounts pipeline bubbles (the efficiency factor).
+            let eff = (c as f64 * self.arch.pipeline_efficiency) as u64;
+            busy += eff;
+            hbm += step.hbm_bytes;
+            onchip += step.onchip_bytes;
+            let entry = per_class
+                .iter_mut()
+                .find(|(cl, _)| *cl == step.class)
+                .expect("all classes present");
+            entry.1.busy_cycles += eff;
+            entry.1.attributed_cycles += wall;
+        }
+        let cycles = step_cycles.max(hbm_cycles);
+        SimReport { arch: self.arch, cycles, busy_cycles: busy, hbm_bytes: hbm, onchip_bytes: onchip, per_class }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arch() -> ArchConfig {
+        ArchConfig::paper()
+    }
+
+    #[test]
+    fn compute_cycles_follow_meta_op_model() {
+        let a = arch();
+        // Exactly one wave of (M8A8)_3R8 on all 2048 cores: 5 cycles / eff.
+        let s = Step::compute("ntt", OpClass::Ntt, 2048, 3);
+        assert_eq!(s.compute_cycles(&a), (5.0f64 / a.pipeline_efficiency).ceil() as u64);
+        // One op still costs a full wave.
+        let one = Step::compute("x", OpClass::Ntt, 1, 3);
+        assert_eq!(one.compute_cycles(&a), s.compute_cycles(&a));
+        // Adds cost 1 cycle per wave.
+        let adds = Step::adds("hadd", 2048);
+        assert_eq!(adds.compute_cycles(&a), (1.0f64 / a.pipeline_efficiency).ceil() as u64);
+    }
+
+    #[test]
+    fn memory_bound_steps_stretch_wall_time() {
+        let a = arch();
+        let sim = Simulator::new(a);
+        let light_compute = Step::compute("k", OpClass::Bconv, 2048, 4).with_hbm(1 << 20);
+        let r = sim.run(std::slice::from_ref(&light_compute));
+        // 1 MiB at 1024 B/cycle = 1024 cycles ≫ compute: the run is
+        // bandwidth-bound even with full overlap.
+        assert_eq!(r.cycles, 1024);
+        assert!(r.utilization() < 0.05);
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        let sim = Simulator::new(arch());
+        let steps = vec![
+            Step::compute("ntt", OpClass::Ntt, 2048 * 100, 3),
+            Step::compute("bconv", OpClass::Bconv, 2048 * 50, 12).with_hbm(4 << 20),
+        ];
+        let r = sim.run(&steps);
+        // Class utilization tops out at the pipeline efficiency.
+        let eff = arch().pipeline_efficiency;
+        assert!((r.class_utilization(OpClass::Ntt) - eff).abs() < 0.02);
+        assert!(r.class_utilization(OpClass::Bconv) <= eff + 0.02);
+        assert!(r.seconds() > 0.0);
+        assert_eq!(r.hbm_bytes, 4 << 20);
+    }
+
+    #[test]
+    fn trace_conversion_matches_cost_model() {
+        use metaop::{MetaOp, MetaOpTrace};
+        let a = arch();
+        let mut trace = MetaOpTrace::new();
+        // One wave of radix-8 NTT ops + one wave of Bconv ops.
+        trace.record(MetaOp::new(OpClass::Ntt, 8, 3), a.total_cores() as u64);
+        trace.record(MetaOp::new(OpClass::Bconv, 8, 12), a.total_cores() as u64);
+        let steps = Step::from_trace("t", &trace);
+        assert_eq!(steps.len(), 2);
+        let r = Simulator::new(a).run(&steps);
+        let expect = ((5.0 / a.pipeline_efficiency).ceil()
+            + (14.0 / a.pipeline_efficiency).ceil()) as u64;
+        assert_eq!(r.cycles, expect);
+    }
+
+    #[test]
+    fn energy_tracks_time_and_power() {
+        let sim = Simulator::new(arch());
+        let r = sim.run(&[Step::compute("x", OpClass::Ntt, 2048 * 1000, 3)]);
+        // 77.9 W for r.seconds(): E = P·t.
+        let expected = 77.9 * r.seconds() * 1e3;
+        assert!((r.energy_mj() - expected).abs() / expected < 1e-6);
+    }
+
+    #[test]
+    fn throughput_is_inverse_time() {
+        let sim = Simulator::new(arch());
+        let r = sim.run(&[Step::compute("x", OpClass::Ntt, 2048 * 1000, 3)]);
+        let t = r.throughput(10);
+        assert!((t - 10.0 / r.seconds()).abs() / t < 1e-12);
+    }
+}

@@ -1,0 +1,633 @@
+//! The BGV context: keys, encryption, homomorphic evaluation.
+
+use crate::encoding::BgvEncoder;
+use crate::{BgvError, BgvParams};
+use fhe_math::{
+    sample_gaussian, sample_ternary, sample_uniform, Modulus, Poly, RnsBasis, RnsContext,
+    RnsPoly, UBig,
+};
+use rand::Rng;
+
+/// Precomputed BGV state: RNS context over `Q ∪ {p}`, the batching
+/// encoder, and derived constants.
+#[derive(Debug)]
+pub struct BgvContext {
+    params: BgvParams,
+    rns: RnsContext,
+    encoder: BgvEncoder,
+    t: Modulus,
+}
+
+/// The ternary secret key.
+#[derive(Debug, Clone)]
+pub struct BgvSecretKey {
+    s_coeffs: Vec<i64>,
+    /// `s` over the full basis, NTT domain.
+    s_full: Vec<Poly>,
+}
+
+/// A BGV ciphertext `(c0, c1)` with `c0 + c1·s = m + t·e (mod Q_level)`,
+/// NTT domain over channels `0..=level`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BgvCiphertext {
+    c0: RnsPoly,
+    c1: RnsPoly,
+    level: usize,
+}
+
+impl BgvCiphertext {
+    /// Current modulus-chain level.
+    #[inline]
+    pub fn level(&self) -> usize {
+        self.level
+    }
+}
+
+/// The relinearization key: one `(b_i, a_i)` pair per ciphertext prime
+/// (single-channel digits), over the full `Q ∪ {p}` basis.
+#[derive(Debug, Clone)]
+pub struct BgvRelinKey {
+    digits: Vec<(RnsPoly, RnsPoly)>,
+}
+
+impl BgvContext {
+    /// Builds the context.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction failures.
+    pub fn new(params: BgvParams) -> Result<Self, BgvError> {
+        let mut moduli = Vec::with_capacity(params.moduli().len() + 1);
+        for &q in params.moduli() {
+            moduli.push(Modulus::new(q)?);
+        }
+        moduli.push(Modulus::new(params.special())?);
+        let rns = RnsContext::new(params.n(), RnsBasis::new(moduli)?)?;
+        let encoder = BgvEncoder::new(params.t(), params.n())?;
+        let t = Modulus::new(params.t())?;
+        Ok(BgvContext { params, rns, encoder, t })
+    }
+
+    /// The parameter set.
+    #[inline]
+    pub fn params(&self) -> &BgvParams {
+        &self.params
+    }
+
+    /// The batching encoder.
+    #[inline]
+    pub fn encoder(&self) -> &BgvEncoder {
+        &self.encoder
+    }
+
+    /// Number of SIMD slots (`N`).
+    #[inline]
+    pub fn slots(&self) -> usize {
+        self.params.n()
+    }
+
+    fn q_len(&self) -> usize {
+        self.params.moduli().len()
+    }
+
+    fn p_index(&self) -> usize {
+        self.q_len()
+    }
+
+    /// Samples a secret key.
+    pub fn generate_secret_key<R: Rng + ?Sized>(&self, rng: &mut R) -> BgvSecretKey {
+        let s_coeffs = sample_ternary(self.params.n(), rng);
+        let s_full = (0..self.rns.moduli().len())
+            .map(|c| self.lift_signed_ntt(&s_coeffs, c))
+            .collect();
+        BgvSecretKey { s_coeffs, s_full }
+    }
+
+    fn lift_signed_ntt(&self, coeffs: &[i64], channel: usize) -> Poly {
+        let m = self.rns.moduli()[channel];
+        let mut vals = vec![0u64; self.params.n()];
+        for (v, &c) in vals.iter_mut().zip(coeffs) {
+            *v = m.from_i64(c);
+        }
+        let mut p = Poly::from_coeffs(vals, m).expect("canonical");
+        p.to_ntt(self.rns.table(channel));
+        p
+    }
+
+    /// Encrypts slot values at the top level.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding failures.
+    pub fn encrypt<R: Rng + ?Sized>(
+        &self,
+        sk: &BgvSecretKey,
+        slots: &[u64],
+        rng: &mut R,
+    ) -> Result<BgvCiphertext, BgvError> {
+        let level = self.params.max_level();
+        let n = self.params.n();
+        let m_coeffs = self.encoder.encode(slots)?;
+        let noise = sample_gaussian(self.params.sigma(), n, rng);
+        let t = self.params.t();
+        let mut c0_ch = Vec::with_capacity(level + 1);
+        let mut c1_ch = Vec::with_capacity(level + 1);
+        for c in 0..=level {
+            let md = self.rns.moduli()[c];
+            let a = Poly::from_ntt(sample_uniform(md.value(), n, rng), md)?;
+            // t·e + m, lifted then NTT'd.
+            let mut vals = vec![0u64; n];
+            for i in 0..n {
+                let te = md.from_i64(noise[i].wrapping_mul(t as i64));
+                vals[i] = md.add(te, md.reduce(m_coeffs[i]));
+            }
+            let mut payload = Poly::from_coeffs(vals, md)?;
+            payload.to_ntt(self.rns.table(c));
+            // c0 = -a·s + t·e + m.
+            let s = &sk.s_full[c];
+            let c0_vals: Vec<u64> = a
+                .coeffs()
+                .iter()
+                .zip(s.coeffs())
+                .zip(payload.coeffs())
+                .map(|((&av, &sv), &pv)| md.add(md.neg(md.mul(av, sv)), pv))
+                .collect();
+            c0_ch.push(Poly::from_ntt(c0_vals, md)?);
+            c1_ch.push(a);
+        }
+        Ok(BgvCiphertext {
+            c0: RnsPoly::from_channels(c0_ch)?,
+            c1: RnsPoly::from_channels(c1_ch)?,
+            level,
+        })
+    }
+
+    /// Decrypts to slot values.
+    ///
+    /// # Errors
+    ///
+    /// Propagates structural failures.
+    pub fn decrypt(&self, sk: &BgvSecretKey, ct: &BgvCiphertext) -> Result<Vec<u64>, BgvError> {
+        let level = ct.level;
+        let n = self.params.n();
+        let t = self.params.t();
+        // v = c0 + c1·s over the level channels (NTT), then to coefficients.
+        let mut channels = Vec::with_capacity(level + 1);
+        for c in 0..=level {
+            let md = self.rns.moduli()[c];
+            let s = &sk.s_full[c];
+            let vals: Vec<u64> = ct
+                .c0
+                .channel(c)
+                .coeffs()
+                .iter()
+                .zip(ct.c1.channel(c).coeffs().iter().zip(s.coeffs()))
+                .map(|(&c0v, (&c1v, &sv))| md.add(c0v, md.mul(c1v, sv)))
+                .collect();
+            channels.push(Poly::from_ntt(vals, md)?);
+        }
+        let mut v = RnsPoly::from_channels(channels)?;
+        v.to_coeff(&self.rns.tables()[..=level]);
+        // Centered lift mod t: every q ≡ 1 (mod t) ⇒ Q ≡ 1 (mod t).
+        let q_prod = UBig::product_of(self.params.moduli()[..=level].iter().copied());
+        let half = q_prod.divrem_u64(2).0;
+        let q_mod_t = q_prod.rem_u64(t);
+        debug_assert_eq!(q_mod_t, 1, "chain must be ≡ 1 mod t");
+        let mut m_coeffs = vec![0u64; n];
+        for (i, mc) in m_coeffs.iter_mut().enumerate() {
+            let big = if level == 0 {
+                UBig::from_u64(v.channel(0).coeffs()[i])
+            } else {
+                v.crt_coefficient(i)
+            };
+            let vt = big.rem_u64(t);
+            *mc = if big.cmp_big(&half) == std::cmp::Ordering::Greater {
+                // centered value is big − Q: subtract Q mod t (= 1).
+                (vt + t - q_mod_t) % t
+            } else {
+                vt
+            };
+        }
+        Ok(self.encoder.decode(&m_coeffs))
+    }
+
+    /// Homomorphic addition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BgvError::Mismatch`] on level disagreement.
+    pub fn add(&self, a: &BgvCiphertext, b: &BgvCiphertext) -> Result<BgvCiphertext, BgvError> {
+        self.check_pair(a, b)?;
+        Ok(BgvCiphertext { c0: a.c0.add(&b.c0)?, c1: a.c1.add(&b.c1)?, level: a.level })
+    }
+
+    /// Homomorphic subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BgvError::Mismatch`] on level disagreement.
+    pub fn sub(&self, a: &BgvCiphertext, b: &BgvCiphertext) -> Result<BgvCiphertext, BgvError> {
+        self.check_pair(a, b)?;
+        Ok(BgvCiphertext { c0: a.c0.sub(&b.c0)?, c1: a.c1.sub(&b.c1)?, level: a.level })
+    }
+
+    /// Plaintext (slot-wise) multiplication.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding failures.
+    pub fn mul_plain(
+        &self,
+        a: &BgvCiphertext,
+        slots: &[u64],
+    ) -> Result<BgvCiphertext, BgvError> {
+        let m_coeffs = self.encoder.encode(slots)?;
+        let signed: Vec<i64> = m_coeffs
+            .iter()
+            .map(|&c| self.t.to_centered(c))
+            .collect();
+        let mut pt = RnsPoly::from_signed(
+            &signed,
+            self.params.n(),
+            &self.rns.moduli()[..=a.level],
+        );
+        pt.to_ntt(&self.rns.tables()[..=a.level]);
+        Ok(BgvCiphertext {
+            c0: a.c0.mul_pointwise(&pt)?,
+            c1: a.c1.mul_pointwise(&pt)?,
+            level: a.level,
+        })
+    }
+
+    /// Generates the relinearization key (one digit per ciphertext prime).
+    ///
+    /// # Errors
+    ///
+    /// Propagates structural failures.
+    pub fn generate_relin_key<R: Rng + ?Sized>(
+        &self,
+        sk: &BgvSecretKey,
+        rng: &mut R,
+    ) -> Result<BgvRelinKey, BgvError> {
+        let n = self.params.n();
+        let t = self.params.t();
+        let all = self.rns.moduli().len();
+        let mut digits = Vec::with_capacity(self.q_len());
+        for i in 0..self.q_len() {
+            let qi = self.rns.moduli()[i];
+            // Q̂_i mod q_i and its inverse (single-channel digit: v fits u64).
+            let mut qhat_mod_qi = 1u64;
+            for j in 0..self.q_len() {
+                if j != i {
+                    qhat_mod_qi =
+                        qi.mul(qhat_mod_qi, self.rns.moduli()[j].value() % qi.value());
+                }
+            }
+            let v = qi.inv(qhat_mod_qi)?;
+            let noise = sample_gaussian(self.params.sigma(), n, rng);
+            let mut b_ch = Vec::with_capacity(all);
+            let mut a_ch = Vec::with_capacity(all);
+            for c in 0..all {
+                let m = self.rns.moduli()[c];
+                // f = p · Q̂_i · v  (mod m).
+                let mut qhat_mod_m = 1u64;
+                for j in 0..self.q_len() {
+                    if j != i {
+                        qhat_mod_m =
+                            m.mul(qhat_mod_m, self.rns.moduli()[j].value() % m.value());
+                    }
+                }
+                let f = m.mul(
+                    m.mul(self.params.special() % m.value(), qhat_mod_m),
+                    v % m.value(),
+                );
+                let a = Poly::from_ntt(sample_uniform(m.value(), n, rng), m)?;
+                let s = &sk.s_full[c];
+                let vals: Vec<u64> = a
+                    .coeffs()
+                    .iter()
+                    .zip(s.coeffs())
+                    .enumerate()
+                    .map(|(idx, (&av, &sv))| {
+                        // b = -a·s + t·e + f·s² (all NTT-pointwise except e,
+                        // which is injected per-coefficient below).
+                        let _ = idx;
+                        m.add(m.neg(m.mul(av, sv)), m.mul(f, m.mul(sv, sv)))
+                    })
+                    .collect();
+                // Add t·e in coefficient domain.
+                let mut e_vals = vec![0u64; n];
+                for (ev, &x) in e_vals.iter_mut().zip(&noise) {
+                    *ev = m.from_i64(x.wrapping_mul(t as i64));
+                }
+                let mut e = Poly::from_coeffs(e_vals, m)?;
+                e.to_ntt(self.rns.table(c));
+                let b_vals: Vec<u64> =
+                    vals.iter().zip(e.coeffs()).map(|(&x, &ev)| m.add(x, ev)).collect();
+                b_ch.push(Poly::from_ntt(b_vals, m)?);
+                a_ch.push(a);
+            }
+            digits.push((RnsPoly::from_channels(b_ch)?, RnsPoly::from_channels(a_ch)?));
+        }
+        Ok(BgvRelinKey { digits })
+    }
+
+    /// Ciphertext multiplication with relinearization and an automatic
+    /// modulus switch (the BGV noise-management step), landing one level
+    /// lower.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BgvError::LevelExhausted`] at level 0, or propagates
+    /// structural failures.
+    pub fn mul(
+        &self,
+        a: &BgvCiphertext,
+        b: &BgvCiphertext,
+        rlk: &BgvRelinKey,
+    ) -> Result<BgvCiphertext, BgvError> {
+        self.check_pair(a, b)?;
+        if a.level == 0 {
+            return Err(BgvError::LevelExhausted);
+        }
+        let level = a.level;
+        let d0 = a.c0.mul_pointwise(&b.c0)?;
+        let d1 = a.c0.mul_pointwise(&b.c1)?.add(&a.c1.mul_pointwise(&b.c0)?)?;
+        let d2 = a.c1.mul_pointwise(&b.c1)?;
+        let (k0, k1) = self.keyswitch(&d2, rlk, level)?;
+        let ct = BgvCiphertext { c0: d0.add(&k0)?, c1: d1.add(&k1)?, level };
+        self.mod_switch(&ct)
+    }
+
+    /// Modulus switch to one level lower with the `t`-preserving centered
+    /// correction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BgvError::LevelExhausted`] at level 0.
+    pub fn mod_switch(&self, ct: &BgvCiphertext) -> Result<BgvCiphertext, BgvError> {
+        if ct.level == 0 {
+            return Err(BgvError::LevelExhausted);
+        }
+        let level = ct.level;
+        Ok(BgvCiphertext {
+            c0: self.rescale_poly(&ct.c0, level)?,
+            c1: self.rescale_poly(&ct.c1, level)?,
+            level: level - 1,
+        })
+    }
+
+    /// `(x − δ)/q_l` channel-wise, with `δ ≡ x (mod q_l)`, `δ ≡ 0 (mod t)`,
+    /// `|δ| ≤ q_l·t/2`.
+    fn rescale_poly(&self, p: &RnsPoly, level: usize) -> Result<RnsPoly, BgvError> {
+        let n = self.params.n();
+        let t = self.params.t() as i128;
+        let q_last = self.rns.moduli()[level];
+        let mut last = p.channel(level).clone();
+        last.to_coeff(self.rns.table(level));
+        // δ per coefficient as i128.
+        let deltas: Vec<i128> = last
+            .coeffs()
+            .iter()
+            .map(|&x| {
+                let r = q_last.to_centered(x) as i128;
+                let mut u = (-r).rem_euclid(t);
+                if u > t / 2 {
+                    u -= t;
+                }
+                r + q_last.value() as i128 * u
+            })
+            .collect();
+        let mut channels = Vec::with_capacity(level);
+        for c in 0..level {
+            let m = self.rns.moduli()[c];
+            let inv = m.inv(q_last.value() % m.value())?;
+            let mut lifted = vec![0u64; n];
+            for (l, &d) in lifted.iter_mut().zip(&deltas) {
+                *l = d.rem_euclid(m.value() as i128) as u64;
+            }
+            let mut dp = Poly::from_coeffs(lifted, m)?;
+            dp.to_ntt(self.rns.table(c));
+            let vals: Vec<u64> = p
+                .channel(c)
+                .coeffs()
+                .iter()
+                .zip(dp.coeffs())
+                .map(|(&x, &d)| m.mul(m.sub(x, d), inv))
+                .collect();
+            channels.push(Poly::from_ntt(vals, m)?);
+        }
+        Ok(RnsPoly::from_channels(channels)?)
+    }
+
+    /// Hybrid key switch of `d2` (per-prime digits, one special prime).
+    fn keyswitch(
+        &self,
+        d2: &RnsPoly,
+        rlk: &BgvRelinKey,
+        level: usize,
+    ) -> Result<(RnsPoly, RnsPoly), BgvError> {
+        let n = self.params.n();
+        let p_idx = self.p_index();
+        let total = level + 2; // level+1 q-channels plus p.
+        let global_of = |pos: usize| if pos <= level { pos } else { p_idx };
+        let mut d2c = d2.clone();
+        d2c.to_coeff(&self.rns.tables()[..=level]);
+
+        let mut acc0 = vec![vec![0u64; n]; total];
+        let mut acc1 = vec![vec![0u64; n]; total];
+        for i in 0..=level {
+            // Exact single-channel base conversion to every other channel.
+            let dst: Vec<usize> =
+                (0..=level).filter(|&c| c != i).chain(std::iter::once(p_idx)).collect();
+            let plan = self.rns.bconv(&[i], &dst)?;
+            let converted = plan.apply(&[d2c.channel(i).coeffs()]);
+            let (b_key, a_key) = &rlk.digits[i];
+            for pos in 0..total {
+                let gc = global_of(pos);
+                let m = self.rns.moduli()[gc];
+                // The digit's own channel reuses d2's NTT form; others are
+                // freshly transformed.
+                let ext: Vec<u64> = if gc == i {
+                    d2.channel(i).coeffs().to_vec()
+                } else {
+                    let k = dst.iter().position(|&c| c == gc).expect("in dst");
+                    let mut v = converted[k].clone();
+                    self.rns.table(gc).forward(&mut v);
+                    v
+                };
+                let bk = b_key.channel(gc).coeffs();
+                let ak = a_key.channel(gc).coeffs();
+                for s in 0..n {
+                    acc0[pos][s] = m.add(acc0[pos][s], m.mul(ext[s], bk[s]));
+                    acc1[pos][s] = m.add(acc1[pos][s], m.mul(ext[s], ak[s]));
+                }
+            }
+        }
+        // INTT, t-preserving moddown by p, NTT back.
+        let p_mod = self.rns.moduli()[p_idx];
+        let t = self.params.t() as i128;
+        let finish = |acc: &mut Vec<Vec<u64>>| -> Result<RnsPoly, BgvError> {
+            for pos in 0..total {
+                let gc = global_of(pos);
+                self.rns.table(gc).inverse(&mut acc[pos]);
+            }
+            let deltas: Vec<i128> = acc[total - 1]
+                .iter()
+                .map(|&x| {
+                    let r = p_mod.to_centered(x) as i128;
+                    let mut u = (-r).rem_euclid(t);
+                    if u > t / 2 {
+                        u -= t;
+                    }
+                    r + p_mod.value() as i128 * u
+                })
+                .collect();
+            let mut channels = Vec::with_capacity(level + 1);
+            for c in 0..=level {
+                let m = self.rns.moduli()[c];
+                let inv = m.inv(p_mod.value() % m.value())?;
+                let vals: Vec<u64> = acc[c]
+                    .iter()
+                    .zip(&deltas)
+                    .map(|(&x, &d)| {
+                        let dm = d.rem_euclid(m.value() as i128) as u64;
+                        m.mul(m.sub(x, dm), inv)
+                    })
+                    .collect();
+                let mut poly = Poly::from_coeffs(vals, m)?;
+                poly.to_ntt(self.rns.table(c));
+                channels.push(poly);
+            }
+            Ok(RnsPoly::from_channels(channels)?)
+        };
+        let k0 = finish(&mut acc0)?;
+        let k1 = finish(&mut acc1)?;
+        Ok((k0, k1))
+    }
+
+    fn check_pair(&self, a: &BgvCiphertext, b: &BgvCiphertext) -> Result<(), BgvError> {
+        if a.level != b.level {
+            return Err(BgvError::Mismatch {
+                detail: format!("levels differ: {} vs {}", a.level, b.level),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl BgvSecretKey {
+    /// The ternary coefficients (testing and bridging use).
+    #[doc(hidden)]
+    pub fn coefficients(&self) -> &[i64] {
+        &self.s_coeffs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn setup() -> (BgvContext, ChaCha8Rng) {
+        (
+            BgvContext::new(BgvParams::toy().unwrap()).unwrap(),
+            ChaCha8Rng::seed_from_u64(13),
+        )
+    }
+
+    #[test]
+    fn encrypt_decrypt_exact() {
+        let (ctx, mut rng) = setup();
+        let sk = ctx.generate_secret_key(&mut rng);
+        let slots: Vec<u64> = (0..64).map(|i| (i * 31 + 5) % 257).collect();
+        let ct = ctx.encrypt(&sk, &slots, &mut rng).unwrap();
+        assert_eq!(ctx.decrypt(&sk, &ct).unwrap(), slots);
+    }
+
+    #[test]
+    fn addition_is_exact_mod_t() {
+        let (ctx, mut rng) = setup();
+        let sk = ctx.generate_secret_key(&mut rng);
+        let a: Vec<u64> = (0..64).map(|i| i * 4 % 257).collect();
+        let b: Vec<u64> = (0..64).map(|i| (256 - i) % 257).collect();
+        let ca = ctx.encrypt(&sk, &a, &mut rng).unwrap();
+        let cb = ctx.encrypt(&sk, &b, &mut rng).unwrap();
+        let sum = ctx.decrypt(&sk, &ctx.add(&ca, &cb).unwrap()).unwrap();
+        let diff = ctx.decrypt(&sk, &ctx.sub(&ca, &cb).unwrap()).unwrap();
+        for i in 0..64 {
+            assert_eq!(sum[i], (a[i] + b[i]) % 257, "slot {i}");
+            assert_eq!(diff[i], (a[i] + 257 - b[i]) % 257, "slot {i}");
+        }
+    }
+
+    #[test]
+    fn plaintext_multiplication() {
+        let (ctx, mut rng) = setup();
+        let sk = ctx.generate_secret_key(&mut rng);
+        let a: Vec<u64> = (0..64).map(|i| (i + 1) % 257).collect();
+        let w: Vec<u64> = (0..64).map(|i| (2 * i + 3) % 257).collect();
+        let ca = ctx.encrypt(&sk, &a, &mut rng).unwrap();
+        let got = ctx.decrypt(&sk, &ctx.mul_plain(&ca, &w).unwrap()).unwrap();
+        for i in 0..64 {
+            assert_eq!(got[i], a[i] * w[i] % 257, "slot {i}");
+        }
+    }
+
+    #[test]
+    fn ciphertext_multiplication_exact() {
+        let (ctx, mut rng) = setup();
+        let sk = ctx.generate_secret_key(&mut rng);
+        let rlk = ctx.generate_relin_key(&sk, &mut rng).unwrap();
+        let a: Vec<u64> = (0..64).map(|i| (i * 13 + 7) % 257).collect();
+        let b: Vec<u64> = (0..64).map(|i| (i * i + 1) % 257).collect();
+        let ca = ctx.encrypt(&sk, &a, &mut rng).unwrap();
+        let cb = ctx.encrypt(&sk, &b, &mut rng).unwrap();
+        let prod = ctx.mul(&ca, &cb, &rlk).unwrap();
+        assert_eq!(prod.level(), ca.level() - 1);
+        let got = ctx.decrypt(&sk, &prod).unwrap();
+        for i in 0..64 {
+            assert_eq!(got[i], a[i] * b[i] % 257, "slot {i}");
+        }
+    }
+
+    #[test]
+    fn multiplication_depth_two() {
+        let (ctx, mut rng) = setup();
+        let sk = ctx.generate_secret_key(&mut rng);
+        let rlk = ctx.generate_relin_key(&sk, &mut rng).unwrap();
+        let a: Vec<u64> = (0..64).map(|i| (i % 5) + 1).collect();
+        let ca = ctx.encrypt(&sk, &a, &mut rng).unwrap();
+        let sq = ctx.mul(&ca, &ca, &rlk).unwrap();
+        let quad = ctx.mul(&sq, &sq, &rlk).unwrap();
+        assert_eq!(quad.level(), 0);
+        let got = ctx.decrypt(&sk, &quad).unwrap();
+        for i in 0..64 {
+            let expect = a[i].pow(4) % 257;
+            assert_eq!(got[i], expect, "slot {i}");
+        }
+    }
+
+    #[test]
+    fn mod_switch_preserves_plaintext() {
+        let (ctx, mut rng) = setup();
+        let sk = ctx.generate_secret_key(&mut rng);
+        let slots: Vec<u64> = (0..64).map(|i| (i * 11) % 257).collect();
+        let mut ct = ctx.encrypt(&sk, &slots, &mut rng).unwrap();
+        while ct.level() > 0 {
+            ct = ctx.mod_switch(&ct).unwrap();
+            assert_eq!(ctx.decrypt(&sk, &ct).unwrap(), slots, "level {}", ct.level());
+        }
+        assert!(ctx.mod_switch(&ct).is_err());
+    }
+
+    #[test]
+    fn level_mismatch_rejected() {
+        let (ctx, mut rng) = setup();
+        let sk = ctx.generate_secret_key(&mut rng);
+        let a = ctx.encrypt(&sk, &[1], &mut rng).unwrap();
+        let b = ctx.mod_switch(&ctx.encrypt(&sk, &[2], &mut rng).unwrap()).unwrap();
+        assert!(ctx.add(&a, &b).is_err());
+    }
+}

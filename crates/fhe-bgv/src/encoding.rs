@@ -1,0 +1,115 @@
+//! SIMD batching over `Z_t[X]/(X^N + 1)`.
+//!
+//! With `t ≡ 1 (mod 2N)` the plaintext ring splits into `N` copies of
+//! `Z_t`; the isomorphism is exactly a negacyclic NTT modulo `t`, so the
+//! same transform machinery that powers the ciphertext arithmetic also
+//! packs and unpacks plaintext slots.
+
+use crate::BgvError;
+use fhe_math::{Modulus, NttTable};
+
+/// Packs/unpacks `N` integer slots modulo `t`.
+#[derive(Debug, Clone)]
+pub struct BgvEncoder {
+    table: NttTable,
+    t: Modulus,
+    n: usize,
+}
+
+impl BgvEncoder {
+    /// Builds the encoder (`t` must be an odd prime with `t ≡ 1 mod 2n`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates modulus/NTT-table construction failures.
+    pub fn new(t: u64, n: usize) -> Result<Self, BgvError> {
+        let t = Modulus::new(t)?;
+        let table = NttTable::new(t, n)?;
+        Ok(BgvEncoder { table, t, n })
+    }
+
+    /// Slot count (`N`).
+    #[inline]
+    pub fn slots(&self) -> usize {
+        self.n
+    }
+
+    /// The plaintext modulus.
+    #[inline]
+    pub fn t(&self) -> Modulus {
+        self.t
+    }
+
+    /// Packs up to `N` slot values (reduced mod `t`) into plaintext
+    /// coefficients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BgvError::Mismatch`] if more than `N` values are given.
+    pub fn encode(&self, slots: &[u64]) -> Result<Vec<u64>, BgvError> {
+        if slots.len() > self.n {
+            return Err(BgvError::Mismatch {
+                detail: format!("{} values exceed {} slots", slots.len(), self.n),
+            });
+        }
+        let mut vals = vec![0u64; self.n];
+        for (v, &s) in vals.iter_mut().zip(slots) {
+            *v = self.t.reduce(s);
+        }
+        // Slots are NTT-domain values; coefficients are the inverse image.
+        self.table.inverse(&mut vals);
+        Ok(vals)
+    }
+
+    /// Unpacks plaintext coefficients back into slot values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len() != N`.
+    pub fn decode(&self, coeffs: &[u64]) -> Vec<u64> {
+        assert_eq!(coeffs.len(), self.n);
+        let mut vals = coeffs.to_vec();
+        self.table.forward(&mut vals);
+        vals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let enc = BgvEncoder::new(257, 64).unwrap();
+        let slots: Vec<u64> = (0..64).map(|i| (i * 7 + 3) % 257).collect();
+        let coeffs = enc.encode(&slots).unwrap();
+        assert_eq!(enc.decode(&coeffs), slots);
+    }
+
+    #[test]
+    fn packing_is_ring_homomorphic() {
+        // Slot-wise product of packed vectors == negacyclic ring product.
+        let enc = BgvEncoder::new(257, 64).unwrap();
+        let t = enc.t();
+        let a: Vec<u64> = (0..64).map(|i| (i + 1) % 257).collect();
+        let b: Vec<u64> = (0..64).map(|i| (3 * i + 2) % 257).collect();
+        let pa = enc.encode(&a).unwrap();
+        let pb = enc.encode(&b).unwrap();
+        // Ring product via the same NTT.
+        let table = NttTable::new(t, 64).unwrap();
+        let mut fa = pa.clone();
+        let mut fb = pb.clone();
+        table.forward(&mut fa);
+        table.forward(&mut fb);
+        let mut prod: Vec<u64> = fa.iter().zip(&fb).map(|(&x, &y)| t.mul(x, y)).collect();
+        table.inverse(&mut prod);
+        let expect: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| t.mul(x, y)).collect();
+        assert_eq!(enc.decode(&prod), expect);
+    }
+
+    #[test]
+    fn overflow_rejected() {
+        let enc = BgvEncoder::new(257, 64).unwrap();
+        assert!(enc.encode(&vec![1; 65]).is_err());
+    }
+}

@@ -1,0 +1,51 @@
+//! Error type for the BGV scheme.
+
+use fhe_math::MathError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by BGV operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BgvError {
+    /// Propagated number-theory error.
+    Math(MathError),
+    /// A parameter set failed validation.
+    InvalidParams {
+        /// Human-readable reason.
+        detail: String,
+    },
+    /// Operands disagree structurally.
+    Mismatch {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// No level left to switch into.
+    LevelExhausted,
+}
+
+impl fmt::Display for BgvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BgvError::Math(e) => write!(f, "math error: {e}"),
+            BgvError::InvalidParams { detail } => write!(f, "invalid parameters: {detail}"),
+            BgvError::Mismatch { detail } => write!(f, "operand mismatch: {detail}"),
+            BgvError::LevelExhausted => write!(f, "modulus chain exhausted"),
+        }
+    }
+}
+
+impl Error for BgvError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BgvError::Math(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MathError> for BgvError {
+    fn from(e: MathError) -> Self {
+        BgvError::Math(e)
+    }
+}

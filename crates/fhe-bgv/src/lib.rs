@@ -1,0 +1,52 @@
+//! BGV: exact-integer arithmetic FHE.
+//!
+//! The Alchemist paper's framing (§1) groups the *arithmetic* schemes as
+//! "BFV, CKKS" — SIMD encrypted arithmetic over packed plaintexts. This
+//! crate implements the BGV formulation of exact-integer FHE (equivalent
+//! to BFV up to where the plaintext scaling lives), completing the
+//! arithmetic side of the cross-scheme story with a scheme whose operator
+//! graph is the *same* NTT/Bconv/DecompPolyMult mix the accelerator runs:
+//!
+//! * **batched plaintexts**: `Z_t[X]/(X^N+1)` with `t ≡ 1 (mod 2N)` splits
+//!   into `N` SIMD slots via an NTT over `Z_t` ([`BgvEncoder`]);
+//! * **plaintext-preserving chains**: every ciphertext prime satisfies
+//!   `q ≡ 1 (mod t)`, so modulus switching and `Moddown` keep the message
+//!   modulo `t` with a small centered correction and no tracked factors;
+//! * **per-prime hybrid relinearization**: one digit per RNS channel
+//!   (`α = 1`, exact single-channel `Bconv`), one special prime, the
+//!   `Modup → DecompPolyMult → Moddown` pipeline of paper Eqs. 1–3.
+//!
+//! # Example
+//!
+//! ```
+//! use fhe_bgv::{BgvContext, BgvParams};
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), fhe_bgv::BgvError> {
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+//! let ctx = BgvContext::new(BgvParams::toy()?)?;
+//! let sk = ctx.generate_secret_key(&mut rng);
+//! let rlk = ctx.generate_relin_key(&sk, &mut rng)?;
+//!
+//! let a = ctx.encrypt(&sk, &[1, 2, 3, 250], &mut rng)?;
+//! let b = ctx.encrypt(&sk, &[10, 20, 30, 40], &mut rng)?;
+//! let sum = ctx.add(&a, &b)?;
+//! assert_eq!(ctx.decrypt(&sk, &sum)?[..4], [11, 22, 33, 33]); // 250+40 mod 257
+//! let prod = ctx.mul(&a, &b, &rlk)?;
+//! assert_eq!(ctx.decrypt(&sk, &prod)?[..4], [10, 40, 90, 234]); // 10000 mod 257
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod context;
+mod encoding;
+mod error;
+mod params;
+
+pub use context::{BgvCiphertext, BgvContext, BgvRelinKey, BgvSecretKey};
+pub use encoding::BgvEncoder;
+pub use error::BgvError;
+pub use params::BgvParams;

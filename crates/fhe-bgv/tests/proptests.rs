@@ -1,0 +1,47 @@
+//! Property-based tests: BGV arithmetic is exact modulo `t` for arbitrary
+//! slot vectors.
+
+use fhe_bgv::{BgvContext, BgvParams};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn homomorphic_ring_laws(
+        a in prop::collection::vec(0u64..257, 64),
+        b in prop::collection::vec(0u64..257, 64),
+        seed in any::<u64>(),
+    ) {
+        let ctx = BgvContext::new(BgvParams::toy().unwrap()).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let sk = ctx.generate_secret_key(&mut rng);
+        let rlk = ctx.generate_relin_key(&sk, &mut rng).unwrap();
+        let ca = ctx.encrypt(&sk, &a, &mut rng).unwrap();
+        let cb = ctx.encrypt(&sk, &b, &mut rng).unwrap();
+
+        let sum = ctx.decrypt(&sk, &ctx.add(&ca, &cb).unwrap()).unwrap();
+        let prod = ctx.decrypt(&sk, &ctx.mul(&ca, &cb, &rlk).unwrap()).unwrap();
+        let pm = ctx.decrypt(&sk, &ctx.mul_plain(&ca, &b).unwrap()).unwrap();
+        for i in 0..64 {
+            prop_assert_eq!(sum[i], (a[i] + b[i]) % 257);
+            prop_assert_eq!(prod[i], a[i] * b[i] % 257);
+            prop_assert_eq!(pm[i], a[i] * b[i] % 257);
+        }
+    }
+
+    #[test]
+    fn mod_switch_is_transparent(
+        slots in prop::collection::vec(0u64..257, 64),
+        seed in any::<u64>(),
+    ) {
+        let ctx = BgvContext::new(BgvParams::toy().unwrap()).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let sk = ctx.generate_secret_key(&mut rng);
+        let ct = ctx.encrypt(&sk, &slots, &mut rng).unwrap();
+        let low = ctx.mod_switch(&ctx.mod_switch(&ct).unwrap()).unwrap();
+        prop_assert_eq!(ctx.decrypt(&sk, &low).unwrap(), slots);
+    }
+}

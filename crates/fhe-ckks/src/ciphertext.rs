@@ -1,0 +1,93 @@
+//! Plaintext and ciphertext containers.
+
+use fhe_math::RnsPoly;
+
+/// An encoded (scaled, RNS/NTT-domain) plaintext polynomial.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plaintext {
+    poly: RnsPoly,
+    level: usize,
+    scale: f64,
+}
+
+impl Plaintext {
+    /// Wraps the parts; internal constructor used by the encoder and
+    /// decryption.
+    pub(crate) fn from_parts(poly: RnsPoly, level: usize, scale: f64) -> Self {
+        debug_assert_eq!(poly.num_channels(), level + 1);
+        Plaintext { poly, level, scale }
+    }
+
+    /// The underlying RNS polynomial (channels `0..=level`).
+    #[inline]
+    pub fn poly(&self) -> &RnsPoly {
+        &self.poly
+    }
+
+    /// The modulus-chain level this plaintext is encoded at.
+    #[inline]
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// The encoding scale `Δ`.
+    #[inline]
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+/// A CKKS ciphertext `(c0, c1)` with `c0 + c1·s ≈ Δ·m`.
+///
+/// Both polynomials live on channels `0..=level` in NTT domain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ciphertext {
+    c0: RnsPoly,
+    c1: RnsPoly,
+    level: usize,
+    scale: f64,
+}
+
+impl Ciphertext {
+    /// Wraps the parts; internal constructor used by encryption and the
+    /// evaluator.
+    pub(crate) fn from_parts(c0: RnsPoly, c1: RnsPoly, level: usize, scale: f64) -> Self {
+        debug_assert_eq!(c0.num_channels(), level + 1);
+        debug_assert_eq!(c1.num_channels(), level + 1);
+        Ciphertext { c0, c1, level, scale }
+    }
+
+    /// First component.
+    #[inline]
+    pub fn c0(&self) -> &RnsPoly {
+        &self.c0
+    }
+
+    /// Second component.
+    #[inline]
+    pub fn c1(&self) -> &RnsPoly {
+        &self.c1
+    }
+
+    /// Current modulus-chain level.
+    #[inline]
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// Current scale.
+    #[inline]
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Overrides the tracked scale.
+    ///
+    /// Expert use: constant multiplications and bootstrapping reinterpret
+    /// the scale instead of touching ciphertext data; a wrong value here
+    /// silently corrupts decoded magnitudes.
+    pub fn set_scale(&mut self, scale: f64) {
+        debug_assert!(scale > 0.0, "scale must be positive");
+        self.scale = scale;
+    }
+}

@@ -1,0 +1,494 @@
+//! Canonical-embedding encoding: complex slot vectors ↔ ring plaintexts.
+//!
+//! A real polynomial `m ∈ Z[X]/(X^N + 1)` evaluated at the primitive
+//! `2N`-th roots `ζ^{5^j}` yields `N/2` independent complex slots; the other
+//! `N/2` evaluations are conjugates. Slot index `j` maps to the root
+//! `ζ^{5^j mod 2N}`, so the Galois automorphism `X ↦ X^5` rotates slots by
+//! one — the property CKKS rotations (and the paper's `Rotation` benchmark
+//! row) are built on.
+//!
+//! The transforms run in `O(N log N)`: the canonical embedding of
+//! `Z[X]/(X^N+1)` is the restriction of a length-`2N` DFT of the
+//! zero-padded coefficient vector to the odd indices, so decoding is one
+//! forward FFT plus a gather at indices `5^j mod 2N`, and encoding is the
+//! conjugate-symmetric scatter followed by one inverse FFT. A direct
+//! `O(N·slots)` evaluation is kept as [`Encoder::encode_direct_at`] /
+//! [`Encoder::decode_direct`] and the FFT paths are tested against it.
+
+use crate::ciphertext::Plaintext;
+use crate::{CkksContext, CkksError};
+use fhe_math::{Domain, RnsPoly};
+
+/// A complex number with `f64` parts (minimal, purpose-built — no external
+/// dependency).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// Creates a complex number.
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex64 { re, im }
+    }
+
+    /// `e^{iθ}`.
+    pub fn from_angle(theta: f64) -> Self {
+        Complex64 { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex64 { re: self.re, im: -self.im }
+    }
+
+    /// Complex product.
+    pub fn mul(self, other: Self) -> Self {
+        Complex64 {
+            re: self.re * other.re - self.im * other.im,
+            im: self.re * other.im + self.im * other.re,
+        }
+    }
+
+    /// Complex sum.
+    pub fn add(self, other: Self) -> Self {
+        Complex64 { re: self.re + other.re, im: self.im + other.im }
+    }
+
+    /// Modulus (absolute value).
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+}
+
+/// Encoder/decoder for a fixed context.
+///
+/// See the crate-level example.
+#[derive(Debug)]
+pub struct Encoder<'a> {
+    ctx: &'a CkksContext,
+    /// ζ^t for t in 0..2N.
+    root_powers: Vec<Complex64>,
+    /// 5^j mod 2N for j in 0..N/2.
+    rot_group: Vec<usize>,
+}
+
+impl<'a> Encoder<'a> {
+    /// Builds encoder tables (`O(N)` trigonometry).
+    pub fn new(ctx: &'a CkksContext) -> Self {
+        let n = ctx.n();
+        let two_n = 2 * n;
+        let root_powers = (0..two_n)
+            .map(|t| Complex64::from_angle(std::f64::consts::PI * t as f64 / n as f64))
+            .collect();
+        let mut rot_group = Vec::with_capacity(n / 2);
+        let mut g = 1usize;
+        for _ in 0..n / 2 {
+            rot_group.push(g);
+            g = (g * 5) % two_n;
+        }
+        Encoder { ctx, root_powers, rot_group }
+    }
+
+    /// Number of slots (`N/2`).
+    #[inline]
+    pub fn slots(&self) -> usize {
+        self.ctx.n() / 2
+    }
+
+    /// Encodes real values at the top level with the default scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::TooManySlots`] if more than `N/2` values are
+    /// given.
+    pub fn encode(&self, values: &[f64]) -> Result<Plaintext, CkksError> {
+        self.encode_at(values, self.ctx.q_len() - 1, self.ctx.params().scale())
+    }
+
+    /// Encodes real values at a chosen level and scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::TooManySlots`] on overflow or
+    /// [`CkksError::Mismatch`] for an out-of-range level.
+    pub fn encode_at(
+        &self,
+        values: &[f64],
+        level: usize,
+        scale: f64,
+    ) -> Result<Plaintext, CkksError> {
+        let complex: Vec<Complex64> =
+            values.iter().map(|&v| Complex64::new(v, 0.0)).collect();
+        self.encode_complex_at(&complex, level, scale)
+    }
+
+    /// Encodes complex values at a chosen level and scale.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Encoder::encode_at`].
+    pub fn encode_complex_at(
+        &self,
+        values: &[Complex64],
+        level: usize,
+        scale: f64,
+    ) -> Result<Plaintext, CkksError> {
+        let slots = self.slots();
+        if values.len() > slots {
+            return Err(CkksError::TooManySlots { provided: values.len(), available: slots });
+        }
+        if level >= self.ctx.q_len() {
+            return Err(CkksError::Mismatch { detail: format!("level {level} out of range") });
+        }
+        let n = self.ctx.n();
+        let two_n = 2 * n;
+        // Scatter z_j to the odd spectrum with conjugate symmetry, then one
+        // inverse length-2N FFT recovers the (real) coefficients.
+        let mut spectrum = vec![Complex64::default(); two_n];
+        for (j, &z) in values.iter().enumerate() {
+            let k = self.rot_group[j];
+            spectrum[k] = z;
+            spectrum[two_n - k] = z.conj();
+        }
+        self.fft(&mut spectrum, true);
+        // IFFT includes 1/2N; the embedding wants coefficients m_i =
+        // (2/N)·Re(Σ_j ...) = 2·(2/2N)·..., hence the factor 2.
+        let mut coeffs = vec![0i64; n];
+        for (i, c) in coeffs.iter_mut().enumerate() {
+            *c = (spectrum[i].re * 2.0 * scale).round() as i64;
+        }
+        let mut poly = RnsPoly::from_signed(&coeffs, n, self.ctx.level_moduli(level));
+        poly.to_ntt(self.ctx.level_tables(level));
+        Ok(Plaintext::from_parts(poly, level, scale))
+    }
+
+    /// Decodes a plaintext into real slot values (imaginary parts are
+    /// discarded; use [`Encoder::decode_complex`] to keep them).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Encoder::decode_complex`] errors.
+    pub fn decode(&self, pt: &Plaintext) -> Result<Vec<f64>, CkksError> {
+        Ok(self.decode_complex(pt)?.into_iter().map(|z| z.re).collect())
+    }
+
+    /// Decodes a plaintext into complex slot values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::Mismatch`] if the plaintext structure is
+    /// inconsistent with this context.
+    pub fn decode_complex(&self, pt: &Plaintext) -> Result<Vec<Complex64>, CkksError> {
+        let n = self.ctx.n();
+        let two_n = 2 * n;
+        let level = pt.level();
+        let mut poly = pt.poly().clone();
+        if poly.num_channels() != level + 1 {
+            return Err(CkksError::Mismatch {
+                detail: "plaintext channels disagree with its level".into(),
+            });
+        }
+        if poly.domain() == Domain::Ntt {
+            poly.to_coeff(self.ctx.level_tables(level));
+        }
+        // Centered coefficients as f64 (CRT when level > 0), zero-padded to
+        // 2N; one forward FFT evaluates at every 2N-th root, and the slots
+        // are the gather at indices 5^j.
+        let mut spectrum = vec![Complex64::default(); two_n];
+        for (i, slot) in spectrum.iter_mut().take(n).enumerate() {
+            slot.re = self.ctx.centered_coefficient(&poly, level, i);
+        }
+        self.fft(&mut spectrum, false);
+        let slots = self.slots();
+        let mut out = Vec::with_capacity(slots);
+        for j in 0..slots {
+            let z = spectrum[self.rot_group[j]];
+            out.push(Complex64::new(z.re / pt.scale(), z.im / pt.scale()));
+        }
+        Ok(out)
+    }
+
+    /// Direct `O(N·slots)` encoding — the reference the FFT path is tested
+    /// against.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Encoder::encode_complex_at`].
+    pub fn encode_direct_at(
+        &self,
+        values: &[Complex64],
+        level: usize,
+        scale: f64,
+    ) -> Result<Plaintext, CkksError> {
+        let slots = self.slots();
+        if values.len() > slots {
+            return Err(CkksError::TooManySlots { provided: values.len(), available: slots });
+        }
+        if level >= self.ctx.q_len() {
+            return Err(CkksError::Mismatch { detail: format!("level {level} out of range") });
+        }
+        let n = self.ctx.n();
+        let two_n = 2 * n;
+        let mut coeffs = vec![0i64; n];
+        for (i, c) in coeffs.iter_mut().enumerate() {
+            let mut acc = Complex64::default();
+            for (j, &z) in values.iter().enumerate() {
+                let e = (i * self.rot_group[j]) % two_n;
+                acc = acc.add(z.mul(self.root_powers[e].conj()));
+            }
+            *c = (acc.re * 2.0 / n as f64 * scale).round() as i64;
+        }
+        let mut poly = RnsPoly::from_signed(&coeffs, n, self.ctx.level_moduli(level));
+        poly.to_ntt(self.ctx.level_tables(level));
+        Ok(Plaintext::from_parts(poly, level, scale))
+    }
+
+    /// Direct `O(N·slots)` decoding — the reference the FFT path is tested
+    /// against.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Encoder::decode_complex`].
+    pub fn decode_direct(&self, pt: &Plaintext) -> Result<Vec<Complex64>, CkksError> {
+        let n = self.ctx.n();
+        let two_n = 2 * n;
+        let level = pt.level();
+        let mut poly = pt.poly().clone();
+        if poly.domain() == Domain::Ntt {
+            poly.to_coeff(self.ctx.level_tables(level));
+        }
+        let coeffs: Vec<f64> =
+            (0..n).map(|i| self.ctx.centered_coefficient(&poly, level, i)).collect();
+        let mut out = Vec::with_capacity(self.slots());
+        for j in 0..self.slots() {
+            let mut acc = Complex64::default();
+            for (i, &c) in coeffs.iter().enumerate() {
+                let e = (i * self.rot_group[j]) % two_n;
+                acc = acc.add(self.root_powers[e].mul(Complex64::new(c, 0.0)));
+            }
+            out.push(Complex64::new(acc.re / pt.scale(), acc.im / pt.scale()));
+        }
+        Ok(out)
+    }
+
+    /// Iterative radix-2 complex FFT of length `2N` over the precomputed
+    /// root table (`inverse` includes the `1/2N` normalization).
+    fn fft(&self, data: &mut [Complex64], inverse: bool) {
+        let len = data.len();
+        debug_assert!(len.is_power_of_two());
+        let bits = len.trailing_zeros();
+        // Bit-reversal permutation.
+        for i in 0..len {
+            let j = (i as u64).reverse_bits() as usize >> (64 - bits);
+            if j > i {
+                data.swap(i, j);
+            }
+        }
+        let mut half = 1usize;
+        while half < len {
+            let step = len / (2 * half);
+            for start in (0..len).step_by(2 * half) {
+                for k in 0..half {
+                    // Root e^{±2πi·k·step/2N}: the table holds e^{iπt/N} =
+                    // e^{2πit/2N}.
+                    let idx = (k * step) % len;
+                    let w = if inverse {
+                        self.root_powers[idx].conj()
+                    } else {
+                        self.root_powers[idx]
+                    };
+                    let u = data[start + k];
+                    let v = data[start + k + half].mul(w);
+                    data[start + k] = u.add(v);
+                    data[start + k + half] = Complex64::new(u.re - v.re, u.im - v.im);
+                }
+            }
+            half *= 2;
+        }
+        if inverse {
+            let inv = 1.0 / len as f64;
+            for z in data.iter_mut() {
+                z.re *= inv;
+                z.im *= inv;
+            }
+        }
+    }
+
+    /// Encodes a single constant replicated across all slots — cheaper than
+    /// the general path (constant polynomial).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::Mismatch`] for an out-of-range level.
+    pub fn encode_constant_at(
+        &self,
+        value: f64,
+        level: usize,
+        scale: f64,
+    ) -> Result<Plaintext, CkksError> {
+        if level >= self.ctx.q_len() {
+            return Err(CkksError::Mismatch { detail: format!("level {level} out of range") });
+        }
+        let n = self.ctx.n();
+        let w = value * scale;
+        let poly = if w.abs() < 9.0e18 {
+            RnsPoly::from_signed(&[w.round() as i64], n, self.ctx.level_moduli(level))
+        } else {
+            // Large scaled constants (bootstrap polynomial coefficients)
+            // exceed i64; split |w| = hi·2^62 + lo and reduce per channel.
+            let sign = w < 0.0;
+            let a = w.abs();
+            let hi = (a / 4.611686018427388e18).floor(); // 2^62
+            let lo = a - hi * 4.611686018427388e18;
+            let channels = self
+                .ctx
+                .level_moduli(level)
+                .iter()
+                .map(|&m| {
+                    let two62 = m.reduce_u128(1u128 << 62);
+                    let r = m.mul_add(m.reduce(hi as u64), two62, m.reduce(lo as u64));
+                    let r = if sign { m.neg(r) } else { r };
+                    let mut vals = vec![0u64; n];
+                    vals[0] = r;
+                    fhe_math::Poly::from_coeffs(vals, m).expect("canonical")
+                })
+                .collect::<Vec<_>>();
+            RnsPoly::from_channels(channels).expect("uniform channels")
+        };
+        let mut poly = poly;
+        poly.to_ntt(self.ctx.level_tables(level));
+        Ok(Plaintext::from_parts(poly, level, scale))
+    }
+}
+
+/// Reference slot rotation used by tests: `rotate(v, 1)` maps slot `j+1`
+/// into slot `j` (matching the `X ↦ X^5` automorphism direction).
+pub fn rotate_slots_reference(values: &[f64], by: usize) -> Vec<f64> {
+    let len = values.len();
+    (0..len).map(|j| values[(j + by) % len]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CkksParams;
+
+    fn ctx() -> CkksContext {
+        CkksContext::new(CkksParams::toy().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let c = ctx();
+        let enc = Encoder::new(&c);
+        let values = vec![0.5, -1.25, 3.0, 0.0, 2.625, -3.5];
+        let pt = enc.encode(&values).unwrap();
+        let back = enc.decode(&pt).unwrap();
+        for (i, &v) in values.iter().enumerate() {
+            assert!((back[i] - v).abs() < 1e-6, "slot {i}: {} vs {v}", back[i]);
+        }
+        // Unfilled slots decode to ~0.
+        assert!(back[values.len()..].iter().all(|&v| v.abs() < 1e-6));
+    }
+
+    #[test]
+    fn complex_round_trip() {
+        let c = ctx();
+        let enc = Encoder::new(&c);
+        let values = vec![Complex64::new(1.0, -2.0), Complex64::new(-0.5, 0.25)];
+        let pt = enc.encode_complex_at(&values, c.q_len() - 1, c.params().scale()).unwrap();
+        let back = enc.decode_complex(&pt).unwrap();
+        for (i, v) in values.iter().enumerate() {
+            assert!((back[i].re - v.re).abs() < 1e-6);
+            assert!((back[i].im - v.im).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn automorphism_five_rotates_slots() {
+        let c = ctx();
+        let enc = Encoder::new(&c);
+        let slots = enc.slots();
+        let values: Vec<f64> = (0..slots).map(|j| j as f64 - 3.0).collect();
+        let pt = enc.encode(&values).unwrap();
+        let mut poly = pt.poly().clone();
+        poly.to_coeff(c.level_tables(pt.level()));
+        let rotated = poly.automorphism(5).unwrap();
+        let pt_rot = Plaintext::from_parts(rotated, pt.level(), pt.scale());
+        let back = enc.decode(&pt_rot).unwrap();
+        let expected = rotate_slots_reference(&values, 1);
+        for j in 0..slots {
+            assert!((back[j] - expected[j]).abs() < 1e-6, "slot {j}");
+        }
+    }
+
+    #[test]
+    fn conjugation_automorphism() {
+        let c = ctx();
+        let enc = Encoder::new(&c);
+        let values = vec![Complex64::new(0.5, 1.5)];
+        let pt = enc.encode_complex_at(&values, c.q_len() - 1, c.params().scale()).unwrap();
+        let mut poly = pt.poly().clone();
+        poly.to_coeff(c.level_tables(pt.level()));
+        let conj = poly.automorphism(2 * c.n() - 1).unwrap();
+        let back = enc
+            .decode_complex(&Plaintext::from_parts(conj, pt.level(), pt.scale()))
+            .unwrap();
+        assert!((back[0].re - 0.5).abs() < 1e-6);
+        assert!((back[0].im + 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn constant_encoding() {
+        let c = ctx();
+        let enc = Encoder::new(&c);
+        let pt = enc.encode_constant_at(2.5, 1, c.params().scale()).unwrap();
+        let back = enc.decode(&pt).unwrap();
+        assert!(back.iter().all(|&v| (v - 2.5).abs() < 1e-6));
+    }
+
+    #[test]
+    fn fft_paths_match_direct_reference() {
+        let c = ctx();
+        let enc = Encoder::new(&c);
+        let slots = enc.slots();
+        let values: Vec<Complex64> = (0..slots)
+            .map(|j| Complex64::new((j as f64 * 0.37).sin() * 3.0, (j as f64 * 0.11).cos()))
+            .collect();
+        let level = c.q_len() - 1;
+        let scale = c.params().scale();
+        let via_fft = enc.encode_complex_at(&values, level, scale).unwrap();
+        let via_direct = enc.encode_direct_at(&values, level, scale).unwrap();
+        // Coefficients may differ by ±1 integer unit from f64 rounding.
+        let mut a = via_fft.poly().clone();
+        let mut b = via_direct.poly().clone();
+        a.to_coeff(c.level_tables(level));
+        b.to_coeff(c.level_tables(level));
+        let m = c.rns().moduli()[0];
+        for i in 0..c.n() {
+            let d = (m.to_centered(a.channel(0).coeffs()[i])
+                - m.to_centered(b.channel(0).coeffs()[i]))
+            .abs();
+            assert!(d <= 1, "coeff {i} differs by {d}");
+        }
+        // Decode paths agree to floating precision.
+        let d_fft = enc.decode_complex(&via_direct).unwrap();
+        let d_direct = enc.decode_direct(&via_direct).unwrap();
+        for j in 0..slots {
+            assert!((d_fft[j].re - d_direct[j].re).abs() < 1e-7);
+            assert!((d_fft[j].im - d_direct[j].im).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn slot_overflow_rejected() {
+        let c = ctx();
+        let enc = Encoder::new(&c);
+        let too_many = vec![1.0; enc.slots() + 1];
+        assert!(matches!(enc.encode(&too_many), Err(CkksError::TooManySlots { .. })));
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type for the CKKS scheme.
+
+use std::error::Error;
+use std::fmt;
+
+use fhe_math::MathError;
+
+/// Errors produced by CKKS operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CkksError {
+    /// Propagated number-theory error (prime generation, NTT, RNS, ...).
+    Math(MathError),
+    /// A parameter set failed validation.
+    InvalidParams {
+        /// Human-readable reason.
+        detail: String,
+    },
+    /// Operands disagree on level, scale, or ring.
+    Mismatch {
+        /// Human-readable description of the disagreement.
+        detail: String,
+    },
+    /// An operation would drop below level 0 (no moduli left to rescale
+    /// into or multiply at).
+    LevelExhausted,
+    /// Too many values for the available slots.
+    TooManySlots {
+        /// Values supplied.
+        provided: usize,
+        /// Slots available (`N/2`).
+        available: usize,
+    },
+    /// A required key is missing (e.g. rotation key for an unkeyed step).
+    MissingKey {
+        /// Which key was needed.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CkksError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkksError::Math(e) => write!(f, "math error: {e}"),
+            CkksError::InvalidParams { detail } => write!(f, "invalid parameters: {detail}"),
+            CkksError::Mismatch { detail } => write!(f, "operand mismatch: {detail}"),
+            CkksError::LevelExhausted => write!(f, "modulus chain exhausted"),
+            CkksError::TooManySlots { provided, available } => {
+                write!(f, "{provided} values exceed the {available} available slots")
+            }
+            CkksError::MissingKey { detail } => write!(f, "missing key: {detail}"),
+        }
+    }
+}
+
+impl Error for CkksError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CkksError::Math(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MathError> for CkksError {
+    fn from(e: MathError) -> Self {
+        CkksError::Math(e)
+    }
+}

@@ -1,0 +1,537 @@
+//! Key material: secret/public keys, hybrid key-switching keys, Galois keys.
+//!
+//! Hybrid key switching (Han–Ki, the scheme SHARP/ARK and the paper use)
+//! splits the chain into `dnum` digits `D_i` with products `Q_i`. The
+//! switching key for a target secret `t` is, per digit,
+//!
+//! ```text
+//! ksk_i = ( -a_i·s + e_i + P·T_i·t ,  a_i )   over the full Q·P basis,
+//! T_i = (Q/Q_i) · [(Q/Q_i)^{-1} mod Q_i]      (≡ 1 mod Q_i, ≡ 0 mod Q_j)
+//! ```
+//!
+//! The `T_i` factor is computed exactly with [`fhe_math::UBig`] CRT
+//! reconstruction at key-generation time; at runtime only word-sized
+//! residues are touched (the accelerator never sees a big integer).
+
+use std::collections::HashMap;
+
+use crate::ciphertext::{Ciphertext, Plaintext};
+use crate::{CkksContext, CkksError};
+use fhe_math::{sample_gaussian, sample_ternary, Domain, Modulus, Poly, RnsPoly, UBig};
+use rand::Rng;
+
+/// CRT-reconstructs a value from residues over the given moduli.
+fn crt_reconstruct(residues: &[u64], moduli: &[Modulus]) -> UBig {
+    let q = UBig::product_of(moduli.iter().map(|m| m.value()));
+    let mut acc = UBig::zero();
+    for (i, &m) in moduli.iter().enumerate() {
+        let (qhat, rem) = q.divrem_u64(m.value());
+        debug_assert_eq!(rem, 0);
+        let qhat_mod = qhat.rem_u64(m.value());
+        let inv = m.inv(qhat_mod).expect("prime moduli are invertible");
+        acc = acc.add(&qhat.mul_u64(m.mul(residues[i], inv)));
+    }
+    acc.rem_big(&q)
+}
+
+/// Samples a uniform RNS polynomial directly in NTT domain.
+fn sample_uniform_ntt<R: Rng + ?Sized>(
+    ctx: &CkksContext,
+    channels: &[usize],
+    rng: &mut R,
+) -> Vec<Poly> {
+    channels
+        .iter()
+        .map(|&c| {
+            let m = ctx.rns().moduli()[c];
+            let vals = fhe_math::sample_uniform(m.value(), ctx.n(), rng);
+            Poly::from_ntt(vals, m).expect("uniform residues are canonical")
+        })
+        .collect()
+}
+
+/// Lifts signed coefficients onto the given channels and converts to NTT.
+fn lift_signed_ntt(ctx: &CkksContext, coeffs: &[i64], channels: &[usize]) -> Vec<Poly> {
+    channels
+        .iter()
+        .map(|&c| {
+            let m = ctx.rns().moduli()[c];
+            let mut vals = vec![0u64; ctx.n()];
+            for (i, &x) in coeffs.iter().enumerate() {
+                vals[i] = m.from_i64(x);
+            }
+            let mut p = Poly::from_coeffs(vals, m).expect("canonical");
+            p.to_ntt(ctx.table(c));
+            p
+        })
+        .collect()
+}
+
+/// The ternary secret key.
+#[derive(Debug, Clone)]
+pub struct SecretKey {
+    /// Ternary coefficients (needed to derive automorphism keys).
+    s_coeffs: Vec<i64>,
+    /// `s` over the full `Q ∪ P` basis, NTT domain.
+    s_full: Vec<Poly>,
+    q_len: usize,
+    scale: f64,
+}
+
+impl SecretKey {
+    /// Samples a fresh ternary secret.
+    pub fn generate<R: Rng + ?Sized>(ctx: &CkksContext, rng: &mut R) -> Self {
+        let s_coeffs = sample_ternary(ctx.n(), rng);
+        let all: Vec<usize> = (0..ctx.rns().moduli().len()).collect();
+        let s_full = lift_signed_ntt(ctx, &s_coeffs, &all);
+        SecretKey { s_coeffs, s_full, q_len: ctx.q_len(), scale: ctx.params().scale() }
+    }
+
+    /// The secret's ternary coefficients (testing/keygen use).
+    #[doc(hidden)]
+    pub fn coefficients(&self) -> &[i64] {
+        &self.s_coeffs
+    }
+
+    /// `s` on global channel `c`, NTT domain.
+    pub(crate) fn s_channel(&self, c: usize) -> &Poly {
+        &self.s_full[c]
+    }
+
+    /// Symmetric encryption of a plaintext at the plaintext's level.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::Mismatch`] if the plaintext is not NTT-domain
+    /// over its level channels.
+    pub fn encrypt<R: Rng + ?Sized>(
+        &self,
+        ctx: &CkksContext,
+        pt: &Plaintext,
+        rng: &mut R,
+    ) -> Result<Ciphertext, CkksError> {
+        if pt.poly().domain() != Domain::Ntt {
+            return Err(CkksError::Mismatch { detail: "plaintext must be NTT-domain".into() });
+        }
+        let level = pt.level();
+        let channels: Vec<usize> = (0..=level).collect();
+        let c1_channels = sample_uniform_ntt(ctx, &channels, rng);
+        let noise = sample_gaussian(ctx.params().sigma(), ctx.n(), rng);
+        let e_channels = lift_signed_ntt(ctx, &noise, &channels);
+        let mut c0_channels = Vec::with_capacity(level + 1);
+        for c in 0..=level {
+            let m = ctx.rns().moduli()[c];
+            let s = &self.s_full[c];
+            // c0 = -c1*s + e + m, all point-wise in NTT domain.
+            let vals: Vec<u64> = c1_channels[c]
+                .coeffs()
+                .iter()
+                .zip(s.coeffs())
+                .zip(e_channels[c].coeffs())
+                .zip(pt.poly().channel(c).coeffs())
+                .map(|(((&a, &sv), &e), &mv)| m.add(m.add(m.neg(m.mul(a, sv)), e), mv))
+                .collect();
+            c0_channels.push(Poly::from_ntt(vals, m)?);
+        }
+        Ok(Ciphertext::from_parts(
+            RnsPoly::from_channels(c0_channels)?,
+            RnsPoly::from_channels(c1_channels)?,
+            level,
+            pt.scale(),
+        ))
+    }
+
+    /// Decrypts a ciphertext: `m = c0 + c1·s` over the ciphertext's level
+    /// channels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::Mismatch`] on structural inconsistency.
+    pub fn decrypt(&self, ct: &Ciphertext) -> Result<Plaintext, CkksError> {
+        let level = ct.level();
+        let mut channels = Vec::with_capacity(level + 1);
+        for c in 0..=level {
+            let m = ct.c0().channel(c).modulus();
+            let s = &self.s_full[c];
+            let prod_vals: Vec<u64> = ct
+                .c1()
+                .channel(c)
+                .coeffs()
+                .iter()
+                .zip(s.coeffs())
+                .map(|(&x, &y)| m.mul(x, y))
+                .collect();
+            let prod = Poly::from_ntt(prod_vals, m)?;
+            channels.push(ct.c0().channel(c).add(&prod)?);
+        }
+        Ok(Plaintext::from_parts(RnsPoly::from_channels(channels)?, level, ct.scale()))
+    }
+
+    /// Default scale of this key's context.
+    #[inline]
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Number of ciphertext primes in this key's context.
+    #[inline]
+    pub fn q_len(&self) -> usize {
+        self.q_len
+    }
+}
+
+/// A public encryption key `(b, a) = (-a·s + e, a)` over the full Q chain.
+#[derive(Debug, Clone)]
+pub struct PublicKey {
+    b: RnsPoly,
+    a: RnsPoly,
+}
+
+impl PublicKey {
+    /// Derives a public key from the secret.
+    pub fn generate<R: Rng + ?Sized>(
+        ctx: &CkksContext,
+        sk: &SecretKey,
+        rng: &mut R,
+    ) -> Result<Self, CkksError> {
+        let q_channels: Vec<usize> = (0..ctx.q_len()).collect();
+        let a_channels = sample_uniform_ntt(ctx, &q_channels, rng);
+        let noise = sample_gaussian(ctx.params().sigma(), ctx.n(), rng);
+        let e_channels = lift_signed_ntt(ctx, &noise, &q_channels);
+        let mut b_channels = Vec::with_capacity(q_channels.len());
+        for (i, &c) in q_channels.iter().enumerate() {
+            let m = ctx.rns().moduli()[c];
+            let s = sk.s_channel(c);
+            let vals: Vec<u64> = a_channels[i]
+                .coeffs()
+                .iter()
+                .zip(s.coeffs())
+                .zip(e_channels[i].coeffs())
+                .map(|((&a, &sv), &e)| m.add(m.neg(m.mul(a, sv)), e))
+                .collect();
+            b_channels.push(Poly::from_ntt(vals, m)?);
+        }
+        Ok(PublicKey {
+            b: RnsPoly::from_channels(b_channels)?,
+            a: RnsPoly::from_channels(a_channels)?,
+        })
+    }
+
+    /// Public-key encryption at the plaintext's level.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::Mismatch`] on structural inconsistency.
+    pub fn encrypt<R: Rng + ?Sized>(
+        &self,
+        ctx: &CkksContext,
+        pt: &Plaintext,
+        rng: &mut R,
+    ) -> Result<Ciphertext, CkksError> {
+        let level = pt.level();
+        let u = sample_ternary(ctx.n(), rng);
+        let channels: Vec<usize> = (0..=level).collect();
+        let u_ntt = lift_signed_ntt(ctx, &u, &channels);
+        let e0 = lift_signed_ntt(ctx, &sample_gaussian(ctx.params().sigma(), ctx.n(), rng), &channels);
+        let e1 = lift_signed_ntt(ctx, &sample_gaussian(ctx.params().sigma(), ctx.n(), rng), &channels);
+        let mut c0 = Vec::with_capacity(level + 1);
+        let mut c1 = Vec::with_capacity(level + 1);
+        for c in 0..=level {
+            let m = ctx.rns().moduli()[c];
+            let b = self.b.channel(c);
+            let a = self.a.channel(c);
+            let c0_vals: Vec<u64> = b
+                .coeffs()
+                .iter()
+                .zip(u_ntt[c].coeffs())
+                .zip(e0[c].coeffs())
+                .zip(pt.poly().channel(c).coeffs())
+                .map(|(((&bv, &uv), &ev), &mv)| m.add(m.add(m.mul(bv, uv), ev), mv))
+                .collect();
+            let c1_vals: Vec<u64> = a
+                .coeffs()
+                .iter()
+                .zip(u_ntt[c].coeffs())
+                .zip(e1[c].coeffs())
+                .map(|((&av, &uv), &ev)| m.add(m.mul(av, uv), ev))
+                .collect();
+            c0.push(Poly::from_ntt(c0_vals, m)?);
+            c1.push(Poly::from_ntt(c1_vals, m)?);
+        }
+        Ok(Ciphertext::from_parts(
+            RnsPoly::from_channels(c0)?,
+            RnsPoly::from_channels(c1)?,
+            level,
+            pt.scale(),
+        ))
+    }
+}
+
+/// A hybrid key-switching key: one `(b_i, a_i)` pair per digit over the
+/// full `Q ∪ P` basis, NTT domain.
+#[derive(Debug, Clone)]
+pub struct SwitchKey {
+    digit_keys: Vec<(RnsPoly, RnsPoly)>,
+}
+
+impl SwitchKey {
+    /// Generates a switching key from target secret `t` (given as NTT-domain
+    /// channels over the full basis) to `s`.
+    pub(crate) fn generate<R: Rng + ?Sized>(
+        ctx: &CkksContext,
+        sk: &SecretKey,
+        target: &[Poly],
+        rng: &mut R,
+    ) -> Result<Self, CkksError> {
+        let all: Vec<usize> = (0..ctx.rns().moduli().len()).collect();
+        let q_moduli = ctx.q_moduli().to_vec();
+        let p_product = ctx.p_product();
+        let mut digit_keys = Vec::with_capacity(ctx.digits().len());
+        for digit in ctx.digits() {
+            // Q̂_i = Q / Q_i (product over Q channels outside the digit).
+            let qhat = UBig::product_of(
+                (0..ctx.q_len()).filter(|c| !digit.contains(c)).map(|c| q_moduli[c].value()),
+            );
+            // v = Q̂_i^{-1} mod Q_i via CRT over the digit moduli.
+            let digit_moduli: Vec<Modulus> = digit.iter().map(|&c| q_moduli[c]).collect();
+            let residues: Vec<u64> = digit_moduli
+                .iter()
+                .map(|m| {
+                    m.inv(qhat.rem_u64(m.value()))
+                        .expect("Q̂_i coprime to digit moduli")
+                })
+                .collect();
+            let v = crt_reconstruct(&residues, &digit_moduli);
+
+            let a_channels = sample_uniform_ntt(ctx, &all, rng);
+            let noise = sample_gaussian(ctx.params().sigma(), ctx.n(), rng);
+            let e_channels = lift_signed_ntt(ctx, &noise, &all);
+
+            let mut b_channels = Vec::with_capacity(all.len());
+            for (pos, &c) in all.iter().enumerate() {
+                let m = ctx.rns().moduli()[c];
+                // f = P · Q̂_i · v  mod m.
+                let f = m.mul(
+                    m.mul(p_product.rem_u64(m.value()), qhat.rem_u64(m.value())),
+                    v.rem_u64(m.value()),
+                );
+                let s = sk.s_channel(c);
+                let t = &target[c];
+                let vals: Vec<u64> = a_channels[pos]
+                    .coeffs()
+                    .iter()
+                    .zip(s.coeffs())
+                    .zip(e_channels[pos].coeffs())
+                    .zip(t.coeffs())
+                    .map(|(((&a, &sv), &e), &tv)| {
+                        m.add(m.add(m.neg(m.mul(a, sv)), e), m.mul(f, tv))
+                    })
+                    .collect();
+                b_channels.push(Poly::from_ntt(vals, m)?);
+            }
+            digit_keys.push((
+                RnsPoly::from_channels(b_channels)?,
+                RnsPoly::from_channels(a_channels)?,
+            ));
+        }
+        Ok(SwitchKey { digit_keys })
+    }
+
+    /// The per-digit `(b_i, a_i)` pairs over the full basis.
+    #[inline]
+    pub fn digit_keys(&self) -> &[(RnsPoly, RnsPoly)] {
+        &self.digit_keys
+    }
+}
+
+/// The relinearization key (switching key for `s²`).
+#[derive(Debug, Clone)]
+pub struct RelinKey(pub(crate) SwitchKey);
+
+impl RelinKey {
+    /// Generates the relinearization key.
+    ///
+    /// # Errors
+    ///
+    /// Propagates key-generation failures.
+    pub fn generate<R: Rng + ?Sized>(
+        ctx: &CkksContext,
+        sk: &SecretKey,
+        rng: &mut R,
+    ) -> Result<Self, CkksError> {
+        // target = s² channel-wise (NTT domain makes this point-wise).
+        let all = 0..ctx.rns().moduli().len();
+        let target: Vec<Poly> = all
+            .map(|c| {
+                let m = ctx.rns().moduli()[c];
+                let s = sk.s_channel(c);
+                let vals: Vec<u64> =
+                    s.coeffs().iter().map(|&x| m.mul(x, x)).collect();
+                Poly::from_ntt(vals, m).expect("canonical")
+            })
+            .collect();
+        Ok(RelinKey(SwitchKey::generate(ctx, sk, &target, rng)?))
+    }
+
+    /// The underlying switching key.
+    #[inline]
+    pub fn switch_key(&self) -> &SwitchKey {
+        &self.0
+    }
+}
+
+/// Galois element for a left slot rotation by `r` (possibly negative) in a
+/// ring of degree `n`: `5^r mod 2N`.
+pub fn galois_element(n: usize, r: isize) -> usize {
+    let slots = n / 2;
+    let r = r.rem_euclid(slots as isize) as usize;
+    let two_n = 2 * n;
+    let mut g = 1usize;
+    for _ in 0..r {
+        g = (g * 5) % two_n;
+    }
+    g
+}
+
+/// Galois element for complex conjugation: `2N − 1`.
+pub fn conjugation_element(n: usize) -> usize {
+    2 * n - 1
+}
+
+/// A set of Galois keys indexed by Galois element.
+#[derive(Debug, Clone, Default)]
+pub struct GaloisKeys {
+    keys: HashMap<usize, SwitchKey>,
+    n: usize,
+}
+
+impl GaloisKeys {
+    /// Generates keys for the given rotations (and optionally conjugation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates key-generation failures.
+    pub fn generate<R: Rng + ?Sized>(
+        ctx: &CkksContext,
+        sk: &SecretKey,
+        rotations: &[isize],
+        conjugation: bool,
+        rng: &mut R,
+    ) -> Result<Self, CkksError> {
+        let mut elements: Vec<usize> =
+            rotations.iter().map(|&r| galois_element(ctx.n(), r)).collect();
+        if conjugation {
+            elements.push(conjugation_element(ctx.n()));
+        }
+        elements.sort_unstable();
+        elements.dedup();
+        let mut keys = HashMap::with_capacity(elements.len());
+        for g in elements {
+            // target = s(X^g) over the full basis.
+            let mut s_g = vec![0i64; ctx.n()];
+            let n = ctx.n();
+            for (i, &c) in sk.coefficients().iter().enumerate() {
+                let e = (i * g) % (2 * n);
+                if e < n {
+                    s_g[e] += c;
+                } else {
+                    s_g[e - n] -= c;
+                }
+            }
+            let all: Vec<usize> = (0..ctx.rns().moduli().len()).collect();
+            let target = lift_signed_ntt(ctx, &s_g, &all);
+            keys.insert(g, SwitchKey::generate(ctx, sk, &target, rng)?);
+        }
+        Ok(GaloisKeys { keys, n: ctx.n() })
+    }
+
+    /// The key for Galois element `g`, if generated.
+    pub fn key_for_element(&self, g: usize) -> Option<&SwitchKey> {
+        self.keys.get(&g)
+    }
+
+    /// The key for a slot rotation by `r`.
+    pub fn rotation_key(&self, r: isize) -> Option<&SwitchKey> {
+        self.keys.get(&galois_element(self.n, r))
+    }
+
+    /// The conjugation key, if generated.
+    pub fn conjugation_key(&self) -> Option<&SwitchKey> {
+        self.keys.get(&conjugation_element(self.n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CkksParams, Encoder};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn setup() -> (CkksContext, ChaCha8Rng) {
+        (
+            CkksContext::new(CkksParams::toy().unwrap()).unwrap(),
+            ChaCha8Rng::seed_from_u64(42),
+        )
+    }
+
+    #[test]
+    fn crt_reconstruct_matches_value() {
+        let moduli: Vec<Modulus> =
+            [65537u64, 786433].iter().map(|&q| Modulus::new(q).unwrap()).collect();
+        let x = 1_234_567_890u64;
+        let residues: Vec<u64> = moduli.iter().map(|m| x % m.value()).collect();
+        assert_eq!(crt_reconstruct(&residues, &moduli), UBig::from_u64(x));
+    }
+
+    #[test]
+    fn symmetric_encrypt_decrypt() {
+        let (ctx, mut rng) = setup();
+        let sk = SecretKey::generate(&ctx, &mut rng);
+        let enc = Encoder::new(&ctx);
+        let values = vec![1.0, -2.5, 0.125, 7.0];
+        let pt = enc.encode(&values).unwrap();
+        let ct = sk.encrypt(&ctx, &pt, &mut rng).unwrap();
+        let back = enc.decode(&sk.decrypt(&ct).unwrap()).unwrap();
+        for (i, &v) in values.iter().enumerate() {
+            assert!((back[i] - v).abs() < 1e-3, "slot {i}: {} vs {v}", back[i]);
+        }
+    }
+
+    #[test]
+    fn public_key_encrypt_decrypt() {
+        let (ctx, mut rng) = setup();
+        let sk = SecretKey::generate(&ctx, &mut rng);
+        let pk = PublicKey::generate(&ctx, &sk, &mut rng).unwrap();
+        let enc = Encoder::new(&ctx);
+        let values = vec![0.5, 4.25, -1.0];
+        let pt = enc.encode(&values).unwrap();
+        let ct = pk.encrypt(&ctx, &pt, &mut rng).unwrap();
+        let back = enc.decode(&sk.decrypt(&ct).unwrap()).unwrap();
+        for (i, &v) in values.iter().enumerate() {
+            assert!((back[i] - v).abs() < 1e-2, "slot {i}: {} vs {v}", back[i]);
+        }
+    }
+
+    #[test]
+    fn galois_elements() {
+        assert_eq!(galois_element(64, 0), 1);
+        assert_eq!(galois_element(64, 1), 5);
+        assert_eq!(galois_element(64, 2), 25);
+        // Negative rotations wrap.
+        let slots = 32isize;
+        assert_eq!(galois_element(64, -1), galois_element(64, slots - 1));
+        assert_eq!(conjugation_element(64), 127);
+    }
+
+    #[test]
+    fn galois_keys_lookup() {
+        let (ctx, mut rng) = setup();
+        let sk = SecretKey::generate(&ctx, &mut rng);
+        let gk = GaloisKeys::generate(&ctx, &sk, &[1, 2], true, &mut rng).unwrap();
+        assert!(gk.rotation_key(1).is_some());
+        assert!(gk.rotation_key(2).is_some());
+        assert!(gk.rotation_key(3).is_none());
+        assert!(gk.conjugation_key().is_some());
+    }
+}

@@ -1,0 +1,67 @@
+//! RNS-CKKS: the arithmetic FHE scheme of the Alchemist evaluation.
+//!
+//! A from-scratch implementation of CKKS over the residue number system
+//! with the exact operator set the paper accelerates:
+//!
+//! * canonical-embedding encoding/decoding ([`Encoder`]),
+//! * encryption/decryption with ternary secrets ([`SecretKey`],
+//!   [`PublicKey`]),
+//! * `Hadd`, `Pmult`, `Cmult` with relinearization and rescaling, Galois
+//!   rotations and conjugation ([`Evaluator`]),
+//! * **hybrid key switching** (`dnum` digits, special primes `P`,
+//!   `Modup`/`Moddown` — paper Eqs. 1–3), including **hoisted** rotation
+//!   groups (the `BSP-L=n+` variant of Fig. 1),
+//! * homomorphic linear transforms (BSGS diagonal method) and polynomial
+//!   evaluation, composed into a CKKS bootstrapping pipeline
+//!   ([`bootstrap`]),
+//! * the LoLa-MNIST and HELR workload graphs used by the paper's Fig. 6
+//!   ([`workloads`]).
+//!
+//! Functional tests run at reduced ring degrees (`N = 2^9 … 2^12`); the
+//! cycle simulator consumes the same operator graphs at the paper's full
+//! parameters (`N = 2^16, L = 44`).
+//!
+//! # Example
+//!
+//! ```
+//! use fhe_ckks::{CkksParams, CkksContext, Encoder, SecretKey, Evaluator};
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), fhe_ckks::CkksError> {
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+//! let params = CkksParams::toy()?;
+//! let ctx = CkksContext::new(params)?;
+//! let sk = SecretKey::generate(&ctx, &mut rng);
+//! let enc = Encoder::new(&ctx);
+//! let eval = Evaluator::new(&ctx);
+//!
+//! let pt = enc.encode(&[1.5, -2.0, 3.25])?;
+//! let ct = sk.encrypt(&ctx, &pt, &mut rng)?;
+//! let doubled = eval.add(&ct, &ct)?;
+//! let back = enc.decode(&sk.decrypt(&doubled)?)?;
+//! assert!((back[0] - 3.0).abs() < 1e-2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bootstrap;
+mod ciphertext;
+mod context;
+mod encoding;
+mod error;
+mod eval;
+mod keys;
+pub mod linear;
+mod params;
+pub mod workloads;
+
+pub use ciphertext::{Ciphertext, Plaintext};
+pub use context::CkksContext;
+pub use encoding::{rotate_slots_reference, Complex64, Encoder};
+pub use error::CkksError;
+pub use eval::Evaluator;
+pub use keys::{GaloisKeys, PublicKey, RelinKey, SecretKey, SwitchKey};
+pub use params::CkksParams;

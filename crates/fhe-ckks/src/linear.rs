@@ -1,0 +1,383 @@
+//! Homomorphic linear transforms: the diagonal method with baby-step /
+//! giant-step (BSGS) rotation structure and Modup hoisting.
+//!
+//! A slot-space matrix multiply `out = M·v` becomes
+//! `Σ_d diag_d ⊙ rot(v, d)` over the nonzero diagonals of `M`; BSGS
+//! factors the rotations as `d = i·g + j` so only `g` baby rotations
+//! (computed with one hoisted Modup — the paper's `BSP-L=n+` pattern) and
+//! `⌈D/g⌉` giant rotations are needed. This is the workhorse of CKKS
+//! bootstrapping's CoeffToSlot/SlotToCoeff and of the LoLa-MNIST / HELR
+//! layers in the paper's Fig. 6.
+
+use std::collections::BTreeMap;
+
+use crate::ciphertext::Ciphertext;
+use crate::encoding::{Complex64, Encoder};
+use crate::keys::GaloisKeys;
+use crate::{CkksError, Evaluator};
+
+/// A slot-space linear transform stored as its nonzero generalized
+/// diagonals: `out_j = Σ_d diag_d[j] · v_{(j+d) mod slots}`.
+#[derive(Debug, Clone)]
+pub struct LinearTransform {
+    slots: usize,
+    diagonals: BTreeMap<usize, Vec<Complex64>>,
+}
+
+impl LinearTransform {
+    /// Builds a transform from a dense real `slots × slots` matrix
+    /// (`out = M · v`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::Mismatch`] if the matrix is not square.
+    pub fn from_real_matrix(matrix: &[Vec<f64>]) -> Result<Self, CkksError> {
+        let complex: Vec<Vec<Complex64>> = matrix
+            .iter()
+            .map(|row| row.iter().map(|&x| Complex64::new(x, 0.0)).collect())
+            .collect();
+        Self::from_complex_matrix(&complex)
+    }
+
+    /// Builds a transform from a dense complex matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::Mismatch`] if the matrix is not square.
+    pub fn from_complex_matrix(matrix: &[Vec<Complex64>]) -> Result<Self, CkksError> {
+        let slots = matrix.len();
+        if slots == 0 || matrix.iter().any(|row| row.len() != slots) {
+            return Err(CkksError::Mismatch { detail: "matrix must be square".into() });
+        }
+        let mut diagonals = BTreeMap::new();
+        for d in 0..slots {
+            let diag: Vec<Complex64> =
+                (0..slots).map(|j| matrix[j][(j + d) % slots]).collect();
+            if diag.iter().any(|z| z.abs() > 1e-12) {
+                diagonals.insert(d, diag);
+            }
+        }
+        Ok(LinearTransform { slots, diagonals })
+    }
+
+    /// Builds directly from `(diagonal index, diagonal values)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::Mismatch`] on inconsistent lengths or indices.
+    pub fn from_diagonals(
+        slots: usize,
+        diags: impl IntoIterator<Item = (usize, Vec<Complex64>)>,
+    ) -> Result<Self, CkksError> {
+        let mut diagonals = BTreeMap::new();
+        for (d, v) in diags {
+            if d >= slots || v.len() != slots {
+                return Err(CkksError::Mismatch {
+                    detail: format!("diagonal {d} inconsistent with {slots} slots"),
+                });
+            }
+            diagonals.insert(d, v);
+        }
+        Ok(LinearTransform { slots, diagonals })
+    }
+
+    /// Number of slots the transform acts on.
+    #[inline]
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Number of nonzero diagonals.
+    #[inline]
+    pub fn num_diagonals(&self) -> usize {
+        self.diagonals.len()
+    }
+
+    /// The BSGS baby-step count `g ≈ √D` used by [`Self::apply_bsgs`].
+    pub fn giant_step(&self) -> usize {
+        let d = self.diagonals.keys().copied().max().unwrap_or(0) + 1;
+        ((d as f64).sqrt().ceil() as usize).max(1)
+    }
+
+    /// Rotation offsets whose Galois keys [`Self::apply`] needs.
+    pub fn required_rotations_naive(&self) -> Vec<isize> {
+        self.diagonals.keys().filter(|&&d| d != 0).map(|&d| d as isize).collect()
+    }
+
+    /// Rotation offsets whose Galois keys [`Self::apply_bsgs`] needs.
+    pub fn required_rotations_bsgs(&self) -> Vec<isize> {
+        let g = self.giant_step();
+        let mut rots: Vec<isize> = (1..g as isize).collect();
+        let max_d = self.diagonals.keys().copied().max().unwrap_or(0);
+        let mut i = g;
+        while i <= max_d {
+            rots.push(i as isize);
+            i += g;
+        }
+        rots.sort_unstable();
+        rots.dedup();
+        rots
+    }
+
+    /// Applies the transform with one hoisted rotation group over all
+    /// diagonals (no BSGS). The result is rescaled once (level − 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::MissingKey`] if a rotation key is missing, or
+    /// propagates evaluation errors.
+    pub fn apply(
+        &self,
+        ev: &Evaluator<'_>,
+        enc: &Encoder<'_>,
+        ct: &Ciphertext,
+        gk: &GaloisKeys,
+    ) -> Result<Ciphertext, CkksError> {
+        self.check_slots(enc)?;
+        let level = ct.level();
+        let scale = ev.context().params().scale();
+        // Hoist all nonzero-diagonal rotations at once.
+        let offsets: Vec<isize> = self.required_rotations_naive();
+        let rotated = ev.rotate_hoisted(ct, &offsets, gk)?;
+        let mut acc: Option<Ciphertext> = None;
+        for (&d, diag) in &self.diagonals {
+            let source = if d == 0 {
+                ct.clone()
+            } else {
+                let pos = offsets.iter().position(|&r| r == d as isize).expect("hoisted");
+                rotated[pos].clone()
+            };
+            let pt = enc.encode_complex_at(diag, level, scale)?;
+            let term = ev.mul_plain(&source, &pt)?;
+            acc = Some(match acc {
+                None => term,
+                Some(a) => ev.add(&a, &term)?,
+            });
+        }
+        let summed = acc.ok_or(CkksError::Mismatch { detail: "empty transform".into() })?;
+        ev.rescale(&summed)
+    }
+
+    /// Applies the transform with BSGS structure: `g` hoisted baby
+    /// rotations, pre-rotated diagonals, `⌈D/g⌉` giant rotations on the
+    /// partial sums. The result is rescaled once (level − 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::MissingKey`] if a rotation key is missing, or
+    /// propagates evaluation errors.
+    pub fn apply_bsgs(
+        &self,
+        ev: &Evaluator<'_>,
+        enc: &Encoder<'_>,
+        ct: &Ciphertext,
+        gk: &GaloisKeys,
+    ) -> Result<Ciphertext, CkksError> {
+        self.check_slots(enc)?;
+        let level = ct.level();
+        let scale = ev.context().params().scale();
+        let g = self.giant_step();
+        // Baby rotations 1..g, hoisted.
+        let baby_offsets: Vec<isize> = (1..g as isize).collect();
+        let baby = if baby_offsets.is_empty() {
+            Vec::new()
+        } else {
+            ev.rotate_hoisted(ct, &baby_offsets, gk)?
+        };
+        let baby_ct = |j: usize| -> &Ciphertext {
+            if j == 0 {
+                ct
+            } else {
+                &baby[j - 1]
+            }
+        };
+        // Group diagonals by giant index i (d = i*g + j).
+        let mut giant_groups: BTreeMap<usize, Vec<(usize, &Vec<Complex64>)>> = BTreeMap::new();
+        for (&d, diag) in &self.diagonals {
+            giant_groups.entry(d / g).or_default().push((d % g, diag));
+        }
+        let mut acc: Option<Ciphertext> = None;
+        for (&i, group) in &giant_groups {
+            let shift = i * g;
+            let mut inner: Option<Ciphertext> = None;
+            for &(j, diag) in group {
+                // Pre-rotate the diagonal by -shift so the giant rotation
+                // lands it correctly.
+                let pre: Vec<Complex64> = (0..self.slots)
+                    .map(|t| diag[(t + self.slots - shift % self.slots) % self.slots])
+                    .collect();
+                let pt = enc.encode_complex_at(&pre, level, scale)?;
+                let term = ev.mul_plain(baby_ct(j), &pt)?;
+                inner = Some(match inner {
+                    None => term,
+                    Some(a) => ev.add(&a, &term)?,
+                });
+            }
+            let inner = inner.expect("nonempty group");
+            let shifted = if shift == 0 {
+                inner
+            } else {
+                ev.rotate(&inner, shift as isize, gk)?
+            };
+            acc = Some(match acc {
+                None => shifted,
+                Some(a) => ev.add(&a, &shifted)?,
+            });
+        }
+        let summed = acc.ok_or(CkksError::Mismatch { detail: "empty transform".into() })?;
+        ev.rescale(&summed)
+    }
+
+    /// Reference plaintext application (testing).
+    pub fn apply_reference(&self, v: &[Complex64]) -> Vec<Complex64> {
+        let mut out = vec![Complex64::default(); self.slots];
+        for (&d, diag) in &self.diagonals {
+            for j in 0..self.slots {
+                out[j] = out[j].add(diag[j].mul(v[(j + d) % self.slots]));
+            }
+        }
+        out
+    }
+
+    fn check_slots(&self, enc: &Encoder<'_>) -> Result<(), CkksError> {
+        if self.slots != enc.slots() {
+            return Err(CkksError::Mismatch {
+                detail: format!(
+                    "transform has {} slots but context has {}",
+                    self.slots,
+                    enc.slots()
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CkksContext, CkksParams, SecretKey};
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_matrix(slots: usize, rng: &mut ChaCha8Rng) -> Vec<Vec<f64>> {
+        (0..slots)
+            .map(|_| (0..slots).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn diagonal_extraction_matches_matvec() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let m = random_matrix(8, &mut rng);
+        let t = LinearTransform::from_real_matrix(&m).unwrap();
+        let v: Vec<Complex64> =
+            (0..8).map(|i| Complex64::new(i as f64 - 3.0, 0.0)).collect();
+        let got = t.apply_reference(&v);
+        for j in 0..8 {
+            let want: f64 = (0..8).map(|k| m[j][k] * v[k].re).sum();
+            assert!((got[j].re - want).abs() < 1e-9, "row {j}");
+        }
+    }
+
+    #[test]
+    fn homomorphic_naive_matches_reference() {
+        let ctx = CkksContext::new(CkksParams::toy().unwrap()).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let sk = SecretKey::generate(&ctx, &mut rng);
+        let enc = Encoder::new(&ctx);
+        let ev = Evaluator::new(&ctx);
+        let slots = enc.slots();
+        let m = random_matrix(slots, &mut rng);
+        let t = LinearTransform::from_real_matrix(&m).unwrap();
+
+        let gk = GaloisKeys::generate(
+            &ctx,
+            &sk,
+            &t.required_rotations_naive(),
+            false,
+            &mut rng,
+        )
+        .unwrap();
+        let values: Vec<f64> = (0..slots).map(|j| ((j * 7 % 5) as f64 - 2.0) / 4.0).collect();
+        let ct = sk
+            .encrypt(&ctx, &enc.encode(&values).unwrap(), &mut rng)
+            .unwrap();
+        let out = t.apply(&ev, &enc, &ct, &gk).unwrap();
+        assert_eq!(out.level(), ct.level() - 1);
+        let back = enc.decode(&sk.decrypt(&out).unwrap()).unwrap();
+        let vin: Vec<Complex64> =
+            values.iter().map(|&x| Complex64::new(x, 0.0)).collect();
+        let want = t.apply_reference(&vin);
+        for j in 0..slots {
+            assert!(
+                (back[j] - want[j].re).abs() < 0.05,
+                "slot {j}: {} vs {}",
+                back[j],
+                want[j].re
+            );
+        }
+    }
+
+    #[test]
+    fn homomorphic_bsgs_matches_naive() {
+        let ctx = CkksContext::new(CkksParams::toy().unwrap()).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let sk = SecretKey::generate(&ctx, &mut rng);
+        let enc = Encoder::new(&ctx);
+        let ev = Evaluator::new(&ctx);
+        let slots = enc.slots();
+        let m = random_matrix(slots, &mut rng);
+        let t = LinearTransform::from_real_matrix(&m).unwrap();
+
+        let mut rots = t.required_rotations_naive();
+        rots.extend(t.required_rotations_bsgs());
+        let gk = GaloisKeys::generate(&ctx, &sk, &rots, false, &mut rng).unwrap();
+        let values: Vec<f64> = (0..slots).map(|j| (j as f64 / slots as f64) - 0.5).collect();
+        let ct = sk
+            .encrypt(&ctx, &enc.encode(&values).unwrap(), &mut rng)
+            .unwrap();
+        let a = t.apply(&ev, &enc, &ct, &gk).unwrap();
+        let b = t.apply_bsgs(&ev, &enc, &ct, &gk).unwrap();
+        let da = enc.decode(&sk.decrypt(&a).unwrap()).unwrap();
+        let db = enc.decode(&sk.decrypt(&b).unwrap()).unwrap();
+        for j in 0..slots {
+            assert!((da[j] - db[j]).abs() < 0.05, "slot {j}: {} vs {}", da[j], db[j]);
+        }
+    }
+
+    #[test]
+    fn complex_diagonal_transform() {
+        // Multiply every slot by i (a single diagonal-0 complex transform).
+        let ctx = CkksContext::new(CkksParams::toy().unwrap()).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let sk = SecretKey::generate(&ctx, &mut rng);
+        let enc = Encoder::new(&ctx);
+        let ev = Evaluator::new(&ctx);
+        let slots = enc.slots();
+        let t = LinearTransform::from_diagonals(
+            slots,
+            [(0usize, vec![Complex64::new(0.0, 1.0); slots])],
+        )
+        .unwrap();
+        let gk = GaloisKeys::generate(&ctx, &sk, &[], false, &mut rng).unwrap();
+        let values = vec![Complex64::new(1.0, 0.5); 1];
+        let pt = enc
+            .encode_complex_at(&values, ctx.q_len() - 1, ctx.params().scale())
+            .unwrap();
+        let ct = sk.encrypt(&ctx, &pt, &mut rng).unwrap();
+        let out = t.apply(&ev, &enc, &ct, &gk).unwrap();
+        let back = enc.decode_complex(&sk.decrypt(&out).unwrap()).unwrap();
+        // i * (1 + 0.5i) = -0.5 + i.
+        assert!((back[0].re + 0.5).abs() < 0.02, "re {}", back[0].re);
+        assert!((back[0].im - 1.0).abs() < 0.02, "im {}", back[0].im);
+    }
+
+    #[test]
+    fn rejects_bad_matrices() {
+        assert!(LinearTransform::from_real_matrix(&[]).is_err());
+        assert!(LinearTransform::from_real_matrix(&[vec![1.0, 2.0]]).is_err());
+        assert!(LinearTransform::from_diagonals(4, [(4usize, vec![Complex64::default(); 4])])
+            .is_err());
+    }
+}

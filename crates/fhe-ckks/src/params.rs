@@ -1,0 +1,241 @@
+//! CKKS parameter sets.
+
+use crate::CkksError;
+use fhe_math::generate_ntt_primes;
+
+/// Validated CKKS parameters: ring degree, modulus chain, special moduli,
+/// scaling factor and key-switching decomposition.
+///
+/// The chain layout follows the hybrid key-switching convention the paper
+/// adopts from SHARP/ARK: `L+1` ciphertext primes `q_0 … q_L`, plus
+/// `K = alpha = ceil((L+1)/dnum)` special primes `p_0 … p_{K-1}`.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), fhe_ckks::CkksError> {
+/// let p = fhe_ckks::CkksParams::new(1 << 10, 6, 2, 30)?;
+/// assert_eq!(p.max_level(), 6);
+/// assert_eq!(p.special_moduli().len(), 4); // alpha = ceil(7/2)
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CkksParams {
+    n: usize,
+    moduli: Vec<u64>,
+    special_moduli: Vec<u64>,
+    scale: f64,
+    dnum: usize,
+    sigma: f64,
+}
+
+impl CkksParams {
+    /// Builds a parameter set with `max_level + 1` ciphertext primes.
+    ///
+    /// `scale_bits` sets both the encoding scale `Δ = 2^scale_bits` and the
+    /// width of the rescaling primes `q_1 … q_L`; `q_0` and the special
+    /// primes are a few bits wider for decryption headroom and moddown
+    /// noise control.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::InvalidParams`] for a non-power-of-two `n`,
+    /// `dnum == 0`, `scale_bits` outside `[20, 55]`, or when not enough
+    /// NTT-friendly primes of the needed widths exist.
+    pub fn new(
+        n: usize,
+        max_level: usize,
+        dnum: usize,
+        scale_bits: u32,
+    ) -> Result<Self, CkksError> {
+        Self::with_first_prime_bits(n, max_level, dnum, scale_bits, (scale_bits + 10).min(60))
+    }
+
+    /// Like [`CkksParams::new`] but with an explicit width for `q_0`.
+    ///
+    /// The gap `q0_bits − scale_bits` controls both the plaintext headroom
+    /// and the `q_0/Δ` amplification inside bootstrapping's EvalMod — the
+    /// bootstrap tests use a small gap with a large scale.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CkksParams::new`], plus `q0_bits` must lie in
+    /// `[scale_bits + 2, 60]`.
+    pub fn with_first_prime_bits(
+        n: usize,
+        max_level: usize,
+        dnum: usize,
+        scale_bits: u32,
+        q0_bits: u32,
+    ) -> Result<Self, CkksError> {
+        if !n.is_power_of_two() || !(16..=(1 << 17)).contains(&n) {
+            return Err(CkksError::InvalidParams {
+                detail: format!("ring degree {n} must be a power of two in [16, 2^17]"),
+            });
+        }
+        if dnum == 0 || dnum > max_level + 1 {
+            return Err(CkksError::InvalidParams {
+                detail: format!("dnum {dnum} must be in [1, L+1]"),
+            });
+        }
+        if !(20..=55).contains(&scale_bits) {
+            return Err(CkksError::InvalidParams {
+                detail: format!("scale_bits {scale_bits} outside [20, 55]"),
+            });
+        }
+        if !(scale_bits + 2..=60).contains(&q0_bits) {
+            return Err(CkksError::InvalidParams {
+                detail: format!("q0_bits {q0_bits} outside [scale_bits + 2, 60]"),
+            });
+        }
+        let alpha = (max_level + 1).div_ceil(dnum);
+        // q_0 wider for decryption headroom; q_1..q_L at the scale width so
+        // rescaling preserves Δ; specials slightly wider than the q_i.
+        let special_bits = (scale_bits + 1).min(60);
+        let q0 = generate_ntt_primes(q0_bits, n, 1).map_err(CkksError::Math)?[0];
+        let rest =
+            generate_ntt_primes(scale_bits, n, max_level).map_err(CkksError::Math)?;
+        let special =
+            generate_ntt_primes(special_bits, n, alpha).map_err(CkksError::Math)?;
+        let mut moduli = vec![q0];
+        moduli.extend(rest);
+        Ok(CkksParams {
+            n,
+            moduli,
+            special_moduli: special,
+            scale: (1u64 << scale_bits) as f64,
+            dnum,
+            sigma: 3.2,
+        })
+    }
+
+    /// Tiny parameters for unit tests and doctests: `N = 64`, `L = 3`,
+    /// `dnum = 2`, `Δ = 2^30`. **Not secure** — functional testing only.
+    ///
+    /// # Errors
+    ///
+    /// Propagates prime-generation failures (should not occur).
+    pub fn toy() -> Result<Self, CkksError> {
+        CkksParams::new(64, 3, 2, 30)
+    }
+
+    /// Small-but-capable parameters for integration tests and examples:
+    /// `N = 2^11`, `L = 8`, `dnum = 3`, `Δ = 2^30`. **Not secure.**
+    ///
+    /// # Errors
+    ///
+    /// Propagates prime-generation failures.
+    pub fn small() -> Result<Self, CkksError> {
+        CkksParams::new(1 << 11, 8, 3, 30)
+    }
+
+    /// The paper's headline operating point (`N = 2^16, L = 44, dnum = 4`)
+    /// with 36-bit rescaling primes per the SHARP word-size finding.
+    /// Context construction at this size allocates hundreds of MB of NTT
+    /// tables; intended for the simulator's workload compiler and the
+    /// benches, not for routine tests.
+    ///
+    /// # Errors
+    ///
+    /// Propagates prime-generation failures.
+    pub fn paper() -> Result<Self, CkksError> {
+        CkksParams::new(1 << 16, 44, 4, 36)
+    }
+
+    /// Ring degree `N`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of plaintext slots (`N/2`).
+    #[inline]
+    pub fn slots(&self) -> usize {
+        self.n / 2
+    }
+
+    /// Ciphertext primes `q_0 … q_L`.
+    #[inline]
+    pub fn moduli(&self) -> &[u64] {
+        &self.moduli
+    }
+
+    /// Special primes `p_0 … p_{K-1}`.
+    #[inline]
+    pub fn special_moduli(&self) -> &[u64] {
+        &self.special_moduli
+    }
+
+    /// Maximum multiplicative level `L`.
+    #[inline]
+    pub fn max_level(&self) -> usize {
+        self.moduli.len() - 1
+    }
+
+    /// Encoding scale `Δ`.
+    #[inline]
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Key-switching decomposition number.
+    #[inline]
+    pub fn dnum(&self) -> usize {
+        self.dnum
+    }
+
+    /// Digit size `alpha = ceil((L+1)/dnum)`.
+    #[inline]
+    pub fn alpha(&self) -> usize {
+        (self.max_level() + 1).div_ceil(self.dnum)
+    }
+
+    /// Gaussian noise standard deviation.
+    #[inline]
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toy_and_small_construct() {
+        let t = CkksParams::toy().unwrap();
+        assert_eq!(t.n(), 64);
+        assert_eq!(t.slots(), 32);
+        assert_eq!(t.moduli().len(), 4);
+        assert_eq!(t.alpha(), 2);
+        assert_eq!(t.special_moduli().len(), 2);
+        let s = CkksParams::small().unwrap();
+        assert_eq!(s.max_level(), 8);
+        assert_eq!(s.alpha(), 3);
+    }
+
+    #[test]
+    fn all_primes_distinct_and_ntt_friendly() {
+        let p = CkksParams::new(256, 5, 2, 30).unwrap();
+        let mut all: Vec<u64> =
+            p.moduli().iter().chain(p.special_moduli()).copied().collect();
+        let len = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), len, "duplicate primes in the chain");
+        for q in all {
+            assert!(fhe_math::is_prime(q));
+            assert_eq!(q % (2 * 256), 1);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        assert!(CkksParams::new(100, 3, 2, 30).is_err());
+        assert!(CkksParams::new(64, 3, 0, 30).is_err());
+        assert!(CkksParams::new(64, 3, 9, 30).is_err());
+        assert!(CkksParams::new(64, 3, 2, 10).is_err());
+        assert!(CkksParams::new(64, 3, 2, 60).is_err());
+    }
+}

@@ -1,0 +1,325 @@
+//! The CKKS application workloads of the paper's Fig. 6: LoLa-MNIST-style
+//! encrypted inference and HELR logistic-regression training.
+//!
+//! These are *functional* implementations at reduced dimensions (synthetic
+//! weights — accelerator time depends on the operator graph, not the data
+//! values; see DESIGN.md §3). The same graphs, at the paper's parameters,
+//! are what `alchemist-core`'s workload compiler feeds the simulator.
+
+use crate::ciphertext::Ciphertext;
+use crate::encoding::Encoder;
+use crate::keys::{GaloisKeys, RelinKey};
+use crate::linear::LinearTransform;
+use crate::{CkksError, Evaluator};
+use rand::Rng;
+
+/// A two-layer square-activation network — the structure of LoLa-MNIST
+/// (linear → x² → linear → x² → linear) folded to slot-sized layers.
+#[derive(Debug, Clone)]
+pub struct MlpModel {
+    w1: LinearTransform,
+    b1: Vec<f64>,
+    w2: LinearTransform,
+    b2: Vec<f64>,
+    slots: usize,
+}
+
+impl MlpModel {
+    /// Builds a model from dense layer matrices and biases (`slots × slots`
+    /// each; pad with zeros for smaller logical layers).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::Mismatch`] on shape disagreement.
+    pub fn new(
+        w1: &[Vec<f64>],
+        b1: Vec<f64>,
+        w2: &[Vec<f64>],
+        b2: Vec<f64>,
+    ) -> Result<Self, CkksError> {
+        let slots = w1.len();
+        if b1.len() != slots || b2.len() != slots || w2.len() != slots {
+            return Err(CkksError::Mismatch { detail: "layer shapes disagree".into() });
+        }
+        Ok(MlpModel {
+            w1: LinearTransform::from_real_matrix(w1)?,
+            b1,
+            w2: LinearTransform::from_real_matrix(w2)?,
+            b2,
+            slots,
+        })
+    }
+
+    /// A random synthetic model (weights in `[-0.5, 0.5] / slots` to keep
+    /// activations bounded).
+    pub fn random<R: Rng + ?Sized>(slots: usize, rng: &mut R) -> Self {
+        let scale = 1.0 / slots as f64;
+        let mat = |rng: &mut R| -> Vec<Vec<f64>> {
+            (0..slots)
+                .map(|_| (0..slots).map(|_| rng.gen_range(-0.5..0.5) * scale).collect())
+                .collect()
+        };
+        let w1 = mat(rng);
+        let w2 = mat(rng);
+        let b1 = (0..slots).map(|_| rng.gen_range(-0.1..0.1)).collect();
+        let b2 = (0..slots).map(|_| rng.gen_range(-0.1..0.1)).collect();
+        MlpModel::new(&w1, b1, &w2, b2).expect("square by construction")
+    }
+
+    /// Slots per layer.
+    #[inline]
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Rotation offsets needed by [`MlpModel::infer_encrypted`].
+    pub fn required_rotations(&self) -> Vec<isize> {
+        let mut rots = self.w1.required_rotations_bsgs();
+        rots.extend(self.w2.required_rotations_bsgs());
+        rots.sort_unstable();
+        rots.dedup();
+        rots
+    }
+
+    /// Plaintext reference inference.
+    pub fn infer_plain(&self, x: &[f64]) -> Vec<f64> {
+        let layer = |t: &LinearTransform, b: &[f64], v: &[f64]| -> Vec<f64> {
+            let vin: Vec<crate::Complex64> =
+                v.iter().map(|&x| crate::Complex64::new(x, 0.0)).collect();
+            t.apply_reference(&vin)
+                .into_iter()
+                .zip(b)
+                .map(|(z, &bi)| z.re + bi)
+                .collect()
+        };
+        let h: Vec<f64> = layer(&self.w1, &self.b1, x).iter().map(|&v| v * v).collect();
+        layer(&self.w2, &self.b2, &h)
+    }
+
+    /// Encrypted inference: `w2·(w1·x + b1)² + b2`.
+    ///
+    /// Consumes 4 levels (two transforms, one square, plus rescales).
+    ///
+    /// # Errors
+    ///
+    /// Needs Galois keys for [`MlpModel::required_rotations`] and the
+    /// relinearization key.
+    pub fn infer_encrypted(
+        &self,
+        ev: &Evaluator<'_>,
+        enc: &Encoder<'_>,
+        ct: &Ciphertext,
+        gk: &GaloisKeys,
+        rlk: &RelinKey,
+    ) -> Result<Ciphertext, CkksError> {
+        // Layer 1 + bias.
+        let mut h = self.w1.apply_bsgs(ev, enc, ct, gk)?;
+        let b1 = enc.encode_at(&self.b1, h.level(), h.scale())?;
+        h = ev.add_plain(&h, &b1)?;
+        // Square activation.
+        let h2 = ev.rescale(&ev.square(&h, rlk)?)?;
+        // Layer 2 + bias.
+        let mut out = self.w2.apply_bsgs(ev, enc, &h2, gk)?;
+        let b2 = enc.encode_at(&self.b2, out.level(), out.scale())?;
+        out = ev.add_plain(&out, &b2)?;
+        Ok(out)
+    }
+}
+
+/// Degree-3 sigmoid approximation used by HELR-style training:
+/// `σ(x) ≈ 0.5 + 0.197·x − 0.004·x³` (good to ±0.05 on `|x| ≤ 4`).
+pub fn sigmoid3(x: f64) -> f64 {
+    0.5 + 0.197 * x - 0.004 * x * x * x
+}
+
+/// Monomial coefficients of [`sigmoid3`].
+pub const SIGMOID3_COEFFS: [f64; 4] = [0.5, 0.197, 0.0, -0.004];
+
+/// One HELR logistic-regression training iteration over an encrypted
+/// weight vector:
+/// `w ← w + (γ/B) · Xᵀ(y − σ(X·w))`.
+///
+/// `X` (batch × features, packed into slot-sized square matrices) and the
+/// labels are plaintext; the weights stay encrypted — the setting of the
+/// paper's 1024-batch HELR benchmark, reduced to slot size.
+#[derive(Debug, Clone)]
+pub struct HelrIteration {
+    x: LinearTransform,
+    xt: LinearTransform,
+    y: Vec<f64>,
+    rate: f64,
+    slots: usize,
+}
+
+impl HelrIteration {
+    /// Builds an iteration from the design matrix `x` (`slots × slots`,
+    /// zero-padded), labels `y ∈ {0,1}` and learning rate (already divided
+    /// by the batch size).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::Mismatch`] on shape disagreement.
+    pub fn new(x: &[Vec<f64>], y: Vec<f64>, rate: f64) -> Result<Self, CkksError> {
+        let slots = x.len();
+        if y.len() != slots {
+            return Err(CkksError::Mismatch { detail: "label count != batch".into() });
+        }
+        // Fold the learning rate into Xᵀ so the encrypted step needs no
+        // scalar multiplication (exact, and one less scale adjustment).
+        let xt: Vec<Vec<f64>> =
+            (0..slots).map(|i| (0..slots).map(|j| x[j][i] * rate).collect()).collect();
+        Ok(HelrIteration {
+            x: LinearTransform::from_real_matrix(x)?,
+            xt: LinearTransform::from_real_matrix(&xt)?,
+            y,
+            rate,
+            slots,
+        })
+    }
+
+    /// A random synthetic batch.
+    pub fn random<R: Rng + ?Sized>(slots: usize, rng: &mut R) -> Self {
+        let x: Vec<Vec<f64>> = (0..slots)
+            .map(|_| (0..slots).map(|_| rng.gen_range(-1.0..1.0) / slots as f64).collect())
+            .collect();
+        let y: Vec<f64> = (0..slots).map(|_| f64::from(rng.gen_range(0..2))).collect();
+        HelrIteration::new(&x, y, 0.1).expect("square by construction")
+    }
+
+    /// Rotation offsets needed by [`HelrIteration::step_encrypted`].
+    pub fn required_rotations(&self) -> Vec<isize> {
+        let mut rots = self.x.required_rotations_bsgs();
+        rots.extend(self.xt.required_rotations_bsgs());
+        rots.sort_unstable();
+        rots.dedup();
+        rots
+    }
+
+    /// Plaintext reference step.
+    pub fn step_plain(&self, w: &[f64]) -> Vec<f64> {
+        let to_c = |v: &[f64]| -> Vec<crate::Complex64> {
+            v.iter().map(|&x| crate::Complex64::new(x, 0.0)).collect()
+        };
+        let u: Vec<f64> =
+            self.x.apply_reference(&to_c(w)).into_iter().map(|z| z.re).collect();
+        let resid: Vec<f64> =
+            u.iter().zip(&self.y).map(|(&ui, &yi)| yi - sigmoid3(ui)).collect();
+        let grad: Vec<f64> =
+            self.xt.apply_reference(&to_c(&resid)).into_iter().map(|z| z.re).collect();
+        w.iter().zip(&grad).map(|(&wi, &gi)| wi + gi).collect()
+    }
+
+    /// Encrypted step (5 levels: transform, degree-3 poly, transform).
+    ///
+    /// # Errors
+    ///
+    /// Needs Galois keys for [`HelrIteration::required_rotations`] and the
+    /// relinearization key.
+    pub fn step_encrypted(
+        &self,
+        ev: &Evaluator<'_>,
+        enc: &Encoder<'_>,
+        ct_w: &Ciphertext,
+        gk: &GaloisKeys,
+        rlk: &RelinKey,
+    ) -> Result<Ciphertext, CkksError> {
+        // u = X·w.
+        let u = self.x.apply_bsgs(ev, enc, ct_w, gk)?;
+        // s = σ3(u).
+        let s = crate::bootstrap::eval_poly_ps(ev, enc, &u, &SIGMOID3_COEFFS, rlk)?;
+        // resid = y − s.
+        let y_pt = enc.encode_at(&self.y, s.level(), s.scale())?;
+        let resid = ev.neg(&ev.sub_plain(&s, &y_pt)?);
+        // grad = (rate·Xᵀ)·resid; w' = w + grad.
+        let mut grad = self.xt.apply_bsgs(ev, enc, &resid, gk)?;
+        let w_low = ev.level_down(ct_w, grad.level())?;
+        // Tolerate the residual rescale drift in the bookkeeping scale.
+        grad.set_scale(w_low.scale());
+        ev.add(&w_low, &grad)
+    }
+
+    /// Batch size / feature count (slot-sized).
+    #[inline]
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// The learning rate folded into the Xᵀ transform.
+    #[inline]
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CkksContext, CkksParams, SecretKey};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn setup(levels: usize) -> (CkksContext, ChaCha8Rng) {
+        (
+            CkksContext::new(CkksParams::new(128, levels, 2, 30).unwrap()).unwrap(),
+            ChaCha8Rng::seed_from_u64(11),
+        )
+    }
+
+    #[test]
+    fn mlp_encrypted_matches_plain() {
+        let (ctx, mut rng) = setup(6);
+        let sk = SecretKey::generate(&ctx, &mut rng);
+        let rlk = RelinKey::generate(&ctx, &sk, &mut rng).unwrap();
+        let enc = Encoder::new(&ctx);
+        let ev = Evaluator::new(&ctx);
+        let model = MlpModel::random(enc.slots(), &mut rng);
+        let gk = GaloisKeys::generate(&ctx, &sk, &model.required_rotations(), false, &mut rng)
+            .unwrap();
+        let x: Vec<f64> = (0..enc.slots()).map(|j| ((j % 7) as f64 - 3.0) / 3.0).collect();
+        let ct = sk.encrypt(&ctx, &enc.encode(&x).unwrap(), &mut rng).unwrap();
+        let out = model.infer_encrypted(&ev, &enc, &ct, &gk, &rlk).unwrap();
+        let got = enc.decode(&sk.decrypt(&out).unwrap()).unwrap();
+        let want = model.infer_plain(&x);
+        for j in 0..enc.slots() {
+            assert!(
+                (got[j] - want[j]).abs() < 0.05,
+                "slot {j}: {} vs {}",
+                got[j],
+                want[j]
+            );
+        }
+    }
+
+    #[test]
+    fn helr_step_matches_plain() {
+        let (ctx, mut rng) = setup(8);
+        let sk = SecretKey::generate(&ctx, &mut rng);
+        let rlk = RelinKey::generate(&ctx, &sk, &mut rng).unwrap();
+        let enc = Encoder::new(&ctx);
+        let ev = Evaluator::new(&ctx);
+        let iter = HelrIteration::random(enc.slots(), &mut rng);
+        let gk = GaloisKeys::generate(&ctx, &sk, &iter.required_rotations(), false, &mut rng)
+            .unwrap();
+        let w0: Vec<f64> = (0..enc.slots()).map(|j| ((j % 3) as f64 - 1.0) * 0.2).collect();
+        let ct_w = sk.encrypt(&ctx, &enc.encode(&w0).unwrap(), &mut rng).unwrap();
+        let out = iter.step_encrypted(&ev, &enc, &ct_w, &gk, &rlk).unwrap();
+        let got = enc.decode(&sk.decrypt(&out).unwrap()).unwrap();
+        let want = iter.step_plain(&w0);
+        for j in 0..enc.slots() {
+            assert!(
+                (got[j] - want[j]).abs() < 0.05,
+                "slot {j}: {} vs {}",
+                got[j],
+                want[j]
+            );
+        }
+    }
+
+    #[test]
+    fn sigmoid3_is_close_to_sigmoid_near_zero() {
+        for x in [-2.0f64, -1.0, 0.0, 1.0, 2.0] {
+            let exact = 1.0 / (1.0 + (-x).exp());
+            assert!((sigmoid3(x) - exact).abs() < 0.05, "x={x}");
+        }
+    }
+}

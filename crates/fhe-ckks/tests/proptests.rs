@@ -1,0 +1,89 @@
+//! Property-based tests of the CKKS scheme: encoding round trips,
+//! homomorphism of the basic operators, and scale/level bookkeeping.
+
+use fhe_ckks::{CkksContext, CkksParams, Encoder, Evaluator, SecretKey};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn ctx() -> CkksContext {
+    CkksContext::new(CkksParams::toy().unwrap()).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn encode_decode_round_trip(
+        values in prop::collection::vec(-8.0f64..8.0, 1..32)
+    ) {
+        let c = ctx();
+        let enc = Encoder::new(&c);
+        let pt = enc.encode(&values).unwrap();
+        let back = enc.decode(&pt).unwrap();
+        for (i, &v) in values.iter().enumerate() {
+            prop_assert!((back[i] - v).abs() < 1e-5, "slot {i}: {} vs {v}", back[i]);
+        }
+    }
+
+    #[test]
+    fn encryption_is_additively_homomorphic(
+        xs in prop::collection::vec(-4.0f64..4.0, 4),
+        ys in prop::collection::vec(-4.0f64..4.0, 4),
+        seed in any::<u64>(),
+    ) {
+        let c = ctx();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let sk = SecretKey::generate(&c, &mut rng);
+        let enc = Encoder::new(&c);
+        let ev = Evaluator::new(&c);
+        let ca = sk.encrypt(&c, &enc.encode(&xs).unwrap(), &mut rng).unwrap();
+        let cb = sk.encrypt(&c, &enc.encode(&ys).unwrap(), &mut rng).unwrap();
+        let sum = enc.decode(&sk.decrypt(&ev.add(&ca, &cb).unwrap()).unwrap()).unwrap();
+        for i in 0..4 {
+            prop_assert!((sum[i] - (xs[i] + ys[i])).abs() < 2e-3);
+        }
+    }
+
+    #[test]
+    fn pmult_is_multiplicative(
+        xs in prop::collection::vec(-2.0f64..2.0, 4),
+        ys in prop::collection::vec(-2.0f64..2.0, 4),
+        seed in any::<u64>(),
+    ) {
+        let c = ctx();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let sk = SecretKey::generate(&c, &mut rng);
+        let enc = Encoder::new(&c);
+        let ev = Evaluator::new(&c);
+        let ca = sk.encrypt(&c, &enc.encode(&xs).unwrap(), &mut rng).unwrap();
+        let pt = enc.encode(&ys).unwrap();
+        let prod = ev.rescale(&ev.mul_plain(&ca, &pt).unwrap()).unwrap();
+        prop_assert_eq!(prod.level(), ca.level() - 1);
+        let got = enc.decode(&sk.decrypt(&prod).unwrap()).unwrap();
+        for i in 0..4 {
+            prop_assert!((got[i] - xs[i] * ys[i]).abs() < 1e-2,
+                "slot {}: {} vs {}", i, got[i], xs[i] * ys[i]);
+        }
+    }
+
+    #[test]
+    fn level_down_preserves_message(
+        xs in prop::collection::vec(-4.0f64..4.0, 4),
+        target in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let c = ctx();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let sk = SecretKey::generate(&c, &mut rng);
+        let enc = Encoder::new(&c);
+        let ev = Evaluator::new(&c);
+        let ct = sk.encrypt(&c, &enc.encode(&xs).unwrap(), &mut rng).unwrap();
+        let low = ev.level_down(&ct, target).unwrap();
+        prop_assert_eq!(low.level(), target);
+        let got = enc.decode(&sk.decrypt(&low).unwrap()).unwrap();
+        for i in 0..4 {
+            prop_assert!((got[i] - xs[i]).abs() < 2e-3);
+        }
+    }
+}

@@ -1,0 +1,393 @@
+//! A minimal arbitrary-precision unsigned integer.
+//!
+//! The RNS algebra in this crate (CRT reconstruction, `Bconv`, `Modup`,
+//! `Moddown`) is verified against exact integer arithmetic. Pulling in a
+//! full bignum dependency for that would be overkill, so [`UBig`] implements
+//! just the operations the verification paths need: addition, subtraction,
+//! comparison, multiplication by a word, full multiplication, division and
+//! remainder (by word and by bignum) and bit shifts.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An arbitrary-precision unsigned integer stored as little-endian `u64`
+/// limbs with no trailing zero limbs (zero is the empty limb vector).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Hash)]
+pub struct UBig {
+    limbs: Vec<u64>,
+}
+
+impl UBig {
+    /// The value zero.
+    pub fn zero() -> Self {
+        UBig { limbs: Vec::new() }
+    }
+
+    /// The value one.
+    pub fn one() -> Self {
+        UBig { limbs: vec![1] }
+    }
+
+    /// Creates a big integer from a single word.
+    pub fn from_u64(value: u64) -> Self {
+        if value == 0 {
+            Self::zero()
+        } else {
+            UBig { limbs: vec![value] }
+        }
+    }
+
+    /// Creates a big integer from a 128-bit value.
+    pub fn from_u128(value: u128) -> Self {
+        let lo = value as u64;
+        let hi = (value >> 64) as u64;
+        let mut limbs = vec![lo, hi];
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        UBig { limbs }
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Number of significant bits.
+    pub fn bits(&self) -> u32 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => {
+                (self.limbs.len() as u32 - 1) * 64 + (64 - top.leading_zeros())
+            }
+        }
+    }
+
+    /// The low 64 bits of the value.
+    pub fn low_u64(&self) -> u64 {
+        self.limbs.first().copied().unwrap_or(0)
+    }
+
+    /// The low 128 bits of the value.
+    pub fn low_u128(&self) -> u128 {
+        let lo = self.limbs.first().copied().unwrap_or(0) as u128;
+        let hi = self.limbs.get(1).copied().unwrap_or(0) as u128;
+        lo | (hi << 64)
+    }
+
+    fn trim(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// Adds `other` to `self`, returning the sum.
+    pub fn add(&self, other: &UBig) -> UBig {
+        let mut out = Vec::with_capacity(self.limbs.len().max(other.limbs.len()) + 1);
+        let mut carry = 0u64;
+        for i in 0..self.limbs.len().max(other.limbs.len()) {
+            let a = self.limbs.get(i).copied().unwrap_or(0) as u128;
+            let b = other.limbs.get(i).copied().unwrap_or(0) as u128;
+            let s = a + b + carry as u128;
+            out.push(s as u64);
+            carry = (s >> 64) as u64;
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        let mut r = UBig { limbs: out };
+        r.trim();
+        r
+    }
+
+    /// Subtracts `other` from `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other > self` (this type is unsigned).
+    pub fn sub(&self, other: &UBig) -> UBig {
+        assert!(self.cmp_big(other) != Ordering::Less, "UBig::sub underflow");
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0i128;
+        for i in 0..self.limbs.len() {
+            let a = self.limbs[i] as i128;
+            let b = other.limbs.get(i).copied().unwrap_or(0) as i128;
+            let mut d = a - b - borrow;
+            if d < 0 {
+                d += 1i128 << 64;
+                borrow = 1;
+            } else {
+                borrow = 0;
+            }
+            out.push(d as u64);
+        }
+        let mut r = UBig { limbs: out };
+        r.trim();
+        r
+    }
+
+    /// Three-way comparison (named to avoid clashing with `Ord::cmp`; the
+    /// `Ord` impl delegates here).
+    pub fn cmp_big(&self, other: &UBig) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for i in (0..self.limbs.len()).rev() {
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Multiplies by a single word.
+    pub fn mul_u64(&self, factor: u64) -> UBig {
+        if factor == 0 || self.is_zero() {
+            return UBig::zero();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry = 0u128;
+        for &limb in &self.limbs {
+            let p = limb as u128 * factor as u128 + carry;
+            out.push(p as u64);
+            carry = p >> 64;
+        }
+        if carry != 0 {
+            out.push(carry as u64);
+        }
+        UBig { limbs: out }
+    }
+
+    /// Full product of two big integers (schoolbook; verification sizes are
+    /// small so quadratic cost is fine).
+    pub fn mul(&self, other: &UBig) -> UBig {
+        if self.is_zero() || other.is_zero() {
+            return UBig::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u128;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let cur = out[i + j] as u128 + a as u128 * b as u128 + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + other.limbs.len();
+            while carry != 0 {
+                let cur = out[k] as u128 + carry;
+                out[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        let mut r = UBig { limbs: out };
+        r.trim();
+        r
+    }
+
+    /// Left shift by `bits`.
+    pub fn shl(&self, bits: u32) -> UBig {
+        if self.is_zero() {
+            return UBig::zero();
+        }
+        let limb_shift = (bits / 64) as usize;
+        let bit_shift = bits % 64;
+        let mut out = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &limb in &self.limbs {
+                out.push((limb << bit_shift) | carry);
+                carry = limb >> (64 - bit_shift);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        let mut r = UBig { limbs: out };
+        r.trim();
+        r
+    }
+
+    /// Divides by a single word, returning `(quotient, remainder)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn divrem_u64(&self, divisor: u64) -> (UBig, u64) {
+        assert!(divisor != 0, "division by zero");
+        let mut quotient = vec![0u64; self.limbs.len()];
+        let mut rem = 0u128;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 64) | self.limbs[i] as u128;
+            quotient[i] = (cur / divisor as u128) as u64;
+            rem = cur % divisor as u128;
+        }
+        let mut q = UBig { limbs: quotient };
+        q.trim();
+        (q, rem as u64)
+    }
+
+    /// Remainder modulo a single word.
+    pub fn rem_u64(&self, divisor: u64) -> u64 {
+        self.divrem_u64(divisor).1
+    }
+
+    /// Remainder modulo another big integer (shift-and-subtract long
+    /// division; verification-only path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero.
+    pub fn rem_big(&self, modulus: &UBig) -> UBig {
+        assert!(!modulus.is_zero(), "division by zero");
+        if self.cmp_big(modulus) == Ordering::Less {
+            return self.clone();
+        }
+        let mut rem = self.clone();
+        let shift = self.bits() - modulus.bits();
+        for s in (0..=shift).rev() {
+            let shifted = modulus.shl(s);
+            if rem.cmp_big(&shifted) != Ordering::Less {
+                rem = rem.sub(&shifted);
+            }
+        }
+        rem
+    }
+
+    /// Product of an iterator of words — handy for computing RNS basis
+    /// products `Q = ∏ q_i` exactly.
+    pub fn product_of(words: impl IntoIterator<Item = u64>) -> UBig {
+        let mut acc = UBig::one();
+        for w in words {
+            acc = acc.mul_u64(w);
+        }
+        acc
+    }
+
+    /// Approximates the value as `f64` (loses precision beyond 53 bits;
+    /// used by CKKS decoding where the significant part is small).
+    pub fn to_f64(&self) -> f64 {
+        let mut acc = 0.0f64;
+        for &limb in self.limbs.iter().rev() {
+            acc = acc * 18_446_744_073_709_551_616.0 + limb as f64;
+        }
+        acc
+    }
+}
+
+impl Ord for UBig {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cmp_big(other)
+    }
+}
+
+impl PartialOrd for UBig {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl From<u64> for UBig {
+    fn from(value: u64) -> Self {
+        UBig::from_u64(value)
+    }
+}
+
+impl From<u128> for UBig {
+    fn from(value: u128) -> Self {
+        UBig::from_u128(value)
+    }
+}
+
+impl fmt::Display for UBig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        // Repeated division by 10^19 (largest power of ten in u64).
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        let mut parts = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.divrem_u64(CHUNK);
+            parts.push(r);
+            cur = q;
+        }
+        write!(f, "{}", parts.last().unwrap())?;
+        for part in parts.iter().rev().skip(1) {
+            write!(f, "{part:019}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_sub_round_trip() {
+        let a = UBig::from_u128(0x1234_5678_9abc_def0_1122_3344_5566_7788);
+        let b = UBig::from_u128(0x0fed_cba9_8765_4321_8877_6655_4433_2211);
+        let s = a.add(&b);
+        assert_eq!(s.sub(&b), a);
+        assert_eq!(s.sub(&a), b);
+    }
+
+    #[test]
+    fn mul_matches_u128() {
+        let a = 0xdead_beef_cafe_u64;
+        let b = 0x1234_5678_9abc_u64;
+        let exact = a as u128 * b as u128;
+        assert_eq!(UBig::from_u64(a).mul_u64(b), UBig::from_u128(exact));
+        assert_eq!(
+            UBig::from_u64(a).mul(&UBig::from_u64(b)),
+            UBig::from_u128(exact)
+        );
+    }
+
+    #[test]
+    fn divrem_u64_matches_u128() {
+        let x = 0x1234_5678_9abc_def0_1122_3344_5566_7788_u128;
+        let d = 0x1_0000_0001_u64;
+        let (q, r) = UBig::from_u128(x).divrem_u64(d);
+        assert_eq!(q, UBig::from_u128(x / d as u128));
+        assert_eq!(r, (x % d as u128) as u64);
+    }
+
+    #[test]
+    fn rem_big_small_cases() {
+        let a = UBig::from_u128(1 << 100);
+        let m = UBig::from_u64(1_000_003);
+        let r = a.rem_big(&m);
+        // 2^100 mod 1_000_003 computed independently via modpow.
+        let mut acc: u64 = 1;
+        for _ in 0..100 {
+            acc = (acc * 2) % 1_000_003;
+        }
+        assert_eq!(r, UBig::from_u64(acc));
+    }
+
+    #[test]
+    fn display_decimal() {
+        assert_eq!(UBig::zero().to_string(), "0");
+        assert_eq!(UBig::from_u64(12345).to_string(), "12345");
+        let big = UBig::from_u64(u64::MAX).mul_u64(u64::MAX);
+        assert_eq!(big.to_string(), "340282366920938463426481119284349108225");
+    }
+
+    #[test]
+    fn shl_matches_u128() {
+        let a = UBig::from_u64(0xabcd);
+        assert_eq!(a.shl(77), UBig::from_u128((0xabcd_u128) << 77));
+    }
+
+    #[test]
+    fn product_of_words() {
+        let p = UBig::product_of([3, 5, 7]);
+        assert_eq!(p, UBig::from_u64(105));
+    }
+}

@@ -1,0 +1,363 @@
+//! The 4-step NTT decomposition used by Alchemist's data management.
+//!
+//! The classical iterative NTT is "fully connected": every butterfly stage
+//! mixes coefficients across the whole polynomial, which contradicts a
+//! slot-partitioned memory layout. The 4-step algorithm (paper §5.3)
+//! decomposes an `N = n1·n2`-point transform into
+//!
+//! 1. `n2` independent `n1`-point NTTs (columns),
+//! 2. an element-wise twiddle multiplication,
+//! 3. a matrix transpose (on hardware: the transpose register file),
+//! 4. `n1` independent `n2`-point NTTs (rows),
+//!
+//! so each computing unit only ever runs *local* sub-NTTs over the slots it
+//! owns. This module is the functional counterpart the simulator's dataflow
+//! is validated against.
+//!
+//! Negacyclic folding: inputs are first *twisted* by powers of the `2N`-th
+//! root ψ, turning the negacyclic convolution into a cyclic one.
+//!
+//! # Ordering
+//!
+//! [`FourStepNtt::forward`] writes the evaluation `X[k1 + n1·k2]` at flat
+//! index `k1·n2 + k2` ("four-step order"). [`FourStepNtt::inverse`] consumes
+//! exactly that order, and point-wise products of two four-step-transformed
+//! polynomials invert to the negacyclic product, so the order never leaks —
+//! the same contract the bit-reversed [`crate::NttTable`] follows.
+
+use crate::modulus::ShoupScalar;
+use crate::ntt::{find_primitive_root, CyclicNtt};
+use crate::{MathError, Modulus};
+
+/// Precomputed tables for a 4-step negacyclic NTT of size `n = n1 * n2`.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), fhe_math::MathError> {
+/// use fhe_math::{generate_ntt_primes, FourStepNtt, Modulus};
+/// let q = Modulus::new(generate_ntt_primes(36, 256, 1)?[0])?;
+/// let ntt = FourStepNtt::new(q, 16, 16)?;
+/// let mut a: Vec<u64> = (0..256).collect();
+/// let original = a.clone();
+/// ntt.forward(&mut a);
+/// ntt.inverse(&mut a);
+/// assert_eq!(a, original);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FourStepNtt {
+    modulus: Modulus,
+    n: usize,
+    n1: usize,
+    n2: usize,
+    col: CyclicNtt,
+    row: CyclicNtt,
+    /// ω^{i2·k1} laid out at `k1*n2 + i2`, matching the data layout between
+    /// steps 2 and 4.
+    twiddle: Vec<ShoupScalar>,
+    twiddle_inv: Vec<ShoupScalar>,
+    /// ψ^i twist factors (negacyclic folding).
+    twist: Vec<ShoupScalar>,
+    twist_inv: Vec<ShoupScalar>,
+}
+
+impl FourStepNtt {
+    /// Builds a 4-step NTT with the given column (`n1`) and row (`n2`)
+    /// dimensions.
+    ///
+    /// # Errors
+    ///
+    /// * [`MathError::InvalidDegree`] if `n1` or `n2` is not a power of two
+    ///   of at least 2, or `n1*n2` is outside `[8, 2^17]`.
+    /// * [`MathError::NoNttSupport`] if the modulus lacks a `2n`-th root of
+    ///   unity.
+    pub fn new(modulus: Modulus, n1: usize, n2: usize) -> Result<Self, MathError> {
+        if !n1.is_power_of_two() || !n2.is_power_of_two() || n1 < 2 || n2 < 2 {
+            return Err(MathError::InvalidDegree { degree: n1.max(n2) });
+        }
+        let n = n1 * n2;
+        if !(8..=(1 << 17)).contains(&n) {
+            return Err(MathError::InvalidDegree { degree: n });
+        }
+        let psi = find_primitive_root(modulus, 2 * n as u64)
+            .ok_or(MathError::NoNttSupport { modulus: modulus.value(), degree: n })?;
+        let psi_inv = modulus.inv(psi)?;
+        let omega = modulus.mul(psi, psi);
+        let omega_inv = modulus.inv(omega)?;
+
+        let col = CyclicNtt::with_root(modulus, n1, modulus.pow(omega, (n / n1) as u64))?;
+        let row = CyclicNtt::with_root(modulus, n2, modulus.pow(omega, (n / n2) as u64))?;
+
+        let mut twiddle = Vec::with_capacity(n);
+        let mut twiddle_inv = Vec::with_capacity(n);
+        for k1 in 0..n1 {
+            for i2 in 0..n2 {
+                let e = (i2 as u64) * (k1 as u64);
+                twiddle.push(modulus.shoup(modulus.pow(omega, e)));
+                twiddle_inv.push(modulus.shoup(modulus.pow(omega_inv, e)));
+            }
+        }
+        let mut twist = Vec::with_capacity(n);
+        let mut twist_inv = Vec::with_capacity(n);
+        let mut p = 1u64;
+        let mut pi = 1u64;
+        for _ in 0..n {
+            twist.push(modulus.shoup(p));
+            twist_inv.push(modulus.shoup(pi));
+            p = modulus.mul(p, psi);
+            pi = modulus.mul(pi, psi_inv);
+        }
+        Ok(FourStepNtt {
+            modulus,
+            n,
+            n1,
+            n2,
+            col,
+            row,
+            twiddle,
+            twiddle_inv,
+            twist,
+            twist_inv,
+        })
+    }
+
+    /// Total transform size `n1 * n2`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Column dimension (number of slots per computing unit on hardware).
+    #[inline]
+    pub fn n1(&self) -> usize {
+        self.n1
+    }
+
+    /// Row dimension (number of computing units on hardware).
+    #[inline]
+    pub fn n2(&self) -> usize {
+        self.n2
+    }
+
+    /// The column (`n1`-point) transform — exposed so a distributed
+    /// executor can run it per computing unit.
+    #[inline]
+    pub fn col_transform(&self) -> &CyclicNtt {
+        &self.col
+    }
+
+    /// The row (`n2`-point) transform.
+    #[inline]
+    pub fn row_transform(&self) -> &CyclicNtt {
+        &self.row
+    }
+
+    /// Negacyclic twist factors `ψ^i`, indexed by flat slot.
+    #[inline]
+    pub fn twist_factors(&self) -> &[ShoupScalar] {
+        &self.twist
+    }
+
+    /// Inter-step twiddles `ω^{i2·k1}` at layout `k1·n2 + i2`.
+    #[inline]
+    pub fn twiddle_factors(&self) -> &[ShoupScalar] {
+        &self.twiddle
+    }
+
+    /// The modulus.
+    #[inline]
+    pub fn modulus(&self) -> Modulus {
+        self.modulus
+    }
+
+    /// Forward negacyclic NTT in four-step order (see module docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != self.n()`.
+    pub fn forward(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n);
+        let m = &self.modulus;
+        // Twist: negacyclic -> cyclic.
+        for (x, t) in a.iter_mut().zip(&self.twist) {
+            *x = m.mul_shoup(*x, *t);
+        }
+        // Step 1: n2 column NTTs of size n1 (strided gather — the cross-unit
+        // pattern the hardware realizes through the transpose buffer).
+        let mut colbuf = vec![0u64; self.n1];
+        for i2 in 0..self.n2 {
+            for i1 in 0..self.n1 {
+                colbuf[i1] = a[i1 * self.n2 + i2];
+            }
+            self.col.forward_natural(&mut colbuf);
+            for k1 in 0..self.n1 {
+                a[k1 * self.n2 + i2] = colbuf[k1];
+            }
+        }
+        // Step 2: twiddle multiplication.
+        for (x, t) in a.iter_mut().zip(&self.twiddle) {
+            *x = m.mul_shoup(*x, *t);
+        }
+        // Steps 3+4: rows are already contiguous in this layout; run the
+        // n1 row NTTs of size n2.
+        for k1 in 0..self.n1 {
+            self.row.forward_natural(&mut a[k1 * self.n2..(k1 + 1) * self.n2]);
+        }
+    }
+
+    /// Inverse of [`FourStepNtt::forward`], including all scaling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != self.n()`.
+    pub fn inverse(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n);
+        let m = &self.modulus;
+        for k1 in 0..self.n1 {
+            self.row.inverse_natural(&mut a[k1 * self.n2..(k1 + 1) * self.n2]);
+        }
+        for (x, t) in a.iter_mut().zip(&self.twiddle_inv) {
+            *x = m.mul_shoup(*x, *t);
+        }
+        let mut colbuf = vec![0u64; self.n1];
+        for i2 in 0..self.n2 {
+            for i1 in 0..self.n1 {
+                colbuf[i1] = a[i1 * self.n2 + i2];
+            }
+            self.col.inverse_natural(&mut colbuf);
+            for i1 in 0..self.n1 {
+                a[i1 * self.n2 + i2] = colbuf[i1];
+            }
+        }
+        for (x, t) in a.iter_mut().zip(&self.twist_inv) {
+            *x = m.mul_shoup(*x, *t);
+        }
+    }
+
+    /// Permutes a four-step-ordered evaluation vector into natural DFT order
+    /// (`out[k1 + n1*k2] = a[k1*n2 + k2]`). Only needed when comparing
+    /// against a reference transform; round trips and point-wise products
+    /// never require it.
+    pub fn to_natural_order(&self, a: &[u64]) -> Vec<u64> {
+        assert_eq!(a.len(), self.n);
+        let mut out = vec![0u64; self.n];
+        for k1 in 0..self.n1 {
+            for k2 in 0..self.n2 {
+                out[k1 + self.n1 * k2] = a[k1 * self.n2 + k2];
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate_ntt_primes;
+
+    fn setup(n1: usize, n2: usize) -> (Modulus, FourStepNtt) {
+        let q = Modulus::new(generate_ntt_primes(36, n1 * n2, 1).unwrap()[0]).unwrap();
+        (q, FourStepNtt::new(q, n1, n2).unwrap())
+    }
+
+    #[test]
+    fn round_trip_various_shapes() {
+        for (n1, n2) in [(2usize, 4usize), (4, 4), (8, 16), (16, 8), (32, 32)] {
+            let (q, ntt) = setup(n1, n2);
+            let n = n1 * n2;
+            let mut a: Vec<u64> = (0..n as u64).map(|i| (i * 97 + 5) % q.value()).collect();
+            let original = a.clone();
+            ntt.forward(&mut a);
+            ntt.inverse(&mut a);
+            assert_eq!(a, original, "shape {n1}x{n2}");
+        }
+    }
+
+    #[test]
+    fn pointwise_product_is_negacyclic_convolution() {
+        let (q, ntt) = setup(4, 8);
+        let n = 32;
+        let a: Vec<u64> = (0..n as u64).map(|i| (i + 1) % q.value()).collect();
+        let b: Vec<u64> = (0..n as u64).map(|i| (3 * i + 2) % q.value()).collect();
+        // Reference via schoolbook negacyclic convolution.
+        let mut expected = vec![0u64; n];
+        for i in 0..n {
+            for j in 0..n {
+                let p = q.mul(a[i], b[j]);
+                if i + j < n {
+                    expected[i + j] = q.add(expected[i + j], p);
+                } else {
+                    expected[i + j - n] = q.sub(expected[i + j - n], p);
+                }
+            }
+        }
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        ntt.forward(&mut fa);
+        ntt.forward(&mut fb);
+        let mut prod: Vec<u64> = fa.iter().zip(&fb).map(|(&x, &y)| q.mul(x, y)).collect();
+        ntt.inverse(&mut prod);
+        assert_eq!(prod, expected);
+    }
+
+    #[test]
+    fn natural_order_matches_naive_negacyclic_dft() {
+        let (q, ntt) = setup(4, 4);
+        let n = 16;
+        let a: Vec<u64> = (1..=n as u64).collect();
+        let mut f = a.clone();
+        ntt.forward(&mut f);
+        let natural = ntt.to_natural_order(&f);
+        // Naive: X[k] = sum_i a[i] * psi^i * omega^{ik}; recover psi/omega
+        // from the tables by probing the impulse response of X^1.
+        // Simpler: evaluate directly with an independently-found root.
+        let psi = crate::ntt::find_primitive_root(q, 2 * n as u64).unwrap();
+        let omega = q.mul(psi, psi);
+        for k in 0..n {
+            let mut acc = 0u64;
+            for i in 0..n {
+                let tw = q.mul(q.pow(psi, i as u64), q.pow(omega, (i * k) as u64));
+                acc = q.add(acc, q.mul(a[i], tw));
+            }
+            assert_eq!(natural[k], acc, "k={k}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_bit_reversed_ntt_under_multiplication() {
+        // The two transforms use different orders but must produce identical
+        // negacyclic products.
+        use crate::NttTable;
+        let (q, four) = setup(8, 8);
+        let n = 64;
+        let flat = NttTable::new(q, n).unwrap();
+        let a: Vec<u64> = (0..n as u64).map(|i| (i * i + 1) % q.value()).collect();
+        let b: Vec<u64> = (0..n as u64).map(|i| (i * 13 + 7) % q.value()).collect();
+
+        let mut fa4 = a.clone();
+        let mut fb4 = b.clone();
+        four.forward(&mut fa4);
+        four.forward(&mut fb4);
+        let mut p4: Vec<u64> = fa4.iter().zip(&fb4).map(|(&x, &y)| q.mul(x, y)).collect();
+        four.inverse(&mut p4);
+
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        flat.forward(&mut fa);
+        flat.forward(&mut fb);
+        let mut p: Vec<u64> = fa.iter().zip(&fb).map(|(&x, &y)| q.mul(x, y)).collect();
+        flat.inverse(&mut p);
+
+        assert_eq!(p4, p);
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let q = Modulus::new(generate_ntt_primes(36, 64, 1).unwrap()[0]).unwrap();
+        assert!(FourStepNtt::new(q, 1, 64).is_err());
+        assert!(FourStepNtt::new(q, 3, 8).is_err());
+        assert!(FourStepNtt::new(q, 2, 2).is_err()); // n = 4 < 8
+    }
+}

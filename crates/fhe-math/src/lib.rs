@@ -1,0 +1,64 @@
+//! Number-theoretic substrate for cross-scheme fully homomorphic encryption.
+//!
+//! This crate provides every low-level building block the Alchemist
+//! reproduction needs, implemented from scratch:
+//!
+//! * [`Modulus`] — word-sized prime moduli with Barrett and Shoup
+//!   multiplication and lazy 128-bit accumulation (the arithmetic the
+//!   paper's Meta-OP `(M_j A_j)_n R_j` performs in hardware),
+//! * [`NttTable`] — negacyclic number-theoretic transforms, including the
+//!   4-step formulation used by Alchemist's slot-based data management and
+//!   a radix-8/4 *blocked* formulation that the Meta-OP layer lowers,
+//! * [`RnsBasis`] / [`RnsPoly`] — residue-number-system polynomials with the
+//!   fast base conversion `Bconv` (paper Eq. 1), `Modup` (Eq. 2) and
+//!   `Moddown` (Eq. 3),
+//! * gadget decomposition for both CKKS (`dnum` hybrid key-switching digits)
+//!   and TFHE (signed base-2^w digits),
+//! * secure-ish sampling helpers (discrete Gaussian, ternary, uniform) —
+//!   statistical quality suitable for a research reproduction,
+//! * a tiny arbitrary-precision unsigned integer [`UBig`] used to *verify*
+//!   RNS algebra against exact integer arithmetic in tests.
+//!
+//! # Example
+//!
+//! ```
+//! use fhe_math::{Modulus, NttTable};
+//!
+//! # fn main() -> Result<(), fhe_math::MathError> {
+//! let q = fhe_math::generate_ntt_primes(36, 1 << 10, 1)?[0];
+//! let modulus = Modulus::new(q)?;
+//! let table = NttTable::new(modulus, 1 << 10)?;
+//! let mut poly = vec![1u64; 1 << 10];
+//! table.forward(&mut poly);
+//! table.inverse(&mut poly);
+//! assert!(poly.iter().all(|&c| c == 1));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bigint;
+mod decomp;
+mod error;
+mod four_step;
+mod modulus;
+mod montgomery;
+mod ntt;
+mod poly;
+mod prime;
+mod rns;
+mod sampling;
+
+pub use bigint::UBig;
+pub use decomp::{Gadget, SignedDigitDecomposer};
+pub use error::MathError;
+pub use four_step::FourStepNtt;
+pub use modulus::{Modulus, ShoupScalar};
+pub use montgomery::MontgomeryContext;
+pub use ntt::{CyclicNtt, NttTable};
+pub use poly::{Domain, Poly};
+pub use prime::{generate_ntt_primes, generate_primes_with_step, is_prime};
+pub use rns::{BconvPlan, RnsBasis, RnsContext, RnsPoly};
+pub use sampling::{sample_gaussian, sample_ternary, sample_uniform, GaussianSampler};

@@ -1,0 +1,341 @@
+//! Word-sized modular arithmetic with Barrett and Shoup multiplication.
+//!
+//! This is the scalar arithmetic the Alchemist core performs in hardware:
+//! plain multiplies and adds accumulated *lazily* in wide registers, with a
+//! single Barrett reduction at the end of a Meta-OP — the reduction itself
+//! being two more multiplications on the reused multiplier array
+//! (paper §5.2, Fig. 5d).
+
+use crate::MathError;
+
+/// Maximum supported modulus width in bits.
+///
+/// With `q < 2^61`, a product is below `2^122` and a lazy sum of up to
+/// `j = 8` (even up to 64) products still fits in a `u128` accumulator, which
+/// mirrors the paper's lazy-reduction argument for the Meta-OP.
+pub const MAX_MODULUS_BITS: u32 = 61;
+
+/// A prime (or at least odd) modulus `q < 2^61` with precomputed Barrett
+/// constants.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), fhe_math::MathError> {
+/// let q = fhe_math::Modulus::new(0x7fffffff)?; // 2^31 - 1
+/// let a = q.mul(123456789, 987654321);
+/// assert_eq!(a, (123456789u128 * 987654321u128 % 0x7fffffffu128) as u64);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Modulus {
+    value: u64,
+    /// floor(2^128 / q), used for Barrett reduction of 128-bit products.
+    ratio: u128,
+    bits: u32,
+}
+
+impl Modulus {
+    /// Creates a modulus with precomputed Barrett constants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::InvalidModulus`] if `value < 2`, `value` is even
+    /// (all FHE moduli here are odd primes), or `value ≥ 2^61`.
+    pub fn new(value: u64) -> Result<Self, MathError> {
+        if value < 2 {
+            return Err(MathError::InvalidModulus { value, reason: "must be at least 2" });
+        }
+        if value.is_multiple_of(2) {
+            return Err(MathError::InvalidModulus { value, reason: "must be odd" });
+        }
+        let bits = 64 - value.leading_zeros();
+        if bits > MAX_MODULUS_BITS {
+            return Err(MathError::InvalidModulus {
+                value,
+                reason: "wider than 61 bits; lazy accumulation invariant would break",
+            });
+        }
+        // ratio = floor(2^128 / q). Split 2^128 = (a*q + r) * 2^64 with
+        // a = floor(2^64/q), r = 2^64 mod q, so ratio = a*2^64 + floor(r*2^64/q).
+        let a = (1u128 << 64) / value as u128;
+        let r = (1u128 << 64) % value as u128;
+        let ratio = (a << 64) + ((r << 64) / value as u128);
+        Ok(Modulus { value, ratio, bits })
+    }
+
+    /// The modulus value `q`.
+    #[inline]
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// Bit width of `q`.
+    #[inline]
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Reduces an arbitrary `u64` into `[0, q)`.
+    #[inline]
+    pub fn reduce(&self, a: u64) -> u64 {
+        self.reduce_u128(a as u128)
+    }
+
+    /// Barrett-reduces a 128-bit value into `[0, q)`.
+    ///
+    /// This is the `R` step of the Meta-OP: one high multiplication by the
+    /// precomputed ratio, one low multiplication by `q`, then at most two
+    /// conditional subtractions.
+    #[inline]
+    pub fn reduce_u128(&self, a: u128) -> u64 {
+        // qhat = floor(a * ratio / 2^128): the high 128 bits of a 256-bit product.
+        let qhat = mulhi_u128(a, self.ratio);
+        let mut r = a.wrapping_sub(qhat.wrapping_mul(self.value as u128)) as u64;
+        // The Barrett estimate is off by at most 2.
+        if r >= self.value {
+            r -= self.value;
+        }
+        if r >= self.value {
+            r -= self.value;
+        }
+        r
+    }
+
+    /// Modular addition of canonical operands.
+    #[inline]
+    pub fn add(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.value && b < self.value);
+        let s = a + b;
+        if s >= self.value {
+            s - self.value
+        } else {
+            s
+        }
+    }
+
+    /// Modular subtraction of canonical operands.
+    #[inline]
+    pub fn sub(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.value && b < self.value);
+        if a >= b {
+            a - b
+        } else {
+            a + self.value - b
+        }
+    }
+
+    /// Modular negation of a canonical operand.
+    #[inline]
+    pub fn neg(&self, a: u64) -> u64 {
+        debug_assert!(a < self.value);
+        if a == 0 {
+            0
+        } else {
+            self.value - a
+        }
+    }
+
+    /// Modular multiplication via Barrett reduction.
+    #[inline]
+    pub fn mul(&self, a: u64, b: u64) -> u64 {
+        self.reduce_u128(a as u128 * b as u128)
+    }
+
+    /// Fused multiply-add `a*b + c mod q`.
+    #[inline]
+    pub fn mul_add(&self, a: u64, b: u64, c: u64) -> u64 {
+        self.reduce_u128(a as u128 * b as u128 + c as u128)
+    }
+
+    /// Modular exponentiation by squaring.
+    pub fn pow(&self, mut base: u64, mut exp: u64) -> u64 {
+        base = self.reduce(base);
+        let mut acc = 1u64;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = self.mul(acc, base);
+            }
+            base = self.mul(base, base);
+            exp >>= 1;
+        }
+        acc
+    }
+
+    /// Modular inverse via Fermat's little theorem (valid for prime `q`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::NotInvertible`] if `a ≡ 0 (mod q)` or the
+    /// computed inverse fails verification (non-prime modulus).
+    pub fn inv(&self, a: u64) -> Result<u64, MathError> {
+        let a = self.reduce(a);
+        if a == 0 {
+            return Err(MathError::NotInvertible { value: a, modulus: self.value });
+        }
+        let inv = self.pow(a, self.value - 2);
+        if self.mul(a, inv) != 1 {
+            return Err(MathError::NotInvertible { value: a, modulus: self.value });
+        }
+        Ok(inv)
+    }
+
+    /// Precomputes a Shoup representation of `w` for repeated products
+    /// `a * w mod q` — the fast path NTT butterflies use for twiddles.
+    #[inline]
+    pub fn shoup(&self, w: u64) -> ShoupScalar {
+        debug_assert!(w < self.value);
+        ShoupScalar {
+            value: w,
+            quotient: (((w as u128) << 64) / self.value as u128) as u64,
+        }
+    }
+
+    /// Shoup modular multiplication `a * w mod q` with `w` precomputed.
+    #[inline]
+    pub fn mul_shoup(&self, a: u64, w: ShoupScalar) -> u64 {
+        debug_assert!(a < self.value);
+        let qhat = ((a as u128 * w.quotient as u128) >> 64) as u64;
+        let r = (a.wrapping_mul(w.value)).wrapping_sub(qhat.wrapping_mul(self.value));
+        if r >= self.value {
+            r - self.value
+        } else {
+            r
+        }
+    }
+
+    /// Converts a signed value in `(-q, q)` represented as `i64` to canonical form.
+    #[inline]
+    pub fn from_i64(&self, a: i64) -> u64 {
+        let q = self.value as i128;
+        let mut v = a as i128 % q;
+        if v < 0 {
+            v += q;
+        }
+        v as u64
+    }
+
+    /// Maps a canonical residue to its centered representative in
+    /// `(-q/2, q/2]`.
+    #[inline]
+    pub fn to_centered(&self, a: u64) -> i64 {
+        debug_assert!(a < self.value);
+        if a > self.value / 2 {
+            a as i64 - self.value as i64
+        } else {
+            a as i64
+        }
+    }
+}
+
+/// A value together with its Shoup quotient, enabling one-multiplication
+/// modular products against a fixed operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ShoupScalar {
+    /// The canonical value `w < q`.
+    pub value: u64,
+    /// `floor(w * 2^64 / q)`.
+    pub quotient: u64,
+}
+
+/// High 128 bits of the 256-bit product `a * b`.
+#[inline]
+fn mulhi_u128(a: u128, b: u128) -> u128 {
+    let a_lo = a as u64 as u128;
+    let a_hi = a >> 64;
+    let b_lo = b as u64 as u128;
+    let b_hi = b >> 64;
+
+    let lo_lo = a_lo * b_lo;
+    let lo_hi = a_lo * b_hi;
+    let hi_lo = a_hi * b_lo;
+    let hi_hi = a_hi * b_hi;
+
+    let mid = (lo_lo >> 64) + (lo_hi & ((1u128 << 64) - 1)) + (hi_lo & ((1u128 << 64) - 1));
+    hi_hi + (lo_hi >> 64) + (hi_lo >> 64) + (mid >> 64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const Q36: u64 = 68_719_403_009; // 36-bit NTT prime (q ≡ 1 mod 2^17)
+    const Q60: u64 = 1_152_921_504_606_830_593; // 60-bit NTT prime
+
+    #[test]
+    fn rejects_bad_moduli() {
+        assert!(Modulus::new(0).is_err());
+        assert!(Modulus::new(1).is_err());
+        assert!(Modulus::new(4).is_err());
+        assert!(Modulus::new(1 << 62).is_err());
+        assert!(Modulus::new((1 << 62) + 1).is_err());
+    }
+
+    #[test]
+    fn barrett_matches_u128_remainder() {
+        for &q in &[3u64, 17, 65537, Q36, Q60, (1u64 << 61) - 1] {
+            let m = Modulus::new(q).unwrap();
+            let samples = [
+                0u128,
+                1,
+                q as u128 - 1,
+                q as u128,
+                q as u128 + 1,
+                (q as u128) * (q as u128) - 1,
+                u128::from(u64::MAX),
+                0x1234_5678_9abc_def0_1122_3344_5566_7788,
+            ];
+            for &x in &samples {
+                assert_eq!(m.reduce_u128(x), (x % q as u128) as u64, "q={q} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn mul_add_sub_neg_consistency() {
+        let m = Modulus::new(Q36).unwrap();
+        let a = 0x123456789u64 % Q36;
+        let b = 0xabcdef123u64 % Q36;
+        assert_eq!(m.add(a, m.neg(a)), 0);
+        assert_eq!(m.sub(m.add(a, b), b), a);
+        assert_eq!(m.mul(a, b), (a as u128 * b as u128 % Q36 as u128) as u64);
+        assert_eq!(m.mul_add(a, b, 7), ((a as u128 * b as u128 + 7) % Q36 as u128) as u64);
+    }
+
+    #[test]
+    fn pow_and_inv() {
+        let m = Modulus::new(Q36).unwrap();
+        assert_eq!(m.pow(3, 0), 1);
+        assert_eq!(m.pow(3, 1), 3);
+        assert_eq!(m.pow(2, 36), (1u128 << 36) as u64 % Q36);
+        let inv3 = m.inv(3).unwrap();
+        assert_eq!(m.mul(3, inv3), 1);
+        assert!(m.inv(0).is_err());
+    }
+
+    #[test]
+    fn shoup_matches_barrett() {
+        let m = Modulus::new(Q60).unwrap();
+        let w = Q60 - 12345;
+        let ws = m.shoup(w);
+        for a in [0u64, 1, 2, Q60 / 2, Q60 - 1] {
+            assert_eq!(m.mul_shoup(a, ws), m.mul(a, w));
+        }
+    }
+
+    #[test]
+    fn centered_round_trip() {
+        let m = Modulus::new(65537).unwrap();
+        for v in [-32768i64, -1, 0, 1, 32768] {
+            assert_eq!(m.to_centered(m.from_i64(v)), v);
+        }
+    }
+
+    #[test]
+    fn mulhi_u128_known_values() {
+        assert_eq!(mulhi_u128(u128::MAX, u128::MAX), u128::MAX - 1);
+        assert_eq!(mulhi_u128(1 << 127, 2), 1);
+        assert_eq!(mulhi_u128(0, u128::MAX), 0);
+    }
+}

@@ -1,0 +1,542 @@
+//! Negacyclic number-theoretic transforms.
+//!
+//! [`NttTable`] implements the in-place iterative Cooley–Tukey (forward) /
+//! Gentleman–Sande (inverse) negacyclic NTT over `Z_q[X]/(X^N + 1)` with
+//! Shoup-precomputed twiddles, following the standard bit-reversed-twiddle
+//! formulation (Longa–Naehrig). [`CyclicNtt`] is the plain cyclic transform
+//! used as a building block of the 4-step NTT ([`crate::FourStepNtt`]) that
+//! Alchemist's slot-based data management relies on (paper §5.3).
+
+use crate::modulus::ShoupScalar;
+use crate::{MathError, Modulus};
+
+/// Precomputed tables for the negacyclic NTT of a fixed size and modulus.
+///
+/// The forward transform maps coefficients (natural order) to evaluations in
+/// *bit-reversed* order; the inverse consumes that order. All polynomial
+/// arithmetic in this workspace keeps NTT-domain data in this matched order,
+/// so the order never leaks.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), fhe_math::MathError> {
+/// use fhe_math::{generate_ntt_primes, Modulus, NttTable};
+/// let q = Modulus::new(generate_ntt_primes(36, 64, 1)?[0])?;
+/// let table = NttTable::new(q, 64)?;
+/// let mut a = vec![0u64; 64];
+/// a[1] = 1; // X
+/// let mut b = a.clone();
+/// table.forward(&mut a);
+/// table.forward(&mut b);
+/// let mut prod: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| q.mul(x, y)).collect();
+/// table.inverse(&mut prod);
+/// assert_eq!(prod[2], 1); // X * X = X^2
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct NttTable {
+    modulus: Modulus,
+    n: usize,
+    log_n: u32,
+    /// psi^brv(i) for i in 0..n (bit-reversed powers of the 2n-th root).
+    psi_rev: Vec<ShoupScalar>,
+    /// psi^{-brv(i)} analogue for the inverse transform.
+    psi_inv_rev: Vec<ShoupScalar>,
+    n_inv: ShoupScalar,
+    psi: u64,
+}
+
+impl NttTable {
+    /// Builds NTT tables for polynomials of degree `n` modulo `modulus`.
+    ///
+    /// # Errors
+    ///
+    /// * [`MathError::InvalidDegree`] if `n` is not a power of two in
+    ///   `[8, 2^17]`.
+    /// * [`MathError::NoNttSupport`] if `q ≢ 1 (mod 2n)` or no primitive
+    ///   `2n`-th root of unity exists (composite modulus).
+    pub fn new(modulus: Modulus, n: usize) -> Result<Self, MathError> {
+        if !n.is_power_of_two() || !(8..=(1 << 17)).contains(&n) {
+            return Err(MathError::InvalidDegree { degree: n });
+        }
+        let q = modulus.value();
+        if !(q - 1).is_multiple_of(2 * n as u64) {
+            return Err(MathError::NoNttSupport { modulus: q, degree: n });
+        }
+        let psi = find_primitive_root(modulus, 2 * n as u64)
+            .ok_or(MathError::NoNttSupport { modulus: q, degree: n })?;
+        let psi_inv = modulus.inv(psi)?;
+        let log_n = n.trailing_zeros();
+
+        let mut psi_rev = vec![ShoupScalar::default(); n];
+        let mut psi_inv_rev = vec![ShoupScalar::default(); n];
+        let mut power = 1u64;
+        let mut power_inv = 1u64;
+        for i in 0..n {
+            let r = bit_reverse(i as u64, log_n) as usize;
+            psi_rev[r] = modulus.shoup(power);
+            psi_inv_rev[r] = modulus.shoup(power_inv);
+            power = modulus.mul(power, psi);
+            power_inv = modulus.mul(power_inv, psi_inv);
+        }
+        let n_inv = modulus.shoup(modulus.inv(n as u64)?);
+        Ok(NttTable { modulus, n, log_n, psi_rev, psi_inv_rev, n_inv, psi })
+    }
+
+    /// The transform size `N`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// `log2(N)`.
+    #[inline]
+    pub fn log_n(&self) -> u32 {
+        self.log_n
+    }
+
+    /// The modulus the tables were built for.
+    #[inline]
+    pub fn modulus(&self) -> Modulus {
+        self.modulus
+    }
+
+    /// The primitive `2N`-th root of unity ψ used by this table.
+    #[inline]
+    pub fn psi(&self) -> u64 {
+        self.psi
+    }
+
+    /// Bit-reversed forward twiddles `ψ^brv(i)`; exposed so the Meta-OP
+    /// layer can lower the same transform onto `(M_j A_j)_n R_j` streams.
+    #[inline]
+    pub fn psi_rev(&self) -> &[ShoupScalar] {
+        &self.psi_rev
+    }
+
+    /// Bit-reversed inverse twiddles.
+    #[inline]
+    pub fn psi_inv_rev(&self) -> &[ShoupScalar] {
+        &self.psi_inv_rev
+    }
+
+    /// `N^{-1} mod q` in Shoup form.
+    #[inline]
+    pub fn n_inv(&self) -> ShoupScalar {
+        self.n_inv
+    }
+
+    /// In-place forward negacyclic NTT (natural → bit-reversed order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != self.n()`.
+    pub fn forward(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "polynomial length must match NTT size");
+        let m = &self.modulus;
+        let mut t = self.n;
+        let mut groups = 1usize;
+        while groups < self.n {
+            t /= 2;
+            for i in 0..groups {
+                let s = self.psi_rev[groups + i];
+                let j1 = 2 * i * t;
+                for j in j1..j1 + t {
+                    let u = a[j];
+                    let v = m.mul_shoup(a[j + t], s);
+                    a[j] = m.add(u, v);
+                    a[j + t] = m.sub(u, v);
+                }
+            }
+            groups *= 2;
+        }
+    }
+
+    /// Forward NTT with **lazy (Harvey) butterflies**: intermediate values
+    /// stay in `[0, 4q)` and only one canonicalizing pass runs at the end —
+    /// the software analogue of the Meta-OP's deferred `R_j` reduction.
+    /// Produces exactly the same output as [`NttTable::forward`], typically
+    /// 20–40% faster (see the `kernels` bench).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != self.n()`.
+    pub fn forward_lazy(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "polynomial length must match NTT size");
+        let q = self.modulus.value();
+        let two_q = 2 * q;
+        let mut t = self.n;
+        let mut groups = 1usize;
+        while groups < self.n {
+            t /= 2;
+            for i in 0..groups {
+                let s = self.psi_rev[groups + i];
+                let j1 = 2 * i * t;
+                for j in j1..j1 + t {
+                    // Harvey butterfly: u in [0, 2q), v in [0, 2q); outputs
+                    // in [0, 4q).
+                    let mut u = a[j];
+                    if u >= two_q {
+                        u -= two_q;
+                    }
+                    let x = a[j + t];
+                    let qhat = ((x as u128 * s.quotient as u128) >> 64) as u64;
+                    let v = x
+                        .wrapping_mul(s.value)
+                        .wrapping_sub(qhat.wrapping_mul(q));
+                    a[j] = u + v;
+                    a[j + t] = u + two_q - v;
+                }
+            }
+            groups *= 2;
+        }
+        for x in a.iter_mut() {
+            let mut v = *x;
+            if v >= two_q {
+                v -= two_q;
+            }
+            if v >= q {
+                v -= q;
+            }
+            *x = v;
+        }
+    }
+
+    /// In-place inverse negacyclic NTT (bit-reversed → natural order),
+    /// including the `N^{-1}` scaling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != self.n()`.
+    pub fn inverse(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "polynomial length must match NTT size");
+        let m = &self.modulus;
+        let mut t = 1usize;
+        let mut groups = self.n / 2;
+        while groups >= 1 {
+            let mut j1 = 0usize;
+            for i in 0..groups {
+                let s = self.psi_inv_rev[groups + i];
+                for j in j1..j1 + t {
+                    let u = a[j];
+                    let v = a[j + t];
+                    a[j] = m.add(u, v);
+                    a[j + t] = m.mul_shoup(m.sub(u, v), s);
+                }
+                j1 += 2 * t;
+            }
+            t *= 2;
+            groups /= 2;
+        }
+        for x in a.iter_mut() {
+            *x = m.mul_shoup(*x, self.n_inv);
+        }
+    }
+}
+
+/// Plain cyclic NTT in *natural* input and output order, used by the
+/// 4-step decomposition where explicit matrix transposes carry the data
+/// movement (exactly the movement Alchemist's transpose register file
+/// performs on chip).
+#[derive(Debug, Clone)]
+pub struct CyclicNtt {
+    modulus: Modulus,
+    n: usize,
+    log_n: u32,
+    /// omega^k for k in 0..n/2, Shoup form.
+    pow: Vec<ShoupScalar>,
+    /// omega^{-k} for k in 0..n/2, Shoup form.
+    pow_inv: Vec<ShoupScalar>,
+    n_inv: ShoupScalar,
+    omega: u64,
+}
+
+impl CyclicNtt {
+    /// Builds cyclic NTT tables of size `n` using `omega`, which must be a
+    /// primitive `n`-th root of unity modulo `modulus`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::InvalidDegree`] for non-power-of-two sizes and
+    /// [`MathError::NoNttSupport`] if `omega` is not a primitive `n`-th root.
+    pub fn with_root(modulus: Modulus, n: usize, omega: u64) -> Result<Self, MathError> {
+        if !n.is_power_of_two() || n < 2 {
+            return Err(MathError::InvalidDegree { degree: n });
+        }
+        if modulus.pow(omega, n as u64) != 1
+            || modulus.pow(omega, n as u64 / 2) == 1
+        {
+            return Err(MathError::NoNttSupport { modulus: modulus.value(), degree: n });
+        }
+        let omega_inv = modulus.inv(omega)?;
+        let log_n = n.trailing_zeros();
+        let mut pow = Vec::with_capacity(n / 2);
+        let mut pow_inv = Vec::with_capacity(n / 2);
+        let mut power = 1u64;
+        let mut power_inv = 1u64;
+        for _ in 0..n / 2 {
+            pow.push(modulus.shoup(power));
+            pow_inv.push(modulus.shoup(power_inv));
+            power = modulus.mul(power, omega);
+            power_inv = modulus.mul(power_inv, omega_inv);
+        }
+        let n_inv = modulus.shoup(modulus.inv(n as u64)?);
+        Ok(CyclicNtt { modulus, n, log_n, pow, pow_inv, n_inv, omega })
+    }
+
+    /// The transform size.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The primitive root in use.
+    #[inline]
+    pub fn omega(&self) -> u64 {
+        self.omega
+    }
+
+    /// Forward cyclic NTT, natural order in and out:
+    /// `out[k] = Σ_i a[i]·ω^{ik}`.
+    ///
+    /// Implemented as decimation-in-frequency (natural in, bit-reversed out)
+    /// followed by a bit-reversal permutation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != self.n()`.
+    pub fn forward_natural(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n);
+        let m = &self.modulus;
+        let mut t = self.n / 2;
+        while t >= 1 {
+            let stride = self.n / (2 * t);
+            let mut j1 = 0usize;
+            while j1 < self.n {
+                for j in 0..t {
+                    let u = a[j1 + j];
+                    let v = a[j1 + j + t];
+                    a[j1 + j] = m.add(u, v);
+                    a[j1 + j + t] = m.mul_shoup(m.sub(u, v), self.pow[j * stride]);
+                }
+                j1 += 2 * t;
+            }
+            t /= 2;
+        }
+        bit_reverse_permute(a, self.log_n);
+    }
+
+    /// Inverse cyclic NTT, natural order in and out, including the `N^{-1}`
+    /// scaling. Exact inverse of [`CyclicNtt::forward_natural`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != self.n()`.
+    pub fn inverse_natural(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n);
+        let m = &self.modulus;
+        bit_reverse_permute(a, self.log_n);
+        let mut t = 1usize;
+        while t < self.n {
+            let stride = self.n / (2 * t);
+            let mut j1 = 0usize;
+            while j1 < self.n {
+                for j in 0..t {
+                    let u = a[j1 + j];
+                    let v = m.mul_shoup(a[j1 + j + t], self.pow_inv[j * stride]);
+                    a[j1 + j] = m.add(u, v);
+                    a[j1 + j + t] = m.sub(u, v);
+                }
+                j1 += 2 * t;
+            }
+            t *= 2;
+        }
+        for x in a.iter_mut() {
+            *x = m.mul_shoup(*x, self.n_inv);
+        }
+    }
+}
+
+/// Reverses the low `bits` bits of `x`.
+#[inline]
+pub(crate) fn bit_reverse(x: u64, bits: u32) -> u64 {
+    if bits == 0 {
+        0
+    } else {
+        x.reverse_bits() >> (64 - bits)
+    }
+}
+
+/// In-place bit-reversal permutation.
+pub(crate) fn bit_reverse_permute(a: &mut [u64], bits: u32) {
+    for i in 0..a.len() {
+        let j = bit_reverse(i as u64, bits) as usize;
+        if j > i {
+            a.swap(i, j);
+        }
+    }
+}
+
+/// Finds a primitive `order`-th root of unity modulo a prime, or `None` if
+/// the modulus is composite / the order does not divide `q - 1`.
+pub(crate) fn find_primitive_root(modulus: Modulus, order: u64) -> Option<u64> {
+    let q = modulus.value();
+    if !(q - 1).is_multiple_of(order) {
+        return None;
+    }
+    let cofactor = (q - 1) / order;
+    for candidate in 2..q.min(1000) {
+        let root = modulus.pow(candidate, cofactor);
+        // Primitive iff root^(order/2) == -1 (order is a power of two here).
+        if modulus.pow(root, order / 2) == q - 1 {
+            return Some(root);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate_ntt_primes;
+
+    fn table(bits: u32, n: usize) -> NttTable {
+        let q = Modulus::new(generate_ntt_primes(bits, n, 1).unwrap()[0]).unwrap();
+        NttTable::new(q, n).unwrap()
+    }
+
+    fn schoolbook_negacyclic(a: &[u64], b: &[u64], m: &Modulus) -> Vec<u64> {
+        let n = a.len();
+        let mut out = vec![0u64; n];
+        for i in 0..n {
+            for j in 0..n {
+                let p = m.mul(a[i], b[j]);
+                if i + j < n {
+                    out[i + j] = m.add(out[i + j], p);
+                } else {
+                    out[i + j - n] = m.sub(out[i + j - n], p);
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn round_trip_identity() {
+        for n in [8usize, 64, 1024] {
+            let t = table(36, n);
+            let mut a: Vec<u64> =
+                (0..n as u64).map(|i| (i * 2654435761) % t.modulus().value()).collect();
+            let original = a.clone();
+            t.forward(&mut a);
+            assert_ne!(a, original, "forward must change a generic vector");
+            t.inverse(&mut a);
+            assert_eq!(a, original);
+        }
+    }
+
+    #[test]
+    fn lazy_forward_matches_canonical() {
+        for bits in [36u32, 60] {
+            for n in [8usize, 64, 512] {
+                let q = Modulus::new(generate_ntt_primes(bits, n, 1).unwrap()[0]).unwrap();
+                let t = NttTable::new(q, n).unwrap();
+                let mut a: Vec<u64> = (0..n as u64)
+                    .map(|i| (i.wrapping_mul(0x9e3779b97f4a7c15)) % q.value())
+                    .collect();
+                let mut b = a.clone();
+                t.forward(&mut a);
+                t.forward_lazy(&mut b);
+                assert_eq!(a, b, "bits={bits} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_forward_worst_case_inputs() {
+        // All coefficients at q-1 stress the 4q bound.
+        let n = 256;
+        let q = Modulus::new(generate_ntt_primes(60, n, 1).unwrap()[0]).unwrap();
+        let t = NttTable::new(q, n).unwrap();
+        let mut a = vec![q.value() - 1; n];
+        let mut b = a.clone();
+        t.forward(&mut a);
+        t.forward_lazy(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn convolution_matches_schoolbook() {
+        let n = 32;
+        let t = table(36, n);
+        let m = t.modulus();
+        let a: Vec<u64> = (0..n as u64).map(|i| (i * i + 3) % m.value()).collect();
+        let b: Vec<u64> = (0..n as u64).map(|i| (7 * i + 11) % m.value()).collect();
+        let expected = schoolbook_negacyclic(&a, &b, &m);
+
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        t.forward(&mut fa);
+        t.forward(&mut fb);
+        let mut prod: Vec<u64> = fa.iter().zip(&fb).map(|(&x, &y)| m.mul(x, y)).collect();
+        t.inverse(&mut prod);
+        assert_eq!(prod, expected);
+    }
+
+    #[test]
+    fn negacyclic_wraparound_sign() {
+        // X^(n-1) * X = X^n = -1 in Z_q[X]/(X^n+1).
+        let n = 16;
+        let t = table(36, n);
+        let m = t.modulus();
+        let mut a = vec![0u64; n];
+        let mut b = vec![0u64; n];
+        a[n - 1] = 1;
+        b[1] = 1;
+        t.forward(&mut a);
+        t.forward(&mut b);
+        let mut prod: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| m.mul(x, y)).collect();
+        t.inverse(&mut prod);
+        assert_eq!(prod[0], m.value() - 1);
+        assert!(prod[1..].iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn cyclic_forward_matches_naive_dft() {
+        let n = 16usize;
+        let q = Modulus::new(generate_ntt_primes(36, n, 1).unwrap()[0]).unwrap();
+        // omega = psi^2 where psi is the 2n-th root.
+        let t = NttTable::new(q, n).unwrap();
+        let omega = q.mul(t.psi(), t.psi());
+        let c = CyclicNtt::with_root(q, n, omega).unwrap();
+        let a: Vec<u64> = (1..=n as u64).collect();
+        let mut fast = a.clone();
+        c.forward_natural(&mut fast);
+        for k in 0..n {
+            let mut acc = 0u64;
+            for i in 0..n {
+                acc = q.add(acc, q.mul(a[i], q.pow(omega, (i * k) as u64)));
+            }
+            assert_eq!(fast[k], acc, "k={k}");
+        }
+        let mut back = fast.clone();
+        c.inverse_natural(&mut back);
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn rejects_wrong_sizes_and_roots() {
+        let q = Modulus::new(generate_ntt_primes(36, 64, 1).unwrap()[0]).unwrap();
+        assert!(NttTable::new(q, 48).is_err());
+        assert!(CyclicNtt::with_root(q, 16, 1).is_err());
+    }
+
+    #[test]
+    fn bit_reverse_basic() {
+        assert_eq!(bit_reverse(0b001, 3), 0b100);
+        assert_eq!(bit_reverse(0b110, 3), 0b011);
+        assert_eq!(bit_reverse(5, 0), 0);
+    }
+}

@@ -1,0 +1,311 @@
+//! Single-modulus polynomials over `Z_q[X]/(X^N + 1)`.
+//!
+//! [`Poly`] tracks which *domain* (coefficient or NTT) its data lives in, so
+//! mixing representations is a programming error caught at the call site
+//! rather than silent corruption. The RNS layer ([`crate::RnsPoly`]) stacks
+//! one `Poly` per channel.
+
+use crate::{MathError, Modulus, NttTable};
+
+/// The representation domain of a polynomial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Domain {
+    /// Coefficient (power-basis) representation.
+    Coefficient,
+    /// Evaluation (NTT) representation in the table's matched order.
+    Ntt,
+}
+
+/// A dense polynomial modulo a single word-sized prime.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), fhe_math::MathError> {
+/// use fhe_math::{generate_ntt_primes, Modulus, NttTable, Poly};
+/// let q = Modulus::new(generate_ntt_primes(36, 32, 1)?[0])?;
+/// let table = NttTable::new(q, 32)?;
+/// let x = Poly::from_coeffs(vec![0, 1].into_iter().chain(std::iter::repeat(0)).take(32).collect(), q)?;
+/// let mut x2 = x.mul(&x, &table)?; // result is in NTT domain
+/// x2.to_coeff(&table);
+/// assert_eq!(x2.coeffs()[2], 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Poly {
+    coeffs: Vec<u64>,
+    modulus: Modulus,
+    domain: Domain,
+}
+
+impl Poly {
+    /// Creates the zero polynomial of degree `n` in coefficient domain.
+    pub fn zero(n: usize, modulus: Modulus) -> Self {
+        Poly { coeffs: vec![0; n], modulus, domain: Domain::Coefficient }
+    }
+
+    /// Wraps raw coefficients (must already be canonical, `< q`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::InvalidParameter`] if any coefficient is `≥ q`.
+    pub fn from_coeffs(coeffs: Vec<u64>, modulus: Modulus) -> Result<Self, MathError> {
+        if let Some(&bad) = coeffs.iter().find(|&&c| c >= modulus.value()) {
+            return Err(MathError::InvalidParameter {
+                detail: format!("coefficient {bad} not reduced modulo {}", modulus.value()),
+            });
+        }
+        Ok(Poly { coeffs, modulus, domain: Domain::Coefficient })
+    }
+
+    /// Wraps raw NTT-domain values (must already be canonical).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::InvalidParameter`] if any value is `≥ q`.
+    pub fn from_ntt(values: Vec<u64>, modulus: Modulus) -> Result<Self, MathError> {
+        let mut p = Poly::from_coeffs(values, modulus)?;
+        p.domain = Domain::Ntt;
+        Ok(p)
+    }
+
+    /// The polynomial degree (vector length).
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// The modulus.
+    #[inline]
+    pub fn modulus(&self) -> Modulus {
+        self.modulus
+    }
+
+    /// Which domain the data currently lives in.
+    #[inline]
+    pub fn domain(&self) -> Domain {
+        self.domain
+    }
+
+    /// Raw data access (interpretation depends on [`Poly::domain`]).
+    #[inline]
+    pub fn coeffs(&self) -> &[u64] {
+        &self.coeffs
+    }
+
+    /// Mutable raw data access.
+    #[inline]
+    pub fn coeffs_mut(&mut self) -> &mut [u64] {
+        &mut self.coeffs
+    }
+
+    /// Converts to NTT domain in place (no-op if already there).
+    pub fn to_ntt(&mut self, table: &NttTable) {
+        if self.domain == Domain::Coefficient {
+            table.forward(&mut self.coeffs);
+            self.domain = Domain::Ntt;
+        }
+    }
+
+    /// Converts to coefficient domain in place (no-op if already there).
+    pub fn to_coeff(&mut self, table: &NttTable) {
+        if self.domain == Domain::Ntt {
+            table.inverse(&mut self.coeffs);
+            self.domain = Domain::Coefficient;
+        }
+    }
+
+    /// Element-wise sum; both operands must share modulus and domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::BasisMismatch`] on modulus/domain/length
+    /// disagreement.
+    pub fn add(&self, other: &Poly) -> Result<Poly, MathError> {
+        self.check_compatible(other)?;
+        let m = &self.modulus;
+        let coeffs =
+            self.coeffs.iter().zip(&other.coeffs).map(|(&a, &b)| m.add(a, b)).collect();
+        Ok(Poly { coeffs, modulus: self.modulus, domain: self.domain })
+    }
+
+    /// Element-wise difference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::BasisMismatch`] on modulus/domain/length
+    /// disagreement.
+    pub fn sub(&self, other: &Poly) -> Result<Poly, MathError> {
+        self.check_compatible(other)?;
+        let m = &self.modulus;
+        let coeffs =
+            self.coeffs.iter().zip(&other.coeffs).map(|(&a, &b)| m.sub(a, b)).collect();
+        Ok(Poly { coeffs, modulus: self.modulus, domain: self.domain })
+    }
+
+    /// Negacyclic product. Operands may be in either domain; they are
+    /// transformed as needed and the result is returned in NTT domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::BasisMismatch`] if moduli or lengths differ, or
+    /// the table size does not match.
+    pub fn mul(&self, other: &Poly, table: &NttTable) -> Result<Poly, MathError> {
+        if self.modulus != other.modulus || self.n() != other.n() || table.n() != self.n() {
+            return Err(MathError::BasisMismatch { detail: "mul operands/table disagree" });
+        }
+        let mut a = self.clone();
+        let mut b = other.clone();
+        a.to_ntt(table);
+        b.to_ntt(table);
+        let m = &self.modulus;
+        let coeffs = a.coeffs.iter().zip(&b.coeffs).map(|(&x, &y)| m.mul(x, y)).collect();
+        Ok(Poly { coeffs, modulus: self.modulus, domain: Domain::Ntt })
+    }
+
+    /// Multiplies every entry by a scalar (domain-agnostic).
+    pub fn scalar_mul(&self, scalar: u64) -> Poly {
+        let m = &self.modulus;
+        let s = m.reduce(scalar);
+        let sh = m.shoup(s);
+        let coeffs = self.coeffs.iter().map(|&a| m.mul_shoup(a, sh)).collect();
+        Poly { coeffs, modulus: self.modulus, domain: self.domain }
+    }
+
+    /// Negates every entry (domain-agnostic).
+    pub fn neg(&self) -> Poly {
+        let m = &self.modulus;
+        let coeffs = self.coeffs.iter().map(|&a| m.neg(a)).collect();
+        Poly { coeffs, modulus: self.modulus, domain: self.domain }
+    }
+
+    /// Applies the Galois automorphism `X ↦ X^g` (coefficient domain only;
+    /// `g` must be odd so the map is a ring automorphism of
+    /// `Z_q[X]/(X^N+1)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::InvalidParameter`] if `g` is even, or
+    /// [`MathError::BasisMismatch`] if called in NTT domain.
+    pub fn automorphism(&self, g: usize) -> Result<Poly, MathError> {
+        if self.domain != Domain::Coefficient {
+            return Err(MathError::BasisMismatch {
+                detail: "automorphism requires coefficient domain",
+            });
+        }
+        if g.is_multiple_of(2) {
+            return Err(MathError::InvalidParameter {
+                detail: format!("automorphism exponent {g} must be odd"),
+            });
+        }
+        let n = self.n();
+        let m = &self.modulus;
+        let mut out = vec![0u64; n];
+        for (i, &c) in self.coeffs.iter().enumerate() {
+            let e = (i * g) % (2 * n);
+            if e < n {
+                out[e] = m.add(out[e], c);
+            } else {
+                out[e - n] = m.sub(out[e - n], c);
+            }
+        }
+        Ok(Poly { coeffs: out, modulus: self.modulus, domain: Domain::Coefficient })
+    }
+
+    fn check_compatible(&self, other: &Poly) -> Result<(), MathError> {
+        if self.modulus != other.modulus {
+            return Err(MathError::BasisMismatch { detail: "moduli differ" });
+        }
+        if self.n() != other.n() {
+            return Err(MathError::BasisMismatch { detail: "lengths differ" });
+        }
+        if self.domain != other.domain {
+            return Err(MathError::BasisMismatch { detail: "domains differ" });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate_ntt_primes;
+
+    fn ctx(n: usize) -> (Modulus, NttTable) {
+        let q = Modulus::new(generate_ntt_primes(36, n, 1).unwrap()[0]).unwrap();
+        (q, NttTable::new(q, n).unwrap())
+    }
+
+    #[test]
+    fn add_sub_scalar_neg() {
+        let (q, _) = ctx(16);
+        let a = Poly::from_coeffs((0..16).collect(), q).unwrap();
+        let b = Poly::from_coeffs((16..32).collect(), q).unwrap();
+        let s = a.add(&b).unwrap();
+        assert_eq!(s.sub(&b).unwrap(), a);
+        assert_eq!(a.add(&a.neg()).unwrap(), Poly::zero(16, q));
+        assert_eq!(a.scalar_mul(3).coeffs()[5], 15);
+    }
+
+    #[test]
+    fn mul_is_negacyclic() {
+        let (q, t) = ctx(16);
+        let mut xn1 = Poly::zero(16, q);
+        xn1.coeffs_mut()[15] = 1;
+        let mut x = Poly::zero(16, q);
+        x.coeffs_mut()[1] = 1;
+        let mut prod = xn1.mul(&x, &t).unwrap();
+        prod.to_coeff(&t);
+        assert_eq!(prod.coeffs()[0], q.value() - 1);
+    }
+
+    #[test]
+    fn automorphism_composition() {
+        let (q, _) = ctx(16);
+        let a = Poly::from_coeffs((1..=16).collect(), q).unwrap();
+        // g = 5 applied then its inverse exponent must round trip.
+        let g = 5usize;
+        // find inverse of 5 mod 32
+        let mut ginv = 0;
+        for cand in (1..32).step_by(2) {
+            if (cand * g) % 32 == 1 {
+                ginv = cand;
+            }
+        }
+        let b = a.automorphism(g).unwrap().automorphism(ginv).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn automorphism_multiplicative() {
+        // aut_g(a * b) == aut_g(a) * aut_g(b)
+        let (q, t) = ctx(32);
+        let a = Poly::from_coeffs((0..32).map(|i| i * 7 % q.value()).collect(), q).unwrap();
+        let b = Poly::from_coeffs((0..32).map(|i| i * i % q.value()).collect(), q).unwrap();
+        let mut ab = a.mul(&b, &t).unwrap();
+        ab.to_coeff(&t);
+        let lhs = ab.automorphism(5).unwrap();
+        let mut rhs =
+            a.automorphism(5).unwrap().mul(&b.automorphism(5).unwrap(), &t).unwrap();
+        rhs.to_coeff(&t);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn domain_mixing_rejected() {
+        let (q, t) = ctx(16);
+        let a = Poly::from_coeffs((0..16).collect(), q).unwrap();
+        let mut b = a.clone();
+        b.to_ntt(&t);
+        assert!(a.add(&b).is_err());
+        assert!(b.automorphism(5).is_err());
+        assert!(a.automorphism(4).is_err());
+    }
+
+    #[test]
+    fn validates_coefficients() {
+        let (q, _) = ctx(16);
+        assert!(Poly::from_coeffs(vec![q.value(); 16], q).is_err());
+    }
+}

@@ -1,0 +1,702 @@
+//! Residue number system (RNS) polynomials and fast base conversion.
+//!
+//! Arithmetic FHE splits a ciphertext modulus `Q = ∏ q_i` of hundreds or
+//! thousands of bits into parallel word-sized channels (paper §2.2). The
+//! three RNS primitives Alchemist accelerates all live here:
+//!
+//! * [`RnsContext::bconv`] — fast basis conversion, paper Eq. (1):
+//!   `[x]_{p_j} = (Σ_i [[x]_{q_i}·q̂_i^{-1}]_{q_i} · q̂_i) mod p_j`,
+//! * [`RnsContext::modup`] — Eq. (2), extending `[x]_Q` to `[x]_{Q·P}`,
+//! * [`RnsContext::moddown`] — Eq. (3), scaling back down by `P^{-1}`.
+//!
+//! The fast conversion is *approximate*: it returns `x + u·Q (mod p_j)` for
+//! some small `u ∈ [0, L)`. That slack is standard in RNS-CKKS (absorbed by
+//! noise) and is asserted exactly in the tests via [`crate::UBig`]
+//! reconstruction.
+
+use crate::poly::Domain;
+use crate::{MathError, Modulus, NttTable, Poly, UBig};
+
+/// An ordered set of word-sized prime moduli forming an RNS basis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RnsBasis {
+    moduli: Vec<Modulus>,
+}
+
+impl RnsBasis {
+    /// Creates a basis from distinct moduli.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::InvalidParameter`] if the list is empty or
+    /// contains duplicates (CRT requires pairwise-coprime moduli; distinct
+    /// primes guarantee it).
+    pub fn new(moduli: Vec<Modulus>) -> Result<Self, MathError> {
+        if moduli.is_empty() {
+            return Err(MathError::InvalidParameter { detail: "empty RNS basis".into() });
+        }
+        let mut values: Vec<u64> = moduli.iter().map(|m| m.value()).collect();
+        values.sort_unstable();
+        values.dedup();
+        if values.len() != moduli.len() {
+            return Err(MathError::InvalidParameter {
+                detail: "RNS basis contains duplicate moduli".into(),
+            });
+        }
+        Ok(RnsBasis { moduli })
+    }
+
+    /// The moduli in order.
+    #[inline]
+    pub fn moduli(&self) -> &[Modulus] {
+        &self.moduli
+    }
+
+    /// Number of channels.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.moduli.len()
+    }
+
+    /// `true` if the basis has no channels (never true for a constructed
+    /// basis; present for completeness).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.moduli.is_empty()
+    }
+
+    /// The exact product `∏ q_i` as a big integer.
+    pub fn product(&self) -> UBig {
+        UBig::product_of(self.moduli.iter().map(|m| m.value()))
+    }
+}
+
+/// Precomputed tables for one RNS basis at one polynomial degree: per-channel
+/// NTT tables plus base-conversion scratch constants.
+#[derive(Debug, Clone)]
+pub struct RnsContext {
+    n: usize,
+    basis: RnsBasis,
+    tables: Vec<NttTable>,
+}
+
+impl RnsContext {
+    /// Builds a context for polynomials of degree `n` over `basis`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates NTT table construction failures (e.g. a modulus without a
+    /// `2n`-th root of unity).
+    pub fn new(n: usize, basis: RnsBasis) -> Result<Self, MathError> {
+        let tables = basis
+            .moduli()
+            .iter()
+            .map(|&m| NttTable::new(m, n))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(RnsContext { n, basis, tables })
+    }
+
+    /// Polynomial degree.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The underlying basis.
+    #[inline]
+    pub fn basis(&self) -> &RnsBasis {
+        &self.basis
+    }
+
+    /// All moduli.
+    #[inline]
+    pub fn moduli(&self) -> &[Modulus] {
+        self.basis.moduli()
+    }
+
+    /// NTT table for channel `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn table(&self, i: usize) -> &NttTable {
+        &self.tables[i]
+    }
+
+    /// All NTT tables, aligned with [`RnsContext::moduli`].
+    #[inline]
+    pub fn tables(&self) -> &[NttTable] {
+        &self.tables
+    }
+
+    /// Builds a fast base-conversion plan from the channels `src` to the
+    /// channels `dst` (both index into this context's basis).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::InvalidParameter`] if `src` is empty or any
+    /// index is out of range or `src` and `dst` overlap.
+    pub fn bconv(&self, src: &[usize], dst: &[usize]) -> Result<BconvPlan, MathError> {
+        BconvPlan::new(self, src, dst)
+    }
+
+    /// Modup (paper Eq. 2): given residues on `src` channels, produce
+    /// residues on `dst` channels via fast base conversion. `poly` must be in
+    /// coefficient domain.
+    ///
+    /// This is a convenience wrapper over [`BconvPlan::apply`]; hot paths
+    /// should build the plan once.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RnsContext::bconv`] plus domain mismatch.
+    pub fn modup(
+        &self,
+        poly_channels: &[&[u64]],
+        src: &[usize],
+        dst: &[usize],
+    ) -> Result<Vec<Vec<u64>>, MathError> {
+        let plan = self.bconv(src, dst)?;
+        Ok(plan.apply(poly_channels))
+    }
+
+    /// Moddown (paper Eq. 3): given residues of `x` on `Q ∪ P` (indices
+    /// `q_idx` then `p_idx`), return `⌊x/P⌉`-style scaled residues on `Q`:
+    /// `[x]_{q_i} ← ([x]_{q_i} − Bconv([x]_P, q_i)) · P^{-1} mod q_i`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RnsContext::bconv`].
+    pub fn moddown(
+        &self,
+        q_channels: &[&[u64]],
+        p_channels: &[&[u64]],
+        q_idx: &[usize],
+        p_idx: &[usize],
+    ) -> Result<Vec<Vec<u64>>, MathError> {
+        if q_channels.len() != q_idx.len() || p_channels.len() != p_idx.len() {
+            return Err(MathError::InvalidParameter {
+                detail: "moddown channel/index count mismatch".into(),
+            });
+        }
+        let plan = self.bconv(p_idx, q_idx)?;
+        let converted = plan.apply(p_channels);
+        let mut out = Vec::with_capacity(q_idx.len());
+        for (k, &qi) in q_idx.iter().enumerate() {
+            let m = self.moduli()[qi];
+            // P^{-1} mod q_i.
+            let mut p_mod = 1u64;
+            for &pj in p_idx {
+                p_mod = m.mul(p_mod, self.moduli()[pj].value() % m.value());
+            }
+            let p_inv = m.shoup(m.inv(p_mod)?);
+            let channel = q_channels[k]
+                .iter()
+                .zip(&converted[k])
+                .map(|(&x, &c)| m.mul_shoup(m.sub(x, c), p_inv))
+                .collect();
+            out.push(channel);
+        }
+        Ok(out)
+    }
+}
+
+/// A precomputed fast base-conversion (Bconv, paper Eq. 1) between two
+/// disjoint channel subsets of an [`RnsContext`].
+#[derive(Debug, Clone)]
+pub struct BconvPlan {
+    src_moduli: Vec<Modulus>,
+    dst_moduli: Vec<Modulus>,
+    /// `(Q/q_i)^{-1} mod q_i` in Shoup form for the per-channel pre-scale.
+    qhat_inv: Vec<crate::modulus::ShoupScalar>,
+    /// `qhat_dst[j][i] = (Q/q_i) mod p_j`.
+    qhat_dst: Vec<Vec<u64>>,
+}
+
+impl BconvPlan {
+    fn new(ctx: &RnsContext, src: &[usize], dst: &[usize]) -> Result<Self, MathError> {
+        if src.is_empty() {
+            return Err(MathError::InvalidParameter { detail: "empty Bconv source".into() });
+        }
+        let nmod = ctx.moduli().len();
+        if src.iter().chain(dst).any(|&i| i >= nmod) {
+            return Err(MathError::InvalidParameter {
+                detail: "Bconv channel index out of range".into(),
+            });
+        }
+        if src.iter().any(|i| dst.contains(i)) {
+            return Err(MathError::InvalidParameter {
+                detail: "Bconv source and destination overlap".into(),
+            });
+        }
+        let src_moduli: Vec<Modulus> = src.iter().map(|&i| ctx.moduli()[i]).collect();
+        let dst_moduli: Vec<Modulus> = dst.iter().map(|&i| ctx.moduli()[i]).collect();
+
+        let mut qhat_inv = Vec::with_capacity(src_moduli.len());
+        for (i, &qi) in src_moduli.iter().enumerate() {
+            let mut prod = 1u64;
+            for (k, &qk) in src_moduli.iter().enumerate() {
+                if k != i {
+                    prod = qi.mul(prod, qk.value() % qi.value());
+                }
+            }
+            qhat_inv.push(qi.shoup(qi.inv(prod)?));
+        }
+        let mut qhat_dst = Vec::with_capacity(dst_moduli.len());
+        for &pj in &dst_moduli {
+            let mut row = Vec::with_capacity(src_moduli.len());
+            for (i, _) in src_moduli.iter().enumerate() {
+                let mut prod = 1u64;
+                for (k, &qk) in src_moduli.iter().enumerate() {
+                    if k != i {
+                        prod = pj.mul(prod, qk.value() % pj.value());
+                    }
+                }
+                row.push(prod);
+            }
+            qhat_dst.push(row);
+        }
+        Ok(BconvPlan { src_moduli, dst_moduli, qhat_inv, qhat_dst })
+    }
+
+    /// Source moduli of the plan.
+    #[inline]
+    pub fn src_moduli(&self) -> &[Modulus] {
+        &self.src_moduli
+    }
+
+    /// Destination moduli of the plan.
+    #[inline]
+    pub fn dst_moduli(&self) -> &[Modulus] {
+        &self.dst_moduli
+    }
+
+    /// `(Q/q_i)^{-1} mod q_i` per source channel (Shoup form) — exposed so
+    /// the Meta-OP layer can lower the conversion without re-deriving
+    /// constants.
+    #[inline]
+    pub fn qhat_inv(&self) -> &[crate::modulus::ShoupScalar] {
+        &self.qhat_inv
+    }
+
+    /// `(Q/q_i) mod p_j` indexed `[dst][src]`.
+    #[inline]
+    pub fn qhat_dst(&self) -> &[Vec<u64>] {
+        &self.qhat_dst
+    }
+
+    /// Applies the conversion to coefficient-domain channel data.
+    ///
+    /// The inner loop is exactly the Meta-OP pattern `(M_j A_j)_L R_j`:
+    /// `L` products accumulated lazily in a 128-bit register, then a single
+    /// Barrett reduction per destination coefficient (paper Table 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels.len()` differs from the plan's source count or
+    /// the channels have unequal lengths.
+    pub fn apply(&self, channels: &[&[u64]]) -> Vec<Vec<u64>> {
+        assert_eq!(channels.len(), self.src_moduli.len(), "source channel count mismatch");
+        let n = channels.first().map_or(0, |c| c.len());
+        assert!(channels.iter().all(|c| c.len() == n), "ragged source channels");
+        // Step 1 (per source channel): y_i = x_i * qhat_inv_i mod q_i.
+        let mut scaled = Vec::with_capacity(channels.len());
+        for (i, &ch) in channels.iter().enumerate() {
+            let m = self.src_moduli[i];
+            let s = self.qhat_inv[i];
+            scaled.push(ch.iter().map(|&x| m.mul_shoup(x, s)).collect::<Vec<u64>>());
+        }
+        // Step 2 (per destination channel): lazy-accumulated dot product.
+        let mut out = Vec::with_capacity(self.dst_moduli.len());
+        for (j, &pj) in self.dst_moduli.iter().enumerate() {
+            let weights = &self.qhat_dst[j];
+            let mut channel = vec![0u64; n];
+            for (s, x) in channel.iter_mut().enumerate() {
+                let mut acc: u128 = 0;
+                for (i, scaled_ch) in scaled.iter().enumerate() {
+                    acc += scaled_ch[s] as u128 * weights[i] as u128;
+                }
+                *x = pj.reduce_u128(acc);
+            }
+            out.push(channel);
+        }
+        out
+    }
+}
+
+/// A polynomial represented in RNS form: one [`Poly`] per channel, all of
+/// the same degree and domain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RnsPoly {
+    channels: Vec<Poly>,
+}
+
+impl RnsPoly {
+    /// The zero polynomial over the given moduli.
+    pub fn zero(n: usize, moduli: &[Modulus]) -> Self {
+        RnsPoly { channels: moduli.iter().map(|&m| Poly::zero(n, m)).collect() }
+    }
+
+    /// Wraps per-channel polynomials.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::BasisMismatch`] if channels disagree on degree
+    /// or domain, or the list is empty.
+    pub fn from_channels(channels: Vec<Poly>) -> Result<Self, MathError> {
+        let first = channels.first().ok_or(MathError::BasisMismatch {
+            detail: "RnsPoly requires at least one channel",
+        })?;
+        let (n, domain) = (first.n(), first.domain());
+        if channels.iter().any(|c| c.n() != n || c.domain() != domain) {
+            return Err(MathError::BasisMismatch {
+                detail: "RnsPoly channels disagree on degree or domain",
+            });
+        }
+        Ok(RnsPoly { channels })
+    }
+
+    /// Lifts a signed integer polynomial into every channel.
+    pub fn from_signed(coeffs: &[i64], n: usize, moduli: &[Modulus]) -> Self {
+        let channels = moduli
+            .iter()
+            .map(|&m| {
+                let mut v = vec![0u64; n];
+                for (i, &c) in coeffs.iter().enumerate() {
+                    v[i] = m.from_i64(c);
+                }
+                Poly::from_coeffs(v, m).expect("from_i64 yields canonical residues")
+            })
+            .collect();
+        RnsPoly { channels }
+    }
+
+    /// Polynomial degree.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.channels[0].n()
+    }
+
+    /// Number of RNS channels.
+    #[inline]
+    pub fn num_channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Current domain (shared by all channels).
+    #[inline]
+    pub fn domain(&self) -> Domain {
+        self.channels[0].domain()
+    }
+
+    /// The moduli of each channel, in order.
+    pub fn moduli(&self) -> Vec<Modulus> {
+        self.channels.iter().map(|c| c.modulus()).collect()
+    }
+
+    /// Channel accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn channel(&self, i: usize) -> &Poly {
+        &self.channels[i]
+    }
+
+    /// All channels.
+    #[inline]
+    pub fn channels(&self) -> &[Poly] {
+        &self.channels
+    }
+
+    /// Mutable channels (expert use: invariants are the caller's problem).
+    #[inline]
+    pub fn channels_mut(&mut self) -> &mut [Poly] {
+        &mut self.channels
+    }
+
+    /// Converts all channels to NTT domain using the aligned tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tables` is shorter than the channel list or misaligned
+    /// (wrong modulus).
+    pub fn to_ntt(&mut self, tables: &[NttTable]) {
+        for (c, t) in self.channels.iter_mut().zip(tables) {
+            assert_eq!(c.modulus(), t.modulus(), "misaligned NTT tables");
+            c.to_ntt(t);
+        }
+    }
+
+    /// Converts all channels to coefficient domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tables` is shorter than the channel list or misaligned.
+    pub fn to_coeff(&mut self, tables: &[NttTable]) {
+        for (c, t) in self.channels.iter_mut().zip(tables) {
+            assert_eq!(c.modulus(), t.modulus(), "misaligned NTT tables");
+            c.to_coeff(t);
+        }
+    }
+
+    /// Channel-wise sum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::BasisMismatch`] on structural disagreement.
+    pub fn add(&self, other: &RnsPoly) -> Result<RnsPoly, MathError> {
+        self.zip_with(other, Poly::add)
+    }
+
+    /// Channel-wise difference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::BasisMismatch`] on structural disagreement.
+    pub fn sub(&self, other: &RnsPoly) -> Result<RnsPoly, MathError> {
+        self.zip_with(other, Poly::sub)
+    }
+
+    /// Channel-wise negation.
+    pub fn neg(&self) -> RnsPoly {
+        RnsPoly { channels: self.channels.iter().map(Poly::neg).collect() }
+    }
+
+    /// Point-wise product; both operands must already be in NTT domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::BasisMismatch`] if either operand is in
+    /// coefficient domain or structures disagree.
+    pub fn mul_pointwise(&self, other: &RnsPoly) -> Result<RnsPoly, MathError> {
+        if self.domain() != Domain::Ntt || other.domain() != Domain::Ntt {
+            return Err(MathError::BasisMismatch {
+                detail: "mul_pointwise requires NTT domain",
+            });
+        }
+        self.zip_with(other, |a, b| {
+            let m = a.modulus();
+            let vals =
+                a.coeffs().iter().zip(b.coeffs()).map(|(&x, &y)| m.mul(x, y)).collect();
+            Poly::from_ntt(vals, m)
+        })
+    }
+
+    /// Applies the Galois automorphism `X ↦ X^g` channel-wise (coefficient
+    /// domain).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Poly::automorphism`].
+    pub fn automorphism(&self, g: usize) -> Result<RnsPoly, MathError> {
+        let channels = self
+            .channels
+            .iter()
+            .map(|c| c.automorphism(g))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(RnsPoly { channels })
+    }
+
+    /// Drops the last channel (used by CKKS rescaling after the scaled
+    /// subtraction has been folded in).
+    ///
+    /// # Panics
+    ///
+    /// Panics if only one channel remains.
+    pub fn drop_last_channel(&mut self) {
+        assert!(self.channels.len() > 1, "cannot drop the only RNS channel");
+        self.channels.pop();
+    }
+
+    /// Exact CRT reconstruction of the coefficient at `idx` as a big
+    /// integer in `[0, Q)`. Coefficient domain only; verification paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called in NTT domain or `idx` is out of range.
+    pub fn crt_coefficient(&self, idx: usize) -> UBig {
+        assert_eq!(self.domain(), Domain::Coefficient, "CRT needs coefficient domain");
+        let moduli = self.moduli();
+        let q = UBig::product_of(moduli.iter().map(|m| m.value()));
+        let mut acc = UBig::zero();
+        for (i, ch) in self.channels.iter().enumerate() {
+            let mi = moduli[i];
+            // Qhat_i = Q / q_i (exact), y_i = x_i * Qhat_i^{-1} mod q_i.
+            let (qhat, rem) = q.divrem_u64(mi.value());
+            debug_assert_eq!(rem, 0);
+            let qhat_mod = qhat.rem_u64(mi.value());
+            let inv = mi.inv(qhat_mod).expect("prime moduli");
+            let y = mi.mul(ch.coeffs()[idx], inv);
+            acc = acc.add(&qhat.mul_u64(y));
+        }
+        acc.rem_big(&q)
+    }
+
+    fn zip_with(
+        &self,
+        other: &RnsPoly,
+        f: impl Fn(&Poly, &Poly) -> Result<Poly, MathError>,
+    ) -> Result<RnsPoly, MathError> {
+        if self.channels.len() != other.channels.len() {
+            return Err(MathError::BasisMismatch { detail: "channel counts differ" });
+        }
+        let channels = self
+            .channels
+            .iter()
+            .zip(&other.channels)
+            .map(|(a, b)| f(a, b))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(RnsPoly { channels })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate_ntt_primes;
+
+    fn context(n: usize, channels: usize) -> RnsContext {
+        let primes = generate_ntt_primes(30, n, channels).unwrap();
+        let moduli = primes.into_iter().map(|q| Modulus::new(q).unwrap()).collect();
+        RnsContext::new(n, RnsBasis::new(moduli).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn basis_rejects_duplicates_and_empty() {
+        let m = Modulus::new(65537).unwrap();
+        assert!(RnsBasis::new(vec![]).is_err());
+        assert!(RnsBasis::new(vec![m, m]).is_err());
+    }
+
+    #[test]
+    fn crt_reconstruction_round_trip() {
+        let ctx = context(16, 3);
+        let value: i64 = 123_456_789;
+        let poly = RnsPoly::from_signed(&[value], 16, ctx.moduli());
+        assert_eq!(poly.crt_coefficient(0), UBig::from_u64(value as u64));
+        // Negative values map to Q - |v|.
+        let neg = RnsPoly::from_signed(&[-5], 16, ctx.moduli());
+        let q = ctx.basis().product();
+        assert_eq!(neg.crt_coefficient(0), q.sub(&UBig::from_u64(5)));
+    }
+
+    #[test]
+    fn bconv_is_exact_up_to_multiples_of_q() {
+        let ctx = context(16, 5);
+        let src = [0usize, 1, 2];
+        let dst = [3usize, 4];
+        let plan = ctx.bconv(&src, &dst).unwrap();
+
+        // Build x on the source basis with known exact value.
+        let x_exact: u64 = 987_654_321_123;
+        let src_moduli: Vec<Modulus> = src.iter().map(|&i| ctx.moduli()[i]).collect();
+        let chans: Vec<Vec<u64>> = src_moduli
+            .iter()
+            .map(|m| vec![x_exact % m.value(); 16])
+            .collect();
+        let refs: Vec<&[u64]> = chans.iter().map(|c| c.as_slice()).collect();
+        let out = plan.apply(&refs);
+
+        let q_prod = UBig::product_of(src_moduli.iter().map(|m| m.value()));
+        for (j, &dj) in dst.iter().enumerate() {
+            let pj = ctx.moduli()[dj];
+            let got = out[j][0];
+            // got must equal (x + u*Q) mod p_j for some u in [0, L).
+            let mut matched = false;
+            for u in 0..src.len() as u64 {
+                let shifted = UBig::from_u64(x_exact).add(&q_prod.mul_u64(u));
+                if shifted.rem_u64(pj.value()) == got {
+                    matched = true;
+                    break;
+                }
+            }
+            assert!(matched, "Bconv result off by more than (L-1)·Q");
+        }
+    }
+
+    #[test]
+    fn bconv_single_channel_is_exact() {
+        // With a single source channel Q/q_0 = 1, so the fast conversion has
+        // no u·Q slack: the result is exactly x mod p_j for x < q_0.
+        let ctx = context(8, 4);
+        let plan = ctx.bconv(&[0], &[2, 3]).unwrap();
+        let x = 42_424_242u64 % ctx.moduli()[0].value();
+        let chan = vec![x; 8];
+        let out = plan.apply(&[chan.as_slice()]);
+        for (j, &dj) in [2usize, 3].iter().enumerate() {
+            assert_eq!(out[j][0], x % ctx.moduli()[dj].value());
+        }
+    }
+
+    #[test]
+    fn bconv_of_zero_is_zero() {
+        let ctx = context(8, 4);
+        let plan = ctx.bconv(&[0, 1, 2], &[3]).unwrap();
+        let z = vec![0u64; 8];
+        let out = plan.apply(&[z.as_slice(), z.as_slice(), z.as_slice()]);
+        assert!(out[0].iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn moddown_divides_by_p() {
+        // moddown(P * y) == y exactly (no rounding error when P | x).
+        let ctx = context(8, 4);
+        let q_idx = [0usize, 1];
+        let p_idx = [2usize, 3];
+        let p_prod = UBig::product_of(p_idx.iter().map(|&i| ctx.moduli()[i].value()));
+        let y: u64 = 777;
+        let x = p_prod.mul_u64(y); // exact multiple of P
+        let q_chans: Vec<Vec<u64>> =
+            q_idx.iter().map(|&i| vec![x.rem_u64(ctx.moduli()[i].value()); 8]).collect();
+        let p_chans: Vec<Vec<u64>> =
+            p_idx.iter().map(|&i| vec![x.rem_u64(ctx.moduli()[i].value()); 8]).collect();
+        let qr: Vec<&[u64]> = q_chans.iter().map(|c| c.as_slice()).collect();
+        let pr: Vec<&[u64]> = p_chans.iter().map(|c| c.as_slice()).collect();
+        let out = ctx.moddown(&qr, &pr, &q_idx, &p_idx).unwrap();
+        for (k, &qi) in q_idx.iter().enumerate() {
+            assert_eq!(out[k][0], y % ctx.moduli()[qi].value());
+        }
+    }
+
+    #[test]
+    fn bconv_rejects_overlap_and_bad_indices() {
+        let ctx = context(8, 3);
+        assert!(ctx.bconv(&[0, 1], &[1]).is_err());
+        assert!(ctx.bconv(&[], &[1]).is_err());
+        assert!(ctx.bconv(&[0], &[7]).is_err());
+    }
+
+    #[test]
+    fn rns_poly_arithmetic() {
+        let ctx = context(16, 2);
+        let a = RnsPoly::from_signed(&[1, 2, 3], 16, ctx.moduli());
+        let b = RnsPoly::from_signed(&[10, 20, 30], 16, ctx.moduli());
+        let s = a.add(&b).unwrap();
+        assert_eq!(s.crt_coefficient(1), UBig::from_u64(22));
+        assert_eq!(s.sub(&b).unwrap(), a);
+        let z = a.add(&a.neg()).unwrap();
+        assert!(z.channels().iter().all(|c| c.coeffs().iter().all(|&v| v == 0)));
+    }
+
+    #[test]
+    fn rns_poly_ntt_multiplication() {
+        let ctx = context(16, 2);
+        let mut a = RnsPoly::from_signed(&[0, 1], 16, ctx.moduli()); // X
+        let mut b = RnsPoly::from_signed(&[0, 0, 1], 16, ctx.moduli()); // X^2
+        a.to_ntt(ctx.tables());
+        b.to_ntt(ctx.tables());
+        let mut p = a.mul_pointwise(&b).unwrap();
+        p.to_coeff(ctx.tables());
+        assert_eq!(p.crt_coefficient(3), UBig::from_u64(1)); // X^3
+    }
+
+    #[test]
+    fn domain_guard_on_mul() {
+        let ctx = context(16, 2);
+        let a = RnsPoly::from_signed(&[1], 16, ctx.moduli());
+        assert!(a.mul_pointwise(&a).is_err());
+    }
+}

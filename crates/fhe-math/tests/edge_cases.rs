@@ -1,0 +1,67 @@
+//! Boundary-condition tests: extreme moduli, maximum transform sizes, and
+//! degenerate inputs.
+
+use fhe_math::{generate_ntt_primes, Modulus, NttTable, SignedDigitDecomposer, UBig};
+
+#[test]
+fn mersenne_61_is_a_valid_modulus() {
+    // 2^61 - 1 is prime and exactly at the width limit.
+    let q = Modulus::new((1u64 << 61) - 1).unwrap();
+    assert_eq!(q.bits(), 61);
+    let a = q.value() - 1;
+    assert_eq!(q.mul(a, a), 1); // (-1)^2
+    assert_eq!(q.inv(a).unwrap(), a);
+}
+
+#[test]
+fn width_limit_is_enforced_exactly() {
+    assert!(Modulus::new((1u64 << 61) + 1).is_err());
+    assert!(Modulus::new(u64::MAX).is_err());
+}
+
+#[test]
+fn ntt_at_maximum_supported_size() {
+    // 2^17 is the documented ceiling (one step above the paper's 2^16).
+    let n = 1 << 17;
+    let q = Modulus::new(generate_ntt_primes(40, n, 1).unwrap()[0]).unwrap();
+    let t = NttTable::new(q, n).unwrap();
+    let mut a: Vec<u64> = (0..n as u64).map(|i| i % q.value()).collect();
+    let original = a.clone();
+    t.forward(&mut a);
+    t.inverse(&mut a);
+    assert_eq!(a, original);
+    assert!(NttTable::new(q, n * 2).is_err());
+}
+
+#[test]
+fn zero_polynomial_transforms_to_zero() {
+    let n = 64;
+    let q = Modulus::new(generate_ntt_primes(36, n, 1).unwrap()[0]).unwrap();
+    let t = NttTable::new(q, n).unwrap();
+    let mut a = vec![0u64; n];
+    t.forward(&mut a);
+    assert!(a.iter().all(|&x| x == 0));
+    t.forward_lazy(&mut a);
+    assert!(a.iter().all(|&x| x == 0));
+}
+
+#[test]
+fn decomposer_extremes() {
+    let d = SignedDigitDecomposer::new(1, 64).unwrap(); // bit-by-bit, exact
+    assert_eq!(d.max_error(), 0);
+    for t in [0u64, 1, u64::MAX, 0x8000_0000_0000_0000] {
+        assert_eq!(d.recompose(&d.decompose(t)), t);
+    }
+}
+
+#[test]
+fn ubig_deep_division() {
+    // (2^600) mod a 61-bit prime, checked against modular exponentiation.
+    let q = Modulus::new((1u64 << 61) - 1).unwrap();
+    let big = UBig::one().shl(600);
+    assert_eq!(big.rem_u64(q.value()), q.pow(2, 600));
+    // Big-by-big remainder with a wide divisor.
+    let divisor = UBig::one().shl(123).add(&UBig::from_u64(17));
+    let r = big.rem_big(&divisor);
+    assert!(r.cmp_big(&divisor) == std::cmp::Ordering::Less);
+}

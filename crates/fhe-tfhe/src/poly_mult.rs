@@ -1,0 +1,221 @@
+//! Exact negacyclic products of small-integer polynomials with torus
+//! polynomials.
+//!
+//! TFHE's external product multiplies gadget-decomposed integer polynomials
+//! (digits in `±2^{β-1}`) with torus polynomials (`Z_{2^64}`) modulo
+//! `X^N + 1`. Floating-point FFTs (the usual software route) introduce
+//! rounding error; hardware accelerators — and this implementation — use
+//! exact NTTs instead: the integer product is computed modulo two ~60-bit
+//! NTT primes, CRT-reconstructed (Garner), centered, and reduced mod
+//! `2^64`. Exactness holds because the true coefficients are bounded by
+//! `N · 2^{β-1} · 2^64 < p_1·p_2 / 2`.
+
+use crate::TfheError;
+use fhe_math::{generate_ntt_primes, Modulus, NttTable};
+
+/// The two-prime exact negacyclic multiplier for a fixed ring degree.
+#[derive(Debug, Clone)]
+pub struct NegacyclicMultiplier {
+    n: usize,
+    p1: Modulus,
+    p2: Modulus,
+    ntt1: NttTable,
+    ntt2: NttTable,
+    /// `p1^{-1} mod p2` for Garner reconstruction.
+    p1_inv_p2: u64,
+}
+
+/// A torus polynomial pre-transformed into both NTT domains — bootstrap
+/// keys are stored in this form so the external product only transforms
+/// the (fresh) digit polynomials.
+#[derive(Debug, Clone)]
+pub struct PreparedTorusPoly {
+    res1: Vec<u64>,
+    res2: Vec<u64>,
+}
+
+/// An accumulator holding NTT-domain partial sums in both prime fields.
+#[derive(Debug, Clone)]
+pub struct NttAccumulator {
+    acc1: Vec<u64>,
+    acc2: Vec<u64>,
+}
+
+impl NegacyclicMultiplier {
+    /// Builds a multiplier for degree-`n` rings.
+    ///
+    /// # Errors
+    ///
+    /// Propagates prime-generation / NTT-table failures.
+    pub fn new(n: usize) -> Result<Self, TfheError> {
+        let primes = generate_ntt_primes(60, n, 2)?;
+        let p1 = Modulus::new(primes[0])?;
+        let p2 = Modulus::new(primes[1])?;
+        let ntt1 = NttTable::new(p1, n)?;
+        let ntt2 = NttTable::new(p2, n)?;
+        let p1_inv_p2 = p2.inv(p1.value() % p2.value())?;
+        Ok(NegacyclicMultiplier { n, p1, p2, ntt1, ntt2, p1_inv_p2 })
+    }
+
+    /// Ring degree.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Pre-transforms a torus polynomial into both NTT domains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `poly.len() != n`.
+    pub fn prepare(&self, poly: &[u64]) -> PreparedTorusPoly {
+        assert_eq!(poly.len(), self.n);
+        let mut res1: Vec<u64> = poly.iter().map(|&t| self.p1.reduce(t)).collect();
+        let mut res2: Vec<u64> = poly.iter().map(|&t| self.p2.reduce(t)).collect();
+        self.ntt1.forward(&mut res1);
+        self.ntt2.forward(&mut res2);
+        PreparedTorusPoly { res1, res2 }
+    }
+
+    /// Creates an empty accumulator.
+    pub fn accumulator(&self) -> NttAccumulator {
+        NttAccumulator { acc1: vec![0; self.n], acc2: vec![0; self.n] }
+    }
+
+    /// Accumulates `digits ⊛ prepared` into `acc` (NTT domain, both primes).
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatches.
+    pub fn mul_acc(
+        &self,
+        digits: &[i64],
+        prepared: &PreparedTorusPoly,
+        acc: &mut NttAccumulator,
+    ) {
+        assert_eq!(digits.len(), self.n);
+        let mut d1: Vec<u64> = digits.iter().map(|&d| self.p1.from_i64(d)).collect();
+        let mut d2: Vec<u64> = digits.iter().map(|&d| self.p2.from_i64(d)).collect();
+        self.ntt1.forward(&mut d1);
+        self.ntt2.forward(&mut d2);
+        for i in 0..self.n {
+            acc.acc1[i] = self.p1.add(acc.acc1[i], self.p1.mul(d1[i], prepared.res1[i]));
+            acc.acc2[i] = self.p2.add(acc.acc2[i], self.p2.mul(d2[i], prepared.res2[i]));
+        }
+    }
+
+    /// Finalizes an accumulator: inverse NTTs, Garner CRT, centering, and
+    /// reduction modulo `2^64`. Consumes the accumulator.
+    pub fn finalize(&self, mut acc: NttAccumulator) -> Vec<u64> {
+        self.ntt1.inverse(&mut acc.acc1);
+        self.ntt2.inverse(&mut acc.acc2);
+        let p1 = self.p1.value() as u128;
+        let p2 = self.p2.value() as u128;
+        let big = p1 * p2;
+        let half = big / 2;
+        (0..self.n)
+            .map(|i| {
+                let r1 = acc.acc1[i];
+                let r2 = acc.acc2[i];
+                // Garner: v = r1 + p1 * ((r2 - r1) * p1^{-1} mod p2).
+                let diff = self.p2.sub(self.p2.reduce(r2), self.p2.reduce(r1 % self.p2.value()));
+                let t = self.p2.mul(diff, self.p1_inv_p2);
+                let v = r1 as u128 + p1 * t as u128;
+                // Center into (-P/2, P/2], then wrap mod 2^64.
+                if v > half {
+                    let neg = big - v; // |v - P|
+                    (neg as u64).wrapping_neg()
+                } else {
+                    v as u64
+                }
+            })
+            .collect()
+    }
+
+    /// One-shot exact negacyclic product `ints ⊛ torus`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatches.
+    pub fn mul_int_torus(&self, ints: &[i64], torus: &[u64]) -> Vec<u64> {
+        let prepared = self.prepare(torus);
+        let mut acc = self.accumulator();
+        self.mul_acc(ints, &prepared, &mut acc);
+        self.finalize(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schoolbook(ints: &[i64], torus: &[u64]) -> Vec<u64> {
+        let n = ints.len();
+        let mut out = vec![0u64; n];
+        for (i, &d) in ints.iter().enumerate() {
+            for (j, &t) in torus.iter().enumerate() {
+                let prod = (d as u64).wrapping_mul(t); // exact mod 2^64
+                if i + j < n {
+                    out[i + j] = out[i + j].wrapping_add(prod);
+                } else {
+                    out[i + j - n] = out[i + j - n].wrapping_sub(prod);
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_schoolbook_wrapping() {
+        let n = 32;
+        let m = NegacyclicMultiplier::new(n).unwrap();
+        let ints: Vec<i64> = (0..n as i64).map(|i| ((i * 37) % 127) - 63).collect();
+        let torus: Vec<u64> =
+            (0..n as u64).map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15)).collect();
+        assert_eq!(m.mul_int_torus(&ints, &torus), schoolbook(&ints, &torus));
+    }
+
+    #[test]
+    fn negacyclic_wraparound() {
+        let n = 16;
+        let m = NegacyclicMultiplier::new(n).unwrap();
+        let mut ints = vec![0i64; n];
+        ints[n - 1] = 1; // X^{n-1}
+        let mut torus = vec![0u64; n];
+        torus[1] = 5; // 5·X
+        let out = m.mul_int_torus(&ints, &torus);
+        assert_eq!(out[0], 5u64.wrapping_neg()); // X^n = -1
+        assert!(out[1..].iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn accumulation_is_linear() {
+        let n = 16;
+        let m = NegacyclicMultiplier::new(n).unwrap();
+        let a: Vec<i64> = (0..n as i64).map(|i| i - 8).collect();
+        let b: Vec<i64> = (0..n as i64).map(|i| 3 * i % 11 - 5).collect();
+        let t: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(u64::MAX / 17)).collect();
+        let prepared = m.prepare(&t);
+        let mut acc = m.accumulator();
+        m.mul_acc(&a, &prepared, &mut acc);
+        m.mul_acc(&b, &prepared, &mut acc);
+        let combined = m.finalize(acc);
+        let expected: Vec<u64> = schoolbook(&a, &t)
+            .into_iter()
+            .zip(schoolbook(&b, &t))
+            .map(|(x, y)| x.wrapping_add(y))
+            .collect();
+        assert_eq!(combined, expected);
+    }
+
+    #[test]
+    fn large_digit_bound_is_exact() {
+        // Worst-case digits ±2^22 with full-magnitude torus values.
+        let n = 64;
+        let m = NegacyclicMultiplier::new(n).unwrap();
+        let ints: Vec<i64> =
+            (0..n as i64).map(|i| if i % 2 == 0 { 1 << 22 } else { -(1 << 22) }).collect();
+        let torus = vec![u64::MAX; n];
+        assert_eq!(m.mul_int_torus(&ints, &torus), schoolbook(&ints, &torus));
+    }
+}

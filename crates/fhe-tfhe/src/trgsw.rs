@@ -1,0 +1,170 @@
+//! TRGSW ciphertexts, the external product and CMux.
+//!
+//! A TRGSW ciphertext encrypts a small integer (here: a key bit) as `2·l`
+//! TRLWE rows offset by the gadget `g_i = 2^{64-(i+1)β}`. The **external
+//! product** `TRGSW ⊡ TRLWE` — gadget-decompose, multiply with the key
+//! rows, accumulate — is exactly the paper's `DecompPolyMult` pattern with
+//! `n = (k+1)·l_b`, and the CMux built on it is the inner loop of blind
+//! rotation. Rows are stored pre-transformed in both NTT prime fields so
+//! one external product costs `2·l` forward NTTs and 2 inverse NTTs.
+
+use crate::poly_mult::{NegacyclicMultiplier, PreparedTorusPoly};
+use crate::trlwe::{TrlweCiphertext, TrlweSecretKey};
+use crate::TfheError;
+use fhe_math::SignedDigitDecomposer;
+use rand::Rng;
+
+/// A TRGSW ciphertext with rows prepared for fast external products.
+#[derive(Debug, Clone)]
+pub struct TrgswCiphertext {
+    /// `2l` rows of `(a, b)` poly pairs in prepared (NTT) form; rows `0..l`
+    /// carry the gadget on the mask, rows `l..2l` on the body.
+    rows: Vec<(PreparedTorusPoly, PreparedTorusPoly)>,
+    levels: usize,
+    decomposer: SignedDigitDecomposer,
+    n: usize,
+}
+
+impl TrgswCiphertext {
+    /// Encrypts a small integer `m` (in practice a bit) under the TRLWE key.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decomposer construction failures.
+    pub fn encrypt<R: Rng + ?Sized>(
+        key: &TrlweSecretKey,
+        m: i64,
+        base_log: u32,
+        levels: usize,
+        sigma: f64,
+        mult: &NegacyclicMultiplier,
+        rng: &mut R,
+    ) -> Result<Self, TfheError> {
+        let n = key.n();
+        let decomposer = SignedDigitDecomposer::new(base_log, levels)?;
+        let zero = vec![0u64; n];
+        let mut rows = Vec::with_capacity(2 * levels);
+        for half in 0..2 {
+            for i in 0..levels {
+                let gadget = 1u64 << (64 - (i as u32 + 1) * base_log);
+                let mut z = key.encrypt(&zero, sigma, mult, rng);
+                let target = if half == 0 { &mut z.a } else { &mut z.b };
+                target[0] = target[0].wrapping_add((m as u64).wrapping_mul(gadget));
+                rows.push((mult.prepare(&z.a), mult.prepare(&z.b)));
+            }
+        }
+        Ok(TrgswCiphertext { rows, levels, decomposer, n })
+    }
+
+    /// Ring degree.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Decomposition levels `l_b`.
+    #[inline]
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// External product `self ⊡ ct`: homomorphically multiplies the TRLWE
+    /// message by this TRGSW's small integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ring degrees disagree.
+    pub fn external_product(
+        &self,
+        mult: &NegacyclicMultiplier,
+        ct: &TrlweCiphertext,
+    ) -> TrlweCiphertext {
+        assert_eq!(ct.n(), self.n, "ring degree mismatch");
+        let a_digits = self.decomposer.decompose_poly(&ct.a);
+        let b_digits = self.decomposer.decompose_poly(&ct.b);
+        let mut acc_a = mult.accumulator();
+        let mut acc_b = mult.accumulator();
+        for (i, digits) in a_digits.iter().chain(b_digits.iter()).enumerate() {
+            let (row_a, row_b) = &self.rows[i];
+            mult.mul_acc(digits, row_a, &mut acc_a);
+            mult.mul_acc(digits, row_b, &mut acc_b);
+        }
+        TrlweCiphertext { a: mult.finalize(acc_a), b: mult.finalize(acc_b) }
+    }
+
+    /// CMux: returns (an encryption of) `ct1` if this TRGSW encrypts 1,
+    /// `ct0` if it encrypts 0: `ct0 + self ⊡ (ct1 − ct0)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ring degrees disagree.
+    pub fn cmux(
+        &self,
+        mult: &NegacyclicMultiplier,
+        ct0: &TrlweCiphertext,
+        ct1: &TrlweCiphertext,
+    ) -> TrlweCiphertext {
+        let diff = ct1.sub(ct0);
+        ct0.add(&self.external_product(mult, &diff))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::torus::{decode_message, encode_message};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn setup() -> (TrlweSecretKey, NegacyclicMultiplier, ChaCha8Rng) {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mult = NegacyclicMultiplier::new(64).unwrap();
+        let key = TrlweSecretKey::generate(64, &mut rng);
+        (key, mult, rng)
+    }
+
+    const SIGMA: f64 = 1.08e-10; // ~2^-33
+
+    #[test]
+    fn external_product_by_one_preserves_message() {
+        let (key, mult, mut rng) = setup();
+        let c = TrgswCiphertext::encrypt(&key, 1, 10, 3, SIGMA, &mult, &mut rng).unwrap();
+        let mu: Vec<u64> = (0..64).map(|i| encode_message(i % 4, 4)).collect();
+        let ct = key.encrypt(&mu, SIGMA, &mult, &mut rng);
+        let out = c.external_product(&mult, &ct);
+        let phase = key.phase(&out, &mult);
+        for (i, (&p, &m)) in phase.iter().zip(&mu).enumerate() {
+            assert_eq!(decode_message(p, 4), decode_message(m, 4), "coeff {i}");
+        }
+    }
+
+    #[test]
+    fn external_product_by_zero_kills_message() {
+        let (key, mult, mut rng) = setup();
+        let c = TrgswCiphertext::encrypt(&key, 0, 10, 3, SIGMA, &mult, &mut rng).unwrap();
+        let mu: Vec<u64> = (0..64).map(|_| encode_message(1, 2)).collect();
+        let ct = key.encrypt(&mu, SIGMA, &mult, &mut rng);
+        let out = c.external_product(&mult, &ct);
+        let phase = key.phase(&out, &mult);
+        for (i, &p) in phase.iter().enumerate() {
+            assert_eq!(decode_message(p, 2), 0, "coeff {i}");
+        }
+    }
+
+    #[test]
+    fn cmux_selects() {
+        let (key, mult, mut rng) = setup();
+        let mu0: Vec<u64> = vec![encode_message(1, 8); 64];
+        let mu1: Vec<u64> = vec![encode_message(5, 8); 64];
+        let ct0 = key.encrypt(&mu0, SIGMA, &mult, &mut rng);
+        let ct1 = key.encrypt(&mu1, SIGMA, &mult, &mut rng);
+        for bit in [0i64, 1] {
+            let sel =
+                TrgswCiphertext::encrypt(&key, bit, 10, 3, SIGMA, &mult, &mut rng).unwrap();
+            let out = sel.cmux(&mult, &ct0, &ct1);
+            let phase = key.phase(&out, &mult);
+            let want = if bit == 1 { 5 } else { 1 };
+            assert_eq!(decode_message(phase[0], 8), want, "bit {bit}");
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Functional execution of Meta-OPs: lazy 128-bit accumulation with a single
+//! Barrett reduction, exactly the dataflow of Fig. 5(d).
+//!
+//! With moduli capped at 61 bits ([`fhe_math::Modulus`]), a product is below
+//! `2^122`, so up to 64 products fit a `u128` accumulator without overflow —
+//! comfortably covering the paper's `n` range (`dnum ≤ 6`, `L ≤ 60`,
+//! radix-8 `n = 3`).
+
+use fhe_math::Modulus;
+
+/// Accumulates `Σ_i a[i]·b[i]` lazily and reduces once.
+///
+/// This is one lane of `(M_1 A_1)_n R_1`; a full `(M_j A_j)_n R_j` is `j`
+/// independent lanes (see [`meta_op_lanes`]).
+///
+/// # Panics
+///
+/// Panics if the operand slices have different lengths or more than 64
+/// elements (accumulator overflow guard).
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), fhe_math::MathError> {
+/// let q = fhe_math::Modulus::new(65537)?;
+/// let r = metaop::exec::lazy_dot(&q, &[2, 3], &[10, 100]);
+/// assert_eq!(r, 320);
+/// # Ok(())
+/// # }
+/// ```
+pub fn lazy_dot(modulus: &Modulus, a: &[u64], b: &[u64]) -> u64 {
+    assert_eq!(a.len(), b.len(), "lazy_dot operand length mismatch");
+    assert!(a.len() <= 64, "lazy accumulation overflow guard: n must be <= 64");
+    let mut acc: u128 = 0;
+    for (&x, &y) in a.iter().zip(b) {
+        acc += x as u128 * y as u128;
+    }
+    modulus.reduce_u128(acc)
+}
+
+/// Executes one `(M_j A_j)_n R_j` Meta-OP over `j` lanes.
+///
+/// `lanes[k]` supplies the `n` operand pairs of lane `k`; the result is the
+/// reduced accumulation per lane. All lanes must present the same `n`.
+///
+/// # Panics
+///
+/// Panics if lanes have inconsistent lengths (the hardware issues all `j`
+/// lanes in lockstep) or a lane exceeds 64 iterations.
+pub fn meta_op_lanes(modulus: &Modulus, lanes: &[(&[u64], &[u64])]) -> Vec<u64> {
+    let n = lanes.first().map_or(0, |(a, _)| a.len());
+    lanes
+        .iter()
+        .map(|(a, b)| {
+            assert_eq!(a.len(), n, "Meta-OP lanes must share the iteration count n");
+            lazy_dot(modulus, a, b)
+        })
+        .collect()
+}
+
+/// Applies a dense `r × r` matrix to a vector with one reduction per output
+/// — how the lowered radix-`r` NTT butterfly executes on the unified core
+/// (the hardware additionally exploits shared products via its addition
+/// array; the linear map is identical).
+///
+/// # Panics
+///
+/// Panics if `matrix.len() != v.len()²`.
+pub fn matvec_lazy(modulus: &Modulus, matrix: &[u64], v: &[u64]) -> Vec<u64> {
+    let r = v.len();
+    assert_eq!(matrix.len(), r * r, "matrix shape mismatch");
+    (0..r).map(|k| lazy_dot(modulus, &matrix[k * r..(k + 1) * r], v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fhe_math::generate_ntt_primes;
+
+    fn modulus() -> Modulus {
+        Modulus::new(generate_ntt_primes(60, 8, 1).unwrap()[0]).unwrap()
+    }
+
+    #[test]
+    fn lazy_dot_matches_eager_reduction() {
+        let q = modulus();
+        let a: Vec<u64> = (0..64).map(|i| q.value() - 1 - i).collect();
+        let b: Vec<u64> = (0..64).map(|i| q.value() - 1 - 2 * i).collect();
+        let mut eager = 0u64;
+        for (&x, &y) in a.iter().zip(&b) {
+            eager = q.add(eager, q.mul(x, y));
+        }
+        assert_eq!(lazy_dot(&q, &a, &b), eager);
+    }
+
+    #[test]
+    fn worst_case_accumulation_no_overflow() {
+        // 64 products of (q-1)^2 with q just under 2^61 stays within u128.
+        let q = Modulus::new((1u64 << 61) - 1).unwrap();
+        let a = vec![q.value() - 1; 64];
+        let r = lazy_dot(&q, &a, &a);
+        // (q-1)^2 * 64 mod q == 64 (since (q-1)^2 ≡ 1).
+        assert_eq!(r, 64);
+    }
+
+    #[test]
+    fn lanes_execute_independently() {
+        let q = modulus();
+        let a1 = [1u64, 2, 3];
+        let b1 = [4u64, 5, 6];
+        let a2 = [7u64, 8, 9];
+        let b2 = [1u64, 1, 1];
+        let out = meta_op_lanes(&q, &[(&a1, &b1), (&a2, &b2)]);
+        assert_eq!(out, vec![32, 24]);
+    }
+
+    #[test]
+    fn matvec_identity() {
+        let q = modulus();
+        let mut eye = vec![0u64; 16];
+        for k in 0..4 {
+            eye[k * 4 + k] = 1;
+        }
+        let v = vec![10, 20, 30, 40];
+        assert_eq!(matvec_lazy(&q, &eye, &v), v);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow guard")]
+    fn oversized_accumulation_rejected() {
+        let q = modulus();
+        let a = vec![1u64; 65];
+        let _ = lazy_dot(&q, &a, &a);
+    }
+}

@@ -1,0 +1,45 @@
+//! Exact-integer arithmetic FHE (BGV): SIMD computation over Z_257 with
+//! batched slots — the "BFV/BGV" half of the paper's arithmetic-FHE
+//! framing, whose operator graph (NTT, base conversion, DecompPolyMult)
+//! is exactly what the Alchemist core accelerates.
+//!
+//! ```sh
+//! cargo run --release --example exact_integers
+//! ```
+
+use alchemist::bgv::{BgvContext, BgvParams};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+    let ctx = BgvContext::new(BgvParams::toy()?)?;
+    let sk = ctx.generate_secret_key(&mut rng);
+    let rlk = ctx.generate_relin_key(&sk, &mut rng)?;
+    let t = ctx.params().t();
+    println!("BGV: N = {} slots over Z_{t}, L = {}", ctx.slots(), ctx.params().max_level());
+
+    // Encrypted polynomial evaluation: f(x) = x^2 + 3x + 7 per slot, exact.
+    let xs: Vec<u64> = (0..ctx.slots() as u64).map(|i| i % t).collect();
+    let ct = ctx.encrypt(&sk, &xs, &mut rng)?;
+    let sq = ctx.mul(&ct, &ct, &rlk)?; // level drops by 1
+    let three_x = ctx.mod_switch(&ctx.mul_plain(&ct, &vec![3; ctx.slots()])?)?;
+    let sum = ctx.add(&sq, &three_x)?;
+    // + 7: add an encrypted constant at the matching level.
+    let mut seven = ctx.encrypt(&sk, &vec![7; ctx.slots()], &mut rng)?;
+    while seven.level() > sum.level() {
+        seven = ctx.mod_switch(&seven)?;
+    }
+    let result = ctx.add(&sum, &seven)?;
+
+    let got = ctx.decrypt(&sk, &result)?;
+    for (i, &x) in xs.iter().enumerate().take(6) {
+        let expect = (x * x + 3 * x + 7) % t;
+        println!("  f({x}) = {} (expect {expect})", got[i]);
+        assert_eq!(got[i], expect);
+    }
+    let all_ok = xs.iter().enumerate().all(|(i, &x)| got[i] == (x * x + 3 * x + 7) % t);
+    assert!(all_ok);
+    println!("all {} slots exact.", ctx.slots());
+    Ok(())
+}

@@ -1,0 +1,84 @@
+//! Quickstart: a guided tour of the Alchemist reproduction.
+//!
+//! 1. Run arithmetic FHE (CKKS) in software: encrypt, add, multiply,
+//!    rotate.
+//! 2. Run logic FHE (TFHE) in software: encrypted NAND.
+//! 3. Compile the same operations for the Alchemist accelerator and
+//!    simulate cycles, time and utilization.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use alchemist::ckks::{
+    CkksContext, CkksParams, Encoder, Evaluator, GaloisKeys, RelinKey, SecretKey,
+};
+use alchemist::sim::{workloads, ArchConfig, AreaModel, Simulator};
+use alchemist::tfhe::{gates, generate_keys, TfheParams};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(2024);
+
+    // --- 1. Arithmetic FHE (CKKS) ---------------------------------------
+    println!("== CKKS (arithmetic FHE) ==");
+    let ctx = CkksContext::new(CkksParams::small()?)?;
+    let sk = SecretKey::generate(&ctx, &mut rng);
+    let rlk = RelinKey::generate(&ctx, &sk, &mut rng)?;
+    let gk = GaloisKeys::generate(&ctx, &sk, &[1], false, &mut rng)?;
+    let enc = Encoder::new(&ctx);
+    let ev = Evaluator::new(&ctx);
+
+    let xs = vec![1.5, -2.0, 3.25, 0.5];
+    let ys = vec![2.0, 0.5, -1.0, 4.0];
+    let ct_x = sk.encrypt(&ctx, &enc.encode(&xs)?, &mut rng)?;
+    let ct_y = sk.encrypt(&ctx, &enc.encode(&ys)?, &mut rng)?;
+
+    let sum = enc.decode(&sk.decrypt(&ev.add(&ct_x, &ct_y)?)?)?;
+    let prod = enc.decode(&sk.decrypt(&ev.rescale(&ev.mul(&ct_x, &ct_y, &rlk)?)?)?)?;
+    let rot = enc.decode(&sk.decrypt(&ev.rotate(&ct_x, 1, &gk)?)?)?;
+    println!("  x + y      = {:?}", &sum[..4].iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>());
+    println!("  x * y      = {:?}", &prod[..4].iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>());
+    println!("  rot(x, 1)  = {:?}", &rot[..4].iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>());
+
+    // --- 2. Logic FHE (TFHE) --------------------------------------------
+    println!("\n== TFHE (logic FHE) ==");
+    let (client, server) = generate_keys(&TfheParams::toy(), &mut rng)?;
+    let a = client.encrypt_bit(true, &mut rng);
+    let b = client.encrypt_bit(true, &mut rng);
+    let nand = gates::nand(&server, &a, &b)?;
+    println!("  NAND(true, true) = {}", client.decrypt_bit(&nand));
+    let lut = server.bootstrap_with_lut(&client.encrypt_message(3, 8, &mut rng), 8, |m| m * 2 % 8);
+    println!("  PBS LUT 2*m mod 8 on m=3 -> {}", client.decrypt_message(&lut, 8));
+
+    // --- 3. The Alchemist accelerator -----------------------------------
+    println!("\n== Alchemist accelerator (cycle simulator) ==");
+    let arch = ArchConfig::paper();
+    let sim = Simulator::new(arch);
+    let area = AreaModel::new(arch);
+    println!(
+        "  config: {} units x {} cores x {} lanes @ {} GHz, {:.1} mm^2, {:.1} W",
+        arch.units,
+        arch.cores_per_unit,
+        arch.lanes,
+        arch.freq_ghz,
+        area.total_mm2(),
+        area.average_power_w()
+    );
+    let p = workloads::CkksSimParams::paper();
+    for (name, steps) in [
+        ("Cmult (N=2^16, L=44)", workloads::cmult(&p)),
+        ("CKKS bootstrapping", workloads::bootstrapping(&p)),
+        ("TFHE PBS x128", workloads::tfhe_pbs(&workloads::TfheSimParams::set_i(), 128)),
+    ] {
+        let r = sim.run(&steps);
+        println!(
+            "  {name}: {} cycles = {:.3} ms, utilization {:.2}",
+            r.cycles,
+            r.seconds() * 1e3,
+            r.utilization()
+        );
+    }
+    Ok(())
+}

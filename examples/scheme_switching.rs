@@ -1,0 +1,58 @@
+//! Cross-scheme FHE end to end — the paper's §1 scenario, functionally:
+//! compute a score with arithmetic FHE (CKKS), switch the *ciphertext*
+//! into logic FHE (TFHE) without decrypting, and apply a non-polynomial
+//! decision (threshold) via programmable bootstrapping.
+//!
+//! ```sh
+//! cargo run --release --example scheme_switching
+//! ```
+
+use alchemist::bridge::CkksToTfheBridge;
+use alchemist::ckks::{CkksContext, CkksParams, Encoder, Evaluator, SecretKey};
+use alchemist::tfhe::{generate_keys, TfheParams};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(77);
+
+    // CKKS with a 3-bit q0/Δ gap → the bridge maps integers into TFHE's
+    // 8-sector torus.
+    let ctx = CkksContext::new(CkksParams::with_first_prime_bits(64, 2, 1, 30, 33)?)?;
+    let ckks_sk = SecretKey::generate(&ctx, &mut rng);
+    let enc = Encoder::new(&ctx);
+    let ev = Evaluator::new(&ctx);
+
+    let (client, server) = generate_keys(&TfheParams::toy(), &mut rng)?;
+    let bridge = CkksToTfheBridge::new(&ctx, &ckks_sk, &client, &mut rng)?;
+    println!(
+        "bridge ready: CKKS (N = {}, q0/Δ = {}) -> TFHE (n = {})",
+        ctx.n(),
+        bridge.message_space(),
+        client.params().lwe_dim
+    );
+
+    // Arithmetic phase: add two encrypted integer scores on CKKS.
+    for (a, b) in [(1u64, 2u64), (0, 1), (2, 1)] {
+        let ct_a = ckks_sk.encrypt(&ctx, &enc.encode(&vec![a as f64; enc.slots()])?, &mut rng)?;
+        let ct_b = ckks_sk.encrypt(&ctx, &enc.encode(&vec![b as f64; enc.slots()])?, &mut rng)?;
+        let total = ev.level_down(&ev.add(&ct_a, &ct_b)?, 0)?;
+
+        // Scheme switch: no decryption anywhere.
+        let lwe = bridge.switch(&ctx, &total, 0)?;
+        println!(
+            "  CKKS {a} + {b} -> switched to TFHE, decrypts to {}",
+            client.decrypt_message(&lwe, bridge.message_space())
+        );
+
+        // Logic phase: a non-polynomial function CKKS cannot express —
+        // threshold (sum >= 3) via a programmable-bootstrapping LUT.
+        let decision =
+            server.bootstrap_with_lut(&lwe, bridge.message_space(), |m| u64::from(m >= 3));
+        let flag = client.decrypt_message(&decision, bridge.message_space()) == 1;
+        println!("    threshold (>= 3) on TFHE: {flag}");
+        assert_eq!(flag, a + b >= 3);
+    }
+    println!("\ncross-scheme pipeline verified: CKKS arithmetic -> bridge -> TFHE logic.");
+    Ok(())
+}

@@ -1,0 +1,177 @@
+//! End-to-end assertions of the paper's headline claims, run against the
+//! regenerated artifacts (see EXPERIMENTS.md for the full paper-vs-measured
+//! record). Bands are deliberately generous: the goal is that who wins, by
+//! roughly what factor, and where the crossovers fall all hold.
+
+use alchemist::baselines::designs::{CRATERLAKE, MATCHA, SHARP, STRIX};
+use alchemist::baselines::modular::WorkProfile;
+use alchemist::baselines::published;
+use alchemist::metaop::counts;
+use alchemist::sim::{dse, workloads, ArchConfig, AreaModel, Simulator};
+
+fn sim() -> Simulator {
+    Simulator::new(ArchConfig::paper())
+}
+
+#[test]
+fn claim_area_and_power_match_table5() {
+    let m = AreaModel::new(ArchConfig::paper());
+    assert!((m.total_mm2() - 181.086).abs() < 0.01);
+    assert!((m.average_power_w() - 77.9).abs() < 0.1);
+}
+
+#[test]
+fn claim_table7_speedups_are_tens_of_thousands() {
+    // "Alchemist is up to 24,829x faster than CPU": simulated throughput
+    // against the paper's published CPU reference must land in the same
+    // decade for every row.
+    let p = workloads::CkksSimParams::paper();
+    let s = sim();
+    let rows = [
+        (workloads::pmult(&p), published::TABLE7[0]),
+        (workloads::hadd(&p), published::TABLE7[1]),
+        (workloads::keyswitch(&p), published::TABLE7[2]),
+        (workloads::cmult(&p), published::TABLE7[3]),
+        (workloads::rotation(&p), published::TABLE7[4]),
+    ];
+    for (steps, reference) in rows {
+        let ours = 1.0 / s.run(&steps).seconds();
+        let speedup = ours / reference.cpu;
+        assert!(
+            speedup > 0.4 * reference.speedup && speedup < 2.5 * reference.speedup,
+            "{}: simulated speedup {speedup:.0}x vs paper {:.0}x",
+            reference.op,
+            reference.speedup
+        );
+    }
+}
+
+#[test]
+fn claim_fig7a_multiply_reductions() {
+    let p = counts::CkksCountParams::paper_default();
+    // Paper: -3.4%, -23.3%, -37.1%. Accept the right sign and magnitude.
+    let tfhe = counts::pbs(&counts::TfheCountParams::set_i()).change_pct();
+    assert!((-8.0..0.0).contains(&tfhe), "TFHE {tfhe}%");
+    let cm = counts::cmult(&p.at_level(24)).change_pct();
+    assert!((-28.0..-18.0).contains(&cm), "Cmult {cm}%");
+    let boot = counts::bootstrapping(&p, true).change_pct();
+    assert!((-42.0..-30.0).contains(&boot), "BSP+ {boot}%");
+    // The ordering the paper reports: savings grow with Bconv/Decomp share.
+    assert!(boot < cm && cm < tfhe);
+}
+
+#[test]
+fn claim_fig7b_utilization_gap() {
+    // "overall utilization rate of about 0.86 ... an improvement of
+    // approximately 1.57x over SHARP".
+    let p = workloads::CkksSimParams::paper();
+    let boot = workloads::bootstrapping(&p);
+    let ours = sim().run(&boot);
+    assert!(ours.utilization() > 0.75, "Alchemist boot utilization {}", ours.utilization());
+    let profile = WorkProfile::from_steps(&boot);
+    let sharp = SHARP.simulate(&profile).utilization;
+    let clake = CRATERLAKE.simulate(&profile).utilization;
+    let improvement = ours.utilization() / sharp;
+    assert!(
+        (1.3..2.0).contains(&improvement),
+        "utilization improvement over SHARP: {improvement:.2} (paper ~1.57)"
+    );
+    assert!(clake < sharp, "CraterLake sits below SHARP (0.42 vs 0.55)");
+}
+
+#[test]
+fn claim_fig6a_sharp_factor_two() {
+    let p = workloads::CkksSimParams::paper();
+    let s = sim();
+    let boot = workloads::bootstrapping(&p);
+    let helr = workloads::helr_iteration(&p);
+    let ours_boot = s.run(&boot).seconds();
+    let ours_helr = s.run(&helr).seconds();
+    let sharp_boot = SHARP.simulate(&WorkProfile::from_steps(&boot)).seconds;
+    let sharp_helr = SHARP.simulate(&WorkProfile::from_steps(&helr)).seconds;
+    let avg = (sharp_boot / ours_boot + sharp_helr / ours_helr) / 2.0;
+    assert!((1.5..3.0).contains(&avg), "avg speedup vs SHARP {avg:.2} (paper 2.0)");
+}
+
+#[test]
+fn claim_fig6a_perf_per_area() {
+    // "29.4x performance per area on average" across BTS/ARK/CLake+/SHARP.
+    let p = workloads::CkksSimParams::paper();
+    let s = sim();
+    let boot = workloads::bootstrapping(&p);
+    let helr = workloads::helr_iteration(&p);
+    let ours_boot = s.run(&boot).seconds();
+    let ours_helr = s.run(&helr).seconds();
+    let our_area = AreaModel::new(ArchConfig::paper()).total_mm2();
+    let bp = WorkProfile::from_steps(&boot);
+    let hp = WorkProfile::from_steps(&helr);
+    let mut total = 0.0;
+    for d in [
+        alchemist::baselines::designs::BTS,
+        alchemist::baselines::designs::ARK,
+        CRATERLAKE,
+        SHARP,
+    ] {
+        let speedup =
+            (d.simulate(&bp).seconds / ours_boot + d.simulate(&hp).seconds / ours_helr) / 2.0;
+        total += speedup * d.area_14nm_mm2 / our_area;
+    }
+    let avg = total / 4.0;
+    assert!((15.0..45.0).contains(&avg), "avg perf/area {avg:.1}x (paper 29.4x)");
+}
+
+#[test]
+fn claim_fig6b_tfhe_asic_speedup() {
+    // "a 7.0x overall speed up on average" vs Matcha and Strix.
+    let s = sim();
+    let mut total = 0.0;
+    let mut count = 0;
+    for tp in [workloads::TfheSimParams::set_i(), workloads::TfheSimParams::set_ii()] {
+        let steps = workloads::tfhe_pbs(&tp, 128);
+        let ours = s.run(&steps).seconds();
+        let profile = WorkProfile::from_steps(&steps);
+        total += MATCHA.simulate(&profile).seconds / ours;
+        total += STRIX.simulate(&profile).seconds / ours;
+        count += 2;
+    }
+    let avg = total / count as f64;
+    assert!((4.0..11.0).contains(&avg), "TFHE ASIC avg speedup {avg:.1}x (paper 7.0x)");
+}
+
+#[test]
+fn claim_dse_selects_the_papers_design_point() {
+    // j = 8 lanes and slot-based partitioning win perf/area (§4.2, §5.3).
+    let lanes = dse::lane_sweep();
+    let best = lanes
+        .iter()
+        .max_by(|a, b| a.perf_per_area().total_cmp(&b.perf_per_area()))
+        .unwrap();
+    assert_eq!(best.label, "j=8");
+    let parts = dse::partitioning_ablation();
+    assert!(parts[0].perf_per_area() > parts[1].perf_per_area());
+}
+
+#[test]
+fn claim_only_alchemist_supports_both_schemes() {
+    for d in alchemist::baselines::all_designs() {
+        assert!(!(d.arithmetic && d.logic), "{}", d.name);
+    }
+    // Alchemist runs both (the cross-scheme pipeline completes).
+    let r = sim().run(&workloads::cross_scheme(
+        &workloads::CkksSimParams::paper().at_level(20),
+        &workloads::TfheSimParams::set_i(),
+        2,
+    ));
+    assert!(r.cycles > 0);
+}
+
+#[test]
+fn claim_sram_and_area_reductions_vs_sharp() {
+    // "SRAM consumption is reduced by more than 60% and the overall area
+    // is reduced by more than 50%" vs the latest arithmetic accelerator.
+    let arch = ArchConfig::paper();
+    let sram_mb = arch.total_sram_kib() as f64 / 1024.0;
+    assert!(sram_mb / SHARP.onchip_mb < 0.40);
+    let area = AreaModel::new(arch).total_mm2();
+    assert!(area / SHARP.area_14nm_mm2 < 0.50);
+}
