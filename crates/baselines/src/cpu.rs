@@ -69,13 +69,9 @@ pub fn measure_ckks_op(
         _ => None,
     };
     let gk = match op {
-        CkksOp::Rotation | CkksOp::Keyswitch => Some(fhe_ckks::GaloisKeys::generate(
-            &ctx,
-            &sk,
-            &[1],
-            false,
-            &mut rng,
-        )?),
+        CkksOp::Rotation | CkksOp::Keyswitch => {
+            Some(fhe_ckks::GaloisKeys::generate(&ctx, &sk, &[1], false, &mut rng)?)
+        }
         _ => None,
     };
 
@@ -90,9 +86,10 @@ pub fn measure_ckks_op(
             }
             CkksOp::Keyswitch => {
                 // A rotation without the automorphism ≈ one raw key switch.
-                let key = gk.as_ref().and_then(|g| g.rotation_key(1)).ok_or(
-                    CkksError::MissingKey { detail: "rotation key".into() },
-                )?;
+                let key = gk
+                    .as_ref()
+                    .and_then(|g| g.rotation_key(1))
+                    .ok_or(CkksError::MissingKey { detail: "rotation key".into() })?;
                 let _ = ev.keyswitch_core(ct.c1(), key, ct.level())?;
             }
             CkksOp::Cmult => {

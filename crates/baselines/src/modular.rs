@@ -42,9 +42,10 @@ impl WorkProfile {
             match s.class {
                 OpClass::Ntt => p.ntt += lane_cycles,
                 OpClass::Bconv => p.bconv += lane_cycles,
-                OpClass::DecompPolyMult | OpClass::Elementwise => {
-                    p.elementwise += lane_cycles
-                }
+                OpClass::DecompPolyMult | OpClass::Elementwise => p.elementwise += lane_cycles,
+                // Pure data movement consumes no functional-unit work; the
+                // pool model accounts compute contention only.
+                OpClass::Transfer => {}
             }
         }
         p
@@ -101,11 +102,8 @@ impl BaselineDesign {
         }
         let cycles = (1.0 - self.overlap) * serial + self.overlap * longest;
         let seconds = cycles / (self.freq_ghz * 1e9);
-        let utilization = if cycles > 0.0 {
-            work.total() / (cycles * self.lanes as f64)
-        } else {
-            0.0
-        };
+        let utilization =
+            if cycles > 0.0 { work.total() / (cycles * self.lanes as f64) } else { 0.0 };
         BaselineReport { cycles, seconds, utilization }
     }
 }
@@ -140,8 +138,8 @@ mod tests {
             "SHARP boot utilization {}",
             boot.utilization
         );
-        let helr = SHARP
-            .simulate(&WorkProfile::from_steps(&helr_iteration(&CkksSimParams::paper())));
+        let helr =
+            SHARP.simulate(&WorkProfile::from_steps(&helr_iteration(&CkksSimParams::paper())));
         assert!(
             (0.40..0.65).contains(&helr.utilization),
             "SHARP HELR utilization {}",
@@ -207,8 +205,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "no pool")]
     fn logic_only_design_rejects_bconv_work() {
-        let mut w = WorkProfile::default();
-        w.bconv = 1e6;
+        let w = WorkProfile { bconv: 1e6, ..Default::default() };
         let _ = STRIX.simulate(&w);
     }
 }

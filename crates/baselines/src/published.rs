@@ -25,11 +25,46 @@ pub struct Table7Row {
 
 /// Paper Table 7 (`N = 2^16, L = 44, dnum = 4`).
 pub const TABLE7: [Table7Row; 5] = [
-    Table7Row { op: "Pmult", cpu: 38.14, gpu: Some(7407.0), poseidon: 14_647.0, alchemist: 946_970.0, speedup: 24_829.0 },
-    Table7Row { op: "Hadd", cpu: 35.56, gpu: Some(4807.0), poseidon: 13_310.0, alchemist: 710_227.0, speedup: 19_973.0 },
-    Table7Row { op: "Keyswitch", cpu: 0.4, gpu: None, poseidon: 312.0, alchemist: 7246.0, speedup: 18_115.0 },
-    Table7Row { op: "Cmult", cpu: 0.38, gpu: Some(57.0), poseidon: 273.0, alchemist: 7143.0, speedup: 18_785.0 },
-    Table7Row { op: "Rotation", cpu: 0.39, gpu: Some(61.0), poseidon: 302.0, alchemist: 7179.0, speedup: 18_377.0 },
+    Table7Row {
+        op: "Pmult",
+        cpu: 38.14,
+        gpu: Some(7407.0),
+        poseidon: 14_647.0,
+        alchemist: 946_970.0,
+        speedup: 24_829.0,
+    },
+    Table7Row {
+        op: "Hadd",
+        cpu: 35.56,
+        gpu: Some(4807.0),
+        poseidon: 13_310.0,
+        alchemist: 710_227.0,
+        speedup: 19_973.0,
+    },
+    Table7Row {
+        op: "Keyswitch",
+        cpu: 0.4,
+        gpu: None,
+        poseidon: 312.0,
+        alchemist: 7246.0,
+        speedup: 18_115.0,
+    },
+    Table7Row {
+        op: "Cmult",
+        cpu: 0.38,
+        gpu: Some(57.0),
+        poseidon: 273.0,
+        alchemist: 7143.0,
+        speedup: 18_785.0,
+    },
+    Table7Row {
+        op: "Rotation",
+        cpu: 0.39,
+        gpu: Some(61.0),
+        poseidon: 302.0,
+        alchemist: 7179.0,
+        speedup: 18_377.0,
+    },
 ];
 
 /// Fig. 6(a) deep-CKKS speedups the paper reports for Alchemist over each
@@ -50,11 +85,8 @@ pub const FIG6B_NUFHE_SPEEDUP: f64 = 105.0;
 pub const FIG6B_ASIC_AVG_SPEEDUP: f64 = 7.0;
 
 /// Fig. 7(a) multiply-overhead changes the paper reports (percent).
-pub const FIG7A_CHANGES: [(&str, f64); 3] = [
-    ("TFHE PBS", -3.4),
-    ("CKKS Cmult L=24", -23.3),
-    ("CKKS bootstrapping L=44 (hoisted)", -37.1),
-];
+pub const FIG7A_CHANGES: [(&str, f64); 3] =
+    [("TFHE PBS", -3.4), ("CKKS Cmult L=24", -23.3), ("CKKS bootstrapping L=44 (hoisted)", -37.1)];
 
 /// Fig. 7(b) utilization numbers the paper reports.
 pub const FIG7B_UTILIZATION: [(&str, f64); 5] = [

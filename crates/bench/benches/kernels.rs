@@ -80,11 +80,9 @@ fn bench_bconv(c: &mut Criterion) {
             })
             .collect();
         let refs: Vec<&[u64]> = channels.iter().map(|c| c.as_slice()).collect();
-        group.bench_with_input(
-            BenchmarkId::new("apply", format!("L{l}K{k}")),
-            &(l, k),
-            |b, _| b.iter(|| plan.apply(&refs)),
-        );
+        group.bench_with_input(BenchmarkId::new("apply", format!("L{l}K{k}")), &(l, k), |b, _| {
+            b.iter(|| plan.apply(&refs))
+        });
     }
     group.finish();
 }

@@ -9,9 +9,7 @@ fn bench_simulator(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulator");
     let sim = Simulator::new(ArchConfig::paper());
     let p = workloads::CkksSimParams::paper();
-    group.bench_function("compile_and_run_cmult", |b| {
-        b.iter(|| sim.run(&workloads::cmult(&p)))
-    });
+    group.bench_function("compile_and_run_cmult", |b| b.iter(|| sim.run(&workloads::cmult(&p))));
     group.bench_function("compile_and_run_bootstrapping", |b| {
         b.iter(|| sim.run(&workloads::bootstrapping(&p)))
     });

@@ -3,9 +3,9 @@
 //! data partitioning.
 
 use alchemist_core::dse;
+use bench::{BenchArgs, Reporter};
 
-fn print_points(title: &str, points: &[dse::DsePoint]) {
-    println!("{title}\n");
+fn print_points(rep: &mut Reporter, title: &str, points: &[dse::DsePoint]) {
     let rows: Vec<Vec<String>> = points
         .iter()
         .map(|p| {
@@ -18,18 +18,29 @@ fn print_points(title: &str, points: &[dse::DsePoint]) {
             ]
         })
         .collect();
-    bench::print_table(
+    rep.table(
+        title,
         &["Config", "Area (mm2)", "Bootstrap", "Utilization", "Perf/area (1/ms/mm2 x1e3)"],
         &rows,
     );
-    println!();
 }
 
 fn main() {
-    print_points("Lane-width sweep (paper fixes j = 8, section 4.2):", &dse::lane_sweep());
-    print_points("Computing-unit sweep (paper selects 128, section 5.4):", &dse::unit_sweep());
+    let mut rep = Reporter::from_args(&BenchArgs::parse());
     print_points(
+        &mut rep,
+        "Lane-width sweep (paper fixes j = 8, section 4.2):",
+        &dse::lane_sweep(),
+    );
+    print_points(
+        &mut rep,
+        "Computing-unit sweep (paper selects 128, section 5.4):",
+        &dse::unit_sweep(),
+    );
+    print_points(
+        &mut rep,
         "Data partitioning ablation (slot-based vs channel-based, section 5.3):",
         &dse::partitioning_ablation(),
     );
+    rep.finish();
 }

@@ -5,13 +5,15 @@
 use alchemist_core::{workloads, ArchConfig, Simulator};
 use baselines::designs::{CRATERLAKE, F1, SHARP, STRIX};
 use baselines::modular::WorkProfile;
+use bench::{BenchArgs, Reporter};
 use metaop::counts::{bootstrapping, cmult, pbs, CkksCountParams, TfheCountParams};
 use metaop::{AccessPattern, OpClass};
 
 fn main() {
+    let args = BenchArgs::parse();
+    let mut rep = Reporter::from_args(&args);
     let p = CkksCountParams::paper_default();
 
-    println!("Figure 1 (top): operator ratio in the algorithm\n");
     let workload_mults = [
         ("TFHE-PBS", pbs(&TfheCountParams::set_i())),
         ("Cmult-L=24", cmult(&p.at_level(24))),
@@ -33,9 +35,12 @@ fn main() {
             ]
         })
         .collect();
-    bench::print_table(&["Workload", "NTT", "Bconv", "DecompPolyMult", "Elementwise"], &rows);
+    rep.table(
+        "Figure 1 (top): operator ratio in the algorithm",
+        &["Workload", "NTT", "Bconv", "DecompPolyMult", "Elementwise"],
+        &rows,
+    );
 
-    println!("\nFigure 1 (bottom): overall hardware utilization per accelerator\n");
     let sp = workloads::CkksSimParams::paper();
     let sim = Simulator::new(ArchConfig::paper());
     let sim_workloads = [
@@ -64,9 +69,12 @@ fn main() {
             format!("{:.2}", ours.utilization()),
         ]);
     }
-    bench::print_table(&["Workload", "F1", "CraterLake", "SHARP", "Strix", "Alchemist"], &rows);
+    rep.table(
+        "Figure 1 (bottom): overall hardware utilization per accelerator",
+        &["Workload", "F1", "CraterLake", "SHARP", "Strix", "Alchemist"],
+        &rows,
+    );
 
-    println!("\nTable 4: access pattern per operation\n");
     let rows: Vec<Vec<String>> = [OpClass::Ntt, OpClass::DecompPolyMult, OpClass::Bconv]
         .iter()
         .map(|&c| {
@@ -80,5 +88,10 @@ fn main() {
             ]
         })
         .collect();
-    bench::print_table(&["Computation", "Slots", "Channel", "Dnum_group"], &rows);
+    rep.table(
+        "Table 4: access pattern per operation",
+        &["Computation", "Slots", "Channel", "Dnum_group"],
+        &rows,
+    );
+    rep.finish();
 }

@@ -7,14 +7,16 @@ use alchemist_core::{workloads, ArchConfig, AreaModel, Simulator};
 use baselines::designs::{ARK, BTS, CRATERLAKE, F1, MATCHA, SHARP, STRIX};
 use baselines::modular::WorkProfile;
 use baselines::published;
+use bench::{BenchArgs, Reporter};
 
 fn main() {
+    let args = BenchArgs::parse();
+    let mut rep = Reporter::from_args(&args);
     let sim = Simulator::new(ArchConfig::paper());
     let our_area = AreaModel::new(ArchConfig::paper()).total_mm2();
     let p = workloads::CkksSimParams::paper();
 
     // ---- Fig 6a: shallow CKKS (LoLa-MNIST). ----
-    println!("Figure 6a (left): LoLa-MNIST inference latency\n");
     let (_, enc_steps) = workloads::lola_mnist(true);
     let (_, unenc_steps) = workloads::lola_mnist(false);
     let t_enc = sim.run(&enc_steps).seconds();
@@ -38,15 +40,18 @@ fn main() {
             format!("{:.1}x", f1_enc / t_enc),
         ],
     ];
-    bench::print_table(&["Benchmark", "F1 (model)", "Alchemist", "Speedup"], &rows);
-    println!(
-        "paper: >3x vs F1; encrypted-weight inference {} (paper {}).\n",
+    rep.table(
+        "Figure 6a (left): LoLa-MNIST inference latency",
+        &["Benchmark", "F1 (model)", "Alchemist", "Speedup"],
+        &rows,
+    );
+    rep.note(&format!(
+        "paper: >3x vs F1; encrypted-weight inference {} (paper {}).",
         bench::fmt_time(t_enc),
         bench::fmt_time(published::LOLA_MNIST_ENCRYPTED_S)
-    );
+    ));
 
     // ---- Fig 6a: deep CKKS (bootstrapping + HELR). ----
-    println!("Figure 6a (right): fully-packed bootstrapping and HELR-1024\n");
     let boot = workloads::bootstrapping(&p);
     let helr = workloads::helr_iteration(&p);
     let t_boot = sim.run(&boot).seconds();
@@ -81,7 +86,8 @@ fn main() {
         "1.0x".into(),
         "1.0x".into(),
     ]);
-    bench::print_table(
+    rep.table(
+        "Figure 6a (right): fully-packed bootstrapping and HELR-1024",
         &["Design", "Bootstrap", "HELR iter", "Avg speedup (model)", "Avg speedup (paper)"],
         &rows,
     );
@@ -90,16 +96,19 @@ fn main() {
         .map(|r| r[1].trim_end_matches('x').parse::<f64>().unwrap_or(0.0))
         .sum::<f64>()
         / perf_rows.len() as f64;
-    println!("\nperformance per area vs each design:\n");
-    bench::print_table(&["Design", "Perf/area (model)", "Perf/area (paper)"], &perf_rows);
-    println!("\naverage perf/area improvement: {avg_model:.1}x (paper: 29.4x)\n");
+    rep.table(
+        "performance per area vs each design:",
+        &["Design", "Perf/area (model)", "Perf/area (paper)"],
+        &perf_rows,
+    );
+    rep.note(&format!("average perf/area improvement: {avg_model:.1}x (paper: 29.4x)"));
 
     // ---- Fig 6b: TFHE PBS. ----
-    println!("Figure 6b: TFHE programmable bootstrapping throughput\n");
     let mut rows = Vec::new();
-    for (tp, name) in
-        [(workloads::TfheSimParams::set_i(), "Set I"), (workloads::TfheSimParams::set_ii(), "Set II")]
-    {
+    for (tp, name) in [
+        (workloads::TfheSimParams::set_i(), "Set I"),
+        (workloads::TfheSimParams::set_ii(), "Set II"),
+    ] {
         let batch = 128u64;
         let steps = workloads::tfhe_pbs(&tp, batch);
         let ours = batch as f64 / sim.run(&steps).seconds();
@@ -118,11 +127,21 @@ fn main() {
             format!("{:.1}x", (ours / matcha + ours / strix) / 2.0),
         ]);
     }
-    bench::print_table(
-        &["Params", "Concrete*", "NuFHE*", "Matcha (model)", "Strix (model)", "Alchemist", "ASIC avg speedup"],
+    rep.table(
+        "Figure 6b: TFHE programmable bootstrapping throughput",
+        &[
+            "Params",
+            "Concrete*",
+            "NuFHE*",
+            "Matcha (model)",
+            "Strix (model)",
+            "Alchemist",
+            "ASIC avg speedup",
+        ],
         &rows,
     );
-    println!(
-        "\n* Concrete/NuFHE columns derived from the paper's reported 1600x / 105x speedups.\npaper: ~7.0x average speedup over the TFHE ASICs."
+    rep.note(
+        "* Concrete/NuFHE columns derived from the paper's reported 1600x / 105x speedups.\npaper: ~7.0x average speedup over the TFHE ASICs.",
     );
+    rep.finish();
 }

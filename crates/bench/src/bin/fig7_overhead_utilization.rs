@@ -1,19 +1,22 @@
 //! Regenerates **Figure 7**: (a) computation overhead of Cmult and
 //! bootstrapping with and without the Meta-OP `(M_j A_j)_n R_j`
 //! transformation, and (b) utilization-rate comparison against SHARP and
-//! CraterLake.
+//! CraterLake. Supports `--json` and `--trace-out <path>` (Perfetto trace
+//! of the bootstrapping + HELR simulator runs).
 
 use alchemist_core::{workloads, ArchConfig, Simulator};
 use baselines::designs::{CRATERLAKE, SHARP};
 use baselines::modular::WorkProfile;
 use baselines::published;
+use bench::{BenchArgs, Reporter};
 use metaop::counts::{bootstrapping, cmult, pbs, CkksCountParams, TfheCountParams};
 use metaop::OpClass;
 
 fn main() {
+    let args = BenchArgs::parse();
+    let mut rep = Reporter::from_args(&args);
     let p = CkksCountParams::paper_default();
 
-    println!("Figure 7a: multiplication overhead w/ and w/o (MjAj)nRj\n");
     let cases = [
         ("TFHE PBS", pbs(&TfheCountParams::set_i())),
         ("CKKS Cmult L=24", cmult(&p.at_level(24))),
@@ -32,18 +35,29 @@ fn main() {
             ]
         })
         .collect();
-    bench::print_table(
-        &["Workload", "#Mults w/o Meta-OP", "#Mults w/ Meta-OP", "Change (measured)", "Change (paper)"],
+    rep.table(
+        "Figure 7a: multiplication overhead w/ and w/o (MjAj)nRj",
+        &[
+            "Workload",
+            "#Mults w/o Meta-OP",
+            "#Mults w/ Meta-OP",
+            "Change (measured)",
+            "Change (paper)",
+        ],
         &rows,
     );
 
-    println!("\nFigure 7b: utilization rates on bootstrapping (HELR-1024)\n");
     let sim = Simulator::new(ArchConfig::paper());
     let sp = workloads::CkksSimParams::paper();
     let boot = workloads::bootstrapping(&sp);
     let helr = workloads::helr_iteration(&sp);
-    let boot_report = sim.run(&boot);
-    let helr_report = sim.run(&helr);
+    let tel = if args.trace_out.is_some() {
+        telemetry::Telemetry::enabled()
+    } else {
+        telemetry::Telemetry::disabled()
+    };
+    let boot_report = sim.run_traced(&boot, &tel);
+    let helr_report = sim.run_traced(&helr, &tel);
     let boot_profile = WorkProfile::from_steps(&boot);
     let helr_profile = WorkProfile::from_steps(&helr);
 
@@ -78,13 +92,25 @@ fn main() {
             "0.42".to_string(),
         ],
     ];
-    bench::print_table(&["Metric", "Measured", "Paper"], &rows);
+    rep.table(
+        "Figure 7b: utilization rates on bootstrapping (HELR-1024)",
+        &["Metric", "Measured", "Paper"],
+        &rows,
+    );
 
-    let improvement =
-        boot_report.utilization() / SHARP.simulate(&boot_profile).utilization;
-    println!(
-        "\nutilization improvement over SHARP: {improvement:.2}x (paper: ~1.57x);\nboot {} | HELR iter {}",
+    let improvement = boot_report.utilization() / SHARP.simulate(&boot_profile).utilization;
+    rep.note(&format!(
+        "utilization improvement over SHARP: {improvement:.2}x (paper: ~1.57x);\nboot {} | HELR iter {}",
         bench::fmt_time(boot_report.seconds()),
         bench::fmt_time(helr_report.seconds()),
-    );
+    ));
+
+    if let Some(path) = &args.trace_out {
+        bench::write_trace(&tel, path);
+        rep.note(&format!(
+            "telemetry trace written to {} (open in ui.perfetto.dev)",
+            path.display()
+        ));
+    }
+    rep.finish();
 }

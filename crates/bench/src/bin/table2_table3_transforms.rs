@@ -2,10 +2,11 @@
 //! `DecompPolyMult` and `Modup` before and after the Meta-OP
 //! transformation, swept over the paper's parameter ranges.
 
+use bench::{BenchArgs, Reporter};
 use metaop::counts::{bconv_counts, decomp_poly_mult_counts, ntt_counts};
 
 fn main() {
-    println!("Table 2: DecompPolyMult transformation (per output channel, N = 2^16)\n");
+    let mut rep = Reporter::from_args(&BenchArgs::parse());
     let n = 1u64 << 16;
     let rows: Vec<Vec<String>> = (1..=6)
         .map(|dnum| {
@@ -18,9 +19,12 @@ fn main() {
             ]
         })
         .collect();
-    bench::print_table(&["Config", "Origin #Mults", "Meta-OP #Mults", "Saving"], &rows);
+    rep.table(
+        "Table 2: DecompPolyMult transformation (per output channel, N = 2^16)",
+        &["Config", "Origin #Mults", "Meta-OP #Mults", "Saving"],
+        &rows,
+    );
 
-    println!("\nTable 3: Modup transformation (per polynomial, N = 2^16)\n");
     let rows: Vec<Vec<String>> = [(2u64, 2u64), (7, 25), (12, 45), (12, 57), (23, 45)]
         .iter()
         .map(|&(l, k)| {
@@ -33,9 +37,12 @@ fn main() {
             ]
         })
         .collect();
-    bench::print_table(&["Config", "Origin #Mults", "Meta-OP #Mults", "Saving"], &rows);
+    rep.table(
+        "Table 3: Modup transformation (per polynomial, N = 2^16)",
+        &["Config", "Origin #Mults", "Meta-OP #Mults", "Saving"],
+        &rows,
+    );
 
-    println!("\nNTT penalty check (paper section 4.2: 'only a 10% multiplication increase'):\n");
     let rows: Vec<Vec<String>> = (10..=16)
         .map(|log| {
             let c = ntt_counts(1 << log);
@@ -47,5 +54,10 @@ fn main() {
             ]
         })
         .collect();
-    bench::print_table(&["Size", "Origin #Mults", "Meta-OP #Mults", "Change"], &rows);
+    rep.table(
+        "NTT penalty check (paper section 4.2: 'only a 10% multiplication increase'):",
+        &["Size", "Origin #Mults", "Meta-OP #Mults", "Change"],
+        &rows,
+    );
+    rep.finish();
 }

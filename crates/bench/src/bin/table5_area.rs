@@ -1,10 +1,11 @@
 //! Regenerates **Table 5**: area breakdown of Alchemist (14 nm).
 
 use alchemist_core::{ArchConfig, AreaModel};
+use bench::{BenchArgs, Reporter};
 
 fn main() {
+    let mut rep = Reporter::from_args(&BenchArgs::parse());
     let model = AreaModel::new(ArchConfig::paper());
-    println!("Table 5: Area breakdown of Alchemist (14 nm)\n");
     let rows: Vec<Vec<String>> = model
         .breakdown()
         .into_iter()
@@ -16,10 +17,15 @@ fn main() {
             ]
         })
         .collect();
-    bench::print_table(&["Component", "Area (mm2 each)", "Total (mm2)"], &rows);
-    println!(
-        "\nPaper total: 181.086 mm2; model total: {:.3} mm2; average power: {:.1} W (paper: 77.9 W)",
+    rep.table(
+        "Table 5: Area breakdown of Alchemist (14 nm)",
+        &["Component", "Area (mm2 each)", "Total (mm2)"],
+        &rows,
+    );
+    rep.note(&format!(
+        "Paper total: 181.086 mm2; model total: {:.3} mm2; average power: {:.1} W (paper: 77.9 W)",
         model.total_mm2(),
         model.average_power_w()
-    );
+    ));
+    rep.finish();
 }

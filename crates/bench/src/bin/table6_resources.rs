@@ -2,9 +2,10 @@
 
 use alchemist_core::{ArchConfig, AreaModel};
 use baselines::designs::table6_designs;
+use bench::{BenchArgs, Reporter};
 
 fn main() {
-    println!("Table 6: Resource usage in FHE accelerators\n");
+    let mut rep = Reporter::from_args(&BenchArgs::parse());
     let arch = ArchConfig::paper();
     let area = AreaModel::new(arch);
     let mut rows: Vec<Vec<String>> = table6_designs()
@@ -36,14 +37,16 @@ fn main() {
         format!("{:.1}", area.total_mm2()),
         format!("{:.1}", area.total_mm2()),
     ]);
-    bench::print_table(
+    rep.table(
+        "Table 6: Resource usage in FHE accelerators",
         &["Design", "(AC,LC)", "Off-chip BW", "On-chip cap", "On-chip BW", "Freq", "Area", "14nm"],
         &rows,
     );
-    println!("\nOnly Alchemist supports both arithmetic (AC) and logic (LC) FHE.");
-    println!(
+    rep.note("Only Alchemist supports both arithmetic (AC) and logic (LC) FHE.");
+    rep.note(&format!(
         "vs SHARP: SRAM {:.0}% smaller, area {:.0}% smaller (paper: >60% and >50%).",
         (1.0 - 66.0 / 180.0) * 100.0,
         (1.0 - area.total_mm2() / 379.0) * 100.0
-    );
+    ));
+    rep.finish();
 }

@@ -5,29 +5,41 @@
 //! measured live on this machine with the workspace's own software CKKS
 //! (single thread) unless `TABLE7_SKIP_CPU=1`, in which case the paper's
 //! published CPU numbers are used. GPU and Poseidon columns are the
-//! paper's published references.
+//! paper's published references. Supports `--json` and `--trace-out
+//! <path>` (Perfetto trace of the five simulator runs).
 
 use alchemist_core::{workloads, ArchConfig, Simulator};
 use baselines::cpu::{measure_ckks_op, CkksOp};
 use baselines::published::TABLE7;
+use bench::{BenchArgs, Reporter};
 use fhe_ckks::CkksParams;
 
 fn main() {
+    let args = BenchArgs::parse();
+    let mut rep = Reporter::from_args(&args);
     let sim = Simulator::new(ArchConfig::paper());
     let p = workloads::CkksSimParams::paper();
+    let tel = if args.trace_out.is_some() {
+        telemetry::Telemetry::enabled()
+    } else {
+        telemetry::Telemetry::disabled()
+    };
+    let run = |steps: &[alchemist_core::Step]| sim.run_traced(steps, &tel).seconds();
     let ours: Vec<(CkksOp, f64)> = vec![
-        (CkksOp::Pmult, 1.0 / sim.run(&workloads::pmult(&p)).seconds()),
-        (CkksOp::Hadd, 1.0 / sim.run(&workloads::hadd(&p)).seconds()),
-        (CkksOp::Keyswitch, 1.0 / sim.run(&workloads::keyswitch(&p)).seconds()),
-        (CkksOp::Cmult, 1.0 / sim.run(&workloads::cmult(&p)).seconds()),
-        (CkksOp::Rotation, 1.0 / sim.run(&workloads::rotation(&p)).seconds()),
+        (CkksOp::Pmult, 1.0 / run(&workloads::pmult(&p))),
+        (CkksOp::Hadd, 1.0 / run(&workloads::hadd(&p))),
+        (CkksOp::Keyswitch, 1.0 / run(&workloads::keyswitch(&p))),
+        (CkksOp::Cmult, 1.0 / run(&workloads::cmult(&p))),
+        (CkksOp::Rotation, 1.0 / run(&workloads::rotation(&p))),
     ];
 
     let skip_cpu = std::env::var("TABLE7_SKIP_CPU").is_ok();
     let cpu: Vec<f64> = if skip_cpu {
         TABLE7.iter().map(|r| r.cpu).collect()
     } else {
-        println!("measuring CPU baseline at paper parameters (this takes ~a minute)...");
+        if !rep.is_json() {
+            println!("measuring CPU baseline at paper parameters (this takes ~a minute)...");
+        }
         let params = CkksParams::paper().expect("paper parameters construct");
         CkksOp::all()
             .iter()
@@ -41,7 +53,6 @@ fn main() {
             .collect()
     };
 
-    println!("\nTable 7: Throughput (ops/s) for basic operators, N=2^16 L=44 dnum=4\n");
     let rows: Vec<Vec<String>> = TABLE7
         .iter()
         .zip(&ours)
@@ -63,9 +74,28 @@ fn main() {
             ]
         })
         .collect();
-    bench::print_table(
-        &["Op", "CPU", "GPU*", "Poseidon*", "Alchemist(sim)", "Alchemist(paper)", "Speedup(sim)", "Speedup(paper)"],
+    rep.table(
+        "Table 7: Throughput (ops/s) for basic operators, N=2^16 L=44 dnum=4",
+        &[
+            "Op",
+            "CPU",
+            "GPU*",
+            "Poseidon*",
+            "Alchemist(sim)",
+            "Alchemist(paper)",
+            "Speedup(sim)",
+            "Speedup(paper)",
+        ],
         &rows,
     );
-    println!("\n* GPU and Poseidon columns are the paper's published references.");
+    rep.note("* GPU and Poseidon columns are the paper's published references.");
+
+    if let Some(path) = &args.trace_out {
+        bench::write_trace(&tel, path);
+        rep.note(&format!(
+            "telemetry trace written to {} (open in ui.perfetto.dev)",
+            path.display()
+        ));
+    }
+    rep.finish();
 }

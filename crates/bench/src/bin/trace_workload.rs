@@ -4,10 +4,13 @@
 //!
 //! ```sh
 //! cargo run -p bench --bin trace_workload -- cmult
-//! cargo run -p bench --bin trace_workload -- bootstrapping
+//! cargo run -p bench --bin trace_workload -- bootstrapping --json
+//! cargo run -p bench --bin trace_workload -- bootstrapping \
+//!     --trace-out /tmp/trace.json   # open in ui.perfetto.dev
 //! ```
 
 use alchemist_core::{workloads, ArchConfig, Simulator, Step};
+use bench::{BenchArgs, Reporter};
 
 fn steps_for(name: &str) -> Option<Vec<Step>> {
     let p = workloads::CkksSimParams::paper();
@@ -21,17 +24,15 @@ fn steps_for(name: &str) -> Option<Vec<Step>> {
         "helr" => workloads::helr_iteration(&p),
         "lola" => workloads::lola_mnist(true).1,
         "pbs" => workloads::tfhe_pbs(&workloads::TfheSimParams::set_i(), 128),
-        "cross" => workloads::cross_scheme(
-            &p.at_level(24),
-            &workloads::TfheSimParams::set_i(),
-            2,
-        ),
+        "cross" => workloads::cross_scheme(&p.at_level(24), &workloads::TfheSimParams::set_i(), 2),
         _ => return None,
     })
 }
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "cmult".into());
+    let args = BenchArgs::parse();
+    let mut rep = Reporter::from_args(&args);
+    let name = args.rest.first().cloned().unwrap_or_else(|| "cmult".into());
     let Some(steps) = steps_for(&name) else {
         eprintln!(
             "unknown workload '{name}'. options: pmult hadd keyswitch cmult rotation \
@@ -41,7 +42,14 @@ fn main() {
     };
     let arch = ArchConfig::paper();
     let sim = Simulator::new(arch);
-    println!("workload '{name}' on the paper configuration ({} steps):\n", steps.len());
+
+    let tel = if args.trace_out.is_some() {
+        telemetry::Telemetry::enabled()
+    } else {
+        telemetry::Telemetry::disabled()
+    };
+    let report = sim.run_traced(&steps, &tel);
+
     let shown = steps.len().min(40);
     let rows: Vec<Vec<String>> = steps
         .iter()
@@ -58,12 +66,22 @@ fn main() {
             ]
         })
         .collect();
-    bench::print_table(
+    rep.table(
+        &format!("workload '{name}' on the paper configuration ({} steps):", steps.len()),
         &["step", "class", "meta-ops", "n", "compute cyc", "sram cyc", "hbm cyc"],
         &rows,
     );
     if steps.len() > shown {
-        println!("... ({} more steps)", steps.len() - shown);
+        rep.note(&format!("... ({} more steps)", steps.len() - shown));
     }
-    println!("\n{}", sim.run(&steps).summary());
+    rep.note(&report.summary());
+
+    if let Some(path) = &args.trace_out {
+        bench::write_trace(&tel, path);
+        rep.note(&format!(
+            "telemetry trace written to {} (open in ui.perfetto.dev)",
+            path.display()
+        ));
+    }
+    rep.finish();
 }

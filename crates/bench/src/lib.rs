@@ -1,9 +1,155 @@
 //! Shared helpers for the table/figure regeneration binaries.
 //!
 //! Each binary under `src/bin/` regenerates one table or figure of the
-//! paper (see `DESIGN.md` §4 for the index) and prints a plain-text table
-//! with a `paper` column next to the `measured` column so deviations are
-//! visible at a glance; `EXPERIMENTS.md` records a snapshot.
+//! paper (see `DESIGN.md` §4 for the index) and renders through a
+//! [`Reporter`]: plain text by default (a `paper` column next to the
+//! `measured` column so deviations are visible at a glance), or a single
+//! machine-readable JSON document with `--json`; `EXPERIMENTS.md` records
+//! a snapshot. `--trace-out <path>` additionally captures a telemetry
+//! trace (Chrome/Perfetto `trace_event` format) where the binary supports
+//! it.
+
+use telemetry::json::Json;
+
+/// Command-line flags shared by the regeneration binaries.
+///
+/// Recognized flags are consumed; everything else lands in `rest` in
+/// order (e.g. the workload name of `trace_workload`).
+#[derive(Debug, Clone, Default)]
+pub struct BenchArgs {
+    /// `--json`: emit one JSON document instead of plain-text tables.
+    pub json: bool,
+    /// `--trace-out <path>`: write a Chrome/Perfetto trace of the run.
+    pub trace_out: Option<std::path::PathBuf>,
+    /// Positional arguments, in order.
+    pub rest: Vec<String>,
+}
+
+impl BenchArgs {
+    /// Parses `std::env::args` (skipping the binary name).
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (testable variant of [`parse`]).
+    ///
+    /// [`parse`]: BenchArgs::parse
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut out = BenchArgs::default();
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--json" => out.json = true,
+                "--trace-out" => {
+                    let path = it.next().unwrap_or_else(|| {
+                        eprintln!("--trace-out requires a path argument");
+                        std::process::exit(2);
+                    });
+                    out.trace_out = Some(path.into());
+                }
+                _ => out.rest.push(a),
+            }
+        }
+        out
+    }
+}
+
+/// Renders benchmark output as aligned plain-text tables (default) or as
+/// one machine-readable JSON document (`--json`).
+///
+/// Text mode prints each table as it arrives; JSON mode accumulates and
+/// emits everything in [`Reporter::finish`], so a `--json` run prints
+/// nothing but the document:
+///
+/// ```json
+/// {"tables": [{"title": "...", "headers": [...], "rows": [[...]]}],
+///  "notes": ["..."]}
+/// ```
+pub struct Reporter {
+    json: bool,
+    tables: Vec<Json>,
+    notes: Vec<Json>,
+}
+
+impl Reporter {
+    /// Creates a reporter; `json = true` selects the JSON document mode.
+    pub fn new(json: bool) -> Self {
+        Reporter { json, tables: Vec::new(), notes: Vec::new() }
+    }
+
+    /// Reporter configured from parsed [`BenchArgs`].
+    pub fn from_args(args: &BenchArgs) -> Self {
+        Self::new(args.json)
+    }
+
+    /// Whether the reporter is in JSON mode (callers can skip progress
+    /// chatter that would corrupt the document).
+    pub fn is_json(&self) -> bool {
+        self.json
+    }
+
+    /// Adds a titled table. Text mode prints it immediately.
+    pub fn table(&mut self, title: &str, headers: &[&str], rows: &[Vec<String>]) {
+        if self.json {
+            let mut obj = std::collections::BTreeMap::new();
+            obj.insert("title".to_string(), Json::Str(title.to_string()));
+            obj.insert(
+                "headers".to_string(),
+                Json::Arr(headers.iter().map(|h| Json::Str(h.to_string())).collect()),
+            );
+            obj.insert(
+                "rows".to_string(),
+                Json::Arr(
+                    rows.iter()
+                        .map(|r| Json::Arr(r.iter().map(|c| Json::Str(c.clone())).collect()))
+                        .collect(),
+                ),
+            );
+            self.tables.push(Json::Obj(obj));
+        } else {
+            if !title.is_empty() {
+                println!("{title}\n");
+            }
+            print_table(headers, rows);
+            println!();
+        }
+    }
+
+    /// Adds a free-text note. Text mode prints it immediately.
+    pub fn note(&mut self, text: &str) {
+        if self.json {
+            self.notes.push(Json::Str(text.to_string()));
+        } else {
+            println!("{text}");
+        }
+    }
+
+    /// Flushes the report: a no-op in text mode, the whole document in
+    /// JSON mode.
+    pub fn finish(self) {
+        if self.json {
+            println!("{}", self.to_json());
+        }
+    }
+
+    /// The accumulated document as a JSON value (JSON mode only; text
+    /// mode prints eagerly and accumulates nothing).
+    fn to_json(&self) -> Json {
+        let mut doc = std::collections::BTreeMap::new();
+        doc.insert("tables".to_string(), Json::Arr(self.tables.clone()));
+        doc.insert("notes".to_string(), Json::Arr(self.notes.clone()));
+        Json::Obj(doc)
+    }
+}
+
+/// Writes the captured telemetry trace to `path`, exiting with a clear
+/// message instead of a panic when the path is not writable.
+pub fn write_trace(tel: &telemetry::Telemetry, path: &std::path::Path) {
+    if let Err(e) = tel.snapshot().write_chrome_trace(path) {
+        eprintln!("failed to write trace to {}: {e}", path.display());
+        std::process::exit(1);
+    }
+}
 
 /// Prints an aligned plain-text table.
 ///
@@ -80,5 +226,39 @@ mod tests {
         assert_eq!(fmt_time(0.0023), "2.30 ms");
         assert_eq!(fmt_time(2.0), "2.00 s");
         assert_eq!(fmt_time(4.2e-5), "42.00 us");
+    }
+
+    #[test]
+    fn args_consume_flags_and_keep_positionals() {
+        let a = BenchArgs::parse_from(
+            ["bootstrapping", "--trace-out", "/tmp/t.json", "--json"].map(String::from),
+        );
+        assert!(a.json);
+        assert_eq!(a.trace_out.as_deref(), Some(std::path::Path::new("/tmp/t.json")));
+        assert_eq!(a.rest, vec!["bootstrapping".to_string()]);
+
+        let b = BenchArgs::parse_from(std::iter::empty());
+        assert!(!b.json && b.trace_out.is_none() && b.rest.is_empty());
+    }
+
+    #[test]
+    fn json_reporter_builds_a_parseable_document() {
+        let mut r = Reporter::new(true);
+        r.note("caveat about units");
+        r.table(
+            "Table X",
+            &["op", "value"],
+            &[vec!["Pmult".into(), "42".into()], vec!["HAdd".into(), "7".into()]],
+        );
+        let doc = r.to_json();
+        let parsed = telemetry::json::parse(&doc.to_string()).expect("round-trips");
+        let tables = parsed.get("tables").and_then(Json::as_arr).unwrap();
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].get("title").and_then(Json::as_str), Some("Table X"));
+        let rows = tables[0].get("rows").and_then(Json::as_arr).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1].as_arr().unwrap()[1].as_str(), Some("7"));
+        let notes = parsed.get("notes").and_then(Json::as_arr).unwrap();
+        assert_eq!(notes[0].as_str(), Some("caveat about units"));
     }
 }

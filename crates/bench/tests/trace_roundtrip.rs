@@ -1,0 +1,58 @@
+//! Acceptance test for `--trace-out`: the Chrome/Perfetto trace emitted
+//! for a workload run must parse back as JSON and its root simulated span
+//! must agree with the simulator's cycle count within 1% (the paper
+//! configuration clocks 1 GHz, so one cycle is one simulated nanosecond).
+
+use alchemist_core::{workloads, ArchConfig, Simulator};
+use telemetry::json::{self, Json};
+use telemetry::Telemetry;
+
+#[test]
+fn trace_out_round_trips_and_matches_cycle_count() {
+    let steps = workloads::bootstrapping(&workloads::CkksSimParams::paper());
+    let sim = Simulator::new(ArchConfig::paper());
+    let tel = Telemetry::enabled();
+    let report = sim.run_traced(&steps, &tel);
+
+    // Same path the bench binaries take with `--trace-out`.
+    let path = std::env::temp_dir().join("alchemist_trace_roundtrip_test.json");
+    tel.snapshot().write_chrome_trace(&path).expect("trace file writes");
+    let text = std::fs::read_to_string(&path).expect("trace file reads back");
+    let _ = std::fs::remove_file(&path);
+
+    let doc = json::parse(&text).expect("trace parses as JSON");
+    let events = doc.get("traceEvents").and_then(Json::as_arr).expect("traceEvents array present");
+    assert!(!events.is_empty());
+
+    // Every event carries the trace_event essentials.
+    for e in events {
+        let ph = e.get("ph").and_then(Json::as_str).expect("event has ph");
+        assert!(matches!(ph, "M" | "X" | "C"), "unexpected event phase {ph}");
+        assert!(e.get("pid").and_then(Json::as_f64).is_some());
+    }
+
+    // The root simulated span covers the whole schedule: its duration in
+    // trace microseconds must match the simulator's cycle count (= ns at
+    // 1 GHz) within 1%.
+    let root = events
+        .iter()
+        .find(|e| e.get("name").and_then(Json::as_str) == Some("sim.run"))
+        .expect("root sim.run span present");
+    let dur_us = root.get("dur").and_then(Json::as_f64).expect("root has dur");
+    let dur_ns = dur_us * 1000.0;
+    let cycles = report.cycles as f64;
+    let rel = (dur_ns - cycles).abs() / cycles;
+    assert!(rel < 0.01, "root span {dur_ns} ns deviates {rel:.4} from {cycles} cycles");
+
+    // Per-step child spans tile the root within the same tolerance.
+    let child_sum: f64 = events
+        .iter()
+        .filter(|e| {
+            e.get("ph").and_then(Json::as_str) == Some("X")
+                && e.get("name").and_then(Json::as_str) != Some("sim.run")
+        })
+        .filter_map(|e| e.get("dur").and_then(Json::as_f64))
+        .sum();
+    let rel_children = (child_sum * 1000.0 - cycles).abs() / cycles;
+    assert!(rel_children < 0.01, "child spans sum to {child_sum} us vs {cycles} cycles");
+}

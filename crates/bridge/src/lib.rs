@@ -127,11 +127,7 @@ pub fn extract_lwe(
     let k = coeff_idx;
     let mut a = vec![0u64; n];
     for (j, aj) in a.iter_mut().enumerate() {
-        let sigma = if j <= k {
-            c1.coeffs()[k - j]
-        } else {
-            q.neg(c1.coeffs()[k + n - j])
-        };
+        let sigma = if j <= k { c1.coeffs()[k - j] } else { q.neg(c1.coeffs()[k + n - j]) };
         *aj = q.neg(sigma);
     }
     Ok(LweModQ { a, b: c0.coeffs()[k], q: q.value() })
@@ -232,8 +228,7 @@ mod tests {
 
     /// CKKS params with q0/Δ = 8 (3-bit gap): bridge message space 8.
     fn bridge_ckks() -> CkksContext {
-        CkksContext::new(CkksParams::with_first_prime_bits(64, 2, 1, 30, 33).unwrap())
-            .unwrap()
+        CkksContext::new(CkksParams::with_first_prime_bits(64, 2, 1, 30, 33).unwrap()).unwrap()
     }
 
     /// Decrypts an extracted mod-q LWE sample with the raw ternary key.
@@ -256,9 +251,7 @@ mod tests {
         for m in 0..4u64 {
             // Constant in all slots ⇒ plaintext coefficient 0 is Δ·m.
             let pt = enc.encode(&vec![m as f64; enc.slots()]).unwrap();
-            let ct = ev
-                .level_down(&sk.encrypt(&ctx, &pt, &mut rng).unwrap(), 0)
-                .unwrap();
+            let ct = ev.level_down(&sk.encrypt(&ctx, &pt, &mut rng).unwrap(), 0).unwrap();
             let lwe = extract_lwe(&ctx, &ct, 0).unwrap();
             let phase = phase_mod_q(&lwe, sk.coefficients());
             // phase ≈ Δ·m mod q0: decode with q0/Δ = 8 sectors (mod 8 to
@@ -282,9 +275,7 @@ mod tests {
 
         for m in 0..4u64 {
             let pt = enc.encode(&vec![m as f64; enc.slots()]).unwrap();
-            let ct = ev
-                .level_down(&sk.encrypt(&ctx, &pt, &mut rng).unwrap(), 0)
-                .unwrap();
+            let ct = ev.level_down(&sk.encrypt(&ctx, &pt, &mut rng).unwrap(), 0).unwrap();
             let switched = bridge.switch(&ctx, &ct, 0).unwrap();
             assert_eq!(client.decrypt_message(&switched, 8), m, "switch m = {m}");
             if m == 0 {
@@ -315,9 +306,8 @@ mod tests {
         let (client, _server) = generate_keys(&TfheParams::toy(), &mut rng).unwrap();
         let bridge = CkksToTfheBridge::new(&ctx, &sk, &client, &mut rng).unwrap();
 
-        let one = sk
-            .encrypt(&ctx, &enc.encode(&vec![1.0; enc.slots()]).unwrap(), &mut rng)
-            .unwrap();
+        let one =
+            sk.encrypt(&ctx, &enc.encode(&vec![1.0; enc.slots()]).unwrap(), &mut rng).unwrap();
         let two = ev.add(&one, &one).unwrap();
         let low = ev.level_down(&two, 0).unwrap();
         let switched = bridge.switch(&ctx, &low, 0).unwrap();
@@ -336,8 +326,7 @@ mod tests {
 
         // A 2-bit gap (message space 4) is below the bridge's minimum.
         let tight =
-            CkksContext::new(CkksParams::with_first_prime_bits(64, 2, 1, 30, 32).unwrap())
-                .unwrap();
+            CkksContext::new(CkksParams::with_first_prime_bits(64, 2, 1, 30, 32).unwrap()).unwrap();
         let sk2 = SecretKey::generate(&tight, &mut rng);
         let (client, _) = generate_keys(&TfheParams::toy(), &mut rng).unwrap();
         assert!(CkksToTfheBridge::new(&tight, &sk2, &client, &mut rng).is_err());

@@ -123,8 +123,8 @@ pub fn partitioning_ablation() -> Vec<DsePoint> {
         .cloned()
         .map(|s| {
             if matches!(s.class, OpClass::Bconv | OpClass::DecompPolyMult) {
-                let extra = (s.onchip_bytes as f64 * arch.onchip_bytes_per_cycle
-                    / fabric_bpc) as u64;
+                let extra =
+                    (s.onchip_bytes as f64 * arch.onchip_bytes_per_cycle / fabric_bpc) as u64;
                 s.with_onchip(extra)
             } else {
                 s
@@ -148,10 +148,8 @@ mod tests {
     #[test]
     fn eight_lanes_win_perf_per_area() {
         let points = lane_sweep();
-        let best = points
-            .iter()
-            .max_by(|a, b| a.perf_per_area().total_cmp(&b.perf_per_area()))
-            .unwrap();
+        let best =
+            points.iter().max_by(|a, b| a.perf_per_area().total_cmp(&b.perf_per_area())).unwrap();
         assert_eq!(best.label, "j=8", "paper's DSE picks j = 8: {points:?}");
     }
 
@@ -168,10 +166,7 @@ mod tests {
     fn slot_partitioning_beats_channel_partitioning() {
         let points = partitioning_ablation();
         assert_eq!(points[0].label, "slot-based");
-        assert!(
-            points[0].seconds < points[1].seconds,
-            "slot-based must be faster: {points:?}"
-        );
+        assert!(points[0].seconds < points[1].seconds, "slot-based must be faster: {points:?}");
         assert!(points[0].utilization > points[1].utilization);
     }
 }

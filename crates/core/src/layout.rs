@@ -238,8 +238,7 @@ mod tests {
             let ntt = setup(n1, n2);
             let dist = DistributedFourStepNtt::new(&ntt, n1).unwrap();
             let q = ntt.modulus().value();
-            let mut a: Vec<u64> =
-                (0..(n1 * n2) as u64).map(|i| (i * 0x9e3779b9 + 3) % q).collect();
+            let mut a: Vec<u64> = (0..(n1 * n2) as u64).map(|i| (i * 0x9e3779b9 + 3) % q).collect();
             let mut reference = a.clone();
             let stats = dist.forward(&mut a);
             ntt.forward(&mut reference);

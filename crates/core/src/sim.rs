@@ -62,7 +62,7 @@ impl Step {
     pub fn transfer(label: impl Into<String>, hbm_bytes: u64, onchip_bytes: u64) -> Self {
         Step {
             label: label.into(),
-            class: OpClass::Elementwise,
+            class: OpClass::Transfer,
             meta_ops: 0,
             n: 1,
             add_only: true,
@@ -145,7 +145,7 @@ pub struct SimReport {
     pub hbm_bytes: u64,
     /// Total scratchpad bytes moved.
     pub onchip_bytes: u64,
-    per_class: [(OpClass, ClassStats); 4],
+    per_class: [(OpClass, ClassStats); 5],
 }
 
 impl SimReport {
@@ -165,12 +165,8 @@ impl SimReport {
 
     /// Utilization within steps of one class.
     pub fn class_utilization(&self, class: OpClass) -> f64 {
-        let stats = self
-            .per_class
-            .iter()
-            .find(|(c, _)| *c == class)
-            .map(|(_, s)| *s)
-            .unwrap_or_default();
+        let stats =
+            self.per_class.iter().find(|(c, _)| *c == class).map(|(_, s)| *s).unwrap_or_default();
         if stats.attributed_cycles == 0 {
             0.0
         } else {
@@ -179,7 +175,7 @@ impl SimReport {
     }
 
     /// Fraction of wall cycles attributed to each class.
-    pub fn class_time_fractions(&self) -> [(OpClass, f64); 4] {
+    pub fn class_time_fractions(&self) -> [(OpClass, f64); 5] {
         let total = self.cycles.max(1) as f64;
         self.per_class.map(|(c, s)| (c, s.attributed_cycles as f64 / total))
     }
@@ -253,18 +249,51 @@ impl Simulator {
 
     /// Runs a step sequence and produces the report.
     pub fn run(&self, steps: &[Step]) -> SimReport {
+        self.run_traced(steps, &telemetry::Telemetry::disabled())
+    }
+
+    /// [`Self::run`] plus telemetry: one virtual-time span per step on a
+    /// dedicated track (1 simulated cycle = 1 ns at 1 GHz), a `sim.run`
+    /// root span whose duration equals the report's total cycle count, and
+    /// counters for Meta-OPs issued, compute cycles (add-only vs
+    /// multiplier), lazy-reduction savings, and HBM/scratchpad traffic.
+    ///
+    /// Passing a disabled handle makes this identical to [`Self::run`].
+    pub fn run_traced(&self, steps: &[Step], tel: &telemetry::Telemetry) -> SimReport {
         let mut per_class = OpClass::all().map(|c| (c, ClassStats::default()));
         let mut step_cycles = 0u64;
         let mut hbm_cycles = 0u64;
         let mut busy = 0u64;
         let mut hbm = 0u64;
         let mut onchip = 0u64;
+        let ns_per_cycle = self.arch.cycle_seconds() * 1e9;
+        let ns = |cycles: u64| (cycles as f64 * ns_per_cycle).round() as u64;
+        let mut track = tel.virtual_track();
+        track.open("sim.run", 0);
         for step in steps {
             let c = step.compute_cycles(&self.arch);
             // HBM transfers are double-buffered against the whole schedule
             // (paper §5.4); compute and scratchpad traffic serialize per
             // step.
             let wall = c.max(step.onchip_cycles(&self.arch));
+            if tel.is_enabled() {
+                track.leaf(&step.label, ns(step_cycles), ns(wall));
+                let key = step.class.telemetry_key();
+                use telemetry::Metric;
+                tel.count(Metric::MetaOps, key, step.meta_ops);
+                tel.count(Metric::HbmBytes, key, step.hbm_bytes);
+                tel.count(Metric::ScratchpadBytes, key, step.onchip_bytes);
+                if step.add_only {
+                    tel.count(Metric::AddOnlyCycles, key, c);
+                } else {
+                    tel.count(Metric::MultCycles, key, c);
+                    tel.count(
+                        Metric::ReductionCyclesSaved,
+                        key,
+                        2 * (step.n as u64).saturating_sub(1) * step.meta_ops,
+                    );
+                }
+            }
             step_cycles += wall;
             hbm_cycles += step.hbm_cycles(&self.arch);
             // Busy discounts pipeline bubbles (the efficiency factor).
@@ -280,7 +309,20 @@ impl Simulator {
             entry.1.attributed_cycles += wall;
         }
         let cycles = step_cycles.max(hbm_cycles);
-        SimReport { arch: self.arch, cycles, busy_cycles: busy, hbm_bytes: hbm, onchip_bytes: onchip, per_class }
+        if tel.is_enabled() && cycles > step_cycles {
+            // The schedule is HBM-bound: the double-buffered transfers
+            // outlast compute. Make the tail visible in the trace.
+            track.leaf("hbm.drain", ns(step_cycles), ns(cycles - step_cycles));
+        }
+        track.close(ns(cycles));
+        SimReport {
+            arch: self.arch,
+            cycles,
+            busy_cycles: busy,
+            hbm_bytes: hbm,
+            onchip_bytes: onchip,
+            per_class,
+        }
     }
 }
 
@@ -345,9 +387,72 @@ mod tests {
         let steps = Step::from_trace("t", &trace);
         assert_eq!(steps.len(), 2);
         let r = Simulator::new(a).run(&steps);
-        let expect = ((5.0 / a.pipeline_efficiency).ceil()
-            + (14.0 / a.pipeline_efficiency).ceil()) as u64;
+        let expect =
+            ((5.0 / a.pipeline_efficiency).ceil() + (14.0 / a.pipeline_efficiency).ceil()) as u64;
         assert_eq!(r.cycles, expect);
+    }
+
+    #[test]
+    fn transfer_steps_are_classed_as_transfer() {
+        let s = Step::transfer("dma", 1 << 20, 1 << 16);
+        assert_eq!(s.class, OpClass::Transfer);
+        let r = Simulator::new(arch()).run(std::slice::from_ref(&s));
+        // All wall time lands on the Transfer class, none on Elementwise.
+        let fractions = r.class_time_fractions();
+        let get = |cl: OpClass| fractions.iter().find(|(c, _)| *c == cl).unwrap().1;
+        assert_eq!(get(OpClass::Elementwise), 0.0);
+        assert!(get(OpClass::Transfer) > 0.0);
+    }
+
+    #[test]
+    fn traced_run_spans_total_matches_cycle_count() {
+        use telemetry::Telemetry;
+        let sim = Simulator::new(arch());
+        let steps = vec![
+            Step::compute("ntt", OpClass::Ntt, 2048 * 100, 3),
+            Step::transfer("dma", 8 << 20, 0),
+            Step::compute("bconv", OpClass::Bconv, 2048 * 50, 12),
+        ];
+        let tel = Telemetry::enabled();
+        let report = sim.run_traced(&steps, &tel);
+        let snap = tel.snapshot();
+        let spans = snap.spans();
+        let root = spans.iter().find(|s| s.name == "sim.run").unwrap();
+        // At the 1 GHz paper clock 1 cycle = 1 ns: the root span *is* the
+        // cycle count, and child spans tile it exactly.
+        assert_eq!(root.dur_ns, report.cycles);
+        let child_sum: u64 = spans.iter().filter(|s| s.parent.is_some()).map(|s| s.dur_ns).sum();
+        let err = (child_sum as f64 - report.cycles as f64).abs() / report.cycles as f64;
+        assert!(err < 0.01, "children {child_sum} vs total {}", report.cycles);
+        // This schedule is HBM-bound, so the drain filler must appear.
+        assert!(spans.iter().any(|s| s.name == "hbm.drain"));
+    }
+
+    #[test]
+    fn traced_run_counters_split_by_class_and_kind() {
+        use telemetry::{Metric, OpClassKey, Telemetry};
+        let sim = Simulator::new(arch());
+        let steps = vec![
+            Step::compute("ntt", OpClass::Ntt, 4096, 3),
+            Step::adds("hadd", 4096),
+            Step::transfer("dma", 1 << 20, 1 << 12),
+        ];
+        let tel = Telemetry::enabled();
+        let report = sim.run_traced(&steps, &tel);
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter(Metric::MetaOps, OpClassKey::Ntt), 4096);
+        assert_eq!(snap.counter(Metric::HbmBytes, OpClassKey::Transfer), 1 << 20);
+        assert_eq!(snap.counter(Metric::ScratchpadBytes, OpClassKey::Transfer), 1 << 12);
+        // Hadd runs on the adder path, NTT on the multiplier path.
+        assert!(snap.counter(Metric::AddOnlyCycles, OpClassKey::Elementwise) > 0);
+        assert!(snap.counter(Metric::MultCycles, OpClassKey::Ntt) > 0);
+        assert_eq!(snap.counter(Metric::MultCycles, OpClassKey::Elementwise), 0);
+        // Lazy reduction saves 2(n-1) per Meta-OP: n = 3 → 4 per op.
+        assert_eq!(snap.counter(Metric::ReductionCyclesSaved, OpClassKey::Ntt), 4 * 4096);
+        // An untraced run returns the identical report.
+        let plain = sim.run(&steps);
+        assert_eq!(plain.cycles, report.cycles);
+        assert_eq!(plain.busy_cycles, report.busy_cycles);
     }
 
     #[test]

@@ -220,8 +220,13 @@ pub fn hoisted_rotation_group(p: &CkksSimParams, n_rot: u64, key_reuse: u64) -> 
     steps.extend(ntt_steps(n, c, "hoist/intt-in"));
     steps.push(elementwise_steps(beta * alpha * n, "hoist/modup-prescale"));
     steps.push(
-        Step::compute("hoist/modup-bconv", OpClass::Bconv, beta * (t - alpha) * (n / 8), alpha as u32)
-            .with_onchip(((beta * alpha + beta * (t - alpha)) as f64 * n as f64 * WB) as u64),
+        Step::compute(
+            "hoist/modup-bconv",
+            OpClass::Bconv,
+            beta * (t - alpha) * (n / 8),
+            alpha as u32,
+        )
+        .with_onchip(((beta * alpha + beta * (t - alpha)) as f64 * n as f64 * WB) as u64),
     );
     steps.extend(ntt_steps(n, beta * (t - alpha), "hoist/ntt-ext"));
     // Per-rotation work, aggregated so the simulator overlaps the key
@@ -262,11 +267,7 @@ pub fn hoisted_rotation_group(p: &CkksSimParams, n_rot: u64, key_reuse: u64) -> 
 pub fn bootstrapping(p: &CkksSimParams) -> Vec<Step> {
     let mut steps = Vec::new();
     let cts = [p.l_max, p.l_max - 1, p.l_max - 2];
-    let stc = [
-        p.l_max.saturating_sub(20),
-        p.l_max.saturating_sub(21),
-        p.l_max.saturating_sub(22),
-    ];
+    let stc = [p.l_max.saturating_sub(20), p.l_max.saturating_sub(21), p.l_max.saturating_sub(22)];
     for &lvl in cts.iter().chain(&stc) {
         let pl = p.at_level(lvl);
         for _ in 0..2 {
@@ -375,12 +376,7 @@ impl TfheSimParams {
 
     /// Bootstrap-key bytes (prepared NTT-domain rows).
     pub fn bsk_bytes(&self) -> u64 {
-        (self.lwe_dim
-            * (self.k_glwe + 1)
-            * self.lb
-            * (self.k_glwe + 1)
-            * self.n_poly
-            * self.limbs)
+        (self.lwe_dim * (self.k_glwe + 1) * self.lb * (self.k_glwe + 1) * self.n_poly * self.limbs)
             * 8
     }
 }
@@ -426,11 +422,7 @@ pub fn tfhe_pbs(tp: &TfheSimParams, batch: u64) -> Vec<Step> {
 pub fn bootstrapping_unhoisted(p: &CkksSimParams) -> Vec<Step> {
     let mut steps = Vec::new();
     let cts = [p.l_max, p.l_max - 1, p.l_max - 2];
-    let stc = [
-        p.l_max.saturating_sub(20),
-        p.l_max.saturating_sub(21),
-        p.l_max.saturating_sub(22),
-    ];
+    let stc = [p.l_max.saturating_sub(20), p.l_max.saturating_sub(21), p.l_max.saturating_sub(22)];
     for &lvl in cts.iter().chain(&stc) {
         let pl = p.at_level(lvl);
         for r in 0..48u32 {
@@ -566,10 +558,7 @@ mod tests {
             let per_sec = batch as f64 / r.seconds();
             // The paper's comparison space: Matcha ~10-20k/s, Strix tens of k/s,
             // Alchemist claims ~7x average — expect tens of thousands per second.
-            assert!(
-                (20_000.0..400_000.0).contains(&per_sec),
-                "PBS set {label}: {per_sec}/s"
-            );
+            assert!((20_000.0..400_000.0).contains(&per_sec), "PBS set {label}: {per_sec}/s");
         }
     }
 

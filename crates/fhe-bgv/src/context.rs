@@ -3,8 +3,8 @@
 use crate::encoding::BgvEncoder;
 use crate::{BgvError, BgvParams};
 use fhe_math::{
-    sample_gaussian, sample_ternary, sample_uniform, Modulus, Poly, RnsBasis, RnsContext,
-    RnsPoly, UBig,
+    sample_gaussian, sample_ternary, sample_uniform, Modulus, Poly, RnsBasis, RnsContext, RnsPoly,
+    UBig,
 };
 use rand::Rng;
 
@@ -97,9 +97,8 @@ impl BgvContext {
     /// Samples a secret key.
     pub fn generate_secret_key<R: Rng + ?Sized>(&self, rng: &mut R) -> BgvSecretKey {
         let s_coeffs = sample_ternary(self.params.n(), rng);
-        let s_full = (0..self.rns.moduli().len())
-            .map(|c| self.lift_signed_ntt(&s_coeffs, c))
-            .collect();
+        let s_full =
+            (0..self.rns.moduli().len()).map(|c| self.lift_signed_ntt(&s_coeffs, c)).collect();
         BgvSecretKey { s_coeffs, s_full }
     }
 
@@ -236,21 +235,10 @@ impl BgvContext {
     /// # Errors
     ///
     /// Propagates encoding failures.
-    pub fn mul_plain(
-        &self,
-        a: &BgvCiphertext,
-        slots: &[u64],
-    ) -> Result<BgvCiphertext, BgvError> {
+    pub fn mul_plain(&self, a: &BgvCiphertext, slots: &[u64]) -> Result<BgvCiphertext, BgvError> {
         let m_coeffs = self.encoder.encode(slots)?;
-        let signed: Vec<i64> = m_coeffs
-            .iter()
-            .map(|&c| self.t.to_centered(c))
-            .collect();
-        let mut pt = RnsPoly::from_signed(
-            &signed,
-            self.params.n(),
-            &self.rns.moduli()[..=a.level],
-        );
+        let signed: Vec<i64> = m_coeffs.iter().map(|&c| self.t.to_centered(c)).collect();
+        let mut pt = RnsPoly::from_signed(&signed, self.params.n(), &self.rns.moduli()[..=a.level]);
         pt.to_ntt(&self.rns.tables()[..=a.level]);
         Ok(BgvCiphertext {
             c0: a.c0.mul_pointwise(&pt)?,
@@ -279,8 +267,7 @@ impl BgvContext {
             let mut qhat_mod_qi = 1u64;
             for j in 0..self.q_len() {
                 if j != i {
-                    qhat_mod_qi =
-                        qi.mul(qhat_mod_qi, self.rns.moduli()[j].value() % qi.value());
+                    qhat_mod_qi = qi.mul(qhat_mod_qi, self.rns.moduli()[j].value() % qi.value());
                 }
             }
             let v = qi.inv(qhat_mod_qi)?;
@@ -293,14 +280,10 @@ impl BgvContext {
                 let mut qhat_mod_m = 1u64;
                 for j in 0..self.q_len() {
                     if j != i {
-                        qhat_mod_m =
-                            m.mul(qhat_mod_m, self.rns.moduli()[j].value() % m.value());
+                        qhat_mod_m = m.mul(qhat_mod_m, self.rns.moduli()[j].value() % m.value());
                     }
                 }
-                let f = m.mul(
-                    m.mul(self.params.special() % m.value(), qhat_mod_m),
-                    v % m.value(),
-                );
+                let f = m.mul(m.mul(self.params.special() % m.value(), qhat_mod_m), v % m.value());
                 let a = Poly::from_ntt(sample_uniform(m.value(), n, rng), m)?;
                 let s = &sk.s_full[c];
                 let vals: Vec<u64> = a
@@ -346,6 +329,7 @@ impl BgvContext {
         b: &BgvCiphertext,
         rlk: &BgvRelinKey,
     ) -> Result<BgvCiphertext, BgvError> {
+        let _span = telemetry::Span::enter("bgv.mul");
         self.check_pair(a, b)?;
         if a.level == 0 {
             return Err(BgvError::LevelExhausted);
@@ -366,6 +350,7 @@ impl BgvContext {
     ///
     /// Returns [`BgvError::LevelExhausted`] at level 0.
     pub fn mod_switch(&self, ct: &BgvCiphertext) -> Result<BgvCiphertext, BgvError> {
+        let _span = telemetry::Span::enter("bgv.mod_switch");
         if ct.level == 0 {
             return Err(BgvError::LevelExhausted);
         }
@@ -468,9 +453,8 @@ impl BgvContext {
         let p_mod = self.rns.moduli()[p_idx];
         let t = self.params.t() as i128;
         let finish = |acc: &mut Vec<Vec<u64>>| -> Result<RnsPoly, BgvError> {
-            for pos in 0..total {
-                let gc = global_of(pos);
-                self.rns.table(gc).inverse(&mut acc[pos]);
+            for (pos, data) in acc.iter_mut().enumerate().take(total) {
+                self.rns.table(global_of(pos)).inverse(data);
             }
             let deltas: Vec<i128> = acc[total - 1]
                 .iter()
@@ -484,10 +468,10 @@ impl BgvContext {
                 })
                 .collect();
             let mut channels = Vec::with_capacity(level + 1);
-            for c in 0..=level {
+            for (c, acc_c) in acc.iter().enumerate().take(level + 1) {
                 let m = self.rns.moduli()[c];
                 let inv = m.inv(p_mod.value() % m.value())?;
-                let vals: Vec<u64> = acc[c]
+                let vals: Vec<u64> = acc_c
                     .iter()
                     .zip(&deltas)
                     .map(|(&x, &d)| {
@@ -531,10 +515,7 @@ mod tests {
     use rand_chacha::ChaCha8Rng;
 
     fn setup() -> (BgvContext, ChaCha8Rng) {
-        (
-            BgvContext::new(BgvParams::toy().unwrap()).unwrap(),
-            ChaCha8Rng::seed_from_u64(13),
-        )
+        (BgvContext::new(BgvParams::toy().unwrap()).unwrap(), ChaCha8Rng::seed_from_u64(13))
     }
 
     #[test]

@@ -78,6 +78,9 @@ pub fn eval_poly_ps(
     let mut total: Option<Ciphertext> = None;
     for k in 0..blocks {
         let mut block: Option<Ciphertext> = None;
+        // Indexing both `coeffs[k·g+j]` and `powers[j]`; an iterator form
+        // would obscure the block/baby-step structure.
+        #[allow(clippy::needless_range_loop)]
         for j in 0..g {
             let idx = k * g + j;
             if idx > deg || coeffs[idx].abs() < 1e-15 {
@@ -88,7 +91,8 @@ pub fn eval_poly_ps(
                 continue;
             } else {
                 let p = powers[j].as_ref().expect("baby power");
-                let pt = enc.encode_constant_at(coeffs[idx], p.level(), ev.context().params().scale())?;
+                let pt =
+                    enc.encode_constant_at(coeffs[idx], p.level(), ev.context().params().scale())?;
                 ev.rescale(&ev.mul_plain(p, &pt)?)?
             };
             block = Some(match block {
@@ -183,6 +187,8 @@ pub fn chebyshev_monomial_fit(f: impl Fn(f64) -> f64, degree: usize) -> Vec<f64>
     if degree >= 1 {
         out[1] += cheb[1];
     }
+    // `k` walks the recurrence order while `cheb[k]` scales each term.
+    #[allow(clippy::needless_range_loop)]
     for k in 2..=degree {
         // T_k = 2x·T_{k-1} − T_{k-2}.
         let mut t_next = vec![0.0f64; k + 1];
@@ -359,35 +365,48 @@ impl Bootstrapper {
         rlk: &RelinKey,
         gk: &GaloisKeys,
     ) -> Result<Ciphertext, CkksError> {
+        let _span = telemetry::Span::enter("ckks.bootstrap");
         let ctx = ev.context();
         let q0 = ctx.rns().moduli()[0].value() as f64;
         let delta = ctx.params().scale();
 
         // 1. ModRaise; reinterpret the scale as q0 so slot values become
         //    u = I + (Δ/q0)·m, of magnitude ≤ k+1.
-        let mut raised = mod_raise(ctx, ct)?;
+        let mut raised = {
+            let _s = telemetry::Span::enter("ckks.bootstrap.modraise");
+            mod_raise(ctx, ct)?
+        };
         raised.set_scale(q0);
 
         // 2. CoeffToSlot.
-        let conj = ev.conjugate(&raised, gk)?;
-        // The transforms leave the scale near q0; normalize back to Δ so
-        // EvalMod's multiplications keep a fixed working scale.
-        let t0 = {
-            let x = self.cts_t0.0.apply_bsgs(ev, enc, &raised, gk)?;
-            let y = self.cts_t0.1.apply_bsgs(ev, enc, &conj, gk)?;
-            ev.normalize_scale(&ev.add(&x, &y)?)?
-        };
-        let t1 = {
-            let x = self.cts_t1.0.apply_bsgs(ev, enc, &raised, gk)?;
-            let y = self.cts_t1.1.apply_bsgs(ev, enc, &conj, gk)?;
-            ev.normalize_scale(&ev.add(&x, &y)?)?
+        let (t0, t1) = {
+            let _s = telemetry::Span::enter("ckks.bootstrap.coeff_to_slot");
+            let conj = ev.conjugate(&raised, gk)?;
+            // The transforms leave the scale near q0; normalize back to Δ
+            // so EvalMod's multiplications keep a fixed working scale.
+            let t0 = {
+                let x = self.cts_t0.0.apply_bsgs(ev, enc, &raised, gk)?;
+                let y = self.cts_t0.1.apply_bsgs(ev, enc, &conj, gk)?;
+                ev.normalize_scale(&ev.add(&x, &y)?)?
+            };
+            let t1 = {
+                let x = self.cts_t1.0.apply_bsgs(ev, enc, &raised, gk)?;
+                let y = self.cts_t1.1.apply_bsgs(ev, enc, &conj, gk)?;
+                ev.normalize_scale(&ev.add(&x, &y)?)?
+            };
+            (t0, t1)
         };
 
         // 3. EvalMod on both halves.
-        let m0 = self.eval_mod(ev, enc, &t0, rlk, q0, delta)?;
-        let m1 = self.eval_mod(ev, enc, &t1, rlk, q0, delta)?;
+        let (m0, m1) = {
+            let _s = telemetry::Span::enter("ckks.bootstrap.eval_mod");
+            let m0 = self.eval_mod(ev, enc, &t0, rlk, q0, delta)?;
+            let m1 = self.eval_mod(ev, enc, &t1, rlk, q0, delta)?;
+            (m0, m1)
+        };
 
         // 4. SlotToCoeff.
+        let _s = telemetry::Span::enter("ckks.bootstrap.slot_to_coeff");
         let (m0a, m1a) = align(ev, &m0, &m1)?;
         let z0 = self.stc_m0.apply_bsgs(ev, enc, &m0a, gk)?;
         let z1 = self.stc_m1.apply_bsgs(ev, enc, &m1a, gk)?;
@@ -436,8 +455,7 @@ mod tests {
         let coeffs = chebyshev_monomial_fit(|x| (2.5 * x).cos(), 20);
         for i in 0..100 {
             let x = -1.0 + 2.0 * i as f64 / 99.0;
-            let approx: f64 =
-                coeffs.iter().enumerate().map(|(k, &c)| c * x.powi(k as i32)).sum();
+            let approx: f64 = coeffs.iter().enumerate().map(|(k, &c)| c * x.powi(k as i32)).sum();
             assert!((approx - (2.5 * x).cos()).abs() < 1e-9, "x={x}");
         }
     }
@@ -457,8 +475,7 @@ mod tests {
         let out = eval_poly_ps(&ev, &enc, &ct, &coeffs, &rlk).unwrap();
         let back = enc.decode(&sk.decrypt(&out).unwrap()).unwrap();
         for (i, &x) in xs.iter().enumerate() {
-            let want: f64 =
-                coeffs.iter().enumerate().map(|(k, &c)| c * x.powi(k as i32)).sum();
+            let want: f64 = coeffs.iter().enumerate().map(|(k, &c)| c * x.powi(k as i32)).sum();
             assert!((back[i] - want).abs() < 0.02, "x={x}: {} vs {want}", back[i]);
         }
     }
@@ -467,8 +484,7 @@ mod tests {
     fn end_to_end_bootstrap_refreshes_levels() {
         // Reduced-parameter bootstrap: N = 256, 45-bit scale with a 6-bit
         // q0/Δ gap (the EvalMod error amplifier is q0/(2πΔ) ≈ 10).
-        let params =
-            CkksParams::with_first_prime_bits(256, 16, 3, 45, 51).unwrap();
+        let params = CkksParams::with_first_prime_bits(256, 16, 3, 45, 51).unwrap();
         let ctx = CkksContext::new(params).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(9);
         let sk = SecretKey::generate(&ctx, &mut rng);
@@ -476,25 +492,18 @@ mod tests {
         let enc = Encoder::new(&ctx);
         let ev = Evaluator::new(&ctx);
         let boot = Bootstrapper::new(&ctx, EvalModConfig::default()).unwrap();
-        let gk = GaloisKeys::generate(&ctx, &sk, &boot.required_rotations(), true, &mut rng)
-            .unwrap();
+        let gk =
+            GaloisKeys::generate(&ctx, &sk, &boot.required_rotations(), true, &mut rng).unwrap();
 
         let slots = enc.slots();
-        let values: Vec<f64> =
-            (0..slots).map(|j| 0.4 * ((j as f64) * 0.37).sin()).collect();
-        let fresh = sk
-            .encrypt(&ctx, &enc.encode(&values).unwrap(), &mut rng)
-            .unwrap();
+        let values: Vec<f64> = (0..slots).map(|j| 0.4 * ((j as f64) * 0.37).sin()).collect();
+        let fresh = sk.encrypt(&ctx, &enc.encode(&values).unwrap(), &mut rng).unwrap();
         let exhausted = ev.level_down(&fresh, 0).unwrap();
         let refreshed = boot.bootstrap(&ev, &enc, &exhausted, &rlk, &gk).unwrap();
 
         assert!(refreshed.level() >= 1, "bootstrap must leave usable levels");
         let back = enc.decode(&sk.decrypt(&refreshed).unwrap()).unwrap();
-        let max_err = values
-            .iter()
-            .zip(&back)
-            .map(|(&a, &b)| (a - b).abs())
-            .fold(0.0f64, f64::max);
+        let max_err = values.iter().zip(&back).map(|(&a, &b)| (a - b).abs()).fold(0.0f64, f64::max);
         assert!(max_err < 0.05, "bootstrap precision too low: max err {max_err}");
     }
 
@@ -505,9 +514,7 @@ mod tests {
         let sk = SecretKey::generate(&ctx, &mut rng);
         let enc = Encoder::new(&ctx);
         let ev = Evaluator::new(&ctx);
-        let ct = sk
-            .encrypt(&ctx, &enc.encode(&[1.0, -0.5]).unwrap(), &mut rng)
-            .unwrap();
+        let ct = sk.encrypt(&ctx, &enc.encode(&[1.0, -0.5]).unwrap(), &mut rng).unwrap();
         let bottom = ev.level_down(&ct, 0).unwrap();
         let raised = mod_raise(&ctx, &bottom).unwrap();
         assert_eq!(raised.level(), ctx.q_len() - 1);

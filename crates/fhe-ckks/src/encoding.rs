@@ -46,6 +46,9 @@ impl Complex64 {
     }
 
     /// Complex product.
+    // Named methods keep call sites uniform with `conj`/`abs`; the
+    // operator traits would pull in a `use std::ops` at every caller.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, other: Self) -> Self {
         Complex64 {
             re: self.re * other.re - self.im * other.im,
@@ -54,6 +57,7 @@ impl Complex64 {
     }
 
     /// Complex sum.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: Self) -> Self {
         Complex64 { re: self.re + other.re, im: self.im + other.im }
     }
@@ -121,8 +125,7 @@ impl<'a> Encoder<'a> {
         level: usize,
         scale: f64,
     ) -> Result<Plaintext, CkksError> {
-        let complex: Vec<Complex64> =
-            values.iter().map(|&v| Complex64::new(v, 0.0)).collect();
+        let complex: Vec<Complex64> = values.iter().map(|&v| Complex64::new(v, 0.0)).collect();
         self.encode_complex_at(&complex, level, scale)
     }
 
@@ -296,11 +299,8 @@ impl<'a> Encoder<'a> {
                     // Root e^{±2πi·k·step/2N}: the table holds e^{iπt/N} =
                     // e^{2πit/2N}.
                     let idx = (k * step) % len;
-                    let w = if inverse {
-                        self.root_powers[idx].conj()
-                    } else {
-                        self.root_powers[idx]
-                    };
+                    let w =
+                        if inverse { self.root_powers[idx].conj() } else { self.root_powers[idx] };
                     let u = data[start + k];
                     let v = data[start + k + half].mul(w);
                     data[start + k] = u.add(v);
@@ -435,9 +435,8 @@ mod tests {
         let mut poly = pt.poly().clone();
         poly.to_coeff(c.level_tables(pt.level()));
         let conj = poly.automorphism(2 * c.n() - 1).unwrap();
-        let back = enc
-            .decode_complex(&Plaintext::from_parts(conj, pt.level(), pt.scale()))
-            .unwrap();
+        let back =
+            enc.decode_complex(&Plaintext::from_parts(conj, pt.level(), pt.scale())).unwrap();
         assert!((back[0].re - 0.5).abs() < 1e-6);
         assert!((back[0].im + 1.5).abs() < 1e-6);
     }

@@ -58,12 +58,7 @@ impl<'a> Evaluator<'a> {
     /// Returns [`CkksError::Mismatch`] if levels or scales differ.
     pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, CkksError> {
         self.check_pair(a, b)?;
-        Ok(Ciphertext::from_parts(
-            a.c0().add(b.c0())?,
-            a.c1().add(b.c1())?,
-            a.level(),
-            a.scale(),
-        ))
+        Ok(Ciphertext::from_parts(a.c0().add(b.c0())?, a.c1().add(b.c1())?, a.level(), a.scale()))
     }
 
     /// Homomorphic subtraction.
@@ -73,12 +68,7 @@ impl<'a> Evaluator<'a> {
     /// Returns [`CkksError::Mismatch`] if levels or scales differ.
     pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, CkksError> {
         self.check_pair(a, b)?;
-        Ok(Ciphertext::from_parts(
-            a.c0().sub(b.c0())?,
-            a.c1().sub(b.c1())?,
-            a.level(),
-            a.scale(),
-        ))
+        Ok(Ciphertext::from_parts(a.c0().sub(b.c0())?, a.c1().sub(b.c1())?, a.level(), a.scale()))
     }
 
     /// Negation.
@@ -97,12 +87,7 @@ impl<'a> Evaluator<'a> {
                 detail: "plaintext level/scale disagree with ciphertext".into(),
             });
         }
-        Ok(Ciphertext::from_parts(
-            a.c0().add(pt.poly())?,
-            a.c1().clone(),
-            a.level(),
-            a.scale(),
-        ))
+        Ok(Ciphertext::from_parts(a.c0().add(pt.poly())?, a.c1().clone(), a.level(), a.scale()))
     }
 
     /// Plaintext multiplication (`Pmult`). The product's scale is the
@@ -214,8 +199,7 @@ impl<'a> Evaluator<'a> {
         let delta = self.ctx.params().scale();
         let n = self.ctx.n();
         let v = (c * delta).round() as i64;
-        let mut poly =
-            fhe_math::RnsPoly::from_signed(&[v], n, self.ctx.level_moduli(a.level()));
+        let mut poly = fhe_math::RnsPoly::from_signed(&[v], n, self.ctx.level_moduli(a.level()));
         poly.to_ntt(self.ctx.level_tables(a.level()));
         let pt = Plaintext::from_parts(poly, a.level(), delta);
         self.rescale(&self.mul_plain(a, &pt)?)
@@ -232,12 +216,7 @@ impl<'a> Evaluator<'a> {
                 detail: "plaintext level/scale disagree with ciphertext".into(),
             });
         }
-        Ok(Ciphertext::from_parts(
-            a.c0().sub(pt.poly())?,
-            a.c1().clone(),
-            a.level(),
-            a.scale(),
-        ))
+        Ok(Ciphertext::from_parts(a.c0().sub(pt.poly())?, a.c1().clone(), a.level(), a.scale()))
     }
 
     /// Ciphertext multiplication (`Cmult`) with relinearization; the result
@@ -253,6 +232,7 @@ impl<'a> Evaluator<'a> {
         b: &Ciphertext,
         rlk: &RelinKey,
     ) -> Result<Ciphertext, CkksError> {
+        let _span = telemetry::Span::enter("ckks.eval.mul");
         self.check_pair(a, b)?;
         if a.level() == 0 {
             return Err(CkksError::LevelExhausted);
@@ -264,12 +244,7 @@ impl<'a> Evaluator<'a> {
         let d2 = a.c1().mul_pointwise(b.c1())?;
         // Relinearize d2 down onto (c0, c1).
         let (k0, k1) = self.keyswitch_core(&d2, rlk.switch_key(), level)?;
-        Ok(Ciphertext::from_parts(
-            d0.add(&k0)?,
-            d1.add(&k1)?,
-            level,
-            a.scale() * b.scale(),
-        ))
+        Ok(Ciphertext::from_parts(d0.add(&k0)?, d1.add(&k1)?, level, a.scale() * b.scale()))
     }
 
     /// Squares a ciphertext (3 instead of 4 tensor products).
@@ -287,6 +262,7 @@ impl<'a> Evaluator<'a> {
     ///
     /// Returns [`CkksError::LevelExhausted`] at level 0.
     pub fn rescale(&self, a: &Ciphertext) -> Result<Ciphertext, CkksError> {
+        let _span = telemetry::Span::enter("ckks.eval.rescale");
         let level = a.level();
         if level == 0 {
             return Err(CkksError::LevelExhausted);
@@ -359,6 +335,7 @@ impl<'a> Evaluator<'a> {
         key: &SwitchKey,
         level: usize,
     ) -> Result<(RnsPoly, RnsPoly), CkksError> {
+        let _span = telemetry::Span::enter("ckks.eval.keyswitch");
         let ext = self.decompose_and_modup(d, level)?;
         self.apply_key_and_moddown(&ext, key, level)
     }
@@ -453,13 +430,11 @@ impl<'a> Evaluator<'a> {
         let q_idx: Vec<usize> = (0..=level).collect();
         let p_idx = self.ctx.p_indices();
         let finish = |acc: &mut Vec<Vec<u64>>| -> Result<RnsPoly, CkksError> {
-            for pos in 0..t {
-                let gc = global_of(pos);
-                self.ctx.table(gc).inverse(&mut acc[pos]);
+            for (pos, data) in acc.iter_mut().enumerate().take(t) {
+                self.ctx.table(global_of(pos)).inverse(data);
             }
             let q_refs: Vec<&[u64]> = (0..=level).map(|c| acc[c].as_slice()).collect();
-            let p_refs: Vec<&[u64]> =
-                (level + 1..t).map(|pos| acc[pos].as_slice()).collect();
+            let p_refs: Vec<&[u64]> = (level + 1..t).map(|pos| acc[pos].as_slice()).collect();
             let scaled = self.ctx.rns().moddown(&q_refs, &p_refs, &q_idx, &p_idx)?;
             let mut channels = Vec::with_capacity(level + 1);
             for (c, data) in scaled.into_iter().enumerate() {
@@ -477,11 +452,7 @@ impl<'a> Evaluator<'a> {
 
     /// Applies the Galois automorphism `X ↦ X^g` to a ciphertext *without*
     /// key switching (the result decrypts under `s(X^g)`).
-    fn automorphism_raw(
-        &self,
-        a: &Ciphertext,
-        g: usize,
-    ) -> Result<(RnsPoly, RnsPoly), CkksError> {
+    fn automorphism_raw(&self, a: &Ciphertext, g: usize) -> Result<(RnsPoly, RnsPoly), CkksError> {
         let tables = self.ctx.level_tables(a.level());
         let mut c0 = a.c0().clone();
         let mut c1 = a.c1().clone();
@@ -505,6 +476,7 @@ impl<'a> Evaluator<'a> {
         r: isize,
         gk: &GaloisKeys,
     ) -> Result<Ciphertext, CkksError> {
+        let _span = telemetry::Span::enter("ckks.eval.rotate");
         let g = galois_element(self.ctx.n(), r);
         let key = gk.key_for_element(g).ok_or(CkksError::MissingKey {
             detail: format!("rotation key for r = {r} (g = {g})"),
@@ -591,11 +563,8 @@ impl<'a> Evaluator<'a> {
             for digit in &ext {
                 let mut dg = Vec::with_capacity(t);
                 for (pos, ch) in digit.iter().enumerate() {
-                    let gc = if pos <= level {
-                        pos
-                    } else {
-                        self.ctx.q_len() + (pos - (level + 1))
-                    };
+                    let gc =
+                        if pos <= level { pos } else { self.ctx.q_len() + (pos - (level + 1)) };
                     let m = self.ctx.rns().moduli()[gc];
                     let p = Poly::from_coeffs(ch.clone(), m)?;
                     dg.push(p.automorphism(g)?.coeffs().to_vec());
@@ -709,9 +678,7 @@ mod tests {
         let ev = Evaluator::new(&f.ctx);
         let slots = enc.slots();
         let values: Vec<f64> = (0..slots).map(|j| (j % 5) as f64 - 2.0).collect();
-        let ct = sk
-            .encrypt(&f.ctx, &enc.encode(&values).unwrap(), &mut f.rng)
-            .unwrap();
+        let ct = sk.encrypt(&f.ctx, &enc.encode(&values).unwrap(), &mut f.rng).unwrap();
         for r in [1usize, 3] {
             let rot = ev.rotate(&ct, r as isize, &gk).unwrap();
             let back = enc.decode(&sk.decrypt(&rot).unwrap()).unwrap();
@@ -731,9 +698,7 @@ mod tests {
         let ev = Evaluator::new(&f.ctx);
         let slots = enc.slots();
         let values: Vec<f64> = (0..slots).map(|j| (j as f64).sin()).collect();
-        let ct = sk
-            .encrypt(&f.ctx, &enc.encode(&values).unwrap(), &mut f.rng)
-            .unwrap();
+        let ct = sk.encrypt(&f.ctx, &enc.encode(&values).unwrap(), &mut f.rng).unwrap();
         let hoisted = ev.rotate_hoisted(&ct, &[1, 2, 5], &gk).unwrap();
         for (k, &r) in [1isize, 2, 5].iter().enumerate() {
             let plain = ev.rotate(&ct, r, &gk).unwrap();
@@ -760,8 +725,8 @@ mod tests {
         let ct = sk.encrypt(&f.ctx, &enc.encode(&values).unwrap(), &mut f.rng).unwrap();
         let summed = ev.sum_slots(&ct, &gk).unwrap();
         let back = enc.decode(&sk.decrypt(&summed).unwrap()).unwrap();
-        for j in 0..slots {
-            assert!((back[j] - total).abs() < 0.05, "slot {j}: {} vs {total}", back[j]);
+        for (j, &b) in back.iter().enumerate().take(slots) {
+            assert!((b - total).abs() < 0.05, "slot {j}: {b} vs {total}");
         }
     }
 
@@ -773,9 +738,7 @@ mod tests {
         let enc = Encoder::new(&f.ctx);
         let ev = Evaluator::new(&f.ctx);
         let values = vec![crate::Complex64::new(0.5, 1.25)];
-        let pt = enc
-            .encode_complex_at(&values, f.ctx.q_len() - 1, f.ctx.params().scale())
-            .unwrap();
+        let pt = enc.encode_complex_at(&values, f.ctx.q_len() - 1, f.ctx.params().scale()).unwrap();
         let ct = sk.encrypt(&f.ctx, &pt, &mut f.rng).unwrap();
         let conj = ev.conjugate(&ct, &gk).unwrap();
         let back = enc.decode_complex(&sk.decrypt(&conj).unwrap()).unwrap();
@@ -789,9 +752,7 @@ mod tests {
         let sk = SecretKey::generate(&f.ctx, &mut f.rng);
         let enc = Encoder::new(&f.ctx);
         let ev = Evaluator::new(&f.ctx);
-        let a = sk
-            .encrypt(&f.ctx, &enc.encode(&[1.0]).unwrap(), &mut f.rng)
-            .unwrap();
+        let a = sk.encrypt(&f.ctx, &enc.encode(&[1.0]).unwrap(), &mut f.rng).unwrap();
         let b = ev.level_down(&a, 1).unwrap();
         assert!(ev.add(&a, &b).is_err());
         assert!(ev.level_down(&b, 3).is_err());
@@ -803,9 +764,7 @@ mod tests {
         let sk = SecretKey::generate(&f.ctx, &mut f.rng);
         let enc = Encoder::new(&f.ctx);
         let ev = Evaluator::new(&f.ctx);
-        let a = sk
-            .encrypt(&f.ctx, &enc.encode(&[1.0]).unwrap(), &mut f.rng)
-            .unwrap();
+        let a = sk.encrypt(&f.ctx, &enc.encode(&[1.0]).unwrap(), &mut f.rng).unwrap();
         let bottom = ev.level_down(&a, 0).unwrap();
         assert!(matches!(ev.rescale(&bottom), Err(CkksError::LevelExhausted)));
     }

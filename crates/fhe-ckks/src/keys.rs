@@ -232,8 +232,10 @@ impl PublicKey {
         let u = sample_ternary(ctx.n(), rng);
         let channels: Vec<usize> = (0..=level).collect();
         let u_ntt = lift_signed_ntt(ctx, &u, &channels);
-        let e0 = lift_signed_ntt(ctx, &sample_gaussian(ctx.params().sigma(), ctx.n(), rng), &channels);
-        let e1 = lift_signed_ntt(ctx, &sample_gaussian(ctx.params().sigma(), ctx.n(), rng), &channels);
+        let e0 =
+            lift_signed_ntt(ctx, &sample_gaussian(ctx.params().sigma(), ctx.n(), rng), &channels);
+        let e1 =
+            lift_signed_ntt(ctx, &sample_gaussian(ctx.params().sigma(), ctx.n(), rng), &channels);
         let mut c0 = Vec::with_capacity(level + 1);
         let mut c1 = Vec::with_capacity(level + 1);
         for c in 0..=level {
@@ -296,10 +298,7 @@ impl SwitchKey {
             let digit_moduli: Vec<Modulus> = digit.iter().map(|&c| q_moduli[c]).collect();
             let residues: Vec<u64> = digit_moduli
                 .iter()
-                .map(|m| {
-                    m.inv(qhat.rem_u64(m.value()))
-                        .expect("Q̂_i coprime to digit moduli")
-                })
+                .map(|m| m.inv(qhat.rem_u64(m.value())).expect("Q̂_i coprime to digit moduli"))
                 .collect();
             let v = crt_reconstruct(&residues, &digit_moduli);
 
@@ -329,10 +328,8 @@ impl SwitchKey {
                     .collect();
                 b_channels.push(Poly::from_ntt(vals, m)?);
             }
-            digit_keys.push((
-                RnsPoly::from_channels(b_channels)?,
-                RnsPoly::from_channels(a_channels)?,
-            ));
+            digit_keys
+                .push((RnsPoly::from_channels(b_channels)?, RnsPoly::from_channels(a_channels)?));
         }
         Ok(SwitchKey { digit_keys })
     }
@@ -365,8 +362,7 @@ impl RelinKey {
             .map(|c| {
                 let m = ctx.rns().moduli()[c];
                 let s = sk.s_channel(c);
-                let vals: Vec<u64> =
-                    s.coeffs().iter().map(|&x| m.mul(x, x)).collect();
+                let vals: Vec<u64> = s.coeffs().iter().map(|&x| m.mul(x, x)).collect();
                 Poly::from_ntt(vals, m).expect("canonical")
             })
             .collect();
@@ -469,10 +465,7 @@ mod tests {
     use rand_chacha::ChaCha8Rng;
 
     fn setup() -> (CkksContext, ChaCha8Rng) {
-        (
-            CkksContext::new(CkksParams::toy().unwrap()).unwrap(),
-            ChaCha8Rng::seed_from_u64(42),
-        )
+        (CkksContext::new(CkksParams::toy().unwrap()).unwrap(), ChaCha8Rng::seed_from_u64(42))
     }
 
     #[test]

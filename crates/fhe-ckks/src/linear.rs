@@ -51,8 +51,7 @@ impl LinearTransform {
         }
         let mut diagonals = BTreeMap::new();
         for d in 0..slots {
-            let diag: Vec<Complex64> =
-                (0..slots).map(|j| matrix[j][(j + d) % slots]).collect();
+            let diag: Vec<Complex64> = (0..slots).map(|j| matrix[j][(j + d) % slots]).collect();
             if diag.iter().any(|z| z.abs() > 1e-12) {
                 diagonals.insert(d, diag);
             }
@@ -214,11 +213,7 @@ impl LinearTransform {
                 });
             }
             let inner = inner.expect("nonempty group");
-            let shifted = if shift == 0 {
-                inner
-            } else {
-                ev.rotate(&inner, shift as isize, gk)?
-            };
+            let shifted = if shift == 0 { inner } else { ev.rotate(&inner, shift as isize, gk)? };
             acc = Some(match acc {
                 None => shifted,
                 Some(a) => ev.add(&a, &shifted)?,
@@ -261,9 +256,7 @@ mod tests {
     use rand_chacha::ChaCha8Rng;
 
     fn random_matrix(slots: usize, rng: &mut ChaCha8Rng) -> Vec<Vec<f64>> {
-        (0..slots)
-            .map(|_| (0..slots).map(|_| rng.gen_range(-1.0..1.0)).collect())
-            .collect()
+        (0..slots).map(|_| (0..slots).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect()
     }
 
     #[test]
@@ -271,8 +264,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let m = random_matrix(8, &mut rng);
         let t = LinearTransform::from_real_matrix(&m).unwrap();
-        let v: Vec<Complex64> =
-            (0..8).map(|i| Complex64::new(i as f64 - 3.0, 0.0)).collect();
+        let v: Vec<Complex64> = (0..8).map(|i| Complex64::new(i as f64 - 3.0, 0.0)).collect();
         let got = t.apply_reference(&v);
         for j in 0..8 {
             let want: f64 = (0..8).map(|k| m[j][k] * v[k].re).sum();
@@ -291,31 +283,17 @@ mod tests {
         let m = random_matrix(slots, &mut rng);
         let t = LinearTransform::from_real_matrix(&m).unwrap();
 
-        let gk = GaloisKeys::generate(
-            &ctx,
-            &sk,
-            &t.required_rotations_naive(),
-            false,
-            &mut rng,
-        )
-        .unwrap();
-        let values: Vec<f64> = (0..slots).map(|j| ((j * 7 % 5) as f64 - 2.0) / 4.0).collect();
-        let ct = sk
-            .encrypt(&ctx, &enc.encode(&values).unwrap(), &mut rng)
+        let gk = GaloisKeys::generate(&ctx, &sk, &t.required_rotations_naive(), false, &mut rng)
             .unwrap();
+        let values: Vec<f64> = (0..slots).map(|j| ((j * 7 % 5) as f64 - 2.0) / 4.0).collect();
+        let ct = sk.encrypt(&ctx, &enc.encode(&values).unwrap(), &mut rng).unwrap();
         let out = t.apply(&ev, &enc, &ct, &gk).unwrap();
         assert_eq!(out.level(), ct.level() - 1);
         let back = enc.decode(&sk.decrypt(&out).unwrap()).unwrap();
-        let vin: Vec<Complex64> =
-            values.iter().map(|&x| Complex64::new(x, 0.0)).collect();
+        let vin: Vec<Complex64> = values.iter().map(|&x| Complex64::new(x, 0.0)).collect();
         let want = t.apply_reference(&vin);
         for j in 0..slots {
-            assert!(
-                (back[j] - want[j].re).abs() < 0.05,
-                "slot {j}: {} vs {}",
-                back[j],
-                want[j].re
-            );
+            assert!((back[j] - want[j].re).abs() < 0.05, "slot {j}: {} vs {}", back[j], want[j].re);
         }
     }
 
@@ -334,9 +312,7 @@ mod tests {
         rots.extend(t.required_rotations_bsgs());
         let gk = GaloisKeys::generate(&ctx, &sk, &rots, false, &mut rng).unwrap();
         let values: Vec<f64> = (0..slots).map(|j| (j as f64 / slots as f64) - 0.5).collect();
-        let ct = sk
-            .encrypt(&ctx, &enc.encode(&values).unwrap(), &mut rng)
-            .unwrap();
+        let ct = sk.encrypt(&ctx, &enc.encode(&values).unwrap(), &mut rng).unwrap();
         let a = t.apply(&ev, &enc, &ct, &gk).unwrap();
         let b = t.apply_bsgs(&ev, &enc, &ct, &gk).unwrap();
         let da = enc.decode(&sk.decrypt(&a).unwrap()).unwrap();
@@ -362,9 +338,7 @@ mod tests {
         .unwrap();
         let gk = GaloisKeys::generate(&ctx, &sk, &[], false, &mut rng).unwrap();
         let values = vec![Complex64::new(1.0, 0.5); 1];
-        let pt = enc
-            .encode_complex_at(&values, ctx.q_len() - 1, ctx.params().scale())
-            .unwrap();
+        let pt = enc.encode_complex_at(&values, ctx.q_len() - 1, ctx.params().scale()).unwrap();
         let ct = sk.encrypt(&ctx, &pt, &mut rng).unwrap();
         let out = t.apply(&ev, &enc, &ct, &gk).unwrap();
         let back = enc.decode_complex(&sk.decrypt(&out).unwrap()).unwrap();
@@ -377,7 +351,8 @@ mod tests {
     fn rejects_bad_matrices() {
         assert!(LinearTransform::from_real_matrix(&[]).is_err());
         assert!(LinearTransform::from_real_matrix(&[vec![1.0, 2.0]]).is_err());
-        assert!(LinearTransform::from_diagonals(4, [(4usize, vec![Complex64::default(); 4])])
-            .is_err());
+        assert!(
+            LinearTransform::from_diagonals(4, [(4usize, vec![Complex64::default(); 4])]).is_err()
+        );
     }
 }

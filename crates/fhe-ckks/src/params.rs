@@ -94,10 +94,8 @@ impl CkksParams {
         // rescaling preserves Δ; specials slightly wider than the q_i.
         let special_bits = (scale_bits + 1).min(60);
         let q0 = generate_ntt_primes(q0_bits, n, 1).map_err(CkksError::Math)?[0];
-        let rest =
-            generate_ntt_primes(scale_bits, n, max_level).map_err(CkksError::Math)?;
-        let special =
-            generate_ntt_primes(special_bits, n, alpha).map_err(CkksError::Math)?;
+        let rest = generate_ntt_primes(scale_bits, n, max_level).map_err(CkksError::Math)?;
+        let special = generate_ntt_primes(special_bits, n, alpha).map_err(CkksError::Math)?;
         let mut moduli = vec![q0];
         moduli.extend(rest);
         Ok(CkksParams {
@@ -218,8 +216,7 @@ mod tests {
     #[test]
     fn all_primes_distinct_and_ntt_friendly() {
         let p = CkksParams::new(256, 5, 2, 30).unwrap();
-        let mut all: Vec<u64> =
-            p.moduli().iter().chain(p.special_moduli()).copied().collect();
+        let mut all: Vec<u64> = p.moduli().iter().chain(p.special_moduli()).copied().collect();
         let len = all.len();
         all.sort_unstable();
         all.dedup();

@@ -86,11 +86,7 @@ impl MlpModel {
         let layer = |t: &LinearTransform, b: &[f64], v: &[f64]| -> Vec<f64> {
             let vin: Vec<crate::Complex64> =
                 v.iter().map(|&x| crate::Complex64::new(x, 0.0)).collect();
-            t.apply_reference(&vin)
-                .into_iter()
-                .zip(b)
-                .map(|(z, &bi)| z.re + bi)
-                .collect()
+            t.apply_reference(&vin).into_iter().zip(b).map(|(z, &bi)| z.re + bi).collect()
         };
         let h: Vec<f64> = layer(&self.w1, &self.b1, x).iter().map(|&v| v * v).collect();
         layer(&self.w2, &self.b2, &h)
@@ -200,10 +196,8 @@ impl HelrIteration {
         let to_c = |v: &[f64]| -> Vec<crate::Complex64> {
             v.iter().map(|&x| crate::Complex64::new(x, 0.0)).collect()
         };
-        let u: Vec<f64> =
-            self.x.apply_reference(&to_c(w)).into_iter().map(|z| z.re).collect();
-        let resid: Vec<f64> =
-            u.iter().zip(&self.y).map(|(&ui, &yi)| yi - sigmoid3(ui)).collect();
+        let u: Vec<f64> = self.x.apply_reference(&to_c(w)).into_iter().map(|z| z.re).collect();
+        let resid: Vec<f64> = u.iter().zip(&self.y).map(|(&ui, &yi)| yi - sigmoid3(ui)).collect();
         let grad: Vec<f64> =
             self.xt.apply_reference(&to_c(&resid)).into_iter().map(|z| z.re).collect();
         w.iter().zip(&grad).map(|(&wi, &gi)| wi + gi).collect()
@@ -273,20 +267,15 @@ mod tests {
         let enc = Encoder::new(&ctx);
         let ev = Evaluator::new(&ctx);
         let model = MlpModel::random(enc.slots(), &mut rng);
-        let gk = GaloisKeys::generate(&ctx, &sk, &model.required_rotations(), false, &mut rng)
-            .unwrap();
+        let gk =
+            GaloisKeys::generate(&ctx, &sk, &model.required_rotations(), false, &mut rng).unwrap();
         let x: Vec<f64> = (0..enc.slots()).map(|j| ((j % 7) as f64 - 3.0) / 3.0).collect();
         let ct = sk.encrypt(&ctx, &enc.encode(&x).unwrap(), &mut rng).unwrap();
         let out = model.infer_encrypted(&ev, &enc, &ct, &gk, &rlk).unwrap();
         let got = enc.decode(&sk.decrypt(&out).unwrap()).unwrap();
         let want = model.infer_plain(&x);
         for j in 0..enc.slots() {
-            assert!(
-                (got[j] - want[j]).abs() < 0.05,
-                "slot {j}: {} vs {}",
-                got[j],
-                want[j]
-            );
+            assert!((got[j] - want[j]).abs() < 0.05, "slot {j}: {} vs {}", got[j], want[j]);
         }
     }
 
@@ -298,20 +287,15 @@ mod tests {
         let enc = Encoder::new(&ctx);
         let ev = Evaluator::new(&ctx);
         let iter = HelrIteration::random(enc.slots(), &mut rng);
-        let gk = GaloisKeys::generate(&ctx, &sk, &iter.required_rotations(), false, &mut rng)
-            .unwrap();
+        let gk =
+            GaloisKeys::generate(&ctx, &sk, &iter.required_rotations(), false, &mut rng).unwrap();
         let w0: Vec<f64> = (0..enc.slots()).map(|j| ((j % 3) as f64 - 1.0) * 0.2).collect();
         let ct_w = sk.encrypt(&ctx, &enc.encode(&w0).unwrap(), &mut rng).unwrap();
         let out = iter.step_encrypted(&ev, &enc, &ct_w, &gk, &rlk).unwrap();
         let got = enc.decode(&sk.decrypt(&out).unwrap()).unwrap();
         let want = iter.step_plain(&w0);
         for j in 0..enc.slots() {
-            assert!(
-                (got[j] - want[j]).abs() < 0.05,
-                "slot {j}: {} vs {}",
-                got[j],
-                want[j]
-            );
+            assert!((got[j] - want[j]).abs() < 0.05, "slot {j}: {} vs {}", got[j], want[j]);
         }
     }
 

@@ -57,9 +57,7 @@ impl UBig {
     pub fn bits(&self) -> u32 {
         match self.limbs.last() {
             None => 0,
-            Some(&top) => {
-                (self.limbs.len() as u32 - 1) * 64 + (64 - top.leading_zeros())
-            }
+            Some(&top) => (self.limbs.len() as u32 - 1) * 64 + (64 - top.leading_zeros()),
         }
     }
 
@@ -343,10 +341,7 @@ mod tests {
         let b = 0x1234_5678_9abc_u64;
         let exact = a as u128 * b as u128;
         assert_eq!(UBig::from_u64(a).mul_u64(b), UBig::from_u128(exact));
-        assert_eq!(
-            UBig::from_u64(a).mul(&UBig::from_u64(b)),
-            UBig::from_u128(exact)
-        );
+        assert_eq!(UBig::from_u64(a).mul(&UBig::from_u64(b)), UBig::from_u128(exact));
     }
 
     #[test]

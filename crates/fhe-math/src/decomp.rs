@@ -191,11 +191,7 @@ impl Gadget {
     /// beyond the available channels are omitted).
     pub fn split(&self, num_channels: usize) -> Vec<Vec<usize>> {
         let alpha = self.alpha(num_channels);
-        (0..num_channels)
-            .collect::<Vec<_>>()
-            .chunks(alpha)
-            .map(|c| c.to_vec())
-            .collect()
+        (0..num_channels).collect::<Vec<_>>().chunks(alpha).map(|c| c.to_vec()).collect()
     }
 }
 

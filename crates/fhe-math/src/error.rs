@@ -71,10 +71,7 @@ impl fmt::Display for MathError {
                 write!(f, "modulus {modulus} does not support a negacyclic NTT of size {degree}")
             }
             MathError::PrimeSearchExhausted { bits, requested, found } => {
-                write!(
-                    f,
-                    "exhausted {bits}-bit prime search: requested {requested}, found {found}"
-                )
+                write!(f, "exhausted {bits}-bit prime search: requested {requested}, found {found}")
             }
             MathError::BasisMismatch { detail } => write!(f, "basis mismatch: {detail}"),
             MathError::NotInvertible { value, modulus } => {

@@ -109,18 +109,7 @@ impl FourStepNtt {
             p = modulus.mul(p, psi);
             pi = modulus.mul(pi, psi_inv);
         }
-        Ok(FourStepNtt {
-            modulus,
-            n,
-            n1,
-            n2,
-            col,
-            row,
-            twiddle,
-            twiddle_inv,
-            twist,
-            twist_inv,
-        })
+        Ok(FourStepNtt { modulus, n, n1, n2, col, row, twiddle, twiddle_inv, twist, twist_inv })
     }
 
     /// Total transform size `n1 * n2`.
@@ -315,6 +304,7 @@ mod tests {
         // Simpler: evaluate directly with an independently-found root.
         let psi = crate::ntt::find_primitive_root(q, 2 * n as u64).unwrap();
         let omega = q.mul(psi, psi);
+        #[allow(clippy::needless_range_loop)] // index math mirrors the DFT sum
         for k in 0..n {
             let mut acc = 0u64;
             for i in 0..n {

@@ -186,10 +186,7 @@ impl Modulus {
     #[inline]
     pub fn shoup(&self, w: u64) -> ShoupScalar {
         debug_assert!(w < self.value);
-        ShoupScalar {
-            value: w,
-            quotient: (((w as u128) << 64) / self.value as u128) as u64,
-        }
+        ShoupScalar { value: w, quotient: (((w as u128) << 64) / self.value as u128) as u64 }
     }
 
     /// Shoup modular multiplication `a * w mod q` with `w` precomputed.

@@ -120,11 +120,11 @@ mod tests {
     fn round_trip_and_products_match_barrett() {
         for mont in contexts() {
             let q = mont.modulus();
-            for (a, b) in [(0u64, 0u64), (1, 1), (q.value() - 1, q.value() - 1), (12345, 9876543)]
-            {
+            for (a, b) in [(0u64, 0u64), (1, 1), (q.value() - 1, q.value() - 1), (12345, 9876543)] {
                 let (a, b) = (q.reduce(a), q.reduce(b));
                 assert_eq!(mont.from_montgomery(mont.to_montgomery(a)), a);
-                let p = mont.from_montgomery(mont.mul(mont.to_montgomery(a), mont.to_montgomery(b)));
+                let p =
+                    mont.from_montgomery(mont.mul(mont.to_montgomery(a), mont.to_montgomery(b)));
                 assert_eq!(p, q.mul(a, b), "q = {}", q.value());
             }
         }

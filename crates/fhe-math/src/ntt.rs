@@ -183,9 +183,7 @@ impl NttTable {
                     }
                     let x = a[j + t];
                     let qhat = ((x as u128 * s.quotient as u128) >> 64) as u64;
-                    let v = x
-                        .wrapping_mul(s.value)
-                        .wrapping_sub(qhat.wrapping_mul(q));
+                    let v = x.wrapping_mul(s.value).wrapping_sub(qhat.wrapping_mul(q));
                     a[j] = u + v;
                     a[j + t] = u + two_q - v;
                 }
@@ -265,9 +263,7 @@ impl CyclicNtt {
         if !n.is_power_of_two() || n < 2 {
             return Err(MathError::InvalidDegree { degree: n });
         }
-        if modulus.pow(omega, n as u64) != 1
-            || modulus.pow(omega, n as u64 / 2) == 1
-        {
+        if modulus.pow(omega, n as u64) != 1 || modulus.pow(omega, n as u64 / 2) == 1 {
             return Err(MathError::NoNttSupport { modulus: modulus.value(), degree: n });
         }
         let omega_inv = modulus.inv(omega)?;
@@ -514,6 +510,7 @@ mod tests {
         let a: Vec<u64> = (1..=n as u64).collect();
         let mut fast = a.clone();
         c.forward_natural(&mut fast);
+        #[allow(clippy::needless_range_loop)] // index math mirrors the DFT sum
         for k in 0..n {
             let mut acc = 0u64;
             for i in 0..n {

@@ -125,8 +125,7 @@ impl Poly {
     pub fn add(&self, other: &Poly) -> Result<Poly, MathError> {
         self.check_compatible(other)?;
         let m = &self.modulus;
-        let coeffs =
-            self.coeffs.iter().zip(&other.coeffs).map(|(&a, &b)| m.add(a, b)).collect();
+        let coeffs = self.coeffs.iter().zip(&other.coeffs).map(|(&a, &b)| m.add(a, b)).collect();
         Ok(Poly { coeffs, modulus: self.modulus, domain: self.domain })
     }
 
@@ -139,8 +138,7 @@ impl Poly {
     pub fn sub(&self, other: &Poly) -> Result<Poly, MathError> {
         self.check_compatible(other)?;
         let m = &self.modulus;
-        let coeffs =
-            self.coeffs.iter().zip(&other.coeffs).map(|(&a, &b)| m.sub(a, b)).collect();
+        let coeffs = self.coeffs.iter().zip(&other.coeffs).map(|(&a, &b)| m.sub(a, b)).collect();
         Ok(Poly { coeffs, modulus: self.modulus, domain: self.domain })
     }
 
@@ -286,8 +284,7 @@ mod tests {
         let mut ab = a.mul(&b, &t).unwrap();
         ab.to_coeff(&t);
         let lhs = ab.automorphism(5).unwrap();
-        let mut rhs =
-            a.automorphism(5).unwrap().mul(&b.automorphism(5).unwrap(), &t).unwrap();
+        let mut rhs = a.automorphism(5).unwrap().mul(&b.automorphism(5).unwrap(), &t).unwrap();
         rhs.to_coeff(&t);
         assert_eq!(lhs, rhs);
     }

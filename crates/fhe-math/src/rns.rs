@@ -88,11 +88,8 @@ impl RnsContext {
     /// Propagates NTT table construction failures (e.g. a modulus without a
     /// `2n`-th root of unity).
     pub fn new(n: usize, basis: RnsBasis) -> Result<Self, MathError> {
-        let tables = basis
-            .moduli()
-            .iter()
-            .map(|&m| NttTable::new(m, n))
-            .collect::<Result<Vec<_>, _>>()?;
+        let tables =
+            basis.moduli().iter().map(|&m| NttTable::new(m, n)).collect::<Result<Vec<_>, _>>()?;
         Ok(RnsContext { n, basis, tables })
     }
 
@@ -345,9 +342,9 @@ impl RnsPoly {
     /// Returns [`MathError::BasisMismatch`] if channels disagree on degree
     /// or domain, or the list is empty.
     pub fn from_channels(channels: Vec<Poly>) -> Result<Self, MathError> {
-        let first = channels.first().ok_or(MathError::BasisMismatch {
-            detail: "RnsPoly requires at least one channel",
-        })?;
+        let first = channels
+            .first()
+            .ok_or(MathError::BasisMismatch { detail: "RnsPoly requires at least one channel" })?;
         let (n, domain) = (first.n(), first.domain());
         if channels.iter().any(|c| c.n() != n || c.domain() != domain) {
             return Err(MathError::BasisMismatch {
@@ -473,14 +470,11 @@ impl RnsPoly {
     /// coefficient domain or structures disagree.
     pub fn mul_pointwise(&self, other: &RnsPoly) -> Result<RnsPoly, MathError> {
         if self.domain() != Domain::Ntt || other.domain() != Domain::Ntt {
-            return Err(MathError::BasisMismatch {
-                detail: "mul_pointwise requires NTT domain",
-            });
+            return Err(MathError::BasisMismatch { detail: "mul_pointwise requires NTT domain" });
         }
         self.zip_with(other, |a, b| {
             let m = a.modulus();
-            let vals =
-                a.coeffs().iter().zip(b.coeffs()).map(|(&x, &y)| m.mul(x, y)).collect();
+            let vals = a.coeffs().iter().zip(b.coeffs()).map(|(&x, &y)| m.mul(x, y)).collect();
             Poly::from_ntt(vals, m)
         })
     }
@@ -492,11 +486,8 @@ impl RnsPoly {
     ///
     /// Same conditions as [`Poly::automorphism`].
     pub fn automorphism(&self, g: usize) -> Result<RnsPoly, MathError> {
-        let channels = self
-            .channels
-            .iter()
-            .map(|c| c.automorphism(g))
-            .collect::<Result<Vec<_>, _>>()?;
+        let channels =
+            self.channels.iter().map(|c| c.automorphism(g)).collect::<Result<Vec<_>, _>>()?;
         Ok(RnsPoly { channels })
     }
 
@@ -593,10 +584,8 @@ mod tests {
         // Build x on the source basis with known exact value.
         let x_exact: u64 = 987_654_321_123;
         let src_moduli: Vec<Modulus> = src.iter().map(|&i| ctx.moduli()[i]).collect();
-        let chans: Vec<Vec<u64>> = src_moduli
-            .iter()
-            .map(|m| vec![x_exact % m.value(); 16])
-            .collect();
+        let chans: Vec<Vec<u64>> =
+            src_moduli.iter().map(|m| vec![x_exact % m.value(); 16]).collect();
         let refs: Vec<&[u64]> = chans.iter().map(|c| c.as_slice()).collect();
         let out = plan.apply(&refs);
 

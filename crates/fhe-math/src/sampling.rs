@@ -105,8 +105,7 @@ mod tests {
         let sigma = 3.2;
         let v = sample_gaussian(sigma, 50_000, &mut rng);
         let mean: f64 = v.iter().map(|&x| x as f64).sum::<f64>() / v.len() as f64;
-        let var: f64 =
-            v.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / v.len() as f64;
+        let var: f64 = v.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / v.len() as f64;
         assert!(mean.abs() < 0.1, "mean {mean}");
         assert!((var.sqrt() - sigma).abs() < 0.15, "std {}", var.sqrt());
     }

@@ -106,15 +106,10 @@ impl KeySwitchKey {
             .map(|&c| {
                 (0..params.ks_levels)
                     .map(|d| {
-                        let gadget =
-                            1u64 << (64 - (d as u32 + 1) * params.ks_base_log);
+                        let gadget = 1u64 << (64 - (d as u32 + 1) * params.ks_base_log);
                         // Wrapping arithmetic realizes negative coefficients
                         // on the torus.
-                        to_key.encrypt(
-                            (c as u64).wrapping_mul(gadget),
-                            params.lwe_sigma,
-                            rng,
-                        )
+                        to_key.encrypt((c as u64).wrapping_mul(gadget), params.lwe_sigma, rng)
                     })
                     .collect()
             })
@@ -128,6 +123,7 @@ impl KeySwitchKey {
     ///
     /// Panics if the ciphertext dimension disagrees with the key.
     pub fn switch(&self, ct: &LweCiphertext) -> LweCiphertext {
+        let _span = telemetry::Span::enter("tfhe.keyswitch");
         assert_eq!(ct.dim(), self.rows.len(), "keyswitch dimension mismatch");
         let target_dim = self.rows[0][0].dim();
         let mut out = LweCiphertext::trivial(ct.b, target_dim);
@@ -190,6 +186,7 @@ impl Pbs {
         ct: &LweCiphertext,
         testv: &[u64],
     ) -> TrlweCiphertext {
+        let _span = telemetry::Span::enter("tfhe.pbs.blind_rotate");
         assert_eq!(ct.dim(), bsk.steps(), "LWE dim disagrees with bootstrap key");
         let n = self.params.poly_size;
         let two_n = 2 * n;
@@ -225,6 +222,7 @@ impl Pbs {
         ct: &LweCiphertext,
         testv: &[u64],
     ) -> LweCiphertext {
+        let _span = telemetry::Span::enter("tfhe.pbs.bootstrap");
         let rotated = self.blind_rotate(bsk, ct, testv);
         ksk.switch(&rotated.sample_extract())
     }
@@ -280,13 +278,9 @@ mod tests {
         let bsk =
             BootstrappingKey::generate(&params, &lwe_key, &trlwe_key, pbs.multiplier(), &mut rng)
                 .unwrap();
-        let ksk = KeySwitchKey::generate(
-            &params,
-            &trlwe_key.to_extracted_lwe_key(),
-            &lwe_key,
-            &mut rng,
-        )
-        .unwrap();
+        let ksk =
+            KeySwitchKey::generate(&params, &trlwe_key.to_extracted_lwe_key(), &lwe_key, &mut rng)
+                .unwrap();
         Fixture { params, lwe_key, trlwe_key, pbs, bsk, ksk, rng }
     }
 
@@ -295,11 +289,7 @@ mod tests {
         let mut f = fixture(7);
         let extracted_key = f.trlwe_key.to_extracted_lwe_key();
         for m in 0..4u64 {
-            let ct = extracted_key.encrypt(
-                encode_message(m, 4),
-                2.0f64.powi(-30),
-                &mut f.rng,
-            );
+            let ct = extracted_key.encrypt(encode_message(m, 4), 2.0f64.powi(-30), &mut f.rng);
             let switched = f.ksk.switch(&ct);
             assert_eq!(switched.dim(), f.params.lwe_dim);
             assert_eq!(f.lwe_key.decrypt_message(&switched, 4), m, "m = {m}");
@@ -326,15 +316,9 @@ mod tests {
         let space = 8u64;
         let testv = f.pbs.function_testv(space, |m| (m * m) % space);
         for m in 0..space / 2 {
-            let ct =
-                f.lwe_key
-                    .encrypt(encode_message(m, space), f.params.lwe_sigma, &mut f.rng);
+            let ct = f.lwe_key.encrypt(encode_message(m, space), f.params.lwe_sigma, &mut f.rng);
             let boot = f.pbs.bootstrap(&f.bsk, &f.ksk, &ct, &testv);
-            assert_eq!(
-                f.lwe_key.decrypt_message(&boot, space),
-                (m * m) % space,
-                "m = {m}"
-            );
+            assert_eq!(f.lwe_key.decrypt_message(&boot, space), (m * m) % space, "m = {m}");
         }
     }
 

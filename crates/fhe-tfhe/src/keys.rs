@@ -132,8 +132,7 @@ pub fn generate_keys<R: Rng + ?Sized>(
     let trlwe_key = TrlweSecretKey::generate(params.poly_size, rng);
     let pbs = Pbs::new(*params)?;
     let bsk = BootstrappingKey::generate(params, &lwe_key, &trlwe_key, pbs.multiplier(), rng)?;
-    let ksk =
-        KeySwitchKey::generate(params, &trlwe_key.to_extracted_lwe_key(), &lwe_key, rng)?;
+    let ksk = KeySwitchKey::generate(params, &trlwe_key.to_extracted_lwe_key(), &lwe_key, rng)?;
     let client = ClientKey { params: *params, lwe_key, trlwe_key };
     let server = ServerKey { params: *params, pbs, bsk, ksk };
     Ok((client, server))

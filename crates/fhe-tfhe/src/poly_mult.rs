@@ -87,12 +87,7 @@ impl NegacyclicMultiplier {
     /// # Panics
     ///
     /// Panics on length mismatches.
-    pub fn mul_acc(
-        &self,
-        digits: &[i64],
-        prepared: &PreparedTorusPoly,
-        acc: &mut NttAccumulator,
-    ) {
+    pub fn mul_acc(&self, digits: &[i64], prepared: &PreparedTorusPoly, acc: &mut NttAccumulator) {
         assert_eq!(digits.len(), self.n);
         let mut d1: Vec<u64> = digits.iter().map(|&d| self.p1.from_i64(d)).collect();
         let mut d2: Vec<u64> = digits.iter().map(|&d| self.p2.from_i64(d)).collect();

@@ -159,8 +159,7 @@ mod tests {
         let ct0 = key.encrypt(&mu0, SIGMA, &mult, &mut rng);
         let ct1 = key.encrypt(&mu1, SIGMA, &mult, &mut rng);
         for bit in [0i64, 1] {
-            let sel =
-                TrgswCiphertext::encrypt(&key, bit, 10, 3, SIGMA, &mult, &mut rng).unwrap();
+            let sel = TrgswCiphertext::encrypt(&key, bit, 10, 3, SIGMA, &mult, &mut rng).unwrap();
             let out = sel.cmux(&mult, &ct0, &ct1);
             let phase = key.phase(&out, &mult);
             let want = if bit == 1 { 5 } else { 1 };

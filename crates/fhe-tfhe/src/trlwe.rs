@@ -117,10 +117,7 @@ impl TrlweCiphertext {
     /// Multiplies by the monomial `X^e` (negacyclic rotation), `e` taken
     /// modulo `2N`.
     pub fn rotate(&self, e: usize) -> TrlweCiphertext {
-        TrlweCiphertext {
-            a: rotate_poly(&self.a, e),
-            b: rotate_poly(&self.b, e),
-        }
+        TrlweCiphertext { a: rotate_poly(&self.a, e), b: rotate_poly(&self.b, e) }
     }
 
     /// Extracts the coefficient-0 LWE ciphertext under the extracted key.
@@ -128,8 +125,8 @@ impl TrlweCiphertext {
         let n = self.n();
         let mut a = vec![0u64; n];
         a[0] = self.a[0];
-        for j in 1..n {
-            a[j] = self.a[n - j].wrapping_neg();
+        for (j, aj) in a.iter_mut().enumerate().skip(1) {
+            *aj = self.a[n - j].wrapping_neg();
         }
         LweCiphertext { a, b: self.b[0] }
     }
@@ -172,7 +169,11 @@ mod tests {
         let ct = key.encrypt(&mu, 2.0f64.powi(-30), &mult, &mut rng);
         let phase = key.phase(&ct, &mult);
         for (i, (&p, &m)) in phase.iter().zip(&mu).enumerate() {
-            assert_eq!(crate::torus::decode_message(p, 4), crate::torus::decode_message(m, 4), "coeff {i}");
+            assert_eq!(
+                crate::torus::decode_message(p, 4),
+                crate::torus::decode_message(m, 4),
+                "coeff {i}"
+            );
         }
     }
 
@@ -182,12 +183,15 @@ mod tests {
         // X^1: [−4, 1, 2, 3].
         assert_eq!(rotate_poly(&p, 1), vec![4u64.wrapping_neg(), 1, 2, 3]);
         // X^4 = −1 for N = 4.
-        assert_eq!(rotate_poly(&p, 4), vec![
-            1u64.wrapping_neg(),
-            2u64.wrapping_neg(),
-            3u64.wrapping_neg(),
-            4u64.wrapping_neg()
-        ]);
+        assert_eq!(
+            rotate_poly(&p, 4),
+            vec![
+                1u64.wrapping_neg(),
+                2u64.wrapping_neg(),
+                3u64.wrapping_neg(),
+                4u64.wrapping_neg()
+            ]
+        );
         // X^8 = identity.
         assert_eq!(rotate_poly(&p, 8), p);
     }

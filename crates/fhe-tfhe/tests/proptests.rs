@@ -2,7 +2,7 @@
 //! against wrapping schoolbook, torus encode/decode robustness, and LWE
 //! homomorphism.
 
-use fhe_tfhe::{NegacyclicMultiplier, LweSecretKey};
+use fhe_tfhe::{LweSecretKey, NegacyclicMultiplier};
 use proptest::prelude::*;
 
 fn schoolbook(ints: &[i64], torus: &[u64]) -> Vec<u64> {

@@ -51,10 +51,7 @@ pub fn decomp_poly_mult_counts(dnum: u64, n: u64) -> TransformCounts {
 /// Paper Table 3: `Modup`/`Bconv` from `l` input channels to `k` output
 /// channels: original `(3·k·l + 3·l)·N`, Meta-OP `(k·l + 3·l + 2·k)·N`.
 pub fn bconv_counts(l: u64, k: u64, n: u64) -> TransformCounts {
-    TransformCounts {
-        original: (3 * k * l + 3 * l) * n,
-        meta: (k * l + 3 * l + 2 * k) * n,
-    }
+    TransformCounts { original: (3 * k * l + 3 * l) * n, meta: (k * l + 3 * l + 2 * k) * n }
 }
 
 /// NTT of one `N`-point polynomial (one RNS channel), blocked into radix-8
@@ -68,10 +65,7 @@ pub fn ntt_counts(n: u64) -> TransformCounts {
         1 => ((log_n - 4) / 3, 2),
         _ => ((log_n - 2) / 3, 1),
     };
-    TransformCounts {
-        original: 3 * (n / 2) * log_n,
-        meta: 5 * n * r8 + 4 * n * r4,
-    }
+    TransformCounts { original: 3 * (n / 2) * log_n, meta: 5 * n * r8 + 4 * n * r4 }
 }
 
 /// Element-wise modular multiplications: 3 mults per coefficient in both
@@ -96,10 +90,7 @@ pub struct OperatorMults {
 impl OperatorMults {
     /// Total original-formulation multiplications.
     pub fn total_original(&self) -> u64 {
-        self.ntt.original
-            + self.bconv.original
-            + self.decomp.original
-            + self.elementwise.original
+        self.ntt.original + self.bconv.original + self.decomp.original + self.elementwise.original
     }
 
     /// Total Meta-OP multiplications.
@@ -110,20 +101,20 @@ impl OperatorMults {
     /// Overall change in percent (negative = the Meta-OP lowering reduced
     /// total multiplications — Fig. 7a).
     pub fn change_pct(&self) -> f64 {
-        TransformCounts { original: self.total_original(), meta: self.total_meta() }
-            .change_pct()
+        TransformCounts { original: self.total_original(), meta: self.total_meta() }.change_pct()
     }
 
     /// Fraction of original multiplications per operator class, in
-    /// `[Ntt, Bconv, DecompPolyMult, Elementwise]` order — the "operator
-    /// ratio in the algorithm" bars of Fig. 1.
-    pub fn class_fractions(&self) -> [(OpClass, f64); 4] {
+    /// [`OpClass::all`] order — the "operator ratio in the algorithm" bars
+    /// of Fig. 1. `Transfer` moves no multiplications and is always 0.
+    pub fn class_fractions(&self) -> [(OpClass, f64); 5] {
         let total = self.total_original().max(1) as f64;
         [
             (OpClass::Ntt, self.ntt.original as f64 / total),
             (OpClass::Bconv, self.bconv.original as f64 / total),
             (OpClass::DecompPolyMult, self.decomp.original as f64 / total),
             (OpClass::Elementwise, self.elementwise.original as f64 / total),
+            (OpClass::Transfer, 0.0),
         ]
     }
 

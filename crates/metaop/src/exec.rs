@@ -6,6 +6,7 @@
 //! comfortably covering the paper's `n` range (`dnum ≤ 6`, `L ≤ 60`,
 //! radix-8 `n = 3`).
 
+use crate::OpClass;
 use fhe_math::Modulus;
 
 /// Accumulates `Σ_i a[i]·b[i]` lazily and reduces once.
@@ -56,6 +57,34 @@ pub fn meta_op_lanes(modulus: &Modulus, lanes: &[(&[u64], &[u64])]) -> Vec<u64> 
             lazy_dot(modulus, a, b)
         })
         .collect()
+}
+
+/// [`meta_op_lanes`] plus telemetry accounting: counts the Meta-OP, its
+/// multiplier-array cycles (`n + 2`) and the reduction cycles the lazy
+/// accumulation saved (`2(n-1)`) against `class` on `tel`.
+///
+/// The counting is a single branch when `tel` is disabled, so this variant
+/// is safe to use on warm paths; the per-8-coefficient kernels themselves
+/// ([`lazy_dot`], [`matvec_lazy`]) stay uninstrumented.
+///
+/// # Panics
+///
+/// Same contract as [`meta_op_lanes`].
+pub fn meta_op_lanes_counted(
+    modulus: &Modulus,
+    lanes: &[(&[u64], &[u64])],
+    class: OpClass,
+    tel: &telemetry::Telemetry,
+) -> Vec<u64> {
+    let out = meta_op_lanes(modulus, lanes);
+    if tel.is_enabled() {
+        let n = lanes.first().map_or(0, |(a, _)| a.len()) as u64;
+        let key = class.telemetry_key();
+        tel.count(telemetry::Metric::MetaOps, key, 1);
+        tel.count(telemetry::Metric::MultCycles, key, n + 2);
+        tel.count(telemetry::Metric::ReductionCyclesSaved, key, 2 * n.saturating_sub(1));
+    }
+    out
 }
 
 /// Applies a dense `r × r` matrix to a vector with one reduction per output
@@ -123,6 +152,25 @@ mod tests {
         }
         let v = vec![10, 20, 30, 40];
         assert_eq!(matvec_lazy(&q, &eye, &v), v);
+    }
+
+    #[test]
+    fn counted_lanes_match_and_account() {
+        use telemetry::{Metric, OpClassKey, Telemetry};
+        let q = modulus();
+        let a = [1u64, 2, 3, 4];
+        let b = [5u64, 6, 7, 8];
+        let lanes = [(&a[..], &b[..]), (&b[..], &a[..])];
+        let tel = Telemetry::enabled();
+        let counted = meta_op_lanes_counted(&q, &lanes, OpClass::Bconv, &tel);
+        assert_eq!(counted, meta_op_lanes(&q, &lanes));
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter(Metric::MetaOps, OpClassKey::Bconv), 1);
+        assert_eq!(snap.counter(Metric::MultCycles, OpClassKey::Bconv), 6);
+        assert_eq!(snap.counter(Metric::ReductionCyclesSaved, OpClassKey::Bconv), 6);
+        // Disabled: identical results, nothing recorded.
+        let off = Telemetry::disabled();
+        assert_eq!(meta_op_lanes_counted(&q, &lanes, OpClass::Bconv, &off), counted);
     }
 
     #[test]

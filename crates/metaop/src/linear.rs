@@ -25,6 +25,7 @@ pub const LANES: u32 = 8;
 /// Panics if `channels` does not match the plan's source count (delegated to
 /// the same checks as [`BconvPlan::apply`]).
 pub fn bconv(plan: &BconvPlan, channels: &[&[u64]], trace: &mut MetaOpTrace) -> Vec<Vec<u64>> {
+    let _span = telemetry::Span::enter("metaop.bconv");
     let src_moduli = plan.src_moduli();
     assert_eq!(channels.len(), src_moduli.len(), "source channel count mismatch");
     let n = channels.first().map_or(0, |c| c.len());
@@ -56,10 +57,7 @@ pub fn bconv(plan: &BconvPlan, channels: &[&[u64]], trace: &mut MetaOpTrace) -> 
             *x = pj.reduce_u128(acc);
         }
         out.push(channel);
-        trace.record(
-            MetaOp::new(OpClass::Bconv, LANES, l),
-            n.div_ceil(LANES as usize) as u64,
-        );
+        trace.record(MetaOp::new(OpClass::Bconv, LANES, l), n.div_ceil(LANES as usize) as u64);
     }
     out
 }
@@ -88,6 +86,7 @@ pub fn moddown(
     p_channels: &[&[u64]],
     trace: &mut MetaOpTrace,
 ) -> Result<Vec<Vec<u64>>, MathError> {
+    let _span = telemetry::Span::enter("metaop.moddown");
     if q_channels.len() != plan.dst_moduli().len() {
         return Err(MathError::BasisMismatch {
             detail: "moddown Q channels misaligned with plan destinations",
@@ -114,10 +113,7 @@ pub fn moddown(
     Ok(out)
 }
 
-fn p_inverse(
-    qi: Modulus,
-    p_moduli: &[Modulus],
-) -> Result<fhe_math::ShoupScalar, MathError> {
+fn p_inverse(qi: Modulus, p_moduli: &[Modulus]) -> Result<fhe_math::ShoupScalar, MathError> {
     let mut p_mod = 1u64;
     for pj in p_moduli {
         p_mod = qi.mul(p_mod, pj.value() % qi.value());
@@ -143,13 +139,11 @@ pub fn decomp_poly_mult(
     keys: &[&[u64]],
     trace: &mut MetaOpTrace,
 ) -> Vec<u64> {
+    let _span = telemetry::Span::enter("metaop.decomp_poly_mult");
     assert_eq!(digits.len(), keys.len(), "digit/key count mismatch");
     assert!(!digits.is_empty(), "DecompPolyMult needs at least one digit");
     let n = digits[0].len();
-    assert!(
-        digits.iter().chain(keys.iter()).all(|p| p.len() == n),
-        "ragged polynomial inputs"
-    );
+    assert!(digits.iter().chain(keys.iter()).all(|p| p.len() == n), "ragged polynomial inputs");
     let dnum = digits.len() as u32;
     let mut out = vec![0u64; n];
     for (s, x) in out.iter_mut().enumerate() {

@@ -71,6 +71,7 @@ impl<'a> NttLowering<'a> {
     ///
     /// Panics if `a.len()` differs from the table size.
     pub fn forward(&self, a: &mut [u64], trace: &mut MetaOpTrace) {
+        let _span = telemetry::Span::enter("metaop.ntt.forward");
         assert_eq!(a.len(), self.table.n());
         let mut stage = 0u32;
         for block in &self.blocks {
@@ -95,6 +96,7 @@ impl<'a> NttLowering<'a> {
     ///
     /// Panics if `a.len()` differs from the table size.
     pub fn inverse(&self, a: &mut [u64], trace: &mut MetaOpTrace) {
+        let _span = telemetry::Span::enter("metaop.ntt.inverse");
         assert_eq!(a.len(), self.table.n());
         // Mirror of the forward schedule: smallest spans first.
         let mut stage = 0u32;
@@ -130,8 +132,7 @@ impl<'a> NttLowering<'a> {
         for g in 0..groups {
             let w1 = psi[groups + g];
             let w2 = [psi[2 * groups + 2 * g], psi[2 * groups + 2 * g + 1]];
-            let w3: [ShoupScalar; 4] =
-                std::array::from_fn(|k| psi[4 * groups + 4 * g + k]);
+            let w3: [ShoupScalar; 4] = std::array::from_fn(|k| psi[4 * groups + 4 * g + k]);
             let mat = probe_matrix8(&m, |v| {
                 ct_stage(v, &m, 4, &[w1]);
                 ct_stage(v, &m, 2, &w2);
@@ -176,8 +177,7 @@ impl<'a> NttLowering<'a> {
         let t = 1usize << stage;
         let super_groups = n >> (stage + 3); // groups at stage+2
         for g in 0..super_groups {
-            let wa: [ShoupScalar; 4] =
-                std::array::from_fn(|k| psi[(n >> (stage + 1)) + 4 * g + k]);
+            let wa: [ShoupScalar; 4] = std::array::from_fn(|k| psi[(n >> (stage + 1)) + 4 * g + k]);
             let wb = [psi[(n >> (stage + 2)) + 2 * g], psi[(n >> (stage + 2)) + 2 * g + 1]];
             let wc = [psi[super_groups + g]];
             let mat = probe_matrix8(&m, |v| {

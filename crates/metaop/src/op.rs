@@ -50,22 +50,52 @@ pub enum OpClass {
     DecompPolyMult,
     /// Element-wise multiply/add/scale work that maps onto `(M_j A_j)_1 R_j`.
     Elementwise,
+    /// Pure data movement (HBM↔scratchpad staging) with no arithmetic: the
+    /// simulator's prefetch/writeback steps. Never appears in a
+    /// [`MetaOpTrace`]; it exists so data movement is not mislabeled as
+    /// element-wise compute in utilization breakdowns.
+    Transfer,
 }
 
 impl OpClass {
-    /// The canonical access pattern of this operator family (paper Table 4).
+    /// The canonical access pattern of this operator family (paper Table 4;
+    /// transfers stream contiguous slots).
     pub fn access_pattern(self) -> AccessPattern {
         match self {
             OpClass::Ntt => AccessPattern::Slots,
             OpClass::Bconv => AccessPattern::Channel,
             OpClass::DecompPolyMult => AccessPattern::DnumGroup,
             OpClass::Elementwise => AccessPattern::Slots,
+            OpClass::Transfer => AccessPattern::Slots,
         }
     }
 
     /// All classes, in display order.
-    pub fn all() -> [OpClass; 4] {
-        [OpClass::Ntt, OpClass::Bconv, OpClass::DecompPolyMult, OpClass::Elementwise]
+    pub fn all() -> [OpClass; 5] {
+        [
+            OpClass::Ntt,
+            OpClass::Bconv,
+            OpClass::DecompPolyMult,
+            OpClass::Elementwise,
+            OpClass::Transfer,
+        ]
+    }
+
+    /// The telemetry counter key for this class.
+    pub fn telemetry_key(self) -> telemetry::OpClassKey {
+        match self {
+            OpClass::Ntt => telemetry::OpClassKey::Ntt,
+            OpClass::Bconv => telemetry::OpClassKey::Bconv,
+            OpClass::DecompPolyMult => telemetry::OpClassKey::DecompPolyMult,
+            OpClass::Elementwise => telemetry::OpClassKey::Elementwise,
+            OpClass::Transfer => telemetry::OpClassKey::Transfer,
+        }
+    }
+}
+
+impl From<OpClass> for telemetry::OpClassKey {
+    fn from(class: OpClass) -> Self {
+        class.telemetry_key()
     }
 }
 
@@ -76,6 +106,7 @@ impl fmt::Display for OpClass {
             OpClass::Bconv => "bconv",
             OpClass::DecompPolyMult => "decomp_poly_mult",
             OpClass::Elementwise => "elementwise",
+            OpClass::Transfer => "transfer",
         };
         f.write_str(s)
     }
@@ -216,9 +247,35 @@ impl MetaOpTrace {
     }
 
     /// Fraction of cycles spent per class, in [`OpClass::all`] order.
-    pub fn class_mix(&self) -> [(OpClass, f64); 4] {
+    pub fn class_mix(&self) -> [(OpClass, f64); 5] {
         let total = self.total_cycles().max(1) as f64;
         OpClass::all().map(|c| (c, self.cycles_for(c) as f64 / total))
+    }
+
+    /// Reduction cycles the lazy Barrett accumulation avoided, relative to
+    /// eagerly reducing every product: `2(n-1)` per `(M_j A_j)_n R_j`
+    /// instance (eager `3n` vs lazy `n + 2` multiplier-array cycles).
+    pub fn reduction_cycles_saved(&self) -> u64 {
+        self.entries.iter().map(|&(op, c)| 2 * (op.n() as u64 - 1) * c).sum()
+    }
+
+    /// Flushes this trace's totals into telemetry counters: Meta-OPs
+    /// issued, multiplier-array cycles, and lazy-reduction savings, each
+    /// attributed to its operator class.
+    pub fn report_to(&self, tel: &telemetry::Telemetry) {
+        if !tel.is_enabled() {
+            return;
+        }
+        for &(op, count) in &self.entries {
+            let key = op.class().telemetry_key();
+            tel.count(telemetry::Metric::MetaOps, key, count);
+            tel.count(telemetry::Metric::MultCycles, key, op.cycles() * count);
+            tel.count(
+                telemetry::Metric::ReductionCyclesSaved,
+                key,
+                2 * (op.n() as u64 - 1) * count,
+            );
+        }
     }
 }
 
@@ -261,6 +318,32 @@ mod tests {
         let mix = t.class_mix();
         let sum: f64 = mix.iter().map(|(_, f)| f).sum();
         assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lazy_reduction_savings_follow_table2() {
+        // One op of length n saves 2(n-1) reduction cycles vs eager Barrett.
+        let mut t = MetaOpTrace::new();
+        t.record(MetaOp::new(OpClass::DecompPolyMult, 8, 4), 10);
+        t.record(MetaOp::new(OpClass::Elementwise, 8, 1), 5); // n=1: no saving
+        assert_eq!(t.reduction_cycles_saved(), 2 * 3 * 10);
+    }
+
+    #[test]
+    fn trace_reports_counters_to_telemetry() {
+        use telemetry::{Metric, OpClassKey};
+        let mut t = MetaOpTrace::new();
+        t.record(MetaOp::new(OpClass::Ntt, 8, 3), 4);
+        t.record(MetaOp::new(OpClass::Bconv, 8, 10), 2);
+        let tel = telemetry::Telemetry::enabled();
+        t.report_to(&tel);
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter(Metric::MetaOps, OpClassKey::Ntt), 4);
+        assert_eq!(snap.counter(Metric::MetaOps, OpClassKey::Bconv), 2);
+        assert_eq!(snap.counter(Metric::MultCycles, OpClassKey::Ntt), 5 * 4);
+        assert_eq!(snap.counter(Metric::ReductionCyclesSaved, OpClassKey::Bconv), 2 * 9 * 2);
+        // Disabled handles swallow everything for free.
+        t.report_to(&telemetry::Telemetry::disabled());
     }
 
     #[test]

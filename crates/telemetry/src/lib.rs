@@ -1,0 +1,454 @@
+//! Unified observability layer for the Alchemist workspace.
+//!
+//! Three ingredients, shared by the scheme layers, the Meta-OP lowerings,
+//! and the cycle simulator:
+//!
+//! * **Spans** — nested, named timing scopes. Wall-clock spans come from
+//!   [`Span::enter`] (scheme layers: `ckks.bootstrap.modraise`, …); the
+//!   simulator emits *virtual* spans on its own track via
+//!   [`VirtualTrack`], timed in simulated cycles (1 cycle = 1 ns at the
+//!   1 GHz design point) rather than host time.
+//! * **Counters** — typed accumulators keyed by [`Metric`] ×
+//!   [`OpClassKey`]: Meta-OPs issued, reduction cycles saved by lazy
+//!   Barrett accumulation, HBM/scratchpad traffic, add-only vs multiplier
+//!   cycles.
+//! * **Exporters** — a human-readable summary tree, machine-readable JSON,
+//!   and Chrome/Perfetto `trace_event` JSON that opens directly in
+//!   <https://ui.perfetto.dev> (see [`Snapshot`]).
+//!
+//! A [`Telemetry`] handle is cheap to clone and **free when disabled**: the
+//! disabled handle is `None` inside, so every call is a branch on a
+//! discriminant — no clock reads, no allocation, no locking. Code that
+//! cannot thread a handle explicitly (deep scheme internals) uses the
+//! process-global handle via [`install`] + [`Span::enter`], which is a
+//! single atomic load when nothing is installed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+mod snapshot;
+
+pub use snapshot::{CounterRow, Snapshot, SpanRow};
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Operator families tracked by the counters — the four Meta-OP classes of
+/// the paper's Table 1 plus explicit data movement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OpClassKey {
+    /// Number-theoretic transforms (radix-8/radix-4 Meta-OP blocks).
+    Ntt,
+    /// RNS base conversion (Modup/Moddown inner product).
+    Bconv,
+    /// Decomposed polynomial × key-switching-key MAC.
+    DecompPolyMult,
+    /// Element-wise multiply/add work.
+    Elementwise,
+    /// Pure data movement (HBM↔scratchpad staging), no arithmetic.
+    Transfer,
+}
+
+impl OpClassKey {
+    /// All keys, in display order.
+    pub const ALL: [OpClassKey; 5] = [
+        OpClassKey::Ntt,
+        OpClassKey::Bconv,
+        OpClassKey::DecompPolyMult,
+        OpClassKey::Elementwise,
+        OpClassKey::Transfer,
+    ];
+
+    /// Stable lower-case name used in every export format.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpClassKey::Ntt => "ntt",
+            OpClassKey::Bconv => "bconv",
+            OpClassKey::DecompPolyMult => "decomp_poly_mult",
+            OpClassKey::Elementwise => "elementwise",
+            OpClassKey::Transfer => "transfer",
+        }
+    }
+}
+
+/// What a counter measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Metric {
+    /// Meta-OPs `(M_j A_j)_n R_j` issued.
+    MetaOps,
+    /// Reduction cycles avoided by lazy Barrett accumulation relative to
+    /// eager per-product reduction (`2(n-1)` per Meta-OP of length `n`).
+    ReductionCyclesSaved,
+    /// Bytes moved over HBM.
+    HbmBytes,
+    /// Bytes moved through the on-chip scratchpad.
+    ScratchpadBytes,
+    /// Compute cycles on steps that never touch the multiplier array.
+    AddOnlyCycles,
+    /// Compute cycles on steps that use the multiplier array.
+    MultCycles,
+}
+
+impl Metric {
+    /// All metrics, in display order.
+    pub const ALL: [Metric; 6] = [
+        Metric::MetaOps,
+        Metric::ReductionCyclesSaved,
+        Metric::HbmBytes,
+        Metric::ScratchpadBytes,
+        Metric::AddOnlyCycles,
+        Metric::MultCycles,
+    ];
+
+    /// Stable lower-case name used in every export format.
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::MetaOps => "meta_ops",
+            Metric::ReductionCyclesSaved => "reduction_cycles_saved",
+            Metric::HbmBytes => "hbm_bytes",
+            Metric::ScratchpadBytes => "scratchpad_bytes",
+            Metric::AddOnlyCycles => "add_only_cycles",
+            Metric::MultCycles => "mult_cycles",
+        }
+    }
+}
+
+/// One recorded (possibly still open) span.
+#[derive(Debug, Clone)]
+pub(crate) struct EventRec {
+    pub name: String,
+    /// Export track: 0 and up for wall-clock threads, [`VIRTUAL_TID_BASE`]
+    /// and up for virtual tracks.
+    pub tid: u64,
+    pub start_ns: u64,
+    pub dur_ns: Option<u64>,
+    pub parent: Option<usize>,
+}
+
+/// Virtual tracks (simulated time) start here to keep them visually apart
+/// from wall-clock threads in trace viewers.
+pub(crate) const VIRTUAL_TID_BASE: u64 = 1000;
+
+#[derive(Default)]
+struct State {
+    events: Vec<EventRec>,
+    counters: std::collections::BTreeMap<(Metric, OpClassKey), u64>,
+    /// Per-thread open-span stacks (indices into `events`).
+    stacks: HashMap<u64, Vec<usize>>,
+    thread_ids: HashMap<std::thread::ThreadId, u64>,
+    next_tid: u64,
+    next_virtual_tid: u64,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    epoch: Instant,
+}
+
+/// A cloneable recording handle. Disabled handles are free no-ops.
+#[derive(Clone)]
+pub struct Telemetry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry").field("enabled", &self.is_enabled()).finish()
+    }
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::disabled()
+    }
+}
+
+impl Telemetry {
+    /// A recording handle.
+    pub fn enabled() -> Self {
+        Telemetry {
+            inner: Some(Arc::new(Inner {
+                state: Mutex::new(State { next_virtual_tid: VIRTUAL_TID_BASE, ..State::default() }),
+                epoch: Instant::now(),
+            })),
+        }
+    }
+
+    /// A handle on which every operation is a no-op.
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// Whether this handle records anything.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Adds `amount` to the `(metric, class)` counter.
+    #[inline]
+    pub fn count(&self, metric: Metric, class: OpClassKey, amount: u64) {
+        let Some(inner) = &self.inner else { return };
+        if amount == 0 {
+            return;
+        }
+        let mut st = inner.state.lock().expect("telemetry state poisoned");
+        *st.counters.entry((metric, class)).or_insert(0) += amount;
+    }
+
+    /// Opens a wall-clock span on the current thread. Close by dropping.
+    #[inline]
+    pub fn span(&self, name: &str) -> SpanGuard {
+        let Some(inner) = &self.inner else {
+            return SpanGuard { rec: None };
+        };
+        let start_ns = inner.epoch.elapsed().as_nanos() as u64;
+        let mut st = inner.state.lock().expect("telemetry state poisoned");
+        let tid = match st.thread_ids.get(&std::thread::current().id()) {
+            Some(&t) => t,
+            None => {
+                let t = st.next_tid;
+                st.next_tid += 1;
+                st.thread_ids.insert(std::thread::current().id(), t);
+                t
+            }
+        };
+        let parent = st.stacks.get(&tid).and_then(|s| s.last().copied());
+        let idx = st.events.len();
+        st.events.push(EventRec { name: name.to_string(), tid, start_ns, dur_ns: None, parent });
+        st.stacks.entry(tid).or_default().push(idx);
+        SpanGuard { rec: Some((Arc::clone(inner), idx, tid)) }
+    }
+
+    /// Opens a virtual-time track (e.g. one simulator run). Timestamps on
+    /// the track are caller-supplied nanoseconds of *simulated* time.
+    pub fn virtual_track(&self) -> VirtualTrack {
+        let Some(inner) = &self.inner else {
+            return VirtualTrack { rec: None, stack: Vec::new() };
+        };
+        let mut st = inner.state.lock().expect("telemetry state poisoned");
+        let tid = st.next_virtual_tid;
+        st.next_virtual_tid += 1;
+        VirtualTrack { rec: Some((Arc::clone(inner), tid)), stack: Vec::new() }
+    }
+
+    /// An immutable copy of everything recorded so far. Open spans are
+    /// included with the duration they have accumulated at this instant.
+    pub fn snapshot(&self) -> Snapshot {
+        let Some(inner) = &self.inner else {
+            return Snapshot::empty();
+        };
+        let now_ns = inner.epoch.elapsed().as_nanos() as u64;
+        let st = inner.state.lock().expect("telemetry state poisoned");
+        Snapshot::build(&st.events, &st.counters, now_ns)
+    }
+}
+
+/// Closes its span when dropped.
+pub struct SpanGuard {
+    rec: Option<(Arc<Inner>, usize, u64)>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some((inner, idx, tid)) = self.rec.take() else { return };
+        let end_ns = inner.epoch.elapsed().as_nanos() as u64;
+        let mut st = inner.state.lock().expect("telemetry state poisoned");
+        let start = st.events[idx].start_ns;
+        st.events[idx].dur_ns = Some(end_ns.saturating_sub(start));
+        if let Some(stack) = st.stacks.get_mut(&tid) {
+            // Out-of-order guard drops (e.g. explicit `drop`) still unwind
+            // correctly: remove this index wherever it sits.
+            if let Some(pos) = stack.iter().rposition(|&i| i == idx) {
+                stack.remove(pos);
+            }
+        }
+    }
+}
+
+/// Entry point used by code that does not thread a handle explicitly:
+/// `let _s = Span::enter("ckks.bootstrap.modup");`.
+pub struct Span;
+
+impl Span {
+    /// Opens a span on the process-global handle (no-op until [`install`]
+    /// has been called with an enabled handle).
+    #[inline]
+    pub fn enter(name: &str) -> SpanGuard {
+        match global() {
+            Some(tel) => tel.span(name),
+            None => SpanGuard { rec: None },
+        }
+    }
+}
+
+/// A track of spans in *virtual* (simulated) time. The caller supplies
+/// every timestamp; nesting follows the open/close call order.
+pub struct VirtualTrack {
+    rec: Option<(Arc<Inner>, u64)>,
+    stack: Vec<usize>,
+}
+
+impl VirtualTrack {
+    /// Opens a nested span starting at `start_ns` of virtual time.
+    pub fn open(&mut self, name: &str, start_ns: u64) {
+        let Some((inner, tid)) = &self.rec else { return };
+        let mut st = inner.state.lock().expect("telemetry state poisoned");
+        let idx = st.events.len();
+        st.events.push(EventRec {
+            name: name.to_string(),
+            tid: *tid,
+            start_ns,
+            dur_ns: None,
+            parent: self.stack.last().copied(),
+        });
+        self.stack.push(idx);
+    }
+
+    /// Closes the innermost open span at `end_ns` of virtual time.
+    pub fn close(&mut self, end_ns: u64) {
+        let Some((inner, _)) = &self.rec else { return };
+        let Some(idx) = self.stack.pop() else { return };
+        let mut st = inner.state.lock().expect("telemetry state poisoned");
+        let start = st.events[idx].start_ns;
+        st.events[idx].dur_ns = Some(end_ns.saturating_sub(start));
+    }
+
+    /// Records a complete child span under the innermost open span.
+    pub fn leaf(&mut self, name: &str, start_ns: u64, dur_ns: u64) {
+        let Some((inner, tid)) = &self.rec else { return };
+        let mut st = inner.state.lock().expect("telemetry state poisoned");
+        st.events.push(EventRec {
+            name: name.to_string(),
+            tid: *tid,
+            start_ns,
+            dur_ns: Some(dur_ns),
+            parent: self.stack.last().copied(),
+        });
+    }
+}
+
+static GLOBAL: OnceLock<Telemetry> = OnceLock::new();
+
+/// Installs the process-global handle used by [`Span::enter`]. The first
+/// installation wins; later calls return `false` and change nothing (a
+/// process records one session).
+pub fn install(tel: Telemetry) -> bool {
+    GLOBAL.set(tel).is_ok()
+}
+
+/// The installed global handle, if any.
+pub fn global() -> Option<Telemetry> {
+    GLOBAL.get().cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_records_nothing() {
+        let tel = Telemetry::disabled();
+        {
+            let _s = tel.span("never");
+            tel.count(Metric::MetaOps, OpClassKey::Ntt, 7);
+        }
+        let snap = tel.snapshot();
+        assert!(snap.spans().is_empty());
+        assert!(snap.counters().is_empty());
+    }
+
+    #[test]
+    fn disabled_handle_is_cheap() {
+        // Sanity bound, not a benchmark: 10M no-op counts must be far under
+        // a second — they are a discriminant check each.
+        let tel = Telemetry::disabled();
+        let start = Instant::now();
+        for i in 0..10_000_000u64 {
+            tel.count(Metric::MetaOps, OpClassKey::Ntt, i & 1);
+        }
+        assert!(start.elapsed().as_secs_f64() < 2.0);
+    }
+
+    #[test]
+    fn spans_nest_by_call_order() {
+        let tel = Telemetry::enabled();
+        {
+            let _outer = tel.span("outer");
+            {
+                let _inner = tel.span("inner");
+            }
+            let _sibling = tel.span("sibling");
+        }
+        let snap = tel.snapshot();
+        let spans = snap.spans();
+        assert_eq!(spans.len(), 3);
+        let outer = spans.iter().position(|s| s.name == "outer").unwrap();
+        let inner = &spans[spans.iter().position(|s| s.name == "inner").unwrap()];
+        let sibling = &spans[spans.iter().position(|s| s.name == "sibling").unwrap()];
+        assert_eq!(inner.parent, Some(outer));
+        assert_eq!(sibling.parent, Some(outer));
+        assert_eq!(spans[outer].parent, None);
+        assert!(inner.dur_ns <= spans[outer].dur_ns);
+        // Start order: outer <= inner <= sibling.
+        assert!(spans[outer].start_ns <= inner.start_ns);
+        assert!(inner.start_ns <= sibling.start_ns);
+    }
+
+    #[test]
+    fn counters_aggregate_across_threads() {
+        let tel = Telemetry::enabled();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let tel = tel.clone();
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        tel.count(Metric::MetaOps, OpClassKey::Bconv, 1);
+                        tel.count(Metric::HbmBytes, OpClassKey::Transfer, 64);
+                    }
+                    let _s = tel.span(&format!("worker-{t}"));
+                });
+            }
+        });
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter(Metric::MetaOps, OpClassKey::Bconv), 4000);
+        assert_eq!(snap.counter(Metric::HbmBytes, OpClassKey::Transfer), 256_000);
+        // Each worker thread got its own track.
+        let tids: std::collections::BTreeSet<u64> = snap.spans().iter().map(|s| s.tid).collect();
+        assert_eq!(tids.len(), 4);
+    }
+
+    #[test]
+    fn virtual_track_uses_caller_time() {
+        let tel = Telemetry::enabled();
+        let mut track = tel.virtual_track();
+        track.open("sim.run", 0);
+        track.leaf("step-a", 0, 100);
+        track.leaf("step-b", 100, 150);
+        track.close(250);
+        let snap = tel.snapshot();
+        let root = snap.spans().iter().find(|s| s.name == "sim.run").unwrap();
+        assert_eq!(root.dur_ns, 250);
+        assert!(root.tid >= VIRTUAL_TID_BASE);
+        let b = snap.spans().iter().find(|s| s.name == "step-b").unwrap();
+        assert_eq!((b.start_ns, b.dur_ns), (100, 150));
+    }
+
+    #[test]
+    fn global_install_wins_once() {
+        // Single test touching the global: install an enabled handle, use
+        // Span::enter, then verify a second install is rejected.
+        let tel = Telemetry::enabled();
+        let first = install(tel.clone());
+        {
+            let _s = Span::enter("global.scope");
+        }
+        if first {
+            assert!(!install(Telemetry::disabled()));
+            let snap = tel.snapshot();
+            assert!(snap.spans().iter().any(|s| s.name == "global.scope"));
+        }
+    }
+}

@@ -1,0 +1,342 @@
+//! Immutable views of recorded telemetry and the three exporters.
+
+use crate::json::{write_escaped, write_f64};
+use crate::{EventRec, Metric, OpClassKey, VIRTUAL_TID_BASE};
+use std::collections::BTreeMap;
+
+/// One finished (or still-open, duration-so-far) span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRow {
+    /// Span name, e.g. `ckks.bootstrap.coeff_to_slot`.
+    pub name: String,
+    /// Track id. Wall-clock threads count from 0; virtual (simulated-time)
+    /// tracks count from 1000.
+    pub tid: u64,
+    /// Start offset in nanoseconds (wall time from the handle's creation,
+    /// or virtual time as supplied by the emitter).
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Index of the parent span within [`Snapshot::spans`].
+    pub parent: Option<usize>,
+}
+
+impl SpanRow {
+    /// Whether this span lives on a virtual (simulated-time) track.
+    pub fn is_virtual(&self) -> bool {
+        self.tid >= VIRTUAL_TID_BASE
+    }
+}
+
+/// One counter cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterRow {
+    /// What is being counted.
+    pub metric: Metric,
+    /// Which operator family it is attributed to.
+    pub class: OpClassKey,
+    /// Accumulated value.
+    pub value: u64,
+}
+
+/// A point-in-time copy of everything a [`crate::Telemetry`] handle has
+/// recorded, with export methods.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    spans: Vec<SpanRow>,
+    counters: Vec<CounterRow>,
+}
+
+impl Snapshot {
+    pub(crate) fn empty() -> Self {
+        Snapshot::default()
+    }
+
+    pub(crate) fn build(
+        events: &[EventRec],
+        counters: &BTreeMap<(Metric, OpClassKey), u64>,
+        now_ns: u64,
+    ) -> Self {
+        let spans = events
+            .iter()
+            .map(|e| SpanRow {
+                name: e.name.clone(),
+                tid: e.tid,
+                start_ns: e.start_ns,
+                dur_ns: e.dur_ns.unwrap_or_else(|| now_ns.saturating_sub(e.start_ns)),
+                parent: e.parent,
+            })
+            .collect();
+        let counters = counters
+            .iter()
+            .map(|(&(metric, class), &value)| CounterRow { metric, class, value })
+            .collect();
+        Snapshot { spans, counters }
+    }
+
+    /// All spans, in recording order (parents precede children).
+    pub fn spans(&self) -> &[SpanRow] {
+        &self.spans
+    }
+
+    /// All non-zero counters, sorted by (metric, class).
+    pub fn counters(&self) -> &[CounterRow] {
+        &self.counters
+    }
+
+    /// The value of one counter cell (0 when never touched).
+    pub fn counter(&self, metric: Metric, class: OpClassKey) -> u64 {
+        self.counters.iter().find(|c| c.metric == metric && c.class == class).map_or(0, |c| c.value)
+    }
+
+    /// Sum of one metric across all operator classes.
+    pub fn counter_total(&self, metric: Metric) -> u64 {
+        self.counters.iter().filter(|c| c.metric == metric).map(|c| c.value).sum()
+    }
+
+    /// Renders a human-readable tree: spans indented by nesting, identical
+    /// siblings merged (`×N`), followed by a counter table.
+    pub fn summary_tree(&self) -> String {
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); self.spans.len()];
+        let mut roots: Vec<usize> = Vec::new();
+        for (i, s) in self.spans.iter().enumerate() {
+            match s.parent {
+                Some(p) => children[p].push(i),
+                None => roots.push(i),
+            }
+        }
+        let mut out = String::new();
+        let mut tracks: Vec<u64> = self
+            .spans
+            .iter()
+            .map(|s| s.tid)
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        tracks.sort_unstable();
+        for tid in tracks {
+            let unit = if tid >= VIRTUAL_TID_BASE { "virtual" } else { "wall" };
+            out.push_str(&format!("track {tid} ({unit} time)\n"));
+            let track_roots: Vec<usize> =
+                roots.iter().copied().filter(|&i| self.spans[i].tid == tid).collect();
+            self.render_level(&mut out, &track_roots, &children, 1);
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counters\n");
+            for c in &self.counters {
+                out.push_str(&format!(
+                    "  {:<24} {:<18} {}\n",
+                    c.metric.name(),
+                    c.class.name(),
+                    c.value
+                ));
+            }
+        }
+        out
+    }
+
+    fn render_level(
+        &self,
+        out: &mut String,
+        level: &[usize],
+        children: &Vec<Vec<usize>>,
+        depth: usize,
+    ) {
+        // Merge runs of identically-named siblings into one `×N` line.
+        let mut i = 0;
+        while i < level.len() {
+            let name = &self.spans[level[i]].name;
+            let mut j = i;
+            let mut total_ns = 0u64;
+            while j < level.len() && self.spans[level[j]].name == *name {
+                total_ns += self.spans[level[j]].dur_ns;
+                j += 1;
+            }
+            let count = j - i;
+            let suffix = if count > 1 { format!("  ×{count}") } else { String::new() };
+            out.push_str(&format!(
+                "{}{}  {}{}\n",
+                "  ".repeat(depth),
+                name,
+                fmt_ns(total_ns),
+                suffix
+            ));
+            // Recurse into the first representative's children only when
+            // unmerged; for merged runs, aggregate their children too.
+            let mut merged_children: Vec<usize> = Vec::new();
+            for &k in &level[i..j] {
+                merged_children.extend_from_slice(&children[k]);
+            }
+            if !merged_children.is_empty() {
+                self.render_level(out, &merged_children, children, depth + 1);
+            }
+            i = j;
+        }
+    }
+
+    /// Machine-readable JSON: `{"spans": [...], "counters": [...]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"spans\":[");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            write_escaped(&mut out, &s.name);
+            out.push_str(&format!(
+                ",\"tid\":{},\"start_ns\":{},\"dur_ns\":{},\"parent\":",
+                s.tid, s.start_ns, s.dur_ns
+            ));
+            match s.parent {
+                Some(p) => out.push_str(&p.to_string()),
+                None => out.push_str("null"),
+            }
+            out.push('}');
+        }
+        out.push_str("],\"counters\":[");
+        for (i, c) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"metric\":");
+            write_escaped(&mut out, c.metric.name());
+            out.push_str(",\"class\":");
+            write_escaped(&mut out, c.class.name());
+            out.push_str(&format!(",\"value\":{}}}", c.value));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Chrome `trace_event` JSON (the Perfetto legacy format): complete
+    /// (`"ph":"X"`) events with microsecond timestamps, plus counter
+    /// (`"ph":"C"`) events. Open the file directly in
+    /// <https://ui.perfetto.dev> or `chrome://tracing`.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[");
+        out.push_str(
+            "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\
+             \"args\":{\"name\":\"alchemist\"}}",
+        );
+        for s in &self.spans {
+            out.push_str(",{\"ph\":\"X\",\"pid\":1,\"tid\":");
+            out.push_str(&s.tid.to_string());
+            out.push_str(",\"ts\":");
+            write_f64(&mut out, s.start_ns as f64 / 1000.0);
+            out.push_str(",\"dur\":");
+            write_f64(&mut out, s.dur_ns as f64 / 1000.0);
+            out.push_str(",\"cat\":");
+            write_escaped(&mut out, if s.is_virtual() { "simulated" } else { "wall" });
+            out.push_str(",\"name\":");
+            write_escaped(&mut out, &s.name);
+            out.push_str(",\"args\":{}}");
+        }
+        for c in &self.counters {
+            out.push_str(",{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":0,\"name\":");
+            write_escaped(&mut out, &format!("{}.{}", c.metric.name(), c.class.name()));
+            out.push_str(&format!(",\"args\":{{\"value\":{}}}}}", c.value));
+        }
+        out.push_str("],\"displayTimeUnit\":\"ns\"}");
+        out
+    }
+
+    /// Writes [`Self::to_chrome_trace`] to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_chrome_trace(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_chrome_trace())
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, Json};
+    use crate::Telemetry;
+
+    fn sample() -> Telemetry {
+        let tel = Telemetry::enabled();
+        let mut track = tel.virtual_track();
+        track.open("sim.run", 0);
+        for i in 0..3 {
+            track.leaf("step", i * 100, 100);
+        }
+        track.close(300);
+        tel.count(Metric::MetaOps, OpClassKey::Ntt, 42);
+        tel.count(Metric::HbmBytes, OpClassKey::Transfer, 4096);
+        tel
+    }
+
+    #[test]
+    fn json_export_parses_back() {
+        let snap = sample().snapshot();
+        let doc = parse(&snap.to_json()).expect("self-produced JSON must parse");
+        let spans = doc.get("spans").unwrap().as_arr().unwrap();
+        assert_eq!(spans.len(), 4);
+        assert_eq!(spans[0].get("name").unwrap().as_str(), Some("sim.run"));
+        let counters = doc.get("counters").unwrap().as_arr().unwrap();
+        assert_eq!(counters.len(), 2);
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_trace_event_json() {
+        // Golden-structure test: parse the export back and check the
+        // trace_event contract Perfetto relies on.
+        let snap = sample().snapshot();
+        let doc = parse(&snap.to_chrome_trace()).expect("trace must be valid JSON");
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        // 1 metadata + 4 spans + 2 counters.
+        assert_eq!(events.len(), 7);
+        for ev in events {
+            let ph = ev.get("ph").unwrap().as_str().unwrap();
+            assert!(matches!(ph, "M" | "X" | "C"), "unexpected phase {ph}");
+            assert!(ev.get("pid").is_some() && ev.get("name").is_some());
+            if ph == "X" {
+                assert!(ev.get("ts").unwrap().as_f64().is_some());
+                assert!(ev.get("dur").unwrap().as_f64().unwrap() >= 0.0);
+            }
+        }
+        // Root simulated span: 300 ns = 0.3 us.
+        let root = events
+            .iter()
+            .find(|e| e.get("name").map(|n| n.as_str()) == Some(Some("sim.run")))
+            .unwrap();
+        assert!((root.get("dur").unwrap().as_f64().unwrap() - 0.3).abs() < 1e-9);
+        assert_eq!(root.get("cat").unwrap().as_str(), Some("simulated"));
+    }
+
+    #[test]
+    fn summary_tree_merges_repeated_siblings() {
+        let text = sample().snapshot().summary_tree();
+        assert!(text.contains("sim.run"), "{text}");
+        assert!(text.contains("×3"), "{text}");
+        assert!(text.contains("meta_ops"), "{text}");
+        assert!(text.contains("hbm_bytes"), "{text}");
+    }
+
+    #[test]
+    fn counter_accessors_agree() {
+        let snap = sample().snapshot();
+        assert_eq!(snap.counter(Metric::MetaOps, OpClassKey::Ntt), 42);
+        assert_eq!(snap.counter(Metric::MetaOps, OpClassKey::Bconv), 0);
+        assert_eq!(snap.counter_total(Metric::HbmBytes), 4096);
+        match parse(&snap.to_json()).unwrap() {
+            Json::Obj(_) => {}
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+}

@@ -36,29 +36,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let t0 = std::time::Instant::now();
     let refreshed = boot.bootstrap(&ev, &enc, &exhausted, &rlk, &gk)?;
-    println!(
-        "bootstrap done in {:?}: level 0 -> level {}",
-        t0.elapsed(),
-        refreshed.level()
-    );
+    println!("bootstrap done in {:?}: level 0 -> level {}", t0.elapsed(), refreshed.level());
 
     let back = enc.decode(&sk.decrypt(&refreshed)?)?;
-    let max_err = values
-        .iter()
-        .zip(&back)
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0f64, f64::max);
+    let max_err = values.iter().zip(&back).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
     println!("max slot error after refresh: {max_err:.4}");
     assert!(max_err < 0.05, "bootstrap precision degraded");
 
     // Prove the refreshed levels are usable: square the refreshed value.
     let squared = ev.rescale(&ev.mul(&refreshed, &refreshed, &rlk)?)?;
     let sq = enc.decode(&sk.decrypt(&squared)?)?;
-    let sq_err = values
-        .iter()
-        .zip(&sq)
-        .map(|(a, b)| (a * a - b).abs())
-        .fold(0.0f64, f64::max);
+    let sq_err = values.iter().zip(&sq).map(|(a, b)| (a * a - b).abs()).fold(0.0f64, f64::max);
     println!("post-bootstrap multiply: max error {sq_err:.4}");
     assert!(sq_err < 0.05);
 

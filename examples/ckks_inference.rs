@@ -8,7 +8,9 @@
 //! ```
 
 use alchemist::ckks::workloads::MlpModel;
-use alchemist::ckks::{CkksContext, CkksParams, Encoder, Evaluator, GaloisKeys, RelinKey, SecretKey};
+use alchemist::ckks::{
+    CkksContext, CkksParams, Encoder, Evaluator, GaloisKeys, RelinKey, SecretKey,
+};
 use alchemist::sim::{workloads, ArchConfig, Simulator};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -37,23 +39,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let got = enc.decode(&sk.decrypt(&out_ct)?)?;
     let want = model.infer_plain(&image);
-    let max_err = got
-        .iter()
-        .zip(&want)
-        .map(|(g, w)| (g - w).abs())
-        .fold(0.0f64, f64::max);
-    let pred_enc = got
-        .iter()
-        .take(10)
-        .enumerate()
-        .max_by(|a, b| a.1.total_cmp(b.1))
-        .map(|(i, _)| i);
-    let pred_plain = want
-        .iter()
-        .take(10)
-        .enumerate()
-        .max_by(|a, b| a.1.total_cmp(b.1))
-        .map(|(i, _)| i);
+    let max_err = got.iter().zip(&want).map(|(g, w)| (g - w).abs()).fold(0.0f64, f64::max);
+    let pred_enc =
+        got.iter().take(10).enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i);
+    let pred_plain =
+        want.iter().take(10).enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i);
 
     println!("  software inference time : {cpu_time:?}");
     println!("  max slot error          : {max_err:.4}");

@@ -38,9 +38,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sum = enc.decode(&sk.decrypt(&ev.add(&ct_x, &ct_y)?)?)?;
     let prod = enc.decode(&sk.decrypt(&ev.rescale(&ev.mul(&ct_x, &ct_y, &rlk)?)?)?)?;
     let rot = enc.decode(&sk.decrypt(&ev.rotate(&ct_x, 1, &gk)?)?)?;
-    println!("  x + y      = {:?}", &sum[..4].iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>());
-    println!("  x * y      = {:?}", &prod[..4].iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>());
-    println!("  rot(x, 1)  = {:?}", &rot[..4].iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>());
+    println!(
+        "  x + y      = {:?}",
+        &sum[..4].iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>()
+    );
+    println!(
+        "  x * y      = {:?}",
+        &prod[..4].iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>()
+    );
+    println!(
+        "  rot(x, 1)  = {:?}",
+        &rot[..4].iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>()
+    );
 
     // --- 2. Logic FHE (TFHE) --------------------------------------------
     println!("\n== TFHE (logic FHE) ==");

@@ -25,19 +25,12 @@ fn full_adder(
     Ok((sum, carry_out))
 }
 
-fn encrypt_nibble(
-    client: &ClientKey,
-    value: u8,
-    rng: &mut ChaCha8Rng,
-) -> Vec<LweCiphertext> {
+fn encrypt_nibble(client: &ClientKey, value: u8, rng: &mut ChaCha8Rng) -> Vec<LweCiphertext> {
     (0..4).map(|i| client.encrypt_bit(value >> i & 1 == 1, rng)).collect()
 }
 
 fn decrypt_nibble(client: &ClientKey, bits: &[LweCiphertext]) -> u8 {
-    bits.iter()
-        .enumerate()
-        .map(|(i, ct)| (client.decrypt_bit(ct) as u8) << i)
-        .sum()
+    bits.iter().enumerate().map(|(i, ct)| (client.decrypt_bit(ct) as u8) << i).sum()
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -62,8 +55,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     sum_bits.push(carry);
     let elapsed = t0.elapsed();
 
-    let sum = decrypt_nibble(&client, &sum_bits[..4])
-        + ((client.decrypt_bit(&sum_bits[4]) as u8) << 4);
+    let sum =
+        decrypt_nibble(&client, &sum_bits[..4]) + ((client.decrypt_bit(&sum_bits[4]) as u8) << 4);
     println!("encrypted {x} + {y} = {sum} ({} bootstrapped gates in {elapsed:?})", 4 * 5 + 1);
     assert_eq!(sum, x + y);
 

@@ -14,16 +14,19 @@
 //! * [`sim`] — the cycle-level Alchemist accelerator simulator
 //!   ([`alchemist_core`]),
 //! * [`baselines`] — CPU reference and modularized-accelerator comparators,
-//! * [`bridge`] — CKKS→TFHE ciphertext switching ([`scheme_bridge`]).
+//! * [`bridge`] — CKKS→TFHE ciphertext switching ([`scheme_bridge`]),
+//! * [`telemetry`] — spans, Meta-OP counters, and trace export
+//!   (summary tree / JSON / Perfetto).
 //!
 //! See `examples/quickstart.rs` for a guided tour and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the paper-reproduction map.
 
 pub use alchemist_core as sim;
 pub use baselines;
-pub use scheme_bridge as bridge;
 pub use fhe_bgv as bgv;
 pub use fhe_ckks as ckks;
 pub use fhe_math as math;
 pub use fhe_tfhe as tfhe;
 pub use metaop;
+pub use scheme_bridge as bridge;
+pub use telemetry;

@@ -3,11 +3,11 @@
 //! graphs flow from the functional code through the lowering into the
 //! cycle model.
 
+use alchemist::baselines::modular::WorkProfile;
 use alchemist::math::{generate_ntt_primes, Modulus, NttTable};
 use alchemist::metaop::ntt::NttLowering;
 use alchemist::metaop::{MetaOpTrace, OpClass};
 use alchemist::sim::{workloads, ArchConfig, Simulator};
-use alchemist::baselines::modular::WorkProfile;
 
 #[test]
 fn metaop_lowering_exact_at_production_sizes() {

@@ -18,8 +18,7 @@ fn encrypted_mlp_inference_matches_plaintext() {
     let enc = Encoder::new(&ctx);
     let ev = Evaluator::new(&ctx);
     let model = MlpModel::random(enc.slots(), &mut rng);
-    let gk =
-        GaloisKeys::generate(&ctx, &sk, &model.required_rotations(), false, &mut rng).unwrap();
+    let gk = GaloisKeys::generate(&ctx, &sk, &model.required_rotations(), false, &mut rng).unwrap();
     let x: Vec<f64> = (0..enc.slots()).map(|i| ((i % 11) as f64 - 5.0) / 8.0).collect();
     let ct = sk.encrypt(&ctx, &enc.encode(&x).unwrap(), &mut rng).unwrap();
     let out = model.infer_encrypted(&ev, &enc, &ct, &gk, &rlk).unwrap();
@@ -41,8 +40,7 @@ fn helr_training_improves_loss_over_iterations() {
     let enc = Encoder::new(&ctx);
     let ev = Evaluator::new(&ctx);
     let iter = HelrIteration::random(enc.slots(), &mut rng);
-    let gk =
-        GaloisKeys::generate(&ctx, &sk, &iter.required_rotations(), false, &mut rng).unwrap();
+    let gk = GaloisKeys::generate(&ctx, &sk, &iter.required_rotations(), false, &mut rng).unwrap();
 
     let w0 = vec![0.0f64; enc.slots()];
     let mut ct_w = sk.encrypt(&ctx, &enc.encode(&w0).unwrap(), &mut rng).unwrap();
@@ -51,11 +49,8 @@ fn helr_training_improves_loss_over_iterations() {
         ct_w = iter.step_encrypted(&ev, &enc, &ct_w, &gk, &rlk).unwrap();
         w_plain = iter.step_plain(&w_plain);
         let w_enc = enc.decode(&sk.decrypt(&ct_w).unwrap()).unwrap();
-        let max_diff = w_enc
-            .iter()
-            .zip(&w_plain)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f64, f64::max);
+        let max_diff =
+            w_enc.iter().zip(&w_plain).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
         assert!(max_diff < 0.05 * (step + 1) as f64, "step {step}: drift {max_diff}");
     }
     // The weights must have moved (training happened).

@@ -106,12 +106,9 @@ fn claim_fig6a_perf_per_area() {
     let bp = WorkProfile::from_steps(&boot);
     let hp = WorkProfile::from_steps(&helr);
     let mut total = 0.0;
-    for d in [
-        alchemist::baselines::designs::BTS,
-        alchemist::baselines::designs::ARK,
-        CRATERLAKE,
-        SHARP,
-    ] {
+    for d in
+        [alchemist::baselines::designs::BTS, alchemist::baselines::designs::ARK, CRATERLAKE, SHARP]
+    {
         let speedup =
             (d.simulate(&bp).seconds / ours_boot + d.simulate(&hp).seconds / ours_helr) / 2.0;
         total += speedup * d.area_14nm_mm2 / our_area;
@@ -142,10 +139,7 @@ fn claim_fig6b_tfhe_asic_speedup() {
 fn claim_dse_selects_the_papers_design_point() {
     // j = 8 lanes and slot-based partitioning win perf/area (§4.2, §5.3).
     let lanes = dse::lane_sweep();
-    let best = lanes
-        .iter()
-        .max_by(|a, b| a.perf_per_area().total_cmp(&b.perf_per_area()))
-        .unwrap();
+    let best = lanes.iter().max_by(|a, b| a.perf_per_area().total_cmp(&b.perf_per_area())).unwrap();
     assert_eq!(best.label, "j=8");
     let parts = dse::partitioning_ablation();
     assert!(parts[0].perf_per_area() > parts[1].perf_per_area());
