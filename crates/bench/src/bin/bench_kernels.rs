@@ -1,0 +1,252 @@
+//! Reproducible sequential-vs-parallel baseline for the hot kernels the
+//! `parallel` feature accelerates: RNS NTT round-trips, Modup, Moddown and
+//! the CKKS mul+rescale pipeline.
+//!
+//! Both modes run in the same process: the sequential column pins the
+//! backend to one thread with [`fhe_math::par::set_max_threads`]`(1)`, the
+//! parallel column restores the auto budget (one worker per core). Outputs
+//! a table (or `--json` document) on stdout and always writes the raw
+//! measurements to `BENCH_kernels.json` (`--out <path>` overrides), so the
+//! committed baseline can be regenerated with:
+//!
+//! ```text
+//! cargo run --release -p bench --bin bench_kernels
+//! ```
+//!
+//! `--smoke` shrinks the sweep to one toy size with one iteration — the CI
+//! job uses it to prove the binary stays runnable, not to measure.
+
+use std::time::Instant;
+
+use bench::{fmt_time, BenchArgs, Reporter};
+use fhe_ckks::{CkksContext, CkksParams, Encoder, Evaluator, RelinKey, SecretKey};
+use fhe_math::{generate_ntt_primes, par, Modulus, Poly, RnsBasis, RnsContext, RnsPoly};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use telemetry::json::Json;
+
+/// Total RNS channels for the raw-kernel sweeps (6 ciphertext + 2 special).
+const CHANNELS: usize = 8;
+/// Channels in the Modup source digit.
+const DIGIT: usize = 3;
+/// Special channels for Moddown.
+const SPECIALS: usize = 2;
+
+struct Measurement {
+    kernel: &'static str,
+    n: usize,
+    channels: usize,
+    seq_s: f64,
+    par_s: f64,
+}
+
+impl Measurement {
+    fn speedup(&self) -> f64 {
+        self.seq_s / self.par_s
+    }
+}
+
+/// Best-of-`iters` wall time of `f`, with one untimed warm-up call.
+fn time_best<F: FnMut()>(iters: usize, mut f: F) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Runs `f` once per mode (sequential, then parallel) and returns both
+/// best times. Restores the auto thread budget afterwards.
+fn seq_vs_par<F: FnMut()>(iters: usize, mut f: F) -> (f64, f64) {
+    par::set_max_threads(1);
+    let seq = time_best(iters, &mut f);
+    par::set_max_threads(0);
+    let par_t = time_best(iters, &mut f);
+    (seq, par_t)
+}
+
+/// Deterministic pseudo-random residues for channel `c` of a degree-`n`
+/// poly (no RNG dependency in the timing loop).
+fn fill(n: usize, c: usize, m: Modulus) -> Vec<u64> {
+    (0..n)
+        .map(|i| m.reduce((i as u64 ^ (c as u64) << 32).wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+        .collect()
+}
+
+fn rns_kernels(n: usize, iters: usize, out: &mut Vec<Measurement>) {
+    let primes = generate_ntt_primes(50, n, CHANNELS).expect("enough 50-bit NTT primes");
+    let moduli: Vec<Modulus> = primes.iter().map(|&q| Modulus::new(q).expect("prime")).collect();
+    let ctx = RnsContext::new(n, RnsBasis::new(moduli.clone()).expect("basis")).expect("context");
+
+    // NTT round-trip over all channels.
+    let channels: Vec<Poly> = moduli
+        .iter()
+        .enumerate()
+        .map(|(c, &m)| Poly::from_coeffs(fill(n, c, m), m).expect("canonical"))
+        .collect();
+    let mut poly = RnsPoly::from_channels(channels).expect("rns poly");
+    let (seq, par_t) = seq_vs_par(iters, || {
+        poly.to_ntt(ctx.tables());
+        poly.to_coeff(ctx.tables());
+    });
+    out.push(Measurement {
+        kernel: "ntt_roundtrip",
+        n,
+        channels: CHANNELS,
+        seq_s: seq,
+        par_s: par_t,
+    });
+
+    // Modup: DIGIT source channels onto the remaining channels.
+    let src_idx: Vec<usize> = (0..DIGIT).collect();
+    let dst_idx: Vec<usize> = (DIGIT..CHANNELS).collect();
+    let plan = ctx.bconv(&src_idx, &dst_idx).expect("plan");
+    let src_data: Vec<Vec<u64>> = src_idx.iter().map(|&c| fill(n, c, moduli[c])).collect();
+    let src_refs: Vec<&[u64]> = src_data.iter().map(Vec::as_slice).collect();
+    let mut modup_out = vec![Vec::new(); dst_idx.len()];
+    let (seq, par_t) = seq_vs_par(iters, || plan.apply_into(&src_refs, &mut modup_out));
+    out.push(Measurement { kernel: "modup", n, channels: dst_idx.len(), seq_s: seq, par_s: par_t });
+
+    // Moddown: CHANNELS-SPECIALS ciphertext channels, SPECIALS specials.
+    let q_idx: Vec<usize> = (0..CHANNELS - SPECIALS).collect();
+    let p_idx: Vec<usize> = (CHANNELS - SPECIALS..CHANNELS).collect();
+    let q_data: Vec<Vec<u64>> = q_idx.iter().map(|&c| fill(n, c, moduli[c])).collect();
+    let p_data: Vec<Vec<u64>> = p_idx.iter().map(|&c| fill(n, c, moduli[c])).collect();
+    let q_refs: Vec<&[u64]> = q_data.iter().map(Vec::as_slice).collect();
+    let p_refs: Vec<&[u64]> = p_data.iter().map(Vec::as_slice).collect();
+    let mut moddown_out = vec![Vec::new(); q_idx.len()];
+    let (seq, par_t) = seq_vs_par(iters, || {
+        ctx.moddown_into(&q_refs, &p_refs, &q_idx, &p_idx, &mut moddown_out).expect("moddown");
+    });
+    out.push(Measurement { kernel: "moddown", n, channels: q_idx.len(), seq_s: seq, par_s: par_t });
+}
+
+fn ckks_kernel(n: usize, iters: usize, out: &mut Vec<Measurement>) {
+    // Small chain so setup stays cheap; the kernel under test is the
+    // mul + relinearize + rescale pipeline, whose cost scales with n.
+    let (max_level, dnum, scale_bits) = if n <= 64 { (2, 2, 26) } else { (3, 2, 36) };
+    let params = CkksParams::new(n, max_level, dnum, scale_bits).expect("params");
+    let ctx = CkksContext::new(params).expect("context");
+    let mut rng = ChaCha8Rng::seed_from_u64(17);
+    let sk = SecretKey::generate(&ctx, &mut rng);
+    let rlk = RelinKey::generate(&ctx, &sk, &mut rng).expect("relin key");
+    let enc = Encoder::new(&ctx);
+    let ev = Evaluator::new(&ctx);
+    let slots = ctx.n() / 2;
+    let values: Vec<f64> = (0..slots).map(|j| ((j % 7) as f64 - 3.0) * 0.25).collect();
+    let pt = enc.encode(&values).expect("encode");
+    let ca = sk.encrypt(&ctx, &pt, &mut rng).expect("encrypt");
+    let cb = sk.encrypt(&ctx, &pt, &mut rng).expect("encrypt");
+    let level = ca.level();
+    let (seq, par_t) = seq_vs_par(iters, || {
+        let prod = ev.mul(&ca, &cb, &rlk).expect("mul");
+        std::hint::black_box(ev.rescale(&prod).expect("rescale"));
+    });
+    out.push(Measurement {
+        kernel: "ckks_mul_rescale",
+        n,
+        channels: level + 1,
+        seq_s: seq,
+        par_s: par_t,
+    });
+}
+
+fn to_json(measurements: &[Measurement], note: &str) -> Json {
+    let mut doc = std::collections::BTreeMap::new();
+    let mut host = std::collections::BTreeMap::new();
+    host.insert("threads".to_string(), Json::Num(par::max_threads() as f64));
+    host.insert("parallel_compiled".to_string(), Json::Bool(par::parallelism_compiled()));
+    doc.insert("host".to_string(), Json::Obj(host));
+    doc.insert("note".to_string(), Json::Str(note.to_string()));
+    doc.insert(
+        "kernels".to_string(),
+        Json::Arr(
+            measurements
+                .iter()
+                .map(|m| {
+                    let mut o = std::collections::BTreeMap::new();
+                    o.insert("kernel".to_string(), Json::Str(m.kernel.to_string()));
+                    o.insert("n".to_string(), Json::Num(m.n as f64));
+                    o.insert("channels".to_string(), Json::Num(m.channels as f64));
+                    o.insert("seq_s".to_string(), Json::Num(m.seq_s));
+                    o.insert("par_s".to_string(), Json::Num(m.par_s));
+                    o.insert("speedup".to_string(), Json::Num(m.speedup()));
+                    Json::Obj(o)
+                })
+                .collect(),
+        ),
+    );
+    Json::Obj(doc)
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let smoke = args.rest.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .rest
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.rest.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_kernels.json".to_string());
+    let mut rep = Reporter::from_args(&args);
+
+    let (sizes, iters): (Vec<usize>, usize) =
+        if smoke { (vec![1 << 8], 1) } else { ((12..=16).map(|k| 1usize << k).collect(), 3) };
+
+    let mut measurements = Vec::new();
+    for &n in &sizes {
+        if !rep.is_json() {
+            println!("measuring n = {n}...");
+        }
+        rns_kernels(n, iters, &mut measurements);
+        // CKKS at every size would dominate the run; sample the endpoints.
+        if smoke || n == sizes[0] || n == *sizes.last().expect("nonempty") {
+            ckks_kernel(if smoke { 64 } else { n }, iters, &mut measurements);
+        }
+    }
+    par::set_max_threads(0);
+
+    let threads = par::max_threads();
+    let note = format!(
+        "best-of-{iters} wall times on a {threads}-thread host \
+         (parallel feature compiled: {}); sequential pins the backend to one \
+         thread, parallel uses one worker per core. On a single-core host the \
+         two columns coincide because the backend runs inline; re-run on a \
+         4+-core machine to reproduce the multi-channel speedup.",
+        par::parallelism_compiled()
+    );
+
+    let rows: Vec<Vec<String>> = measurements
+        .iter()
+        .map(|m| {
+            vec![
+                m.kernel.to_string(),
+                m.n.to_string(),
+                m.channels.to_string(),
+                fmt_time(m.seq_s),
+                fmt_time(m.par_s),
+                format!("{:.2}x", m.speedup()),
+            ]
+        })
+        .collect();
+    rep.table(
+        "Kernel baselines: sequential vs parallel backend",
+        &["kernel", "n", "channels", "sequential", "parallel", "speedup"],
+        &rows,
+    );
+    rep.note(&note);
+
+    let doc = to_json(&measurements, &note);
+    if let Err(e) = std::fs::write(&out_path, format!("{doc}\n")) {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    if !rep.is_json() {
+        println!("wrote {out_path}");
+    }
+    rep.finish();
+}

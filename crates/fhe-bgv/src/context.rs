@@ -3,10 +3,15 @@
 use crate::encoding::BgvEncoder;
 use crate::{BgvError, BgvParams};
 use fhe_math::{
-    sample_gaussian, sample_ternary, sample_uniform, Modulus, Poly, RnsBasis, RnsContext, RnsPoly,
-    UBig,
+    par, sample_gaussian, sample_ternary, sample_uniform, Modulus, Poly, RnsBasis, RnsContext,
+    RnsPoly, Scratch, UBig,
 };
 use rand::Rng;
+
+/// Work estimate (element-operations) for one `n`-point NTT channel.
+fn ntt_work(n: usize) -> u64 {
+    (n as u64) * u64::from(usize::BITS - n.leading_zeros())
+}
 
 /// Precomputed BGV state: RNS context over `Q ∪ {p}`, the batching
 /// encoder, and derived constants.
@@ -336,7 +341,8 @@ impl BgvContext {
         }
         let level = a.level;
         let d0 = a.c0.mul_pointwise(&b.c0)?;
-        let d1 = a.c0.mul_pointwise(&b.c1)?.add(&a.c1.mul_pointwise(&b.c0)?)?;
+        let mut d1 = a.c0.mul_pointwise(&b.c1)?;
+        d1.add_assign(&a.c1.mul_pointwise(&b.c0)?)?;
         let d2 = a.c1.mul_pointwise(&b.c1)?;
         let (k0, k1) = self.keyswitch(&d2, rlk, level)?;
         let ct = BgvCiphertext { c0: d0.add(&k0)?, c1: d1.add(&k1)?, level };
@@ -383,25 +389,27 @@ impl BgvContext {
                 r + q_last.value() as i128 * u
             })
             .collect();
-        let mut channels = Vec::with_capacity(level);
+        // q_l^{-1} mod q_c precomputed sequentially (inversion is fallible)
+        // so the channel loop below is infallible and runs channel-parallel.
+        let mut invs = Vec::with_capacity(level);
         for c in 0..level {
             let m = self.rns.moduli()[c];
-            let inv = m.inv(q_last.value() % m.value())?;
-            let mut lifted = vec![0u64; n];
-            for (l, &d) in lifted.iter_mut().zip(&deltas) {
+            invs.push(m.inv(q_last.value() % m.value())?);
+        }
+        let positions: Vec<usize> = (0..level).collect();
+        let channels = par::par_map(&positions, ntt_work(n), |_, &c| {
+            let m = self.rns.moduli()[c];
+            let inv = invs[c];
+            let mut buf = vec![0u64; n];
+            for (l, &d) in buf.iter_mut().zip(&deltas) {
                 *l = d.rem_euclid(m.value() as i128) as u64;
             }
-            let mut dp = Poly::from_coeffs(lifted, m)?;
-            dp.to_ntt(self.rns.table(c));
-            let vals: Vec<u64> = p
-                .channel(c)
-                .coeffs()
-                .iter()
-                .zip(dp.coeffs())
-                .map(|(&x, &d)| m.mul(m.sub(x, d), inv))
-                .collect();
-            channels.push(Poly::from_ntt(vals, m)?);
-        }
+            self.rns.table(c).forward(&mut buf);
+            for (y, &x) in buf.iter_mut().zip(p.channel(c).coeffs()) {
+                *y = m.mul(m.sub(x, *y), inv);
+            }
+            Poly::from_ntt(buf, m).expect("rescaled residues are canonical")
+        });
         Ok(RnsPoly::from_channels(channels)?)
     }
 
@@ -419,44 +427,58 @@ impl BgvContext {
         let mut d2c = d2.clone();
         d2c.to_coeff(&self.rns.tables()[..=level]);
 
-        let mut acc0 = vec![vec![0u64; n]; total];
-        let mut acc1 = vec![vec![0u64; n]; total];
+        // Exact single-channel base conversion per digit, precomputed so the
+        // channel loop below is infallible (Bconv is itself channel-parallel).
+        let mut digit_ext: Vec<(Vec<usize>, Vec<Vec<u64>>)> = Vec::with_capacity(level + 1);
         for i in 0..=level {
-            // Exact single-channel base conversion to every other channel.
             let dst: Vec<usize> =
                 (0..=level).filter(|&c| c != i).chain(std::iter::once(p_idx)).collect();
             let plan = self.rns.bconv(&[i], &dst)?;
-            let converted = plan.apply(&[d2c.channel(i).coeffs()]);
-            let (b_key, a_key) = &rlk.digits[i];
-            for pos in 0..total {
-                let gc = global_of(pos);
-                let m = self.rns.moduli()[gc];
-                // The digit's own channel reuses d2's NTT form; others are
-                // freshly transformed.
-                let ext: Vec<u64> = if gc == i {
-                    d2.channel(i).coeffs().to_vec()
-                } else {
-                    let k = dst.iter().position(|&c| c == gc).expect("in dst");
-                    let mut v = converted[k].clone();
-                    self.rns.table(gc).forward(&mut v);
-                    v
-                };
-                let bk = b_key.channel(gc).coeffs();
-                let ak = a_key.channel(gc).coeffs();
-                for s in 0..n {
-                    acc0[pos][s] = m.add(acc0[pos][s], m.mul(ext[s], bk[s]));
-                    acc1[pos][s] = m.add(acc1[pos][s], m.mul(ext[s], ak[s]));
-                }
-            }
+            digit_ext.push((dst, plan.apply(&[d2c.channel(i).coeffs()])));
         }
-        // INTT, t-preserving moddown by p, NTT back.
+        // One accumulator pair per extended channel; the NTT → MAC → INTT
+        // chain is independent per channel and runs channel-parallel, with
+        // the NTT input buffer drawn from the thread-local scratch pool.
+        let positions: Vec<usize> = (0..total).collect();
+        let work = ((level + 1) as u64 + 2).saturating_mul(ntt_work(n));
+        let acc = par::par_map(&positions, work, |_, &pos| {
+            let gc = global_of(pos);
+            let m = self.rns.moduli()[gc];
+            let table = self.rns.table(gc);
+            Scratch::with_thread_local(|scratch| {
+                let mut a0 = vec![0u64; n];
+                let mut a1 = vec![0u64; n];
+                let mut ext = scratch.take(n);
+                for (i, (dst, converted)) in digit_ext.iter().enumerate() {
+                    let (b_key, a_key) = &rlk.digits[i];
+                    // The digit's own channel reuses d2's NTT form; others
+                    // are freshly transformed.
+                    if gc == i {
+                        ext.copy_from_slice(d2.channel(i).coeffs());
+                    } else {
+                        let k = dst.iter().position(|&c| c == gc).expect("in dst");
+                        ext.copy_from_slice(&converted[k]);
+                        table.forward(&mut ext);
+                    }
+                    let bk = b_key.channel(gc).coeffs();
+                    let ak = a_key.channel(gc).coeffs();
+                    for s in 0..n {
+                        a0[s] = m.add(a0[s], m.mul(ext[s], bk[s]));
+                        a1[s] = m.add(a1[s], m.mul(ext[s], ak[s]));
+                    }
+                }
+                table.inverse(&mut a0);
+                table.inverse(&mut a1);
+                scratch.put(ext);
+                (a0, a1)
+            })
+        });
+        // t-preserving moddown by p, NTT back.
         let p_mod = self.rns.moduli()[p_idx];
         let t = self.params.t() as i128;
-        let finish = |acc: &mut Vec<Vec<u64>>| -> Result<RnsPoly, BgvError> {
-            for (pos, data) in acc.iter_mut().enumerate().take(total) {
-                self.rns.table(global_of(pos)).inverse(data);
-            }
-            let deltas: Vec<i128> = acc[total - 1]
+        let finish = |half: usize| -> Result<RnsPoly, BgvError> {
+            let pick = |pos: usize| if half == 0 { &acc[pos].0 } else { &acc[pos].1 };
+            let deltas: Vec<i128> = pick(total - 1)
                 .iter()
                 .map(|&x| {
                     let r = p_mod.to_centered(x) as i128;
@@ -467,26 +489,28 @@ impl BgvContext {
                     r + p_mod.value() as i128 * u
                 })
                 .collect();
-            let mut channels = Vec::with_capacity(level + 1);
-            for (c, acc_c) in acc.iter().enumerate().take(level + 1) {
+            // p^{-1} mod q_c precomputed (fallible) before the parallel loop.
+            let mut invs = Vec::with_capacity(level + 1);
+            for c in 0..=level {
                 let m = self.rns.moduli()[c];
-                let inv = m.inv(p_mod.value() % m.value())?;
-                let vals: Vec<u64> = acc_c
-                    .iter()
-                    .zip(&deltas)
-                    .map(|(&x, &d)| {
-                        let dm = d.rem_euclid(m.value() as i128) as u64;
-                        m.mul(m.sub(x, dm), inv)
-                    })
-                    .collect();
-                let mut poly = Poly::from_coeffs(vals, m)?;
-                poly.to_ntt(self.rns.table(c));
-                channels.push(poly);
+                invs.push(m.inv(p_mod.value() % m.value())?);
             }
+            let chans: Vec<usize> = (0..=level).collect();
+            let channels = par::par_map(&chans, ntt_work(n), |_, &c| {
+                let m = self.rns.moduli()[c];
+                let inv = invs[c];
+                let mut vals = vec![0u64; n];
+                for ((y, &x), &d) in vals.iter_mut().zip(pick(c)).zip(&deltas) {
+                    let dm = d.rem_euclid(m.value() as i128) as u64;
+                    *y = m.mul(m.sub(x, dm), inv);
+                }
+                self.rns.table(c).forward(&mut vals);
+                Poly::from_ntt(vals, m).expect("moddown residues are canonical")
+            });
             Ok(RnsPoly::from_channels(channels)?)
         };
-        let k0 = finish(&mut acc0)?;
-        let k1 = finish(&mut acc1)?;
+        let k0 = finish(0)?;
+        let k1 = finish(1)?;
         Ok((k0, k1))
     }
 

@@ -16,7 +16,12 @@
 use crate::ciphertext::{Ciphertext, Plaintext};
 use crate::keys::{galois_element, GaloisKeys, RelinKey, SwitchKey};
 use crate::{CkksContext, CkksError};
-use fhe_math::{Domain, Poly, RnsPoly};
+use fhe_math::{par, Domain, Poly, RnsPoly, Scratch};
+
+/// Work estimate (element-operations) for one `n`-point NTT channel.
+pub(crate) fn ntt_work(n: usize) -> u64 {
+    (n as u64) * u64::from(usize::BITS - n.leading_zeros())
+}
 
 /// Stateless evaluator bound to a context.
 #[derive(Debug, Clone, Copy)]
@@ -240,7 +245,8 @@ impl<'a> Evaluator<'a> {
         let level = a.level();
         // Tensor product.
         let d0 = a.c0().mul_pointwise(b.c0())?;
-        let d1 = a.c0().mul_pointwise(b.c1())?.add(&a.c1().mul_pointwise(b.c0())?)?;
+        let mut d1 = a.c0().mul_pointwise(b.c1())?;
+        d1.add_assign(&a.c1().mul_pointwise(b.c0())?)?;
         let d2 = a.c1().mul_pointwise(b.c1())?;
         // Relinearize d2 down onto (c0, c1).
         let (k0, k1) = self.keyswitch_core(&d2, rlk.switch_key(), level)?;
@@ -279,26 +285,31 @@ impl<'a> Evaluator<'a> {
         let mut last = p.channel(level).clone();
         last.to_coeff(self.ctx.table(level));
         let q_last = self.ctx.rns().moduli()[level];
-        let mut channels = Vec::with_capacity(level);
+        let n = self.ctx.n();
+        // q_last^{-1} mod q_c precomputed sequentially (inversion is
+        // fallible) so the per-channel work below is infallible and can run
+        // channel-parallel.
+        let mut invs = Vec::with_capacity(level);
         for c in 0..level {
             let m = self.ctx.rns().moduli()[c];
-            let inv = m.shoup(m.inv(q_last.value() % m.value())?);
-            // Centered lift of the dropped residue for round-to-nearest.
-            let mut lifted = vec![0u64; self.ctx.n()];
-            for (i, &x) in last.coeffs().iter().enumerate() {
-                lifted[i] = m.from_i64(q_last.to_centered(x));
-            }
-            let mut lp = Poly::from_coeffs(lifted, m)?;
-            lp.to_ntt(self.ctx.table(c));
-            let vals: Vec<u64> = p
-                .channel(c)
-                .coeffs()
-                .iter()
-                .zip(lp.coeffs())
-                .map(|(&x, &l)| m.mul_shoup(m.sub(x, l), inv))
-                .collect();
-            channels.push(Poly::from_ntt(vals, m)?);
+            invs.push(m.shoup(m.inv(q_last.value() % m.value())?));
         }
+        let positions: Vec<usize> = (0..level).collect();
+        let channels = par::par_map(&positions, ntt_work(n), |_, &c| {
+            let m = self.ctx.rns().moduli()[c];
+            let inv = invs[c];
+            // Centered lift of the dropped residue for round-to-nearest;
+            // the buffer becomes the output channel's backing store.
+            let mut buf = vec![0u64; n];
+            for (y, &x) in buf.iter_mut().zip(last.coeffs()) {
+                *y = m.from_i64(q_last.to_centered(x));
+            }
+            self.ctx.table(c).forward(&mut buf);
+            for (y, &x) in buf.iter_mut().zip(p.channel(c).coeffs()) {
+                *y = m.mul_shoup(m.sub(x, *y), inv);
+            }
+            Poly::from_ntt(buf, m).expect("rescaled residues are canonical")
+        });
         Ok(RnsPoly::from_channels(channels)?)
     }
 
@@ -371,16 +382,16 @@ impl<'a> Evaluator<'a> {
             let plan = self.ctx.rns().bconv(&digit, &dst)?;
             let src_data: Vec<&[u64]> =
                 digit.iter().map(|&c| d_coeff.channel(c).coeffs()).collect();
-            let converted = plan.apply(&src_data);
+            let mut converted = plan.apply(&src_data);
             // Assemble the extended poly: position j holds global channel
-            // (q_idx ++ p_idx)[j].
+            // (q_idx ++ p_idx)[j]. Converted channels are moved, not cloned.
             let mut ext = vec![Vec::new(); t];
             for (k, &c) in digit.iter().enumerate() {
                 ext[c] = src_data[k].to_vec();
             }
             for (k, &gc) in dst.iter().enumerate() {
                 let pos = if gc <= level { gc } else { level + 1 + (gc - self.ctx.q_len()) };
-                ext[pos] = converted[k].clone();
+                ext[pos] = std::mem::take(&mut converted[k]);
             }
             out.push(ext);
         }
@@ -408,45 +419,61 @@ impl<'a> Evaluator<'a> {
                 self.ctx.q_len() + (pos - (level + 1))
             }
         };
-        let mut acc0 = vec![vec![0u64; n]; t];
-        let mut acc1 = vec![vec![0u64; n]; t];
-        for (i, ext) in ext_digits.iter().enumerate() {
-            let (kb, ka) = &key.digit_keys()[i];
-            for pos in 0..t {
-                let gc = global_of(pos);
-                let m = self.ctx.rns().moduli()[gc];
-                // NTT the extended channel.
-                let mut channel = ext[pos].clone();
-                self.ctx.table(gc).forward(&mut channel);
-                let kb_ch = kb.channel(gc).coeffs();
-                let ka_ch = ka.channel(gc).coeffs();
-                for s in 0..n {
-                    acc0[pos][s] = m.add(acc0[pos][s], m.mul(channel[s], kb_ch[s]));
-                    acc1[pos][s] = m.add(acc1[pos][s], m.mul(channel[s], ka_ch[s]));
+        // Extended channels are independent through NTT → MAC → INTT, so the
+        // whole chain runs channel-parallel (the slot/channel partitioning of
+        // paper §5.3); the digit loop is the sequential accumulator inside
+        // each channel. The NTT input buffer comes from the thread-local
+        // scratch pool instead of a per-digit clone.
+        let positions: Vec<usize> = (0..t).collect();
+        let work = (ext_digits.len() as u64 + 2).saturating_mul(ntt_work(n));
+        let acc = par::par_map(&positions, work, |_, &pos| {
+            let gc = global_of(pos);
+            let m = self.ctx.rns().moduli()[gc];
+            let table = self.ctx.table(gc);
+            Scratch::with_thread_local(|scratch| {
+                let mut a0 = vec![0u64; n];
+                let mut a1 = vec![0u64; n];
+                let mut channel = scratch.take(n);
+                for (i, ext) in ext_digits.iter().enumerate() {
+                    let (kb, ka) = &key.digit_keys()[i];
+                    channel.copy_from_slice(&ext[pos]);
+                    table.forward(&mut channel);
+                    let kb_ch = kb.channel(gc).coeffs();
+                    let ka_ch = ka.channel(gc).coeffs();
+                    for s in 0..n {
+                        a0[s] = m.add(a0[s], m.mul(channel[s], kb_ch[s]));
+                        a1[s] = m.add(a1[s], m.mul(channel[s], ka_ch[s]));
+                    }
                 }
-            }
-        }
-        // INTT everything, Moddown, NTT back.
+                // INTT here too: Moddown consumes coefficient-domain input.
+                table.inverse(&mut a0);
+                table.inverse(&mut a1);
+                scratch.put(channel);
+                (a0, a1)
+            })
+        });
+        // Moddown both halves, NTT back.
         let q_idx: Vec<usize> = (0..=level).collect();
         let p_idx = self.ctx.p_indices();
-        let finish = |acc: &mut Vec<Vec<u64>>| -> Result<RnsPoly, CkksError> {
-            for (pos, data) in acc.iter_mut().enumerate().take(t) {
-                self.ctx.table(global_of(pos)).inverse(data);
-            }
-            let q_refs: Vec<&[u64]> = (0..=level).map(|c| acc[c].as_slice()).collect();
-            let p_refs: Vec<&[u64]> = (level + 1..t).map(|pos| acc[pos].as_slice()).collect();
-            let scaled = self.ctx.rns().moddown(&q_refs, &p_refs, &q_idx, &p_idx)?;
-            let mut channels = Vec::with_capacity(level + 1);
-            for (c, data) in scaled.into_iter().enumerate() {
-                let m = self.ctx.rns().moduli()[c];
-                let mut p = Poly::from_coeffs(data, m)?;
-                p.to_ntt(self.ctx.table(c));
-                channels.push(p);
-            }
+        let finish = |half: usize| -> Result<RnsPoly, CkksError> {
+            let pick =
+                |pos: usize| if half == 0 { acc[pos].0.as_slice() } else { acc[pos].1.as_slice() };
+            let q_refs: Vec<&[u64]> = (0..=level).map(&pick).collect();
+            let p_refs: Vec<&[u64]> = (level + 1..t).map(&pick).collect();
+            let mut scaled = vec![Vec::new(); q_idx.len()];
+            self.ctx.rns().moddown_into(&q_refs, &p_refs, &q_idx, &p_idx, &mut scaled)?;
+            par::par_iter_mut(&mut scaled, ntt_work(n), |c, data| {
+                self.ctx.table(c).forward(data);
+            });
+            let channels = scaled
+                .into_iter()
+                .enumerate()
+                .map(|(c, data)| Poly::from_ntt(data, self.ctx.rns().moduli()[c]))
+                .collect::<Result<Vec<_>, _>>()?;
             Ok(RnsPoly::from_channels(channels)?)
         };
-        let out0 = finish(&mut acc0)?;
-        let out1 = finish(&mut acc1)?;
+        let out0 = finish(0)?;
+        let out1 = finish(1)?;
         Ok((out0, out1))
     }
 
@@ -558,17 +585,27 @@ impl<'a> Evaluator<'a> {
             })?;
             // Automorphism commutes with Bconv (both act coefficient-wise /
             // channel-wise), so it can be applied to the moduped digits.
+            // Applied raw per channel, in parallel — no Poly round-trip.
+            let n = self.ctx.n();
             let t = level + 1 + self.ctx.k_len();
             let mut ext_g = Vec::with_capacity(ext.len());
             for digit in &ext {
-                let mut dg = Vec::with_capacity(t);
-                for (pos, ch) in digit.iter().enumerate() {
+                let positions: Vec<usize> = (0..t).collect();
+                let dg = par::par_map(&positions, n as u64, |_, &pos| {
                     let gc =
                         if pos <= level { pos } else { self.ctx.q_len() + (pos - (level + 1)) };
                     let m = self.ctx.rns().moduli()[gc];
-                    let p = Poly::from_coeffs(ch.clone(), m)?;
-                    dg.push(p.automorphism(g)?.coeffs().to_vec());
-                }
+                    let mut out_ch = vec![0u64; n];
+                    for (i, &c) in digit[pos].iter().enumerate() {
+                        let e = (i * g) % (2 * n);
+                        if e < n {
+                            out_ch[e] = m.add(out_ch[e], c);
+                        } else {
+                            out_ch[e - n] = m.sub(out_ch[e - n], c);
+                        }
+                    }
+                    out_ch
+                });
                 ext_g.push(dg);
             }
             let (k0, k1) = self.apply_key_and_moddown(&ext_g, key, level)?;

@@ -16,8 +16,9 @@
 use std::collections::HashMap;
 
 use crate::ciphertext::{Ciphertext, Plaintext};
+use crate::eval::ntt_work;
 use crate::{CkksContext, CkksError};
-use fhe_math::{sample_gaussian, sample_ternary, Domain, Modulus, Poly, RnsPoly, UBig};
+use fhe_math::{par, sample_gaussian, sample_ternary, Domain, Modulus, Poly, RnsPoly, UBig};
 use rand::Rng;
 
 /// CRT-reconstructs a value from residues over the given moduli.
@@ -51,20 +52,18 @@ fn sample_uniform_ntt<R: Rng + ?Sized>(
 }
 
 /// Lifts signed coefficients onto the given channels and converts to NTT.
+/// Channel-parallel: the signed input is shared read-only.
 fn lift_signed_ntt(ctx: &CkksContext, coeffs: &[i64], channels: &[usize]) -> Vec<Poly> {
-    channels
-        .iter()
-        .map(|&c| {
-            let m = ctx.rns().moduli()[c];
-            let mut vals = vec![0u64; ctx.n()];
-            for (i, &x) in coeffs.iter().enumerate() {
-                vals[i] = m.from_i64(x);
-            }
-            let mut p = Poly::from_coeffs(vals, m).expect("canonical");
-            p.to_ntt(ctx.table(c));
-            p
-        })
-        .collect()
+    par::par_map(channels, ntt_work(ctx.n()), |_, &c| {
+        let m = ctx.rns().moduli()[c];
+        let mut vals = vec![0u64; ctx.n()];
+        for (i, &x) in coeffs.iter().enumerate() {
+            vals[i] = m.from_i64(x);
+        }
+        let mut p = Poly::from_coeffs(vals, m).expect("canonical");
+        p.to_ntt(ctx.table(c));
+        p
+    })
 }
 
 /// The ternary secret key.
@@ -149,8 +148,9 @@ impl SecretKey {
     /// Returns [`CkksError::Mismatch`] on structural inconsistency.
     pub fn decrypt(&self, ct: &Ciphertext) -> Result<Plaintext, CkksError> {
         let level = ct.level();
-        let mut channels = Vec::with_capacity(level + 1);
-        for c in 0..=level {
+        let positions: Vec<usize> = (0..=level).collect();
+        let n = ct.c0().channel(0).coeffs().len();
+        let channels = par::par_map(&positions, n as u64, |_, &c| -> Result<Poly, CkksError> {
             let m = ct.c0().channel(c).modulus();
             let s = &self.s_full[c];
             let prod_vals: Vec<u64> = ct
@@ -162,8 +162,10 @@ impl SecretKey {
                 .map(|(&x, &y)| m.mul(x, y))
                 .collect();
             let prod = Poly::from_ntt(prod_vals, m)?;
-            channels.push(ct.c0().channel(c).add(&prod)?);
-        }
+            Ok(ct.c0().channel(c).add(&prod)?)
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()?;
         Ok(Plaintext::from_parts(RnsPoly::from_channels(channels)?, level, ct.scale()))
     }
 
@@ -306,8 +308,10 @@ impl SwitchKey {
             let noise = sample_gaussian(ctx.params().sigma(), ctx.n(), rng);
             let e_channels = lift_signed_ntt(ctx, &noise, &all);
 
-            let mut b_channels = Vec::with_capacity(all.len());
-            for (pos, &c) in all.iter().enumerate() {
+            // Channel-parallel: sampling happened above, so the b-side
+            // assembly is pure arithmetic over shared read-only inputs.
+            let n = ctx.n();
+            let b_channels = par::par_map(&all, n as u64, |pos, &c| -> Result<Poly, CkksError> {
                 let m = ctx.rns().moduli()[c];
                 // f = P · Q̂_i · v  mod m.
                 let f = m.mul(
@@ -326,8 +330,10 @@ impl SwitchKey {
                         m.add(m.add(m.neg(m.mul(a, sv)), e), m.mul(f, tv))
                     })
                     .collect();
-                b_channels.push(Poly::from_ntt(vals, m)?);
-            }
+                Ok(Poly::from_ntt(vals, m)?)
+            })
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()?;
             digit_keys
                 .push((RnsPoly::from_channels(b_channels)?, RnsPoly::from_channels(a_channels)?));
         }

@@ -1,0 +1,60 @@
+//! End-to-end differential test: the full CKKS encrypt → mul → rescale →
+//! decrypt pipeline must be bit-identical under the sequential and the
+//! forced-parallel backend, across ring degrees and moduli chains.
+
+use std::sync::{Mutex, MutexGuard};
+
+use fhe_ckks::{CkksContext, CkksParams, Encoder, Evaluator, RelinKey, SecretKey};
+use fhe_math::par;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Serializes tests in this binary: the backend knobs are process-global.
+fn knob_guard() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Runs encrypt → mul → rescale → decrypt with a fixed seed and returns
+/// every residue the pipeline produced (ciphertext halves + plaintext).
+fn pipeline(n: usize, scale_bits: u32, seed: u64) -> Vec<Vec<u64>> {
+    let params = CkksParams::new(n, 2, 2, scale_bits).expect("params");
+    let ctx = CkksContext::new(params).expect("context");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let sk = SecretKey::generate(&ctx, &mut rng);
+    let rlk = RelinKey::generate(&ctx, &sk, &mut rng).expect("relin key");
+    let enc = Encoder::new(&ctx);
+    let ev = Evaluator::new(&ctx);
+    let slots = ctx.n() / 2;
+    let a: Vec<f64> = (0..slots).map(|j| ((j % 5) as f64 - 2.0) * 0.3).collect();
+    let b: Vec<f64> = (0..slots).map(|j| ((j % 3) as f64 + 0.5) * 0.4).collect();
+    let ca = sk.encrypt(&ctx, &enc.encode(&a).expect("encode"), &mut rng).expect("encrypt");
+    let cb = sk.encrypt(&ctx, &enc.encode(&b).expect("encode"), &mut rng).expect("encrypt");
+    let prod = ev.rescale(&ev.mul(&ca, &cb, &rlk).expect("mul")).expect("rescale");
+    let pt = sk.decrypt(&prod).expect("decrypt");
+    let mut out = Vec::new();
+    for poly in [prod.c0(), prod.c1(), pt.poly()] {
+        for ch in poly.channels() {
+            out.push(ch.coeffs().to_vec());
+        }
+    }
+    out
+}
+
+#[test]
+fn mul_rescale_bit_identical_across_backends() {
+    let _g = knob_guard();
+    // Different degrees get different moduli chains (the prime search is
+    // keyed on scale_bits and 2n), so this sweeps chain shapes too.
+    for (n, scale_bits, seed) in [(16usize, 26u32, 11u64), (1024, 30, 12), (8192, 36, 13)] {
+        par::set_max_threads(1);
+        par::set_min_work(u64::MAX);
+        let seq = pipeline(n, scale_bits, seed);
+        par::set_max_threads(4);
+        par::set_min_work(0);
+        let par_out = pipeline(n, scale_bits, seed);
+        par::set_max_threads(0);
+        par::set_min_work(par::DEFAULT_MIN_WORK);
+        assert_eq!(seq, par_out, "CKKS pipeline diverged at n = {n}");
+    }
+}

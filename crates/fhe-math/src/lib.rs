@@ -46,10 +46,12 @@ mod four_step;
 mod modulus;
 mod montgomery;
 mod ntt;
+pub mod par;
 mod poly;
 mod prime;
 mod rns;
 mod sampling;
+mod scratch;
 
 pub use bigint::UBig;
 pub use decomp::{Gadget, SignedDigitDecomposer};
@@ -62,3 +64,4 @@ pub use poly::{Domain, Poly};
 pub use prime::{generate_ntt_primes, generate_primes_with_step, is_prime};
 pub use rns::{BconvPlan, RnsBasis, RnsContext, RnsPoly};
 pub use sampling::{sample_gaussian, sample_ternary, sample_uniform, GaussianSampler};
+pub use scratch::Scratch;

@@ -1,0 +1,254 @@
+//! Channel-level data-parallel execution backend.
+//!
+//! Alchemist's scaling claim (paper §5.3, Table 4) rests on slot-partitioned
+//! data parallelism: 128 computing units each own a slot range and process
+//! every RNS channel and dnum group without inter-unit traffic. The software
+//! mirror of that claim is the *RNS-channel axis*: per-channel NTTs, the
+//! per-destination-channel Bconv dot products, and element-wise RNS
+//! arithmetic are all embarrassingly parallel. This module provides the
+//! minimal runner the kernels share.
+//!
+//! Design constraints:
+//!
+//! * **No external dependency.** The backend is `std::thread::scope` —
+//!   workers borrow the caller's slices directly, no `'static` bounds, no
+//!   unsafe code.
+//! * **Adaptive.** Every entry point takes a per-item work estimate (in
+//!   element-operations); below [`min_work`] total, or on a single-core
+//!   host, the loop runs inline on the caller thread. Small `n` / few
+//!   channels never pay thread-spawn latency.
+//! * **Deterministic.** Work is partitioned into disjoint contiguous chunks
+//!   and each item is processed by exactly the same scalar code as the
+//!   sequential path, so parallel and sequential execution are
+//!   bit-identical (asserted by `tests/parallel_differential.rs`).
+//! * **Runtime-controllable.** [`set_max_threads`] lets one process compare
+//!   sequential vs parallel execution (the `bench_kernels` baseline), and
+//!   [`set_min_work`] lets tests force the parallel path at toy sizes.
+//!
+//! With the `parallel` cargo feature disabled the runner degenerates to the
+//! plain sequential loop and spawns nothing.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Requested thread cap: 0 = auto (one per available core).
+static MAX_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Minimum total work (element-operations) before threads are spawned.
+static MIN_WORK: AtomicU64 = AtomicU64::new(DEFAULT_MIN_WORK);
+
+/// Default parallelism threshold: roughly the work of one 2^12-point NTT
+/// channel — below this, thread-spawn latency dominates any speedup.
+pub const DEFAULT_MIN_WORK: u64 = 1 << 15;
+
+/// Whether the crate was built with the `parallel` feature.
+#[inline]
+pub fn parallelism_compiled() -> bool {
+    cfg!(feature = "parallel")
+}
+
+/// Caps worker threads per parallel region; `0` restores auto (one per
+/// available core). `1` forces sequential execution — the `bench_kernels`
+/// binary uses this to record the sequential baseline in the same process.
+pub fn set_max_threads(n: usize) {
+    MAX_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// The auto thread budget, resolved once per process: the
+/// `ALCHEMIST_NUM_THREADS` environment override if set, else one thread
+/// per available core. Cached because `max_threads` sits on every kernel's
+/// dispatch path and the environment / affinity lookups are syscalls.
+fn auto_threads() -> usize {
+    static AUTO: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *AUTO.get_or_init(|| {
+        if let Ok(v) = std::env::var("ALCHEMIST_NUM_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    })
+}
+
+/// The effective thread budget: the [`set_max_threads`] cap, else
+/// `ALCHEMIST_NUM_THREADS` from the environment, else one per available
+/// core. Always ≥ 1; exactly 1 when the `parallel` feature is off.
+pub fn max_threads() -> usize {
+    if !cfg!(feature = "parallel") {
+        return 1;
+    }
+    let cap = MAX_THREADS.load(Ordering::Relaxed);
+    if cap != 0 {
+        return cap.max(1);
+    }
+    auto_threads()
+}
+
+/// Sets the adaptive threshold: total element-operations below which a
+/// parallel region runs inline. Tests set `0` to force the threaded path at
+/// toy sizes; [`DEFAULT_MIN_WORK`] restores the default.
+pub fn set_min_work(work: u64) {
+    MIN_WORK.store(work, Ordering::Relaxed);
+}
+
+/// The current adaptive threshold (see [`set_min_work`]).
+pub fn min_work() -> u64 {
+    MIN_WORK.load(Ordering::Relaxed)
+}
+
+/// Number of worker threads a region of `items` items × `work_per_item`
+/// element-operations would use (1 = run inline).
+fn plan_threads(items: usize, work_per_item: u64) -> usize {
+    if items < 2 {
+        return 1;
+    }
+    let budget = max_threads();
+    if budget < 2 {
+        return 1;
+    }
+    let total = work_per_item.saturating_mul(items as u64);
+    if total < min_work() {
+        return 1;
+    }
+    budget.min(items)
+}
+
+/// Runs `f(index, &mut item)` for every item, splitting the slice into
+/// contiguous per-thread chunks when the total work clears the adaptive
+/// threshold. `work_per_item` is the estimated element-operations per item
+/// (e.g. `n` for an element-wise pass, `n·log2(n)` for an NTT).
+pub fn par_iter_mut<T, F>(items: &mut [T], work_per_item: u64, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let threads = plan_threads(items.len(), work_per_item);
+    if threads <= 1 {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let chunk = items.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        let f = &f;
+        for (ci, slice) in items.chunks_mut(chunk).enumerate() {
+            let base = ci * chunk;
+            scope.spawn(move || {
+                for (k, item) in slice.iter_mut().enumerate() {
+                    f(base + k, item);
+                }
+            });
+        }
+    });
+}
+
+/// Parallel map over a shared slice: returns `f(index, &item)` for every
+/// item, in order. Built on [`par_iter_mut`] over the output buffer, so the
+/// same adaptive threshold applies.
+pub fn par_map<T, U, F>(items: &[T], work_per_item: u64, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let mut out: Vec<Option<U>> = (0..items.len()).map(|_| None).collect();
+    par_iter_mut(&mut out, work_per_item, |i, slot| {
+        *slot = Some(f(i, &items[i]));
+    });
+    out.into_iter().map(|v| v.expect("par_map fills every slot")).collect()
+}
+
+/// Runs `f(i)` for `i` in `0..count` with the same chunked dispatch as
+/// [`par_iter_mut`], for loops whose state is not a `&mut` slice (each
+/// iteration must touch disjoint data by construction).
+pub fn par_for_each<F>(count: usize, work_per_item: u64, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let mut indices: Vec<usize> = (0..count).collect();
+    par_iter_mut(&mut indices, work_per_item, |_, &mut i| f(i));
+}
+
+/// Runs two independent closures, on separate threads when both sides clear
+/// half the adaptive threshold. Returns both results.
+pub fn join<A, B, RA, RB>(work_a: u64, work_b: u64, a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if max_threads() < 2 || work_a.saturating_add(work_b) < min_work() {
+        return (a(), b());
+    }
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("join worker panicked"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests that mutate the global knobs.
+    pub(crate) fn knob_guard() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn sequential_below_threshold() {
+        let _g = knob_guard();
+        set_min_work(DEFAULT_MIN_WORK);
+        set_max_threads(0);
+        let mut v = vec![0u64; 8];
+        par_iter_mut(&mut v, 1, |i, x| *x = i as u64 * 2);
+        assert_eq!(v, (0..8).map(|i| i * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn forced_parallel_matches_sequential() {
+        let _g = knob_guard();
+        set_min_work(0);
+        set_max_threads(4);
+        let mut v = vec![0u64; 1027];
+        par_iter_mut(&mut v, 1, |i, x| *x = (i as u64).wrapping_mul(0x9e3779b97f4a7c15));
+        set_min_work(DEFAULT_MIN_WORK);
+        set_max_threads(0);
+        let expect: Vec<u64> =
+            (0..1027).map(|i| (i as u64).wrapping_mul(0x9e3779b97f4a7c15)).collect();
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let _g = knob_guard();
+        set_min_work(0);
+        set_max_threads(3);
+        let items: Vec<u32> = (0..100).collect();
+        let out = par_map(&items, 1, |i, &x| (i as u32) + x);
+        set_min_work(DEFAULT_MIN_WORK);
+        set_max_threads(0);
+        assert_eq!(out, (0..100).map(|i| 2 * i).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let _g = knob_guard();
+        set_min_work(0);
+        set_max_threads(2);
+        let (a, b) = join(1 << 20, 1 << 20, || 1 + 1, || "x".repeat(3));
+        set_min_work(DEFAULT_MIN_WORK);
+        set_max_threads(0);
+        assert_eq!((a, b.as_str()), (2, "xxx"));
+    }
+
+    #[test]
+    fn max_threads_is_at_least_one() {
+        assert!(max_threads() >= 1);
+    }
+}

@@ -15,7 +15,12 @@
 //! reconstruction.
 
 use crate::poly::Domain;
-use crate::{MathError, Modulus, NttTable, Poly, UBig};
+use crate::{par, MathError, Modulus, NttTable, Poly, Scratch, UBig};
+
+/// Work estimate (element-operations) of one length-`n` NTT channel.
+fn ntt_work(n: usize) -> u64 {
+    (n as u64).saturating_mul(n.next_power_of_two().trailing_zeros().max(1) as u64)
+}
 
 /// An ordered set of word-sized prime moduli forming an RNS basis.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -158,6 +163,29 @@ impl RnsContext {
         Ok(plan.apply(poly_channels))
     }
 
+    /// Allocation-free [`RnsContext::modup`]: writes the converted channels
+    /// into `out` (one buffer per destination channel, resized in place so
+    /// steady-state reuse allocates nothing).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RnsContext::bconv`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != dst.len()`.
+    pub fn modup_into(
+        &self,
+        poly_channels: &[&[u64]],
+        src: &[usize],
+        dst: &[usize],
+        out: &mut [Vec<u64>],
+    ) -> Result<(), MathError> {
+        let plan = self.bconv(src, dst)?;
+        plan.apply_into(poly_channels, out);
+        Ok(())
+    }
+
     /// Moddown (paper Eq. 3): given residues of `x` on `Q ∪ P` (indices
     /// `q_idx` then `p_idx`), return `⌊x/P⌉`-style scaled residues on `Q`:
     /// `[x]_{q_i} ← ([x]_{q_i} − Bconv([x]_P, q_i)) · P^{-1} mod q_i`.
@@ -172,30 +200,69 @@ impl RnsContext {
         q_idx: &[usize],
         p_idx: &[usize],
     ) -> Result<Vec<Vec<u64>>, MathError> {
+        let mut out = vec![Vec::new(); q_idx.len()];
+        self.moddown_into(q_channels, p_channels, q_idx, p_idx, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free [`RnsContext::moddown`]: writes the scaled residues
+    /// into `out` (one buffer per `q_idx` channel). Destination channels are
+    /// processed in parallel when the work clears the [`par`] threshold.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RnsContext::bconv`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != q_idx.len()`.
+    pub fn moddown_into(
+        &self,
+        q_channels: &[&[u64]],
+        p_channels: &[&[u64]],
+        q_idx: &[usize],
+        p_idx: &[usize],
+        out: &mut [Vec<u64>],
+    ) -> Result<(), MathError> {
         if q_channels.len() != q_idx.len() || p_channels.len() != p_idx.len() {
             return Err(MathError::InvalidParameter {
                 detail: "moddown channel/index count mismatch".into(),
             });
         }
+        assert_eq!(out.len(), q_idx.len(), "moddown output channel count mismatch");
         let plan = self.bconv(p_idx, q_idx)?;
-        let converted = plan.apply(p_channels);
-        let mut out = Vec::with_capacity(q_idx.len());
-        for (k, &qi) in q_idx.iter().enumerate() {
+        let n = p_channels.first().map_or(0, |c| c.len());
+        // P^{-1} mod q_i per destination channel, precomputed so the
+        // parallel loop below is infallible.
+        let mut p_invs = Vec::with_capacity(q_idx.len());
+        for &qi in q_idx {
             let m = self.moduli()[qi];
-            // P^{-1} mod q_i.
             let mut p_mod = 1u64;
             for &pj in p_idx {
                 p_mod = m.mul(p_mod, self.moduli()[pj].value() % m.value());
             }
-            let p_inv = m.shoup(m.inv(p_mod)?);
-            let channel = q_channels[k]
-                .iter()
-                .zip(&converted[k])
-                .map(|(&x, &c)| m.mul_shoup(m.sub(x, c), p_inv))
-                .collect();
-            out.push(channel);
+            p_invs.push(m.shoup(m.inv(p_mod)?));
         }
-        Ok(out)
+        Scratch::with_thread_local(|scratch| {
+            let mut converted: Vec<Vec<u64>> = (0..q_idx.len()).map(|_| scratch.take(n)).collect();
+            plan.apply_into(p_channels, &mut converted);
+            let moduli = self.moduli();
+            par::par_iter_mut(out, (n * (p_idx.len() + 2)) as u64, |k, channel| {
+                let m = moduli[q_idx[k]];
+                let p_inv = p_invs[k];
+                channel.clear();
+                channel.extend(
+                    q_channels[k]
+                        .iter()
+                        .zip(&converted[k])
+                        .map(|(&x, &c)| m.mul_shoup(m.sub(x, c), p_inv)),
+                );
+            });
+            for buf in converted {
+                scratch.put(buf);
+            }
+        });
+        Ok(())
     }
 }
 
@@ -294,31 +361,59 @@ impl BconvPlan {
     /// Panics if `channels.len()` differs from the plan's source count or
     /// the channels have unequal lengths.
     pub fn apply(&self, channels: &[&[u64]]) -> Vec<Vec<u64>> {
+        let mut out = vec![Vec::new(); self.dst_moduli.len()];
+        self.apply_into(channels, &mut out);
+        out
+    }
+
+    /// Allocation-free [`BconvPlan::apply`]: writes one converted channel
+    /// per destination modulus into `out`, resizing each buffer in place.
+    /// The per-source pre-scale and the per-destination dot products both
+    /// run channel-parallel when the work clears the [`par`] threshold;
+    /// intermediate buffers come from the thread-local [`Scratch`] pool, so
+    /// a warmed-up caller thread allocates nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels.len()` differs from the plan's source count, the
+    /// channels have unequal lengths, or `out.len()` differs from the
+    /// plan's destination count.
+    pub fn apply_into(&self, channels: &[&[u64]], out: &mut [Vec<u64>]) {
         assert_eq!(channels.len(), self.src_moduli.len(), "source channel count mismatch");
+        assert_eq!(out.len(), self.dst_moduli.len(), "destination channel count mismatch");
         let n = channels.first().map_or(0, |c| c.len());
         assert!(channels.iter().all(|c| c.len() == n), "ragged source channels");
-        // Step 1 (per source channel): y_i = x_i * qhat_inv_i mod q_i.
-        let mut scaled = Vec::with_capacity(channels.len());
-        for (i, &ch) in channels.iter().enumerate() {
-            let m = self.src_moduli[i];
-            let s = self.qhat_inv[i];
-            scaled.push(ch.iter().map(|&x| m.mul_shoup(x, s)).collect::<Vec<u64>>());
-        }
-        // Step 2 (per destination channel): lazy-accumulated dot product.
-        let mut out = Vec::with_capacity(self.dst_moduli.len());
-        for (j, &pj) in self.dst_moduli.iter().enumerate() {
-            let weights = &self.qhat_dst[j];
-            let mut channel = vec![0u64; n];
-            for (s, x) in channel.iter_mut().enumerate() {
-                let mut acc: u128 = 0;
-                for (i, scaled_ch) in scaled.iter().enumerate() {
-                    acc += scaled_ch[s] as u128 * weights[i] as u128;
+        Scratch::with_thread_local(|scratch| {
+            // Step 1 (per source channel): y_i = x_i * qhat_inv_i mod q_i.
+            let mut scaled: Vec<Vec<u64>> = (0..channels.len()).map(|_| scratch.take(n)).collect();
+            par::par_iter_mut(&mut scaled, n as u64, |i, buf| {
+                let m = self.src_moduli[i];
+                let s = self.qhat_inv[i];
+                for (y, &x) in buf.iter_mut().zip(channels[i]) {
+                    *y = m.mul_shoup(x, s);
                 }
-                *x = pj.reduce_u128(acc);
+            });
+            // Step 2 (per destination channel): lazy-accumulated dot
+            // product — the Meta-OP pattern `(M_j A_j)_L R_j`, one Barrett
+            // reduction per destination coefficient (paper Table 3).
+            let l = channels.len() as u64;
+            par::par_iter_mut(out, (n as u64).saturating_mul(l), |j, channel| {
+                let pj = self.dst_moduli[j];
+                let weights = &self.qhat_dst[j];
+                channel.clear();
+                channel.resize(n, 0);
+                for (s, x) in channel.iter_mut().enumerate() {
+                    let mut acc: u128 = 0;
+                    for (i, scaled_ch) in scaled.iter().enumerate() {
+                        acc += scaled_ch[s] as u128 * weights[i] as u128;
+                    }
+                    *x = pj.reduce_u128(acc);
+                }
+            });
+            for buf in scaled {
+                scratch.put(buf);
             }
-            out.push(channel);
-        }
-        out
+        });
     }
 }
 
@@ -421,10 +516,12 @@ impl RnsPoly {
     /// Panics if `tables` is shorter than the channel list or misaligned
     /// (wrong modulus).
     pub fn to_ntt(&mut self, tables: &[NttTable]) {
-        for (c, t) in self.channels.iter_mut().zip(tables) {
+        assert!(tables.len() >= self.channels.len(), "missing NTT tables");
+        for (c, t) in self.channels.iter().zip(tables) {
             assert_eq!(c.modulus(), t.modulus(), "misaligned NTT tables");
-            c.to_ntt(t);
         }
+        let work = ntt_work(self.n());
+        par::par_iter_mut(&mut self.channels, work, |i, c| c.to_ntt(&tables[i]));
     }
 
     /// Converts all channels to coefficient domain.
@@ -433,10 +530,12 @@ impl RnsPoly {
     ///
     /// Panics if `tables` is shorter than the channel list or misaligned.
     pub fn to_coeff(&mut self, tables: &[NttTable]) {
-        for (c, t) in self.channels.iter_mut().zip(tables) {
+        assert!(tables.len() >= self.channels.len(), "missing NTT tables");
+        for (c, t) in self.channels.iter().zip(tables) {
             assert_eq!(c.modulus(), t.modulus(), "misaligned NTT tables");
-            c.to_coeff(t);
         }
+        let work = ntt_work(self.n());
+        par::par_iter_mut(&mut self.channels, work, |i, c| c.to_coeff(&tables[i]));
     }
 
     /// Channel-wise sum.
@@ -445,7 +544,29 @@ impl RnsPoly {
     ///
     /// Returns [`MathError::BasisMismatch`] on structural disagreement.
     pub fn add(&self, other: &RnsPoly) -> Result<RnsPoly, MathError> {
-        self.zip_with(other, Poly::add)
+        let mut out = self.clone();
+        out.add_assign(other)?;
+        Ok(out)
+    }
+
+    /// In-place channel-wise sum (`self += other`), channel-parallel above
+    /// the [`par`] threshold. The allocation-free form of [`RnsPoly::add`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::BasisMismatch`] on structural disagreement
+    /// (`self` is unchanged on error).
+    pub fn add_assign(&mut self, other: &RnsPoly) -> Result<(), MathError> {
+        self.check_zip(other)?;
+        let n = self.n() as u64;
+        let others = &other.channels;
+        par::par_iter_mut(&mut self.channels, n, |i, c| {
+            let m = c.modulus();
+            for (x, &y) in c.coeffs_mut().iter_mut().zip(others[i].coeffs()) {
+                *x = m.add(*x, y);
+            }
+        });
+        Ok(())
     }
 
     /// Channel-wise difference.
@@ -454,12 +575,47 @@ impl RnsPoly {
     ///
     /// Returns [`MathError::BasisMismatch`] on structural disagreement.
     pub fn sub(&self, other: &RnsPoly) -> Result<RnsPoly, MathError> {
-        self.zip_with(other, Poly::sub)
+        let mut out = self.clone();
+        out.sub_assign(other)?;
+        Ok(out)
+    }
+
+    /// In-place channel-wise difference (`self -= other`), channel-parallel
+    /// above the [`par`] threshold.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::BasisMismatch`] on structural disagreement
+    /// (`self` is unchanged on error).
+    pub fn sub_assign(&mut self, other: &RnsPoly) -> Result<(), MathError> {
+        self.check_zip(other)?;
+        let n = self.n() as u64;
+        let others = &other.channels;
+        par::par_iter_mut(&mut self.channels, n, |i, c| {
+            let m = c.modulus();
+            for (x, &y) in c.coeffs_mut().iter_mut().zip(others[i].coeffs()) {
+                *x = m.sub(*x, y);
+            }
+        });
+        Ok(())
     }
 
     /// Channel-wise negation.
     pub fn neg(&self) -> RnsPoly {
-        RnsPoly { channels: self.channels.iter().map(Poly::neg).collect() }
+        let mut out = self.clone();
+        out.neg_assign();
+        out
+    }
+
+    /// In-place channel-wise negation.
+    pub fn neg_assign(&mut self) {
+        let n = self.n() as u64;
+        par::par_iter_mut(&mut self.channels, n, |_, c| {
+            let m = c.modulus();
+            for x in c.coeffs_mut() {
+                *x = m.neg(*x);
+            }
+        });
     }
 
     /// Point-wise product; both operands must already be in NTT domain.
@@ -469,25 +625,55 @@ impl RnsPoly {
     /// Returns [`MathError::BasisMismatch`] if either operand is in
     /// coefficient domain or structures disagree.
     pub fn mul_pointwise(&self, other: &RnsPoly) -> Result<RnsPoly, MathError> {
+        let mut out = self.clone();
+        out.mul_pointwise_assign(other)?;
+        Ok(out)
+    }
+
+    /// In-place point-wise product (`self *= other`), channel-parallel
+    /// above the [`par`] threshold. Both operands must be in NTT domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::BasisMismatch`] if either operand is in
+    /// coefficient domain or structures disagree (`self` is unchanged on
+    /// error).
+    pub fn mul_pointwise_assign(&mut self, other: &RnsPoly) -> Result<(), MathError> {
         if self.domain() != Domain::Ntt || other.domain() != Domain::Ntt {
             return Err(MathError::BasisMismatch { detail: "mul_pointwise requires NTT domain" });
         }
-        self.zip_with(other, |a, b| {
-            let m = a.modulus();
-            let vals = a.coeffs().iter().zip(b.coeffs()).map(|(&x, &y)| m.mul(x, y)).collect();
-            Poly::from_ntt(vals, m)
-        })
+        self.check_zip(other)?;
+        let n = self.n() as u64;
+        let others = &other.channels;
+        par::par_iter_mut(&mut self.channels, n, |i, c| {
+            let m = c.modulus();
+            for (x, &y) in c.coeffs_mut().iter_mut().zip(others[i].coeffs()) {
+                *x = m.mul(*x, y);
+            }
+        });
+        Ok(())
     }
 
     /// Applies the Galois automorphism `X ↦ X^g` channel-wise (coefficient
-    /// domain).
+    /// domain), channel-parallel above the [`par`] threshold.
     ///
     /// # Errors
     ///
     /// Same conditions as [`Poly::automorphism`].
     pub fn automorphism(&self, g: usize) -> Result<RnsPoly, MathError> {
-        let channels =
-            self.channels.iter().map(|c| c.automorphism(g)).collect::<Result<Vec<_>, _>>()?;
+        if self.domain() != Domain::Coefficient {
+            return Err(MathError::BasisMismatch {
+                detail: "automorphism requires coefficient domain",
+            });
+        }
+        if g.is_multiple_of(2) {
+            return Err(MathError::InvalidParameter {
+                detail: format!("automorphism exponent {g} must be odd"),
+            });
+        }
+        let channels = par::par_map(&self.channels, self.n() as u64, |_, c| {
+            c.automorphism(g).expect("validated: odd exponent, coefficient domain")
+        });
         Ok(RnsPoly { channels })
     }
 
@@ -526,21 +712,24 @@ impl RnsPoly {
         acc.rem_big(&q)
     }
 
-    fn zip_with(
-        &self,
-        other: &RnsPoly,
-        f: impl Fn(&Poly, &Poly) -> Result<Poly, MathError>,
-    ) -> Result<RnsPoly, MathError> {
+    /// Validates that `other` has the same channel structure (count, per-
+    /// channel modulus, degree, and domain) so zip kernels are infallible.
+    fn check_zip(&self, other: &RnsPoly) -> Result<(), MathError> {
         if self.channels.len() != other.channels.len() {
             return Err(MathError::BasisMismatch { detail: "channel counts differ" });
         }
-        let channels = self
-            .channels
-            .iter()
-            .zip(&other.channels)
-            .map(|(a, b)| f(a, b))
-            .collect::<Result<Vec<_>, _>>()?;
-        Ok(RnsPoly { channels })
+        for (a, b) in self.channels.iter().zip(&other.channels) {
+            if a.modulus() != b.modulus() {
+                return Err(MathError::BasisMismatch { detail: "moduli differ" });
+            }
+            if a.n() != b.n() {
+                return Err(MathError::BasisMismatch { detail: "lengths differ" });
+            }
+            if a.domain() != b.domain() {
+                return Err(MathError::BasisMismatch { detail: "domains differ" });
+            }
+        }
+        Ok(())
     }
 }
 

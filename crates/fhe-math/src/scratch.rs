@@ -1,0 +1,117 @@
+//! Reusable scratch buffers for allocation-free kernel hot paths.
+//!
+//! Steady-state FHE evaluation repeats the same kernel shapes (channel
+//! vectors of one ring degree) thousands of times; allocating each
+//! intermediate fresh puts the allocator on the critical path. A
+//! [`Scratch`] is a simple free-list of `Vec<u64>` buffers: kernels
+//! [`take`](Scratch::take) a zeroed buffer, use it, and [`put`](Scratch::put)
+//! it back, so after warm-up the pool serves every request from capacity
+//! already allocated.
+//!
+//! Kernels that cannot thread a pool through their signature use the
+//! per-thread pool via [`Scratch::with_thread_local`]. Worker threads
+//! spawned by [`crate::par`] each get their own pool (no locking); those
+//! pools live only for the parallel region, so cross-call reuse is a
+//! property of the sequential path and the caller thread — the parallel
+//! path amortizes its allocations across workers instead.
+
+use std::cell::RefCell;
+
+/// A free-list of reusable `u64` buffers.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    pool: Vec<Vec<u64>>,
+}
+
+impl Scratch {
+    /// An empty pool.
+    pub const fn new() -> Self {
+        Scratch { pool: Vec::new() }
+    }
+
+    /// A zeroed buffer of length `len`, reusing pooled capacity when
+    /// available.
+    pub fn take(&mut self, len: usize) -> Vec<u64> {
+        let mut buf = self.pool.pop().unwrap_or_default();
+        buf.clear();
+        buf.resize(len, 0);
+        buf
+    }
+
+    /// Returns a buffer to the pool for reuse.
+    pub fn put(&mut self, buf: Vec<u64>) {
+        // Keep the pool bounded: drop tiny buffers and cap the list length
+        // so a one-off giant workload cannot pin memory forever.
+        if self.pool.len() < 64 && buf.capacity() > 0 {
+            self.pool.push(buf);
+        }
+    }
+
+    /// Number of pooled buffers (diagnostics/tests).
+    pub fn pooled(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Runs `f` with this thread's pool. Nested calls on the same thread
+    /// are fine: the pool is handed out once per call frame via
+    /// `RefCell`, and inner frames simply see whatever buffers the outer
+    /// frame has not taken.
+    pub fn with_thread_local<R>(f: impl FnOnce(&mut Scratch) -> R) -> R {
+        thread_local! {
+            static POOL: RefCell<Scratch> = const { RefCell::new(Scratch::new()) };
+        }
+        POOL.with(|cell| match cell.try_borrow_mut() {
+            Ok(mut pool) => f(&mut pool),
+            // Re-entrant call (an outer frame holds the pool): use a
+            // transient pool rather than panicking.
+            Err(_) => f(&mut Scratch::new()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_is_zeroed_after_reuse() {
+        let mut s = Scratch::new();
+        let mut a = s.take(16);
+        a.iter_mut().for_each(|x| *x = 7);
+        let cap = a.capacity();
+        s.put(a);
+        let b = s.take(8);
+        assert!(b.iter().all(|&x| x == 0));
+        assert_eq!(b.len(), 8);
+        assert_eq!(b.capacity(), cap, "pooled capacity is reused");
+    }
+
+    #[test]
+    fn thread_local_pool_reuses_capacity() {
+        let cap0 = Scratch::with_thread_local(|s| {
+            let buf = s.take(1024);
+            let cap = buf.capacity();
+            s.put(buf);
+            cap
+        });
+        let cap1 = Scratch::with_thread_local(|s| {
+            let buf = s.take(512);
+            let cap = buf.capacity();
+            s.put(buf);
+            cap
+        });
+        assert_eq!(cap0, cap1, "second frame reuses the pooled buffer");
+    }
+
+    #[test]
+    fn reentrant_thread_local_does_not_panic() {
+        Scratch::with_thread_local(|outer| {
+            let buf = outer.take(4);
+            Scratch::with_thread_local(|inner| {
+                let b2 = inner.take(4);
+                inner.put(b2);
+            });
+            outer.put(buf);
+        });
+    }
+}

@@ -1,0 +1,134 @@
+//! Differential tests: the parallel backend must be **bit-identical** to
+//! sequential execution for every kernel it touches.
+//!
+//! Each test runs the same computation twice — once strictly sequential
+//! (thread cap 1, threshold maxed so nothing spawns) and once with the
+//! threaded path forced even at toy sizes (threshold 0, cap 4) — and
+//! compares raw residue vectors with `assert_eq!`. Determinism holds
+//! because the backend partitions work into disjoint contiguous chunks
+//! executing exactly the scalar code of the sequential path.
+
+use std::sync::{Mutex, MutexGuard};
+
+use fhe_math::{generate_ntt_primes, par, Modulus, Poly, RnsBasis, RnsContext, RnsPoly};
+
+/// Serializes tests in this binary: the thread-cap / threshold knobs are
+/// process-global.
+fn knob_guard() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Runs `f` under both backends and returns (sequential, parallel) results.
+fn both_backends<T, F: Fn() -> T>(f: F) -> (T, T) {
+    par::set_max_threads(1);
+    par::set_min_work(u64::MAX);
+    let seq = f();
+    par::set_max_threads(4);
+    par::set_min_work(0);
+    let par_out = f();
+    par::set_max_threads(0);
+    par::set_min_work(par::DEFAULT_MIN_WORK);
+    (seq, par_out)
+}
+
+fn context(n: usize, channels: usize) -> (RnsContext, Vec<Modulus>) {
+    let bits = if n <= 16 { 40 } else { 50 };
+    let primes = generate_ntt_primes(bits, n, channels).expect("primes");
+    let moduli: Vec<Modulus> = primes.iter().map(|&q| Modulus::new(q).expect("prime")).collect();
+    let ctx = RnsContext::new(n, RnsBasis::new(moduli.clone()).expect("basis")).expect("context");
+    (ctx, moduli)
+}
+
+/// Deterministic residues (keyed by channel and a salt) below `m`.
+fn fill(n: usize, c: usize, salt: u64, m: Modulus) -> Vec<u64> {
+    (0..n as u64)
+        .map(|i| (i ^ (c as u64) << 24 ^ salt).wrapping_mul(0x9e37_79b9_7f4a_7c15) % m.value())
+        .collect()
+}
+
+fn rns_poly(n: usize, salt: u64, moduli: &[Modulus]) -> RnsPoly {
+    let channels: Vec<Poly> = moduli
+        .iter()
+        .enumerate()
+        .map(|(c, &m)| Poly::from_coeffs(fill(n, c, salt, m), m).expect("canonical"))
+        .collect();
+    RnsPoly::from_channels(channels).expect("rns poly")
+}
+
+fn coeffs_of(p: &RnsPoly) -> Vec<Vec<u64>> {
+    p.channels().iter().map(|c| c.coeffs().to_vec()).collect()
+}
+
+#[test]
+fn ntt_roundtrip_bit_identical() {
+    let _g = knob_guard();
+    for n in [8usize, 1024, 8192] {
+        let (ctx, moduli) = context(n, 6);
+        let (seq, par_out) = both_backends(|| {
+            let mut p = rns_poly(n, 1, &moduli);
+            p.to_ntt(ctx.tables());
+            let ntt_form = coeffs_of(&p);
+            p.to_coeff(ctx.tables());
+            (ntt_form, coeffs_of(&p))
+        });
+        assert_eq!(seq, par_out, "NTT round-trip diverged at n = {n}");
+    }
+}
+
+#[test]
+fn modup_moddown_bit_identical() {
+    let _g = knob_guard();
+    for n in [8usize, 1024, 8192] {
+        let (ctx, moduli) = context(n, 7);
+        let src_idx: Vec<usize> = (0..3).collect();
+        let dst_idx: Vec<usize> = (3..7).collect();
+        let q_idx: Vec<usize> = (0..5).collect();
+        let p_idx: Vec<usize> = (5..7).collect();
+        let src: Vec<Vec<u64>> = src_idx.iter().map(|&c| fill(n, c, 2, moduli[c])).collect();
+        let q_data: Vec<Vec<u64>> = q_idx.iter().map(|&c| fill(n, c, 3, moduli[c])).collect();
+        let p_data: Vec<Vec<u64>> = p_idx.iter().map(|&c| fill(n, c, 3, moduli[c])).collect();
+        let (seq, par_out) = both_backends(|| {
+            let src_refs: Vec<&[u64]> = src.iter().map(Vec::as_slice).collect();
+            let up = ctx.modup(&src_refs, &src_idx, &dst_idx).expect("modup");
+            let q_refs: Vec<&[u64]> = q_data.iter().map(Vec::as_slice).collect();
+            let p_refs: Vec<&[u64]> = p_data.iter().map(Vec::as_slice).collect();
+            let down = ctx.moddown(&q_refs, &p_refs, &q_idx, &p_idx).expect("moddown");
+            (up, down)
+        });
+        assert_eq!(seq, par_out, "Modup/Moddown diverged at n = {n}");
+    }
+}
+
+#[test]
+fn elementwise_ops_bit_identical() {
+    let _g = knob_guard();
+    for n in [8usize, 1024, 8192] {
+        let (ctx, moduli) = context(n, 6);
+        let (seq, par_out) = both_backends(|| {
+            let mut a = rns_poly(n, 4, &moduli);
+            let mut b = rns_poly(n, 5, &moduli);
+            a.to_ntt(ctx.tables());
+            b.to_ntt(ctx.tables());
+            let mut acc = a.mul_pointwise(&b).expect("mul");
+            acc.add_assign(&a).expect("add");
+            acc.sub_assign(&b).expect("sub");
+            acc.neg_assign();
+            coeffs_of(&acc)
+        });
+        assert_eq!(seq, par_out, "element-wise ops diverged at n = {n}");
+    }
+}
+
+#[test]
+fn automorphism_bit_identical() {
+    let _g = knob_guard();
+    for n in [8usize, 1024, 8192] {
+        let (_ctx, moduli) = context(n, 6);
+        let (seq, par_out) = both_backends(|| {
+            let p = rns_poly(n, 6, &moduli);
+            coeffs_of(&p.automorphism(5).expect("automorphism"))
+        });
+        assert_eq!(seq, par_out, "automorphism diverged at n = {n}");
+    }
+}

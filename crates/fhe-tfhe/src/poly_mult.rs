@@ -11,7 +11,12 @@
 //! `N · 2^{β-1} · 2^64 < p_1·p_2 / 2`.
 
 use crate::TfheError;
-use fhe_math::{generate_ntt_primes, Modulus, NttTable};
+use fhe_math::{generate_ntt_primes, par, Modulus, NttTable};
+
+/// Work estimate (element-operations) for one `n`-point NTT.
+fn ntt_work(n: usize) -> u64 {
+    (n as u64) * u64::from(usize::BITS - n.leading_zeros())
+}
 
 /// The two-prime exact negacyclic multiplier for a fixed ring degree.
 #[derive(Debug, Clone)]
@@ -70,10 +75,23 @@ impl NegacyclicMultiplier {
     /// Panics if `poly.len() != n`.
     pub fn prepare(&self, poly: &[u64]) -> PreparedTorusPoly {
         assert_eq!(poly.len(), self.n);
-        let mut res1: Vec<u64> = poly.iter().map(|&t| self.p1.reduce(t)).collect();
-        let mut res2: Vec<u64> = poly.iter().map(|&t| self.p2.reduce(t)).collect();
-        self.ntt1.forward(&mut res1);
-        self.ntt2.forward(&mut res2);
+        // The two prime fields are independent — run them on separate
+        // threads when the transform clears the adaptive threshold.
+        let w = ntt_work(self.n);
+        let (res1, res2) = par::join(
+            w,
+            w,
+            || {
+                let mut res1: Vec<u64> = poly.iter().map(|&t| self.p1.reduce(t)).collect();
+                self.ntt1.forward(&mut res1);
+                res1
+            },
+            || {
+                let mut res2: Vec<u64> = poly.iter().map(|&t| self.p2.reduce(t)).collect();
+                self.ntt2.forward(&mut res2);
+                res2
+            },
+        );
         PreparedTorusPoly { res1, res2 }
     }
 
@@ -89,21 +107,33 @@ impl NegacyclicMultiplier {
     /// Panics on length mismatches.
     pub fn mul_acc(&self, digits: &[i64], prepared: &PreparedTorusPoly, acc: &mut NttAccumulator) {
         assert_eq!(digits.len(), self.n);
-        let mut d1: Vec<u64> = digits.iter().map(|&d| self.p1.from_i64(d)).collect();
-        let mut d2: Vec<u64> = digits.iter().map(|&d| self.p2.from_i64(d)).collect();
-        self.ntt1.forward(&mut d1);
-        self.ntt2.forward(&mut d2);
-        for i in 0..self.n {
-            acc.acc1[i] = self.p1.add(acc.acc1[i], self.p1.mul(d1[i], prepared.res1[i]));
-            acc.acc2[i] = self.p2.add(acc.acc2[i], self.p2.mul(d2[i], prepared.res2[i]));
-        }
+        // Transform + MAC per prime field, the two fields in parallel.
+        let w = ntt_work(self.n);
+        par::join(
+            w,
+            w,
+            || {
+                let mut d1: Vec<u64> = digits.iter().map(|&d| self.p1.from_i64(d)).collect();
+                self.ntt1.forward(&mut d1);
+                for (a, (&d, &r)) in acc.acc1.iter_mut().zip(d1.iter().zip(&prepared.res1)) {
+                    *a = self.p1.add(*a, self.p1.mul(d, r));
+                }
+            },
+            || {
+                let mut d2: Vec<u64> = digits.iter().map(|&d| self.p2.from_i64(d)).collect();
+                self.ntt2.forward(&mut d2);
+                for (a, (&d, &r)) in acc.acc2.iter_mut().zip(d2.iter().zip(&prepared.res2)) {
+                    *a = self.p2.add(*a, self.p2.mul(d, r));
+                }
+            },
+        );
     }
 
     /// Finalizes an accumulator: inverse NTTs, Garner CRT, centering, and
     /// reduction modulo `2^64`. Consumes the accumulator.
     pub fn finalize(&self, mut acc: NttAccumulator) -> Vec<u64> {
-        self.ntt1.inverse(&mut acc.acc1);
-        self.ntt2.inverse(&mut acc.acc2);
+        let w = ntt_work(self.n);
+        par::join(w, w, || self.ntt1.inverse(&mut acc.acc1), || self.ntt2.inverse(&mut acc.acc2));
         let p1 = self.p1.value() as u128;
         let p2 = self.p2.value() as u128;
         let big = p1 * p2;

@@ -1,0 +1,58 @@
+//! Telemetry must stay coherent when driven from the worker threads of
+//! fhe-math's parallel backend: counters aggregate exactly, spans land on
+//! per-worker tracks, and the global sink survives concurrent access.
+
+use std::sync::{Mutex, MutexGuard};
+
+use fhe_math::par;
+use telemetry::{Metric, OpClassKey, Telemetry};
+
+/// Serializes tests in this binary: the backend knobs are process-global.
+fn knob_guard() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn counters_exact_under_parallel_backend() {
+    let _g = knob_guard();
+    let tel = Telemetry::enabled();
+    // Force the threaded path even for this toy item count.
+    par::set_max_threads(4);
+    par::set_min_work(0);
+    let items = 1000usize;
+    par::par_for_each(items, 1, |i| {
+        let _span = tel.span("worker-item");
+        tel.count(Metric::MetaOps, OpClassKey::Ntt, 1);
+        tel.count(Metric::HbmBytes, OpClassKey::Transfer, 64 + (i as u64 % 2));
+    });
+    par::set_max_threads(0);
+    par::set_min_work(par::DEFAULT_MIN_WORK);
+
+    let snap = tel.snapshot();
+    assert_eq!(snap.counter(Metric::MetaOps, OpClassKey::Ntt), items as u64);
+    // Sum of 64 + (i % 2) over 0..1000 = 64*1000 + 500.
+    assert_eq!(snap.counter(Metric::HbmBytes, OpClassKey::Transfer), 64_500);
+    // Every item produced exactly one span, distributed over the workers'
+    // per-thread tracks.
+    assert_eq!(snap.spans().iter().filter(|s| s.name == "worker-item").count(), items);
+    let tids: std::collections::BTreeSet<u64> = snap.spans().iter().map(|s| s.tid).collect();
+    assert!(!tids.is_empty() && tids.len() <= 4, "got {} worker tracks", tids.len());
+}
+
+#[test]
+fn counters_identical_sequential_vs_parallel() {
+    let _g = knob_guard();
+    let run = |threads: usize| {
+        let tel = Telemetry::enabled();
+        par::set_max_threads(threads);
+        par::set_min_work(if threads == 1 { u64::MAX } else { 0 });
+        par::par_for_each(257, 1, |i| {
+            tel.count(Metric::MetaOps, OpClassKey::Bconv, i as u64);
+        });
+        par::set_max_threads(0);
+        par::set_min_work(par::DEFAULT_MIN_WORK);
+        tel.snapshot().counter(Metric::MetaOps, OpClassKey::Bconv)
+    };
+    assert_eq!(run(1), run(4), "counter totals must not depend on the backend");
+}
