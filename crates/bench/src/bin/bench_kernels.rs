@@ -13,12 +13,29 @@
 //! cargo run --release -p bench --bin bench_kernels
 //! ```
 //!
-//! `--smoke` shrinks the sweep to one toy size with one iteration — the CI
-//! job uses it to prove the binary stays runnable, not to measure.
+//! Flags (see `DESIGN.md` §10 for the methodology):
+//!
+//! * `--reps N` — timed repetitions per kernel after one untimed warm-up;
+//!   the best (minimum) wall time is recorded. Defaults to 3 (1 under
+//!   `--smoke`).
+//! * `--profile` — re-runs each kernel once on the parallel backend with
+//!   the per-worker profiler armed and reports busy/idle time, chunk and
+//!   item counts per worker, plus the load-imbalance factor.
+//! * `--compare BASELINE.json [--tolerance F]` — diffs the fresh run
+//!   against a committed baseline per `(kernel, n, channels)` key and
+//!   exits `1` if any kernel slowed by more than the tolerance
+//!   (default 0.15 = 15%). Mismatched sweeps with zero overlapping keys
+//!   exit `2` instead of passing vacuously.
+//! * `--trace-out PATH` — installs a process-global telemetry handle so
+//!   the kernel-level histogram probes (`math.*`, `ckks.*`) capture
+//!   latency distributions, and writes a Chrome/Perfetto trace.
+//!
+//! `--smoke` shrinks the sweep to one toy size — the CI job uses it with
+//! `--compare` to keep the regression gate itself exercised.
 
 use std::time::Instant;
 
-use bench::{fmt_time, BenchArgs, Reporter};
+use bench::{fmt_time, regress, BenchArgs, Reporter};
 use fhe_ckks::{CkksContext, CkksParams, Encoder, Evaluator, RelinKey, SecretKey};
 use fhe_math::{generate_ntt_primes, par, Modulus, Poly, RnsBasis, RnsContext, RnsPoly};
 use rand::SeedableRng;
@@ -38,6 +55,9 @@ struct Measurement {
     channels: usize,
     seq_s: f64,
     par_s: f64,
+    /// Per-worker activity from one profiler-armed parallel run
+    /// (`--profile` only).
+    profile: Option<par::ParProfile>,
 }
 
 impl Measurement {
@@ -46,11 +66,11 @@ impl Measurement {
     }
 }
 
-/// Best-of-`iters` wall time of `f`, with one untimed warm-up call.
-fn time_best<F: FnMut()>(iters: usize, mut f: F) -> f64 {
+/// Best of `reps` timed runs of `f`, after one untimed warm-up call.
+fn time_reps<F: FnMut()>(reps: usize, mut f: F) -> f64 {
     f();
     let mut best = f64::INFINITY;
-    for _ in 0..iters {
+    for _ in 0..reps {
         let t0 = Instant::now();
         f();
         best = best.min(t0.elapsed().as_secs_f64());
@@ -58,14 +78,28 @@ fn time_best<F: FnMut()>(iters: usize, mut f: F) -> f64 {
     best
 }
 
-/// Runs `f` once per mode (sequential, then parallel) and returns both
-/// best times. Restores the auto thread budget afterwards.
-fn seq_vs_par<F: FnMut()>(iters: usize, mut f: F) -> (f64, f64) {
+/// Runs `f` per mode (sequential, then parallel) and returns both best
+/// times, plus a per-worker profile from one extra profiler-armed parallel
+/// run when `profile` is set. Restores the auto thread budget afterwards.
+fn seq_vs_par<F: FnMut()>(
+    reps: usize,
+    profile: bool,
+    mut f: F,
+) -> (f64, f64, Option<par::ParProfile>) {
     par::set_max_threads(1);
-    let seq = time_best(iters, &mut f);
+    let seq = time_reps(reps, &mut f);
     par::set_max_threads(0);
-    let par_t = time_best(iters, &mut f);
-    (seq, par_t)
+    let par_t = time_reps(reps, &mut f);
+    let prof = profile.then(|| {
+        // Profiled separately from the timed reps so the (relaxed-atomic)
+        // bookkeeping never pollutes the recorded wall times.
+        par::reset_profile();
+        par::set_profiling(true);
+        f();
+        par::set_profiling(false);
+        par::profile_snapshot()
+    });
+    (seq, par_t, prof)
 }
 
 /// Deterministic pseudo-random residues for channel `c` of a degree-`n`
@@ -76,7 +110,7 @@ fn fill(n: usize, c: usize, m: Modulus) -> Vec<u64> {
         .collect()
 }
 
-fn rns_kernels(n: usize, iters: usize, out: &mut Vec<Measurement>) {
+fn rns_kernels(n: usize, reps: usize, profile: bool, out: &mut Vec<Measurement>) {
     let primes = generate_ntt_primes(50, n, CHANNELS).expect("enough 50-bit NTT primes");
     let moduli: Vec<Modulus> = primes.iter().map(|&q| Modulus::new(q).expect("prime")).collect();
     let ctx = RnsContext::new(n, RnsBasis::new(moduli.clone()).expect("basis")).expect("context");
@@ -88,7 +122,7 @@ fn rns_kernels(n: usize, iters: usize, out: &mut Vec<Measurement>) {
         .map(|(c, &m)| Poly::from_coeffs(fill(n, c, m), m).expect("canonical"))
         .collect();
     let mut poly = RnsPoly::from_channels(channels).expect("rns poly");
-    let (seq, par_t) = seq_vs_par(iters, || {
+    let (seq, par_t, prof) = seq_vs_par(reps, profile, || {
         poly.to_ntt(ctx.tables());
         poly.to_coeff(ctx.tables());
     });
@@ -98,6 +132,7 @@ fn rns_kernels(n: usize, iters: usize, out: &mut Vec<Measurement>) {
         channels: CHANNELS,
         seq_s: seq,
         par_s: par_t,
+        profile: prof,
     });
 
     // Modup: DIGIT source channels onto the remaining channels.
@@ -107,8 +142,16 @@ fn rns_kernels(n: usize, iters: usize, out: &mut Vec<Measurement>) {
     let src_data: Vec<Vec<u64>> = src_idx.iter().map(|&c| fill(n, c, moduli[c])).collect();
     let src_refs: Vec<&[u64]> = src_data.iter().map(Vec::as_slice).collect();
     let mut modup_out = vec![Vec::new(); dst_idx.len()];
-    let (seq, par_t) = seq_vs_par(iters, || plan.apply_into(&src_refs, &mut modup_out));
-    out.push(Measurement { kernel: "modup", n, channels: dst_idx.len(), seq_s: seq, par_s: par_t });
+    let (seq, par_t, prof) =
+        seq_vs_par(reps, profile, || plan.apply_into(&src_refs, &mut modup_out));
+    out.push(Measurement {
+        kernel: "modup",
+        n,
+        channels: dst_idx.len(),
+        seq_s: seq,
+        par_s: par_t,
+        profile: prof,
+    });
 
     // Moddown: CHANNELS-SPECIALS ciphertext channels, SPECIALS specials.
     let q_idx: Vec<usize> = (0..CHANNELS - SPECIALS).collect();
@@ -118,13 +161,20 @@ fn rns_kernels(n: usize, iters: usize, out: &mut Vec<Measurement>) {
     let q_refs: Vec<&[u64]> = q_data.iter().map(Vec::as_slice).collect();
     let p_refs: Vec<&[u64]> = p_data.iter().map(Vec::as_slice).collect();
     let mut moddown_out = vec![Vec::new(); q_idx.len()];
-    let (seq, par_t) = seq_vs_par(iters, || {
+    let (seq, par_t, prof) = seq_vs_par(reps, profile, || {
         ctx.moddown_into(&q_refs, &p_refs, &q_idx, &p_idx, &mut moddown_out).expect("moddown");
     });
-    out.push(Measurement { kernel: "moddown", n, channels: q_idx.len(), seq_s: seq, par_s: par_t });
+    out.push(Measurement {
+        kernel: "moddown",
+        n,
+        channels: q_idx.len(),
+        seq_s: seq,
+        par_s: par_t,
+        profile: prof,
+    });
 }
 
-fn ckks_kernel(n: usize, iters: usize, out: &mut Vec<Measurement>) {
+fn ckks_kernel(n: usize, reps: usize, profile: bool, out: &mut Vec<Measurement>) {
     // Small chain so setup stays cheap; the kernel under test is the
     // mul + relinearize + rescale pipeline, whose cost scales with n.
     let (max_level, dnum, scale_bits) = if n <= 64 { (2, 2, 26) } else { (3, 2, 36) };
@@ -141,7 +191,7 @@ fn ckks_kernel(n: usize, iters: usize, out: &mut Vec<Measurement>) {
     let ca = sk.encrypt(&ctx, &pt, &mut rng).expect("encrypt");
     let cb = sk.encrypt(&ctx, &pt, &mut rng).expect("encrypt");
     let level = ca.level();
-    let (seq, par_t) = seq_vs_par(iters, || {
+    let (seq, par_t, prof) = seq_vs_par(reps, profile, || {
         let prod = ev.mul(&ca, &cb, &rlk).expect("mul");
         std::hint::black_box(ev.rescale(&prod).expect("rescale"));
     });
@@ -151,14 +201,43 @@ fn ckks_kernel(n: usize, iters: usize, out: &mut Vec<Measurement>) {
         channels: level + 1,
         seq_s: seq,
         par_s: par_t,
+        profile: prof,
     });
 }
 
-fn to_json(measurements: &[Measurement], note: &str) -> Json {
+fn profile_to_json(p: &par::ParProfile) -> Json {
+    let mut o = std::collections::BTreeMap::new();
+    o.insert(
+        "workers".to_string(),
+        Json::Arr(
+            p.workers
+                .iter()
+                .map(|w| {
+                    let mut wo = std::collections::BTreeMap::new();
+                    wo.insert("worker".to_string(), Json::Num(w.worker as f64));
+                    wo.insert("busy_ns".to_string(), Json::Num(w.busy_ns as f64));
+                    wo.insert("idle_ns".to_string(), Json::Num(p.idle_ns(w) as f64));
+                    wo.insert("chunks".to_string(), Json::Num(w.chunks as f64));
+                    wo.insert("items".to_string(), Json::Num(w.items as f64));
+                    Json::Obj(wo)
+                })
+                .collect(),
+        ),
+    );
+    o.insert("regions".to_string(), Json::Num(p.regions as f64));
+    o.insert("wall_ns".to_string(), Json::Num(p.wall_ns as f64));
+    o.insert("imbalance".to_string(), Json::Num(p.imbalance()));
+    Json::Obj(o)
+}
+
+fn to_json(measurements: &[Measurement], note: &str, reps: usize) -> Json {
     let mut doc = std::collections::BTreeMap::new();
+    doc.insert("schema_version".to_string(), Json::Num(2.0));
+    doc.insert("git_commit".to_string(), Json::Str(bench::git_commit()));
     let mut host = std::collections::BTreeMap::new();
     host.insert("threads".to_string(), Json::Num(par::max_threads() as f64));
     host.insert("parallel_compiled".to_string(), Json::Bool(par::parallelism_compiled()));
+    host.insert("reps".to_string(), Json::Num(reps as f64));
     doc.insert("host".to_string(), Json::Obj(host));
     doc.insert("note".to_string(), Json::Str(note.to_string()));
     doc.insert(
@@ -174,6 +253,9 @@ fn to_json(measurements: &[Measurement], note: &str) -> Json {
                     o.insert("seq_s".to_string(), Json::Num(m.seq_s));
                     o.insert("par_s".to_string(), Json::Num(m.par_s));
                     o.insert("speedup".to_string(), Json::Num(m.speedup()));
+                    if let Some(p) = &m.profile {
+                        o.insert("profile".to_string(), profile_to_json(p));
+                    }
                     Json::Obj(o)
                 })
                 .collect(),
@@ -182,37 +264,75 @@ fn to_json(measurements: &[Measurement], note: &str) -> Json {
     Json::Obj(doc)
 }
 
+/// Parses `--flag <value>` out of the positional rest, with a typed error.
+fn take_value_flag(rest: &[String], flag: &str) -> Option<String> {
+    rest.iter().position(|a| a == flag).map(|i| {
+        rest.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("{flag} requires a value argument");
+            std::process::exit(2);
+        })
+    })
+}
+
 fn main() {
     let args = BenchArgs::parse();
     let smoke = args.rest.iter().any(|a| a == "--smoke");
-    let out_path = args
-        .rest
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.rest.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "BENCH_kernels.json".to_string());
+    let profile = args.rest.iter().any(|a| a == "--profile");
+    let out_path =
+        take_value_flag(&args.rest, "--out").unwrap_or_else(|| "BENCH_kernels.json".to_string());
+    let compare_path = take_value_flag(&args.rest, "--compare");
+    let tolerance = take_value_flag(&args.rest, "--tolerance")
+        .map(|s| {
+            s.parse::<f64>().ok().filter(|t| *t >= 0.0).unwrap_or_else(|| {
+                eprintln!("--tolerance must be a non-negative number, got {s:?}");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(0.15);
+    let reps = take_value_flag(&args.rest, "--reps")
+        .map(|s| {
+            s.parse::<usize>().ok().filter(|r| *r >= 1).unwrap_or_else(|| {
+                eprintln!("--reps must be a positive integer, got {s:?}");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(if smoke { 1 } else { 3 });
     let mut rep = Reporter::from_args(&args);
 
-    let (sizes, iters): (Vec<usize>, usize) =
-        if smoke { (vec![1 << 8], 1) } else { ((12..=16).map(|k| 1usize << k).collect(), 3) };
+    // With --trace-out the handle is installed process-globally so the
+    // histogram-only Timer probes inside fhe-math / fhe-ckks feed per-
+    // kernel latency distributions into the exported snapshot.
+    let tel = bench::telemetry_from_args(&args);
+    if tel.is_enabled() {
+        telemetry::install(tel.clone());
+        tel.set_meta("bench.reps", &reps.to_string());
+        tel.set_meta("bench.smoke", &smoke.to_string());
+    }
+
+    // The smoke size is part of the full sweep so a `--smoke --compare`
+    // run always overlaps a full-sweep baseline on every kernel key.
+    let sizes: Vec<usize> = if smoke {
+        vec![1 << 8]
+    } else {
+        std::iter::once(1 << 8).chain((12..=16).map(|k| 1 << k)).collect()
+    };
 
     let mut measurements = Vec::new();
     for &n in &sizes {
         if !rep.is_json() {
             println!("measuring n = {n}...");
         }
-        rns_kernels(n, iters, &mut measurements);
+        rns_kernels(n, reps, profile, &mut measurements);
         // CKKS at every size would dominate the run; sample the endpoints.
-        if smoke || n == sizes[0] || n == *sizes.last().expect("nonempty") {
-            ckks_kernel(if smoke { 64 } else { n }, iters, &mut measurements);
+        if n == sizes[0] || n == *sizes.last().expect("nonempty") {
+            ckks_kernel(n, reps, profile, &mut measurements);
         }
     }
     par::set_max_threads(0);
 
     let threads = par::max_threads();
     let note = format!(
-        "best-of-{iters} wall times on a {threads}-thread host \
+        "best-of-{reps} wall times on a {threads}-thread host \
          (parallel feature compiled: {}); sequential pins the backend to one \
          thread, parallel uses one worker per core. On a single-core host the \
          two columns coincide because the backend runs inline; re-run on a \
@@ -240,7 +360,11 @@ fn main() {
     );
     rep.note(&note);
 
-    let doc = to_json(&measurements, &note);
+    if profile {
+        report_profiles(&mut rep, &tel, &measurements);
+    }
+
+    let doc = to_json(&measurements, &note, reps);
     if let Err(e) = std::fs::write(&out_path, format!("{doc}\n")) {
         eprintln!("failed to write {out_path}: {e}");
         std::process::exit(1);
@@ -248,5 +372,130 @@ fn main() {
     if !rep.is_json() {
         println!("wrote {out_path}");
     }
+
+    let mut regressed = false;
+    if let Some(bpath) = compare_path {
+        regressed = run_compare(&mut rep, &measurements, &bpath, tolerance);
+    }
+
     rep.finish();
+    if let Some(path) = &args.trace_out {
+        bench::write_trace(&tel, path);
+    }
+    if regressed {
+        std::process::exit(1);
+    }
+}
+
+/// Renders the per-worker utilization tables and feeds the busy-time
+/// distribution into the telemetry snapshot (one histogram per kernel, so
+/// imbalance shows up as p99/p50 spread in the exports).
+fn report_profiles(rep: &mut Reporter, tel: &telemetry::Telemetry, measurements: &[Measurement]) {
+    for m in measurements {
+        let Some(p) = &m.profile else { continue };
+        let rows: Vec<Vec<String>> = p
+            .workers
+            .iter()
+            .map(|w| {
+                vec![
+                    w.worker.to_string(),
+                    fmt_time(w.busy_ns as f64 * 1e-9),
+                    fmt_time(p.idle_ns(w) as f64 * 1e-9),
+                    w.chunks.to_string(),
+                    w.items.to_string(),
+                ]
+            })
+            .collect();
+        rep.table(
+            &format!("Worker profile: {} n={} ({} parallel regions)", m.kernel, m.n, p.regions),
+            &["worker", "busy", "idle", "chunks", "items"],
+            &rows,
+        );
+        rep.note(&format!(
+            "{} n={}: {} workers, imbalance {:.2} (max busy / mean busy), wall {}",
+            m.kernel,
+            m.n,
+            p.workers.len(),
+            p.imbalance(),
+            fmt_time(p.wall_ns as f64 * 1e-9),
+        ));
+        if tel.is_enabled() {
+            for w in &p.workers {
+                tel.observe_ns(&format!("par.worker_busy.{}", m.kernel), w.busy_ns);
+            }
+            tel.set_meta(
+                &format!("par.imbalance.{}.n{}", m.kernel, m.n),
+                &format!("{:.3}", p.imbalance()),
+            );
+        }
+    }
+}
+
+/// Diffs the fresh measurements against `baseline_path` and renders the
+/// delta table. Returns whether any kernel regressed beyond `tolerance`.
+fn run_compare(
+    rep: &mut Reporter,
+    measurements: &[Measurement],
+    baseline_path: &str,
+    tolerance: f64,
+) -> bool {
+    let text = std::fs::read_to_string(baseline_path).unwrap_or_else(|e| {
+        eprintln!("failed to read baseline {baseline_path}: {e}");
+        std::process::exit(2);
+    });
+    let doc = telemetry::json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("baseline {baseline_path} is not valid JSON: {e}");
+        std::process::exit(2);
+    });
+    let baseline = regress::parse_baseline(&doc).unwrap_or_else(|e| {
+        eprintln!("baseline {baseline_path}: {e}");
+        std::process::exit(2);
+    });
+    let fresh: Vec<regress::KernelPoint> = measurements
+        .iter()
+        .map(|m| regress::KernelPoint {
+            kernel: m.kernel.to_string(),
+            n: m.n as u64,
+            channels: m.channels as u64,
+            seq_s: m.seq_s,
+            par_s: m.par_s,
+        })
+        .collect();
+    let report = regress::compare(&fresh, &baseline, tolerance).unwrap_or_else(|e| {
+        eprintln!("cannot compare against {baseline_path}: {e}");
+        std::process::exit(2);
+    });
+
+    let rows: Vec<Vec<String>> = report
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.kernel.clone(),
+                r.n.to_string(),
+                r.channels.to_string(),
+                fmt_time(r.base.1),
+                fmt_time(r.fresh.1),
+                format!("{:.2}", r.ratio.0),
+                format!("{:.2}", r.ratio.1),
+                if r.regressed { "REGRESSED".to_string() } else { "ok".to_string() },
+            ]
+        })
+        .collect();
+    rep.table(
+        &format!("Regression gate vs {baseline_path} (tolerance {:.0}%)", tolerance * 100.0),
+        &["kernel", "n", "channels", "base par", "fresh par", "seq ratio", "par ratio", "status"],
+        &rows,
+    );
+    let n_reg = report.regressions();
+    rep.note(&format!(
+        "{} of {} overlapping keys regressed beyond {:.0}% \
+         ({} fresh-only, {} baseline-only keys not gated).",
+        n_reg,
+        report.rows.len(),
+        tolerance * 100.0,
+        report.fresh_only,
+        report.base_only,
+    ));
+    n_reg > 0
 }

@@ -51,11 +51,7 @@ fn main() {
     let sp = workloads::CkksSimParams::paper();
     let boot = workloads::bootstrapping(&sp);
     let helr = workloads::helr_iteration(&sp);
-    let tel = if args.trace_out.is_some() {
-        telemetry::Telemetry::enabled()
-    } else {
-        telemetry::Telemetry::disabled()
-    };
+    let tel = bench::telemetry_from_args(&args);
     let boot_report = sim.run_traced(&boot, &tel);
     let helr_report = sim.run_traced(&helr, &tel);
     let boot_profile = WorkProfile::from_steps(&boot);

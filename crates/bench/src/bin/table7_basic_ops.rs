@@ -19,11 +19,7 @@ fn main() {
     let mut rep = Reporter::from_args(&args);
     let sim = Simulator::new(ArchConfig::paper());
     let p = workloads::CkksSimParams::paper();
-    let tel = if args.trace_out.is_some() {
-        telemetry::Telemetry::enabled()
-    } else {
-        telemetry::Telemetry::disabled()
-    };
+    let tel = bench::telemetry_from_args(&args);
     let run = |steps: &[alchemist_core::Step]| sim.run_traced(steps, &tel).seconds();
     let ours: Vec<(CkksOp, f64)> = vec![
         (CkksOp::Pmult, 1.0 / run(&workloads::pmult(&p))),

@@ -43,11 +43,7 @@ fn main() {
     let arch = ArchConfig::paper();
     let sim = Simulator::new(arch);
 
-    let tel = if args.trace_out.is_some() {
-        telemetry::Telemetry::enabled()
-    } else {
-        telemetry::Telemetry::disabled()
-    };
+    let tel = bench::telemetry_from_args(&args);
     let report = sim.run_traced(&steps, &tel);
 
     let shown = steps.len().min(40);

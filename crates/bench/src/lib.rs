@@ -11,6 +11,8 @@
 
 use telemetry::json::Json;
 
+pub mod regress;
+
 /// Command-line flags shared by the regeneration binaries.
 ///
 /// Recognized flags are consumed; everything else lands in `rest` in
@@ -140,6 +142,42 @@ impl Reporter {
         doc.insert("notes".to_string(), Json::Arr(self.notes.clone()));
         Json::Obj(doc)
     }
+}
+
+/// Telemetry handle for a binary: enabled when `--trace-out` was given,
+/// disabled (free) otherwise, and stamped with host/feature metadata via
+/// [`stamp_host_meta`] so every exported snapshot is self-describing.
+pub fn telemetry_from_args(args: &BenchArgs) -> telemetry::Telemetry {
+    let tel = if args.trace_out.is_some() {
+        telemetry::Telemetry::enabled()
+    } else {
+        telemetry::Telemetry::disabled()
+    };
+    stamp_host_meta(&tel);
+    tel
+}
+
+/// Records the facts needed to interpret a trace captured on another
+/// machine: worker-thread budget, whether the `parallel` feature was
+/// compiled in, and the producing git commit.
+pub fn stamp_host_meta(tel: &telemetry::Telemetry) {
+    tel.set_meta("host.threads", &fhe_math::par::max_threads().to_string());
+    tel.set_meta("host.parallel_compiled", &fhe_math::par::parallelism_compiled().to_string());
+    tel.set_meta("git.commit", &git_commit());
+}
+
+/// Short git commit hash of the working tree, or `"unknown"` outside a
+/// repository (benchmarks must keep working from an unpacked tarball).
+pub fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
 }
 
 /// Writes the captured telemetry trace to `path`, exiting with a clear

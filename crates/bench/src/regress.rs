@@ -1,0 +1,216 @@
+//! Perf-regression gate over the committed kernel baseline.
+//!
+//! `bench_kernels --compare <baseline.json>` re-measures the kernel sweep,
+//! then diffs the fresh best times against the baseline per
+//! `(kernel, n, channels)` key. A row regresses when either measured
+//! column (sequential or parallel) is slower than
+//! `baseline * (1 + tolerance)`; the binary exits nonzero if any row
+//! regresses. Keys present on only one side are counted but never gate —
+//! except that an *empty* intersection is an error, so a renamed kernel or
+//! a stale baseline cannot produce a vacuous pass.
+
+use std::collections::BTreeMap;
+
+use telemetry::json::Json;
+
+/// One measured kernel data point, keyed by `(kernel, n, channels)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelPoint {
+    /// Kernel name (`ntt_roundtrip`, `modup`, ...).
+    pub kernel: String,
+    /// Ring degree.
+    pub n: u64,
+    /// RNS channels processed.
+    pub channels: u64,
+    /// Best wall time with the backend pinned to one thread.
+    pub seq_s: f64,
+    /// Best wall time with the auto thread budget.
+    pub par_s: f64,
+}
+
+impl KernelPoint {
+    fn key(&self) -> (&str, u64, u64) {
+        (&self.kernel, self.n, self.channels)
+    }
+}
+
+/// Extracts the `kernels` array of a `BENCH_kernels.json` document
+/// (schema v1 and v2 store the per-kernel fields identically).
+pub fn parse_baseline(doc: &Json) -> Result<Vec<KernelPoint>, String> {
+    let arr = doc
+        .get("kernels")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "baseline has no `kernels` array".to_string())?;
+    arr.iter()
+        .enumerate()
+        .map(|(i, k)| {
+            let num = |field: &str| {
+                k.get(field)
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("kernels[{i}] missing numeric `{field}`"))
+            };
+            Ok(KernelPoint {
+                kernel: k
+                    .get("kernel")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("kernels[{i}] missing `kernel`"))?
+                    .to_string(),
+                n: num("n")? as u64,
+                channels: num("channels")? as u64,
+                seq_s: num("seq_s")?,
+                par_s: num("par_s")?,
+            })
+        })
+        .collect()
+}
+
+/// Verdict for one key present in both the fresh run and the baseline.
+#[derive(Debug, Clone)]
+pub struct CompareRow {
+    /// Kernel name.
+    pub kernel: String,
+    /// Ring degree.
+    pub n: u64,
+    /// RNS channels processed.
+    pub channels: u64,
+    /// Baseline (sequential, parallel) times.
+    pub base: (f64, f64),
+    /// Fresh (sequential, parallel) times.
+    pub fresh: (f64, f64),
+    /// `fresh / base` per column.
+    pub ratio: (f64, f64),
+    /// Whether either column exceeded the tolerance.
+    pub regressed: bool,
+}
+
+/// The full diff of a fresh run against a baseline.
+#[derive(Debug, Clone)]
+pub struct CompareReport {
+    /// One row per overlapping key, in fresh-run order.
+    pub rows: Vec<CompareRow>,
+    /// Relative slowdown allowed before a row regresses.
+    pub tolerance: f64,
+    /// Fresh keys with no baseline entry (not gated).
+    pub fresh_only: usize,
+    /// Baseline keys the fresh run did not measure (not gated).
+    pub base_only: usize,
+}
+
+impl CompareReport {
+    /// Number of rows over tolerance.
+    pub fn regressions(&self) -> usize {
+        self.rows.iter().filter(|r| r.regressed).count()
+    }
+}
+
+/// Diffs `fresh` against `baseline` per `(kernel, n, channels)` key.
+///
+/// # Errors
+///
+/// Errors when the two runs share no key: comparing disjoint sweeps
+/// (e.g. a `--smoke` run against a baseline without the smoke size) must
+/// fail loudly rather than pass vacuously.
+pub fn compare(
+    fresh: &[KernelPoint],
+    baseline: &[KernelPoint],
+    tolerance: f64,
+) -> Result<CompareReport, String> {
+    let base_by_key: BTreeMap<_, &KernelPoint> = baseline.iter().map(|p| (p.key(), p)).collect();
+    let mut rows = Vec::new();
+    let mut fresh_only = 0usize;
+    for f in fresh {
+        let Some(b) = base_by_key.get(&f.key()) else {
+            fresh_only += 1;
+            continue;
+        };
+        let ratio = (f.seq_s / b.seq_s, f.par_s / b.par_s);
+        let limit = 1.0 + tolerance;
+        rows.push(CompareRow {
+            kernel: f.kernel.clone(),
+            n: f.n,
+            channels: f.channels,
+            base: (b.seq_s, b.par_s),
+            fresh: (f.seq_s, f.par_s),
+            ratio,
+            regressed: ratio.0 > limit || ratio.1 > limit,
+        });
+    }
+    if rows.is_empty() {
+        return Err(format!(
+            "no (kernel, n, channels) key overlaps the baseline \
+             ({} fresh vs {} baseline entries) — stale or mismatched baseline?",
+            fresh.len(),
+            baseline.len()
+        ));
+    }
+    let base_only = baseline.len() - rows.len();
+    Ok(CompareReport { rows, tolerance, fresh_only, base_only })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(kernel: &str, n: u64, seq_s: f64, par_s: f64) -> KernelPoint {
+        KernelPoint { kernel: kernel.to_string(), n, channels: 8, seq_s, par_s }
+    }
+
+    #[test]
+    fn identical_runs_have_no_regressions() {
+        let pts = vec![point("ntt", 256, 1e-3, 5e-4), point("modup", 256, 2e-3, 1e-3)];
+        let rep = compare(&pts, &pts, 0.15).unwrap();
+        assert_eq!(rep.rows.len(), 2);
+        assert_eq!(rep.regressions(), 0);
+        assert_eq!((rep.fresh_only, rep.base_only), (0, 0));
+    }
+
+    #[test]
+    fn doubled_time_regresses_either_column() {
+        let base = vec![point("ntt", 256, 1e-3, 5e-4)];
+        let slow_par = vec![point("ntt", 256, 1e-3, 1e-3)];
+        let rep = compare(&slow_par, &base, 0.15).unwrap();
+        assert_eq!(rep.regressions(), 1);
+        let slow_seq = vec![point("ntt", 256, 2e-3, 5e-4)];
+        assert_eq!(compare(&slow_seq, &base, 0.15).unwrap().regressions(), 1);
+        // A 2x slowdown still passes under a huge tolerance.
+        assert_eq!(compare(&slow_seq, &base, 1.5).unwrap().regressions(), 0);
+    }
+
+    #[test]
+    fn speedup_never_regresses() {
+        let base = vec![point("ntt", 256, 1e-3, 5e-4)];
+        let fast = vec![point("ntt", 256, 1e-4, 5e-5)];
+        assert_eq!(compare(&fast, &base, 0.0).unwrap().regressions(), 0);
+    }
+
+    #[test]
+    fn disjoint_keys_are_an_error_not_a_pass() {
+        let base = vec![point("ntt", 4096, 1e-3, 5e-4)];
+        let fresh = vec![point("ntt", 256, 1e-3, 5e-4)];
+        assert!(compare(&fresh, &base, 0.15).is_err());
+        // Partial overlap is fine; the extras are counted, not gated.
+        let fresh2 = vec![point("ntt", 256, 1e-3, 5e-4), point("ntt", 4096, 1e-3, 5e-4)];
+        let rep = compare(&fresh2, &base, 0.15).unwrap();
+        assert_eq!(rep.rows.len(), 1);
+        assert_eq!(rep.fresh_only, 1);
+    }
+
+    #[test]
+    fn baseline_parser_accepts_v1_and_rejects_malformed() {
+        let v1 = telemetry::json::parse(
+            r#"{"host": {"threads": 1}, "note": "x", "kernels": [
+                {"kernel": "ntt_roundtrip", "n": 4096, "channels": 8,
+                 "seq_s": 0.001, "par_s": 0.0005, "speedup": 2.0}]}"#,
+        )
+        .unwrap();
+        let pts = parse_baseline(&v1).unwrap();
+        assert_eq!(pts.len(), 1);
+        assert_eq!(pts[0].kernel, "ntt_roundtrip");
+        assert_eq!((pts[0].n, pts[0].channels), (4096, 8));
+
+        let bad = telemetry::json::parse(r#"{"kernels": [{"kernel": "x", "n": 1}]}"#).unwrap();
+        assert!(parse_baseline(&bad).is_err());
+        let none = telemetry::json::parse(r#"{"tables": []}"#).unwrap();
+        assert!(parse_baseline(&none).is_err());
+    }
+}

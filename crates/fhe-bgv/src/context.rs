@@ -420,6 +420,8 @@ impl BgvContext {
         rlk: &BgvRelinKey,
         level: usize,
     ) -> Result<(RnsPoly, RnsPoly), BgvError> {
+        // Histogram-only probe: full hybrid keyswitch latency.
+        let _t = telemetry::Timer::enter("bgv.keyswitch");
         let n = self.params.n();
         let p_idx = self.p_index();
         let total = level + 2; // level+1 q-channels plus p.

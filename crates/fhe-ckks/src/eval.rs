@@ -364,6 +364,8 @@ impl<'a> Evaluator<'a> {
         d: &RnsPoly,
         level: usize,
     ) -> Result<Vec<Vec<Vec<u64>>>, CkksError> {
+        // Histogram-only probe: latency of the hoistable keyswitch half.
+        let _t = telemetry::Timer::enter("ckks.keyswitch.decomp_modup");
         debug_assert_eq!(d.domain(), Domain::Ntt);
         let mut d_coeff = d.clone();
         d_coeff.to_coeff(self.ctx.level_tables(level));
@@ -410,6 +412,8 @@ impl<'a> Evaluator<'a> {
         key: &SwitchKey,
         level: usize,
     ) -> Result<(RnsPoly, RnsPoly), CkksError> {
+        // Histogram-only probe: latency of the per-key keyswitch half.
+        let _t = telemetry::Timer::enter("ckks.keyswitch.key_moddown");
         let n = self.ctx.n();
         let t = level + 1 + self.ctx.k_len();
         let global_of = |pos: usize| -> usize {

@@ -181,6 +181,7 @@ impl RnsContext {
         dst: &[usize],
         out: &mut [Vec<u64>],
     ) -> Result<(), MathError> {
+        let _t = telemetry::Timer::enter("math.modup");
         let plan = self.bconv(src, dst)?;
         plan.apply_into(poly_channels, out);
         Ok(())
@@ -224,6 +225,7 @@ impl RnsContext {
         p_idx: &[usize],
         out: &mut [Vec<u64>],
     ) -> Result<(), MathError> {
+        let _t = telemetry::Timer::enter("math.moddown");
         if q_channels.len() != q_idx.len() || p_channels.len() != p_idx.len() {
             return Err(MathError::InvalidParameter {
                 detail: "moddown channel/index count mismatch".into(),
@@ -379,6 +381,10 @@ impl BconvPlan {
     /// channels have unequal lengths, or `out.len()` differs from the
     /// plan's destination count.
     pub fn apply_into(&self, channels: &[&[u64]], out: &mut [Vec<u64>]) {
+        // Histogram-only latency probe: one atomic load when telemetry is
+        // not installed, per-call p50/p99 when it is (no span events — this
+        // runs thousands of times per workload).
+        let _t = telemetry::Timer::enter("math.bconv.apply");
         assert_eq!(channels.len(), self.src_moduli.len(), "source channel count mismatch");
         assert_eq!(out.len(), self.dst_moduli.len(), "destination channel count mismatch");
         let n = channels.first().map_or(0, |c| c.len());
@@ -516,6 +522,7 @@ impl RnsPoly {
     /// Panics if `tables` is shorter than the channel list or misaligned
     /// (wrong modulus).
     pub fn to_ntt(&mut self, tables: &[NttTable]) {
+        let _t = telemetry::Timer::enter("math.rns.ntt_fwd");
         assert!(tables.len() >= self.channels.len(), "missing NTT tables");
         for (c, t) in self.channels.iter().zip(tables) {
             assert_eq!(c.modulus(), t.modulus(), "misaligned NTT tables");
@@ -530,6 +537,7 @@ impl RnsPoly {
     ///
     /// Panics if `tables` is shorter than the channel list or misaligned.
     pub fn to_coeff(&mut self, tables: &[NttTable]) {
+        let _t = telemetry::Timer::enter("math.rns.ntt_inv");
         assert!(tables.len() >= self.channels.len(), "missing NTT tables");
         for (c, t) in self.channels.iter().zip(tables) {
             assert_eq!(c.modulus(), t.modulus(), "misaligned NTT tables");

@@ -106,6 +106,9 @@ impl NegacyclicMultiplier {
     ///
     /// Panics on length mismatches.
     pub fn mul_acc(&self, digits: &[i64], prepared: &PreparedTorusPoly, acc: &mut NttAccumulator) {
+        // Histogram-only probe (no span event: this runs per digit, per
+        // TRGSW row, inside the blind-rotate loop).
+        let _t = telemetry::Timer::enter("tfhe.poly.mul_acc");
         assert_eq!(digits.len(), self.n);
         // Transform + MAC per prime field, the two fields in parallel.
         let w = ntt_work(self.n);
@@ -132,6 +135,7 @@ impl NegacyclicMultiplier {
     /// Finalizes an accumulator: inverse NTTs, Garner CRT, centering, and
     /// reduction modulo `2^64`. Consumes the accumulator.
     pub fn finalize(&self, mut acc: NttAccumulator) -> Vec<u64> {
+        let _t = telemetry::Timer::enter("tfhe.poly.finalize");
         let w = ntt_work(self.n);
         par::join(w, w, || self.ntt1.inverse(&mut acc.acc1), || self.ntt2.inverse(&mut acc.acc2));
         let p1 = self.p1.value() as u128;

@@ -26,10 +26,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod hist;
 pub mod json;
 mod snapshot;
 
-pub use snapshot::{CounterRow, Snapshot, SpanRow};
+pub use hist::Histogram;
+pub use snapshot::{CounterRow, HistogramRow, Snapshot, SpanRow};
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
@@ -135,11 +137,32 @@ pub(crate) const VIRTUAL_TID_BASE: u64 = 1000;
 struct State {
     events: Vec<EventRec>,
     counters: std::collections::BTreeMap<(Metric, OpClassKey), u64>,
+    /// Latency histograms keyed by name. Boxed so the map nodes stay small;
+    /// recording into an existing histogram allocates nothing.
+    hists: std::collections::BTreeMap<String, Box<Histogram>>,
+    /// Free-form session metadata (host facts, feature flags) carried into
+    /// every export so traces are self-describing.
+    meta: std::collections::BTreeMap<String, String>,
     /// Per-thread open-span stacks (indices into `events`).
     stacks: HashMap<u64, Vec<usize>>,
     thread_ids: HashMap<std::thread::ThreadId, u64>,
     next_tid: u64,
     next_virtual_tid: u64,
+}
+
+impl State {
+    /// Records `ns` into the histogram `name`, creating it on first use
+    /// (the only allocation this path can take).
+    fn observe(&mut self, name: &str, ns: u64) {
+        match self.hists.get_mut(name) {
+            Some(h) => h.record(ns),
+            None => {
+                let mut h = Box::new(Histogram::new());
+                h.record(ns);
+                self.hists.insert(name.to_string(), h);
+            }
+        }
+    }
 }
 
 struct Inner {
@@ -198,6 +221,39 @@ impl Telemetry {
         *st.counters.entry((metric, class)).or_insert(0) += amount;
     }
 
+    /// Records one `ns` duration into the histogram `name` (created on
+    /// first use). Allocation-free for already-seen names; a no-op costing
+    /// one discriminant branch on a disabled handle.
+    #[inline]
+    pub fn observe_ns(&self, name: &str, ns: u64) {
+        let Some(inner) = &self.inner else { return };
+        let mut st = inner.state.lock().expect("telemetry state poisoned");
+        st.observe(name, ns);
+    }
+
+    /// Starts a histogram-only timer: dropping the guard records the
+    /// elapsed nanoseconds into the histogram `name` without emitting a
+    /// span event. The right tool for per-call latency of kernels invoked
+    /// thousands of times — histogram memory is O(1) per name, whereas a
+    /// span guard appends one event per call. Disabled handles read no
+    /// clock and take no lock.
+    #[inline]
+    pub fn time(&self, name: &'static str) -> TimerGuard {
+        let Some(inner) = &self.inner else {
+            return TimerGuard { rec: None };
+        };
+        let start_ns = inner.epoch.elapsed().as_nanos() as u64;
+        TimerGuard { rec: Some((Arc::clone(inner), name, start_ns)) }
+    }
+
+    /// Sets a session metadata entry (host facts, feature flags) carried
+    /// verbatim into every export. Later writes to the same key win.
+    pub fn set_meta(&self, key: &str, value: &str) {
+        let Some(inner) = &self.inner else { return };
+        let mut st = inner.state.lock().expect("telemetry state poisoned");
+        st.meta.insert(key.to_string(), value.to_string());
+    }
+
     /// Opens a wall-clock span on the current thread. Close by dropping.
     #[inline]
     pub fn span(&self, name: &str) -> SpanGuard {
@@ -242,7 +298,7 @@ impl Telemetry {
         };
         let now_ns = inner.epoch.elapsed().as_nanos() as u64;
         let st = inner.state.lock().expect("telemetry state poisoned");
-        Snapshot::build(&st.events, &st.counters, now_ns)
+        Snapshot::build(&st.events, &st.counters, &st.hists, &st.meta, now_ns)
     }
 }
 
@@ -257,7 +313,8 @@ impl Drop for SpanGuard {
         let end_ns = inner.epoch.elapsed().as_nanos() as u64;
         let mut st = inner.state.lock().expect("telemetry state poisoned");
         let start = st.events[idx].start_ns;
-        st.events[idx].dur_ns = Some(end_ns.saturating_sub(start));
+        let dur = end_ns.saturating_sub(start);
+        st.events[idx].dur_ns = Some(dur);
         if let Some(stack) = st.stacks.get_mut(&tid) {
             // Out-of-order guard drops (e.g. explicit `drop`) still unwind
             // correctly: remove this index wherever it sits.
@@ -265,6 +322,33 @@ impl Drop for SpanGuard {
                 stack.remove(pos);
             }
         }
+        // Every closed wall span also feeds the per-name latency histogram,
+        // so repeated kernels get p50/p99 without extra instrumentation.
+        // Split-borrow events/hists so the existing name needs no clone.
+        let State { events, hists, .. } = &mut *st;
+        let name = events[idx].name.as_str();
+        match hists.get_mut(name) {
+            Some(h) => h.record(dur),
+            None => {
+                let mut h = Box::new(Histogram::new());
+                h.record(dur);
+                hists.insert(name.to_string(), h);
+            }
+        }
+    }
+}
+
+/// Closes a histogram-only timer when dropped (see [`Telemetry::time`]).
+pub struct TimerGuard {
+    rec: Option<(Arc<Inner>, &'static str, u64)>,
+}
+
+impl Drop for TimerGuard {
+    fn drop(&mut self) {
+        let Some((inner, name, start_ns)) = self.rec.take() else { return };
+        let end_ns = inner.epoch.elapsed().as_nanos() as u64;
+        let mut st = inner.state.lock().expect("telemetry state poisoned");
+        st.observe(name, end_ns.saturating_sub(start_ns));
     }
 }
 
@@ -280,6 +364,23 @@ impl Span {
         match global() {
             Some(tel) => tel.span(name),
             None => SpanGuard { rec: None },
+        }
+    }
+}
+
+/// Histogram-only analog of [`Span`] for very hot call sites:
+/// `let _t = Timer::enter("math.modup");` records the call's latency into
+/// the global handle's histogram without appending a span event.
+pub struct Timer;
+
+impl Timer {
+    /// Starts a timer on the process-global handle (no-op until [`install`]
+    /// has been called with an enabled handle).
+    #[inline]
+    pub fn enter(name: &'static str) -> TimerGuard {
+        match global() {
+            Some(tel) => tel.time(name),
+            None => TimerGuard { rec: None },
         }
     }
 }
@@ -353,11 +454,16 @@ mod tests {
         let tel = Telemetry::disabled();
         {
             let _s = tel.span("never");
+            let _t = tel.time("never.timed");
             tel.count(Metric::MetaOps, OpClassKey::Ntt, 7);
+            tel.observe_ns("never.hist", 123);
+            tel.set_meta("never", "meta");
         }
         let snap = tel.snapshot();
         assert!(snap.spans().is_empty());
         assert!(snap.counters().is_empty());
+        assert!(snap.histograms().is_empty());
+        assert!(snap.meta().is_empty());
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Immutable views of recorded telemetry and the three exporters.
 
+use crate::hist::Histogram;
 use crate::json::{write_escaped, write_f64};
 use crate::{EventRec, Metric, OpClassKey, VIRTUAL_TID_BASE};
 use std::collections::BTreeMap;
@@ -39,12 +40,46 @@ pub struct CounterRow {
     pub value: u64,
 }
 
+/// Summary row of one latency histogram: count, quantiles, and extremes
+/// precomputed at snapshot time (the full bucket array stays behind in the
+/// recording handle).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramRow {
+    /// Histogram name, e.g. `metaop.ntt.forward`.
+    pub name: String,
+    /// Number of recordings.
+    pub count: u64,
+    /// Sum of recorded durations (exact, saturating).
+    pub sum_ns: u64,
+    /// Median (log-linear bucket upper bound, ≤ 12.5% relative error).
+    pub p50_ns: u64,
+    /// 90th percentile.
+    pub p90_ns: u64,
+    /// 99th percentile.
+    pub p99_ns: u64,
+    /// Largest recording (exact, not bucketed).
+    pub max_ns: u64,
+}
+
+impl HistogramRow {
+    /// Arithmetic mean of the recordings (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+}
+
 /// A point-in-time copy of everything a [`crate::Telemetry`] handle has
 /// recorded, with export methods.
 #[derive(Debug, Clone, Default)]
 pub struct Snapshot {
     spans: Vec<SpanRow>,
     counters: Vec<CounterRow>,
+    hists: Vec<HistogramRow>,
+    meta: Vec<(String, String)>,
 }
 
 impl Snapshot {
@@ -55,15 +90,35 @@ impl Snapshot {
     pub(crate) fn build(
         events: &[EventRec],
         counters: &BTreeMap<(Metric, OpClassKey), u64>,
+        hists: &BTreeMap<String, Box<Histogram>>,
+        meta: &BTreeMap<String, String>,
         now_ns: u64,
     ) -> Self {
+        // Wall-clock spans still open at snapshot time get the duration
+        // they have accumulated so far. Virtual tracks have no "now" — an
+        // unclosed virtual span extends to the latest timestamp any event
+        // on the same track has reached (0 extent if it is alone).
+        let mut track_end: BTreeMap<u64, u64> = BTreeMap::new();
+        for e in events.iter().filter(|e| e.tid >= VIRTUAL_TID_BASE) {
+            if let Some(d) = e.dur_ns {
+                let end = e.start_ns.saturating_add(d);
+                let slot = track_end.entry(e.tid).or_insert(0);
+                *slot = (*slot).max(end);
+            }
+        }
         let spans = events
             .iter()
             .map(|e| SpanRow {
                 name: e.name.clone(),
                 tid: e.tid,
                 start_ns: e.start_ns,
-                dur_ns: e.dur_ns.unwrap_or_else(|| now_ns.saturating_sub(e.start_ns)),
+                dur_ns: e.dur_ns.unwrap_or_else(|| {
+                    if e.tid >= VIRTUAL_TID_BASE {
+                        track_end.get(&e.tid).copied().unwrap_or(0).saturating_sub(e.start_ns)
+                    } else {
+                        now_ns.saturating_sub(e.start_ns)
+                    }
+                }),
                 parent: e.parent,
             })
             .collect();
@@ -71,7 +126,20 @@ impl Snapshot {
             .iter()
             .map(|(&(metric, class), &value)| CounterRow { metric, class, value })
             .collect();
-        Snapshot { spans, counters }
+        let hists = hists
+            .iter()
+            .map(|(name, h)| HistogramRow {
+                name: name.clone(),
+                count: h.count(),
+                sum_ns: h.sum(),
+                p50_ns: h.quantile(0.50),
+                p90_ns: h.quantile(0.90),
+                p99_ns: h.quantile(0.99),
+                max_ns: h.max(),
+            })
+            .collect();
+        let meta = meta.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        Snapshot { spans, counters, hists, meta }
     }
 
     /// All spans, in recording order (parents precede children).
@@ -94,6 +162,26 @@ impl Snapshot {
         self.counters.iter().filter(|c| c.metric == metric).map(|c| c.value).sum()
     }
 
+    /// All latency histograms, sorted by name.
+    pub fn histograms(&self) -> &[HistogramRow] {
+        &self.hists
+    }
+
+    /// One histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramRow> {
+        self.hists.iter().find(|h| h.name == name)
+    }
+
+    /// Session metadata entries, sorted by key.
+    pub fn meta(&self) -> &[(String, String)] {
+        &self.meta
+    }
+
+    /// One metadata value by key.
+    pub fn meta_value(&self, key: &str) -> Option<&str> {
+        self.meta.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
     /// Renders a human-readable tree: spans indented by nesting, identical
     /// siblings merged (`×N`), followed by a counter table.
     pub fn summary_tree(&self) -> String {
@@ -106,6 +194,12 @@ impl Snapshot {
             }
         }
         let mut out = String::new();
+        if !self.meta.is_empty() {
+            out.push_str("meta\n");
+            for (k, v) in &self.meta {
+                out.push_str(&format!("  {k} = {v}\n"));
+            }
+        }
         let mut tracks: Vec<u64> = self
             .spans
             .iter()
@@ -129,6 +223,23 @@ impl Snapshot {
                     c.metric.name(),
                     c.class.name(),
                     c.value
+                ));
+            }
+        }
+        if !self.hists.is_empty() {
+            out.push_str(&format!(
+                "histograms{:<22} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+                "", "count", "p50", "p90", "p99", "max"
+            ));
+            for h in &self.hists {
+                out.push_str(&format!(
+                    "  {:<30} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+                    h.name,
+                    h.count,
+                    fmt_ns(h.p50_ns),
+                    fmt_ns(h.p90_ns),
+                    fmt_ns(h.p99_ns),
+                    fmt_ns(h.max_ns),
                 ));
             }
         }
@@ -174,9 +285,19 @@ impl Snapshot {
         }
     }
 
-    /// Machine-readable JSON: `{"spans": [...], "counters": [...]}`.
+    /// Machine-readable JSON:
+    /// `{"meta": {...}, "spans": [...], "counters": [...], "histograms": [...]}`.
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\"spans\":[");
+        let mut out = String::from("{\"meta\":{");
+        for (i, (k, v)) in self.meta.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_escaped(&mut out, k);
+            out.push(':');
+            write_escaped(&mut out, v);
+        }
+        out.push_str("},\"spans\":[");
         for (i, s) in self.spans.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -204,6 +325,19 @@ impl Snapshot {
             write_escaped(&mut out, c.class.name());
             out.push_str(&format!(",\"value\":{}}}", c.value));
         }
+        out.push_str("],\"histograms\":[");
+        for (i, h) in self.hists.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            write_escaped(&mut out, &h.name);
+            out.push_str(&format!(
+                ",\"count\":{},\"sum_ns\":{},\"p50_ns\":{},\"p90_ns\":{},\
+                 \"p99_ns\":{},\"max_ns\":{}}}",
+                h.count, h.sum_ns, h.p50_ns, h.p90_ns, h.p99_ns, h.max_ns
+            ));
+        }
         out.push_str("]}");
         out
     }
@@ -218,6 +352,20 @@ impl Snapshot {
             "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\
              \"args\":{\"name\":\"alchemist\"}}",
         );
+        if !self.meta.is_empty() {
+            out.push_str(
+                ",{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"alchemist.meta\",\"args\":{",
+            );
+            for (i, (k, v)) in self.meta.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(&mut out, k);
+                out.push(':');
+                write_escaped(&mut out, v);
+            }
+            out.push_str("}}");
+        }
         for s in &self.spans {
             out.push_str(",{\"ph\":\"X\",\"pid\":1,\"tid\":");
             out.push_str(&s.tid.to_string());
@@ -235,6 +383,22 @@ impl Snapshot {
             out.push_str(",{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":0,\"name\":");
             write_escaped(&mut out, &format!("{}.{}", c.metric.name(), c.class.name()));
             out.push_str(&format!(",\"args\":{{\"value\":{}}}}}", c.value));
+        }
+        // Histograms render as one multi-series counter track per name:
+        // p50/p90/p99/max as parallel series (µs, matching the trace's
+        // timestamp unit), plus the recording count.
+        for h in &self.hists {
+            out.push_str(",{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":0,\"name\":");
+            write_escaped(&mut out, &format!("hist.{}", h.name));
+            out.push_str(",\"args\":{\"p50_us\":");
+            write_f64(&mut out, h.p50_ns as f64 / 1000.0);
+            out.push_str(",\"p90_us\":");
+            write_f64(&mut out, h.p90_ns as f64 / 1000.0);
+            out.push_str(",\"p99_us\":");
+            write_f64(&mut out, h.p99_ns as f64 / 1000.0);
+            out.push_str(",\"max_us\":");
+            write_f64(&mut out, h.max_ns as f64 / 1000.0);
+            out.push_str(&format!(",\"count\":{}}}}}", h.count));
         }
         out.push_str("],\"displayTimeUnit\":\"ns\"}");
         out
@@ -326,6 +490,91 @@ mod tests {
         assert!(text.contains("×3"), "{text}");
         assert!(text.contains("meta_ops"), "{text}");
         assert!(text.contains("hbm_bytes"), "{text}");
+    }
+
+    #[test]
+    fn histograms_and_meta_flow_through_every_exporter() {
+        let tel = sample();
+        tel.set_meta("parallel_compiled", "true");
+        tel.set_meta("threads", "4");
+        for i in 1..=100u64 {
+            tel.observe_ns("kernel.ntt", i * 1000);
+        }
+        let snap = tel.snapshot();
+        let row = snap.histogram("kernel.ntt").expect("histogram recorded");
+        assert_eq!(row.count, 100);
+        assert_eq!(row.max_ns, 100_000);
+        assert!(row.p50_ns >= 50_000 && row.p50_ns <= 57_000, "p50 {}", row.p50_ns);
+        assert!(row.p99_ns >= 99_000 && row.p99_ns <= 100_000, "p99 {}", row.p99_ns);
+        assert_eq!(snap.meta_value("threads"), Some("4"));
+
+        // Summary: meta header, histogram table with quantile columns.
+        let text = snap.summary_tree();
+        assert!(text.contains("parallel_compiled = true"), "{text}");
+        assert!(text.contains("kernel.ntt"), "{text}");
+        assert!(text.contains("p99"), "{text}");
+
+        // JSON: parseable, carries all quantiles and the meta object.
+        let doc = parse(&snap.to_json()).expect("valid JSON");
+        assert_eq!(doc.get("meta").unwrap().get("threads").unwrap().as_str(), Some("4"));
+        let hists = doc.get("histograms").unwrap().as_arr().unwrap();
+        assert_eq!(hists.len(), 1);
+        let h = &hists[0];
+        assert_eq!(h.get("name").unwrap().as_str(), Some("kernel.ntt"));
+        assert_eq!(h.get("count").unwrap().as_f64(), Some(100.0));
+        for key in ["p50_ns", "p90_ns", "p99_ns", "max_ns", "sum_ns"] {
+            assert!(h.get(key).unwrap().as_f64().unwrap() > 0.0, "{key} missing");
+        }
+
+        // Perfetto: a hist.* counter event with quantile series and an
+        // alchemist.meta metadata event.
+        let trace = parse(&snap.to_chrome_trace()).expect("valid trace");
+        let events = trace.get("traceEvents").unwrap().as_arr().unwrap();
+        let hist_ev = events
+            .iter()
+            .find(|e| e.get("name").map(|n| n.as_str()) == Some(Some("hist.kernel.ntt")))
+            .expect("histogram counter event");
+        assert_eq!(hist_ev.get("ph").unwrap().as_str(), Some("C"));
+        let args = hist_ev.get("args").unwrap();
+        assert!(args.get("p50_us").unwrap().as_f64().unwrap() > 0.0);
+        assert!(args.get("p99_us").unwrap().as_f64().unwrap() > 0.0);
+        assert_eq!(args.get("count").unwrap().as_f64(), Some(100.0));
+        let meta_ev = events
+            .iter()
+            .find(|e| e.get("name").map(|n| n.as_str()) == Some(Some("alchemist.meta")))
+            .expect("meta event");
+        assert_eq!(meta_ev.get("args").unwrap().get("threads").unwrap().as_str(), Some("4"));
+    }
+
+    #[test]
+    fn closed_spans_feed_per_name_histograms() {
+        let tel = Telemetry::enabled();
+        for _ in 0..5 {
+            let _s = tel.span("metaop.ntt.forward");
+        }
+        {
+            let _open = tel.span("still.open");
+            let snap = tel.snapshot();
+            let row = snap.histogram("metaop.ntt.forward").expect("span-fed histogram");
+            assert_eq!(row.count, 5);
+            // Open spans have not been recorded yet.
+            assert!(snap.histogram("still.open").is_none());
+        }
+        assert_eq!(tel.snapshot().histogram("still.open").map(|h| h.count), Some(1));
+    }
+
+    #[test]
+    fn unclosed_virtual_span_extends_to_track_end_not_wall_clock() {
+        let tel = Telemetry::enabled();
+        let mut track = tel.virtual_track();
+        track.open("sim.run", 0);
+        track.leaf("step", 0, 250);
+        // Never closed: duration must come from virtual time (250), not the
+        // wall clock (which by now is far past 250 ns).
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let snap = tel.snapshot();
+        let root = snap.spans().iter().find(|s| s.name == "sim.run").unwrap();
+        assert_eq!(root.dur_ns, 250);
     }
 
     #[test]

@@ -41,6 +41,37 @@ fn counters_exact_under_parallel_backend() {
 }
 
 #[test]
+fn histograms_identical_sequential_vs_parallel() {
+    let _g = knob_guard();
+    // Deterministic per-item durations spanning several octaves of the
+    // log-linear bucket scheme.
+    let dur = |i: usize| ((i as u64).wrapping_mul(0x9e37_79b9)) % 1_000_000;
+    let run = |threads: usize| {
+        let tel = Telemetry::enabled();
+        par::set_max_threads(threads);
+        par::set_min_work(if threads == 1 { u64::MAX } else { 0 });
+        par::par_for_each(1000, 1, |i| {
+            tel.observe_ns("kernel.probe", dur(i));
+        });
+        par::set_max_threads(0);
+        par::set_min_work(par::DEFAULT_MIN_WORK);
+        tel.snapshot()
+    };
+    let seq = run(1);
+    let par_snap = run(4);
+    let (s, p) = (
+        seq.histogram("kernel.probe").expect("seq histogram"),
+        par_snap.histogram("kernel.probe").expect("par histogram"),
+    );
+    // Bucketed recording is commutative, so the two backends must agree
+    // bit-for-bit on every exported statistic, not just approximately.
+    assert_eq!(s.count, p.count);
+    assert_eq!(s.sum_ns, p.sum_ns);
+    assert_eq!(s.max_ns, p.max_ns);
+    assert_eq!((s.p50_ns, s.p90_ns, s.p99_ns), (p.p50_ns, p.p90_ns, p.p99_ns));
+}
+
+#[test]
 fn counters_identical_sequential_vs_parallel() {
     let _g = knob_guard();
     let run = |threads: usize| {

@@ -1,0 +1,111 @@
+//! Edge cases for [`telemetry::VirtualTrack`], the simulated-time span
+//! emitter the simulator drives: zero-duration leaves, unbalanced
+//! open/close sequences, and nesting surviving a Perfetto export
+//! round-trip.
+
+use telemetry::json::{self, Json};
+use telemetry::Telemetry;
+
+/// Virtual tracks live above this thread-id floor in every export.
+const VIRTUAL_TID_BASE: u64 = 1000;
+
+#[test]
+fn zero_duration_leaf_is_preserved() {
+    let tel = Telemetry::enabled();
+    let mut track = tel.virtual_track();
+    track.open("root", 0);
+    // A step whose wall cycles round to zero still happened; it must not
+    // vanish or acquire a fabricated duration.
+    track.leaf("instant", 500, 0);
+    track.close(1000);
+
+    let snap = tel.snapshot();
+    let leaf = snap.spans().iter().find(|s| s.name == "instant").expect("leaf exported");
+    assert_eq!(leaf.dur_ns, 0);
+    assert_eq!(leaf.start_ns, 500);
+    assert!(leaf.tid >= VIRTUAL_TID_BASE);
+    // Zero-duration events survive the Chrome export as dur = 0, not as a
+    // dropped or negative-duration event.
+    let doc = json::parse(&snap.to_chrome_trace()).expect("trace parses");
+    let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+    let ev = events
+        .iter()
+        .find(|e| e.get("name").and_then(Json::as_str) == Some("instant"))
+        .expect("leaf in trace");
+    assert_eq!(ev.get("dur").and_then(Json::as_f64), Some(0.0));
+}
+
+#[test]
+fn unbalanced_close_is_a_no_op() {
+    let tel = Telemetry::enabled();
+    let mut track = tel.virtual_track();
+    // Close with nothing open: must not panic or record anything.
+    track.close(100);
+    track.open("a", 0);
+    track.close(50);
+    // Extra closes after the stack drained are ignored too.
+    track.close(75);
+    track.close(80);
+
+    let snap = tel.snapshot();
+    assert_eq!(snap.spans().len(), 1);
+    let a = &snap.spans()[0];
+    assert_eq!((a.name.as_str(), a.start_ns, a.dur_ns), ("a", 0, 50));
+}
+
+#[test]
+fn unclosed_open_gets_track_end_duration_not_wall_clock() {
+    let tel = Telemetry::enabled();
+    let mut track = tel.virtual_track();
+    track.open("root", 0);
+    track.leaf("step", 0, 2_000_000);
+    // `root` is never closed: a simulated span must not be assigned a
+    // wall-clock duration (nanoseconds of host time since the handle was
+    // created — a different time base entirely).
+    let snap = tel.snapshot();
+    let root = snap.spans().iter().find(|s| s.name == "root").expect("open span exported");
+    assert_eq!(root.dur_ns, 2_000_000, "extends to the last event on its track");
+}
+
+#[test]
+fn nested_spans_survive_perfetto_round_trip() {
+    let tel = Telemetry::enabled();
+    let mut track = tel.virtual_track();
+    track.open("outer", 0);
+    track.open("inner", 100);
+    track.leaf("leaf", 200, 300);
+    track.close(600); // inner: 100..600
+    track.close(1000); // outer: 0..1000
+
+    let snap = tel.snapshot();
+    let get = |name: &str| snap.spans().iter().position(|s| s.name == name).expect(name);
+    let (outer, inner, leaf) = (get("outer"), get("inner"), get("leaf"));
+    assert_eq!(snap.spans()[inner].parent, Some(outer));
+    assert_eq!(snap.spans()[leaf].parent, Some(inner));
+
+    // Perfetto reconstructs nesting from (tid, ts, dur) containment, so
+    // the exported microsecond intervals must nest exactly like the spans.
+    let doc = json::parse(&snap.to_chrome_trace()).expect("trace parses");
+    let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+    let interval = |name: &str| {
+        let e = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some(name))
+            .unwrap_or_else(|| panic!("{name} in trace"));
+        let ts = e.get("ts").and_then(Json::as_f64).expect("ts");
+        let dur = e.get("dur").and_then(Json::as_f64).expect("dur");
+        let tid = e.get("tid").and_then(Json::as_f64).expect("tid");
+        (ts, ts + dur, tid)
+    };
+    let (o0, o1, otid) = interval("outer");
+    let (i0, i1, itid) = interval("inner");
+    let (l0, l1, ltid) = interval("leaf");
+    assert_eq!(otid, itid);
+    assert_eq!(itid, ltid);
+    assert!(otid >= VIRTUAL_TID_BASE as f64);
+    assert!(o0 <= i0 && i1 <= o1, "inner [{i0},{i1}] within outer [{o0},{o1}]");
+    assert!(i0 <= l0 && l1 <= i1, "leaf [{l0},{l1}] within inner [{i0},{i1}]");
+    // 1 simulated ns = 1 µs / 1000 in the export.
+    assert_eq!(o1 - o0, 1.0);
+    assert_eq!(i1 - i0, 0.5);
+}
