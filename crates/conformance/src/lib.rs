@@ -1,0 +1,38 @@
+//! Differential conformance oracle for the fast NTT/RNS kernels.
+//!
+//! The fast paths in `fhe-math` and `fhe-ckks` are heavily optimized
+//! (Shoup multiplication, lazy butterflies, u128 dot-product
+//! accumulation, channel parallelism) and therefore easy to break in
+//! ways unit tests on friendly inputs never notice. This crate provides
+//! an independent ground truth and a way to throw adversarial inputs at
+//! both sides:
+//!
+//! - [`oracle`] — exact big-integer references (schoolbook negacyclic
+//!   convolution, DFT-style NTT points, CRT reconstruction, and exact
+//!   models of Bconv/Modup/Moddown/rescale). Deliberately slow and
+//!   sharing **no** code with the fast kernels: a common helper would
+//!   let one bug cancel itself on both sides.
+//! - [`fuzz`] — a deterministic seeded property-fuzz runner. Every case
+//!   is a pure function of `(seed, family, case index)`; failures print
+//!   a one-line repro tuple (`op=… seed=… case=… n=… moduli=[…]`) that
+//!   replays the exact case via [`fuzz::run_case`].
+//!
+//! Environment knobs (both optional):
+//!
+//! - `ALCHEMIST_FUZZ_SEED` — global seed (decimal or `0x…` hex);
+//!   default [`fuzz::DEFAULT_SEED`].
+//! - `ALCHEMIST_FUZZ_CASES` — per-family case budget override.
+//!
+//! The differential tests live in `tests/`: `conformance.rs` runs every
+//! family sequentially in-process, `parallel_equivalence.rs` re-runs
+//! them in a separate process with channel parallelism forced on and
+//! then off, proving the parallel fast paths are bit-identical to the
+//! sequential ones.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fuzz;
+pub mod oracle;
+
+pub use fuzz::{case_budget, default_seed, run_case, run_family, Family, Repro, SplitMix64};

@@ -1,0 +1,383 @@
+//! Exact reference implementations of the fast kernels.
+//!
+//! Everything in this module is deliberately slow and obviously correct:
+//! scalar modular arithmetic goes through `u128` remainders (no Barrett, no
+//! Shoup), transforms are evaluated point-by-point from their defining sums,
+//! and RNS algebra is carried out over exact big integers. Nothing here
+//! shares code with the fast paths it is used to check — the only import
+//! from `fhe-math` is [`UBig`], which the fast kernels themselves never
+//! touch.
+//!
+//! The RNS references model the *approximate* fast base conversion exactly:
+//! Bconv (paper Eq. 1) computes the integer `s = Σ_i y_i·(Q/q_i)` with
+//! `y_i = [x_i·(Q/q_i)^{-1}]_{q_i}` and reduces it mod each destination
+//! prime, so `s` satisfies `s ≡ x (mod Q)` and `s < L·Q`. The oracle
+//! reconstructs that same `s` with big-integer arithmetic and demands *bit
+//! equality* with the fast output — no slack tolerance anywhere.
+
+use fhe_math::UBig;
+
+/// `(a + b) mod q` via `u128`, valid for any `u64` inputs.
+#[inline]
+pub fn addm(a: u64, b: u64, q: u64) -> u64 {
+    ((a as u128 + b as u128) % q as u128) as u64
+}
+
+/// `(a − b) mod q` via `u128`, valid for any `u64` inputs below `q`.
+#[inline]
+pub fn subm(a: u64, b: u64, q: u64) -> u64 {
+    ((a as u128 + q as u128 - (b % q) as u128) % q as u128) as u64
+}
+
+/// `(a · b) mod q` via a full 128-bit product and remainder.
+#[inline]
+pub fn mulm(a: u64, b: u64, q: u64) -> u64 {
+    (a as u128 * b as u128 % q as u128) as u64
+}
+
+/// `base^exp mod q` by square-and-multiply over [`mulm`].
+pub fn powm(base: u64, mut exp: u64, q: u64) -> u64 {
+    let mut base = base % q;
+    let mut acc = 1 % q;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mulm(acc, base, q);
+        }
+        base = mulm(base, base, q);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// `a^{-1} mod q` for prime `q`, verified by multiplication.
+///
+/// # Panics
+///
+/// Panics if `a ≡ 0 (mod q)` or `q` is not prime (inverse fails to verify):
+/// the oracle never continues from an inconsistent state.
+pub fn invm(a: u64, q: u64) -> u64 {
+    let a = a % q;
+    assert_ne!(a, 0, "zero has no inverse mod {q}");
+    let inv = powm(a, q - 2, q);
+    assert_eq!(mulm(a, inv, q), 1, "invm({a}, {q}) failed verification; modulus not prime?");
+    inv
+}
+
+/// Reverses the low `bits` bits of `x`.
+#[inline]
+pub fn bit_reverse(x: usize, bits: u32) -> usize {
+    if bits == 0 {
+        0
+    } else {
+        x.reverse_bits() >> (usize::BITS - bits)
+    }
+}
+
+/// `true` iff `psi` is a primitive `2n`-th root of unity mod `q`, for
+/// power-of-two `n`. For such `n` this is exactly `psi^n ≡ −1 (mod q)`:
+/// the order then divides `2n` but not `n`, and every divisor of a power
+/// of two that does not divide its half *is* the full power.
+pub fn is_primitive_2nth_root(psi: u64, n: usize, q: u64) -> bool {
+    assert!(n.is_power_of_two(), "negacyclic transforms need power-of-two n");
+    !psi.is_multiple_of(q) && powm(psi, n as u64, q) == q - 1
+}
+
+/// 256-bit accumulator for sums of `u128` products (each term is below
+/// `2^122` for 61-bit moduli, and up to `2^13` terms are summed — beyond
+/// what a single `u128` can hold).
+#[derive(Debug, Clone, Copy, Default)]
+struct Acc256 {
+    lo: u128,
+    hi: u128,
+}
+
+impl Acc256 {
+    #[inline]
+    fn add(&mut self, v: u128) {
+        let (lo, carry) = self.lo.overflowing_add(v);
+        self.lo = lo;
+        self.hi += u128::from(carry);
+    }
+
+    fn to_ubig(self) -> UBig {
+        UBig::from_u128(self.hi).shl(128).add(&UBig::from_u128(self.lo))
+    }
+}
+
+/// One output point of the forward negacyclic NTT, from its defining sum.
+///
+/// The fast transform emits bit-reversed order, so output index `j` holds
+/// the evaluation at `ψ^{2·brv(j)+1}`:
+/// `A[j] = Σ_i a_i · ψ^{(2·brv(j)+1)·i} mod q`.
+pub fn ntt_point(a: &[u64], q: u64, psi: u64, j: usize) -> u64 {
+    let n = a.len();
+    let bits = n.trailing_zeros();
+    let w = powm(psi, 2 * bit_reverse(j, bits) as u64 + 1, q);
+    let mut wp = 1u64;
+    let mut acc = 0u128;
+    for &c in a {
+        acc = (acc + c as u128 * wp as u128) % q as u128;
+        wp = mulm(wp, w, q);
+    }
+    acc as u64
+}
+
+/// One coefficient of the inverse negacyclic NTT, from its defining sum:
+/// `a_i = n^{-1} · Σ_k A[k] · ψ^{−(2·brv(k)+1)·i} mod q` with `A` in the
+/// bit-reversed order the forward transform produces.
+pub fn intt_point(av: &[u64], q: u64, psi: u64, i: usize) -> u64 {
+    let n = av.len();
+    let bits = n.trailing_zeros();
+    let psi_inv = invm(psi, q);
+    let two_n = 2 * n as u64;
+    let mut acc = 0u128;
+    for (k, &a) in av.iter().enumerate() {
+        // ψ^{-1} has order 2n, so reduce the exponent mod 2n.
+        let e = ((2 * bit_reverse(k, bits) as u64 + 1) as u128 * i as u128 % two_n as u128) as u64;
+        acc = (acc + a as u128 * powm(psi_inv, e, q) as u128) % q as u128;
+    }
+    mulm(acc as u64, invm(n as u64, q), q)
+}
+
+/// Schoolbook negacyclic convolution `c = a·b mod (x^n + 1, q)`, with the
+/// positive and negative halves of each coefficient accumulated exactly as
+/// big integers before a single reduction.
+pub fn negacyclic_convolution(a: &[u64], b: &[u64], q: u64) -> Vec<u64> {
+    let n = a.len();
+    assert_eq!(b.len(), n, "operand length mismatch");
+    (0..n)
+        .map(|k| {
+            let mut pos = Acc256::default();
+            let mut neg = Acc256::default();
+            for (i, &ai) in a.iter().enumerate() {
+                // i + j ≡ k (mod n); the wrap past x^n picks up a minus sign.
+                let j = (k + n - i) % n;
+                let term = ai as u128 * b[j] as u128;
+                if i <= k {
+                    pos.add(term);
+                } else {
+                    neg.add(term);
+                }
+            }
+            subm(pos.to_ubig().rem_u64(q), neg.to_ubig().rem_u64(q), q)
+        })
+        .collect()
+}
+
+/// Exact CRT reconstruction `x ∈ [0, M)` from residues `xs` over pairwise
+/// coprime `moduli` — independent of the fast paths and of
+/// `RnsPoly::crt_coefficient` (which it is also used to cross-check).
+pub fn crt_reconstruct(xs: &[u64], moduli: &[u64]) -> UBig {
+    assert_eq!(xs.len(), moduli.len(), "residue/modulus count mismatch");
+    let m_prod = UBig::product_of(moduli.iter().copied());
+    let mut acc = UBig::zero();
+    for (i, (&x, &m)) in xs.iter().zip(moduli).enumerate() {
+        let mhat =
+            UBig::product_of(moduli.iter().enumerate().filter(|&(k, _)| k != i).map(|(_, &v)| v));
+        let y = mulm(x % m, invm(mhat.rem_u64(m), m), m);
+        acc = acc.add(&mhat.mul_u64(y));
+    }
+    acc.rem_big(&m_prod)
+}
+
+/// Exact model of the fast base conversion (paper Eq. 1) out of one source
+/// basis: precomputes `Q`, the `Q/q_i`, and `(Q/q_i)^{-1} mod q_i` once so
+/// per-coefficient checks are cheap.
+#[derive(Debug)]
+pub struct BconvOracle {
+    src: Vec<u64>,
+    /// `Q/q_i` exactly.
+    qhat: Vec<UBig>,
+    /// `(Q/q_i)^{-1} mod q_i`, computed with the oracle's own arithmetic.
+    qhat_inv: Vec<u64>,
+    q_prod: UBig,
+}
+
+impl BconvOracle {
+    /// Precomputes the conversion constants for `src_moduli`.
+    pub fn new(src_moduli: &[u64]) -> Self {
+        assert!(!src_moduli.is_empty(), "empty Bconv source basis");
+        let q_prod = UBig::product_of(src_moduli.iter().copied());
+        let mut qhat = Vec::with_capacity(src_moduli.len());
+        let mut qhat_inv = Vec::with_capacity(src_moduli.len());
+        for (i, &qi) in src_moduli.iter().enumerate() {
+            let hat = UBig::product_of(
+                src_moduli.iter().enumerate().filter(|&(k, _)| k != i).map(|(_, &v)| v),
+            );
+            qhat_inv.push(invm(hat.rem_u64(qi), qi));
+            qhat.push(hat);
+        }
+        BconvOracle { src: src_moduli.to_vec(), qhat, qhat_inv, q_prod }
+    }
+
+    /// The exact basis product `Q`.
+    pub fn q_prod(&self) -> &UBig {
+        &self.q_prod
+    }
+
+    /// The exact integer `s = Σ_i y_i·(Q/q_i)` with
+    /// `y_i = [x_i·(Q/q_i)^{-1}]_{q_i}` — the value the fast conversion
+    /// reduces mod each destination prime. By construction `s ≡ x (mod Q)`
+    /// and `s < L·Q`.
+    pub fn convert_sum(&self, xs: &[u64]) -> UBig {
+        assert_eq!(xs.len(), self.src.len(), "residue count mismatch");
+        let mut s = UBig::zero();
+        for (i, (&x, &qi)) in xs.iter().zip(&self.src).enumerate() {
+            let y = mulm(x, self.qhat_inv[i], qi);
+            s = s.add(&self.qhat[i].mul_u64(y));
+        }
+        s
+    }
+
+    /// Differentially checks one coefficient of a fast conversion:
+    /// `fast[j]` must equal `s mod p_j` *exactly* for every destination
+    /// prime, `s` must be congruent to the CRT reconstruction of `xs`
+    /// modulo `Q`, and `s` must stay below `L·Q`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first mismatched invariant.
+    pub fn check(&self, xs: &[u64], dst_moduli: &[u64], fast: &[u64]) -> Result<(), String> {
+        assert_eq!(dst_moduli.len(), fast.len(), "destination count mismatch");
+        let s = self.convert_sum(xs);
+        for (j, (&p, &got)) in dst_moduli.iter().zip(fast).enumerate() {
+            let want = s.rem_u64(p);
+            if got != want {
+                return Err(format!("dst channel {j} (p={p}): fast={got} oracle={want} (s mod p)"));
+            }
+        }
+        let x = crt_reconstruct(xs, &self.src);
+        if s.rem_big(&self.q_prod) != x {
+            return Err("conversion sum s is not congruent to x mod Q".into());
+        }
+        let bound = self.q_prod.mul_u64(self.src.len() as u64);
+        if s.cmp_big(&bound) != std::cmp::Ordering::Less {
+            return Err(format!("conversion sum exceeds L·Q (L={})", self.src.len()));
+        }
+        Ok(())
+    }
+}
+
+/// Divides `v` exactly by the product of `divisors` (each division must
+/// leave no remainder — the caller guarantees divisibility).
+///
+/// # Panics
+///
+/// Panics if any step is inexact.
+fn divide_exact(mut v: UBig, divisors: &[u64]) -> UBig {
+    for &d in divisors {
+        let (quot, rem) = v.divrem_u64(d);
+        assert_eq!(rem, 0, "inexact division by {d} in oracle");
+        v = quot;
+    }
+    v
+}
+
+/// Exact reference for one coefficient of Moddown (paper Eq. 3).
+///
+/// Given residues `x_q`/`x_p` of the same integer `X` over the `q` and `p`
+/// bases, the fast kernel computes
+/// `([X]_{q_k} − Bconv([X]_P, q_k)) · P^{-1} mod q_k`. With
+/// `s = Σ_j y_j·(P/p_j)` the exact conversion sum (`s ≡ X mod P`), that
+/// equals `(X − s)/P mod q_k` — an *exact* integer division. Returns the
+/// expected residue per `q` channel.
+pub fn moddown_reference(x_q: &[u64], x_p: &[u64], q_moduli: &[u64], p_moduli: &[u64]) -> Vec<u64> {
+    let mut full_vals = Vec::with_capacity(x_q.len() + x_p.len());
+    full_vals.extend_from_slice(x_q);
+    full_vals.extend_from_slice(x_p);
+    let mut full_moduli = Vec::with_capacity(q_moduli.len() + p_moduli.len());
+    full_moduli.extend_from_slice(q_moduli);
+    full_moduli.extend_from_slice(p_moduli);
+    let x = crt_reconstruct(&full_vals, &full_moduli);
+    let s = BconvOracle::new(p_moduli).convert_sum(x_p);
+    // X ≡ s (mod P), so |X − s| is exactly divisible by P; track the sign
+    // since s can exceed X by up to (L−1)·P.
+    let (diff, negative) = match x.cmp_big(&s) {
+        std::cmp::Ordering::Less => (s.sub(&x), true),
+        _ => (x.sub(&s), false),
+    };
+    let t = divide_exact(diff, p_moduli);
+    q_moduli
+        .iter()
+        .map(|&q| {
+            let r = t.rem_u64(q);
+            if negative {
+                subm(0, r, q)
+            } else {
+                r
+            }
+        })
+        .collect()
+}
+
+/// Exact reference for one coefficient of CKKS rescale.
+///
+/// `moduli` is the full level chain including the dropped last prime
+/// `q_L`; `xs` are the coefficient's residues over that chain. The fast
+/// path lifts the dropped residue *centered*
+/// (`r ∈ [−⌊q_L/2⌋, ⌊q_L/2⌋]`, round-to-nearest) and computes
+/// `(x_c − [r]_{q_c})·q_L^{-1} mod q_c`; in integer terms that is
+/// `(X − r)/q_L mod q_c`, exact because `X ≡ r (mod q_L)`. Returns the
+/// expected residues over the shortened chain.
+pub fn rescale_reference(xs: &[u64], moduli: &[u64]) -> Vec<u64> {
+    assert!(moduli.len() >= 2, "rescale needs a modulus to drop");
+    assert_eq!(xs.len(), moduli.len(), "residue/modulus count mismatch");
+    let q_last = *moduli.last().unwrap();
+    let x_last = *xs.last().unwrap();
+    let x = crt_reconstruct(xs, moduli);
+    // Centered lift of the dropped residue; X ≥ x_last always, so the
+    // positive branch never underflows.
+    let y = if x_last > q_last / 2 {
+        x.add(&UBig::from_u64(q_last - x_last))
+    } else {
+        x.sub(&UBig::from_u64(x_last))
+    };
+    let t = divide_exact(y, &[q_last]);
+    moduli[..moduli.len() - 1].iter().map(|&q| t.rem_u64(q)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_helpers_agree_with_u128() {
+        let q = 65537u64;
+        assert_eq!(addm(65536, 65536, q), 65535);
+        assert_eq!(subm(0, 1, q), 65536);
+        assert_eq!(mulm(65536, 65536, q), 1);
+        assert_eq!(powm(3, q - 1, q), 1);
+        assert_eq!(mulm(invm(12345, q), 12345, q), 1);
+    }
+
+    #[test]
+    fn convolution_matches_hand_computed_case() {
+        // (1 + 2x)·(3 + 4x) mod (x^2 + 1, 17) = 3 + 10x + 8x² = (3−8) + 10x.
+        let c = negacyclic_convolution(&[1, 2], &[3, 4], 17);
+        assert_eq!(c, vec![12, 10]);
+    }
+
+    #[test]
+    fn crt_round_trips_small_values() {
+        let moduli = [3u64, 5, 7];
+        for v in 0u64..105 {
+            let xs: Vec<u64> = moduli.iter().map(|&m| v % m).collect();
+            assert_eq!(crt_reconstruct(&xs, &moduli).low_u64(), v);
+        }
+    }
+
+    #[test]
+    fn moddown_divides_exactly_in_both_directions() {
+        // X small, s large (forces the negative branch) and vice versa.
+        let q_moduli = [97u64];
+        let p_moduli = [11u64, 13];
+        for x in [0u64, 1, 96, 50] {
+            let x_q: Vec<u64> = q_moduli.iter().map(|&m| x % m).collect();
+            let x_p: Vec<u64> = p_moduli.iter().map(|&m| x % m).collect();
+            let out = moddown_reference(&x_q, &x_p, &q_moduli, &p_moduli);
+            // X < P here, so (X − s)/P ∈ {0, −1, −2}: result is a small
+            // signed multiple reduced mod q.
+            assert!(out[0] < 97);
+        }
+    }
+}

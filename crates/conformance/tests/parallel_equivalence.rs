@@ -1,0 +1,40 @@
+//! Parallel-vs-sequential differential run.
+//!
+//! The oracle is configuration-independent, so running the same seeded
+//! cases once with channel parallelism forced on (even at toy sizes) and
+//! once pinned to a single thread proves the parallel fast paths are
+//! bit-identical to the sequential ones: both runs must match the same
+//! exact reference.
+//!
+//! This lives in its own integration-test file — a separate process —
+//! because it mutates the global `par` knobs, which would race with the
+//! main conformance sweep's default configuration.
+
+use conformance::{case_budget, default_seed, run_family, Family};
+use fhe_math::par;
+
+#[test]
+fn families_match_oracle_under_forced_parallel_and_sequential() {
+    let seed = default_seed();
+    // A slimmer budget than the main sweep: this test exists to flip the
+    // threading configuration, not to re-do the full case exploration.
+    let cases = case_budget(200);
+
+    // Force the parallel code paths even for toy rings: no work threshold,
+    // several workers.
+    par::set_min_work(0);
+    par::set_max_threads(4);
+    for family in Family::ALL {
+        if let Err(repro) = run_family(family, seed, cases) {
+            panic!("parallel run diverged from oracle: {repro}");
+        }
+    }
+
+    // Same seed, strictly sequential.
+    par::set_max_threads(1);
+    for family in Family::ALL {
+        if let Err(repro) = run_family(family, seed, cases) {
+            panic!("sequential run diverged from oracle: {repro}");
+        }
+    }
+}

@@ -196,7 +196,7 @@ impl BgvContext {
         let q_prod = UBig::product_of(self.params.moduli()[..=level].iter().copied());
         let half = q_prod.divrem_u64(2).0;
         let q_mod_t = q_prod.rem_u64(t);
-        debug_assert_eq!(q_mod_t, 1, "chain must be ≡ 1 mod t");
+        fhe_math::strict_assert_eq!(q_mod_t, 1, "chain must be ≡ 1 mod t");
         let mut m_coeffs = vec![0u64; n];
         for (i, mc) in m_coeffs.iter_mut().enumerate() {
             let big = if level == 0 {

@@ -1,6 +1,7 @@
 //! Plaintext and ciphertext containers.
 
-use fhe_math::RnsPoly;
+use crate::CkksError;
+use fhe_math::{Domain, RnsPoly};
 
 /// An encoded (scaled, RNS/NTT-domain) plaintext polynomial.
 #[derive(Debug, Clone, PartialEq)]
@@ -14,7 +15,11 @@ impl Plaintext {
     /// Wraps the parts; internal constructor used by the encoder and
     /// decryption.
     pub(crate) fn from_parts(poly: RnsPoly, level: usize, scale: f64) -> Self {
-        debug_assert_eq!(poly.num_channels(), level + 1);
+        fhe_math::strict_assert_eq!(
+            poly.num_channels(),
+            level + 1,
+            "plaintext channel count must match level + 1"
+        );
         Plaintext { poly, level, scale }
     }
 
@@ -52,9 +57,64 @@ impl Ciphertext {
     /// Wraps the parts; internal constructor used by encryption and the
     /// evaluator.
     pub(crate) fn from_parts(c0: RnsPoly, c1: RnsPoly, level: usize, scale: f64) -> Self {
-        debug_assert_eq!(c0.num_channels(), level + 1);
-        debug_assert_eq!(c1.num_channels(), level + 1);
+        fhe_math::strict_assert_eq!(
+            c0.num_channels(),
+            level + 1,
+            "c0 channel count must match level + 1"
+        );
+        fhe_math::strict_assert_eq!(
+            c1.num_channels(),
+            level + 1,
+            "c1 channel count must match level + 1"
+        );
         Ciphertext { c0, c1, level, scale }
+    }
+
+    /// Builds a ciphertext from raw RNS components after validating the
+    /// container invariants (channel counts matching `level + 1`, both
+    /// polynomials in NTT domain with identical structure, positive finite
+    /// scale).
+    ///
+    /// Encryption and the evaluator construct ciphertexts internally; this
+    /// entry point exists for harnesses (e.g. the conformance fuzzer) that
+    /// need to drive evaluator kernels with adversarially chosen
+    /// polynomials rather than honestly encrypted ones.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::Mismatch`] if any invariant fails.
+    pub fn from_rns_parts(
+        c0: RnsPoly,
+        c1: RnsPoly,
+        level: usize,
+        scale: f64,
+    ) -> Result<Self, CkksError> {
+        if c0.num_channels() != level + 1 || c1.num_channels() != level + 1 {
+            return Err(CkksError::Mismatch {
+                detail: format!(
+                    "channel counts ({}, {}) must both equal level + 1 = {}",
+                    c0.num_channels(),
+                    c1.num_channels(),
+                    level + 1
+                ),
+            });
+        }
+        if c0.domain() != Domain::Ntt || c1.domain() != Domain::Ntt {
+            return Err(CkksError::Mismatch {
+                detail: "ciphertext components must be in NTT domain".into(),
+            });
+        }
+        if c0.n() != c1.n() || c0.moduli() != c1.moduli() {
+            return Err(CkksError::Mismatch {
+                detail: "ciphertext components disagree on degree or moduli".into(),
+            });
+        }
+        if !(scale > 0.0 && scale.is_finite()) {
+            return Err(CkksError::Mismatch {
+                detail: format!("scale must be positive and finite, got {scale}"),
+            });
+        }
+        Ok(Ciphertext { c0, c1, level, scale })
     }
 
     /// First component.
@@ -87,7 +147,7 @@ impl Ciphertext {
     /// the scale instead of touching ciphertext data; a wrong value here
     /// silently corrupts decoded magnitudes.
     pub fn set_scale(&mut self, scale: f64) {
-        debug_assert!(scale > 0.0, "scale must be positive");
+        fhe_math::strict_assert!(scale > 0.0, "scale must be positive, got {scale}");
         self.scale = scale;
     }
 }

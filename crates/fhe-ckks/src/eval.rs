@@ -366,7 +366,11 @@ impl<'a> Evaluator<'a> {
     ) -> Result<Vec<Vec<Vec<u64>>>, CkksError> {
         // Histogram-only probe: latency of the hoistable keyswitch half.
         let _t = telemetry::Timer::enter("ckks.keyswitch.decomp_modup");
-        debug_assert_eq!(d.domain(), Domain::Ntt);
+        fhe_math::strict_assert_eq!(
+            d.domain(),
+            Domain::Ntt,
+            "keyswitch input must be in NTT domain"
+        );
         let mut d_coeff = d.clone();
         d_coeff.to_coeff(self.ctx.level_tables(level));
         let q_idx: Vec<usize> = (0..=level).collect();

@@ -52,6 +52,7 @@ mod prime;
 mod rns;
 mod sampling;
 mod scratch;
+mod strict;
 
 pub use bigint::UBig;
 pub use decomp::{Gadget, SignedDigitDecomposer};
@@ -65,3 +66,4 @@ pub use prime::{generate_ntt_primes, generate_primes_with_step, is_prime};
 pub use rns::{BconvPlan, RnsBasis, RnsContext, RnsPoly};
 pub use sampling::{sample_gaussian, sample_ternary, sample_uniform, GaussianSampler};
 pub use scratch::Scratch;
+pub use strict::strict_checks_enabled;

@@ -13,6 +13,12 @@ use crate::MathError;
 /// With `q < 2^61`, a product is below `2^122` and a lazy sum of up to
 /// `j = 8` (even up to 64) products still fits in a `u128` accumulator, which
 /// mirrors the paper's lazy-reduction argument for the Meta-OP.
+///
+/// The bound also guarantees that [`Modulus::add`] cannot wrap: the sum of
+/// two canonical operands stays below `2^62`, so plain `u64` addition is
+/// exact. Widening the limit past 63 bits would silently reintroduce that
+/// overflow — [`Modulus::new`] rejects such moduli with an explicit
+/// [`MathError::InvalidModulus`] instead.
 pub const MAX_MODULUS_BITS: u32 = 61;
 
 /// A prime (or at least odd) modulus `q < 2^61` with precomputed Barrett
@@ -54,7 +60,8 @@ impl Modulus {
         if bits > MAX_MODULUS_BITS {
             return Err(MathError::InvalidModulus {
                 value,
-                reason: "wider than 61 bits; lazy accumulation invariant would break",
+                reason: "wider than 61 bits; lazy accumulation and the overflow-free \
+                         `add` (a + b < 2^62) invariants would break",
             });
         }
         // ratio = floor(2^128 / q). Split 2^128 = (a*q + r) * 2^64 with
@@ -104,9 +111,23 @@ impl Modulus {
     }
 
     /// Modular addition of canonical operands.
+    ///
+    /// `a + b` is computed in plain `u64`: the [`MAX_MODULUS_BITS`] bound
+    /// enforced by [`Modulus::new`] keeps the sum of two canonical operands
+    /// below `2^62`, so the addition can never wrap. Non-canonical operands
+    /// (which *could* overflow for wide moduli) violate the contract below.
+    ///
+    /// # Panics
+    ///
+    /// With the default `strict-checks` feature, panics if either operand
+    /// is `≥ q` (debug builds only otherwise).
     #[inline]
     pub fn add(&self, a: u64, b: u64) -> u64 {
-        debug_assert!(a < self.value && b < self.value);
+        crate::strict_assert!(
+            a < self.value && b < self.value,
+            "non-canonical operands to Modulus::add: a={a} b={b} q={}",
+            self.value
+        );
         let s = a + b;
         if s >= self.value {
             s - self.value
@@ -116,9 +137,18 @@ impl Modulus {
     }
 
     /// Modular subtraction of canonical operands.
+    ///
+    /// # Panics
+    ///
+    /// With the default `strict-checks` feature, panics if either operand
+    /// is `≥ q` (debug builds only otherwise).
     #[inline]
     pub fn sub(&self, a: u64, b: u64) -> u64 {
-        debug_assert!(a < self.value && b < self.value);
+        crate::strict_assert!(
+            a < self.value && b < self.value,
+            "non-canonical operands to Modulus::sub: a={a} b={b} q={}",
+            self.value
+        );
         if a >= b {
             a - b
         } else {
@@ -127,9 +157,14 @@ impl Modulus {
     }
 
     /// Modular negation of a canonical operand.
+    ///
+    /// # Panics
+    ///
+    /// With the default `strict-checks` feature, panics if `a ≥ q` (debug
+    /// builds only otherwise).
     #[inline]
     pub fn neg(&self, a: u64) -> u64 {
-        debug_assert!(a < self.value);
+        crate::strict_assert!(a < self.value, "non-canonical operand to Modulus::neg: a={a}");
         if a == 0 {
             0
         } else {
@@ -183,13 +218,28 @@ impl Modulus {
 
     /// Precomputes a Shoup representation of `w` for repeated products
     /// `a * w mod q` — the fast path NTT butterflies use for twiddles.
+    ///
+    /// # Panics
+    ///
+    /// With the default `strict-checks` feature, panics if `w ≥ q` (debug
+    /// builds only otherwise): the quotient of a non-canonical `w` would
+    /// make every subsequent [`Modulus::mul_shoup`] silently wrong.
     #[inline]
     pub fn shoup(&self, w: u64) -> ShoupScalar {
-        debug_assert!(w < self.value);
+        crate::strict_assert!(
+            w < self.value,
+            "non-canonical operand to Modulus::shoup: w={w} q={}",
+            self.value
+        );
         ShoupScalar { value: w, quotient: (((w as u128) << 64) / self.value as u128) as u64 }
     }
 
     /// Shoup modular multiplication `a * w mod q` with `w` precomputed.
+    ///
+    /// The canonical-form bound on `a` stays a `debug_assert!`: this is the
+    /// butterfly inner loop, called `n log n` times per NTT, and the Shoup
+    /// quotient precomputed by [`Modulus::shoup`] is only valid for
+    /// canonical `a` anyway — the strict check lives at that boundary.
     #[inline]
     pub fn mul_shoup(&self, a: u64, w: ShoupScalar) -> u64 {
         debug_assert!(a < self.value);
@@ -214,10 +264,20 @@ impl Modulus {
     }
 
     /// Maps a canonical residue to its centered representative in
-    /// `(-q/2, q/2]`.
+    /// `[-⌊q/2⌋, ⌊q/2⌋]` (symmetric for odd `q`: residues up to `⌊q/2⌋`
+    /// map to themselves, `⌊q/2⌋ + 1` maps to `-⌊q/2⌋`).
+    ///
+    /// # Panics
+    ///
+    /// With the default `strict-checks` feature, panics if `a ≥ q` (debug
+    /// builds only otherwise).
     #[inline]
     pub fn to_centered(&self, a: u64) -> i64 {
-        debug_assert!(a < self.value);
+        crate::strict_assert!(
+            a < self.value,
+            "non-canonical operand to Modulus::to_centered: a={a} q={}",
+            self.value
+        );
         if a > self.value / 2 {
             a as i64 - self.value as i64
         } else {
@@ -327,6 +387,43 @@ mod tests {
         for v in [-32768i64, -1, 0, 1, 32768] {
             assert_eq!(m.to_centered(m.from_i64(v)), v);
         }
+    }
+
+    #[test]
+    fn centered_boundary_is_symmetric() {
+        // Odd q: the centered range is [-⌊q/2⌋, ⌊q/2⌋]. ⌊q/2⌋ keeps its
+        // sign, ⌊q/2⌋ + 1 flips to the most-negative representative.
+        for &q in &[3u64, 65537, Q36, (1u64 << 61) - 1] {
+            let m = Modulus::new(q).unwrap();
+            let half = q / 2;
+            assert_eq!(m.to_centered(half), half as i64, "q={q}");
+            assert_eq!(m.to_centered(half + 1), -(half as i64), "q={q}");
+            assert_eq!(m.to_centered(0), 0, "q={q}");
+            assert_eq!(m.to_centered(q - 1), -1, "q={q}");
+        }
+    }
+
+    #[test]
+    fn add_at_max_modulus_never_wraps() {
+        // Satellite: a + b could wrap u64 for moduli ≥ 2^63; the 61-bit
+        // bound in Modulus::new keeps canonical sums below 2^62. Exercise
+        // the largest representable modulus with the largest operands.
+        let q = (1u64 << 61) - 1; // Mersenne prime 2^61 - 1
+        let m = Modulus::new(q).unwrap();
+        assert_eq!(m.add(q - 1, q - 1), q - 2);
+        assert_eq!(m.add(q - 1, 1), 0);
+        assert_eq!(m.sub(0, q - 1), 1);
+        assert_eq!(m.neg(q - 1), 1);
+    }
+
+    #[test]
+    #[cfg(feature = "strict-checks")]
+    #[should_panic(expected = "non-canonical operands to Modulus::add")]
+    fn add_rejects_non_canonical_operands_in_release() {
+        let m = Modulus::new(Q36).unwrap();
+        // Without strict-checks this would silently compute a wrong (or for
+        // huge operands, wrapped) sum in release builds.
+        let _ = m.add(Q36, 0);
     }
 
     #[test]

@@ -49,7 +49,11 @@ impl MontgomeryContext {
         for _ in 0..6 {
             inv = inv.wrapping_mul(2u64.wrapping_sub(q.wrapping_mul(inv)));
         }
-        debug_assert_eq!(q.wrapping_mul(inv), 1);
+        crate::strict_assert_eq!(
+            q.wrapping_mul(inv),
+            1,
+            "Newton iteration failed to invert q={q} mod 2^64"
+        );
         let r2 = modulus.reduce_u128(((1u128 << 64) % q as u128).pow(2));
         Ok(MontgomeryContext { modulus, neg_q_inv: inv.wrapping_neg(), r2 })
     }
@@ -78,7 +82,10 @@ impl MontgomeryContext {
     /// (`a ↦ a·2^64 mod q`).
     #[inline]
     pub fn to_montgomery(&self, a: u64) -> u64 {
-        debug_assert!(a < self.modulus.value());
+        crate::strict_assert!(
+            a < self.modulus.value(),
+            "non-canonical operand to MontgomeryContext::to_montgomery: a={a}"
+        );
         self.reduce(a as u128 * self.r2 as u128)
     }
 

@@ -711,7 +711,12 @@ impl RnsPoly {
             let mi = moduli[i];
             // Qhat_i = Q / q_i (exact), y_i = x_i * Qhat_i^{-1} mod q_i.
             let (qhat, rem) = q.divrem_u64(mi.value());
-            debug_assert_eq!(rem, 0);
+            crate::strict_assert_eq!(
+                rem,
+                0,
+                "CRT basis corrupt: Q not divisible by channel modulus {}",
+                mi.value()
+            );
             let qhat_mod = qhat.rem_u64(mi.value());
             let inv = mi.inv(qhat_mod).expect("prime moduli");
             let y = mi.mul(ch.coeffs()[idx], inv);

@@ -1,0 +1,78 @@
+//! Always-on correctness contracts (the `strict-checks` feature).
+//!
+//! Every fast kernel in this crate leans on *canonical-form* preconditions:
+//! [`crate::Modulus::add`]/[`crate::Modulus::sub`] assume operands below
+//! `q`, [`crate::Modulus::mul_shoup`] assumes `a < q`, the RNS CRT paths
+//! assume the basis product is exactly divisible by each channel modulus.
+//! Historically these were `debug_assert!`s — which vanish in precisely the
+//! `--release` builds the tier-1 verify and the bench regression gate run,
+//! so a canonical-form violation silently corrupted ciphertexts instead of
+//! failing loudly.
+//!
+//! [`strict_assert!`]/[`strict_assert_eq!`] close that gap: with the
+//! default-on `strict-checks` cargo feature they compile to plain
+//! `assert!` in every profile; with the feature disabled they degrade to
+//! `debug_assert!` (for callers that need the last few percent and accept
+//! the risk). Hot *inner-loop* invariants (radix-block spans, lazy-butterfly
+//! bounds) intentionally stay `debug_assert!` — the strict macros are for
+//! API boundaries, where one branch per call is noise.
+//!
+//! The macros test the feature through [`strict_checks_enabled`], a `const
+//! fn` compiled with *this* crate's features, so downstream crates using
+//! the macros inherit fhe-math's setting (toggled by forwarding their own
+//! `strict-checks` feature) rather than silently depending on their own
+//! feature list.
+
+/// `true` when `fhe-math` was compiled with the `strict-checks` feature
+/// (the default); the strict macros then assert in release builds too.
+#[inline(always)]
+#[must_use]
+pub const fn strict_checks_enabled() -> bool {
+    cfg!(feature = "strict-checks")
+}
+
+/// Like `assert!`, but active in release builds when the `strict-checks`
+/// feature is enabled (the default) and a `debug_assert!` otherwise.
+///
+/// Use at API boundaries that guard canonical-form contracts; keep raw
+/// `debug_assert!` for per-element inner-loop invariants.
+#[macro_export]
+macro_rules! strict_assert {
+    ($($arg:tt)*) => {
+        if $crate::strict_checks_enabled() {
+            assert!($($arg)*);
+        } else {
+            debug_assert!($($arg)*);
+        }
+    };
+}
+
+/// Like `assert_eq!`, but active in release builds when the
+/// `strict-checks` feature is enabled (the default) and a
+/// `debug_assert_eq!` otherwise.
+#[macro_export]
+macro_rules! strict_assert_eq {
+    ($($arg:tt)*) => {
+        if $crate::strict_checks_enabled() {
+            assert_eq!($($arg)*);
+        } else {
+            debug_assert_eq!($($arg)*);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn passing_contracts_are_silent() {
+        strict_assert!(1 + 1 == 2, "arithmetic works");
+        strict_assert_eq!(2 + 2, 4);
+    }
+
+    #[test]
+    #[cfg(feature = "strict-checks")]
+    #[should_panic(expected = "contract violated")]
+    fn failing_contract_panics_when_strict() {
+        strict_assert!(false, "contract violated");
+    }
+}

@@ -1,7 +1,7 @@
 //! Immutable views of recorded telemetry and the three exporters.
 
 use crate::hist::Histogram;
-use crate::json::{write_escaped, write_f64};
+use crate::json::{write_escaped, write_f64, Json};
 use crate::{EventRec, Metric, OpClassKey, VIRTUAL_TID_BASE};
 use std::collections::BTreeMap;
 
@@ -285,6 +285,85 @@ impl Snapshot {
         }
     }
 
+    /// Validates that a parsed JSON document has the snapshot shape emitted
+    /// by [`Snapshot::to_json`]: a top-level object with a `meta` object of
+    /// string values and `spans`/`counters`/`histograms` arrays whose rows
+    /// carry the expected field types.
+    ///
+    /// Bench tooling re-reads snapshot files it did not necessarily write
+    /// (cross-host comparisons, hand-edited baselines); this is the error
+    /// path that used to be a `panic!`, so a malformed file now surfaces as
+    /// a message naming the offending field instead of aborting the run.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the first structural
+    /// mismatch.
+    pub fn validate_json(doc: &Json) -> Result<(), String> {
+        let obj = match doc {
+            Json::Obj(m) => m,
+            other => return Err(format!("snapshot root must be an object, got {other:?}")),
+        };
+        match obj.get("meta") {
+            Some(Json::Obj(meta)) => {
+                for (k, v) in meta {
+                    if v.as_str().is_none() {
+                        return Err(format!("meta entry {k:?} must be a string, got {v:?}"));
+                    }
+                }
+            }
+            Some(other) => return Err(format!("\"meta\" must be an object, got {other:?}")),
+            None => return Err("missing \"meta\" object".into()),
+        }
+        let rows = |key: &str| -> Result<&[Json], String> {
+            match obj.get(key) {
+                Some(Json::Arr(v)) => Ok(v),
+                Some(other) => Err(format!("{key:?} must be an array, got {other:?}")),
+                None => Err(format!("missing {key:?} array")),
+            }
+        };
+        let field = |row: &Json, key: &'static str, ctx: &'static str| -> Result<Json, String> {
+            row.get(key).cloned().ok_or_else(|| format!("{ctx} row missing {key:?}: {row:?}"))
+        };
+        for row in rows("spans")? {
+            if field(row, "name", "span")?.as_str().is_none() {
+                return Err(format!("span \"name\" must be a string: {row:?}"));
+            }
+            for key in ["tid", "start_ns", "dur_ns"] {
+                if field(row, key, "span")?.as_f64().is_none() {
+                    return Err(format!("span {key:?} must be a number: {row:?}"));
+                }
+            }
+            match field(row, "parent", "span")? {
+                Json::Null | Json::Num(_) => {}
+                other => {
+                    return Err(format!("span \"parent\" must be a number or null, got {other:?}"))
+                }
+            }
+        }
+        for row in rows("counters")? {
+            for key in ["metric", "class"] {
+                if field(row, key, "counter")?.as_str().is_none() {
+                    return Err(format!("counter {key:?} must be a string: {row:?}"));
+                }
+            }
+            if field(row, "value", "counter")?.as_f64().is_none() {
+                return Err(format!("counter \"value\" must be a number: {row:?}"));
+            }
+        }
+        for row in rows("histograms")? {
+            if field(row, "name", "histogram")?.as_str().is_none() {
+                return Err(format!("histogram \"name\" must be a string: {row:?}"));
+            }
+            for key in ["count", "sum_ns", "p50_ns", "p90_ns", "p99_ns", "max_ns"] {
+                if field(row, key, "histogram")?.as_f64().is_none() {
+                    return Err(format!("histogram {key:?} must be a number: {row:?}"));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Machine-readable JSON:
     /// `{"meta": {...}, "spans": [...], "counters": [...], "histograms": [...]}`.
     pub fn to_json(&self) -> String {
@@ -429,7 +508,7 @@ fn fmt_ns(ns: u64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::json::{parse, Json};
+    use crate::json::parse;
     use crate::Telemetry;
 
     fn sample() -> Telemetry {
@@ -583,9 +662,33 @@ mod tests {
         assert_eq!(snap.counter(Metric::MetaOps, OpClassKey::Ntt), 42);
         assert_eq!(snap.counter(Metric::MetaOps, OpClassKey::Bconv), 0);
         assert_eq!(snap.counter_total(Metric::HbmBytes), 4096);
-        match parse(&snap.to_json()).unwrap() {
-            Json::Obj(_) => {}
-            other => panic!("expected object, got {other:?}"),
-        }
+        let doc = parse(&snap.to_json()).unwrap();
+        Snapshot::validate_json(&doc).expect("emitted snapshot JSON must self-validate");
+    }
+
+    #[test]
+    fn validate_json_rejects_malformed_documents() {
+        // A snapshot that is not an object at all.
+        let err = Snapshot::validate_json(&parse("[1,2,3]").unwrap()).unwrap_err();
+        assert!(err.contains("root must be an object"), "{err}");
+        // Missing sections.
+        let err = Snapshot::validate_json(&parse("{}").unwrap()).unwrap_err();
+        assert!(err.contains("missing \"meta\""), "{err}");
+        // Wrong row field type: counter value as a string.
+        let doc = parse(
+            r#"{"meta":{},"spans":[],"histograms":[],
+                "counters":[{"metric":"meta_ops","class":"ntt","value":"42"}]}"#,
+        )
+        .unwrap();
+        let err = Snapshot::validate_json(&doc).unwrap_err();
+        assert!(err.contains("counter \"value\" must be a number"), "{err}");
+        // Span parent must be number-or-null.
+        let doc = parse(
+            r#"{"meta":{},"counters":[],"histograms":[],
+                "spans":[{"name":"s","tid":0,"start_ns":0,"dur_ns":1,"parent":"root"}]}"#,
+        )
+        .unwrap();
+        let err = Snapshot::validate_json(&doc).unwrap_err();
+        assert!(err.contains("parent"), "{err}");
     }
 }
