@@ -57,7 +57,7 @@ pub fn measure_ckks_op(
 ) -> Result<f64, CkksError> {
     let ctx = CkksContext::new(params)?;
     let mut rng = ChaCha8Rng::seed_from_u64(1234);
-    let sk = SecretKey::generate(&ctx, &mut rng);
+    let sk = SecretKey::generate(&ctx, &mut rng)?;
     let enc = Encoder::new(&ctx);
     let ev = Evaluator::new(&ctx);
     let values: Vec<f64> = (0..enc.slots().min(64)).map(|i| (i as f64) * 0.01).collect();
@@ -117,7 +117,7 @@ pub fn measure_tfhe_pbs(params: TfheParams, iterations: usize) -> Result<f64, Tf
     let ct = client.encrypt_bit(true, &mut rng);
     let start = Instant::now();
     for _ in 0..iterations.max(1) {
-        let _ = server.bootstrap_to_bit(&ct);
+        let _ = server.bootstrap_to_bit(&ct)?;
     }
     Ok(start.elapsed().as_secs_f64() / iterations.max(1) as f64)
 }

@@ -13,7 +13,7 @@ fn bench_ckks_ops(c: &mut Criterion) {
     group.sample_size(10);
     let ctx = CkksContext::new(CkksParams::small().unwrap()).unwrap();
     let mut rng = ChaCha8Rng::seed_from_u64(77);
-    let sk = SecretKey::generate(&ctx, &mut rng);
+    let sk = SecretKey::generate(&ctx, &mut rng).unwrap();
     let rlk = RelinKey::generate(&ctx, &sk, &mut rng).unwrap();
     let gk = GaloisKeys::generate(&ctx, &sk, &[1], false, &mut rng).unwrap();
     let enc = Encoder::new(&ctx);
@@ -37,7 +37,8 @@ fn bench_tfhe_pbs(c: &mut Criterion) {
     let mut rng = ChaCha8Rng::seed_from_u64(78);
     let (client, server) = generate_keys(&TfheParams::toy(), &mut rng).unwrap();
     let ct = client.encrypt_bit(true, &mut rng);
-    group.bench_function("gate_bootstrap_toy", |b| b.iter(|| server.bootstrap_to_bit(&ct)));
+    group
+        .bench_function("gate_bootstrap_toy", |b| b.iter(|| server.bootstrap_to_bit(&ct).unwrap()));
     group.finish();
 }
 

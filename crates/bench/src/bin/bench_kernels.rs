@@ -30,6 +30,17 @@
 //!   the kernel-level histogram probes (`math.*`, `ckks.*`) capture
 //!   latency distributions, and writes a Chrome/Perfetto trace.
 //!
+//! * `--checksum` — flips the runtime integrity-checksum toggle *on* for
+//!   the timed kernels. Benches run checksum-free by default so committed
+//!   baselines measure the production fast path; an A/B pair of runs with
+//!   and without this flag bounds the checksum overhead, and the
+//!   `--compare` gate confirms the disabled path stays within tolerance.
+//! * `--faults SEED[:CASES]` — after the timed sweep, runs a deterministic
+//!   fault-injection campaign (all three fault classes, `CASES` cases per
+//!   class, default 50) and embeds the per-class detected/escaped
+//!   breakdown in the output JSON under `"faults"`. Never affects kernel
+//!   timings: the campaign runs after every measurement is taken.
+//!
 //! `--smoke` shrinks the sweep to one toy size — the CI job uses it with
 //! `--compare` to keep the regression gate itself exercised.
 
@@ -123,8 +134,8 @@ fn rns_kernels(n: usize, reps: usize, profile: bool, out: &mut Vec<Measurement>)
         .collect();
     let mut poly = RnsPoly::from_channels(channels).expect("rns poly");
     let (seq, par_t, prof) = seq_vs_par(reps, profile, || {
-        poly.to_ntt(ctx.tables());
-        poly.to_coeff(ctx.tables());
+        poly.to_ntt(ctx.tables()).expect("ntt");
+        poly.to_coeff(ctx.tables()).expect("intt");
     });
     out.push(Measurement {
         kernel: "ntt_roundtrip",
@@ -143,7 +154,7 @@ fn rns_kernels(n: usize, reps: usize, profile: bool, out: &mut Vec<Measurement>)
     let src_refs: Vec<&[u64]> = src_data.iter().map(Vec::as_slice).collect();
     let mut modup_out = vec![Vec::new(); dst_idx.len()];
     let (seq, par_t, prof) =
-        seq_vs_par(reps, profile, || plan.apply_into(&src_refs, &mut modup_out));
+        seq_vs_par(reps, profile, || plan.apply_into(&src_refs, &mut modup_out).expect("modup"));
     out.push(Measurement {
         kernel: "modup",
         n,
@@ -181,7 +192,7 @@ fn ckks_kernel(n: usize, reps: usize, profile: bool, out: &mut Vec<Measurement>)
     let params = CkksParams::new(n, max_level, dnum, scale_bits).expect("params");
     let ctx = CkksContext::new(params).expect("context");
     let mut rng = ChaCha8Rng::seed_from_u64(17);
-    let sk = SecretKey::generate(&ctx, &mut rng);
+    let sk = SecretKey::generate(&ctx, &mut rng).unwrap();
     let rlk = RelinKey::generate(&ctx, &sk, &mut rng).expect("relin key");
     let enc = Encoder::new(&ctx);
     let ev = Evaluator::new(&ctx);
@@ -237,6 +248,7 @@ fn to_json(measurements: &[Measurement], note: &str, reps: usize) -> Json {
     let mut host = std::collections::BTreeMap::new();
     host.insert("threads".to_string(), Json::Num(par::max_threads() as f64));
     host.insert("parallel_compiled".to_string(), Json::Bool(par::parallelism_compiled()));
+    host.insert("checksum_enabled".to_string(), Json::Bool(fhe_math::checksum_enabled()));
     host.insert("reps".to_string(), Json::Num(reps as f64));
     doc.insert("host".to_string(), Json::Obj(host));
     doc.insert("note".to_string(), Json::Str(note.to_string()));
@@ -274,10 +286,49 @@ fn take_value_flag(rest: &[String], flag: &str) -> Option<String> {
     })
 }
 
+/// Parses `--faults SEED[:CASES]` (seed decimal or `0x…` hex).
+fn parse_faults_spec(spec: &str) -> (u64, u64) {
+    let (seed_s, cases_s) = match spec.split_once(':') {
+        Some((s, c)) => (s, Some(c)),
+        None => (spec, None),
+    };
+    let parse_u64 = |s: &str| -> Option<u64> {
+        if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+            u64::from_str_radix(&hex.replace('_', ""), 16).ok()
+        } else {
+            s.replace('_', "").parse().ok()
+        }
+    };
+    let seed = parse_u64(seed_s).unwrap_or_else(|| {
+        eprintln!("--faults: invalid seed {seed_s:?} (expected decimal or 0x-hex)");
+        std::process::exit(2);
+    });
+    let cases = match cases_s {
+        None => 50,
+        Some(c) => parse_u64(c).filter(|n| *n >= 1).unwrap_or_else(|| {
+            eprintln!("--faults: invalid case count {c:?}");
+            std::process::exit(2);
+        }),
+    };
+    (seed, cases)
+}
+
 fn main() {
     let args = BenchArgs::parse();
     let smoke = args.rest.iter().any(|a| a == "--smoke");
     let profile = args.rest.iter().any(|a| a == "--profile");
+    // Benches measure the checksum-free fast path unless explicitly asked
+    // to bound the overhead of the enabled path.
+    let checksum = args.rest.iter().any(|a| a == "--checksum");
+    fhe_math::set_checksum_enabled(checksum);
+    if checksum && !fhe_math::checksum_enabled() {
+        eprintln!(
+            "--checksum: the integrity-checksum feature is not compiled in; \
+             rebuild with `-p bench --features integrity-checksum` to measure its overhead"
+        );
+        std::process::exit(2);
+    }
+    let faults = take_value_flag(&args.rest, "--faults").map(|s| parse_faults_spec(&s));
     let out_path =
         take_value_flag(&args.rest, "--out").unwrap_or_else(|| "BENCH_kernels.json".to_string());
     let compare_path = take_value_flag(&args.rest, "--compare");
@@ -364,7 +415,28 @@ fn main() {
         report_profiles(&mut rep, &tel, &measurements);
     }
 
-    let doc = to_json(&measurements, &note, reps);
+    let mut doc = to_json(&measurements, &note, reps);
+
+    // The fault campaign runs strictly after the timed sweep so injection
+    // bookkeeping can never perturb a measurement; its breakdown rides
+    // along in the same JSON document (and telemetry named counters).
+    if let Some((seed, cases)) = faults {
+        let report = faultsim::run_campaign(seed, cases, &tel);
+        rep.note(&format!(
+            "fault campaign (seed {seed:#018x}, {cases} cases/class, checksum {}): \
+             {} injected, {} escaped (escape rate {:.4})",
+            if fhe_math::checksum_enabled() { "on" } else { "off" },
+            report.injected(),
+            report.escaped(),
+            report.escape_rate(),
+        ));
+        let campaign = telemetry::json::parse(&report.to_json())
+            .expect("campaign report serializes to valid JSON");
+        if let Json::Obj(map) = &mut doc {
+            map.insert("faults".to_string(), campaign);
+        }
+    }
+
     if let Err(e) = std::fs::write(&out_path, format!("{doc}\n")) {
         eprintln!("failed to write {out_path}: {e}");
         std::process::exit(1);

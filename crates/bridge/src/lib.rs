@@ -245,7 +245,7 @@ mod tests {
     fn extraction_recovers_coefficient_message() {
         let ctx = bridge_ckks();
         let mut rng = ChaCha8Rng::seed_from_u64(60);
-        let sk = SecretKey::generate(&ctx, &mut rng);
+        let sk = SecretKey::generate(&ctx, &mut rng).unwrap();
         let enc = Encoder::new(&ctx);
         let ev = Evaluator::new(&ctx);
         for m in 0..4u64 {
@@ -266,7 +266,7 @@ mod tests {
     fn full_bridge_ckks_to_tfhe() {
         let ctx = bridge_ckks();
         let mut rng = ChaCha8Rng::seed_from_u64(61);
-        let sk = SecretKey::generate(&ctx, &mut rng);
+        let sk = SecretKey::generate(&ctx, &mut rng).unwrap();
         let enc = Encoder::new(&ctx);
         let ev = Evaluator::new(&ctx);
         let (client, server) = generate_keys(&TfheParams::toy(), &mut rng).unwrap();
@@ -286,7 +286,8 @@ mod tests {
             }
             // The switched sample supports programmable bootstrapping:
             // threshold m >= 2 homomorphically.
-            let thresholded = server.bootstrap_with_lut(&switched, 8, |v| u64::from(v >= 2));
+            let thresholded =
+                server.bootstrap_with_lut(&switched, 8, |v| u64::from(v >= 2)).unwrap();
             assert_eq!(
                 client.decrypt_message(&thresholded, 8),
                 u64::from(m >= 2),
@@ -300,7 +301,7 @@ mod tests {
         // Compute 1 + 1 homomorphically on CKKS, then threshold on TFHE.
         let ctx = bridge_ckks();
         let mut rng = ChaCha8Rng::seed_from_u64(62);
-        let sk = SecretKey::generate(&ctx, &mut rng);
+        let sk = SecretKey::generate(&ctx, &mut rng).unwrap();
         let enc = Encoder::new(&ctx);
         let ev = Evaluator::new(&ctx);
         let (client, _server) = generate_keys(&TfheParams::toy(), &mut rng).unwrap();
@@ -318,7 +319,7 @@ mod tests {
     fn rejects_wrong_level_and_bad_gap() {
         let ctx = bridge_ckks();
         let mut rng = ChaCha8Rng::seed_from_u64(63);
-        let sk = SecretKey::generate(&ctx, &mut rng);
+        let sk = SecretKey::generate(&ctx, &mut rng).unwrap();
         let enc = Encoder::new(&ctx);
         let pt = enc.encode(&[1.0]).unwrap();
         let ct = sk.encrypt(&ctx, &pt, &mut rng).unwrap();
@@ -327,7 +328,7 @@ mod tests {
         // A 2-bit gap (message space 4) is below the bridge's minimum.
         let tight =
             CkksContext::new(CkksParams::with_first_prime_bits(64, 2, 1, 30, 32).unwrap()).unwrap();
-        let sk2 = SecretKey::generate(&tight, &mut rng);
+        let sk2 = SecretKey::generate(&tight, &mut rng).unwrap();
         let (client, _) = generate_keys(&TfheParams::toy(), &mut rng).unwrap();
         assert!(CkksToTfheBridge::new(&tight, &sk2, &client, &mut rng).is_err());
     }

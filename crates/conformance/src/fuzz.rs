@@ -478,7 +478,7 @@ fn bconv_case(mut rng: SplitMix64, seed: u64, case: u64) -> Result<(), Box<Repro
     let src_vals: Vec<Vec<u64>> =
         (0..src_cnt).map(|i| draw_coeffs(&mut rng, n, moduli[i])).collect();
     let refs: Vec<&[u64]> = src_vals.iter().map(|v| v.as_slice()).collect();
-    let fast = plan.apply(&refs);
+    let fast = plan.apply(&refs).map_err(|e| fail(format!("apply: {e}")))?;
 
     check_bconv_output(&mut rng, &src_vals, &moduli[..src_cnt], &moduli[src_cnt..], &fast, n)
         .map_err(fail)?;
@@ -620,9 +620,9 @@ fn rescale_case(mut rng: SplitMix64, seed: u64, case: u64) -> Result<(), Box<Rep
 
     for (label, inp, outp) in [("c0", &c0, out.c0()), ("c1", &c1, out.c1())] {
         let mut ic = inp.clone();
-        ic.to_coeff(ctx.level_tables(level));
+        ic.to_coeff(ctx.level_tables(level)).map_err(|e| fail(format!("intt: {e}")))?;
         let mut oc = outp.clone();
-        oc.to_coeff(ctx.level_tables(level - 1));
+        oc.to_coeff(ctx.level_tables(level - 1)).map_err(|e| fail(format!("intt: {e}")))?;
         for s in sample_indices(&mut rng, n, 20) {
             let xs: Vec<u64> = (0..=level).map(|c| ic.channel(c).coeffs()[s]).collect();
             let want = oracle::rescale_reference(&xs, &moduli);

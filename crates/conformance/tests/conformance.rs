@@ -77,7 +77,7 @@ fn oracle_detects_injected_corruption() {
     let plan = ctx.bconv(&[0, 1], &[2]).unwrap();
     let cols: Vec<Vec<u64>> = xs.iter().map(|&x| vec![x; n]).collect();
     let refs: Vec<&[u64]> = cols.iter().map(|v| v.as_slice()).collect();
-    let fast = plan.apply(&refs);
+    let fast = plan.apply(&refs).unwrap();
     orc.check(&xs, &moduli[2..], &[fast[0][0]]).expect("uncorrupted output must pass");
     let bad = Modulus::new(moduli[2]).unwrap().add(fast[0][0], 1);
     orc.check(&xs, &moduli[2..], &[bad]).expect_err("corrupted output must be flagged");

@@ -124,6 +124,135 @@ impl Step {
     }
 }
 
+/// Errors surfaced by checked simulation entry points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The schedule handed to [`Simulator::run_checked`] does not match its
+    /// manifest: steps were dropped, duplicated, reordered, or mutated
+    /// between planning and execution.
+    ScheduleIntegrity {
+        /// Human-readable mismatch description.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::ScheduleIntegrity { detail } => {
+                write!(f, "schedule integrity violation: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// An order-sensitive fingerprint of a planned schedule.
+///
+/// Captured once at planning time and re-checked at execution time by
+/// [`Simulator::run_checked`], it detects the transfer-level fault classes
+/// the fault campaign injects — dropped, duplicated, or reordered steps —
+/// as well as any mutation of a step's fields. The digest folds every step
+/// field through a splitmix64-style mixer, so it is order-sensitive; the
+/// per-class traffic totals give mismatch messages a quick directional
+/// hint (e.g. "HBM bytes shrank: a transfer was dropped").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ScheduleManifest {
+    /// Number of steps in the schedule.
+    pub steps: usize,
+    /// Order-sensitive 64-bit digest over every field of every step.
+    pub digest: u64,
+    /// Total HBM bytes across all steps.
+    pub hbm_bytes: u64,
+    /// Total scratchpad bytes across all steps.
+    pub onchip_bytes: u64,
+    /// Total Meta-OP instances across all steps.
+    pub meta_ops: u64,
+}
+
+/// splitmix64 finalizer: the bijective mixer used throughout the repo's
+/// seeded/fingerprinting code paths.
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl ScheduleManifest {
+    /// Fingerprints a schedule.
+    pub fn of(steps: &[Step]) -> Self {
+        let mut digest = 0x243f_6a88_85a3_08d3u64; // π, arbitrary non-zero seed
+        let mut hbm = 0u64;
+        let mut onchip = 0u64;
+        let mut ops = 0u64;
+        for (i, s) in steps.iter().enumerate() {
+            // Position is folded in explicitly so swapping two identical-
+            // digest steps still changes nothing, but swapping two distinct
+            // steps always does.
+            digest = mix64(digest ^ i as u64);
+            for b in s.label.as_bytes() {
+                digest = mix64(digest ^ u64::from(*b));
+            }
+            digest = mix64(digest ^ s.class as u64);
+            digest = mix64(digest ^ s.meta_ops);
+            digest = mix64(digest ^ u64::from(s.n));
+            digest = mix64(digest ^ u64::from(s.add_only));
+            digest = mix64(digest ^ s.hbm_bytes);
+            digest = mix64(digest ^ s.onchip_bytes);
+            hbm += s.hbm_bytes;
+            onchip += s.onchip_bytes;
+            ops += s.meta_ops;
+        }
+        ScheduleManifest {
+            steps: steps.len(),
+            digest,
+            hbm_bytes: hbm,
+            onchip_bytes: onchip,
+            meta_ops: ops,
+        }
+    }
+
+    /// Checks a schedule against this manifest, describing the first
+    /// discrepancy found.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::ScheduleIntegrity`] when the schedule was tampered with.
+    pub fn check(&self, steps: &[Step]) -> Result<(), SimError> {
+        let got = ScheduleManifest::of(steps);
+        if got == *self {
+            return Ok(());
+        }
+        let detail = if got.steps != self.steps {
+            format!("step count changed: manifest {} vs schedule {}", self.steps, got.steps)
+        } else if got.hbm_bytes != self.hbm_bytes {
+            format!(
+                "HBM traffic changed: manifest {} B vs schedule {} B",
+                self.hbm_bytes, got.hbm_bytes
+            )
+        } else if got.onchip_bytes != self.onchip_bytes {
+            format!(
+                "scratchpad traffic changed: manifest {} B vs schedule {} B",
+                self.onchip_bytes, got.onchip_bytes
+            )
+        } else if got.meta_ops != self.meta_ops {
+            format!(
+                "Meta-OP total changed: manifest {} vs schedule {}",
+                self.meta_ops, got.meta_ops
+            )
+        } else {
+            format!(
+                "step order or fields changed: digest {:#018x} vs {:#018x}",
+                self.digest, got.digest
+            )
+        };
+        Err(SimError::ScheduleIntegrity { detail })
+    }
+}
+
 /// Per-class accounting in a report.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ClassStats {
@@ -250,6 +379,23 @@ impl Simulator {
     /// Runs a step sequence and produces the report.
     pub fn run(&self, steps: &[Step]) -> SimReport {
         self.run_traced(steps, &telemetry::Telemetry::disabled())
+    }
+
+    /// Runs a step sequence after verifying it against the manifest taken
+    /// at planning time.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::ScheduleIntegrity`] when steps were dropped, duplicated,
+    /// reordered, or mutated since the manifest was captured; nothing is
+    /// simulated in that case.
+    pub fn run_checked(
+        &self,
+        steps: &[Step],
+        manifest: &ScheduleManifest,
+    ) -> Result<SimReport, SimError> {
+        manifest.check(steps)?;
+        Ok(self.run(steps))
     }
 
     /// [`Self::run`] plus telemetry: one virtual-time span per step on a
@@ -498,6 +644,71 @@ mod tests {
             .sum();
         assert!(hist_sum <= report.cycles);
         assert!(snap.histogram("sim.step.elementwise").is_none());
+    }
+
+    fn manifest_schedule() -> Vec<Step> {
+        vec![
+            Step::compute("ntt", OpClass::Ntt, 2048 * 4, 3),
+            Step::transfer("dma.keys", 1 << 20, 1 << 14),
+            Step::compute("bconv", OpClass::Bconv, 2048 * 2, 12),
+            Step::transfer("dma.spill", 1 << 18, 1 << 12),
+        ]
+    }
+
+    #[test]
+    fn unmodified_schedule_passes_the_manifest_check() {
+        let steps = manifest_schedule();
+        let manifest = ScheduleManifest::of(&steps);
+        let sim = Simulator::new(arch());
+        let checked = sim.run_checked(&steps, &manifest).unwrap();
+        assert_eq!(checked.cycles, sim.run(&steps).cycles);
+        // The manifest totals mirror the schedule.
+        assert_eq!(manifest.steps, 4);
+        assert_eq!(manifest.hbm_bytes, (1 << 20) + (1 << 18));
+    }
+
+    #[test]
+    fn dropped_transfer_is_detected() {
+        let steps = manifest_schedule();
+        let manifest = ScheduleManifest::of(&steps);
+        let mut tampered = steps.clone();
+        tampered.remove(1); // drop dma.keys
+        let err = Simulator::new(arch()).run_checked(&tampered, &manifest).unwrap_err();
+        let SimError::ScheduleIntegrity { detail } = err;
+        assert!(detail.contains("step count"), "{detail}");
+    }
+
+    #[test]
+    fn duplicated_transfer_is_detected() {
+        let steps = manifest_schedule();
+        let manifest = ScheduleManifest::of(&steps);
+        let mut tampered = steps.clone();
+        let dup = tampered[3].clone();
+        tampered.push(dup);
+        assert!(Simulator::new(arch()).run_checked(&tampered, &manifest).is_err());
+    }
+
+    #[test]
+    fn reordered_transfers_are_detected() {
+        let steps = manifest_schedule();
+        let manifest = ScheduleManifest::of(&steps);
+        let mut tampered = steps.clone();
+        tampered.swap(1, 3); // same multiset of steps, different order
+        let err = Simulator::new(arch()).run_checked(&tampered, &manifest).unwrap_err();
+        let SimError::ScheduleIntegrity { detail } = err;
+        assert!(detail.contains("order or fields"), "{detail}");
+    }
+
+    #[test]
+    fn mutated_step_fields_are_detected() {
+        let steps = manifest_schedule();
+        let manifest = ScheduleManifest::of(&steps);
+        let mut tampered = steps.clone();
+        tampered[1].hbm_bytes += 1;
+        assert!(manifest.check(&tampered).is_err());
+        let mut relabeled = steps.clone();
+        relabeled[0].label = "ntt2".into();
+        assert!(manifest.check(&relabeled).is_err());
     }
 
     #[test]

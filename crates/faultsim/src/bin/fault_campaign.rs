@@ -1,0 +1,117 @@
+//! Deterministic fault-injection campaign driver.
+//!
+//! ```text
+//! fault_campaign [--seed HEX|DEC] [--cases N] [--classes a,b,c] [--out FILE]
+//! ```
+//!
+//! Runs the seeded campaign, prints the per-class summary with the
+//! escape-rate headline, optionally writes the machine-readable JSON
+//! report, and exits with status 2 if any injected fault escaped —
+//! so CI can gate on "zero undetected escapes" directly.
+
+use faultsim::{run_campaign_classes, FaultClass, DEFAULT_CASES, DEFAULT_SEED};
+
+fn parse_u64(s: &str) -> Result<u64, String> {
+    let s = s.trim();
+    let parsed = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(&hex.replace('_', ""), 16)
+    } else {
+        s.replace('_', "").parse()
+    };
+    parsed.map_err(|e| format!("invalid number {s:?}: {e}"))
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fault_campaign [--seed HEX|DEC] [--cases N] [--classes LIST] [--out FILE]\n\
+         \n\
+         --seed     campaign seed (default {DEFAULT_SEED:#018x})\n\
+         --cases    cases per fault class (default {DEFAULT_CASES})\n\
+         --classes  comma-separated subset of: bitflip,transfer,worker_panic\n\
+         --out      write the JSON report to FILE\n\
+         \n\
+         exit status: 0 = no escapes, 2 = at least one fault escaped"
+    );
+    std::process::exit(1)
+}
+
+fn main() {
+    let mut seed = DEFAULT_SEED;
+    let mut cases = DEFAULT_CASES;
+    let mut classes: Vec<FaultClass> = FaultClass::ALL.to_vec();
+    let mut out: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {flag}");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--seed" => {
+                seed = parse_u64(&value("--seed")).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage()
+                })
+            }
+            "--cases" => {
+                cases = parse_u64(&value("--cases")).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage()
+                })
+            }
+            "--classes" => {
+                let list = value("--classes");
+                classes = list
+                    .split(',')
+                    .map(|name| {
+                        FaultClass::from_name(name.trim()).unwrap_or_else(|| {
+                            eprintln!("unknown fault class {name:?}");
+                            usage()
+                        })
+                    })
+                    .collect();
+                if classes.is_empty() {
+                    eprintln!("--classes must name at least one class");
+                    usage()
+                }
+            }
+            "--out" => out = Some(value("--out")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage()
+            }
+        }
+    }
+
+    let tel = telemetry::Telemetry::enabled();
+    let report = run_campaign_classes(&classes, seed, cases, &tel);
+    print!("{}", report.summary());
+
+    for (_, s) in &report.classes {
+        for line in &s.escapes {
+            eprintln!("ESCAPE {line}");
+        }
+    }
+
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("report written to {path}");
+    }
+
+    if report.escaped() > 0 {
+        eprintln!(
+            "FAIL: {} of {} injected faults escaped detection",
+            report.escaped(),
+            report.injected()
+        );
+        std::process::exit(2);
+    }
+    println!("PASS: zero undetected escapes across {} injected faults", report.injected());
+}

@@ -33,18 +33,59 @@ pub struct BgvSecretKey {
 
 /// A BGV ciphertext `(c0, c1)` with `c0 + c1·s = m + t·e (mod Q_level)`,
 /// NTT domain over channels `0..=level`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct BgvCiphertext {
     c0: RnsPoly,
     c1: RnsPoly,
     level: usize,
+    /// Integrity checksum over both components, `None` when sealing is
+    /// disabled (feature or runtime switch).
+    seal: Option<u64>,
+}
+
+impl PartialEq for BgvCiphertext {
+    fn eq(&self, other: &Self) -> bool {
+        self.c0 == other.c0 && self.c1 == other.c1 && self.level == other.level
+    }
 }
 
 impl BgvCiphertext {
+    fn new(c0: RnsPoly, c1: RnsPoly, level: usize) -> Self {
+        let seal = fhe_math::integrity::seal(&[&c0, &c1]);
+        BgvCiphertext { c0, c1, level, seal }
+    }
+
     /// Current modulus-chain level.
     #[inline]
     pub fn level(&self) -> usize {
         self.level
+    }
+
+    /// Verifies the integrity checksum against the current component
+    /// contents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BgvError::IntegrityViolation`] when the components no
+    /// longer match the seal recorded at construction.
+    pub fn verify_integrity(&self, context: &'static str) -> Result<(), BgvError> {
+        match fhe_math::integrity::verify(&[&self.c0, &self.c1], self.seal, context) {
+            Ok(()) => Ok(()),
+            Err(_) => Err(BgvError::IntegrityViolation { context }),
+        }
+    }
+
+    /// Mutable access to `(c0, c1)` **without** resealing — the fault
+    /// injection surface. Call [`BgvCiphertext::reseal`] after a
+    /// legitimate mutation.
+    #[doc(hidden)]
+    pub fn components_mut(&mut self) -> (&mut RnsPoly, &mut RnsPoly) {
+        (&mut self.c0, &mut self.c1)
+    }
+
+    /// Recomputes the integrity seal after a legitimate mutation.
+    pub fn reseal(&mut self) {
+        self.seal = fhe_math::integrity::seal(&[&self.c0, &self.c1]);
     }
 }
 
@@ -159,41 +200,39 @@ impl BgvContext {
             c0_ch.push(Poly::from_ntt(c0_vals, md)?);
             c1_ch.push(a);
         }
-        Ok(BgvCiphertext {
-            c0: RnsPoly::from_channels(c0_ch)?,
-            c1: RnsPoly::from_channels(c1_ch)?,
+        Ok(BgvCiphertext::new(
+            RnsPoly::from_channels(c0_ch)?,
+            RnsPoly::from_channels(c1_ch)?,
             level,
-        })
+        ))
     }
 
     /// Decrypts to slot values.
     ///
+    /// Before decoding, the ciphertext must pass its integrity checksum
+    /// and the **measured** noise budget must be non-negative: the
+    /// centered magnitude of `v = c0 + c1·s` has to stay below `Q/4`.
+    /// A wrapped-around (exhausted or corrupted) ciphertext yields `v`
+    /// essentially uniform in `(−Q/2, Q/2]`, so the margin check detects
+    /// it with overwhelming probability.
+    ///
     /// # Errors
     ///
-    /// Propagates structural failures.
+    /// Returns [`BgvError::IntegrityViolation`] on checksum mismatch,
+    /// [`BgvError::BudgetExhausted`] when the noise margin is gone, or
+    /// propagates structural failures.
     pub fn decrypt(&self, sk: &BgvSecretKey, ct: &BgvCiphertext) -> Result<Vec<u64>, BgvError> {
+        ct.verify_integrity("bgv.decrypt")?;
         let level = ct.level;
         let n = self.params.n();
         let t = self.params.t();
-        // v = c0 + c1·s over the level channels (NTT), then to coefficients.
-        let mut channels = Vec::with_capacity(level + 1);
-        for c in 0..=level {
-            let md = self.rns.moduli()[c];
-            let s = &sk.s_full[c];
-            let vals: Vec<u64> = ct
-                .c0
-                .channel(c)
-                .coeffs()
-                .iter()
-                .zip(ct.c1.channel(c).coeffs().iter().zip(s.coeffs()))
-                .map(|(&c0v, (&c1v, &sv))| md.add(c0v, md.mul(c1v, sv)))
-                .collect();
-            channels.push(Poly::from_ntt(vals, md)?);
-        }
-        let mut v = RnsPoly::from_channels(channels)?;
-        v.to_coeff(&self.rns.tables()[..=level]);
-        // Centered lift mod t: every q ≡ 1 (mod t) ⇒ Q ≡ 1 (mod t).
+        let v = self.linear_form(sk, ct)?;
         let q_prod = UBig::product_of(self.params.moduli()[..=level].iter().copied());
+        let budget = self.budget_bits(&v, level, &q_prod);
+        if budget < 0.0 {
+            return Err(BgvError::BudgetExhausted { budget_bits: budget });
+        }
+        // Centered lift mod t: every q ≡ 1 (mod t) ⇒ Q ≡ 1 (mod t).
         let half = q_prod.divrem_u64(2).0;
         let q_mod_t = q_prod.rem_u64(t);
         fhe_math::strict_assert_eq!(q_mod_t, 1, "chain must be ≡ 1 mod t");
@@ -215,6 +254,74 @@ impl BgvContext {
         Ok(self.encoder.decode(&m_coeffs))
     }
 
+    /// Measured noise budget in bits: `log2(Q/4) − log2(max_i |v_i|)`
+    /// where `v = c0 + c1·s` is centered-lifted. Negative means the
+    /// `Q/4` safety margin is gone and decryption is unreliable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BgvError::IntegrityViolation`] on checksum mismatch.
+    pub fn noise_budget_bits(
+        &self,
+        sk: &BgvSecretKey,
+        ct: &BgvCiphertext,
+    ) -> Result<f64, BgvError> {
+        ct.verify_integrity("bgv.decrypt")?;
+        let v = self.linear_form(sk, ct)?;
+        let q_prod = UBig::product_of(self.params.moduli()[..=ct.level].iter().copied());
+        Ok(self.budget_bits(&v, ct.level, &q_prod))
+    }
+
+    /// `v = c0 + c1·s` over the level channels, coefficient domain.
+    fn linear_form(&self, sk: &BgvSecretKey, ct: &BgvCiphertext) -> Result<RnsPoly, BgvError> {
+        let level = ct.level;
+        let mut channels = Vec::with_capacity(level + 1);
+        for c in 0..=level {
+            let md = self.rns.moduli()[c];
+            let s = &sk.s_full[c];
+            let vals: Vec<u64> = ct
+                .c0
+                .channel(c)
+                .coeffs()
+                .iter()
+                .zip(ct.c1.channel(c).coeffs().iter().zip(s.coeffs()))
+                .map(|(&c0v, (&c1v, &sv))| md.add(c0v, md.mul(c1v, sv)))
+                .collect();
+            channels.push(Poly::from_ntt(vals, md)?);
+        }
+        let mut v = RnsPoly::from_channels(channels)?;
+        v.to_coeff(&self.rns.tables()[..=level])?;
+        Ok(v)
+    }
+
+    /// `log2(Q/4) − log2(max_i |centered(v_i)|)`, with `+log2(Q/4)` when
+    /// `v = 0`.
+    fn budget_bits(&self, v: &RnsPoly, level: usize, q_prod: &UBig) -> f64 {
+        let half = q_prod.divrem_u64(2).0;
+        let mut max_mag = UBig::zero();
+        for i in 0..self.params.n() {
+            let big = if level == 0 {
+                UBig::from_u64(v.channel(0).coeffs()[i])
+            } else {
+                v.crt_coefficient(i)
+            };
+            let mag = if big.cmp_big(&half) == std::cmp::Ordering::Greater {
+                q_prod.sub(&big)
+            } else {
+                big
+            };
+            if mag.cmp_big(&max_mag) == std::cmp::Ordering::Greater {
+                max_mag = mag;
+            }
+        }
+        let margin_bits = q_prod.to_f64().log2() - 2.0;
+        if max_mag.is_zero() {
+            margin_bits
+        } else {
+            margin_bits - max_mag.to_f64().log2()
+        }
+    }
+
     /// Homomorphic addition.
     ///
     /// # Errors
@@ -222,7 +329,7 @@ impl BgvContext {
     /// Returns [`BgvError::Mismatch`] on level disagreement.
     pub fn add(&self, a: &BgvCiphertext, b: &BgvCiphertext) -> Result<BgvCiphertext, BgvError> {
         self.check_pair(a, b)?;
-        Ok(BgvCiphertext { c0: a.c0.add(&b.c0)?, c1: a.c1.add(&b.c1)?, level: a.level })
+        Ok(BgvCiphertext::new(a.c0.add(&b.c0)?, a.c1.add(&b.c1)?, a.level))
     }
 
     /// Homomorphic subtraction.
@@ -232,7 +339,7 @@ impl BgvContext {
     /// Returns [`BgvError::Mismatch`] on level disagreement.
     pub fn sub(&self, a: &BgvCiphertext, b: &BgvCiphertext) -> Result<BgvCiphertext, BgvError> {
         self.check_pair(a, b)?;
-        Ok(BgvCiphertext { c0: a.c0.sub(&b.c0)?, c1: a.c1.sub(&b.c1)?, level: a.level })
+        Ok(BgvCiphertext::new(a.c0.sub(&b.c0)?, a.c1.sub(&b.c1)?, a.level))
     }
 
     /// Plaintext (slot-wise) multiplication.
@@ -241,15 +348,12 @@ impl BgvContext {
     ///
     /// Propagates encoding failures.
     pub fn mul_plain(&self, a: &BgvCiphertext, slots: &[u64]) -> Result<BgvCiphertext, BgvError> {
+        a.verify_integrity("bgv.eval")?;
         let m_coeffs = self.encoder.encode(slots)?;
         let signed: Vec<i64> = m_coeffs.iter().map(|&c| self.t.to_centered(c)).collect();
         let mut pt = RnsPoly::from_signed(&signed, self.params.n(), &self.rns.moduli()[..=a.level]);
-        pt.to_ntt(&self.rns.tables()[..=a.level]);
-        Ok(BgvCiphertext {
-            c0: a.c0.mul_pointwise(&pt)?,
-            c1: a.c1.mul_pointwise(&pt)?,
-            level: a.level,
-        })
+        pt.to_ntt(&self.rns.tables()[..=a.level])?;
+        Ok(BgvCiphertext::new(a.c0.mul_pointwise(&pt)?, a.c1.mul_pointwise(&pt)?, a.level))
     }
 
     /// Generates the relinearization key (one digit per ciphertext prime).
@@ -345,7 +449,7 @@ impl BgvContext {
         d1.add_assign(&a.c1.mul_pointwise(&b.c0)?)?;
         let d2 = a.c1.mul_pointwise(&b.c1)?;
         let (k0, k1) = self.keyswitch(&d2, rlk, level)?;
-        let ct = BgvCiphertext { c0: d0.add(&k0)?, c1: d1.add(&k1)?, level };
+        let ct = BgvCiphertext::new(d0.add(&k0)?, d1.add(&k1)?, level);
         self.mod_switch(&ct)
     }
 
@@ -357,15 +461,16 @@ impl BgvContext {
     /// Returns [`BgvError::LevelExhausted`] at level 0.
     pub fn mod_switch(&self, ct: &BgvCiphertext) -> Result<BgvCiphertext, BgvError> {
         let _span = telemetry::Span::enter("bgv.mod_switch");
+        ct.verify_integrity("bgv.eval")?;
         if ct.level == 0 {
             return Err(BgvError::LevelExhausted);
         }
         let level = ct.level;
-        Ok(BgvCiphertext {
-            c0: self.rescale_poly(&ct.c0, level)?,
-            c1: self.rescale_poly(&ct.c1, level)?,
-            level: level - 1,
-        })
+        Ok(BgvCiphertext::new(
+            self.rescale_poly(&ct.c0, level)?,
+            self.rescale_poly(&ct.c1, level)?,
+            level - 1,
+        ))
     }
 
     /// `(x − δ)/q_l` channel-wise, with `δ ≡ x (mod q_l)`, `δ ≡ 0 (mod t)`,
@@ -409,7 +514,7 @@ impl BgvContext {
                 *y = m.mul(m.sub(x, *y), inv);
             }
             Poly::from_ntt(buf, m).expect("rescaled residues are canonical")
-        });
+        })?;
         Ok(RnsPoly::from_channels(channels)?)
     }
 
@@ -427,7 +532,7 @@ impl BgvContext {
         let total = level + 2; // level+1 q-channels plus p.
         let global_of = |pos: usize| if pos <= level { pos } else { p_idx };
         let mut d2c = d2.clone();
-        d2c.to_coeff(&self.rns.tables()[..=level]);
+        d2c.to_coeff(&self.rns.tables()[..=level])?;
 
         // Exact single-channel base conversion per digit, precomputed so the
         // channel loop below is infallible (Bconv is itself channel-parallel).
@@ -436,7 +541,7 @@ impl BgvContext {
             let dst: Vec<usize> =
                 (0..=level).filter(|&c| c != i).chain(std::iter::once(p_idx)).collect();
             let plan = self.rns.bconv(&[i], &dst)?;
-            digit_ext.push((dst, plan.apply(&[d2c.channel(i).coeffs()])));
+            digit_ext.push((dst, plan.apply(&[d2c.channel(i).coeffs()])?));
         }
         // One accumulator pair per extended channel; the NTT → MAC → INTT
         // chain is independent per channel and runs channel-parallel, with
@@ -474,7 +579,7 @@ impl BgvContext {
                 scratch.put(ext);
                 (a0, a1)
             })
-        });
+        })?;
         // t-preserving moddown by p, NTT back.
         let p_mod = self.rns.moduli()[p_idx];
         let t = self.params.t() as i128;
@@ -508,7 +613,7 @@ impl BgvContext {
                 }
                 self.rns.table(c).forward(&mut vals);
                 Poly::from_ntt(vals, m).expect("moddown residues are canonical")
-            });
+            })?;
             Ok(RnsPoly::from_channels(channels)?)
         };
         let k0 = finish(0)?;
@@ -517,6 +622,8 @@ impl BgvContext {
     }
 
     fn check_pair(&self, a: &BgvCiphertext, b: &BgvCiphertext) -> Result<(), BgvError> {
+        a.verify_integrity("bgv.eval")?;
+        b.verify_integrity("bgv.eval")?;
         if a.level != b.level {
             return Err(BgvError::Mismatch {
                 detail: format!("levels differ: {} vs {}", a.level, b.level),
@@ -627,6 +734,46 @@ mod tests {
             assert_eq!(ctx.decrypt(&sk, &ct).unwrap(), slots, "level {}", ct.level());
         }
         assert!(ctx.mod_switch(&ct).is_err());
+    }
+
+    #[test]
+    fn corrupted_ciphertext_is_detected_at_api_boundaries() {
+        if !fhe_math::checksum_enabled() {
+            return;
+        }
+        let (ctx, mut rng) = setup();
+        let sk = ctx.generate_secret_key(&mut rng);
+        let slots: Vec<u64> = (0..64).map(|i| (i * 7) % 257).collect();
+        let good = ctx.encrypt(&sk, &slots, &mut rng).unwrap();
+        let mut bad = good.clone();
+        bad.components_mut().0.channels_mut()[0].coeffs_mut()[5] ^= 1;
+        assert!(matches!(
+            ctx.add(&good, &bad),
+            Err(BgvError::IntegrityViolation { context: "bgv.eval" })
+        ));
+        assert!(matches!(
+            ctx.decrypt(&sk, &bad),
+            Err(BgvError::IntegrityViolation { context: "bgv.decrypt" })
+        ));
+        // Resealing models a legitimate mutation: the checksum matches
+        // again and the pipeline keeps going (the flip only adds noise).
+        bad.reseal();
+        assert!(ctx.add(&good, &bad).is_ok());
+    }
+
+    #[test]
+    fn noise_budget_is_measured_and_shrinks_under_multiplication() {
+        let (ctx, mut rng) = setup();
+        let sk = ctx.generate_secret_key(&mut rng);
+        let rlk = ctx.generate_relin_key(&sk, &mut rng).unwrap();
+        let a: Vec<u64> = (0..64).map(|i| (i % 5) + 1).collect();
+        let ca = ctx.encrypt(&sk, &a, &mut rng).unwrap();
+        let fresh = ctx.noise_budget_bits(&sk, &ca).unwrap();
+        assert!(fresh > 0.0, "fresh ciphertext must have headroom, got {fresh}");
+        let sq = ctx.mul(&ca, &ca, &rlk).unwrap();
+        let after = ctx.noise_budget_bits(&sk, &sq).unwrap();
+        assert!(after > 0.0, "healthy pipeline keeps a positive budget, got {after}");
+        assert!(after < fresh, "multiplication must consume budget: {after} !< {fresh}");
     }
 
     #[test]

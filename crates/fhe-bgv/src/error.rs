@@ -22,6 +22,17 @@ pub enum BgvError {
     },
     /// No level left to switch into.
     LevelExhausted,
+    /// A ciphertext failed its integrity checksum at an API boundary.
+    IntegrityViolation {
+        /// The boundary that detected the corruption.
+        context: &'static str,
+    },
+    /// Measured decryption noise leaves no headroom; the result would be
+    /// unreliable.
+    BudgetExhausted {
+        /// Remaining noise budget in bits (negative when past the margin).
+        budget_bits: f64,
+    },
 }
 
 impl fmt::Display for BgvError {
@@ -31,6 +42,12 @@ impl fmt::Display for BgvError {
             BgvError::InvalidParams { detail } => write!(f, "invalid parameters: {detail}"),
             BgvError::Mismatch { detail } => write!(f, "operand mismatch: {detail}"),
             BgvError::LevelExhausted => write!(f, "modulus chain exhausted"),
+            BgvError::IntegrityViolation { context } => {
+                write!(f, "ciphertext integrity violation detected at {context}")
+            }
+            BgvError::BudgetExhausted { budget_bits } => {
+                write!(f, "noise budget exhausted ({budget_bits:.2} bits remaining)")
+            }
         }
     }
 }
@@ -47,5 +64,11 @@ impl Error for BgvError {
 impl From<MathError> for BgvError {
     fn from(e: MathError) -> Self {
         BgvError::Math(e)
+    }
+}
+
+impl From<fhe_math::ParError> for BgvError {
+    fn from(e: fhe_math::ParError) -> Self {
+        BgvError::Math(MathError::from(e))
     }
 }

@@ -46,7 +46,7 @@ pub fn eval_poly_ps(
     let deg = coeffs.len().saturating_sub(1);
     if deg == 0 {
         // Constant polynomial: encode over a trivial zero ciphertext.
-        let c = ev.zero_like(ct);
+        let c = ev.zero_like(ct)?;
         let pt = enc.encode_constant_at(coeffs[0], c.level(), c.scale())?;
         return ev.add_plain(&c, &pt);
     }
@@ -118,7 +118,7 @@ pub fn eval_poly_ps(
                 if c0.abs() < 1e-15 {
                     continue;
                 }
-                let zero = ev.zero_like(ct);
+                let zero = ev.zero_like(ct)?;
                 let pt = enc.encode_constant_at(c0, zero.level(), zero.scale())?;
                 ev.add_plain(&zero, &pt)?
             }
@@ -239,7 +239,7 @@ pub fn mod_raise(ctx: &CkksContext, ct: &Ciphertext) -> Result<Ciphertext, CkksE
                 poly.to_ntt(ctx.table(c));
                 Ok(poly)
             },
-        )
+        )?
         .into_iter()
         .collect::<Result<Vec<_>, _>>()?;
         Ok(fhe_math::RnsPoly::from_channels(channels)?)
@@ -438,14 +438,14 @@ impl Bootstrapper {
         // Double-angle r times: cos(2θ) = 2cos²θ − 1.
         for _ in 0..self.config.r {
             let sq = ev.rescale(&ev.mul(&c, &c, rlk)?)?;
-            let doubled = ev.mul_const(&sq, 2.0);
+            let doubled = ev.mul_const(&sq, 2.0)?;
             let pt = enc.encode_constant_at(1.0, doubled.level(), doubled.scale())?;
             c = ev.sub_plain(&doubled, &pt)?;
         }
         // sin(2πu)·q0/(2πΔ) ≈ m; the doubling loop has shrunk the tracked
         // scale far below Δ, so renormalize (one level) to keep
         // post-bootstrap arithmetic precise.
-        let out = ev.mul_const(&c, q0 / (2.0 * std::f64::consts::PI * delta));
+        let out = ev.mul_const(&c, q0 / (2.0 * std::f64::consts::PI * delta))?;
         ev.normalize_scale(&out)
     }
 }
@@ -471,7 +471,7 @@ mod tests {
     fn eval_poly_ps_matches_plaintext() {
         let ctx = CkksContext::new(CkksParams::new(64, 6, 2, 30).unwrap()).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(5);
-        let sk = SecretKey::generate(&ctx, &mut rng);
+        let sk = SecretKey::generate(&ctx, &mut rng).unwrap();
         let rlk = RelinKey::generate(&ctx, &sk, &mut rng).unwrap();
         let enc = Encoder::new(&ctx);
         let ev = Evaluator::new(&ctx);
@@ -494,7 +494,7 @@ mod tests {
         let params = CkksParams::with_first_prime_bits(256, 16, 3, 45, 51).unwrap();
         let ctx = CkksContext::new(params).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(9);
-        let sk = SecretKey::generate(&ctx, &mut rng);
+        let sk = SecretKey::generate(&ctx, &mut rng).unwrap();
         let rlk = RelinKey::generate(&ctx, &sk, &mut rng).unwrap();
         let enc = Encoder::new(&ctx);
         let ev = Evaluator::new(&ctx);
@@ -518,7 +518,7 @@ mod tests {
     fn mod_raise_preserves_residues() {
         let ctx = CkksContext::new(CkksParams::toy().unwrap()).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(6);
-        let sk = SecretKey::generate(&ctx, &mut rng);
+        let sk = SecretKey::generate(&ctx, &mut rng).unwrap();
         let enc = Encoder::new(&ctx);
         let ev = Evaluator::new(&ctx);
         let ct = sk.encrypt(&ctx, &enc.encode(&[1.0, -0.5]).unwrap(), &mut rng).unwrap();
@@ -529,9 +529,9 @@ mod tests {
         let d_low = sk.decrypt(&bottom).unwrap();
         let d_high = sk.decrypt(&raised).unwrap();
         let mut p_low = d_low.poly().clone();
-        p_low.to_coeff(ctx.level_tables(0));
+        p_low.to_coeff(ctx.level_tables(0)).unwrap();
         let mut p_high = d_high.poly().clone();
-        p_high.to_coeff(ctx.level_tables(ctx.q_len() - 1));
+        p_high.to_coeff(ctx.level_tables(ctx.q_len() - 1)).unwrap();
         assert_eq!(p_low.channel(0).coeffs(), p_high.channel(0).coeffs());
         // And decoding the raised ciphertext still recovers the message
         // (the q0·I term only matters at larger levels' precision).

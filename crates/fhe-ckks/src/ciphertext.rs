@@ -44,13 +44,31 @@ impl Plaintext {
 
 /// A CKKS ciphertext `(c0, c1)` with `c0 + c1·s ≈ Δ·m`.
 ///
-/// Both polynomials live on channels `0..=level` in NTT domain.
-#[derive(Debug, Clone, PartialEq)]
+/// Both polynomials live on channels `0..=level` in NTT domain. When
+/// integrity checksums are active (see [`fhe_math::integrity`]) the limbs
+/// are *sealed* at construction and re-verified at every evaluator and
+/// decryption boundary, so post-construction corruption surfaces as
+/// [`CkksError::IntegrityViolation`] instead of silent wrong results.
+#[derive(Debug, Clone)]
 pub struct Ciphertext {
     c0: RnsPoly,
     c1: RnsPoly,
     level: usize,
     scale: f64,
+    /// Integrity checksum over `(c0, c1)`; `None` = never sealed
+    /// (checksums disabled at construction time).
+    seal: Option<u64>,
+}
+
+/// Equality is over the cryptographic payload only; the integrity seal is
+/// a derived cache and deliberately excluded.
+impl PartialEq for Ciphertext {
+    fn eq(&self, other: &Self) -> bool {
+        self.c0 == other.c0
+            && self.c1 == other.c1
+            && self.level == other.level
+            && self.scale == other.scale
+    }
 }
 
 impl Ciphertext {
@@ -67,7 +85,8 @@ impl Ciphertext {
             level + 1,
             "c1 channel count must match level + 1"
         );
-        Ciphertext { c0, c1, level, scale }
+        let seal = fhe_math::integrity::seal(&[&c0, &c1]);
+        Ciphertext { c0, c1, level, scale, seal }
     }
 
     /// Builds a ciphertext from raw RNS components after validating the
@@ -114,7 +133,8 @@ impl Ciphertext {
                 detail: format!("scale must be positive and finite, got {scale}"),
             });
         }
-        Ok(Ciphertext { c0, c1, level, scale })
+        let seal = fhe_math::integrity::seal(&[&c0, &c1]);
+        Ok(Ciphertext { c0, c1, level, scale, seal })
     }
 
     /// First component.
@@ -149,5 +169,49 @@ impl Ciphertext {
     pub fn set_scale(&mut self, scale: f64) {
         fhe_math::strict_assert!(scale > 0.0, "scale must be positive, got {scale}");
         self.scale = scale;
+    }
+
+    /// Remaining noise budget in bits: `log2(Q_level) − log2(scale)`,
+    /// i.e. how much headroom the modulus chain still has above the
+    /// tracked scale. Negative means the payload magnitude exceeds what
+    /// the remaining chain can represent, so decryption cannot recover it;
+    /// [`SecretKey::decrypt`](crate::SecretKey::decrypt) refuses such
+    /// ciphertexts with [`CkksError::BudgetExhausted`].
+    pub fn noise_budget_bits(&self) -> f64 {
+        let log_q: f64 = self.c0.moduli().iter().map(|m| (m.value() as f64).log2()).sum();
+        log_q - self.scale.log2()
+    }
+
+    /// Recomputes the checksum against the sealed value.
+    ///
+    /// Skips silently (returns `Ok`) when checksums are disabled or this
+    /// ciphertext was constructed before they were enabled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::IntegrityViolation`] if the limbs no longer
+    /// match the seal, tagged with `context` (the boundary that caught it).
+    pub fn verify_integrity(&self, context: &'static str) -> Result<(), CkksError> {
+        match fhe_math::integrity::verify(&[&self.c0, &self.c1], self.seal, context) {
+            Ok(()) => Ok(()),
+            Err(_) => Err(CkksError::IntegrityViolation { context }),
+        }
+    }
+
+    /// Mutable access to the raw components **without resealing** — the
+    /// integrity checksum keeps its pre-mutation value, so a subsequent
+    /// [`Ciphertext::verify_integrity`] flags the change. This is exactly
+    /// what the fault-injection campaign needs to model a post-construction
+    /// bit upset; legitimate mutations should call [`Ciphertext::reseal`]
+    /// afterwards instead.
+    pub fn components_mut(&mut self) -> (&mut RnsPoly, &mut RnsPoly) {
+        (&mut self.c0, &mut self.c1)
+    }
+
+    /// Recomputes and stores the integrity seal over the current limbs
+    /// (for legitimate out-of-band mutations via
+    /// [`Ciphertext::components_mut`]).
+    pub fn reseal(&mut self) {
+        self.seal = fhe_math::integrity::seal(&[&self.c0, &self.c1]);
     }
 }

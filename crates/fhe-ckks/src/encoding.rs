@@ -165,7 +165,7 @@ impl<'a> Encoder<'a> {
             *c = (spectrum[i].re * 2.0 * scale).round() as i64;
         }
         let mut poly = RnsPoly::from_signed(&coeffs, n, self.ctx.level_moduli(level));
-        poly.to_ntt(self.ctx.level_tables(level));
+        poly.to_ntt(self.ctx.level_tables(level))?;
         Ok(Plaintext::from_parts(poly, level, scale))
     }
 
@@ -196,7 +196,7 @@ impl<'a> Encoder<'a> {
             });
         }
         if poly.domain() == Domain::Ntt {
-            poly.to_coeff(self.ctx.level_tables(level));
+            poly.to_coeff(self.ctx.level_tables(level))?;
         }
         // Centered coefficients as f64 (CRT when level > 0), zero-padded to
         // 2N; one forward FFT evaluates at every 2N-th root, and the slots
@@ -246,7 +246,7 @@ impl<'a> Encoder<'a> {
             *c = (acc.re * 2.0 / n as f64 * scale).round() as i64;
         }
         let mut poly = RnsPoly::from_signed(&coeffs, n, self.ctx.level_moduli(level));
-        poly.to_ntt(self.ctx.level_tables(level));
+        poly.to_ntt(self.ctx.level_tables(level))?;
         Ok(Plaintext::from_parts(poly, level, scale))
     }
 
@@ -262,7 +262,7 @@ impl<'a> Encoder<'a> {
         let level = pt.level();
         let mut poly = pt.poly().clone();
         if poly.domain() == Domain::Ntt {
-            poly.to_coeff(self.ctx.level_tables(level));
+            poly.to_coeff(self.ctx.level_tables(level))?;
         }
         let coeffs: Vec<f64> =
             (0..n).map(|i| self.ctx.centered_coefficient(&poly, level, i)).collect();
@@ -360,7 +360,7 @@ impl<'a> Encoder<'a> {
             RnsPoly::from_channels(channels).expect("uniform channels")
         };
         let mut poly = poly;
-        poly.to_ntt(self.ctx.level_tables(level));
+        poly.to_ntt(self.ctx.level_tables(level))?;
         Ok(Plaintext::from_parts(poly, level, scale))
     }
 }
@@ -416,7 +416,7 @@ mod tests {
         let values: Vec<f64> = (0..slots).map(|j| j as f64 - 3.0).collect();
         let pt = enc.encode(&values).unwrap();
         let mut poly = pt.poly().clone();
-        poly.to_coeff(c.level_tables(pt.level()));
+        poly.to_coeff(c.level_tables(pt.level())).unwrap();
         let rotated = poly.automorphism(5).unwrap();
         let pt_rot = Plaintext::from_parts(rotated, pt.level(), pt.scale());
         let back = enc.decode(&pt_rot).unwrap();
@@ -433,7 +433,7 @@ mod tests {
         let values = vec![Complex64::new(0.5, 1.5)];
         let pt = enc.encode_complex_at(&values, c.q_len() - 1, c.params().scale()).unwrap();
         let mut poly = pt.poly().clone();
-        poly.to_coeff(c.level_tables(pt.level()));
+        poly.to_coeff(c.level_tables(pt.level())).unwrap();
         let conj = poly.automorphism(2 * c.n() - 1).unwrap();
         let back =
             enc.decode_complex(&Plaintext::from_parts(conj, pt.level(), pt.scale())).unwrap();
@@ -465,8 +465,8 @@ mod tests {
         // Coefficients may differ by ±1 integer unit from f64 rounding.
         let mut a = via_fft.poly().clone();
         let mut b = via_direct.poly().clone();
-        a.to_coeff(c.level_tables(level));
-        b.to_coeff(c.level_tables(level));
+        a.to_coeff(c.level_tables(level)).unwrap();
+        b.to_coeff(c.level_tables(level)).unwrap();
         let m = c.rns().moduli()[0];
         for i in 0..c.n() {
             let d = (m.to_centered(a.channel(0).coeffs()[i])

@@ -36,6 +36,28 @@ pub enum CkksError {
         /// Which key was needed.
         detail: String,
     },
+    /// A constant multiplication was asked to scale by a value the scheme
+    /// cannot represent (zero or non-finite). Use
+    /// [`Evaluator::zero_like`](crate::Evaluator::zero_like) to produce an
+    /// encryption of zero.
+    InvalidConstant {
+        /// The rejected constant.
+        value: f64,
+    },
+    /// A ciphertext's integrity checksum no longer matches its sealed
+    /// value: the residue limbs were corrupted after construction (bit
+    /// upset, out-of-band mutation). See `fhe_math::integrity`.
+    IntegrityViolation {
+        /// The API boundary that caught the corruption.
+        context: &'static str,
+    },
+    /// The ciphertext's noise budget is exhausted: its tracked scale
+    /// exceeds the remaining modulus product, so decryption cannot recover
+    /// the payload. Rescale earlier or start from a higher level.
+    BudgetExhausted {
+        /// Remaining budget in bits (negative = deficit).
+        budget_bits: f64,
+    },
 }
 
 impl fmt::Display for CkksError {
@@ -49,6 +71,15 @@ impl fmt::Display for CkksError {
                 write!(f, "{provided} values exceed the {available} available slots")
             }
             CkksError::MissingKey { detail } => write!(f, "missing key: {detail}"),
+            CkksError::InvalidConstant { value } => {
+                write!(f, "constant {value} is not usable (zero/non-finite); see zero_like")
+            }
+            CkksError::IntegrityViolation { context } => {
+                write!(f, "ciphertext integrity violation detected at {context}")
+            }
+            CkksError::BudgetExhausted { budget_bits } => {
+                write!(f, "noise budget exhausted ({budget_bits:.1} bits remaining)")
+            }
         }
     }
 }
@@ -65,5 +96,11 @@ impl Error for CkksError {
 impl From<MathError> for CkksError {
     fn from(e: MathError) -> Self {
         CkksError::Math(e)
+    }
+}
+
+impl From<fhe_math::ParError> for CkksError {
+    fn from(e: fhe_math::ParError) -> Self {
+        CkksError::Math(MathError::from(e))
     }
 }

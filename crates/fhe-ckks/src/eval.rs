@@ -41,7 +41,16 @@ impl<'a> Evaluator<'a> {
         self.ctx
     }
 
+    /// Remaining noise budget of `a` in bits (see
+    /// [`Ciphertext::noise_budget_bits`]).
+    #[inline]
+    pub fn noise_budget_bits(&self, a: &Ciphertext) -> f64 {
+        a.noise_budget_bits()
+    }
+
     fn check_pair(&self, a: &Ciphertext, b: &Ciphertext) -> Result<(), CkksError> {
+        a.verify_integrity("ckks.eval")?;
+        b.verify_integrity("ckks.eval")?;
         if a.level() != b.level() {
             return Err(CkksError::Mismatch {
                 detail: format!("levels differ: {} vs {}", a.level(), b.level()),
@@ -77,8 +86,14 @@ impl<'a> Evaluator<'a> {
     }
 
     /// Negation.
-    pub fn neg(&self, a: &Ciphertext) -> Ciphertext {
-        Ciphertext::from_parts(a.c0().neg(), a.c1().neg(), a.level(), a.scale())
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::IntegrityViolation`] on a corrupted input and
+    /// propagates contained worker panics.
+    pub fn neg(&self, a: &Ciphertext) -> Result<Ciphertext, CkksError> {
+        a.verify_integrity("ckks.eval")?;
+        Ok(Ciphertext::from_parts(a.c0().neg()?, a.c1().neg()?, a.level(), a.scale()))
     }
 
     /// Plaintext addition; the plaintext must match level and scale.
@@ -87,6 +102,7 @@ impl<'a> Evaluator<'a> {
     ///
     /// Returns [`CkksError::Mismatch`] on level/scale disagreement.
     pub fn add_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext, CkksError> {
+        a.verify_integrity("ckks.eval")?;
         if pt.level() != a.level() || (pt.scale() / a.scale() - 1.0).abs() > 1e-3 {
             return Err(CkksError::Mismatch {
                 detail: "plaintext level/scale disagree with ciphertext".into(),
@@ -102,6 +118,7 @@ impl<'a> Evaluator<'a> {
     ///
     /// Returns [`CkksError::Mismatch`] if the plaintext level differs.
     pub fn mul_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext, CkksError> {
+        a.verify_integrity("ckks.eval")?;
         if pt.level() != a.level() {
             return Err(CkksError::Mismatch {
                 detail: "plaintext level disagrees with ciphertext".into(),
@@ -120,24 +137,32 @@ impl<'a> Evaluator<'a> {
     /// negative constants). Exact for the value; the scale drifts by `|c|`,
     /// which downstream additions must tolerate or re-align.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `c == 0` (use [`Evaluator::zero_like`] instead).
-    pub fn mul_const(&self, a: &Ciphertext, c: f64) -> Ciphertext {
-        assert!(c != 0.0, "mul_const with zero: use zero_like");
-        let mut out = if c < 0.0 { self.neg(a) } else { a.clone() };
+    /// Returns [`CkksError::InvalidConstant`] if `c` is zero or non-finite
+    /// (use [`Evaluator::zero_like`] for zero).
+    pub fn mul_const(&self, a: &Ciphertext, c: f64) -> Result<Ciphertext, CkksError> {
+        if c == 0.0 || !c.is_finite() {
+            return Err(CkksError::InvalidConstant { value: c });
+        }
+        a.verify_integrity("ckks.eval")?;
+        let mut out = if c < 0.0 { self.neg(a)? } else { a.clone() };
         out.set_scale(a.scale() / c.abs());
-        out
+        Ok(out)
     }
 
     /// A trivial encryption of zero with the same level and scale as `a`.
-    pub fn zero_like(&self, a: &Ciphertext) -> Ciphertext {
+    ///
+    /// # Errors
+    ///
+    /// Propagates contained worker panics from the NTT.
+    pub fn zero_like(&self, a: &Ciphertext) -> Result<Ciphertext, CkksError> {
         let moduli = self.ctx.level_moduli(a.level());
         let mut z0 = fhe_math::RnsPoly::zero(self.ctx.n(), moduli);
         let mut z1 = fhe_math::RnsPoly::zero(self.ctx.n(), moduli);
-        z0.to_ntt(self.ctx.level_tables(a.level()));
-        z1.to_ntt(self.ctx.level_tables(a.level()));
-        Ciphertext::from_parts(z0, z1, a.level(), a.scale())
+        z0.to_ntt(self.ctx.level_tables(a.level()))?;
+        z1.to_ntt(self.ctx.level_tables(a.level()))?;
+        Ok(Ciphertext::from_parts(z0, z1, a.level(), a.scale()))
     }
 
     /// Renormalizes the tracked scale to the context default `Δ` with one
@@ -205,7 +230,7 @@ impl<'a> Evaluator<'a> {
         let n = self.ctx.n();
         let v = (c * delta).round() as i64;
         let mut poly = fhe_math::RnsPoly::from_signed(&[v], n, self.ctx.level_moduli(a.level()));
-        poly.to_ntt(self.ctx.level_tables(a.level()));
+        poly.to_ntt(self.ctx.level_tables(a.level()))?;
         let pt = Plaintext::from_parts(poly, a.level(), delta);
         self.rescale(&self.mul_plain(a, &pt)?)
     }
@@ -216,6 +241,7 @@ impl<'a> Evaluator<'a> {
     ///
     /// Returns [`CkksError::Mismatch`] on level/scale disagreement.
     pub fn sub_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext, CkksError> {
+        a.verify_integrity("ckks.eval")?;
         if pt.level() != a.level() || (pt.scale() / a.scale() - 1.0).abs() > 1e-2 {
             return Err(CkksError::Mismatch {
                 detail: "plaintext level/scale disagree with ciphertext".into(),
@@ -269,6 +295,7 @@ impl<'a> Evaluator<'a> {
     /// Returns [`CkksError::LevelExhausted`] at level 0.
     pub fn rescale(&self, a: &Ciphertext) -> Result<Ciphertext, CkksError> {
         let _span = telemetry::Span::enter("ckks.eval.rescale");
+        a.verify_integrity("ckks.eval")?;
         let level = a.level();
         if level == 0 {
             return Err(CkksError::LevelExhausted);
@@ -309,7 +336,7 @@ impl<'a> Evaluator<'a> {
                 *y = m.mul_shoup(m.sub(x, *y), inv);
             }
             Poly::from_ntt(buf, m).expect("rescaled residues are canonical")
-        });
+        })?;
         Ok(RnsPoly::from_channels(channels)?)
     }
 
@@ -320,6 +347,7 @@ impl<'a> Evaluator<'a> {
     ///
     /// Returns [`CkksError::Mismatch`] if `target > current`.
     pub fn level_down(&self, a: &Ciphertext, target: usize) -> Result<Ciphertext, CkksError> {
+        a.verify_integrity("ckks.eval")?;
         if target > a.level() {
             return Err(CkksError::Mismatch {
                 detail: format!("cannot raise level {} to {target}", a.level()),
@@ -372,7 +400,7 @@ impl<'a> Evaluator<'a> {
             "keyswitch input must be in NTT domain"
         );
         let mut d_coeff = d.clone();
-        d_coeff.to_coeff(self.ctx.level_tables(level));
+        d_coeff.to_coeff(self.ctx.level_tables(level))?;
         let q_idx: Vec<usize> = (0..=level).collect();
         let p_idx = self.ctx.p_indices();
         let t = q_idx.len() + p_idx.len();
@@ -388,7 +416,7 @@ impl<'a> Evaluator<'a> {
             let plan = self.ctx.rns().bconv(&digit, &dst)?;
             let src_data: Vec<&[u64]> =
                 digit.iter().map(|&c| d_coeff.channel(c).coeffs()).collect();
-            let mut converted = plan.apply(&src_data);
+            let mut converted = plan.apply(&src_data)?;
             // Assemble the extended poly: position j holds global channel
             // (q_idx ++ p_idx)[j]. Converted channels are moved, not cloned.
             let mut ext = vec![Vec::new(); t];
@@ -459,7 +487,7 @@ impl<'a> Evaluator<'a> {
                 scratch.put(channel);
                 (a0, a1)
             })
-        });
+        })?;
         // Moddown both halves, NTT back.
         let q_idx: Vec<usize> = (0..=level).collect();
         let p_idx = self.ctx.p_indices();
@@ -472,7 +500,7 @@ impl<'a> Evaluator<'a> {
             self.ctx.rns().moddown_into(&q_refs, &p_refs, &q_idx, &p_idx, &mut scaled)?;
             par::par_iter_mut(&mut scaled, ntt_work(n), |c, data| {
                 self.ctx.table(c).forward(data);
-            });
+            })?;
             let channels = scaled
                 .into_iter()
                 .enumerate()
@@ -491,12 +519,12 @@ impl<'a> Evaluator<'a> {
         let tables = self.ctx.level_tables(a.level());
         let mut c0 = a.c0().clone();
         let mut c1 = a.c1().clone();
-        c0.to_coeff(tables);
-        c1.to_coeff(tables);
+        c0.to_coeff(tables)?;
+        c1.to_coeff(tables)?;
         let mut c0g = c0.automorphism(g)?;
         let mut c1g = c1.automorphism(g)?;
-        c0g.to_ntt(tables);
-        c1g.to_ntt(tables);
+        c0g.to_ntt(tables)?;
+        c1g.to_ntt(tables)?;
         Ok((c0g, c1g))
     }
 
@@ -538,6 +566,7 @@ impl<'a> Evaluator<'a> {
         g: usize,
         key: &SwitchKey,
     ) -> Result<Ciphertext, CkksError> {
+        a.verify_integrity("ckks.eval")?;
         let (c0g, c1g) = self.automorphism_raw(a, g)?;
         let (k0, k1) = self.keyswitch_core(&c1g, key, a.level())?;
         Ok(Ciphertext::from_parts(c0g.add(&k0)?, k1, a.level(), a.scale()))
@@ -577,13 +606,14 @@ impl<'a> Evaluator<'a> {
         rotations: &[isize],
         gk: &GaloisKeys,
     ) -> Result<Vec<Ciphertext>, CkksError> {
+        a.verify_integrity("ckks.eval")?;
         let level = a.level();
         let tables = self.ctx.level_tables(level);
         // Shared: decompose + modup of c1 (coefficient domain).
         let ext = self.decompose_and_modup(a.c1(), level)?;
         // c0 in coefficient domain for cheap automorphisms.
         let mut c0_coeff = a.c0().clone();
-        c0_coeff.to_coeff(tables);
+        c0_coeff.to_coeff(tables)?;
 
         let mut out = Vec::with_capacity(rotations.len());
         for &r in rotations {
@@ -613,12 +643,12 @@ impl<'a> Evaluator<'a> {
                         }
                     }
                     out_ch
-                });
+                })?;
                 ext_g.push(dg);
             }
             let (k0, k1) = self.apply_key_and_moddown(&ext_g, key, level)?;
             let mut c0g = c0_coeff.automorphism(g)?;
-            c0g.to_ntt(tables);
+            c0g.to_ntt(tables)?;
             out.push(Ciphertext::from_parts(c0g.add(&k0)?, k1, level, a.scale()));
         }
         Ok(out)
@@ -647,7 +677,7 @@ mod tests {
     #[test]
     fn add_sub_neg() {
         let mut f = fixture();
-        let sk = SecretKey::generate(&f.ctx, &mut f.rng);
+        let sk = SecretKey::generate(&f.ctx, &mut f.rng).unwrap();
         let enc = Encoder::new(&f.ctx);
         let ev = Evaluator::new(&f.ctx);
         let a = enc.encode(&[1.0, 2.0]).unwrap();
@@ -658,14 +688,14 @@ mod tests {
         assert!((sum[0] - 1.5).abs() < 1e-3 && (sum[1] + 2.0).abs() < 1e-3);
         let diff = enc.decode(&sk.decrypt(&ev.sub(&ca, &cb).unwrap()).unwrap()).unwrap();
         assert!((diff[0] - 0.5).abs() < 1e-3 && (diff[1] - 6.0).abs() < 1e-3);
-        let neg = enc.decode(&sk.decrypt(&ev.neg(&ca)).unwrap()).unwrap();
+        let neg = enc.decode(&sk.decrypt(&ev.neg(&ca).unwrap()).unwrap()).unwrap();
         assert!((neg[0] + 1.0).abs() < 1e-3);
     }
 
     #[test]
     fn pmult_and_rescale() {
         let mut f = fixture();
-        let sk = SecretKey::generate(&f.ctx, &mut f.rng);
+        let sk = SecretKey::generate(&f.ctx, &mut f.rng).unwrap();
         let enc = Encoder::new(&f.ctx);
         let ev = Evaluator::new(&f.ctx);
         let a = enc.encode(&[1.5, -2.0]).unwrap();
@@ -682,7 +712,7 @@ mod tests {
     #[test]
     fn cmult_relinearize_rescale() {
         let mut f = fixture();
-        let sk = SecretKey::generate(&f.ctx, &mut f.rng);
+        let sk = SecretKey::generate(&f.ctx, &mut f.rng).unwrap();
         let rlk = RelinKey::generate(&f.ctx, &sk, &mut f.rng).unwrap();
         let enc = Encoder::new(&f.ctx);
         let ev = Evaluator::new(&f.ctx);
@@ -700,7 +730,7 @@ mod tests {
     #[test]
     fn multiplication_depth_two() {
         let mut f = fixture();
-        let sk = SecretKey::generate(&f.ctx, &mut f.rng);
+        let sk = SecretKey::generate(&f.ctx, &mut f.rng).unwrap();
         let rlk = RelinKey::generate(&f.ctx, &sk, &mut f.rng).unwrap();
         let enc = Encoder::new(&f.ctx);
         let ev = Evaluator::new(&f.ctx);
@@ -717,7 +747,7 @@ mod tests {
     #[test]
     fn rotation_rotates_slots() {
         let mut f = fixture();
-        let sk = SecretKey::generate(&f.ctx, &mut f.rng);
+        let sk = SecretKey::generate(&f.ctx, &mut f.rng).unwrap();
         let gk = GaloisKeys::generate(&f.ctx, &sk, &[1, 3], false, &mut f.rng).unwrap();
         let enc = Encoder::new(&f.ctx);
         let ev = Evaluator::new(&f.ctx);
@@ -737,7 +767,7 @@ mod tests {
     #[test]
     fn hoisted_rotations_match_plain_rotations() {
         let mut f = fixture();
-        let sk = SecretKey::generate(&f.ctx, &mut f.rng);
+        let sk = SecretKey::generate(&f.ctx, &mut f.rng).unwrap();
         let gk = GaloisKeys::generate(&f.ctx, &sk, &[1, 2, 5], false, &mut f.rng).unwrap();
         let enc = Encoder::new(&f.ctx);
         let ev = Evaluator::new(&f.ctx);
@@ -758,7 +788,7 @@ mod tests {
     #[test]
     fn sum_slots_totals_everything() {
         let mut f = fixture();
-        let sk = SecretKey::generate(&f.ctx, &mut f.rng);
+        let sk = SecretKey::generate(&f.ctx, &mut f.rng).unwrap();
         let slots = f.ctx.n() / 2;
         let rots: Vec<isize> =
             (0..).map(|k| 1isize << k).take_while(|&r| (r as usize) < slots).collect();
@@ -778,7 +808,7 @@ mod tests {
     #[test]
     fn conjugation() {
         let mut f = fixture();
-        let sk = SecretKey::generate(&f.ctx, &mut f.rng);
+        let sk = SecretKey::generate(&f.ctx, &mut f.rng).unwrap();
         let gk = GaloisKeys::generate(&f.ctx, &sk, &[], true, &mut f.rng).unwrap();
         let enc = Encoder::new(&f.ctx);
         let ev = Evaluator::new(&f.ctx);
@@ -794,7 +824,7 @@ mod tests {
     #[test]
     fn mismatched_operands_rejected() {
         let mut f = fixture();
-        let sk = SecretKey::generate(&f.ctx, &mut f.rng);
+        let sk = SecretKey::generate(&f.ctx, &mut f.rng).unwrap();
         let enc = Encoder::new(&f.ctx);
         let ev = Evaluator::new(&f.ctx);
         let a = sk.encrypt(&f.ctx, &enc.encode(&[1.0]).unwrap(), &mut f.rng).unwrap();
@@ -804,9 +834,66 @@ mod tests {
     }
 
     #[test]
+    fn mul_const_zero_is_a_typed_error_not_a_panic() {
+        let mut f = fixture();
+        let sk = SecretKey::generate(&f.ctx, &mut f.rng).unwrap();
+        let enc = Encoder::new(&f.ctx);
+        let ev = Evaluator::new(&f.ctx);
+        let ca = sk.encrypt(&f.ctx, &enc.encode(&[1.0]).unwrap(), &mut f.rng).unwrap();
+        for bad in [0.0, f64::NAN, f64::INFINITY] {
+            match ev.mul_const(&ca, bad) {
+                Err(CkksError::InvalidConstant { .. }) => {}
+                other => panic!("expected InvalidConstant for {bad}, got {other:?}"),
+            }
+        }
+        // Nonzero constants still work, including negative ones.
+        let out = ev.mul_const(&ca, -2.0).unwrap();
+        let back = enc.decode(&sk.decrypt(&out).unwrap()).unwrap();
+        assert!((back[0] + 2.0).abs() < 1e-2, "got {}", back[0]);
+    }
+
+    #[test]
+    fn corrupted_ciphertext_is_detected_at_the_eval_boundary() {
+        if !fhe_math::checksum_enabled() {
+            return; // integrity-checksum feature compiled out
+        }
+        let mut f = fixture();
+        let sk = SecretKey::generate(&f.ctx, &mut f.rng).unwrap();
+        let enc = Encoder::new(&f.ctx);
+        let ev = Evaluator::new(&f.ctx);
+        let ca = sk.encrypt(&f.ctx, &enc.encode(&[1.0]).unwrap(), &mut f.rng).unwrap();
+        let mut bad = ca.clone();
+        bad.components_mut().0.channels_mut()[0].coeffs_mut()[3] ^= 1;
+        assert!(matches!(
+            ev.add(&bad, &ca),
+            Err(CkksError::IntegrityViolation { context: "ckks.eval" })
+        ));
+        assert!(matches!(sk.decrypt(&bad), Err(CkksError::IntegrityViolation { .. })));
+        // An honest reseal restores usability (models a legitimate
+        // out-of-band mutation).
+        bad.reseal();
+        assert!(ev.add(&bad, &ca).is_ok());
+    }
+
+    #[test]
+    fn exhausted_budget_refuses_decryption() {
+        let mut f = fixture();
+        let sk = SecretKey::generate(&f.ctx, &mut f.rng).unwrap();
+        let enc = Encoder::new(&f.ctx);
+        let ev = Evaluator::new(&f.ctx);
+        let ca = sk.encrypt(&f.ctx, &enc.encode(&[1.0]).unwrap(), &mut f.rng).unwrap();
+        assert!(ev.noise_budget_bits(&ca) > 0.0);
+        let mut broke = ca.clone();
+        // Drive the tracked scale far past the modulus product.
+        broke.set_scale(f64::MAX / 2.0);
+        assert!(broke.noise_budget_bits() < 0.0);
+        assert!(matches!(sk.decrypt(&broke), Err(CkksError::BudgetExhausted { .. })));
+    }
+
+    #[test]
     fn rescale_at_level_zero_fails() {
         let mut f = fixture();
-        let sk = SecretKey::generate(&f.ctx, &mut f.rng);
+        let sk = SecretKey::generate(&f.ctx, &mut f.rng).unwrap();
         let enc = Encoder::new(&f.ctx);
         let ev = Evaluator::new(&f.ctx);
         let a = sk.encrypt(&f.ctx, &enc.encode(&[1.0]).unwrap(), &mut f.rng).unwrap();

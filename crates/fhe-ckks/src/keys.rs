@@ -58,8 +58,12 @@ fn sample_uniform_ntt<R: Rng + ?Sized>(
 
 /// Lifts signed coefficients onto the given channels and converts to NTT.
 /// Channel-parallel: the signed input is shared read-only.
-fn lift_signed_ntt(ctx: &CkksContext, coeffs: &[i64], channels: &[usize]) -> Vec<Poly> {
-    par::par_map(channels, ntt_work(ctx.n()), |_, &c| {
+fn lift_signed_ntt(
+    ctx: &CkksContext,
+    coeffs: &[i64],
+    channels: &[usize],
+) -> Result<Vec<Poly>, CkksError> {
+    Ok(par::par_map(channels, ntt_work(ctx.n()), |_, &c| {
         let m = ctx.rns().moduli()[c];
         let mut vals = vec![0u64; ctx.n()];
         for (i, &x) in coeffs.iter().enumerate() {
@@ -68,7 +72,7 @@ fn lift_signed_ntt(ctx: &CkksContext, coeffs: &[i64], channels: &[usize]) -> Vec
         let mut p = Poly::from_coeffs(vals, m).expect("canonical");
         p.to_ntt(ctx.table(c));
         p
-    })
+    })?)
 }
 
 /// The ternary secret key.
@@ -84,11 +88,16 @@ pub struct SecretKey {
 
 impl SecretKey {
     /// Samples a fresh ternary secret.
-    pub fn generate<R: Rng + ?Sized>(ctx: &CkksContext, rng: &mut R) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Propagates contained worker panics from the channel-parallel NTT
+    /// lift (see [`fhe_math::par`]).
+    pub fn generate<R: Rng + ?Sized>(ctx: &CkksContext, rng: &mut R) -> Result<Self, CkksError> {
         let s_coeffs = sample_ternary(ctx.n(), rng);
         let all: Vec<usize> = (0..ctx.rns().moduli().len()).collect();
-        let s_full = lift_signed_ntt(ctx, &s_coeffs, &all);
-        SecretKey { s_coeffs, s_full, q_len: ctx.q_len(), scale: ctx.params().scale() }
+        let s_full = lift_signed_ntt(ctx, &s_coeffs, &all)?;
+        Ok(SecretKey { s_coeffs, s_full, q_len: ctx.q_len(), scale: ctx.params().scale() })
     }
 
     /// The secret's ternary coefficients (testing/keygen use).
@@ -121,7 +130,7 @@ impl SecretKey {
         let channels: Vec<usize> = (0..=level).collect();
         let c1_channels = sample_uniform_ntt(ctx, &channels, rng);
         let noise = sample_gaussian(ctx.params().sigma(), ctx.n(), rng);
-        let e_channels = lift_signed_ntt(ctx, &noise, &channels);
+        let e_channels = lift_signed_ntt(ctx, &noise, &channels)?;
         let mut c0_channels = Vec::with_capacity(level + 1);
         for c in 0..=level {
             let m = ctx.rns().moduli()[c];
@@ -148,10 +157,23 @@ impl SecretKey {
     /// Decrypts a ciphertext: `m = c0 + c1·s` over the ciphertext's level
     /// channels.
     ///
+    /// Decryption is the last line of the corruption-detection lattice: it
+    /// re-verifies the integrity checksum and refuses ciphertexts whose
+    /// noise budget is exhausted (tracked scale above the modulus
+    /// product), so faults that slipped past evaluator boundaries still
+    /// surface as typed errors rather than silent garbage.
+    ///
     /// # Errors
     ///
-    /// Returns [`CkksError::Mismatch`] on structural inconsistency.
+    /// Returns [`CkksError::Mismatch`] on structural inconsistency,
+    /// [`CkksError::IntegrityViolation`] on checksum mismatch, and
+    /// [`CkksError::BudgetExhausted`] when no budget remains.
     pub fn decrypt(&self, ct: &Ciphertext) -> Result<Plaintext, CkksError> {
+        ct.verify_integrity("ckks.decrypt")?;
+        let budget = ct.noise_budget_bits();
+        if budget < 0.0 {
+            return Err(CkksError::BudgetExhausted { budget_bits: budget });
+        }
         let level = ct.level();
         let positions: Vec<usize> = (0..=level).collect();
         let n = ct.c0().channel(0).coeffs().len();
@@ -168,7 +190,7 @@ impl SecretKey {
                 .collect();
             let prod = Poly::from_ntt(prod_vals, m)?;
             Ok(ct.c0().channel(c).add(&prod)?)
-        })
+        })?
         .into_iter()
         .collect::<Result<Vec<_>, _>>()?;
         Ok(Plaintext::from_parts(RnsPoly::from_channels(channels)?, level, ct.scale()))
@@ -204,7 +226,7 @@ impl PublicKey {
         let q_channels: Vec<usize> = (0..ctx.q_len()).collect();
         let a_channels = sample_uniform_ntt(ctx, &q_channels, rng);
         let noise = sample_gaussian(ctx.params().sigma(), ctx.n(), rng);
-        let e_channels = lift_signed_ntt(ctx, &noise, &q_channels);
+        let e_channels = lift_signed_ntt(ctx, &noise, &q_channels)?;
         let mut b_channels = Vec::with_capacity(q_channels.len());
         for (i, &c) in q_channels.iter().enumerate() {
             let m = ctx.rns().moduli()[c];
@@ -238,11 +260,11 @@ impl PublicKey {
         let level = pt.level();
         let u = sample_ternary(ctx.n(), rng);
         let channels: Vec<usize> = (0..=level).collect();
-        let u_ntt = lift_signed_ntt(ctx, &u, &channels);
+        let u_ntt = lift_signed_ntt(ctx, &u, &channels)?;
         let e0 =
-            lift_signed_ntt(ctx, &sample_gaussian(ctx.params().sigma(), ctx.n(), rng), &channels);
+            lift_signed_ntt(ctx, &sample_gaussian(ctx.params().sigma(), ctx.n(), rng), &channels)?;
         let e1 =
-            lift_signed_ntt(ctx, &sample_gaussian(ctx.params().sigma(), ctx.n(), rng), &channels);
+            lift_signed_ntt(ctx, &sample_gaussian(ctx.params().sigma(), ctx.n(), rng), &channels)?;
         let mut c0 = Vec::with_capacity(level + 1);
         let mut c1 = Vec::with_capacity(level + 1);
         for c in 0..=level {
@@ -311,7 +333,7 @@ impl SwitchKey {
 
             let a_channels = sample_uniform_ntt(ctx, &all, rng);
             let noise = sample_gaussian(ctx.params().sigma(), ctx.n(), rng);
-            let e_channels = lift_signed_ntt(ctx, &noise, &all);
+            let e_channels = lift_signed_ntt(ctx, &noise, &all)?;
 
             // Channel-parallel: sampling happened above, so the b-side
             // assembly is pure arithmetic over shared read-only inputs.
@@ -336,7 +358,7 @@ impl SwitchKey {
                     })
                     .collect();
                 Ok(Poly::from_ntt(vals, m)?)
-            })
+            })?
             .into_iter()
             .collect::<Result<Vec<_>, _>>()?;
             digit_keys
@@ -446,7 +468,7 @@ impl GaloisKeys {
                 }
             }
             let all: Vec<usize> = (0..ctx.rns().moduli().len()).collect();
-            let target = lift_signed_ntt(ctx, &s_g, &all);
+            let target = lift_signed_ntt(ctx, &s_g, &all)?;
             keys.insert(g, SwitchKey::generate(ctx, sk, &target, rng)?);
         }
         Ok(GaloisKeys { keys, n: ctx.n() })
@@ -491,7 +513,7 @@ mod tests {
     #[test]
     fn symmetric_encrypt_decrypt() {
         let (ctx, mut rng) = setup();
-        let sk = SecretKey::generate(&ctx, &mut rng);
+        let sk = SecretKey::generate(&ctx, &mut rng).unwrap();
         let enc = Encoder::new(&ctx);
         let values = vec![1.0, -2.5, 0.125, 7.0];
         let pt = enc.encode(&values).unwrap();
@@ -505,7 +527,7 @@ mod tests {
     #[test]
     fn public_key_encrypt_decrypt() {
         let (ctx, mut rng) = setup();
-        let sk = SecretKey::generate(&ctx, &mut rng);
+        let sk = SecretKey::generate(&ctx, &mut rng).unwrap();
         let pk = PublicKey::generate(&ctx, &sk, &mut rng).unwrap();
         let enc = Encoder::new(&ctx);
         let values = vec![0.5, 4.25, -1.0];
@@ -531,7 +553,7 @@ mod tests {
     #[test]
     fn galois_keys_lookup() {
         let (ctx, mut rng) = setup();
-        let sk = SecretKey::generate(&ctx, &mut rng);
+        let sk = SecretKey::generate(&ctx, &mut rng).unwrap();
         let gk = GaloisKeys::generate(&ctx, &sk, &[1, 2], true, &mut rng).unwrap();
         assert!(gk.rotation_key(1).is_some());
         assert!(gk.rotation_key(2).is_some());

@@ -31,7 +31,7 @@
 //! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
 //! let params = CkksParams::toy()?;
 //! let ctx = CkksContext::new(params)?;
-//! let sk = SecretKey::generate(&ctx, &mut rng);
+//! let sk = SecretKey::generate(&ctx, &mut rng)?;
 //! let enc = Encoder::new(&ctx);
 //! let eval = Evaluator::new(&ctx);
 //!

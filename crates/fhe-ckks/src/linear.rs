@@ -276,7 +276,7 @@ mod tests {
     fn homomorphic_naive_matches_reference() {
         let ctx = CkksContext::new(CkksParams::toy().unwrap()).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(2);
-        let sk = SecretKey::generate(&ctx, &mut rng);
+        let sk = SecretKey::generate(&ctx, &mut rng).unwrap();
         let enc = Encoder::new(&ctx);
         let ev = Evaluator::new(&ctx);
         let slots = enc.slots();
@@ -301,7 +301,7 @@ mod tests {
     fn homomorphic_bsgs_matches_naive() {
         let ctx = CkksContext::new(CkksParams::toy().unwrap()).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let sk = SecretKey::generate(&ctx, &mut rng);
+        let sk = SecretKey::generate(&ctx, &mut rng).unwrap();
         let enc = Encoder::new(&ctx);
         let ev = Evaluator::new(&ctx);
         let slots = enc.slots();
@@ -327,7 +327,7 @@ mod tests {
         // Multiply every slot by i (a single diagonal-0 complex transform).
         let ctx = CkksContext::new(CkksParams::toy().unwrap()).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(4);
-        let sk = SecretKey::generate(&ctx, &mut rng);
+        let sk = SecretKey::generate(&ctx, &mut rng).unwrap();
         let enc = Encoder::new(&ctx);
         let ev = Evaluator::new(&ctx);
         let slots = enc.slots();

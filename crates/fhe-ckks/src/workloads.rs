@@ -223,7 +223,7 @@ impl HelrIteration {
         let s = crate::bootstrap::eval_poly_ps(ev, enc, &u, &SIGMOID3_COEFFS, rlk)?;
         // resid = y − s.
         let y_pt = enc.encode_at(&self.y, s.level(), s.scale())?;
-        let resid = ev.neg(&ev.sub_plain(&s, &y_pt)?);
+        let resid = ev.neg(&ev.sub_plain(&s, &y_pt)?)?;
         // grad = (rate·Xᵀ)·resid; w' = w + grad.
         let mut grad = self.xt.apply_bsgs(ev, enc, &resid, gk)?;
         let w_low = ev.level_down(ct_w, grad.level())?;
@@ -262,7 +262,7 @@ mod tests {
     #[test]
     fn mlp_encrypted_matches_plain() {
         let (ctx, mut rng) = setup(6);
-        let sk = SecretKey::generate(&ctx, &mut rng);
+        let sk = SecretKey::generate(&ctx, &mut rng).unwrap();
         let rlk = RelinKey::generate(&ctx, &sk, &mut rng).unwrap();
         let enc = Encoder::new(&ctx);
         let ev = Evaluator::new(&ctx);
@@ -282,7 +282,7 @@ mod tests {
     #[test]
     fn helr_step_matches_plain() {
         let (ctx, mut rng) = setup(8);
-        let sk = SecretKey::generate(&ctx, &mut rng);
+        let sk = SecretKey::generate(&ctx, &mut rng).unwrap();
         let rlk = RelinKey::generate(&ctx, &sk, &mut rng).unwrap();
         let enc = Encoder::new(&ctx);
         let ev = Evaluator::new(&ctx);

@@ -21,7 +21,7 @@ fn pipeline(n: usize, scale_bits: u32, seed: u64) -> Vec<Vec<u64>> {
     let params = CkksParams::new(n, 2, 2, scale_bits).expect("params");
     let ctx = CkksContext::new(params).expect("context");
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let sk = SecretKey::generate(&ctx, &mut rng);
+    let sk = SecretKey::generate(&ctx, &mut rng).unwrap();
     let rlk = RelinKey::generate(&ctx, &sk, &mut rng).expect("relin key");
     let enc = Encoder::new(&ctx);
     let ev = Evaluator::new(&ctx);

@@ -34,7 +34,7 @@ proptest! {
     ) {
         let c = ctx();
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let sk = SecretKey::generate(&c, &mut rng);
+        let sk = SecretKey::generate(&c, &mut rng).unwrap();
         let enc = Encoder::new(&c);
         let ev = Evaluator::new(&c);
         let ca = sk.encrypt(&c, &enc.encode(&xs).unwrap(), &mut rng).unwrap();
@@ -53,7 +53,7 @@ proptest! {
     ) {
         let c = ctx();
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let sk = SecretKey::generate(&c, &mut rng);
+        let sk = SecretKey::generate(&c, &mut rng).unwrap();
         let enc = Encoder::new(&c);
         let ev = Evaluator::new(&c);
         let ca = sk.encrypt(&c, &enc.encode(&xs).unwrap(), &mut rng).unwrap();
@@ -75,7 +75,7 @@ proptest! {
     ) {
         let c = ctx();
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let sk = SecretKey::generate(&c, &mut rng);
+        let sk = SecretKey::generate(&c, &mut rng).unwrap();
         let enc = Encoder::new(&c);
         let ev = Evaluator::new(&c);
         let ct = sk.encrypt(&c, &enc.encode(&xs).unwrap(), &mut rng).unwrap();

@@ -56,6 +56,30 @@ pub enum MathError {
         /// Description of the invalid parameter.
         detail: String,
     },
+    /// A worker chunk of a parallel region panicked; the panic was contained
+    /// at the chunk boundary (see [`crate::par::ParError`]) and the region's
+    /// output is poisoned. The process itself remains healthy — subsequent
+    /// kernel calls are unaffected.
+    WorkerPanic {
+        /// Worker slot that executed the panicked chunk.
+        worker: usize,
+        /// Index of the panicked contiguous chunk.
+        chunk: usize,
+        /// Stringified panic payload.
+        payload: String,
+    },
+    /// Data failed an integrity check: a stored checksum no longer matches
+    /// the recomputed one, i.e. limbs were corrupted after sealing.
+    IntegrityViolation {
+        /// Where the mismatch was detected.
+        context: &'static str,
+    },
+}
+
+impl From<crate::par::ParError> for MathError {
+    fn from(e: crate::par::ParError) -> Self {
+        MathError::WorkerPanic { worker: e.worker, chunk: e.chunk, payload: e.payload }
+    }
 }
 
 impl fmt::Display for MathError {
@@ -78,6 +102,12 @@ impl fmt::Display for MathError {
                 write!(f, "{value} is not invertible modulo {modulus}")
             }
             MathError::InvalidParameter { detail } => write!(f, "invalid parameter: {detail}"),
+            MathError::WorkerPanic { worker, chunk, payload } => {
+                write!(f, "contained worker panic (worker {worker}, chunk {chunk}): {payload}")
+            }
+            MathError::IntegrityViolation { context } => {
+                write!(f, "integrity violation detected at {context}")
+            }
         }
     }
 }

@@ -43,6 +43,7 @@ mod bigint;
 mod decomp;
 mod error;
 mod four_step;
+pub mod integrity;
 mod modulus;
 mod montgomery;
 mod ntt;
@@ -58,9 +59,11 @@ pub use bigint::UBig;
 pub use decomp::{Gadget, SignedDigitDecomposer};
 pub use error::MathError;
 pub use four_step::FourStepNtt;
+pub use integrity::{checksum_enabled, set_checksum_enabled};
 pub use modulus::{Modulus, ShoupScalar};
 pub use montgomery::MontgomeryContext;
 pub use ntt::{CyclicNtt, NttTable};
+pub use par::ParError;
 pub use poly::{Domain, Poly};
 pub use prime::{generate_ntt_primes, generate_primes_with_step, is_prime};
 pub use rns::{BconvPlan, RnsBasis, RnsContext, RnsPoly};

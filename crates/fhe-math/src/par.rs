@@ -28,8 +28,110 @@
 //! With the `parallel` cargo feature disabled the runner degenerates to the
 //! plain sequential loop and spawns nothing.
 
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
+
+/// A panic contained inside one worker chunk of a parallel region.
+///
+/// Worker bodies run under [`std::panic::catch_unwind`]; a panicking chunk
+/// never unwinds across the region boundary and never aborts the process.
+/// The remaining chunks run to completion (their outputs for the region are
+/// still unspecified — callers must treat the whole output as poisoned) and
+/// the caller receives exactly one `ParError` describing the lowest-indexed
+/// panicked chunk, so a fault degrades to a clean `Result`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParError {
+    /// Worker slot that executed the panicked chunk (worker `w` always owns
+    /// chunk `w`; inline regions account to worker 0).
+    pub worker: usize,
+    /// Index of the panicked contiguous chunk.
+    pub chunk: usize,
+    /// Stringified panic payload (`&str`/`String` payloads verbatim,
+    /// anything else a placeholder).
+    pub payload: String,
+}
+
+impl fmt::Display for ParError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "worker {} panicked in chunk {}: {}", self.worker, self.chunk, self.payload)
+    }
+}
+
+impl std::error::Error for ParError {}
+
+/// Payload used by the deterministic fault-injection hook (see
+/// [`inject_worker_panic`]); campaigns match on it to tell injected faults
+/// from organic bugs.
+pub const INJECTED_PANIC_PAYLOAD: &str = "faultsim: injected worker panic";
+
+/// One-shot fault-injection hook: `usize::MAX` = disarmed, anything else =
+/// the chunk index whose next execution panics.
+static INJECT_PANIC_CHUNK: AtomicUsize = AtomicUsize::new(usize::MAX);
+
+/// Arms the one-shot panic injector: the next parallel-region chunk with
+/// this index (on any entry point, inline or threaded) panics with
+/// [`INJECTED_PANIC_PAYLOAD`] before processing its items, then the hook
+/// disarms itself. `usize::MAX` is the disarmed sentinel and is rejected.
+///
+/// This exists for the fault-injection campaign (`crates/faultsim`) and the
+/// containment tests; it is a no-op for correctness — a triggered injection
+/// surfaces as [`ParError`] exactly like an organic worker panic.
+pub fn inject_worker_panic(chunk: usize) {
+    assert!(chunk != usize::MAX, "usize::MAX is the disarmed sentinel");
+    INJECT_PANIC_CHUNK.store(chunk, Ordering::Relaxed);
+}
+
+/// Disarms the panic injector; returns whether it was still armed (i.e. the
+/// injection never fired — campaigns count that as a benign outcome).
+pub fn clear_injected_panic() -> bool {
+    INJECT_PANIC_CHUNK.swap(usize::MAX, Ordering::Relaxed) != usize::MAX
+}
+
+/// One relaxed load on the fast path; only the armed chunk attempts the CAS.
+#[inline]
+fn take_injected_panic(chunk: usize) -> bool {
+    if INJECT_PANIC_CHUNK.load(Ordering::Relaxed) != chunk {
+        return false;
+    }
+    INJECT_PANIC_CHUNK
+        .compare_exchange(chunk, usize::MAX, Ordering::Relaxed, Ordering::Relaxed)
+        .is_ok()
+}
+
+/// Stringifies a `catch_unwind` payload.
+fn payload_string(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Ok(s) = payload.downcast::<String>() {
+        *s
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Runs one chunk body with injection check + panic containment.
+fn run_contained<R>(worker: usize, chunk: usize, body: impl FnOnce() -> R) -> Result<R, ParError> {
+    catch_unwind(AssertUnwindSafe(|| {
+        if take_injected_panic(chunk) {
+            panic!("{INJECTED_PANIC_PAYLOAD}");
+        }
+        body()
+    }))
+    .map_err(|payload| ParError { worker, chunk, payload: payload_string(payload) })
+}
+
+/// Records a contained error, keeping the lowest chunk index so the surfaced
+/// error is deterministic regardless of thread interleaving.
+fn store_error(slot: &Mutex<Option<ParError>>, err: ParError) {
+    let mut guard = slot.lock().unwrap_or_else(|e| e.into_inner());
+    match guard.as_ref() {
+        Some(prev) if prev.chunk <= err.chunk => {}
+        _ => *guard = Some(err),
+    }
+}
 
 /// Requested thread cap: 0 = auto (one per available core).
 static MAX_THREADS: AtomicUsize = AtomicUsize::new(0);
@@ -259,7 +361,15 @@ fn plan_threads(items: usize, work_per_item: u64) -> usize {
 /// contiguous per-thread chunks when the total work clears the adaptive
 /// threshold. `work_per_item` is the estimated element-operations per item
 /// (e.g. `n` for an element-wise pass, `n·log2(n)` for an NTT).
-pub fn par_iter_mut<T, F>(items: &mut [T], work_per_item: u64, f: F)
+///
+/// # Errors
+///
+/// A panic inside `f` (or an armed [`inject_worker_panic`] hook) is caught
+/// at the chunk boundary and returned as [`ParError`]; the other chunks
+/// still run to completion and the process keeps working. On `Err` the
+/// contents of `items` are unspecified — treat the region's output as
+/// poisoned.
+pub fn par_iter_mut<T, F>(items: &mut [T], work_per_item: u64, f: F) -> Result<(), ParError>
 where
     T: Send,
     F: Fn(usize, &mut T) + Sync,
@@ -271,37 +381,45 @@ where
             // Inline regions account to worker slot 0 so sequential
             // baselines and single-core hosts still report utilization.
             let t0 = Instant::now();
-            for (i, item) in items.iter_mut().enumerate() {
-                f(i, item);
-            }
+            let len = items.len();
+            let res = run_contained(0, 0, || {
+                for (i, item) in items.iter_mut().enumerate() {
+                    f(i, item);
+                }
+            });
             let ns = t0.elapsed().as_nanos() as u64;
-            record_chunk(0, ns, items.len());
+            record_chunk(0, ns, len);
             REGIONS.fetch_add(1, Ordering::Relaxed);
             REGION_WALL_NS.fetch_add(ns, Ordering::Relaxed);
-        } else {
+            return res;
+        }
+        return run_contained(0, 0, || {
             for (i, item) in items.iter_mut().enumerate() {
                 f(i, item);
             }
-        }
-        return;
+        });
     }
     let chunk = items.len().div_ceil(threads);
     let region_start = profiling.then(Instant::now);
+    let first_err: Mutex<Option<ParError>> = Mutex::new(None);
     std::thread::scope(|scope| {
         let f = &f;
+        let first_err = &first_err;
         for (ci, slice) in items.chunks_mut(chunk).enumerate() {
             let base = ci * chunk;
             scope.spawn(move || {
-                if profiling {
-                    let t0 = Instant::now();
+                let t0 = profiling.then(Instant::now);
+                let len = slice.len();
+                let res = run_contained(ci, ci, || {
                     for (k, item) in slice.iter_mut().enumerate() {
                         f(base + k, item);
                     }
-                    record_chunk(ci, t0.elapsed().as_nanos() as u64, slice.len());
-                } else {
-                    for (k, item) in slice.iter_mut().enumerate() {
-                        f(base + k, item);
-                    }
+                });
+                if let Some(t0) = t0 {
+                    record_chunk(ci, t0.elapsed().as_nanos() as u64, len);
+                }
+                if let Err(e) = res {
+                    store_error(first_err, e);
                 }
             });
         }
@@ -310,12 +428,20 @@ where
         REGIONS.fetch_add(1, Ordering::Relaxed);
         REGION_WALL_NS.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
     }
+    match first_err.into_inner().unwrap_or_else(|e| e.into_inner()) {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
 }
 
 /// Parallel map over a shared slice: returns `f(index, &item)` for every
 /// item, in order. Built on [`par_iter_mut`] over the output buffer, so the
-/// same adaptive threshold applies.
-pub fn par_map<T, U, F>(items: &[T], work_per_item: u64, f: F) -> Vec<U>
+/// same adaptive threshold and panic containment apply.
+///
+/// # Errors
+///
+/// Returns [`ParError`] when a chunk panics (see [`par_iter_mut`]).
+pub fn par_map<T, U, F>(items: &[T], work_per_item: u64, f: F) -> Result<Vec<U>, ParError>
 where
     T: Sync,
     U: Send,
@@ -324,24 +450,34 @@ where
     let mut out: Vec<Option<U>> = (0..items.len()).map(|_| None).collect();
     par_iter_mut(&mut out, work_per_item, |i, slot| {
         *slot = Some(f(i, &items[i]));
-    });
-    out.into_iter().map(|v| v.expect("par_map fills every slot")).collect()
+    })?;
+    Ok(out.into_iter().map(|v| v.expect("par_map fills every slot")).collect())
 }
 
 /// Runs `f(i)` for `i` in `0..count` with the same chunked dispatch as
 /// [`par_iter_mut`], for loops whose state is not a `&mut` slice (each
 /// iteration must touch disjoint data by construction).
-pub fn par_for_each<F>(count: usize, work_per_item: u64, f: F)
+///
+/// # Errors
+///
+/// Returns [`ParError`] when a chunk panics (see [`par_iter_mut`]).
+pub fn par_for_each<F>(count: usize, work_per_item: u64, f: F) -> Result<(), ParError>
 where
     F: Fn(usize) + Sync,
 {
     let mut indices: Vec<usize> = (0..count).collect();
-    par_iter_mut(&mut indices, work_per_item, |_, &mut i| f(i));
+    par_iter_mut(&mut indices, work_per_item, |_, &mut i| f(i))
 }
 
 /// Runs two independent closures, on separate threads when both sides clear
-/// half the adaptive threshold. Returns both results.
-pub fn join<A, B, RA, RB>(work_a: u64, work_b: u64, a: A, b: B) -> (RA, RB)
+/// half the adaptive threshold. Returns both results. Side `a` runs on the
+/// caller thread as chunk 0, side `b` as chunk 1.
+///
+/// # Errors
+///
+/// A panic on either side is contained and surfaced as [`ParError`]; when
+/// both sides panic the lower chunk index (side `a`) wins.
+pub fn join<A, B, RA, RB>(work_a: u64, work_b: u64, a: A, b: B) -> Result<(RA, RB), ParError>
 where
     A: FnOnce() -> RA + Send,
     B: FnOnce() -> RB + Send,
@@ -349,13 +485,26 @@ where
     RB: Send,
 {
     if max_threads() < 2 || work_a.saturating_add(work_b) < min_work() {
-        return (a(), b());
+        let ra = run_contained(0, 0, a)?;
+        let rb = run_contained(0, 1, b)?;
+        return Ok((ra, rb));
     }
-    std::thread::scope(|scope| {
-        let hb = scope.spawn(b);
-        let ra = a();
-        (ra, hb.join().expect("join worker panicked"))
-    })
+    let (ra, rb) = std::thread::scope(|scope| {
+        let hb = scope.spawn(move || run_contained(1, 1, b));
+        let ra = run_contained(0, 0, a);
+        let rb = hb.join().unwrap_or_else(|payload| {
+            // `run_contained` already caught the body; reaching here means
+            // the containment wrapper itself panicked, which we still
+            // refuse to propagate as an unwind.
+            Err(ParError { worker: 1, chunk: 1, payload: payload_string(payload) })
+        });
+        (ra, rb)
+    });
+    match (ra, rb) {
+        (Ok(ra), Ok(rb)) => Ok((ra, rb)),
+        (Err(e), _) => Err(e),
+        (_, Err(e)) => Err(e),
+    }
 }
 
 #[cfg(test)]
@@ -374,7 +523,7 @@ mod tests {
         set_min_work(DEFAULT_MIN_WORK);
         set_max_threads(0);
         let mut v = vec![0u64; 8];
-        par_iter_mut(&mut v, 1, |i, x| *x = i as u64 * 2);
+        par_iter_mut(&mut v, 1, |i, x| *x = i as u64 * 2).unwrap();
         assert_eq!(v, (0..8).map(|i| i * 2).collect::<Vec<u64>>());
     }
 
@@ -384,7 +533,7 @@ mod tests {
         set_min_work(0);
         set_max_threads(4);
         let mut v = vec![0u64; 1027];
-        par_iter_mut(&mut v, 1, |i, x| *x = (i as u64).wrapping_mul(0x9e3779b97f4a7c15));
+        par_iter_mut(&mut v, 1, |i, x| *x = (i as u64).wrapping_mul(0x9e3779b97f4a7c15)).unwrap();
         set_min_work(DEFAULT_MIN_WORK);
         set_max_threads(0);
         let expect: Vec<u64> =
@@ -398,7 +547,7 @@ mod tests {
         set_min_work(0);
         set_max_threads(3);
         let items: Vec<u32> = (0..100).collect();
-        let out = par_map(&items, 1, |i, &x| (i as u32) + x);
+        let out = par_map(&items, 1, |i, &x| (i as u32) + x).unwrap();
         set_min_work(DEFAULT_MIN_WORK);
         set_max_threads(0);
         assert_eq!(out, (0..100).map(|i| 2 * i).collect::<Vec<u32>>());
@@ -409,7 +558,7 @@ mod tests {
         let _g = knob_guard();
         set_min_work(0);
         set_max_threads(2);
-        let (a, b) = join(1 << 20, 1 << 20, || 1 + 1, || "x".repeat(3));
+        let (a, b) = join(1 << 20, 1 << 20, || 1 + 1, || "x".repeat(3)).unwrap();
         set_min_work(DEFAULT_MIN_WORK);
         set_max_threads(0);
         assert_eq!((a, b.as_str()), (2, "xxx"));
@@ -420,7 +569,136 @@ mod tests {
         assert!(max_threads() >= 1);
     }
 
+    /// Silences the default panic hook around a closure expected to contain
+    /// panics, so intentional faults don't spam test output.
+    pub(crate) fn quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let r = f();
+        std::panic::set_hook(hook);
+        r
+    }
+
     #[test]
+    #[cfg(feature = "parallel")] // chunk indices require real workers
+    fn organic_panic_is_contained_and_drains_other_chunks() {
+        let _g = knob_guard();
+        set_min_work(0);
+        set_max_threads(4);
+        let processed = AtomicU64::new(0);
+        let mut v = vec![0u64; 400]; // 4 chunks of 100
+        let err = quiet_panics(|| {
+            par_iter_mut(&mut v, 1, |i, x| {
+                if i == 250 {
+                    panic!("boom at {i}");
+                }
+                processed.fetch_add(1, Ordering::Relaxed);
+                *x = i as u64;
+            })
+            .unwrap_err()
+        });
+        set_min_work(DEFAULT_MIN_WORK);
+        set_max_threads(0);
+        assert_eq!(err.chunk, 2, "item 250 lives in chunk 2");
+        assert_eq!(err.worker, 2);
+        assert!(err.payload.contains("boom at 250"), "payload: {}", err.payload);
+        // Every chunk other than the poisoned one ran to completion.
+        assert!(
+            processed.load(Ordering::Relaxed) >= 300,
+            "non-panicked chunks must drain, got {}",
+            processed.load(Ordering::Relaxed)
+        );
+        // The region after the fault is healthy again.
+        let mut w = vec![0u64; 64];
+        par_iter_mut(&mut w, 1, |i, x| *x = i as u64 + 1).unwrap();
+        assert_eq!(w[63], 64);
+    }
+
+    #[test]
+    #[cfg(feature = "parallel")] // a sequential build only ever runs chunk 0
+    fn injected_panic_hits_requested_chunk_then_disarms() {
+        let _g = knob_guard();
+        set_min_work(0);
+        set_max_threads(4);
+        inject_worker_panic(1);
+        let mut v = vec![0u64; 400];
+        let err = quiet_panics(|| par_iter_mut(&mut v, 1, |i, x| *x = i as u64).unwrap_err());
+        assert_eq!((err.worker, err.chunk), (1, 1));
+        assert_eq!(err.payload, INJECTED_PANIC_PAYLOAD);
+        assert!(!clear_injected_panic(), "hook must one-shot disarm itself");
+        // Same region re-run succeeds now that the hook is spent.
+        par_iter_mut(&mut v, 1, |i, x| *x = i as u64).unwrap();
+        set_min_work(DEFAULT_MIN_WORK);
+        set_max_threads(0);
+        assert_eq!(v[399], 399);
+    }
+
+    #[test]
+    fn injected_panic_contained_on_inline_path() {
+        let _g = knob_guard();
+        set_min_work(u64::MAX); // force inline
+        inject_worker_panic(0);
+        let mut v = vec![0u64; 16];
+        let err = quiet_panics(|| par_iter_mut(&mut v, 1, |i, x| *x = i as u64).unwrap_err());
+        set_min_work(DEFAULT_MIN_WORK);
+        assert_eq!((err.worker, err.chunk), (0, 0));
+        assert_eq!(err.payload, INJECTED_PANIC_PAYLOAD);
+    }
+
+    #[test]
+    fn unfired_injection_is_reported_by_clear() {
+        let _g = knob_guard();
+        inject_worker_panic(77); // no region runs a chunk 77 here
+        let mut v = vec![0u64; 4];
+        par_iter_mut(&mut v, 0, |i, x| *x = i as u64).unwrap();
+        assert!(clear_injected_panic(), "hook should still be armed");
+    }
+
+    #[test]
+    fn join_contains_panics_on_both_sides() {
+        let _g = knob_guard();
+        set_min_work(0);
+        set_max_threads(2);
+        let err = quiet_panics(|| {
+            join(1 << 20, 1 << 20, || 7, || -> u32 { panic!("side b died") }).unwrap_err()
+        });
+        // Side b is chunk 1 either way; only the worker differs between the
+        // threaded and the sequential-fallback build.
+        assert_eq!(err.chunk, 1);
+        assert_eq!(err.worker, if parallelism_compiled() { 1 } else { 0 });
+        assert!(err.payload.contains("side b died"));
+        let err = quiet_panics(|| {
+            join(1 << 20, 1 << 20, || -> u32 { panic!("side a died") }, || 7).unwrap_err()
+        });
+        assert_eq!((err.worker, err.chunk), (0, 0));
+        // Sequential fallback contains too.
+        set_max_threads(1);
+        let err =
+            quiet_panics(|| join(1, 1, || 7, || -> u32 { panic!("seq b died") }).unwrap_err());
+        assert_eq!(err.chunk, 1);
+        set_min_work(DEFAULT_MIN_WORK);
+        set_max_threads(0);
+        let (a, b) = join(1, 1, || 1, || 2).unwrap();
+        assert_eq!((a, b), (1, 2));
+    }
+
+    #[test]
+    fn par_map_surfaces_contained_error() {
+        let _g = knob_guard();
+        set_min_work(0);
+        set_max_threads(3);
+        let items: Vec<u32> = (0..90).collect();
+        let err = quiet_panics(|| {
+            par_map(&items, 1, |i, &x| if i == 45 { panic!("map {i}") } else { x }).unwrap_err()
+        });
+        set_min_work(DEFAULT_MIN_WORK);
+        set_max_threads(0);
+        let want = if parallelism_compiled() { 1 } else { 0 };
+        assert_eq!(err.chunk, want, "item 45 lives in chunk 1 of 3×30 (0 inline)");
+    }
+
+    #[test]
+    #[cfg(feature = "parallel")] // spawns real workers; sequential builds cap at 1
     fn profiling_captures_per_worker_activity() {
         let _g = knob_guard();
         set_min_work(0);
@@ -428,7 +706,7 @@ mod tests {
         reset_profile();
         set_profiling(true);
         let mut v = vec![0u64; 400];
-        par_iter_mut(&mut v, 1, |i, x| *x = (i as u64).wrapping_mul(3));
+        par_iter_mut(&mut v, 1, |i, x| *x = (i as u64).wrapping_mul(3)).unwrap();
         set_profiling(false);
         set_min_work(DEFAULT_MIN_WORK);
         set_max_threads(0);
@@ -454,8 +732,8 @@ mod tests {
         reset_profile();
         set_profiling(true);
         let mut v = vec![0u64; 64];
-        par_iter_mut(&mut v, 1, |i, x| *x = i as u64);
-        par_iter_mut(&mut v, 1, |i, x| *x += i as u64);
+        par_iter_mut(&mut v, 1, |i, x| *x = i as u64).unwrap();
+        par_iter_mut(&mut v, 1, |i, x| *x += i as u64).unwrap();
         set_profiling(false);
         set_min_work(DEFAULT_MIN_WORK);
 
@@ -477,7 +755,7 @@ mod tests {
         reset_profile();
         assert!(!profiling_enabled());
         let mut v = vec![0u64; 100];
-        par_iter_mut(&mut v, 1, |i, x| *x = i as u64);
+        par_iter_mut(&mut v, 1, |i, x| *x = i as u64).unwrap();
         set_min_work(DEFAULT_MIN_WORK);
         set_max_threads(0);
         let prof = profile_snapshot();

@@ -160,7 +160,7 @@ impl RnsContext {
         dst: &[usize],
     ) -> Result<Vec<Vec<u64>>, MathError> {
         let plan = self.bconv(src, dst)?;
-        Ok(plan.apply(poly_channels))
+        plan.apply(poly_channels)
     }
 
     /// Allocation-free [`RnsContext::modup`]: writes the converted channels
@@ -183,8 +183,7 @@ impl RnsContext {
     ) -> Result<(), MathError> {
         let _t = telemetry::Timer::enter("math.modup");
         let plan = self.bconv(src, dst)?;
-        plan.apply_into(poly_channels, out);
-        Ok(())
+        plan.apply_into(poly_channels, out)
     }
 
     /// Moddown (paper Eq. 3): given residues of `x` on `Q ∪ P` (indices
@@ -247,7 +246,7 @@ impl RnsContext {
         }
         Scratch::with_thread_local(|scratch| {
             let mut converted: Vec<Vec<u64>> = (0..q_idx.len()).map(|_| scratch.take(n)).collect();
-            plan.apply_into(p_channels, &mut converted);
+            plan.apply_into(p_channels, &mut converted)?;
             let moduli = self.moduli();
             par::par_iter_mut(out, (n * (p_idx.len() + 2)) as u64, |k, channel| {
                 let m = moduli[q_idx[k]];
@@ -259,12 +258,12 @@ impl RnsContext {
                         .zip(&converted[k])
                         .map(|(&x, &c)| m.mul_shoup(m.sub(x, c), p_inv)),
                 );
-            });
+            })?;
             for buf in converted {
                 scratch.put(buf);
             }
-        });
-        Ok(())
+            Ok(())
+        })
     }
 }
 
@@ -358,14 +357,19 @@ impl BconvPlan {
     /// `L` products accumulated lazily in a 128-bit register, then a single
     /// Barrett reduction per destination coefficient (paper Table 3).
     ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::WorkerPanic`] if a parallel worker chunk
+    /// panicked (the panic is contained, the process stays healthy).
+    ///
     /// # Panics
     ///
     /// Panics if `channels.len()` differs from the plan's source count or
     /// the channels have unequal lengths.
-    pub fn apply(&self, channels: &[&[u64]]) -> Vec<Vec<u64>> {
+    pub fn apply(&self, channels: &[&[u64]]) -> Result<Vec<Vec<u64>>, MathError> {
         let mut out = vec![Vec::new(); self.dst_moduli.len()];
-        self.apply_into(channels, &mut out);
-        out
+        self.apply_into(channels, &mut out)?;
+        Ok(out)
     }
 
     /// Allocation-free [`BconvPlan::apply`]: writes one converted channel
@@ -375,12 +379,17 @@ impl BconvPlan {
     /// intermediate buffers come from the thread-local [`Scratch`] pool, so
     /// a warmed-up caller thread allocates nothing.
     ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::WorkerPanic`] if a parallel worker chunk
+    /// panicked; `out` is poisoned in that case.
+    ///
     /// # Panics
     ///
     /// Panics if `channels.len()` differs from the plan's source count, the
     /// channels have unequal lengths, or `out.len()` differs from the
     /// plan's destination count.
-    pub fn apply_into(&self, channels: &[&[u64]], out: &mut [Vec<u64>]) {
+    pub fn apply_into(&self, channels: &[&[u64]], out: &mut [Vec<u64>]) -> Result<(), MathError> {
         // Histogram-only latency probe: one atomic load when telemetry is
         // not installed, per-call p50/p99 when it is (no span events — this
         // runs thousands of times per workload).
@@ -398,7 +407,7 @@ impl BconvPlan {
                 for (y, &x) in buf.iter_mut().zip(channels[i]) {
                     *y = m.mul_shoup(x, s);
                 }
-            });
+            })?;
             // Step 2 (per destination channel): lazy-accumulated dot
             // product — the Meta-OP pattern `(M_j A_j)_L R_j`, one Barrett
             // reduction per destination coefficient (paper Table 3).
@@ -415,11 +424,12 @@ impl BconvPlan {
                     }
                     *x = pj.reduce_u128(acc);
                 }
-            });
+            })?;
             for buf in scaled {
                 scratch.put(buf);
             }
-        });
+            Ok(())
+        })
     }
 }
 
@@ -517,33 +527,46 @@ impl RnsPoly {
 
     /// Converts all channels to NTT domain using the aligned tables.
     ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::WorkerPanic`] if a parallel worker chunk
+    /// panicked; the polynomial is poisoned (some channels converted, some
+    /// not) and must be discarded.
+    ///
     /// # Panics
     ///
     /// Panics if `tables` is shorter than the channel list or misaligned
     /// (wrong modulus).
-    pub fn to_ntt(&mut self, tables: &[NttTable]) {
+    pub fn to_ntt(&mut self, tables: &[NttTable]) -> Result<(), MathError> {
         let _t = telemetry::Timer::enter("math.rns.ntt_fwd");
         assert!(tables.len() >= self.channels.len(), "missing NTT tables");
         for (c, t) in self.channels.iter().zip(tables) {
             assert_eq!(c.modulus(), t.modulus(), "misaligned NTT tables");
         }
         let work = ntt_work(self.n());
-        par::par_iter_mut(&mut self.channels, work, |i, c| c.to_ntt(&tables[i]));
+        par::par_iter_mut(&mut self.channels, work, |i, c| c.to_ntt(&tables[i]))?;
+        Ok(())
     }
 
     /// Converts all channels to coefficient domain.
     ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::WorkerPanic`] if a parallel worker chunk
+    /// panicked; the polynomial is poisoned and must be discarded.
+    ///
     /// # Panics
     ///
     /// Panics if `tables` is shorter than the channel list or misaligned.
-    pub fn to_coeff(&mut self, tables: &[NttTable]) {
+    pub fn to_coeff(&mut self, tables: &[NttTable]) -> Result<(), MathError> {
         let _t = telemetry::Timer::enter("math.rns.ntt_inv");
         assert!(tables.len() >= self.channels.len(), "missing NTT tables");
         for (c, t) in self.channels.iter().zip(tables) {
             assert_eq!(c.modulus(), t.modulus(), "misaligned NTT tables");
         }
         let work = ntt_work(self.n());
-        par::par_iter_mut(&mut self.channels, work, |i, c| c.to_coeff(&tables[i]));
+        par::par_iter_mut(&mut self.channels, work, |i, c| c.to_coeff(&tables[i]))?;
+        Ok(())
     }
 
     /// Channel-wise sum.
@@ -573,7 +596,7 @@ impl RnsPoly {
             for (x, &y) in c.coeffs_mut().iter_mut().zip(others[i].coeffs()) {
                 *x = m.add(*x, y);
             }
-        });
+        })?;
         Ok(())
     }
 
@@ -604,26 +627,37 @@ impl RnsPoly {
             for (x, &y) in c.coeffs_mut().iter_mut().zip(others[i].coeffs()) {
                 *x = m.sub(*x, y);
             }
-        });
+        })?;
         Ok(())
     }
 
     /// Channel-wise negation.
-    pub fn neg(&self) -> RnsPoly {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::WorkerPanic`] if a parallel worker chunk
+    /// panicked.
+    pub fn neg(&self) -> Result<RnsPoly, MathError> {
         let mut out = self.clone();
-        out.neg_assign();
-        out
+        out.neg_assign()?;
+        Ok(out)
     }
 
     /// In-place channel-wise negation.
-    pub fn neg_assign(&mut self) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::WorkerPanic`] if a parallel worker chunk
+    /// panicked (`self` is poisoned in that case).
+    pub fn neg_assign(&mut self) -> Result<(), MathError> {
         let n = self.n() as u64;
         par::par_iter_mut(&mut self.channels, n, |_, c| {
             let m = c.modulus();
             for x in c.coeffs_mut() {
                 *x = m.neg(*x);
             }
-        });
+        })?;
+        Ok(())
     }
 
     /// Point-wise product; both operands must already be in NTT domain.
@@ -658,7 +692,7 @@ impl RnsPoly {
             for (x, &y) in c.coeffs_mut().iter_mut().zip(others[i].coeffs()) {
                 *x = m.mul(*x, y);
             }
-        });
+        })?;
         Ok(())
     }
 
@@ -681,7 +715,7 @@ impl RnsPoly {
         }
         let channels = par::par_map(&self.channels, self.n() as u64, |_, c| {
             c.automorphism(g).expect("validated: odd exponent, coefficient domain")
-        });
+        })?;
         Ok(RnsPoly { channels })
     }
 
@@ -789,7 +823,7 @@ mod tests {
         let chans: Vec<Vec<u64>> =
             src_moduli.iter().map(|m| vec![x_exact % m.value(); 16]).collect();
         let refs: Vec<&[u64]> = chans.iter().map(|c| c.as_slice()).collect();
-        let out = plan.apply(&refs);
+        let out = plan.apply(&refs).unwrap();
 
         let q_prod = UBig::product_of(src_moduli.iter().map(|m| m.value()));
         for (j, &dj) in dst.iter().enumerate() {
@@ -816,7 +850,7 @@ mod tests {
         let plan = ctx.bconv(&[0], &[2, 3]).unwrap();
         let x = 42_424_242u64 % ctx.moduli()[0].value();
         let chan = vec![x; 8];
-        let out = plan.apply(&[chan.as_slice()]);
+        let out = plan.apply(&[chan.as_slice()]).unwrap();
         for (j, &dj) in [2usize, 3].iter().enumerate() {
             assert_eq!(out[j][0], x % ctx.moduli()[dj].value());
         }
@@ -827,7 +861,7 @@ mod tests {
         let ctx = context(8, 4);
         let plan = ctx.bconv(&[0, 1, 2], &[3]).unwrap();
         let z = vec![0u64; 8];
-        let out = plan.apply(&[z.as_slice(), z.as_slice(), z.as_slice()]);
+        let out = plan.apply(&[z.as_slice(), z.as_slice(), z.as_slice()]).unwrap();
         assert!(out[0].iter().all(|&v| v == 0));
     }
 
@@ -868,7 +902,7 @@ mod tests {
         let s = a.add(&b).unwrap();
         assert_eq!(s.crt_coefficient(1), UBig::from_u64(22));
         assert_eq!(s.sub(&b).unwrap(), a);
-        let z = a.add(&a.neg()).unwrap();
+        let z = a.add(&a.neg().unwrap()).unwrap();
         assert!(z.channels().iter().all(|c| c.coeffs().iter().all(|&v| v == 0)));
     }
 
@@ -877,10 +911,10 @@ mod tests {
         let ctx = context(16, 2);
         let mut a = RnsPoly::from_signed(&[0, 1], 16, ctx.moduli()); // X
         let mut b = RnsPoly::from_signed(&[0, 0, 1], 16, ctx.moduli()); // X^2
-        a.to_ntt(ctx.tables());
-        b.to_ntt(ctx.tables());
+        a.to_ntt(ctx.tables()).unwrap();
+        b.to_ntt(ctx.tables()).unwrap();
         let mut p = a.mul_pointwise(&b).unwrap();
-        p.to_coeff(ctx.tables());
+        p.to_coeff(ctx.tables()).unwrap();
         assert_eq!(p.crt_coefficient(3), UBig::from_u64(1)); // X^3
     }
 

@@ -67,9 +67,9 @@ fn ntt_roundtrip_bit_identical() {
         let (ctx, moduli) = context(n, 6);
         let (seq, par_out) = both_backends(|| {
             let mut p = rns_poly(n, 1, &moduli);
-            p.to_ntt(ctx.tables());
+            p.to_ntt(ctx.tables()).expect("ntt");
             let ntt_form = coeffs_of(&p);
-            p.to_coeff(ctx.tables());
+            p.to_coeff(ctx.tables()).expect("intt");
             (ntt_form, coeffs_of(&p))
         });
         assert_eq!(seq, par_out, "NTT round-trip diverged at n = {n}");
@@ -108,12 +108,12 @@ fn elementwise_ops_bit_identical() {
         let (seq, par_out) = both_backends(|| {
             let mut a = rns_poly(n, 4, &moduli);
             let mut b = rns_poly(n, 5, &moduli);
-            a.to_ntt(ctx.tables());
-            b.to_ntt(ctx.tables());
+            a.to_ntt(ctx.tables()).expect("ntt a");
+            b.to_ntt(ctx.tables()).expect("ntt b");
             let mut acc = a.mul_pointwise(&b).expect("mul");
             acc.add_assign(&a).expect("add");
             acc.sub_assign(&b).expect("sub");
-            acc.neg_assign();
+            acc.neg_assign().expect("neg");
             coeffs_of(&acc)
         });
         assert_eq!(seq, par_out, "element-wise ops diverged at n = {n}");

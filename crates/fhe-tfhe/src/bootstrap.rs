@@ -177,6 +177,10 @@ impl Pbs {
     /// Blind rotation: homomorphically evaluates `testv · X^{-φ̃}` where
     /// `φ̃` is the (2N-discretized) phase of `ct`.
     ///
+    /// # Errors
+    ///
+    /// Surfaces a contained worker panic from the parallel backend.
+    ///
     /// # Panics
     ///
     /// Panics if `ct.dim()` disagrees with the bootstrap key.
@@ -185,7 +189,7 @@ impl Pbs {
         bsk: &BootstrappingKey,
         ct: &LweCiphertext,
         testv: &[u64],
-    ) -> TrlweCiphertext {
+    ) -> Result<TrlweCiphertext, TfheError> {
         let _span = telemetry::Span::enter("tfhe.pbs.blind_rotate");
         assert_eq!(ct.dim(), bsk.steps(), "LWE dim disagrees with bootstrap key");
         let n = self.params.poly_size;
@@ -203,14 +207,18 @@ impl Pbs {
                 continue;
             }
             let rotated = acc.rotate(a_tilde);
-            acc = trgsw.cmux(&self.mult, &acc, &rotated);
+            acc = trgsw.cmux(&self.mult, &acc, &rotated)?;
         }
-        acc
+        Ok(acc)
     }
 
     /// Full programmable bootstrap: blind rotation, sample extraction, key
     /// switch back to dimension `n`. `testv` is the test polynomial (use
     /// the builders below).
+    ///
+    /// # Errors
+    ///
+    /// Surfaces a contained worker panic from the parallel backend.
     ///
     /// # Panics
     ///
@@ -221,10 +229,10 @@ impl Pbs {
         ksk: &KeySwitchKey,
         ct: &LweCiphertext,
         testv: &[u64],
-    ) -> LweCiphertext {
+    ) -> Result<LweCiphertext, TfheError> {
         let _span = telemetry::Span::enter("tfhe.pbs.bootstrap");
-        let rotated = self.blind_rotate(bsk, ct, testv);
-        ksk.switch(&rotated.sample_extract())
+        let rotated = self.blind_rotate(bsk, ct, testv)?;
+        Ok(ksk.switch(&rotated.sample_extract()))
     }
 
     /// The gate-bootstrap test polynomial: constant `μ` everywhere, so the
@@ -303,7 +311,7 @@ mod tests {
         for bit in [true, false] {
             let mu = if bit { ONE_EIGHTH } else { ONE_EIGHTH.wrapping_neg() };
             let ct = f.lwe_key.encrypt(mu, f.params.lwe_sigma, &mut f.rng);
-            let boot = f.pbs.bootstrap(&f.bsk, &f.ksk, &ct, &testv);
+            let boot = f.pbs.bootstrap(&f.bsk, &f.ksk, &ct, &testv).unwrap();
             let phase = f.lwe_key.phase(&boot) as i64;
             assert_eq!(phase > 0, bit, "bit {bit}: phase {phase}");
         }
@@ -317,7 +325,7 @@ mod tests {
         let testv = f.pbs.function_testv(space, |m| (m * m) % space);
         for m in 0..space / 2 {
             let ct = f.lwe_key.encrypt(encode_message(m, space), f.params.lwe_sigma, &mut f.rng);
-            let boot = f.pbs.bootstrap(&f.bsk, &f.ksk, &ct, &testv);
+            let boot = f.pbs.bootstrap(&f.bsk, &f.ksk, &ct, &testv).unwrap();
             assert_eq!(f.lwe_key.decrypt_message(&boot, space), (m * m) % space, "m = {m}");
         }
     }
@@ -329,8 +337,8 @@ mod tests {
         let mut f = fixture(9);
         let testv = f.pbs.sign_testv(ONE_EIGHTH);
         let ct = f.lwe_key.encrypt(ONE_EIGHTH, f.params.lwe_sigma, &mut f.rng);
-        let b1 = f.pbs.bootstrap(&f.bsk, &f.ksk, &ct, &testv);
-        let b2 = f.pbs.bootstrap(&f.bsk, &f.ksk, &b1, &testv);
+        let b1 = f.pbs.bootstrap(&f.bsk, &f.ksk, &ct, &testv).unwrap();
+        let b2 = f.pbs.bootstrap(&f.bsk, &f.ksk, &b1, &testv).unwrap();
         assert!((f.lwe_key.phase(&b1) as i64) > 0);
         assert!((f.lwe_key.phase(&b2) as i64) > 0);
     }

@@ -36,7 +36,7 @@ pub fn nand(
 ) -> Result<LweCiphertext, TfheError> {
     check(server, &[a, b])?;
     let lin = LweCiphertext::trivial(ONE_EIGHTH, a.dim()).sub(a).sub(b);
-    Ok(server.bootstrap_to_bit(&lin))
+    server.bootstrap_to_bit(&lin)
 }
 
 /// AND: `bootstrap(−1/8 + a + b)`.
@@ -51,7 +51,7 @@ pub fn and(
 ) -> Result<LweCiphertext, TfheError> {
     check(server, &[a, b])?;
     let lin = a.add(b).add_constant(ONE_EIGHTH.wrapping_neg());
-    Ok(server.bootstrap_to_bit(&lin))
+    server.bootstrap_to_bit(&lin)
 }
 
 /// OR: `bootstrap(1/8 + a + b)`.
@@ -66,7 +66,7 @@ pub fn or(
 ) -> Result<LweCiphertext, TfheError> {
     check(server, &[a, b])?;
     let lin = a.add(b).add_constant(ONE_EIGHTH);
-    Ok(server.bootstrap_to_bit(&lin))
+    server.bootstrap_to_bit(&lin)
 }
 
 /// NOR: `bootstrap(−1/8 − a − b)`.
@@ -81,7 +81,7 @@ pub fn nor(
 ) -> Result<LweCiphertext, TfheError> {
     check(server, &[a, b])?;
     let lin = a.add(b).neg().add_constant(ONE_EIGHTH.wrapping_neg());
-    Ok(server.bootstrap_to_bit(&lin))
+    server.bootstrap_to_bit(&lin)
 }
 
 /// XOR: `bootstrap(1/4 + 2(a + b))`.
@@ -98,7 +98,7 @@ pub fn xor(
     let sum = a.add(b);
     let doubled = sum.add(&sum);
     let lin = doubled.add_constant(ONE_EIGHTH.wrapping_mul(2));
-    Ok(server.bootstrap_to_bit(&lin))
+    server.bootstrap_to_bit(&lin)
 }
 
 /// XNOR: `bootstrap(−1/4 − 2(a + b))`.
@@ -115,7 +115,7 @@ pub fn xnor(
     let sum = a.add(b);
     let doubled = sum.add(&sum).neg();
     let lin = doubled.add_constant(ONE_EIGHTH.wrapping_mul(2).wrapping_neg());
-    Ok(server.bootstrap_to_bit(&lin))
+    server.bootstrap_to_bit(&lin)
 }
 
 /// NOT: negation — no bootstrap needed.
@@ -136,7 +136,7 @@ pub fn majority(
     c: &LweCiphertext,
 ) -> Result<LweCiphertext, TfheError> {
     check(server, &[a, b, c])?;
-    Ok(server.bootstrap_to_bit(&a.add(b).add(c)))
+    server.bootstrap_to_bit(&a.add(b).add(c))
 }
 
 /// MUX(c, a, b) = (c AND a) OR (NOT c AND b), three bootstraps.

@@ -97,19 +97,27 @@ impl ServerKey {
     }
 
     /// Gate-bootstraps a linear combination down to a fresh `±1/8` bit.
-    pub fn bootstrap_to_bit(&self, ct: &LweCiphertext) -> LweCiphertext {
+    ///
+    /// # Errors
+    ///
+    /// Surfaces a contained worker panic from the parallel backend.
+    pub fn bootstrap_to_bit(&self, ct: &LweCiphertext) -> Result<LweCiphertext, TfheError> {
         let testv = self.pbs.sign_testv(torus::ONE_EIGHTH);
         self.pbs.bootstrap(&self.bsk, &self.ksk, ct, &testv)
     }
 
     /// Programmable bootstrap with an arbitrary LUT over `space` sectors
     /// (messages restricted to the lower half-space).
+    ///
+    /// # Errors
+    ///
+    /// Surfaces a contained worker panic from the parallel backend.
     pub fn bootstrap_with_lut(
         &self,
         ct: &LweCiphertext,
         space: u64,
         f: impl Fn(u64) -> u64,
-    ) -> LweCiphertext {
+    ) -> Result<LweCiphertext, TfheError> {
         let testv = self.pbs.function_testv(space, f);
         self.pbs.bootstrap(&self.bsk, &self.ksk, ct, &testv)
     }
@@ -152,7 +160,7 @@ mod tests {
         for bit in [true, false] {
             let ct = client.encrypt_bit(bit, &mut rng);
             assert_eq!(client.decrypt_bit(&ct), bit);
-            let fresh = server.bootstrap_to_bit(&ct);
+            let fresh = server.bootstrap_to_bit(&ct).unwrap();
             assert_eq!(client.decrypt_bit(&fresh), bit);
         }
     }
@@ -162,7 +170,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(21);
         let (client, server) = generate_keys(&TfheParams::toy(), &mut rng).unwrap();
         let ct = client.encrypt_message(3, 8, &mut rng);
-        let doubled = server.bootstrap_with_lut(&ct, 8, |m| (2 * m) % 8);
+        let doubled = server.bootstrap_with_lut(&ct, 8, |m| (2 * m) % 8).unwrap();
         assert_eq!(client.decrypt_message(&doubled, 8), 6);
     }
 }

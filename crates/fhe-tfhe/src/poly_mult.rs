@@ -70,10 +70,14 @@ impl NegacyclicMultiplier {
 
     /// Pre-transforms a torus polynomial into both NTT domains.
     ///
+    /// # Errors
+    ///
+    /// Surfaces a contained worker panic from the parallel backend.
+    ///
     /// # Panics
     ///
     /// Panics if `poly.len() != n`.
-    pub fn prepare(&self, poly: &[u64]) -> PreparedTorusPoly {
+    pub fn prepare(&self, poly: &[u64]) -> Result<PreparedTorusPoly, TfheError> {
         assert_eq!(poly.len(), self.n);
         // The two prime fields are independent — run them on separate
         // threads when the transform clears the adaptive threshold.
@@ -91,8 +95,8 @@ impl NegacyclicMultiplier {
                 self.ntt2.forward(&mut res2);
                 res2
             },
-        );
-        PreparedTorusPoly { res1, res2 }
+        )?;
+        Ok(PreparedTorusPoly { res1, res2 })
     }
 
     /// Creates an empty accumulator.
@@ -102,10 +106,19 @@ impl NegacyclicMultiplier {
 
     /// Accumulates `digits ⊛ prepared` into `acc` (NTT domain, both primes).
     ///
+    /// # Errors
+    ///
+    /// Surfaces a contained worker panic from the parallel backend.
+    ///
     /// # Panics
     ///
     /// Panics on length mismatches.
-    pub fn mul_acc(&self, digits: &[i64], prepared: &PreparedTorusPoly, acc: &mut NttAccumulator) {
+    pub fn mul_acc(
+        &self,
+        digits: &[i64],
+        prepared: &PreparedTorusPoly,
+        acc: &mut NttAccumulator,
+    ) -> Result<(), TfheError> {
         // Histogram-only probe (no span event: this runs per digit, per
         // TRGSW row, inside the blind-rotate loop).
         let _t = telemetry::Timer::enter("tfhe.poly.mul_acc");
@@ -129,20 +142,25 @@ impl NegacyclicMultiplier {
                     *a = self.p2.add(*a, self.p2.mul(d, r));
                 }
             },
-        );
+        )?;
+        Ok(())
     }
 
     /// Finalizes an accumulator: inverse NTTs, Garner CRT, centering, and
     /// reduction modulo `2^64`. Consumes the accumulator.
-    pub fn finalize(&self, mut acc: NttAccumulator) -> Vec<u64> {
+    ///
+    /// # Errors
+    ///
+    /// Surfaces a contained worker panic from the parallel backend.
+    pub fn finalize(&self, mut acc: NttAccumulator) -> Result<Vec<u64>, TfheError> {
         let _t = telemetry::Timer::enter("tfhe.poly.finalize");
         let w = ntt_work(self.n);
-        par::join(w, w, || self.ntt1.inverse(&mut acc.acc1), || self.ntt2.inverse(&mut acc.acc2));
+        par::join(w, w, || self.ntt1.inverse(&mut acc.acc1), || self.ntt2.inverse(&mut acc.acc2))?;
         let p1 = self.p1.value() as u128;
         let p2 = self.p2.value() as u128;
         let big = p1 * p2;
         let half = big / 2;
-        (0..self.n)
+        Ok((0..self.n)
             .map(|i| {
                 let r1 = acc.acc1[i];
                 let r2 = acc.acc2[i];
@@ -158,18 +176,22 @@ impl NegacyclicMultiplier {
                     v as u64
                 }
             })
-            .collect()
+            .collect())
     }
 
     /// One-shot exact negacyclic product `ints ⊛ torus`.
     ///
+    /// # Errors
+    ///
+    /// Surfaces a contained worker panic from the parallel backend.
+    ///
     /// # Panics
     ///
     /// Panics on length mismatches.
-    pub fn mul_int_torus(&self, ints: &[i64], torus: &[u64]) -> Vec<u64> {
-        let prepared = self.prepare(torus);
+    pub fn mul_int_torus(&self, ints: &[i64], torus: &[u64]) -> Result<Vec<u64>, TfheError> {
+        let prepared = self.prepare(torus)?;
         let mut acc = self.accumulator();
-        self.mul_acc(ints, &prepared, &mut acc);
+        self.mul_acc(ints, &prepared, &mut acc)?;
         self.finalize(acc)
     }
 }
@@ -201,7 +223,7 @@ mod tests {
         let ints: Vec<i64> = (0..n as i64).map(|i| ((i * 37) % 127) - 63).collect();
         let torus: Vec<u64> =
             (0..n as u64).map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15)).collect();
-        assert_eq!(m.mul_int_torus(&ints, &torus), schoolbook(&ints, &torus));
+        assert_eq!(m.mul_int_torus(&ints, &torus).unwrap(), schoolbook(&ints, &torus));
     }
 
     #[test]
@@ -212,7 +234,7 @@ mod tests {
         ints[n - 1] = 1; // X^{n-1}
         let mut torus = vec![0u64; n];
         torus[1] = 5; // 5·X
-        let out = m.mul_int_torus(&ints, &torus);
+        let out = m.mul_int_torus(&ints, &torus).unwrap();
         assert_eq!(out[0], 5u64.wrapping_neg()); // X^n = -1
         assert!(out[1..].iter().all(|&c| c == 0));
     }
@@ -224,11 +246,11 @@ mod tests {
         let a: Vec<i64> = (0..n as i64).map(|i| i - 8).collect();
         let b: Vec<i64> = (0..n as i64).map(|i| 3 * i % 11 - 5).collect();
         let t: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(u64::MAX / 17)).collect();
-        let prepared = m.prepare(&t);
+        let prepared = m.prepare(&t).unwrap();
         let mut acc = m.accumulator();
-        m.mul_acc(&a, &prepared, &mut acc);
-        m.mul_acc(&b, &prepared, &mut acc);
-        let combined = m.finalize(acc);
+        m.mul_acc(&a, &prepared, &mut acc).unwrap();
+        m.mul_acc(&b, &prepared, &mut acc).unwrap();
+        let combined = m.finalize(acc).unwrap();
         let expected: Vec<u64> = schoolbook(&a, &t)
             .into_iter()
             .zip(schoolbook(&b, &t))
@@ -245,6 +267,6 @@ mod tests {
         let ints: Vec<i64> =
             (0..n as i64).map(|i| if i % 2 == 0 { 1 << 22 } else { -(1 << 22) }).collect();
         let torus = vec![u64::MAX; n];
-        assert_eq!(m.mul_int_torus(&ints, &torus), schoolbook(&ints, &torus));
+        assert_eq!(m.mul_int_torus(&ints, &torus).unwrap(), schoolbook(&ints, &torus));
     }
 }

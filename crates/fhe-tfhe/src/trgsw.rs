@@ -47,10 +47,10 @@ impl TrgswCiphertext {
         for half in 0..2 {
             for i in 0..levels {
                 let gadget = 1u64 << (64 - (i as u32 + 1) * base_log);
-                let mut z = key.encrypt(&zero, sigma, mult, rng);
+                let mut z = key.encrypt(&zero, sigma, mult, rng)?;
                 let target = if half == 0 { &mut z.a } else { &mut z.b };
                 target[0] = target[0].wrapping_add((m as u64).wrapping_mul(gadget));
-                rows.push((mult.prepare(&z.a), mult.prepare(&z.b)));
+                rows.push((mult.prepare(&z.a)?, mult.prepare(&z.b)?));
             }
         }
         Ok(TrgswCiphertext { rows, levels, decomposer, n })
@@ -71,6 +71,10 @@ impl TrgswCiphertext {
     /// External product `self ⊡ ct`: homomorphically multiplies the TRLWE
     /// message by this TRGSW's small integer.
     ///
+    /// # Errors
+    ///
+    /// Surfaces a contained worker panic from the parallel backend.
+    ///
     /// # Panics
     ///
     /// Panics if ring degrees disagree.
@@ -78,7 +82,7 @@ impl TrgswCiphertext {
         &self,
         mult: &NegacyclicMultiplier,
         ct: &TrlweCiphertext,
-    ) -> TrlweCiphertext {
+    ) -> Result<TrlweCiphertext, TfheError> {
         assert_eq!(ct.n(), self.n, "ring degree mismatch");
         let a_digits = self.decomposer.decompose_poly(&ct.a);
         let b_digits = self.decomposer.decompose_poly(&ct.b);
@@ -86,14 +90,18 @@ impl TrgswCiphertext {
         let mut acc_b = mult.accumulator();
         for (i, digits) in a_digits.iter().chain(b_digits.iter()).enumerate() {
             let (row_a, row_b) = &self.rows[i];
-            mult.mul_acc(digits, row_a, &mut acc_a);
-            mult.mul_acc(digits, row_b, &mut acc_b);
+            mult.mul_acc(digits, row_a, &mut acc_a)?;
+            mult.mul_acc(digits, row_b, &mut acc_b)?;
         }
-        TrlweCiphertext { a: mult.finalize(acc_a), b: mult.finalize(acc_b) }
+        Ok(TrlweCiphertext { a: mult.finalize(acc_a)?, b: mult.finalize(acc_b)? })
     }
 
     /// CMux: returns (an encryption of) `ct1` if this TRGSW encrypts 1,
     /// `ct0` if it encrypts 0: `ct0 + self ⊡ (ct1 − ct0)`.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces a contained worker panic from the parallel backend.
     ///
     /// # Panics
     ///
@@ -103,9 +111,9 @@ impl TrgswCiphertext {
         mult: &NegacyclicMultiplier,
         ct0: &TrlweCiphertext,
         ct1: &TrlweCiphertext,
-    ) -> TrlweCiphertext {
+    ) -> Result<TrlweCiphertext, TfheError> {
         let diff = ct1.sub(ct0);
-        ct0.add(&self.external_product(mult, &diff))
+        Ok(ct0.add(&self.external_product(mult, &diff)?))
     }
 }
 
@@ -130,9 +138,9 @@ mod tests {
         let (key, mult, mut rng) = setup();
         let c = TrgswCiphertext::encrypt(&key, 1, 10, 3, SIGMA, &mult, &mut rng).unwrap();
         let mu: Vec<u64> = (0..64).map(|i| encode_message(i % 4, 4)).collect();
-        let ct = key.encrypt(&mu, SIGMA, &mult, &mut rng);
-        let out = c.external_product(&mult, &ct);
-        let phase = key.phase(&out, &mult);
+        let ct = key.encrypt(&mu, SIGMA, &mult, &mut rng).unwrap();
+        let out = c.external_product(&mult, &ct).unwrap();
+        let phase = key.phase(&out, &mult).unwrap();
         for (i, (&p, &m)) in phase.iter().zip(&mu).enumerate() {
             assert_eq!(decode_message(p, 4), decode_message(m, 4), "coeff {i}");
         }
@@ -143,9 +151,9 @@ mod tests {
         let (key, mult, mut rng) = setup();
         let c = TrgswCiphertext::encrypt(&key, 0, 10, 3, SIGMA, &mult, &mut rng).unwrap();
         let mu: Vec<u64> = (0..64).map(|_| encode_message(1, 2)).collect();
-        let ct = key.encrypt(&mu, SIGMA, &mult, &mut rng);
-        let out = c.external_product(&mult, &ct);
-        let phase = key.phase(&out, &mult);
+        let ct = key.encrypt(&mu, SIGMA, &mult, &mut rng).unwrap();
+        let out = c.external_product(&mult, &ct).unwrap();
+        let phase = key.phase(&out, &mult).unwrap();
         for (i, &p) in phase.iter().enumerate() {
             assert_eq!(decode_message(p, 2), 0, "coeff {i}");
         }
@@ -156,12 +164,12 @@ mod tests {
         let (key, mult, mut rng) = setup();
         let mu0: Vec<u64> = vec![encode_message(1, 8); 64];
         let mu1: Vec<u64> = vec![encode_message(5, 8); 64];
-        let ct0 = key.encrypt(&mu0, SIGMA, &mult, &mut rng);
-        let ct1 = key.encrypt(&mu1, SIGMA, &mult, &mut rng);
+        let ct0 = key.encrypt(&mu0, SIGMA, &mult, &mut rng).unwrap();
+        let ct1 = key.encrypt(&mu1, SIGMA, &mult, &mut rng).unwrap();
         for bit in [0i64, 1] {
             let sel = TrgswCiphertext::encrypt(&key, bit, 10, 3, SIGMA, &mult, &mut rng).unwrap();
-            let out = sel.cmux(&mult, &ct0, &ct1);
-            let phase = key.phase(&out, &mult);
+            let out = sel.cmux(&mult, &ct0, &ct1).unwrap();
+            let phase = key.phase(&out, &mult).unwrap();
             let want = if bit == 1 { 5 } else { 1 };
             assert_eq!(decode_message(phase[0], 8), want, "bit {bit}");
         }

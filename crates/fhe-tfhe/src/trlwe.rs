@@ -2,6 +2,7 @@
 
 use crate::lwe::{LweCiphertext, LweSecretKey};
 use crate::poly_mult::NegacyclicMultiplier;
+use crate::TfheError;
 use rand::Rng;
 
 /// A binary TRLWE secret key polynomial.
@@ -35,6 +36,10 @@ impl TrlweSecretKey {
 
     /// Encrypts a torus message polynomial.
     ///
+    /// # Errors
+    ///
+    /// Surfaces a contained worker panic from the parallel backend.
+    ///
     /// # Panics
     ///
     /// Panics if `mu.len() != n`.
@@ -44,24 +49,32 @@ impl TrlweSecretKey {
         sigma: f64,
         mult: &NegacyclicMultiplier,
         rng: &mut R,
-    ) -> TrlweCiphertext {
+    ) -> Result<TrlweCiphertext, TfheError> {
         assert_eq!(mu.len(), self.bits.len());
         let n = self.bits.len();
         let a: Vec<u64> = (0..n).map(|_| rng.gen::<u64>()).collect();
-        let a_s = mult.mul_int_torus(&self.bits, &a);
+        let a_s = mult.mul_int_torus(&self.bits, &a)?;
         let b: Vec<u64> = (0..n)
             .map(|i| {
                 let e = crate::lwe::sample_torus_gaussian(sigma, rng);
                 a_s[i].wrapping_add(mu[i]).wrapping_add(e)
             })
             .collect();
-        TrlweCiphertext { a, b }
+        Ok(TrlweCiphertext { a, b })
     }
 
     /// The phase polynomial `b − a·s`.
-    pub fn phase(&self, ct: &TrlweCiphertext, mult: &NegacyclicMultiplier) -> Vec<u64> {
-        let a_s = mult.mul_int_torus(&self.bits, &ct.a);
-        ct.b.iter().zip(&a_s).map(|(&b, &p)| b.wrapping_sub(p)).collect()
+    ///
+    /// # Errors
+    ///
+    /// Surfaces a contained worker panic from the parallel backend.
+    pub fn phase(
+        &self,
+        ct: &TrlweCiphertext,
+        mult: &NegacyclicMultiplier,
+    ) -> Result<Vec<u64>, TfheError> {
+        let a_s = mult.mul_int_torus(&self.bits, &ct.a)?;
+        Ok(ct.b.iter().zip(&a_s).map(|(&b, &p)| b.wrapping_sub(p)).collect())
     }
 }
 
@@ -166,8 +179,8 @@ mod tests {
     fn encrypt_decrypt_polynomial() {
         let (key, mult, mut rng) = setup();
         let mu: Vec<u64> = (0..64).map(|i| encode_message(i % 4, 4)).collect();
-        let ct = key.encrypt(&mu, 2.0f64.powi(-30), &mult, &mut rng);
-        let phase = key.phase(&ct, &mult);
+        let ct = key.encrypt(&mu, 2.0f64.powi(-30), &mult, &mut rng).unwrap();
+        let phase = key.phase(&ct, &mult).unwrap();
         for (i, (&p, &m)) in phase.iter().zip(&mu).enumerate() {
             assert_eq!(
                 crate::torus::decode_message(p, 4),
@@ -200,7 +213,7 @@ mod tests {
     fn sample_extract_matches_coefficient_zero() {
         let (key, mult, mut rng) = setup();
         let mu: Vec<u64> = (0..64).map(|i| encode_message((i * 3) % 8, 8)).collect();
-        let ct = key.encrypt(&mu, 2.0f64.powi(-30), &mult, &mut rng);
+        let ct = key.encrypt(&mu, 2.0f64.powi(-30), &mult, &mut rng).unwrap();
         let lwe = ct.sample_extract();
         let lwe_key = key.to_extracted_lwe_key();
         assert_eq!(lwe_key.decrypt_message(&lwe, 8), crate::torus::decode_message(mu[0], 8));
@@ -211,9 +224,9 @@ mod tests {
         let (key, mult, mut rng) = setup();
         let mut mu = vec![0u64; 64];
         mu[0] = encode_message(3, 8);
-        let ct = key.encrypt(&mu, 2.0f64.powi(-30), &mult, &mut rng);
+        let ct = key.encrypt(&mu, 2.0f64.powi(-30), &mult, &mut rng).unwrap();
         let rotated = ct.rotate(5);
-        let phase = key.phase(&rotated, &mult);
+        let phase = key.phase(&rotated, &mult).unwrap();
         assert_eq!(
             crate::torus::decode_message(phase[5], 8),
             3,
@@ -226,6 +239,6 @@ mod tests {
         let (key, mult, _) = setup();
         let mu: Vec<u64> = (0..64).map(|i| encode_message(i % 2, 2)).collect();
         let ct = TrlweCiphertext::trivial(mu.clone());
-        assert_eq!(key.phase(&ct, &mult), mu);
+        assert_eq!(key.phase(&ct, &mult).unwrap(), mu);
     }
 }

@@ -76,7 +76,7 @@ proptest! {
             .collect();
         let refs: Vec<&[u64]> = chans.iter().map(|c| c.as_slice()).collect();
         let mut trace = MetaOpTrace::new();
-        prop_assert_eq!(linear::bconv(&plan, &refs, &mut trace), plan.apply(&refs));
+        prop_assert_eq!(linear::bconv(&plan, &refs, &mut trace), plan.apply(&refs).unwrap());
     }
 
     #[test]

@@ -137,6 +137,10 @@ pub(crate) const VIRTUAL_TID_BASE: u64 = 1000;
 struct State {
     events: Vec<EventRec>,
     counters: std::collections::BTreeMap<(Metric, OpClassKey), u64>,
+    /// Free-form counters keyed by dotted name (e.g.
+    /// `fault.bitflip.detected`) for event families that do not fit the
+    /// `Metric × OpClassKey` grid.
+    named: std::collections::BTreeMap<String, u64>,
     /// Latency histograms keyed by name. Boxed so the map nodes stay small;
     /// recording into an existing histogram allocates nothing.
     hists: std::collections::BTreeMap<String, Box<Histogram>>,
@@ -221,6 +225,21 @@ impl Telemetry {
         *st.counters.entry((metric, class)).or_insert(0) += amount;
     }
 
+    /// Adds `amount` to the free-form counter `name`. Use dotted lower-case
+    /// names (`fault.bitflip.detected`); zero amounts still materialize the
+    /// counter so exports show explicit zeros for events that never fired.
+    #[inline]
+    pub fn count_named(&self, name: &str, amount: u64) {
+        let Some(inner) = &self.inner else { return };
+        let mut st = inner.state.lock().expect("telemetry state poisoned");
+        match st.named.get_mut(name) {
+            Some(v) => *v += amount,
+            None => {
+                st.named.insert(name.to_string(), amount);
+            }
+        }
+    }
+
     /// Records one `ns` duration into the histogram `name` (created on
     /// first use). Allocation-free for already-seen names; a no-op costing
     /// one discriminant branch on a disabled handle.
@@ -298,7 +317,7 @@ impl Telemetry {
         };
         let now_ns = inner.epoch.elapsed().as_nanos() as u64;
         let st = inner.state.lock().expect("telemetry state poisoned");
-        Snapshot::build(&st.events, &st.counters, &st.hists, &st.meta, now_ns)
+        Snapshot::build(&st.events, &st.counters, &st.named, &st.hists, &st.meta, now_ns)
     }
 }
 

@@ -78,6 +78,7 @@ impl HistogramRow {
 pub struct Snapshot {
     spans: Vec<SpanRow>,
     counters: Vec<CounterRow>,
+    named: Vec<(String, u64)>,
     hists: Vec<HistogramRow>,
     meta: Vec<(String, String)>,
 }
@@ -90,6 +91,7 @@ impl Snapshot {
     pub(crate) fn build(
         events: &[EventRec],
         counters: &BTreeMap<(Metric, OpClassKey), u64>,
+        named: &BTreeMap<String, u64>,
         hists: &BTreeMap<String, Box<Histogram>>,
         meta: &BTreeMap<String, String>,
         now_ns: u64,
@@ -138,8 +140,9 @@ impl Snapshot {
                 max_ns: h.max(),
             })
             .collect();
+        let named = named.iter().map(|(k, &v)| (k.clone(), v)).collect();
         let meta = meta.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
-        Snapshot { spans, counters, hists, meta }
+        Snapshot { spans, counters, named, hists, meta }
     }
 
     /// All spans, in recording order (parents precede children).
@@ -160,6 +163,16 @@ impl Snapshot {
     /// Sum of one metric across all operator classes.
     pub fn counter_total(&self, metric: Metric) -> u64 {
         self.counters.iter().filter(|c| c.metric == metric).map(|c| c.value).sum()
+    }
+
+    /// All free-form named counters, sorted by name.
+    pub fn named_counters(&self) -> &[(String, u64)] {
+        &self.named
+    }
+
+    /// The value of one named counter (0 when never touched).
+    pub fn named_counter(&self, name: &str) -> u64 {
+        self.named.iter().find(|(n, _)| n == name).map_or(0, |&(_, v)| v)
     }
 
     /// All latency histograms, sorted by name.
@@ -224,6 +237,12 @@ impl Snapshot {
                     c.class.name(),
                     c.value
                 ));
+            }
+        }
+        if !self.named.is_empty() {
+            out.push_str("named counters\n");
+            for (name, value) in &self.named {
+                out.push_str(&format!("  {name:<42} {value}\n"));
             }
         }
         if !self.hists.is_empty() {
@@ -351,6 +370,22 @@ impl Snapshot {
                 return Err(format!("counter \"value\" must be a number: {row:?}"));
             }
         }
+        // Optional for backward compatibility: baselines written before
+        // named counters existed omit the array entirely.
+        if let Some(named) = obj.get("named_counters") {
+            let rows = match named {
+                Json::Arr(v) => v,
+                other => return Err(format!("\"named_counters\" must be an array, got {other:?}")),
+            };
+            for row in rows {
+                if field(row, "name", "named counter")?.as_str().is_none() {
+                    return Err(format!("named counter \"name\" must be a string: {row:?}"));
+                }
+                if field(row, "value", "named counter")?.as_f64().is_none() {
+                    return Err(format!("named counter \"value\" must be a number: {row:?}"));
+                }
+            }
+        }
         for row in rows("histograms")? {
             if field(row, "name", "histogram")?.as_str().is_none() {
                 return Err(format!("histogram \"name\" must be a string: {row:?}"));
@@ -403,6 +438,15 @@ impl Snapshot {
             out.push_str(",\"class\":");
             write_escaped(&mut out, c.class.name());
             out.push_str(&format!(",\"value\":{}}}", c.value));
+        }
+        out.push_str("],\"named_counters\":[");
+        for (i, (name, value)) in self.named.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            write_escaped(&mut out, name);
+            out.push_str(&format!(",\"value\":{value}}}"));
         }
         out.push_str("],\"histograms\":[");
         for (i, h) in self.hists.iter().enumerate() {
@@ -462,6 +506,11 @@ impl Snapshot {
             out.push_str(",{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":0,\"name\":");
             write_escaped(&mut out, &format!("{}.{}", c.metric.name(), c.class.name()));
             out.push_str(&format!(",\"args\":{{\"value\":{}}}}}", c.value));
+        }
+        for (name, value) in &self.named {
+            out.push_str(",{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":0,\"name\":");
+            write_escaped(&mut out, name);
+            out.push_str(&format!(",\"args\":{{\"value\":{value}}}}}"));
         }
         // Histograms render as one multi-series counter track per name:
         // p50/p90/p99/max as parallel series (µs, matching the trace's
@@ -654,6 +703,35 @@ mod tests {
         let snap = tel.snapshot();
         let root = snap.spans().iter().find(|s| s.name == "sim.run").unwrap();
         assert_eq!(root.dur_ns, 250);
+    }
+
+    #[test]
+    fn named_counters_flow_through_every_exporter() {
+        let tel = sample();
+        tel.count_named("fault.bitflip.injected", 10);
+        tel.count_named("fault.bitflip.detected", 10);
+        tel.count_named("fault.bitflip.escaped", 0); // explicit zero
+        let snap = tel.snapshot();
+        assert_eq!(snap.named_counter("fault.bitflip.injected"), 10);
+        assert_eq!(snap.named_counter("fault.bitflip.escaped"), 0);
+        assert_eq!(snap.named_counter("fault.never.touched"), 0);
+        assert_eq!(snap.named_counters().len(), 3);
+
+        let text = snap.summary_tree();
+        assert!(text.contains("named counters"), "{text}");
+        assert!(text.contains("fault.bitflip.detected"), "{text}");
+
+        let doc = parse(&snap.to_json()).expect("valid JSON");
+        Snapshot::validate_json(&doc).expect("self-validates");
+        let rows = doc.get("named_counters").unwrap().as_arr().unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].get("name").unwrap().as_str(), Some("fault.bitflip.detected"));
+
+        let trace = parse(&snap.to_chrome_trace()).expect("valid trace");
+        let events = trace.get("traceEvents").unwrap().as_arr().unwrap();
+        assert!(events
+            .iter()
+            .any(|e| e.get("name").map(|n| n.as_str()) == Some(Some("fault.bitflip.injected"))));
     }
 
     #[test]

@@ -25,7 +25,8 @@ fn counters_exact_under_parallel_backend() {
         let _span = tel.span("worker-item");
         tel.count(Metric::MetaOps, OpClassKey::Ntt, 1);
         tel.count(Metric::HbmBytes, OpClassKey::Transfer, 64 + (i as u64 % 2));
-    });
+    })
+    .unwrap();
     par::set_max_threads(0);
     par::set_min_work(par::DEFAULT_MIN_WORK);
 
@@ -52,7 +53,8 @@ fn histograms_identical_sequential_vs_parallel() {
         par::set_min_work(if threads == 1 { u64::MAX } else { 0 });
         par::par_for_each(1000, 1, |i| {
             tel.observe_ns("kernel.probe", dur(i));
-        });
+        })
+        .unwrap();
         par::set_max_threads(0);
         par::set_min_work(par::DEFAULT_MIN_WORK);
         tel.snapshot()
@@ -80,7 +82,8 @@ fn counters_identical_sequential_vs_parallel() {
         par::set_min_work(if threads == 1 { u64::MAX } else { 0 });
         par::par_for_each(257, 1, |i| {
             tel.count(Metric::MetaOps, OpClassKey::Bconv, i as u64);
-        });
+        })
+        .unwrap();
         par::set_max_threads(0);
         par::set_min_work(par::DEFAULT_MIN_WORK);
         tel.snapshot().counter(Metric::MetaOps, OpClassKey::Bconv)

@@ -20,7 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("setting up N = 256, L = 16 context and bootstrapping keys...");
     let params = CkksParams::with_first_prime_bits(256, 16, 3, 45, 51)?;
     let ctx = CkksContext::new(params)?;
-    let sk = SecretKey::generate(&ctx, &mut rng);
+    let sk = SecretKey::generate(&ctx, &mut rng)?;
     let rlk = RelinKey::generate(&ctx, &sk, &mut rng)?;
     let enc = Encoder::new(&ctx);
     let ev = Evaluator::new(&ctx);

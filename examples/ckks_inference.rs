@@ -21,7 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Functional inference at reduced ring degree.
     println!("running encrypted inference (N = 256, 128 slots)...");
     let ctx = CkksContext::new(CkksParams::new(256, 6, 2, 30)?)?;
-    let sk = SecretKey::generate(&ctx, &mut rng);
+    let sk = SecretKey::generate(&ctx, &mut rng)?;
     let rlk = RelinKey::generate(&ctx, &sk, &mut rng)?;
     let enc = Encoder::new(&ctx);
     let ev = Evaluator::new(&ctx);

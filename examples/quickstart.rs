@@ -24,7 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- 1. Arithmetic FHE (CKKS) ---------------------------------------
     println!("== CKKS (arithmetic FHE) ==");
     let ctx = CkksContext::new(CkksParams::small()?)?;
-    let sk = SecretKey::generate(&ctx, &mut rng);
+    let sk = SecretKey::generate(&ctx, &mut rng)?;
     let rlk = RelinKey::generate(&ctx, &sk, &mut rng)?;
     let gk = GaloisKeys::generate(&ctx, &sk, &[1], false, &mut rng)?;
     let enc = Encoder::new(&ctx);
@@ -58,7 +58,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let b = client.encrypt_bit(true, &mut rng);
     let nand = gates::nand(&server, &a, &b)?;
     println!("  NAND(true, true) = {}", client.decrypt_bit(&nand));
-    let lut = server.bootstrap_with_lut(&client.encrypt_message(3, 8, &mut rng), 8, |m| m * 2 % 8);
+    let lut =
+        server.bootstrap_with_lut(&client.encrypt_message(3, 8, &mut rng), 8, |m| m * 2 % 8)?;
     println!("  PBS LUT 2*m mod 8 on m=3 -> {}", client.decrypt_message(&lut, 8));
 
     // --- 3. The Alchemist accelerator -----------------------------------

@@ -19,7 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // CKKS with a 3-bit q0/Δ gap → the bridge maps integers into TFHE's
     // 8-sector torus.
     let ctx = CkksContext::new(CkksParams::with_first_prime_bits(64, 2, 1, 30, 33)?)?;
-    let ckks_sk = SecretKey::generate(&ctx, &mut rng);
+    let ckks_sk = SecretKey::generate(&ctx, &mut rng)?;
     let enc = Encoder::new(&ctx);
     let ev = Evaluator::new(&ctx);
 
@@ -48,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Logic phase: a non-polynomial function CKKS cannot express —
         // threshold (sum >= 3) via a programmable-bootstrapping LUT.
         let decision =
-            server.bootstrap_with_lut(&lwe, bridge.message_space(), |m| u64::from(m >= 3));
+            server.bootstrap_with_lut(&lwe, bridge.message_space(), |m| u64::from(m >= 3))?;
         let flag = client.decrypt_message(&decision, bridge.message_space()) == 1;
         println!("    threshold (>= 3) on TFHE: {flag}");
         assert_eq!(flag, a + b >= 3);

@@ -64,7 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nprogrammable bootstrapping: m -> m^2 mod 8 for m in 0..4");
     for m in 0..4u64 {
         let ct = client.encrypt_message(m, 8, &mut rng);
-        let sq = server.bootstrap_with_lut(&ct, 8, |v| v * v % 8);
+        let sq = server.bootstrap_with_lut(&ct, 8, |v| v * v % 8)?;
         println!("  {m} -> {}", client.decrypt_message(&sq, 8));
         assert_eq!(client.decrypt_message(&sq, 8), m * m % 8);
     }

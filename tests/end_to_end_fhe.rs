@@ -13,7 +13,7 @@ use rand_chacha::ChaCha8Rng;
 fn encrypted_mlp_inference_matches_plaintext() {
     let mut rng = ChaCha8Rng::seed_from_u64(42);
     let ctx = CkksContext::new(CkksParams::new(128, 6, 2, 30).unwrap()).unwrap();
-    let sk = SecretKey::generate(&ctx, &mut rng);
+    let sk = SecretKey::generate(&ctx, &mut rng).unwrap();
     let rlk = RelinKey::generate(&ctx, &sk, &mut rng).unwrap();
     let enc = Encoder::new(&ctx);
     let ev = Evaluator::new(&ctx);
@@ -35,7 +35,7 @@ fn helr_training_improves_loss_over_iterations() {
     // and reduce the (plaintext-computed) logistic loss.
     let mut rng = ChaCha8Rng::seed_from_u64(43);
     let ctx = CkksContext::new(CkksParams::new(128, 16, 3, 30).unwrap()).unwrap();
-    let sk = SecretKey::generate(&ctx, &mut rng);
+    let sk = SecretKey::generate(&ctx, &mut rng).unwrap();
     let rlk = RelinKey::generate(&ctx, &sk, &mut rng).unwrap();
     let enc = Encoder::new(&ctx);
     let ev = Evaluator::new(&ctx);
@@ -88,7 +88,7 @@ fn cross_scheme_application_flow() {
 
     // Arithmetic phase: score = <x, w> on CKKS.
     let ctx = CkksContext::new(CkksParams::small().unwrap()).unwrap();
-    let sk = SecretKey::generate(&ctx, &mut rng);
+    let sk = SecretKey::generate(&ctx, &mut rng).unwrap();
     let enc = Encoder::new(&ctx);
     let ev = Evaluator::new(&ctx);
     let x = vec![0.8, -0.2, 0.5, 0.1];
@@ -106,7 +106,7 @@ fn cross_scheme_application_flow() {
     let quantized = ((score.clamp(0.0, 0.96) * 8.0) as u64).min(7) / 2; // in [0, 4)
     let (client, server) = generate_keys(&TfheParams::toy(), &mut rng).unwrap();
     let ct_q = client.encrypt_message(quantized, 8, &mut rng);
-    let thresholded = server.bootstrap_with_lut(&ct_q, 8, |m| u64::from(m >= 2));
+    let thresholded = server.bootstrap_with_lut(&ct_q, 8, |m| u64::from(m >= 2)).unwrap();
     let decision = client.decrypt_message(&thresholded, 8) == 1;
     assert_eq!(decision, score >= 0.5, "threshold decision must match plaintext");
 }
