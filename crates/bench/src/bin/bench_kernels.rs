@@ -29,6 +29,18 @@
 //! * `--trace-out PATH` — installs a process-global telemetry handle so
 //!   the kernel-level histogram probes (`math.*`, `ckks.*`) capture
 //!   latency distributions, and writes a Chrome/Perfetto trace.
+//! * `--live-metrics PATH [--sample-ms N]` — spawns a background
+//!   [`telemetry::Sampler`] for the whole run: `PATH` is rewritten
+//!   atomically every `N` ms (default 50) with the Prometheus text
+//!   exposition of everything recorded so far, and `PATH.jsonl` gains one
+//!   JSON line per tick with the interval's increments plus instantaneous
+//!   `par.worker.<w>.busy_ns` / `.items` gauges from the armed per-worker
+//!   profiler — a plottable utilization time series. The final capture at
+//!   shutdown makes the exposition file's cumulative values equal the
+//!   exit-time snapshot exactly. Implies an enabled telemetry handle even
+//!   without `--trace-out`. Combining with `--profile` makes the worker
+//!   gauges per-kernel rather than run-cumulative (each profiled kernel
+//!   resets the profiler).
 //!
 //! * `--checksum` — flips the runtime integrity-checksum toggle *on* for
 //!   the timed kernels. Benches run checksum-free by default so committed
@@ -44,7 +56,7 @@
 //! `--smoke` shrinks the sweep to one toy size — the CI job uses it with
 //! `--compare` to keep the regression gate itself exercised.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use bench::{fmt_time, regress, BenchArgs, Reporter};
 use fhe_ckks::{CkksContext, CkksParams, Encoder, Evaluator, RelinKey, SecretKey};
@@ -348,17 +360,55 @@ fn main() {
             })
         })
         .unwrap_or(if smoke { 1 } else { 3 });
+    let live_metrics = take_value_flag(&args.rest, "--live-metrics");
+    let sample_ms = take_value_flag(&args.rest, "--sample-ms")
+        .map(|s| {
+            s.parse::<u64>().ok().filter(|ms| *ms >= 1).unwrap_or_else(|| {
+                eprintln!("--sample-ms must be a positive integer, got {s:?}");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(50);
     let mut rep = Reporter::from_args(&args);
 
     // With --trace-out the handle is installed process-globally so the
     // histogram-only Timer probes inside fhe-math / fhe-ckks feed per-
     // kernel latency distributions into the exported snapshot.
-    let tel = bench::telemetry_from_args(&args);
+    // --live-metrics needs the same enabled handle even without a trace.
+    let tel = if live_metrics.is_some() && args.trace_out.is_none() {
+        telemetry::Telemetry::enabled()
+    } else {
+        bench::telemetry_from_args(&args)
+    };
     if tel.is_enabled() {
         telemetry::install(tel.clone());
         tel.set_meta("bench.reps", &reps.to_string());
         tel.set_meta("bench.smoke", &smoke.to_string());
     }
+
+    let sampler = live_metrics.as_ref().map(|path| {
+        // The per-worker gauges read the relaxed-atomic profiler, so it
+        // stays armed for the whole run (unlike --profile's one-shot
+        // snapshots, which reset it per kernel).
+        par::reset_profile();
+        par::set_profiling(true);
+        let jsonl_path = format!("{path}.jsonl");
+        let jsonl = telemetry::JsonlSink::create(&jsonl_path).unwrap_or_else(|e| {
+            eprintln!("--live-metrics: cannot create {jsonl_path}: {e}");
+            std::process::exit(1);
+        });
+        telemetry::SamplerBuilder::new(tel.clone(), Duration::from_millis(sample_ms))
+            .sink(telemetry::PrometheusSink::new(path.clone()))
+            .sink(jsonl)
+            .gauge_source(Box::new(|readings: &mut Vec<(String, u64)>| {
+                let prof = par::profile_snapshot();
+                for w in &prof.workers {
+                    readings.push((format!("par.worker.{}.busy_ns", w.worker), w.busy_ns));
+                    readings.push((format!("par.worker.{}.items", w.worker), w.items));
+                }
+            }))
+            .spawn()
+    });
 
     // The smoke size is part of the full sweep so a `--smoke --compare`
     // run always overlaps a full-sweep baseline on every kernel key.
@@ -448,6 +498,18 @@ fn main() {
     let mut regressed = false;
     if let Some(bpath) = compare_path {
         regressed = run_compare(&mut rep, &measurements, &bpath, tolerance);
+    }
+
+    // Stop after every recording site has run: the sampler's final capture
+    // makes the exposition file match the exit-time snapshot exactly.
+    if let Some(sampler) = sampler {
+        par::set_profiling(false);
+        let stats = sampler.stop();
+        let path = live_metrics.as_deref().unwrap_or_default();
+        rep.note(&format!(
+            "live metrics: {} samples at {sample_ms} ms ({} sink errors) -> {path} + {path}.jsonl",
+            stats.ticks, stats.sink_errors,
+        ));
     }
 
     rep.finish();

@@ -449,6 +449,15 @@ impl Simulator {
             hbm_cycles += step.hbm_cycles(&self.arch);
             // Busy discounts pipeline bubbles (the efficiency factor).
             let eff = (c as f64 * self.arch.pipeline_efficiency) as u64;
+            if tel.is_enabled() {
+                // Per-class occupancy counters for the live sampler: busy
+                // (post-efficiency compute) vs wall (serialized step time)
+                // cycles, so a utilization-over-time series can be derived
+                // from deltas alone.
+                let key = step.class.telemetry_key();
+                tel.count_named(sim_busy_counter_name(key), eff);
+                tel.count_named(sim_wall_counter_name(key), wall);
+            }
             busy += eff;
             hbm += step.hbm_bytes;
             onchip += step.onchip_bytes;
@@ -486,6 +495,30 @@ fn sim_step_hist_name(key: telemetry::OpClassKey) -> &'static str {
         OpClassKey::DecompPolyMult => "sim.step.decomp_poly_mult",
         OpClassKey::Elementwise => "sim.step.elementwise",
         OpClassKey::Transfer => "sim.step.transfer",
+    }
+}
+
+/// Static counter name for per-class busy cycles (`sim.busy_cycles.<class>`).
+fn sim_busy_counter_name(key: telemetry::OpClassKey) -> &'static str {
+    use telemetry::OpClassKey;
+    match key {
+        OpClassKey::Ntt => "sim.busy_cycles.ntt",
+        OpClassKey::Bconv => "sim.busy_cycles.bconv",
+        OpClassKey::DecompPolyMult => "sim.busy_cycles.decomp_poly_mult",
+        OpClassKey::Elementwise => "sim.busy_cycles.elementwise",
+        OpClassKey::Transfer => "sim.busy_cycles.transfer",
+    }
+}
+
+/// Static counter name for per-class wall cycles (`sim.wall_cycles.<class>`).
+fn sim_wall_counter_name(key: telemetry::OpClassKey) -> &'static str {
+    use telemetry::OpClassKey;
+    match key {
+        OpClassKey::Ntt => "sim.wall_cycles.ntt",
+        OpClassKey::Bconv => "sim.wall_cycles.bconv",
+        OpClassKey::DecompPolyMult => "sim.wall_cycles.decomp_poly_mult",
+        OpClassKey::Elementwise => "sim.wall_cycles.elementwise",
+        OpClassKey::Transfer => "sim.wall_cycles.transfer",
     }
 }
 

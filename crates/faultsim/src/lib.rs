@@ -509,8 +509,22 @@ fn worker_panic_ops() -> &'static [FaultOp] {
 /// Worker-panic class: arm the one-shot chunk injector, run a scheme
 /// operation, and require the panic to surface as a typed error (never an
 /// abort), with the process healthy afterwards.
+/// Forces every lazily-initialized fixture outside the injection window.
+///
+/// A `OnceLock` initializer running while the panic injector is armed
+/// would see its keygen's parallel region die, and the fixture's `expect`
+/// turns that contained `WorkerPanic` into a real process panic (silenced
+/// by [`quiet_panics`], so the campaign used to die with no output when
+/// `--classes worker_panic` ran a cold-fixture op first).
+fn warm_fixtures() {
+    let _ = ckks_fixture();
+    let _ = bgv_fixture();
+    let _ = tfhe_multiplier();
+}
+
 fn worker_panic_case(mut rng: SplitMix64) -> Outcome {
     let _g = par_knob_guard();
+    warm_fixtures();
     let ops = worker_panic_ops();
     let (op_name, op) = ops[rng.below(ops.len() as u64) as usize];
     let chunk = rng.below(2) as usize;
@@ -728,6 +742,9 @@ pub fn run_campaign_classes(
         for case in 0..cases {
             let repro = run_case(class, seed, case);
             s.injected += 1;
+            // Live per-case counter so a sampler watching this campaign
+            // sees progress between the end-of-campaign class totals.
+            tel.count_named("fault.cases.run", 1);
             match &repro.outcome {
                 Outcome::Detected { by, .. } => {
                     s.detected += 1;
@@ -736,6 +753,9 @@ pub fn run_campaign_classes(
                 Outcome::Escaped { .. } => {
                     s.escaped += 1;
                     s.escapes.push(repro.to_string());
+                    // An escape is the post-mortem moment: snapshot the
+                    // recent event ring while the trail is still warm.
+                    let _ = telemetry::flight::fault_dump("escape");
                 }
                 Outcome::Benign { .. } => s.benign += 1,
             }

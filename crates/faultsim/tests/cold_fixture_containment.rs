@@ -1,0 +1,27 @@
+//! Regression: a worker-panic case whose op touches a *cold* (not yet
+//! initialized) scheme fixture must not panic the process.
+//!
+//! The injector is armed before the op runs; if the op's fixture is
+//! lazily initialized inside that window, the fixture keygen's parallel
+//! region dies, and — before the `warm_fixtures` fix — the fixture's
+//! `expect("keygen")` escalated the contained `WorkerPanic` into a real
+//! panic that [`quiet_panics`] silenced, so `fault_campaign --classes
+//! worker_panic` died with exit 101 and no output.
+//!
+//! This lives in its own integration-test binary so the fixtures are
+//! guaranteed cold when the first worker-panic case runs.
+
+use faultsim::{run_case, FaultClass, Outcome, DEFAULT_SEED};
+
+#[test]
+fn worker_panic_cases_survive_cold_fixtures() {
+    // Case 3 under the default seed is the historical reproducer (first
+    // case to select the CKKS op); sweep a few more to cover every op
+    // reaching its fixture cold in some order.
+    for case in 0..8 {
+        let repro =
+            std::panic::catch_unwind(|| run_case(FaultClass::WorkerPanic, DEFAULT_SEED, case))
+                .unwrap_or_else(|_| panic!("worker_panic case {case} panicked the process"));
+        assert!(!matches!(repro.outcome, Outcome::Escaped { .. }), "case {case} escaped: {repro}");
+    }
+}

@@ -328,6 +328,7 @@ impl BgvContext {
     ///
     /// Returns [`BgvError::Mismatch`] on level disagreement.
     pub fn add(&self, a: &BgvCiphertext, b: &BgvCiphertext) -> Result<BgvCiphertext, BgvError> {
+        telemetry::count_named("bgv.op.add", 1);
         self.check_pair(a, b)?;
         Ok(BgvCiphertext::new(a.c0.add(&b.c0)?, a.c1.add(&b.c1)?, a.level))
     }
@@ -439,6 +440,7 @@ impl BgvContext {
         rlk: &BgvRelinKey,
     ) -> Result<BgvCiphertext, BgvError> {
         let _span = telemetry::Span::enter("bgv.mul");
+        telemetry::count_named("bgv.op.mul", 1);
         self.check_pair(a, b)?;
         if a.level == 0 {
             return Err(BgvError::LevelExhausted);
@@ -461,6 +463,7 @@ impl BgvContext {
     /// Returns [`BgvError::LevelExhausted`] at level 0.
     pub fn mod_switch(&self, ct: &BgvCiphertext) -> Result<BgvCiphertext, BgvError> {
         let _span = telemetry::Span::enter("bgv.mod_switch");
+        telemetry::count_named("bgv.op.mod_switch", 1);
         ct.verify_integrity("bgv.eval")?;
         if ct.level == 0 {
             return Err(BgvError::LevelExhausted);

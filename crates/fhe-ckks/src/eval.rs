@@ -71,6 +71,7 @@ impl<'a> Evaluator<'a> {
     ///
     /// Returns [`CkksError::Mismatch`] if levels or scales differ.
     pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, CkksError> {
+        telemetry::count_named("ckks.op.add", 1);
         self.check_pair(a, b)?;
         Ok(Ciphertext::from_parts(a.c0().add(b.c0())?, a.c1().add(b.c1())?, a.level(), a.scale()))
     }
@@ -264,6 +265,7 @@ impl<'a> Evaluator<'a> {
         rlk: &RelinKey,
     ) -> Result<Ciphertext, CkksError> {
         let _span = telemetry::Span::enter("ckks.eval.mul");
+        telemetry::count_named("ckks.op.mul", 1);
         self.check_pair(a, b)?;
         if a.level() == 0 {
             return Err(CkksError::LevelExhausted);
@@ -295,6 +297,7 @@ impl<'a> Evaluator<'a> {
     /// Returns [`CkksError::LevelExhausted`] at level 0.
     pub fn rescale(&self, a: &Ciphertext) -> Result<Ciphertext, CkksError> {
         let _span = telemetry::Span::enter("ckks.eval.rescale");
+        telemetry::count_named("ckks.op.rescale", 1);
         a.verify_integrity("ckks.eval")?;
         let level = a.level();
         if level == 0 {
@@ -540,6 +543,7 @@ impl<'a> Evaluator<'a> {
         gk: &GaloisKeys,
     ) -> Result<Ciphertext, CkksError> {
         let _span = telemetry::Span::enter("ckks.eval.rotate");
+        telemetry::count_named("ckks.op.rotate", 1);
         let g = galois_element(self.ctx.n(), r);
         let key = gk.key_for_element(g).ok_or(CkksError::MissingKey {
             detail: format!("rotation key for r = {r} (g = {g})"),

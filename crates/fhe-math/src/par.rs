@@ -112,7 +112,10 @@ fn payload_string(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-/// Runs one chunk body with injection check + panic containment.
+/// Runs one chunk body with injection check + panic containment. A
+/// contained panic bumps the `par.worker_panic.contained` counter and asks
+/// the flight recorder (if one is armed) to dump the recent event ring, so
+/// long-running services get a post-mortem trace without re-running.
 fn run_contained<R>(worker: usize, chunk: usize, body: impl FnOnce() -> R) -> Result<R, ParError> {
     catch_unwind(AssertUnwindSafe(|| {
         if take_injected_panic(chunk) {
@@ -120,7 +123,11 @@ fn run_contained<R>(worker: usize, chunk: usize, body: impl FnOnce() -> R) -> Re
         }
         body()
     }))
-    .map_err(|payload| ParError { worker, chunk, payload: payload_string(payload) })
+    .map_err(|payload| {
+        telemetry::count_named("par.worker_panic.contained", 1);
+        let _ = telemetry::flight::fault_dump("worker_panic");
+        ParError { worker, chunk, payload: payload_string(payload) }
+    })
 }
 
 /// Records a contained error, keeping the lowest chunk index so the surfaced

@@ -35,6 +35,7 @@ pub fn nand(
     b: &LweCiphertext,
 ) -> Result<LweCiphertext, TfheError> {
     check(server, &[a, b])?;
+    telemetry::count_named("tfhe.gate.nand", 1);
     let lin = LweCiphertext::trivial(ONE_EIGHTH, a.dim()).sub(a).sub(b);
     server.bootstrap_to_bit(&lin)
 }
@@ -50,6 +51,7 @@ pub fn and(
     b: &LweCiphertext,
 ) -> Result<LweCiphertext, TfheError> {
     check(server, &[a, b])?;
+    telemetry::count_named("tfhe.gate.and", 1);
     let lin = a.add(b).add_constant(ONE_EIGHTH.wrapping_neg());
     server.bootstrap_to_bit(&lin)
 }
@@ -65,6 +67,7 @@ pub fn or(
     b: &LweCiphertext,
 ) -> Result<LweCiphertext, TfheError> {
     check(server, &[a, b])?;
+    telemetry::count_named("tfhe.gate.or", 1);
     let lin = a.add(b).add_constant(ONE_EIGHTH);
     server.bootstrap_to_bit(&lin)
 }
@@ -80,6 +83,7 @@ pub fn nor(
     b: &LweCiphertext,
 ) -> Result<LweCiphertext, TfheError> {
     check(server, &[a, b])?;
+    telemetry::count_named("tfhe.gate.nor", 1);
     let lin = a.add(b).neg().add_constant(ONE_EIGHTH.wrapping_neg());
     server.bootstrap_to_bit(&lin)
 }
@@ -95,6 +99,7 @@ pub fn xor(
     b: &LweCiphertext,
 ) -> Result<LweCiphertext, TfheError> {
     check(server, &[a, b])?;
+    telemetry::count_named("tfhe.gate.xor", 1);
     let sum = a.add(b);
     let doubled = sum.add(&sum);
     let lin = doubled.add_constant(ONE_EIGHTH.wrapping_mul(2));
@@ -112,6 +117,7 @@ pub fn xnor(
     b: &LweCiphertext,
 ) -> Result<LweCiphertext, TfheError> {
     check(server, &[a, b])?;
+    telemetry::count_named("tfhe.gate.xnor", 1);
     let sum = a.add(b);
     let doubled = sum.add(&sum).neg();
     let lin = doubled.add_constant(ONE_EIGHTH.wrapping_mul(2).wrapping_neg());
@@ -120,6 +126,7 @@ pub fn xnor(
 
 /// NOT: negation — no bootstrap needed.
 pub fn not(a: &LweCiphertext) -> LweCiphertext {
+    telemetry::count_named("tfhe.gate.not", 1);
     a.neg()
 }
 
@@ -136,6 +143,7 @@ pub fn majority(
     c: &LweCiphertext,
 ) -> Result<LweCiphertext, TfheError> {
     check(server, &[a, b, c])?;
+    telemetry::count_named("tfhe.gate.majority", 1);
     server.bootstrap_to_bit(&a.add(b).add(c))
 }
 
@@ -150,6 +158,7 @@ pub fn mux(
     a: &LweCiphertext,
     b: &LweCiphertext,
 ) -> Result<LweCiphertext, TfheError> {
+    telemetry::count_named("tfhe.gate.mux", 1);
     let t = and(server, c, a)?;
     let f = and(server, &not(c), b)?;
     or(server, &t, &f)

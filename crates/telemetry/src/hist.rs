@@ -147,6 +147,33 @@ impl Histogram {
         self.max
     }
 
+    /// The recordings present in `self` but not in `prev`, where `prev` is
+    /// an **earlier observation of the same histogram** (every bucket of
+    /// `prev` ≤ the same bucket of `self`). Bucket counts, `count`, and
+    /// `sum` subtract exactly, so summing a series of diffs reproduces the
+    /// cumulative histogram bit-identically. `max` carries the cumulative
+    /// maximum — the interval-local maximum is not recoverable from
+    /// bucketed state — which keeps `merge`-of-diffs exact for `max` too.
+    pub fn diff(&self, prev: &Histogram) -> Histogram {
+        let mut out = Histogram {
+            count: self.count.saturating_sub(prev.count),
+            sum: self.sum.saturating_sub(prev.sum),
+            max: self.max,
+            buckets: [0; NUM_BUCKETS],
+        };
+        for (o, (a, b)) in out.buckets.iter_mut().zip(self.buckets.iter().zip(prev.buckets.iter()))
+        {
+            *o = a.saturating_sub(*b);
+        }
+        out
+    }
+
+    /// The non-empty buckets as `(inclusive upper bound, count)` pairs in
+    /// ascending bound order — the shape Prometheus-style exposition needs.
+    pub fn occupied_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets.iter().enumerate().filter(|&(_, &c)| c != 0).map(|(i, &c)| (bucket_high(i), c))
+    }
+
     /// Adds every recording of `other` into `self`.
     pub fn merge(&mut self, other: &Histogram) {
         self.count += other.count;
@@ -246,6 +273,43 @@ mod tests {
         }
         left.merge(&right);
         assert_eq!(left, all);
+    }
+
+    #[test]
+    fn diff_then_merge_round_trips_exactly() {
+        let mut earlier = Histogram::new();
+        for i in 0..300u64 {
+            earlier.record(i * 997 % 50_000);
+        }
+        let mut later = earlier.clone();
+        for i in 0..200u64 {
+            later.record(i * 7919 % 2_000_000);
+        }
+        let delta = later.diff(&earlier);
+        assert_eq!(delta.count(), 200);
+        assert_eq!(delta.max(), later.max());
+        let mut rebuilt = earlier.clone();
+        rebuilt.merge(&delta);
+        // max of (earlier.max, delta.max=later.max) == later.max, and all
+        // buckets/count/sum subtract exactly, so the round trip is exact.
+        assert_eq!(rebuilt, later);
+        // Diff against itself is empty.
+        let zero = later.diff(&later);
+        assert_eq!(zero.count(), 0);
+        assert_eq!(zero.occupied_buckets().count(), 0);
+    }
+
+    #[test]
+    fn occupied_buckets_cover_every_recording() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 5, 1000, 1_000_000, u64::MAX] {
+            h.record(v);
+        }
+        let buckets: Vec<(u64, u64)> = h.occupied_buckets().collect();
+        assert_eq!(buckets.iter().map(|&(_, c)| c).sum::<u64>(), h.count());
+        // Ascending bounds, and every recorded value is ≤ some bound.
+        assert!(buckets.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(buckets.last().unwrap().0, u64::MAX);
     }
 
     #[test]

@@ -26,11 +26,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod delta;
+pub mod expo;
+pub mod flight;
 pub mod hist;
 pub mod json;
+pub mod sampler;
 mod snapshot;
 
+pub use delta::{Cursor, DeltaSnapshot};
+pub use flight::{FlightEvent, FlightRecorder};
 pub use hist::Histogram;
+pub use sampler::{JsonlSink, PrometheusSink, Sample, SampleSink, Sampler, SamplerBuilder};
 pub use snapshot::{CounterRow, HistogramRow, Snapshot, SpanRow};
 
 use std::collections::HashMap;
@@ -152,6 +159,9 @@ struct State {
     thread_ids: HashMap<std::thread::ThreadId, u64>,
     next_tid: u64,
     next_virtual_tid: u64,
+    /// Optional flight recorder mirroring closed spans and named-counter
+    /// increments for post-mortem dumps (see [`flight`]).
+    flight: Option<Arc<flight::FlightRecorder>>,
 }
 
 impl State {
@@ -238,6 +248,14 @@ impl Telemetry {
                 st.named.insert(name.to_string(), amount);
             }
         }
+        // Mirror into the flight recorder outside the state lock (the
+        // recorder has its own lock; never hold both).
+        let recorder = st.flight.clone();
+        drop(st);
+        if let Some(rec) = recorder {
+            let at_ns = inner.epoch.elapsed().as_nanos() as u64;
+            rec.record(flight::FlightEvent::Count { name: name.to_string(), amount, at_ns });
+        }
     }
 
     /// Records one `ns` duration into the histogram `name` (created on
@@ -309,6 +327,23 @@ impl Telemetry {
         VirtualTrack { rec: Some((Arc::clone(inner), tid)), stack: Vec::new() }
     }
 
+    /// Attaches a flight recorder: from now on every closed span (wall or
+    /// virtual) and every [`Telemetry::count_named`] increment is mirrored
+    /// into `recorder`'s ring for post-mortem dumps. Replaces any previous
+    /// recorder. Returns `false` on a disabled handle.
+    pub fn attach_flight_recorder(&self, recorder: Arc<flight::FlightRecorder>) -> bool {
+        let Some(inner) = &self.inner else { return false };
+        let mut st = inner.state.lock().expect("telemetry state poisoned");
+        st.flight = Some(recorder);
+        true
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn flight_recorder(&self) -> Option<Arc<flight::FlightRecorder>> {
+        let inner = self.inner.as_ref()?;
+        inner.state.lock().expect("telemetry state poisoned").flight.clone()
+    }
+
     /// An immutable copy of everything recorded so far. Open spans are
     /// included with the duration they have accumulated at this instant.
     pub fn snapshot(&self) -> Snapshot {
@@ -344,7 +379,7 @@ impl Drop for SpanGuard {
         // Every closed wall span also feeds the per-name latency histogram,
         // so repeated kernels get p50/p99 without extra instrumentation.
         // Split-borrow events/hists so the existing name needs no clone.
-        let State { events, hists, .. } = &mut *st;
+        let State { events, hists, flight, .. } = &mut *st;
         let name = events[idx].name.as_str();
         match hists.get_mut(name) {
             Some(h) => h.record(dur),
@@ -353,6 +388,11 @@ impl Drop for SpanGuard {
                 h.record(dur);
                 hists.insert(name.to_string(), h);
             }
+        }
+        let mirrored = flight.clone().map(|rec| (rec, name.to_string()));
+        drop(st);
+        if let Some((rec, name)) = mirrored {
+            rec.record(flight::FlightEvent::Span { name, tid, start_ns: start, dur_ns: dur });
         }
     }
 }
@@ -429,24 +469,37 @@ impl VirtualTrack {
 
     /// Closes the innermost open span at `end_ns` of virtual time.
     pub fn close(&mut self, end_ns: u64) {
-        let Some((inner, _)) = &self.rec else { return };
+        let Some((inner, tid)) = &self.rec else { return };
         let Some(idx) = self.stack.pop() else { return };
+        let tid = *tid;
         let mut st = inner.state.lock().expect("telemetry state poisoned");
         let start = st.events[idx].start_ns;
-        st.events[idx].dur_ns = Some(end_ns.saturating_sub(start));
+        let dur = end_ns.saturating_sub(start);
+        st.events[idx].dur_ns = Some(dur);
+        let mirrored = st.flight.clone().map(|rec| (rec, st.events[idx].name.clone()));
+        drop(st);
+        if let Some((rec, name)) = mirrored {
+            rec.record(flight::FlightEvent::Span { name, tid, start_ns: start, dur_ns: dur });
+        }
     }
 
     /// Records a complete child span under the innermost open span.
     pub fn leaf(&mut self, name: &str, start_ns: u64, dur_ns: u64) {
         let Some((inner, tid)) = &self.rec else { return };
+        let tid = *tid;
         let mut st = inner.state.lock().expect("telemetry state poisoned");
         st.events.push(EventRec {
             name: name.to_string(),
-            tid: *tid,
+            tid,
             start_ns,
             dur_ns: Some(dur_ns),
             parent: self.stack.last().copied(),
         });
+        let recorder = st.flight.clone();
+        drop(st);
+        if let Some(rec) = recorder {
+            rec.record(flight::FlightEvent::Span { name: name.to_string(), tid, start_ns, dur_ns });
+        }
     }
 }
 
@@ -462,6 +515,17 @@ pub fn install(tel: Telemetry) -> bool {
 /// The installed global handle, if any.
 pub fn global() -> Option<Telemetry> {
     GLOBAL.get().cloned()
+}
+
+/// Adds `amount` to the free-form counter `name` on the process-global
+/// handle — the counter analog of [`Span::enter`] for code that does not
+/// thread a handle explicitly. A single atomic load until [`install`] has
+/// been called with an enabled handle.
+#[inline]
+pub fn count_named(name: &str, amount: u64) {
+    if let Some(tel) = global() {
+        tel.count_named(name, amount);
+    }
 }
 
 #[cfg(test)]

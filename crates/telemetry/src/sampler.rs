@@ -1,0 +1,428 @@
+//! Background sampler: periodic delta capture driving pluggable sinks.
+//!
+//! A [`Sampler`] owns a `std::thread` that wakes every `interval`, takes a
+//! [`DeltaSnapshot`] through its private [`Cursor`], folds it into a
+//! running cumulative view, polls any registered gauge sources, and hands
+//! the lot to each [`SampleSink`]. Stopping the sampler performs one final
+//! capture before the sinks are flushed, so nothing recorded between the
+//! last tick and shutdown is lost — the cumulative view a sink sees at
+//! close equals the handle's exit-time snapshot for every counter and
+//! histogram bucket.
+//!
+//! Two sinks ship with the crate:
+//!
+//! * [`PrometheusSink`] — rewrites a text-exposition file atomically
+//!   (write to `<path>.tmp`, rename) on every tick, so a scraper or
+//!   `watch cat` always sees a complete document.
+//! * [`JsonlSink`] — appends one self-describing JSON line per tick with
+//!   the *interval* values (counter increments, per-span time, histogram
+//!   count/sum, gauges), i.e. a ready-to-plot time series.
+//!
+//! Gauge sources exist because instantaneous readings (per-worker busy
+//! nanoseconds from `fhe_math::par`, queue depths) live outside the
+//! telemetry crate; a source is any `FnMut` that appends `(name, value)`
+//! pairs at sample time.
+
+use crate::delta::{Cursor, DeltaSnapshot};
+use crate::{expo, Telemetry};
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Appends instantaneous `(name, value)` gauge readings at sample time.
+pub type GaugeSource = Box<dyn FnMut(&mut Vec<(String, u64)>) + Send>;
+
+/// One sampler tick as seen by a sink.
+#[derive(Debug)]
+pub struct Sample<'a> {
+    /// 0-based tick number.
+    pub seq: u64,
+    /// Capture instant, nanoseconds since the telemetry handle's epoch.
+    pub at_ns: u64,
+    /// What this interval recorded.
+    pub delta: &'a DeltaSnapshot,
+    /// Running merge of every delta so far (== the handle's cumulative
+    /// state at `at_ns`).
+    pub cumulative: &'a DeltaSnapshot,
+    /// Instantaneous gauge readings polled this tick.
+    pub gauges: &'a [(String, u64)],
+    /// Whether this is the final capture before shutdown.
+    pub last: bool,
+}
+
+/// Consumes sampler ticks.
+pub trait SampleSink: Send {
+    /// Called once per tick (including the final capture at shutdown).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors are counted in [`SamplerStats::sink_errors`]; the
+    /// sampler keeps running.
+    fn on_sample(&mut self, sample: &Sample<'_>) -> io::Result<()>;
+
+    /// Called once after the final [`Self::on_sample`]; flush buffers here.
+    ///
+    /// # Errors
+    ///
+    /// Counted in [`SamplerStats::sink_errors`].
+    fn finish(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// What a sampler did over its lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SamplerStats {
+    /// Captures taken (periodic ticks plus the final shutdown capture).
+    pub ticks: u64,
+    /// Sink calls that returned an error.
+    pub sink_errors: u64,
+}
+
+/// Configures and spawns a [`Sampler`].
+pub struct SamplerBuilder {
+    tel: Telemetry,
+    interval: Duration,
+    sinks: Vec<Box<dyn SampleSink>>,
+    gauges: Vec<GaugeSource>,
+}
+
+impl SamplerBuilder {
+    /// Samples `tel` every `interval` (clamped to ≥ 1 ms).
+    pub fn new(tel: Telemetry, interval: Duration) -> Self {
+        SamplerBuilder {
+            tel,
+            interval: interval.max(Duration::from_millis(1)),
+            sinks: Vec::new(),
+            gauges: Vec::new(),
+        }
+    }
+
+    /// Adds a sink.
+    #[must_use]
+    pub fn sink(mut self, sink: impl SampleSink + 'static) -> Self {
+        self.sinks.push(Box::new(sink));
+        self
+    }
+
+    /// Adds a gauge source polled on every tick.
+    #[must_use]
+    pub fn gauge_source(mut self, source: GaugeSource) -> Self {
+        self.gauges.push(source);
+        self
+    }
+
+    /// Spawns the sampler thread.
+    pub fn spawn(self) -> Sampler {
+        let SamplerBuilder { tel, interval, mut sinks, mut gauges } = self;
+        let shared = Arc::new((Mutex::new(false), Condvar::new()));
+        let thread_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("telemetry-sampler".into())
+            .spawn(move || {
+                let (stop_flag, wake) = &*thread_shared;
+                let mut cursor = Cursor::new();
+                let mut cumulative = DeltaSnapshot::default();
+                let mut readings: Vec<(String, u64)> = Vec::new();
+                let mut stats = SamplerStats::default();
+                loop {
+                    let stopping = {
+                        let mut stopped = stop_flag.lock().expect("sampler flag poisoned");
+                        if !*stopped {
+                            let (guard, _timeout) = wake
+                                .wait_timeout(stopped, interval)
+                                .expect("sampler flag poisoned");
+                            stopped = guard;
+                        }
+                        *stopped
+                    };
+                    let delta = tel.snapshot_delta(&mut cursor);
+                    readings.clear();
+                    for source in &mut gauges {
+                        source(&mut readings);
+                    }
+                    cumulative.merge(&delta);
+                    let sample = Sample {
+                        seq: stats.ticks,
+                        at_ns: delta.at_ns,
+                        delta: &delta,
+                        cumulative: &cumulative,
+                        gauges: &readings,
+                        last: stopping,
+                    };
+                    for sink in &mut sinks {
+                        if sink.on_sample(&sample).is_err() {
+                            stats.sink_errors += 1;
+                        }
+                    }
+                    stats.ticks += 1;
+                    if stopping {
+                        for sink in &mut sinks {
+                            if sink.finish().is_err() {
+                                stats.sink_errors += 1;
+                            }
+                        }
+                        return stats;
+                    }
+                }
+            })
+            .expect("spawn telemetry-sampler thread");
+        Sampler { shared, handle: Some(handle) }
+    }
+}
+
+/// A running background sampler. Dropping it stops the thread (performing
+/// the final capture); call [`Sampler::stop`] to also get the stats.
+pub struct Sampler {
+    shared: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<std::thread::JoinHandle<SamplerStats>>,
+}
+
+impl Sampler {
+    fn signal_stop(&self) {
+        let (stop_flag, wake) = &*self.shared;
+        *stop_flag.lock().expect("sampler flag poisoned") = true;
+        wake.notify_all();
+    }
+
+    /// Stops the thread after one final capture and returns its stats.
+    pub fn stop(mut self) -> SamplerStats {
+        self.signal_stop();
+        self.handle.take().expect("sampler already joined").join().unwrap_or_default()
+    }
+}
+
+impl Drop for Sampler {
+    fn drop(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            self.signal_stop();
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Rewrites a Prometheus text-exposition file atomically on every tick:
+/// the cumulative view plus this tick's gauges go to `<path>.tmp`, which
+/// is then renamed over `path`.
+pub struct PrometheusSink {
+    path: PathBuf,
+    tmp: PathBuf,
+}
+
+impl PrometheusSink {
+    /// Exposes into `path` (parent directory must exist).
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        let path = path.into();
+        let mut tmp_name = path.file_name().unwrap_or_default().to_os_string();
+        tmp_name.push(".tmp");
+        let tmp = path.with_file_name(tmp_name);
+        PrometheusSink { path, tmp }
+    }
+
+    /// The exposition file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl SampleSink for PrometheusSink {
+    fn on_sample(&mut self, sample: &Sample<'_>) -> io::Result<()> {
+        let text = expo::render(sample.cumulative, sample.gauges);
+        std::fs::write(&self.tmp, text)?;
+        std::fs::rename(&self.tmp, &self.path)
+    }
+}
+
+/// Appends one JSON line per tick with the interval's increments — a
+/// plottable utilization-over-time series.
+///
+/// Line shape (groups absent when empty):
+/// `{"seq":3,"at_ms":40.1,"counters":{"meta_ops.ntt":5},"named":{...},
+///   "spans":{"ckks.mul":123},"hists":{"k":{"count":2,"sum_ns":9}},
+///   "gauges":{"par.worker.0.busy_ns":42}}`.
+pub struct JsonlSink {
+    out: BufWriter<File>,
+}
+
+impl JsonlSink {
+    /// Creates (truncates) `path` and streams lines into it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation errors.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(JsonlSink { out: BufWriter::new(File::create(path)?) })
+    }
+
+    fn render_line(sample: &Sample<'_>) -> String {
+        use crate::json::write_escaped;
+        let mut line =
+            format!("{{\"seq\":{},\"at_ms\":{:.3}", sample.seq, sample.at_ns as f64 / 1e6);
+        let delta = sample.delta;
+        if !delta.counters.is_empty() {
+            line.push_str(",\"counters\":{");
+            for (i, ((metric, class), value)) in delta.counters.iter().enumerate() {
+                if i > 0 {
+                    line.push(',');
+                }
+                write_escaped(&mut line, &format!("{}.{}", metric.name(), class.name()));
+                line.push_str(&format!(":{value}"));
+            }
+            line.push('}');
+        }
+        for (key, map) in [("named", &delta.named), ("spans", &delta.span_ns)] {
+            if map.is_empty() {
+                continue;
+            }
+            line.push_str(&format!(",\"{key}\":{{"));
+            for (i, (name, value)) in map.iter().enumerate() {
+                if i > 0 {
+                    line.push(',');
+                }
+                write_escaped(&mut line, name);
+                line.push_str(&format!(":{value}"));
+            }
+            line.push('}');
+        }
+        if !delta.hists.is_empty() {
+            line.push_str(",\"hists\":{");
+            for (i, (name, h)) in delta.hists.iter().enumerate() {
+                if i > 0 {
+                    line.push(',');
+                }
+                write_escaped(&mut line, name);
+                line.push_str(&format!(":{{\"count\":{},\"sum_ns\":{}}}", h.count(), h.sum()));
+            }
+            line.push('}');
+        }
+        if !sample.gauges.is_empty() {
+            line.push_str(",\"gauges\":{");
+            for (i, (name, value)) in sample.gauges.iter().enumerate() {
+                if i > 0 {
+                    line.push(',');
+                }
+                write_escaped(&mut line, name);
+                line.push_str(&format!(":{value}"));
+            }
+            line.push('}');
+        }
+        line.push_str("}\n");
+        line
+    }
+}
+
+impl SampleSink for JsonlSink {
+    fn on_sample(&mut self, sample: &Sample<'_>) -> io::Result<()> {
+        self.out.write_all(Self::render_line(sample).as_bytes())
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use crate::{Metric, OpClassKey};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    struct CountingSink {
+        samples: Arc<AtomicU64>,
+        last_total: Arc<AtomicU64>,
+    }
+
+    impl SampleSink for CountingSink {
+        fn on_sample(&mut self, sample: &Sample<'_>) -> io::Result<()> {
+            self.samples.fetch_add(1, Ordering::SeqCst);
+            self.last_total
+                .store(sample.cumulative.counters.values().sum::<u64>(), Ordering::SeqCst);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn final_capture_sees_everything() {
+        let tel = Telemetry::enabled();
+        let samples = Arc::new(AtomicU64::new(0));
+        let last_total = Arc::new(AtomicU64::new(0));
+        let sampler = SamplerBuilder::new(tel.clone(), Duration::from_millis(1))
+            .sink(CountingSink {
+                samples: Arc::clone(&samples),
+                last_total: Arc::clone(&last_total),
+            })
+            .spawn();
+        for _ in 0..100 {
+            tel.count(Metric::MetaOps, OpClassKey::Ntt, 3);
+        }
+        let stats = sampler.stop();
+        assert!(stats.ticks >= 1);
+        assert_eq!(stats.ticks, samples.load(Ordering::SeqCst));
+        assert_eq!(stats.sink_errors, 0);
+        // The last cumulative view equals the exit-time state even if no
+        // periodic tick ran after the final count.
+        assert_eq!(last_total.load(Ordering::SeqCst), 300);
+    }
+
+    #[test]
+    fn jsonl_lines_parse_and_carry_gauges() {
+        let tel = Telemetry::enabled();
+        tel.count_named("ev", 4);
+        tel.observe_ns("h", 123);
+        let mut cursor = Cursor::new();
+        let delta = tel.snapshot_delta(&mut cursor);
+        let sample = Sample {
+            seq: 0,
+            at_ns: 2_500_000,
+            delta: &delta,
+            cumulative: &delta,
+            gauges: &[("par.worker.0.busy_ns".into(), 9)],
+            last: true,
+        };
+        let line = JsonlSink::render_line(&sample);
+        let doc = parse(line.trim()).expect("jsonl line must parse");
+        assert_eq!(doc.get("seq").unwrap().as_f64(), Some(0.0));
+        assert_eq!(doc.get("at_ms").unwrap().as_f64(), Some(2.5));
+        assert_eq!(doc.get("named").unwrap().get("ev").unwrap().as_f64(), Some(4.0));
+        assert_eq!(
+            doc.get("hists").unwrap().get("h").unwrap().get("count").unwrap().as_f64(),
+            Some(1.0)
+        );
+        assert_eq!(
+            doc.get("gauges").unwrap().get("par.worker.0.busy_ns").unwrap().as_f64(),
+            Some(9.0)
+        );
+    }
+
+    #[test]
+    fn prometheus_sink_rewrites_atomically() {
+        let dir = std::env::temp_dir().join(format!(
+            "alchemist-expo-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.prom");
+        let tel = Telemetry::enabled();
+        tel.count(Metric::HbmBytes, OpClassKey::Transfer, 4096);
+        let mut cursor = Cursor::new();
+        let delta = tel.snapshot_delta(&mut cursor);
+        let mut sink = PrometheusSink::new(&path);
+        let sample = Sample {
+            seq: 0,
+            at_ns: 0,
+            delta: &delta,
+            cumulative: &delta,
+            gauges: &[],
+            last: false,
+        };
+        sink.on_sample(&sample).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("alchemist_hbm_bytes_total{class=\"transfer\"} 4096"), "{text}");
+        assert!(!sink.tmp.exists(), "tmp file must be renamed away");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

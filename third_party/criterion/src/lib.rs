@@ -1,0 +1,195 @@
+//! Offline single-pass bench harness standing in for `criterion`.
+//!
+//! Matches the API shape the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`/`bench_with_input`, `BenchmarkId`,
+//! `sample_size`, `criterion_group!`/`criterion_main!` — but instead of a
+//! statistical sampling run, each benchmark body executes a small fixed
+//! number of iterations and reports the mean wall time. That keeps
+//! `cargo bench` compiling and producing *comparable* numbers offline
+//! without the real crate's plotting/measurement machinery.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Iterations per benchmark body (after one warm-up call).
+const ITERS: u32 = 10;
+
+/// Re-export of [`std::hint::black_box`] for parity with the real crate.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Names a parameterized benchmark, e.g. `BenchmarkId::new("forward", n)`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id from a bare parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+/// Conversion used by `bench_function`: accepts `&str`, `String`, or a
+/// [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// The display label.
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] runs the body.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration of the last `iter` call.
+    last_mean_ns: f64,
+}
+
+impl Bencher {
+    /// Runs `routine` once to warm up, then [`ITERS`] timed times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            black_box(routine());
+        }
+        self.last_mean_ns = start.elapsed().as_nanos() as f64 / f64::from(ITERS);
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API parity; the stub always runs a fixed iteration
+    /// count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API parity; ignored.
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark body and prints its mean time.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { last_mean_ns: 0.0 };
+        f(&mut bencher);
+        report(&self.name, &id.into_label(), bencher.last_mean_ns);
+        self
+    }
+
+    /// Runs one parameterized benchmark body and prints its mean time.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher { last_mean_ns: 0.0 };
+        f(&mut bencher, input);
+        report(&self.name, &id.label, bencher.last_mean_ns);
+        self
+    }
+
+    /// Ends the group (no-op; present for API parity).
+    pub fn finish(&mut self) {}
+}
+
+fn report(group: &str, label: &str, mean_ns: f64) {
+    if mean_ns >= 1e6 {
+        println!("{group}/{label}: {:.3} ms", mean_ns / 1e6);
+    } else if mean_ns >= 1e3 {
+        println!("{group}/{label}: {:.3} us", mean_ns / 1e3);
+    } else {
+        println!("{group}/{label}: {mean_ns:.0} ns");
+    }
+}
+
+/// The bench context handed to each `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), _criterion: self }
+    }
+
+    /// Accepted for API parity; ignored.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+}
+
+/// Declares a bench group: a function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_bodies_and_chains() {
+        use std::cell::Cell;
+        let mut c = Criterion::default();
+        let ran = Cell::new(0u32);
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(10)
+            .bench_function("a", |b| b.iter(|| ran.set(ran.get() + 1)))
+            .bench_function(BenchmarkId::new("f", 64), |b| b.iter(|| ran.set(ran.get() + 1)));
+        group.bench_with_input(BenchmarkId::new("with", 2), &2u64, |b, &n| {
+            b.iter(|| ran.set(ran.get() + n as u32))
+        });
+        group.finish();
+        // Three bodies, each warm-up + ITERS timed calls; the last adds 2.
+        assert_eq!(ran.get(), 2 * (ITERS + 1) + 2 * (ITERS + 1));
+    }
+}

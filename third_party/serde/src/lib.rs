@@ -1,0 +1,34 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace uses serde purely as derive annotations
+//! (`#[derive(serde::Serialize, serde::Deserialize)]`) — no code path
+//! actually serializes through it. `Serialize`/`Deserialize` are therefore
+//! blanket-implemented marker traits, and the derives (re-exported from the
+//! no-op `serde_derive` stub) expand to nothing. Any future code that tries
+//! to *call* serde machinery will fail to compile, which is the correct
+//! signal to extend this stub deliberately.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+pub mod de {
+    //! Deserialization marker re-exports.
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+pub mod ser {
+    //! Serialization marker re-exports.
+    pub use crate::Serialize;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! No-op `Serialize`/`Deserialize` derives for offline builds.
+//!
+//! The workspace only ever *annotates* types with these derives; nothing
+//! serializes through serde at runtime (JSON output goes through the
+//! telemetry crate's hand-rolled writer). The derives therefore expand to
+//! nothing — the marker traits in the `serde` stub have blanket
+//! implementations instead.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; `serde`'s blanket impls cover the marker trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; `serde`'s blanket impls cover the marker trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
