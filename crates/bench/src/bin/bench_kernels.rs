@@ -60,7 +60,7 @@ use std::time::{Duration, Instant};
 
 use bench::{fmt_time, regress, BenchArgs, Reporter};
 use fhe_ckks::{CkksContext, CkksParams, Encoder, Evaluator, RelinKey, SecretKey};
-use fhe_math::{generate_ntt_primes, par, Modulus, Poly, RnsBasis, RnsContext, RnsPoly};
+use fhe_math::{generate_ntt_primes, par, Modulus, RnsBasis, RnsContext};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use telemetry::json::Json;
@@ -138,19 +138,36 @@ fn rns_kernels(n: usize, reps: usize, profile: bool, out: &mut Vec<Measurement>)
     let moduli: Vec<Modulus> = primes.iter().map(|&q| Modulus::new(q).expect("prime")).collect();
     let ctx = RnsContext::new(n, RnsBasis::new(moduli.clone()).expect("basis")).expect("context");
 
-    // NTT round-trip over all channels.
-    let channels: Vec<Poly> = moduli
-        .iter()
-        .enumerate()
-        .map(|(c, &m)| Poly::from_coeffs(fill(n, c, m), m).expect("canonical"))
-        .collect();
-    let mut poly = RnsPoly::from_channels(channels).expect("rns poly");
+    // Forward and inverse NTT over all channels, timed as separate kernels
+    // (schema v2) so the regression gate catches direction-specific
+    // regressions. Both transforms are pure functions of the slice, so
+    // repeating one direction back-to-back is valid: `forward` accepts any
+    // canonical input and `inverse` accepts `[0, 2q)`.
+    let mut bufs: Vec<Vec<u64>> = moduli.iter().enumerate().map(|(c, &m)| fill(n, c, m)).collect();
+    let tables = ctx.tables();
+    let ntt_work = (n as u64).saturating_mul(u64::from(n.trailing_zeros().max(1)));
     let (seq, par_t, prof) = seq_vs_par(reps, profile, || {
-        poly.to_ntt(ctx.tables()).expect("ntt");
-        poly.to_coeff(ctx.tables()).expect("intt");
+        par::par_iter_mut_in(par::WorkClass::Ntt, &mut bufs, ntt_work, |c, b| {
+            tables[c].forward(b);
+        })
+        .expect("ntt");
     });
     out.push(Measurement {
-        kernel: "ntt_roundtrip",
+        kernel: "ntt_fwd",
+        n,
+        channels: CHANNELS,
+        seq_s: seq,
+        par_s: par_t,
+        profile: prof,
+    });
+    let (seq, par_t, prof) = seq_vs_par(reps, profile, || {
+        par::par_iter_mut_in(par::WorkClass::Ntt, &mut bufs, ntt_work, |c, b| {
+            tables[c].inverse(b);
+        })
+        .expect("intt");
+    });
+    out.push(Measurement {
+        kernel: "ntt_inv",
         n,
         channels: CHANNELS,
         seq_s: seq,
@@ -431,14 +448,25 @@ fn main() {
     }
     par::set_max_threads(0);
 
+    // `host.threads` below is stamped from this same value: the effective
+    // runtime thread budget (ALCHEMIST_NUM_THREADS or one per core), not a
+    // compile-time constant. The single-core caveat is only emitted when it
+    // actually applies, so regenerating on a multi-core host drops it.
     let threads = par::max_threads();
+    let single_core_caveat = if threads == 1 {
+        " On this single-thread host the two columns coincide because the \
+         backend runs inline; re-run on a 4+-core machine to reproduce the \
+         multi-channel speedup."
+    } else {
+        ""
+    };
     let note = format!(
         "best-of-{reps} wall times on a {threads}-thread host \
-         (parallel feature compiled: {}); sequential pins the backend to one \
-         thread, parallel uses one worker per core. On a single-core host the \
-         two columns coincide because the backend runs inline; re-run on a \
-         4+-core machine to reproduce the multi-channel speedup.",
-        par::parallelism_compiled()
+         (parallel feature compiled: {}, simd backend: {}); sequential pins \
+         the backend to one thread, parallel uses one worker per \
+         core.{single_core_caveat}",
+        par::parallelism_compiled(),
+        fhe_math::simd::active_backend().name(),
     );
 
     let rows: Vec<Vec<String>> = measurements
@@ -585,6 +613,18 @@ fn run_compare(
         eprintln!("baseline {baseline_path}: {e}");
         std::process::exit(2);
     });
+    // Comparing runs from incomparable hosts silently is how stale
+    // baselines sneak through review: warn loudly on stderr AND in the
+    // report header, but still diff (the numbers can be informative).
+    let host_warnings = regress::host_mismatch_warnings(
+        &regress::parse_host(&doc),
+        par::max_threads() as u64,
+        par::parallelism_compiled(),
+    );
+    for w in &host_warnings {
+        eprintln!("WARNING: {w}");
+        rep.note(&format!("WARNING: {w}"));
+    }
     let fresh: Vec<regress::KernelPoint> = measurements
         .iter()
         .map(|m| regress::KernelPoint {
@@ -616,8 +656,12 @@ fn run_compare(
             ]
         })
         .collect();
+    let mismatch_tag = if host_warnings.is_empty() { "" } else { " [HOST MISMATCH]" };
     rep.table(
-        &format!("Regression gate vs {baseline_path} (tolerance {:.0}%)", tolerance * 100.0),
+        &format!(
+            "Regression gate vs {baseline_path} (tolerance {:.0}%){mismatch_tag}",
+            tolerance * 100.0
+        ),
         &["kernel", "n", "channels", "base par", "fresh par", "seq ratio", "par ratio", "status"],
         &rows,
     );

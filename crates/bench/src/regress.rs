@@ -64,6 +64,58 @@ pub fn parse_baseline(doc: &Json) -> Result<Vec<KernelPoint>, String> {
         .collect()
 }
 
+/// Host fields of a baseline document that decide whether its numbers are
+/// comparable to the current run at all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineHost {
+    /// `host.threads` as stamped by `bench_kernels` (absent in hand-edited
+    /// or very old baselines).
+    pub threads: Option<u64>,
+    /// Whether the baseline was produced with the `parallel` feature.
+    pub parallel_compiled: Option<bool>,
+}
+
+/// Extracts the comparability-relevant `host` fields of a baseline
+/// document. Missing fields stay `None` and never warn.
+pub fn parse_host(doc: &Json) -> BaselineHost {
+    let host = doc.get("host");
+    BaselineHost {
+        threads: host.and_then(|h| h.get("threads")).and_then(Json::as_f64).map(|t| t as u64),
+        parallel_compiled: host.and_then(|h| h.get("parallel_compiled")).and_then(|j| match j {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }),
+    }
+}
+
+/// Human-readable warnings when the baseline host and the current run are
+/// not comparable (different thread budget or parallel compilation);
+/// empty when they match or the baseline does not record the fields.
+pub fn host_mismatch_warnings(
+    base: &BaselineHost,
+    threads: u64,
+    parallel_compiled: bool,
+) -> Vec<String> {
+    let mut warnings = Vec::new();
+    if let Some(bt) = base.threads {
+        if bt != threads {
+            warnings.push(format!(
+                "baseline was recorded with host.threads={bt} but this run uses {threads} \
+                 thread(s); parallel-column ratios compare different machines"
+            ));
+        }
+    }
+    if let Some(bp) = base.parallel_compiled {
+        if bp != parallel_compiled {
+            warnings.push(format!(
+                "baseline parallel_compiled={bp} but this build has parallel_compiled=\
+                 {parallel_compiled}; sequential/parallel columns are not comparable"
+            ));
+        }
+    }
+    warnings
+}
+
 /// Verdict for one key present in both the fresh run and the baseline.
 #[derive(Debug, Clone)]
 pub struct CompareRow {
@@ -193,6 +245,27 @@ mod tests {
         let rep = compare(&fresh2, &base, 0.15).unwrap();
         assert_eq!(rep.rows.len(), 1);
         assert_eq!(rep.fresh_only, 1);
+    }
+
+    #[test]
+    fn host_mismatch_warns_on_incomparable_hosts_only() {
+        let doc = telemetry::json::parse(
+            r#"{"host": {"threads": 4, "parallel_compiled": true}, "kernels": []}"#,
+        )
+        .unwrap();
+        let host = parse_host(&doc);
+        assert_eq!(host.threads, Some(4));
+        assert_eq!(host.parallel_compiled, Some(true));
+        // Matching host: silent.
+        assert!(host_mismatch_warnings(&host, 4, true).is_empty());
+        // Thread-count and feature mismatches each warn.
+        assert_eq!(host_mismatch_warnings(&host, 1, true).len(), 1);
+        assert_eq!(host_mismatch_warnings(&host, 4, false).len(), 1);
+        assert_eq!(host_mismatch_warnings(&host, 1, false).len(), 2);
+        // Baselines without host metadata never warn.
+        let bare = parse_host(&telemetry::json::parse(r#"{"kernels": []}"#).unwrap());
+        assert_eq!(bare, BaselineHost { threads: None, parallel_compiled: None });
+        assert!(host_mismatch_warnings(&bare, 64, false).is_empty());
     }
 
     #[test]

@@ -371,11 +371,29 @@ fn ntt_case(mut rng: SplitMix64, seed: u64, case: u64) -> Result<(), Box<Repro>>
 
     let mut fwd = a.clone();
     table.forward(&mut fwd);
+    // forward_lazy emits Harvey residues in [0, 2q); every value must
+    // reduce to the canonical forward output with one conditional
+    // subtraction.
     let mut lazy = a.clone();
     table.forward_lazy(&mut lazy);
-    if fwd != lazy {
-        let i = fwd.iter().zip(&lazy).position(|(x, y)| x != y).unwrap();
-        return Err(fail(format!("forward vs forward_lazy differ at index {i}")));
+    if let Some(i) = lazy.iter().position(|&y| y >= 2 * q) {
+        return Err(fail(format!("forward_lazy[{i}]={} breaches 2q={}", lazy[i], 2 * q)));
+    }
+    let lazy_canon: Vec<u64> = lazy.iter().map(|&y| if y >= q { y - q } else { y }).collect();
+    if fwd != lazy_canon {
+        let i = fwd.iter().zip(&lazy_canon).position(|(x, y)| x != y).unwrap();
+        return Err(fail(format!("forward vs normalized forward_lazy differ at index {i}")));
+    }
+    // Same contract for the lazy inverse.
+    let mut ilazy = fwd.clone();
+    table.inverse_lazy(&mut ilazy);
+    if let Some(i) = ilazy.iter().position(|&y| y >= 2 * q) {
+        return Err(fail(format!("inverse_lazy[{i}]={} breaches 2q={}", ilazy[i], 2 * q)));
+    }
+    let ilazy_canon: Vec<u64> = ilazy.iter().map(|&y| if y >= q { y - q } else { y }).collect();
+    if ilazy_canon != a {
+        let i = ilazy_canon.iter().zip(&a).position(|(x, y)| x != y).unwrap();
+        return Err(fail(format!("normalized inverse_lazy round trip differs at index {i}")));
     }
 
     for j in sample_indices(&mut rng, n, 21) {

@@ -470,20 +470,35 @@ impl<'a> Evaluator<'a> {
             let m = self.ctx.rns().moduli()[gc];
             let table = self.ctx.table(gc);
             Scratch::with_thread_local(|scratch| {
-                let mut a0 = vec![0u64; n];
-                let mut a1 = vec![0u64; n];
+                // Harvey-lazy MAC, the paper's `(M_j A_j)_L R_j` pattern:
+                // the digit NTT stays in `[0, 2q)` (forward_lazy skips the
+                // final reduction stage) and the per-digit products
+                // accumulate unreduced in 128 bits — one Barrett reduction
+                // per slot at the end instead of one per slot per digit.
+                // Each product is < 2q·q < 2^123, so up to 31 digits fit a
+                // u128 between folds.
+                let mut a0w = vec![0u128; n];
+                let mut a1w = vec![0u128; n];
                 let mut channel = scratch.take(n);
                 for (i, ext) in ext_digits.iter().enumerate() {
                     let (kb, ka) = &key.digit_keys()[i];
                     channel.copy_from_slice(&ext[pos]);
-                    table.forward(&mut channel);
+                    table.forward_lazy(&mut channel);
                     let kb_ch = kb.channel(gc).coeffs();
                     let ka_ch = ka.channel(gc).coeffs();
                     for s in 0..n {
-                        a0[s] = m.add(a0[s], m.mul(channel[s], kb_ch[s]));
-                        a1[s] = m.add(a1[s], m.mul(channel[s], ka_ch[s]));
+                        a0w[s] += channel[s] as u128 * kb_ch[s] as u128;
+                        a1w[s] += channel[s] as u128 * ka_ch[s] as u128;
+                    }
+                    if i % 31 == 30 {
+                        for s in 0..n {
+                            a0w[s] = m.reduce_u128(a0w[s]) as u128;
+                            a1w[s] = m.reduce_u128(a1w[s]) as u128;
+                        }
                     }
                 }
+                let mut a0: Vec<u64> = a0w.iter().map(|&x| m.reduce_u128(x)).collect();
+                let mut a1: Vec<u64> = a1w.iter().map(|&x| m.reduce_u128(x)).collect();
                 // INTT here too: Moddown consumes coefficient-domain input.
                 table.inverse(&mut a0);
                 table.inverse(&mut a1);

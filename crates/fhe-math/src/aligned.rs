@@ -1,0 +1,194 @@
+//! 64-byte-aligned coefficient storage for SIMD kernels.
+//!
+//! [`AVec`] is a `Vec<u64>` stand-in whose backing allocation is aligned to
+//! a cache line (64 bytes = one AVX-512 register, two AVX2 registers). The
+//! SIMD kernels in [`crate::simd`] use unaligned loads so *correctness*
+//! never depends on alignment, but aligned, cache-line-granular buffers keep
+//! every vector access within a single line and let the hardware prefetcher
+//! run at full stride — the software analogue of Alchemist's banked
+//! scratchpad, where a Meta-OP operand always occupies whole rows.
+//!
+//! The public API mirrors the small subset of `Vec` the polynomial layer
+//! needs; element access goes through `Deref<Target = [u64]>`, so an `AVec`
+//! drops into any `&[u64]`/`&mut [u64]` call site unchanged.
+
+use std::ops::{Deref, DerefMut};
+
+/// One cache line of coefficients. `repr(C, align(64))` makes a
+/// `Vec<Align64>` a contiguous, 64-byte-aligned `u64` arena.
+#[repr(C, align(64))]
+#[derive(Clone, Copy, Debug)]
+struct Align64([u64; 8]);
+
+const LANE: usize = 8;
+
+/// A 64-byte-aligned, fixed-capacity-per-line vector of `u64` coefficients.
+///
+/// # Example
+///
+/// ```
+/// use fhe_math::AVec;
+/// let v = AVec::from_slice(&[1, 2, 3]);
+/// assert_eq!(&v[..], &[1, 2, 3]);
+/// assert_eq!(v.as_ptr() as usize % 64, 0);
+/// ```
+#[derive(Clone, Default)]
+pub struct AVec {
+    blocks: Vec<Align64>,
+    len: usize,
+}
+
+impl AVec {
+    /// An empty vector (no allocation).
+    pub const fn new() -> Self {
+        AVec { blocks: Vec::new(), len: 0 }
+    }
+
+    /// A zero-filled vector of length `len`.
+    pub fn zeroed(len: usize) -> Self {
+        AVec { blocks: vec![Align64([0; LANE]); len.div_ceil(LANE)], len }
+    }
+
+    /// Copies a slice into freshly aligned storage.
+    pub fn from_slice(data: &[u64]) -> Self {
+        let mut v = AVec::zeroed(data.len());
+        v.copy_from_slice(data);
+        v
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the vector holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Grows or shrinks to `new_len`, zero-filling any new tail. Shrinking
+    /// re-zeroes the abandoned tail so pooled capacity never leaks stale
+    /// coefficients back into a later grow.
+    pub fn resize(&mut self, new_len: usize) {
+        if new_len < self.len {
+            let start = new_len;
+            let end = self.len;
+            self.raw_mut()[start..end].fill(0);
+        }
+        self.blocks.resize(new_len.div_ceil(LANE), Align64([0; LANE]));
+        self.len = new_len;
+    }
+
+    /// The full backing arena including the zero slack of the last line.
+    #[inline]
+    fn raw_mut(&mut self) -> &mut [u64] {
+        let words = self.blocks.len() * LANE;
+        // SAFETY: `blocks` is a contiguous `Vec` of `repr(C)` arrays of
+        // `u64`, so the allocation holds exactly `blocks.len() * 8` valid,
+        // initialized `u64`s starting at `blocks.as_ptr()`.
+        unsafe { std::slice::from_raw_parts_mut(self.blocks.as_mut_ptr().cast::<u64>(), words) }
+    }
+}
+
+impl Deref for AVec {
+    type Target = [u64];
+
+    #[inline]
+    fn deref(&self) -> &[u64] {
+        // SAFETY: see `raw_mut`; `len <= blocks.len() * 8` by construction.
+        unsafe { std::slice::from_raw_parts(self.blocks.as_ptr().cast::<u64>(), self.len) }
+    }
+}
+
+impl DerefMut for AVec {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [u64] {
+        let len = self.len;
+        // SAFETY: see `raw_mut`; `len <= blocks.len() * 8` by construction.
+        unsafe { std::slice::from_raw_parts_mut(self.blocks.as_mut_ptr().cast::<u64>(), len) }
+    }
+}
+
+impl From<Vec<u64>> for AVec {
+    fn from(v: Vec<u64>) -> Self {
+        AVec::from_slice(&v)
+    }
+}
+
+impl FromIterator<u64> for AVec {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        let mut out = AVec::new();
+        let iter = iter.into_iter();
+        out.blocks.reserve(iter.size_hint().0.div_ceil(LANE));
+        for x in iter {
+            if out.len.is_multiple_of(LANE) {
+                out.blocks.push(Align64([0; LANE]));
+            }
+            out.blocks[out.len / LANE].0[out.len % LANE] = x;
+            out.len += 1;
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for AVec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&**self, f)
+    }
+}
+
+impl PartialEq for AVec {
+    fn eq(&self, other: &Self) -> bool {
+        **self == **other
+    }
+}
+
+impl Eq for AVec {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_and_contents() {
+        for len in [0usize, 1, 7, 8, 9, 64, 1000] {
+            let data: Vec<u64> = (0..len as u64).map(|i| i.wrapping_mul(0x9e37)).collect();
+            let v = AVec::from_slice(&data);
+            assert_eq!(&v[..], &data[..], "len={len}");
+            if len > 0 {
+                assert_eq!(v.as_ptr() as usize % 64, 0, "len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn from_iter_matches_from_slice() {
+        let data: Vec<u64> = (0..37).collect();
+        let a: AVec = data.iter().copied().collect();
+        let b = AVec::from_slice(&data);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn resize_zero_fills_and_shrink_clears_slack() {
+        let mut v = AVec::from_slice(&[7; 12]);
+        v.resize(20);
+        assert_eq!(v.len(), 20);
+        assert!(v[12..].iter().all(|&x| x == 0));
+        v.resize(4);
+        v.resize(16);
+        assert!(v[4..].iter().all(|&x| x == 0), "shrunken tail must re-zero");
+        assert_eq!(&v[..4], &[7; 4]);
+    }
+
+    #[test]
+    fn mutation_through_deref() {
+        let mut v = AVec::zeroed(10);
+        v[3] = 42;
+        v.iter_mut().for_each(|x| *x += 1);
+        assert_eq!(v[3], 43);
+        assert_eq!(v[0], 1);
+    }
+}

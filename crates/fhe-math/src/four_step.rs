@@ -26,7 +26,8 @@
 //! the same contract the bit-reversed [`crate::NttTable`] follows.
 
 use crate::modulus::ShoupScalar;
-use crate::ntt::{find_primitive_root, CyclicNtt};
+use crate::ntt::{find_primitive_root, transpose_into, CyclicNtt};
+use crate::scratch::Scratch;
 use crate::{MathError, Modulus};
 
 /// Precomputed tables for a 4-step negacyclic NTT of size `n = n1 * n2`.
@@ -173,18 +174,19 @@ impl FourStepNtt {
         for (x, t) in a.iter_mut().zip(&self.twist) {
             *x = m.mul_shoup(*x, *t);
         }
-        // Step 1: n2 column NTTs of size n1 (strided gather — the cross-unit
-        // pattern the hardware realizes through the transpose buffer).
-        let mut colbuf = vec![0u64; self.n1];
-        for i2 in 0..self.n2 {
-            for i1 in 0..self.n1 {
-                colbuf[i1] = a[i1 * self.n2 + i2];
+        // Step 1: n2 column NTTs of size n1. A blocked transpose makes each
+        // column contiguous (the cross-unit movement the hardware realizes
+        // through the transpose register file), instead of gathering one
+        // cache-missing stride-n2 column at a time.
+        Scratch::with_thread_local(|pool| {
+            let mut tmp = pool.take(self.n);
+            transpose_into(a, &mut tmp, self.n1, self.n2);
+            for col in tmp.chunks_exact_mut(self.n1) {
+                self.col.forward_natural(col);
             }
-            self.col.forward_natural(&mut colbuf);
-            for k1 in 0..self.n1 {
-                a[k1 * self.n2 + i2] = colbuf[k1];
-            }
-        }
+            transpose_into(&tmp, a, self.n2, self.n1);
+            pool.put(tmp);
+        });
         // Step 2: twiddle multiplication.
         for (x, t) in a.iter_mut().zip(&self.twiddle) {
             *x = m.mul_shoup(*x, *t);
@@ -210,16 +212,15 @@ impl FourStepNtt {
         for (x, t) in a.iter_mut().zip(&self.twiddle_inv) {
             *x = m.mul_shoup(*x, *t);
         }
-        let mut colbuf = vec![0u64; self.n1];
-        for i2 in 0..self.n2 {
-            for i1 in 0..self.n1 {
-                colbuf[i1] = a[i1 * self.n2 + i2];
+        Scratch::with_thread_local(|pool| {
+            let mut tmp = pool.take(self.n);
+            transpose_into(a, &mut tmp, self.n1, self.n2);
+            for col in tmp.chunks_exact_mut(self.n1) {
+                self.col.inverse_natural(col);
             }
-            self.col.inverse_natural(&mut colbuf);
-            for i1 in 0..self.n1 {
-                a[i1 * self.n2 + i2] = colbuf[i1];
-            }
-        }
+            transpose_into(&tmp, a, self.n2, self.n1);
+            pool.put(tmp);
+        });
         for (x, t) in a.iter_mut().zip(&self.twist_inv) {
             *x = m.mul_shoup(*x, *t);
         }

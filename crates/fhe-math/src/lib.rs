@@ -36,9 +36,14 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafe is denied crate-wide and only re-allowed in the two modules that
+// need it: `simd` (std::arch intrinsics) and `aligned` (the 64-byte-aligned
+// arena's slice views). Everything else stays safe Rust.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+#[allow(unsafe_code)]
+mod aligned;
 mod bigint;
 mod decomp;
 mod error;
@@ -53,8 +58,11 @@ mod prime;
 mod rns;
 mod sampling;
 mod scratch;
+#[allow(unsafe_code)]
+pub mod simd;
 mod strict;
 
+pub use aligned::AVec;
 pub use bigint::UBig;
 pub use decomp::{Gadget, SignedDigitDecomposer};
 pub use error::MathError;

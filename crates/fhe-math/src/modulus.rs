@@ -252,6 +252,41 @@ impl Modulus {
         }
     }
 
+    /// Lazy Shoup multiplication: returns a value in `[0, 2q)` congruent to
+    /// `a * w mod q`, for *any* `u64` operand `a` (Harvey's bound — the
+    /// quotient estimate errs by at most one multiple of `q`).
+    ///
+    /// This is the butterfly primitive of the lazy NTT (DESIGN.md §14):
+    /// skipping the final conditional subtraction keeps the dependency chain
+    /// one step shorter, and because it tolerates non-canonical inputs the
+    /// NTT can carry `[0, 2q)`/`[0, 4q)` values across layers with a single
+    /// normalization at the end.
+    #[inline]
+    pub fn mul_shoup_lazy(&self, a: u64, w: ShoupScalar) -> u64 {
+        crate::simd::mul_shoup_lazy_scalar(a, w, self.value)
+    }
+
+    /// Canonicalizes a lazy `[0, 2q)` value with one conditional
+    /// subtraction.
+    ///
+    /// # Panics
+    ///
+    /// With the default `strict-checks` feature, panics if `a ≥ 2q` (debug
+    /// builds only otherwise).
+    #[inline]
+    pub fn reduce_2q(&self, a: u64) -> u64 {
+        crate::strict_assert!(
+            a < self.value << 1,
+            "operand to Modulus::reduce_2q outside [0, 2q): a={a} q={}",
+            self.value
+        );
+        if a >= self.value {
+            a - self.value
+        } else {
+            a
+        }
+    }
+
     /// Converts a signed value in `(-q, q)` represented as `i64` to canonical form.
     #[inline]
     pub fn from_i64(&self, a: i64) -> u64 {

@@ -3,12 +3,40 @@
 //! [`NttTable`] implements the in-place iterative Cooley–Tukey (forward) /
 //! Gentleman–Sande (inverse) negacyclic NTT over `Z_q[X]/(X^N + 1)` with
 //! Shoup-precomputed twiddles, following the standard bit-reversed-twiddle
-//! formulation (Longa–Naehrig). [`CyclicNtt`] is the plain cyclic transform
-//! used as a building block of the 4-step NTT ([`crate::FourStepNtt`]) that
-//! Alchemist's slot-based data management relies on (paper §5.3).
+//! formulation (Longa–Naehrig). Both directions run **Harvey lazy
+//! butterflies** (values stay in `[0, 4q)` forward / `[0, 2q)` inverse
+//! across layers, one fused reduction in the final stage — paper Table 2's
+//! deferred-reduction analysis) on the [`crate::simd`] vector kernels, and
+//! large transforms switch to a cache-blocked four-step schedule that keeps
+//! each working set inside L1/L2 (paper §5.3's slot-local NTT). All of this
+//! is bit-identical to the textbook eager transform; see DESIGN.md §14 for
+//! the value-range contract.
+//!
+//! [`CyclicNtt`] is the plain cyclic transform used as a building block of
+//! the 4-step NTT ([`crate::FourStepNtt`]) that Alchemist's slot-based data
+//! management relies on (paper §5.3).
 
 use crate::modulus::ShoupScalar;
+use crate::scratch::Scratch;
+use crate::simd;
 use crate::{MathError, Modulus};
+
+/// Transforms of `2^BLOCKED_MIN_LOG_N` points or more run the cache-blocked
+/// four-step schedule instead of the flat stage loop. At `n = 2^13` the flat
+/// transform's working set (64 KiB of coefficients + twiddles) already
+/// spills the 48 KiB L1d on the reference host; the blocked schedule turns
+/// every pass into `√n`-sized subtransforms that stay resident.
+const BLOCKED_MIN_LOG_N: u32 = 13;
+
+/// Finishing reduction fused into the last butterfly stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Target {
+    /// Reduce outputs all the way to canonical `[0, q)`.
+    Canonical,
+    /// Leave outputs lazy in `[0, 2q)` (one conditional subtraction saved
+    /// per element; the next pipeline stage must accept lazy values).
+    Lazy2q,
+}
 
 /// Precomputed tables for the negacyclic NTT of a fixed size and modulus.
 ///
@@ -45,6 +73,10 @@ pub struct NttTable {
     /// psi^{-brv(i)} analogue for the inverse transform.
     psi_inv_rev: Vec<ShoupScalar>,
     n_inv: ShoupScalar,
+    /// `psi_inv_rev[1] · N^{-1} mod q`: the last inverse stage's twiddle
+    /// with the `N^{-1}` scaling folded in, so the inverse needs no separate
+    /// scaling pass.
+    inv_last: ShoupScalar,
     psi: u64,
 }
 
@@ -81,8 +113,10 @@ impl NttTable {
             power = modulus.mul(power, psi);
             power_inv = modulus.mul(power_inv, psi_inv);
         }
-        let n_inv = modulus.shoup(modulus.inv(n as u64)?);
-        Ok(NttTable { modulus, n, log_n, psi_rev, psi_inv_rev, n_inv, psi })
+        let n_inv_val = modulus.inv(n as u64)?;
+        let n_inv = modulus.shoup(n_inv_val);
+        let inv_last = modulus.shoup(modulus.mul(psi_inv_rev[1].value, n_inv_val));
+        Ok(NttTable { modulus, n, log_n, psi_rev, psi_inv_rev, n_inv, inv_last, psi })
     }
 
     /// The transform size `N`.
@@ -128,109 +162,274 @@ impl NttTable {
         self.n_inv
     }
 
-    /// In-place forward negacyclic NTT (natural → bit-reversed order).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `a.len() != self.n()`.
-    pub fn forward(&self, a: &mut [u64]) {
-        assert_eq!(a.len(), self.n, "polynomial length must match NTT size");
-        let m = &self.modulus;
-        let mut t = self.n;
-        let mut groups = 1usize;
-        while groups < self.n {
-            t /= 2;
-            for i in 0..groups {
-                let s = self.psi_rev[groups + i];
-                let j1 = 2 * i * t;
-                for j in j1..j1 + t {
-                    let u = a[j];
-                    let v = m.mul_shoup(a[j + t], s);
-                    a[j] = m.add(u, v);
-                    a[j + t] = m.sub(u, v);
-                }
+    /// With the `strict-checks` feature (or in debug builds), verifies the
+    /// lazy input contract once per transform — the per-butterfly checks of
+    /// the old eager loops collapse into this single O(n) scan.
+    fn check_lazy_inputs(&self, a: &[u64], op: &str) {
+        if cfg!(feature = "strict-checks") || cfg!(debug_assertions) {
+            let two_q = self.modulus.value() << 1;
+            for (i, &x) in a.iter().enumerate() {
+                crate::strict_assert!(
+                    x < two_q,
+                    "input to NttTable::{op} outside [0, 2q) at index {i}: {x}"
+                );
             }
-            groups *= 2;
         }
     }
 
-    /// Forward NTT with **lazy (Harvey) butterflies**: intermediate values
-    /// stay in `[0, 4q)` and only one canonicalizing pass runs at the end —
-    /// the software analogue of the Meta-OP's deferred `R_j` reduction.
-    /// Produces exactly the same output as [`NttTable::forward`], typically
-    /// 20–40% faster (see the `kernels` bench).
+    /// In-place forward negacyclic NTT (natural → bit-reversed order),
+    /// canonical `[0, q)` output.
+    ///
+    /// Accepts canonical or lazy `[0, 2q)` inputs. Internally runs Harvey
+    /// lazy butterflies with the canonicalizing reduction fused into the
+    /// last stage; produces exactly the same output as the textbook eager
+    /// transform.
     ///
     /// # Panics
     ///
-    /// Panics if `a.len() != self.n()`.
+    /// Panics if `a.len() != self.n()`, or (with the default
+    /// `strict-checks` feature) if any input is `≥ 2q`.
+    pub fn forward(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "polynomial length must match NTT size");
+        self.check_lazy_inputs(a, "forward");
+        if self.log_n >= BLOCKED_MIN_LOG_N {
+            self.fwd_blocked(a, Target::Canonical);
+        } else {
+            self.fwd_subtree(a, 1, Some(Target::Canonical));
+        }
+    }
+
+    /// Forward NTT that leaves its output **lazy** in `[0, 2q)`, saving the
+    /// final conditional subtraction per element — the software analogue of
+    /// the Meta-OP's deferred `R_j` reduction.
+    ///
+    /// The output equals [`NttTable::forward`] up to one multiple of `q`
+    /// per element; downstream lazy-aware consumers
+    /// ([`crate::Poly::to_ntt_lazy`] pipelines, [`Modulus::reduce_2q`])
+    /// canonicalize when they need to. Accepts the same `[0, 2q)` inputs as
+    /// [`NttTable::forward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != self.n()`, or (with the default
+    /// `strict-checks` feature) if any input is `≥ 2q`.
     pub fn forward_lazy(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "polynomial length must match NTT size");
-        let q = self.modulus.value();
-        let two_q = 2 * q;
-        let mut t = self.n;
-        let mut groups = 1usize;
-        while groups < self.n {
-            t /= 2;
-            for i in 0..groups {
-                let s = self.psi_rev[groups + i];
-                let j1 = 2 * i * t;
-                for j in j1..j1 + t {
-                    // Harvey butterfly: u in [0, 2q), v in [0, 2q); outputs
-                    // in [0, 4q).
-                    let mut u = a[j];
-                    if u >= two_q {
-                        u -= two_q;
-                    }
-                    let x = a[j + t];
-                    let qhat = ((x as u128 * s.quotient as u128) >> 64) as u64;
-                    let v = x.wrapping_mul(s.value).wrapping_sub(qhat.wrapping_mul(q));
-                    a[j] = u + v;
-                    a[j + t] = u + two_q - v;
-                }
-            }
-            groups *= 2;
-        }
-        for x in a.iter_mut() {
-            let mut v = *x;
-            if v >= two_q {
-                v -= two_q;
-            }
-            if v >= q {
-                v -= q;
-            }
-            *x = v;
+        self.check_lazy_inputs(a, "forward_lazy");
+        if self.log_n >= BLOCKED_MIN_LOG_N {
+            self.fwd_blocked(a, Target::Lazy2q);
+        } else {
+            self.fwd_subtree(a, 1, Some(Target::Lazy2q));
         }
     }
 
     /// In-place inverse negacyclic NTT (bit-reversed → natural order),
-    /// including the `N^{-1}` scaling.
+    /// including the `N^{-1}` scaling; canonical `[0, q)` output.
+    ///
+    /// Runs lazy Gentleman–Sande butterflies (values in `[0, 2q)` across
+    /// all layers) with the `N^{-1}` scaling folded into the final stage's
+    /// twiddles — no separate scaling pass. Accepts canonical or lazy
+    /// `[0, 2q)` inputs and produces exactly the same output as the
+    /// textbook eager transform.
     ///
     /// # Panics
     ///
-    /// Panics if `a.len() != self.n()`.
+    /// Panics if `a.len() != self.n()`, or (with the default
+    /// `strict-checks` feature) if any input is `≥ 2q`.
     pub fn inverse(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "polynomial length must match NTT size");
-        let m = &self.modulus;
-        let mut t = 1usize;
-        let mut groups = self.n / 2;
-        while groups >= 1 {
-            let mut j1 = 0usize;
-            for i in 0..groups {
-                let s = self.psi_inv_rev[groups + i];
-                for j in j1..j1 + t {
-                    let u = a[j];
-                    let v = a[j + t];
-                    a[j] = m.add(u, v);
-                    a[j + t] = m.mul_shoup(m.sub(u, v), s);
+        self.check_lazy_inputs(a, "inverse");
+        if self.log_n >= BLOCKED_MIN_LOG_N {
+            self.inv_blocked(a, Target::Canonical);
+        } else {
+            self.inv_subtree(a, 1, Some(Target::Canonical));
+        }
+    }
+
+    /// Inverse NTT with **lazy** `[0, 2q)` output (one conditional
+    /// subtraction per element cheaper than [`NttTable::inverse`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != self.n()`, or (with the default
+    /// `strict-checks` feature) if any input is `≥ 2q`.
+    pub fn inverse_lazy(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "polynomial length must match NTT size");
+        self.check_lazy_inputs(a, "inverse_lazy");
+        if self.log_n >= BLOCKED_MIN_LOG_N {
+            self.inv_blocked(a, Target::Lazy2q);
+        } else {
+            self.inv_subtree(a, 1, Some(Target::Lazy2q));
+        }
+    }
+
+    /// Forward transform of one contiguous CT subtree.
+    ///
+    /// `a` is a power-of-two-length block and `m0` its twiddle base: the
+    /// stage with `g` local groups uses `psi_rev[m0·g + i]` for local group
+    /// `i`. The full transform is the subtree at `m0 = 1`; after `k` global
+    /// stages, block `r` of length `n/2^k` is the subtree at
+    /// `m0 = 2^k + r`. With `finish`, the last (`t == 1`) stage fuses the
+    /// finishing reduction into its butterflies, so no separate
+    /// normalization pass runs.
+    fn fwd_subtree(&self, a: &mut [u64], m0: usize, finish: Option<Target>) {
+        let len = a.len();
+        debug_assert!(len.is_power_of_two() && len >= 2);
+        let q = self.modulus.value();
+        let two_q = q << 1;
+        let mut t = len;
+        let mut groups = 1usize;
+        while groups < len {
+            t /= 2;
+            if t == 1 {
+                // Last stage: adjacent pairs, one fresh twiddle per pair —
+                // scalar, with the finishing reduction fused in.
+                for i in 0..groups {
+                    let s = self.psi_rev[m0 * groups + i];
+                    let j = 2 * i;
+                    let (mut r0, mut r1) = simd::fwd_bfly_scalar(a[j], a[j + 1], s, q, two_q);
+                    if let Some(target) = finish {
+                        if r0 >= two_q {
+                            r0 -= two_q;
+                        }
+                        if r1 >= two_q {
+                            r1 -= two_q;
+                        }
+                        if target == Target::Canonical {
+                            if r0 >= q {
+                                r0 -= q;
+                            }
+                            if r1 >= q {
+                                r1 -= q;
+                            }
+                        }
+                    }
+                    a[j] = r0;
+                    a[j + 1] = r1;
                 }
-                j1 += 2 * t;
+            } else {
+                for i in 0..groups {
+                    let s = self.psi_rev[m0 * groups + i];
+                    let j1 = 2 * i * t;
+                    let (top, bot) = a[j1..j1 + 2 * t].split_at_mut(t);
+                    simd::fwd_bfly(top, bot, s, q);
+                }
+            }
+            groups *= 2;
+        }
+    }
+
+    /// Inverse transform of one contiguous GS subtree (see
+    /// [`NttTable::fwd_subtree`] for the `m0` convention, here over
+    /// `psi_inv_rev`). With `finish`, the last (`groups == 1`) stage runs
+    /// the fused `N^{-1}`-folded butterfly — only valid at the global root
+    /// (`m0 == 1`), where that stage's twiddle is `psi_inv_rev[1]`.
+    fn inv_subtree(&self, a: &mut [u64], m0: usize, finish: Option<Target>) {
+        let len = a.len();
+        debug_assert!(len.is_power_of_two() && len >= 2);
+        let q = self.modulus.value();
+        let two_q = q << 1;
+        let mut t = 1usize;
+        let mut groups = len / 2;
+        while groups >= 1 {
+            if groups == 1 && finish.is_some() {
+                debug_assert_eq!(m0, 1, "the N^-1 fold only applies at the global root");
+                let canonical = finish == Some(Target::Canonical);
+                let (top, bot) = a.split_at_mut(t);
+                simd::inv_bfly_last(top, bot, self.n_inv, self.inv_last, q, canonical);
+            } else if t == 1 {
+                // First stage: adjacent pairs, scalar.
+                for i in 0..groups {
+                    let s = self.psi_inv_rev[m0 * groups + i];
+                    let j = 2 * i;
+                    let (r0, r1) = simd::inv_bfly_scalar(a[j], a[j + 1], s, q, two_q);
+                    a[j] = r0;
+                    a[j + 1] = r1;
+                }
+            } else {
+                for i in 0..groups {
+                    let s = self.psi_inv_rev[m0 * groups + i];
+                    let j1 = 2 * i * t;
+                    let (top, bot) = a[j1..j1 + 2 * t].split_at_mut(t);
+                    simd::inv_bfly(top, bot, s, q);
+                }
             }
             t *= 2;
             groups /= 2;
         }
-        for x in a.iter_mut() {
-            *x = m.mul_shoup(*x, self.n_inv);
+    }
+
+    /// Cache-blocked forward schedule: view the array as an `n1 × n2`
+    /// matrix (`n1 = 2^⌊log n / 2⌋`). The first `log n1` global stages only
+    /// pair elements within a column, the rest within a row — so transpose,
+    /// run `n2` contiguous `n1`-point column subtrees (all at `m0 = 1`,
+    /// sharing one hot twiddle table), transpose back, and run `n1`
+    /// `n2`-point row subtrees (block `r` at `m0 = n1 + r`) that fuse the
+    /// finishing reduction. Bit-identical to the flat loop; only the
+    /// traversal order (and thus cache behavior) changes.
+    fn fwd_blocked(&self, a: &mut [u64], target: Target) {
+        let n1 = 1usize << (self.log_n / 2);
+        let n2 = self.n / n1;
+        Scratch::with_thread_local(|pool| {
+            let mut tmp = pool.take(self.n);
+            transpose_into(a, &mut tmp, n1, n2);
+            for col in tmp.chunks_exact_mut(n1) {
+                self.fwd_subtree(col, 1, None);
+            }
+            transpose_into(&tmp, a, n2, n1);
+            for (r, row) in a.chunks_exact_mut(n2).enumerate() {
+                self.fwd_subtree(row, n1 + r, Some(target));
+            }
+            pool.put(tmp);
+        });
+    }
+
+    /// Cache-blocked inverse schedule — the forward schedule mirrored:
+    /// row subtrees first (no finish), then transposed column subtrees
+    /// whose last stage is the global fold stage (`m0 = 1`, `N^{-1}`
+    /// folded in), then transpose back.
+    fn inv_blocked(&self, a: &mut [u64], target: Target) {
+        let n1 = 1usize << (self.log_n / 2);
+        let n2 = self.n / n1;
+        Scratch::with_thread_local(|pool| {
+            let mut tmp = pool.take(self.n);
+            for (r, row) in a.chunks_exact_mut(n2).enumerate() {
+                self.inv_subtree(row, n1 + r, None);
+            }
+            transpose_into(a, &mut tmp, n1, n2);
+            for col in tmp.chunks_exact_mut(n1) {
+                self.inv_subtree(col, 1, Some(target));
+            }
+            transpose_into(&tmp, a, n2, n1);
+            pool.put(tmp);
+        });
+    }
+}
+
+/// Tiled matrix transpose: `src` is `rows × cols` row-major, `dst` becomes
+/// `cols × rows` (`dst[c·rows + r] = src[r·cols + c]`). The tile size keeps
+/// a source tile plus a destination tile inside L1d, so each cache line is
+/// touched once per direction — the software analogue of Alchemist's
+/// transpose register file.
+pub(crate) fn transpose_into(src: &[u64], dst: &mut [u64], rows: usize, cols: usize) {
+    debug_assert_eq!(src.len(), rows * cols);
+    debug_assert_eq!(dst.len(), rows * cols);
+    // 16×16 u64 tiles: 2 KiB in, 2 KiB out — resident even in a 32 KiB L1d.
+    const TILE: usize = 16;
+    let mut r0 = 0;
+    while r0 < rows {
+        let r_end = (r0 + TILE).min(rows);
+        let mut c0 = 0;
+        while c0 < cols {
+            let c_end = (c0 + TILE).min(cols);
+            for r in r0..r_end {
+                for c in c0..c_end {
+                    dst[c * rows + r] = src[r * cols + c];
+                }
+            }
+            c0 = c_end;
         }
+        r0 = r_end;
     }
 }
 
@@ -419,48 +618,163 @@ mod tests {
         out
     }
 
+    /// The textbook eager CT loop the production path replaced: canonical
+    /// reduction after every butterfly. Kept as the oracle the lazy,
+    /// vectorized, cache-blocked transforms must match bit-for-bit.
+    fn reference_forward(t: &NttTable, a: &mut [u64]) {
+        let m = t.modulus();
+        let n = a.len();
+        let mut tt = n;
+        let mut groups = 1usize;
+        while groups < n {
+            tt /= 2;
+            for i in 0..groups {
+                let s = t.psi_rev()[groups + i];
+                let j1 = 2 * i * tt;
+                for j in j1..j1 + tt {
+                    let u = a[j];
+                    let v = m.mul_shoup(a[j + tt], s);
+                    a[j] = m.add(u, v);
+                    a[j + tt] = m.sub(u, v);
+                }
+            }
+            groups *= 2;
+        }
+    }
+
+    /// Textbook eager GS loop with the separate `N^{-1}` scaling pass.
+    fn reference_inverse(t: &NttTable, a: &mut [u64]) {
+        let m = t.modulus();
+        let n = a.len();
+        let mut tt = 1usize;
+        let mut groups = n / 2;
+        while groups >= 1 {
+            let mut j1 = 0usize;
+            for i in 0..groups {
+                let s = t.psi_inv_rev()[groups + i];
+                for j in j1..j1 + tt {
+                    let u = a[j];
+                    let v = a[j + tt];
+                    a[j] = m.add(u, v);
+                    a[j + tt] = m.mul_shoup(m.sub(u, v), s);
+                }
+                j1 += 2 * tt;
+            }
+            tt *= 2;
+            groups /= 2;
+        }
+        for x in a.iter_mut() {
+            *x = m.mul_shoup(*x, t.n_inv());
+        }
+    }
+
+    fn ramp(n: usize, q: u64) -> Vec<u64> {
+        (0..n as u64).map(|i| (i.wrapping_mul(0x9e3779b97f4a7c15)) % q).collect()
+    }
+
     #[test]
     fn round_trip_identity() {
-        for n in [8usize, 64, 1024] {
+        // 8192 and 16384 exercise the cache-blocked schedule.
+        for n in [8usize, 64, 1024, 8192, 16384] {
             let t = table(36, n);
-            let mut a: Vec<u64> =
-                (0..n as u64).map(|i| (i * 2654435761) % t.modulus().value()).collect();
+            let mut a = ramp(n, t.modulus().value());
             let original = a.clone();
             t.forward(&mut a);
             assert_ne!(a, original, "forward must change a generic vector");
             t.inverse(&mut a);
-            assert_eq!(a, original);
+            assert_eq!(a, original, "n={n}");
         }
     }
 
     #[test]
-    fn lazy_forward_matches_canonical() {
+    fn forward_matches_eager_reference() {
         for bits in [36u32, 60] {
-            for n in [8usize, 64, 512] {
-                let q = Modulus::new(generate_ntt_primes(bits, n, 1).unwrap()[0]).unwrap();
-                let t = NttTable::new(q, n).unwrap();
-                let mut a: Vec<u64> = (0..n as u64)
-                    .map(|i| (i.wrapping_mul(0x9e3779b97f4a7c15)) % q.value())
-                    .collect();
-                let mut b = a.clone();
+            for n in [8usize, 64, 512, 8192] {
+                let t = table(bits, n);
+                let mut a = ramp(n, t.modulus().value());
+                let mut r = a.clone();
                 t.forward(&mut a);
-                t.forward_lazy(&mut b);
-                assert_eq!(a, b, "bits={bits} n={n}");
+                reference_forward(&t, &mut r);
+                assert_eq!(a, r, "bits={bits} n={n}");
             }
         }
     }
 
     #[test]
-    fn lazy_forward_worst_case_inputs() {
-        // All coefficients at q-1 stress the 4q bound.
-        let n = 256;
-        let q = Modulus::new(generate_ntt_primes(60, n, 1).unwrap()[0]).unwrap();
-        let t = NttTable::new(q, n).unwrap();
-        let mut a = vec![q.value() - 1; n];
-        let mut b = a.clone();
-        t.forward(&mut a);
-        t.forward_lazy(&mut b);
-        assert_eq!(a, b);
+    fn inverse_matches_eager_reference() {
+        for bits in [36u32, 60] {
+            for n in [8usize, 64, 512, 8192] {
+                let t = table(bits, n);
+                let mut a = ramp(n, t.modulus().value());
+                let mut r = a.clone();
+                t.inverse(&mut a);
+                reference_inverse(&t, &mut r);
+                assert_eq!(a, r, "bits={bits} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_forward_matches_canonical_mod_q() {
+        for bits in [36u32, 60] {
+            for n in [8usize, 64, 512, 8192] {
+                let t = table(bits, n);
+                let q = t.modulus();
+                let mut a = ramp(n, q.value());
+                let mut b = a.clone();
+                t.forward(&mut a);
+                t.forward_lazy(&mut b);
+                for i in 0..n {
+                    assert!(b[i] < 2 * q.value(), "lazy output ≥ 2q, bits={bits} n={n} i={i}");
+                    assert_eq!(a[i], q.reduce_2q(b[i]), "bits={bits} n={n} i={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_inverse_matches_canonical_mod_q() {
+        for n in [8usize, 512, 8192] {
+            let t = table(60, n);
+            let q = t.modulus();
+            let mut a = ramp(n, q.value());
+            let mut b = a.clone();
+            t.inverse(&mut a);
+            t.inverse_lazy(&mut b);
+            for i in 0..n {
+                assert!(b[i] < 2 * q.value(), "lazy output ≥ 2q, n={n} i={i}");
+                assert_eq!(a[i], q.reduce_2q(b[i]), "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_worst_case_inputs() {
+        // All coefficients at q-1 stress the 4q bound, in both directions
+        // and through the blocked schedule.
+        for n in [256usize, 8192] {
+            let q = Modulus::new(generate_ntt_primes(60, n, 1).unwrap()[0]).unwrap();
+            let t = NttTable::new(q, n).unwrap();
+            let mut a = vec![q.value() - 1; n];
+            let mut r = a.clone();
+            t.forward(&mut a);
+            reference_forward(&t, &mut r);
+            assert_eq!(a, r, "n={n}");
+        }
+    }
+
+    #[test]
+    fn forward_accepts_lazy_inputs() {
+        // x and x + q must transform to the same canonical evaluations.
+        let n = 512;
+        let t = table(60, n);
+        let q = t.modulus().value();
+        let mut canon = ramp(n, q);
+        let mut lazy: Vec<u64> =
+            canon.iter().enumerate().map(|(i, &x)| if i % 3 == 0 { x + q } else { x }).collect();
+        t.forward(&mut canon);
+        t.forward(&mut lazy);
+        assert_eq!(canon, lazy);
     }
 
     #[test]
@@ -497,6 +811,19 @@ mod tests {
         t.inverse(&mut prod);
         assert_eq!(prod[0], m.value() - 1);
         assert!(prod[1..].iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        for (rows, cols) in [(4usize, 8usize), (16, 16), (64, 128), (37, 5)] {
+            let src: Vec<u64> = (0..(rows * cols) as u64).collect();
+            let mut t = vec![0u64; rows * cols];
+            let mut back = vec![0u64; rows * cols];
+            transpose_into(&src, &mut t, rows, cols);
+            assert_eq!(t[1], src[cols], "t[(c=0,r=1)] = src[(r=1,c=0)]");
+            transpose_into(&t, &mut back, cols, rows);
+            assert_eq!(back, src, "rows={rows} cols={cols}");
+        }
     }
 
     #[test]

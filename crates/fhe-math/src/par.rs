@@ -150,6 +150,52 @@ static MIN_WORK: AtomicU64 = AtomicU64::new(DEFAULT_MIN_WORK);
 /// channel — below this, thread-spawn latency dominates any speedup.
 pub const DEFAULT_MIN_WORK: u64 = 1 << 15;
 
+/// Kernel families with distinct thread-handoff break-even points.
+///
+/// A single global threshold cannot fit both an NTT (≈ log2(n) multiplies
+/// per element, compute-bound) and an element-wise add (one add per
+/// element, memory-bound): at the same *total work* the add finishes so
+/// fast that spawn latency eats the speedup — the sub-1.0 parallel rows the
+/// kernel bench used to report. Each class therefore carries its own
+/// default minimum work; [`set_min_work`] with a non-default value still
+/// overrides every class at once (the knob tests and the bench's
+/// forced-parallel mode rely on that).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkClass {
+    /// Per-channel NTT transforms: compute-dense, parallelizes early.
+    Ntt,
+    /// Base-conversion dot products (`Bconv`): multiply-accumulate chains,
+    /// moderate density.
+    Bconv,
+    /// Element-wise passes (add/sub/neg/pointwise-mul, scaling):
+    /// memory-bound, needs a large region before threads pay off.
+    Elementwise,
+}
+
+impl WorkClass {
+    /// The class's default minimum total work (element-operations) before
+    /// a region goes threaded.
+    pub const fn default_min_work(self) -> u64 {
+        match self {
+            WorkClass::Ntt => DEFAULT_MIN_WORK,
+            WorkClass::Bconv => 1 << 17,
+            WorkClass::Elementwise => 1 << 19,
+        }
+    }
+}
+
+/// The effective threshold for one work class: the class default, unless
+/// [`set_min_work`] installed an explicit global override (any value other
+/// than [`DEFAULT_MIN_WORK`]), which wins for every class — `0` forces the
+/// threaded path everywhere, `u64::MAX` forces inline everywhere.
+pub fn min_work_for(class: WorkClass) -> u64 {
+    let global = MIN_WORK.load(Ordering::Relaxed);
+    if global != DEFAULT_MIN_WORK {
+        return global;
+    }
+    class.default_min_work()
+}
+
 /// Whether the crate was built with the `parallel` feature.
 #[inline]
 pub fn parallelism_compiled() -> bool {
@@ -348,8 +394,8 @@ pub fn profile_snapshot() -> ParProfile {
 }
 
 /// Number of worker threads a region of `items` items × `work_per_item`
-/// element-operations would use (1 = run inline).
-fn plan_threads(items: usize, work_per_item: u64) -> usize {
+/// element-operations of the given class would use (1 = run inline).
+fn plan_threads(items: usize, work_per_item: u64, class: WorkClass) -> usize {
     if items < 2 {
         return 1;
     }
@@ -358,7 +404,7 @@ fn plan_threads(items: usize, work_per_item: u64) -> usize {
         return 1;
     }
     let total = work_per_item.saturating_mul(items as u64);
-    if total < min_work() {
+    if total < min_work_for(class) {
         return 1;
     }
     budget.min(items)
@@ -381,7 +427,27 @@ where
     T: Send,
     F: Fn(usize, &mut T) + Sync,
 {
-    let threads = plan_threads(items.len(), work_per_item);
+    par_iter_mut_in(WorkClass::Ntt, items, work_per_item, f)
+}
+
+/// [`par_iter_mut`] with an explicit [`WorkClass`] selecting the adaptive
+/// threshold — memory-bound element-wise regions need far more total work
+/// than an NTT before threads pay off.
+///
+/// # Errors
+///
+/// Returns [`ParError`] when a chunk panics (see [`par_iter_mut`]).
+pub fn par_iter_mut_in<T, F>(
+    class: WorkClass,
+    items: &mut [T],
+    work_per_item: u64,
+    f: F,
+) -> Result<(), ParError>
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let threads = plan_threads(items.len(), work_per_item, class);
     let profiling = PROFILING.load(Ordering::Relaxed);
     if threads <= 1 {
         if profiling && !items.is_empty() {
@@ -454,8 +520,27 @@ where
     U: Send,
     F: Fn(usize, &T) -> U + Sync,
 {
+    par_map_in(WorkClass::Ntt, items, work_per_item, f)
+}
+
+/// [`par_map`] with an explicit [`WorkClass`] (see [`par_iter_mut_in`]).
+///
+/// # Errors
+///
+/// Returns [`ParError`] when a chunk panics (see [`par_iter_mut`]).
+pub fn par_map_in<T, U, F>(
+    class: WorkClass,
+    items: &[T],
+    work_per_item: u64,
+    f: F,
+) -> Result<Vec<U>, ParError>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
     let mut out: Vec<Option<U>> = (0..items.len()).map(|_| None).collect();
-    par_iter_mut(&mut out, work_per_item, |i, slot| {
+    par_iter_mut_in(class, &mut out, work_per_item, |i, slot| {
         *slot = Some(f(i, &items[i]));
     })?;
     Ok(out.into_iter().map(|v| v.expect("par_map fills every slot")).collect())
@@ -574,6 +659,34 @@ mod tests {
     #[test]
     fn max_threads_is_at_least_one() {
         assert!(max_threads() >= 1);
+    }
+
+    #[test]
+    fn work_class_thresholds_and_global_override() {
+        let _g = knob_guard();
+        set_min_work(DEFAULT_MIN_WORK);
+        assert_eq!(min_work_for(WorkClass::Ntt), DEFAULT_MIN_WORK);
+        assert_eq!(min_work_for(WorkClass::Bconv), 1 << 17);
+        assert_eq!(min_work_for(WorkClass::Elementwise), 1 << 19);
+        // An explicit override (the test/bench knob) wins for every class.
+        set_min_work(0);
+        assert_eq!(min_work_for(WorkClass::Elementwise), 0);
+        set_min_work(u64::MAX);
+        assert_eq!(min_work_for(WorkClass::Bconv), u64::MAX);
+        set_min_work(DEFAULT_MIN_WORK);
+    }
+
+    #[test]
+    fn elementwise_class_stays_inline_where_ntt_class_threads() {
+        let _g = knob_guard();
+        set_min_work(DEFAULT_MIN_WORK);
+        set_max_threads(4);
+        // Work sits between the Ntt (2^15) and Elementwise (2^19) breaks.
+        let items = 16usize;
+        let per_item = 1u64 << 12; // total 2^16
+        assert_eq!(plan_threads(items, per_item, WorkClass::Ntt), 4);
+        assert_eq!(plan_threads(items, per_item, WorkClass::Elementwise), 1);
+        set_max_threads(0);
     }
 
     /// Silences the default panic hook around a closure expected to contain

@@ -5,7 +5,7 @@
 //! rather than silent corruption. The RNS layer ([`crate::RnsPoly`]) stacks
 //! one `Poly` per channel.
 
-use crate::{MathError, Modulus, NttTable};
+use crate::{simd, AVec, MathError, Modulus, NttTable};
 
 /// The representation domain of a polynomial.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -34,15 +34,23 @@ pub enum Domain {
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Poly {
-    coeffs: Vec<u64>,
+    /// 64-byte-aligned storage so the SIMD kernels see cache-line-aligned
+    /// rows (alignment is a throughput hint; correctness never depends on
+    /// it — the vector paths use unaligned loads).
+    coeffs: AVec,
     modulus: Modulus,
     domain: Domain,
+    /// When `true` the NTT-domain values are *lazy* residues in `[0, 2q)`
+    /// (Harvey range) instead of canonical `[0, q)`. Lazy polynomials are
+    /// transient pipeline intermediates: element-wise `add`/`sub` reject
+    /// them, `mul` tolerates them, and [`Poly::normalize`] canonicalizes.
+    lazy: bool,
 }
 
 impl Poly {
     /// Creates the zero polynomial of degree `n` in coefficient domain.
     pub fn zero(n: usize, modulus: Modulus) -> Self {
-        Poly { coeffs: vec![0; n], modulus, domain: Domain::Coefficient }
+        Poly { coeffs: AVec::zeroed(n), modulus, domain: Domain::Coefficient, lazy: false }
     }
 
     /// Wraps raw coefficients (must already be canonical, `< q`).
@@ -56,7 +64,7 @@ impl Poly {
                 detail: format!("coefficient {bad} not reduced modulo {}", modulus.value()),
             });
         }
-        Ok(Poly { coeffs, modulus, domain: Domain::Coefficient })
+        Ok(Poly { coeffs: AVec::from(coeffs), modulus, domain: Domain::Coefficient, lazy: false })
     }
 
     /// Wraps raw NTT-domain values (must already be canonical).
@@ -100,7 +108,25 @@ impl Poly {
         &mut self.coeffs
     }
 
-    /// Converts to NTT domain in place (no-op if already there).
+    /// Whether the values are lazy Harvey residues in `[0, 2q)` rather
+    /// than canonical `[0, q)` (see [`Poly::to_ntt_lazy`]).
+    #[inline]
+    pub fn is_lazy(&self) -> bool {
+        self.lazy
+    }
+
+    /// Canonicalizes lazy residues in place (one conditional subtraction
+    /// per element; no-op when already canonical).
+    pub fn normalize(&mut self) {
+        if self.lazy {
+            simd::reduce_2q_slice(&mut self.coeffs, self.modulus.value());
+            self.lazy = false;
+        }
+    }
+
+    /// Converts to NTT domain in place (no-op if already there). Output is
+    /// canonical; the final butterfly stage fuses the reduction, so this
+    /// costs no extra pass over [`Poly::to_ntt_lazy`].
     pub fn to_ntt(&mut self, table: &NttTable) {
         if self.domain == Domain::Coefficient {
             table.forward(&mut self.coeffs);
@@ -108,11 +134,25 @@ impl Poly {
         }
     }
 
+    /// Converts to NTT domain leaving values in the lazy `[0, 2q)` range —
+    /// the fast path for pipelines that immediately feed the result into a
+    /// lazy-tolerant consumer ([`Poly::mul`], `inverse`, Barrett dot
+    /// products). No-op if already in NTT domain.
+    pub fn to_ntt_lazy(&mut self, table: &NttTable) {
+        if self.domain == Domain::Coefficient {
+            table.forward_lazy(&mut self.coeffs);
+            self.domain = Domain::Ntt;
+            self.lazy = true;
+        }
+    }
+
     /// Converts to coefficient domain in place (no-op if already there).
+    /// Accepts lazy input; output is always canonical.
     pub fn to_coeff(&mut self, table: &NttTable) {
         if self.domain == Domain::Ntt {
             table.inverse(&mut self.coeffs);
             self.domain = Domain::Coefficient;
+            self.lazy = false;
         }
     }
 
@@ -124,9 +164,9 @@ impl Poly {
     /// disagreement.
     pub fn add(&self, other: &Poly) -> Result<Poly, MathError> {
         self.check_compatible(other)?;
-        let m = &self.modulus;
-        let coeffs = self.coeffs.iter().zip(&other.coeffs).map(|(&a, &b)| m.add(a, b)).collect();
-        Ok(Poly { coeffs, modulus: self.modulus, domain: self.domain })
+        let mut out = self.clone();
+        simd::add_mod_slice(&mut out.coeffs, &other.coeffs, self.modulus.value());
+        Ok(out)
     }
 
     /// Element-wise difference.
@@ -137,13 +177,15 @@ impl Poly {
     /// disagreement.
     pub fn sub(&self, other: &Poly) -> Result<Poly, MathError> {
         self.check_compatible(other)?;
-        let m = &self.modulus;
-        let coeffs = self.coeffs.iter().zip(&other.coeffs).map(|(&a, &b)| m.sub(a, b)).collect();
-        Ok(Poly { coeffs, modulus: self.modulus, domain: self.domain })
+        let mut out = self.clone();
+        simd::sub_mod_slice(&mut out.coeffs, &other.coeffs, self.modulus.value());
+        Ok(out)
     }
 
-    /// Negacyclic product. Operands may be in either domain; they are
-    /// transformed as needed and the result is returned in NTT domain.
+    /// Negacyclic product. Operands may be in either domain (and may be
+    /// lazy — the Barrett point-wise product tolerates `[0, 2q)` inputs);
+    /// they are transformed as needed and the canonical result is returned
+    /// in NTT domain.
     ///
     /// # Errors
     ///
@@ -153,29 +195,39 @@ impl Poly {
         if self.modulus != other.modulus || self.n() != other.n() || table.n() != self.n() {
             return Err(MathError::BasisMismatch { detail: "mul operands/table disagree" });
         }
+        // The internal forwards stay in the lazy range: the Barrett
+        // reduction of the point-wise product maps every representative to
+        // the same canonical residue, so the result is bit-identical to the
+        // eager path with one fewer reduction pass per operand.
         let mut a = self.clone();
         let mut b = other.clone();
-        a.to_ntt(table);
-        b.to_ntt(table);
-        let m = &self.modulus;
-        let coeffs = a.coeffs.iter().zip(&b.coeffs).map(|(&x, &y)| m.mul(x, y)).collect();
-        Ok(Poly { coeffs, modulus: self.modulus, domain: Domain::Ntt })
+        a.to_ntt_lazy(table);
+        b.to_ntt_lazy(table);
+        let mut out = a;
+        simd::mul_mod_slice(&mut out.coeffs, &b.coeffs, &self.modulus);
+        out.lazy = false;
+        Ok(out)
     }
 
-    /// Multiplies every entry by a scalar (domain-agnostic).
+    /// Multiplies every entry by a scalar (domain-agnostic, accepts lazy
+    /// input; the result is canonical).
     pub fn scalar_mul(&self, scalar: u64) -> Poly {
         let m = &self.modulus;
         let s = m.reduce(scalar);
         let sh = m.shoup(s);
-        let coeffs = self.coeffs.iter().map(|&a| m.mul_shoup(a, sh)).collect();
-        Poly { coeffs, modulus: self.modulus, domain: self.domain }
+        let mut out = self.clone();
+        out.normalize();
+        simd::mul_shoup_slice(&mut out.coeffs, sh, m.value());
+        out
     }
 
-    /// Negates every entry (domain-agnostic).
+    /// Negates every entry (domain-agnostic, accepts lazy input; the
+    /// result is canonical).
     pub fn neg(&self) -> Poly {
-        let m = &self.modulus;
-        let coeffs = self.coeffs.iter().map(|&a| m.neg(a)).collect();
-        Poly { coeffs, modulus: self.modulus, domain: self.domain }
+        let mut out = self.clone();
+        out.normalize();
+        simd::neg_mod_slice(&mut out.coeffs, self.modulus.value());
+        out
     }
 
     /// Applies the Galois automorphism `X ↦ X^g` (coefficient domain only;
@@ -199,7 +251,7 @@ impl Poly {
         }
         let n = self.n();
         let m = &self.modulus;
-        let mut out = vec![0u64; n];
+        let mut out = AVec::zeroed(n);
         for (i, &c) in self.coeffs.iter().enumerate() {
             let e = (i * g) % (2 * n);
             if e < n {
@@ -208,7 +260,7 @@ impl Poly {
                 out[e - n] = m.sub(out[e - n], c);
             }
         }
-        Ok(Poly { coeffs: out, modulus: self.modulus, domain: Domain::Coefficient })
+        Ok(Poly { coeffs: out, modulus: self.modulus, domain: Domain::Coefficient, lazy: false })
     }
 
     fn check_compatible(&self, other: &Poly) -> Result<(), MathError> {
@@ -220,6 +272,11 @@ impl Poly {
         }
         if self.domain != other.domain {
             return Err(MathError::BasisMismatch { detail: "domains differ" });
+        }
+        if self.lazy || other.lazy {
+            return Err(MathError::BasisMismatch {
+                detail: "element-wise op on lazy operand; normalize first",
+            });
         }
         Ok(())
     }
@@ -304,5 +361,53 @@ mod tests {
     fn validates_coefficients() {
         let (q, _) = ctx(16);
         assert!(Poly::from_coeffs(vec![q.value(); 16], q).is_err());
+    }
+
+    #[test]
+    fn lazy_roundtrip_and_guards() {
+        let (q, t) = ctx(32);
+        let a = Poly::from_coeffs((0..32).map(|i| i * 3 % q.value()).collect(), q).unwrap();
+        let mut lazy = a.clone();
+        lazy.to_ntt_lazy(&t);
+        assert!(lazy.is_lazy());
+        assert!(lazy.coeffs().iter().all(|&x| x < 2 * q.value()));
+        // Normalizing the lazy transform matches the eager transform
+        // bit-for-bit.
+        let mut eager = a.clone();
+        eager.to_ntt(&t);
+        let mut norm = lazy.clone();
+        norm.normalize();
+        assert!(!norm.is_lazy());
+        assert_eq!(norm, eager);
+        // Element-wise ops refuse lazy operands...
+        assert!(lazy.add(&eager).is_err());
+        assert!(eager.sub(&lazy).is_err());
+        // ...but the inverse transform and scalar ops accept them.
+        let mut back = lazy.clone();
+        back.to_coeff(&t);
+        assert_eq!(back, a);
+        assert_eq!(lazy.neg(), eager.neg());
+        assert_eq!(lazy.scalar_mul(7), eager.scalar_mul(7));
+    }
+
+    #[test]
+    fn mul_tolerates_lazy_operands() {
+        let (q, t) = ctx(32);
+        let a = Poly::from_coeffs((0..32).map(|i| (i * 11 + 3) % q.value()).collect(), q).unwrap();
+        let b = Poly::from_coeffs((0..32).map(|i| (i * i) % q.value()).collect(), q).unwrap();
+        // Reference: eager NTT operands.
+        let (mut ea, mut eb) = (a.clone(), b.clone());
+        ea.to_ntt(&t);
+        eb.to_ntt(&t);
+        let reference = ea.mul(&eb, &t).unwrap();
+        // Lazy NTT operands must give the bit-identical canonical product.
+        let (mut la, mut lb) = (a.clone(), b.clone());
+        la.to_ntt_lazy(&t);
+        lb.to_ntt_lazy(&t);
+        let lazy_prod = la.mul(&lb, &t).unwrap();
+        assert!(!lazy_prod.is_lazy());
+        assert_eq!(lazy_prod, reference);
+        // And the coefficient-domain entry point agrees too.
+        assert_eq!(a.mul(&b, &t).unwrap(), reference);
     }
 }

@@ -14,8 +14,9 @@
 //! noise) and is asserted exactly in the tests via [`crate::UBig`]
 //! reconstruction.
 
+use crate::par::WorkClass;
 use crate::poly::Domain;
-use crate::{par, MathError, Modulus, NttTable, Poly, Scratch, UBig};
+use crate::{par, simd, MathError, Modulus, NttTable, Poly, Scratch, UBig};
 
 /// Work estimate (element-operations) of one length-`n` NTT channel.
 fn ntt_work(n: usize) -> u64 {
@@ -248,17 +249,24 @@ impl RnsContext {
             let mut converted: Vec<Vec<u64>> = (0..q_idx.len()).map(|_| scratch.take(n)).collect();
             plan.apply_into(p_channels, &mut converted)?;
             let moduli = self.moduli();
-            par::par_iter_mut(out, (n * (p_idx.len() + 2)) as u64, |k, channel| {
-                let m = moduli[q_idx[k]];
-                let p_inv = p_invs[k];
-                channel.clear();
-                channel.extend(
-                    q_channels[k]
-                        .iter()
-                        .zip(&converted[k])
-                        .map(|(&x, &c)| m.mul_shoup(m.sub(x, c), p_inv)),
-                );
-            })?;
+            par::par_iter_mut_in(
+                WorkClass::Bconv,
+                out,
+                (n * (p_idx.len() + 2)) as u64,
+                |k, channel| {
+                    let m = moduli[q_idx[k]];
+                    let p_inv = p_invs[k];
+                    channel.clear();
+                    channel.resize(n, 0);
+                    simd::sub_mul_shoup_slice(
+                        channel,
+                        q_channels[k],
+                        &converted[k],
+                        p_inv,
+                        m.value(),
+                    );
+                },
+            )?;
             for buf in converted {
                 scratch.put(buf);
             }
@@ -401,30 +409,34 @@ impl BconvPlan {
         Scratch::with_thread_local(|scratch| {
             // Step 1 (per source channel): y_i = x_i * qhat_inv_i mod q_i.
             let mut scaled: Vec<Vec<u64>> = (0..channels.len()).map(|_| scratch.take(n)).collect();
-            par::par_iter_mut(&mut scaled, n as u64, |i, buf| {
+            par::par_iter_mut_in(WorkClass::Elementwise, &mut scaled, n as u64, |i, buf| {
                 let m = self.src_moduli[i];
                 let s = self.qhat_inv[i];
-                for (y, &x) in buf.iter_mut().zip(channels[i]) {
-                    *y = m.mul_shoup(x, s);
-                }
+                buf.copy_from_slice(channels[i]);
+                simd::mul_shoup_slice(buf, s, m.value());
             })?;
             // Step 2 (per destination channel): lazy-accumulated dot
             // product — the Meta-OP pattern `(M_j A_j)_L R_j`, one Barrett
             // reduction per destination coefficient (paper Table 3).
             let l = channels.len() as u64;
-            par::par_iter_mut(out, (n as u64).saturating_mul(l), |j, channel| {
-                let pj = self.dst_moduli[j];
-                let weights = &self.qhat_dst[j];
-                channel.clear();
-                channel.resize(n, 0);
-                for (s, x) in channel.iter_mut().enumerate() {
-                    let mut acc: u128 = 0;
-                    for (i, scaled_ch) in scaled.iter().enumerate() {
-                        acc += scaled_ch[s] as u128 * weights[i] as u128;
+            par::par_iter_mut_in(
+                WorkClass::Bconv,
+                out,
+                (n as u64).saturating_mul(l),
+                |j, channel| {
+                    let pj = self.dst_moduli[j];
+                    let weights = &self.qhat_dst[j];
+                    channel.clear();
+                    channel.resize(n, 0);
+                    for (s, x) in channel.iter_mut().enumerate() {
+                        let mut acc: u128 = 0;
+                        for (i, scaled_ch) in scaled.iter().enumerate() {
+                            acc += scaled_ch[s] as u128 * weights[i] as u128;
+                        }
+                        *x = pj.reduce_u128(acc);
                     }
-                    *x = pj.reduce_u128(acc);
-                }
-            })?;
+                },
+            )?;
             for buf in scaled {
                 scratch.put(buf);
             }
@@ -544,7 +556,9 @@ impl RnsPoly {
             assert_eq!(c.modulus(), t.modulus(), "misaligned NTT tables");
         }
         let work = ntt_work(self.n());
-        par::par_iter_mut(&mut self.channels, work, |i, c| c.to_ntt(&tables[i]))?;
+        par::par_iter_mut_in(WorkClass::Ntt, &mut self.channels, work, |i, c| {
+            c.to_ntt(&tables[i]);
+        })?;
         Ok(())
     }
 
@@ -565,7 +579,9 @@ impl RnsPoly {
             assert_eq!(c.modulus(), t.modulus(), "misaligned NTT tables");
         }
         let work = ntt_work(self.n());
-        par::par_iter_mut(&mut self.channels, work, |i, c| c.to_coeff(&tables[i]))?;
+        par::par_iter_mut_in(WorkClass::Ntt, &mut self.channels, work, |i, c| {
+            c.to_coeff(&tables[i]);
+        })?;
         Ok(())
     }
 
@@ -591,11 +607,9 @@ impl RnsPoly {
         self.check_zip(other)?;
         let n = self.n() as u64;
         let others = &other.channels;
-        par::par_iter_mut(&mut self.channels, n, |i, c| {
-            let m = c.modulus();
-            for (x, &y) in c.coeffs_mut().iter_mut().zip(others[i].coeffs()) {
-                *x = m.add(*x, y);
-            }
+        par::par_iter_mut_in(WorkClass::Elementwise, &mut self.channels, n, |i, c| {
+            let q = c.modulus().value();
+            simd::add_mod_slice(c.coeffs_mut(), others[i].coeffs(), q);
         })?;
         Ok(())
     }
@@ -622,11 +636,9 @@ impl RnsPoly {
         self.check_zip(other)?;
         let n = self.n() as u64;
         let others = &other.channels;
-        par::par_iter_mut(&mut self.channels, n, |i, c| {
-            let m = c.modulus();
-            for (x, &y) in c.coeffs_mut().iter_mut().zip(others[i].coeffs()) {
-                *x = m.sub(*x, y);
-            }
+        par::par_iter_mut_in(WorkClass::Elementwise, &mut self.channels, n, |i, c| {
+            let q = c.modulus().value();
+            simd::sub_mod_slice(c.coeffs_mut(), others[i].coeffs(), q);
         })?;
         Ok(())
     }
@@ -651,11 +663,9 @@ impl RnsPoly {
     /// panicked (`self` is poisoned in that case).
     pub fn neg_assign(&mut self) -> Result<(), MathError> {
         let n = self.n() as u64;
-        par::par_iter_mut(&mut self.channels, n, |_, c| {
-            let m = c.modulus();
-            for x in c.coeffs_mut() {
-                *x = m.neg(*x);
-            }
+        par::par_iter_mut_in(WorkClass::Elementwise, &mut self.channels, n, |_, c| {
+            let q = c.modulus().value();
+            simd::neg_mod_slice(c.coeffs_mut(), q);
         })?;
         Ok(())
     }
@@ -687,11 +697,9 @@ impl RnsPoly {
         self.check_zip(other)?;
         let n = self.n() as u64;
         let others = &other.channels;
-        par::par_iter_mut(&mut self.channels, n, |i, c| {
+        par::par_iter_mut_in(WorkClass::Elementwise, &mut self.channels, n, |i, c| {
             let m = c.modulus();
-            for (x, &y) in c.coeffs_mut().iter_mut().zip(others[i].coeffs()) {
-                *x = m.mul(*x, y);
-            }
+            simd::mul_mod_slice(c.coeffs_mut(), others[i].coeffs(), &m);
         })?;
         Ok(())
     }
@@ -713,9 +721,10 @@ impl RnsPoly {
                 detail: format!("automorphism exponent {g} must be odd"),
             });
         }
-        let channels = par::par_map(&self.channels, self.n() as u64, |_, c| {
-            c.automorphism(g).expect("validated: odd exponent, coefficient domain")
-        })?;
+        let channels =
+            par::par_map_in(WorkClass::Elementwise, &self.channels, self.n() as u64, |_, c| {
+                c.automorphism(g).expect("validated: odd exponent, coefficient domain")
+            })?;
         Ok(RnsPoly { channels })
     }
 

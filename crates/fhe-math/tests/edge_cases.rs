@@ -42,7 +42,8 @@ fn zero_polynomial_transforms_to_zero() {
     t.forward(&mut a);
     assert!(a.iter().all(|&x| x == 0));
     t.forward_lazy(&mut a);
-    assert!(a.iter().all(|&x| x == 0));
+    // Lazy outputs are residues up to one multiple of q: 0 or q here.
+    assert!(a.iter().all(|&x| q.reduce_2q(x) == 0));
 }
 
 #[test]

@@ -1,0 +1,120 @@
+//! Property tests pinning the Harvey lazy-reduction value-range contract
+//! at the modulus width limit.
+//!
+//! Two moduli matter at the boundary:
+//!
+//! * `q = 2^61 - 1` (Mersenne, exactly `MAX_MODULUS_BITS` wide, *not*
+//!   NTT-friendly) — exercises the scalar lazy primitives where the
+//!   `[0, 2q)` / `[0, 4q)` headroom above 61 bits is tightest;
+//! * the largest 61-bit NTT-friendly prime — exercises the full lazy
+//!   transforms (`forward_lazy` / `inverse_lazy`) with worst-case
+//!   coefficients.
+
+use fhe_math::{generate_ntt_primes, Modulus, NttTable};
+use proptest::prelude::*;
+
+/// 2^61 - 1: prime, exactly at the width limit.
+const Q61: u64 = (1u64 << 61) - 1;
+
+proptest! {
+    /// `mul_shoup_lazy` emits `[0, 2q)` for ANY u64 multiplicand (the
+    /// butterfly feeds it unreduced lazy values) and the residue is exact.
+    #[test]
+    fn shoup_lazy_output_below_2q_for_any_input(a in any::<u64>(), w in 0..Q61) {
+        let q = Modulus::new(Q61).unwrap();
+        let s = q.shoup(w);
+        let r = q.mul_shoup_lazy(a, s);
+        prop_assert!(r < 2 * Q61, "mul_shoup_lazy({a}, {w}) = {r} >= 2q");
+        prop_assert_eq!(q.reduce_2q(r), q.mul(q.reduce(a), w));
+    }
+
+    /// The forward Cooley–Tukey lazy butterfly algebra: a `[0, 4q)` input
+    /// conditionally subtracts `2q`, the twiddle product lands in
+    /// `[0, 2q)`, and both outputs stay `< 4q` — the per-layer invariant
+    /// the transform relies on at every stage (paper Table 2 headroom).
+    #[test]
+    fn forward_butterfly_stays_below_4q(
+        u in 0..4 * Q61,
+        x in any::<u64>(),
+        w in 1..Q61,
+    ) {
+        let q = Modulus::new(Q61).unwrap();
+        let s = q.shoup(w);
+        let u1 = if u >= 2 * Q61 { u - 2 * Q61 } else { u };
+        let v = q.mul_shoup_lazy(x, s);
+        let (t0, t1) = (u1 + v, u1 + 2 * Q61 - v);
+        prop_assert!(t0 < 4 * Q61 && t1 < 4 * Q61);
+        // Residues: t0 ≡ u + x·w, t1 ≡ u − x·w (mod q).
+        let (ur, xw) = (q.reduce(u), q.mul(q.reduce(x), w));
+        prop_assert_eq!(q.reduce(t0), q.add(ur, xw));
+        prop_assert_eq!(q.reduce(t1), q.sub(ur, xw));
+    }
+
+    /// The inverse Gentleman–Sande lazy butterfly: `[0, 2q)` inputs give
+    /// `[0, 2q)` outputs (sum cond-subtracts `2q`, difference goes through
+    /// the lazy Shoup product).
+    #[test]
+    fn inverse_butterfly_stays_below_2q(
+        u in 0..2 * Q61,
+        v in 0..2 * Q61,
+        w in 1..Q61,
+    ) {
+        let q = Modulus::new(Q61).unwrap();
+        let s = q.shoup(w);
+        let mut t0 = u + v;
+        if t0 >= 2 * Q61 {
+            t0 -= 2 * Q61;
+        }
+        let t1 = q.mul_shoup_lazy(u + 2 * Q61 - v, s);
+        prop_assert!(t0 < 2 * Q61 && t1 < 2 * Q61);
+        let (ur, vr) = (q.reduce(u), q.reduce(v));
+        prop_assert_eq!(q.reduce_2q(t0), q.add(ur, vr));
+        prop_assert_eq!(q.reduce_2q(t1), q.mul(q.sub(ur, vr), w));
+    }
+
+    /// `reduce_2q` canonicalizes the whole lazy range with one conditional
+    /// subtraction.
+    #[test]
+    fn reduce_2q_canonicalizes(a in 0..2 * Q61) {
+        let q = Modulus::new(Q61).unwrap();
+        let r = q.reduce_2q(a);
+        prop_assert!(r < Q61);
+        prop_assert_eq!(r, q.reduce(a));
+    }
+}
+
+/// Full lazy transforms at the largest NTT-friendly primes the width limit
+/// admits, with worst-case coefficients: every lazy intermediate the API
+/// exposes stays `< 2q`, and canonical entry points stay `< q`.
+#[test]
+fn lazy_ntt_ranges_at_width_limit() {
+    for n in [256usize, 2048] {
+        let q = Modulus::new(generate_ntt_primes(61, n, 1).expect("61-bit NTT prime")[0]).unwrap();
+        assert_eq!(q.bits(), 61);
+        let t = NttTable::new(q, n).unwrap();
+        let two_q = 2 * q.value();
+
+        // Worst case: every input at the lazy ceiling 2q-1 (the forward
+        // transform accepts the full [0, 2q) range).
+        let mut a = vec![two_q - 1; n];
+        t.forward_lazy(&mut a);
+        assert!(a.iter().all(|&x| x < two_q), "forward_lazy breached 2q at n={n}");
+
+        let mut b = a.clone();
+        t.inverse_lazy(&mut b);
+        assert!(b.iter().all(|&x| x < two_q), "inverse_lazy breached 2q at n={n}");
+
+        // Canonical entry points normalize fully, from the same lazy input.
+        let mut c = vec![two_q - 1; n];
+        t.forward(&mut c);
+        assert!(c.iter().all(|&x| x < q.value()), "forward not canonical at n={n}");
+        t.inverse(&mut c);
+        assert!(c.iter().all(|&x| x < q.value()), "inverse not canonical at n={n}");
+
+        // And the lazy/canonical pair agree residue-wise.
+        let mut d = vec![two_q - 1; n];
+        t.forward(&mut d);
+        let a_canon: Vec<u64> = a.iter().map(|&x| q.reduce_2q(x)).collect();
+        assert_eq!(a_canon, d, "forward_lazy disagrees with forward mod q at n={n}");
+    }
+}
