@@ -21,6 +21,14 @@
 //! * `--profile` — re-runs each kernel once on the parallel backend with
 //!   the per-worker profiler armed and reports busy/idle time, chunk and
 //!   item counts per worker, plus the load-imbalance factor.
+//! * `--alloc-profile` — re-runs each kernel once, pinned sequential and
+//!   warmed up, under the counting global allocator and records the
+//!   per-call allocation count, bytes requested, and interval peak heap
+//!   (after a peak re-baseline) in an `"alloc"` stanza per kernel row.
+//!   `--compare` then gates those columns with the same tolerance (plus a
+//!   small absolute slack) when the baseline also carries them. Requires
+//!   the `alloc-track` feature (on by default); a build without it exits
+//!   `2`.
 //! * `--compare BASELINE.json [--tolerance F]` — diffs the fresh run
 //!   against a committed baseline per `(kernel, n, channels)` key and
 //!   exits `1` if any kernel slowed by more than the tolerance
@@ -81,6 +89,9 @@ struct Measurement {
     /// Per-worker activity from one profiler-armed parallel run
     /// (`--profile` only).
     profile: Option<par::ParProfile>,
+    /// Per-call allocation counts and interval peak heap from one extra
+    /// pinned-sequential run (`--alloc-profile` only).
+    alloc: Option<regress::AllocPoint>,
 }
 
 impl Measurement {
@@ -103,12 +114,15 @@ fn time_reps<F: FnMut()>(reps: usize, mut f: F) -> f64 {
 
 /// Runs `f` per mode (sequential, then parallel) and returns both best
 /// times, plus a per-worker profile from one extra profiler-armed parallel
-/// run when `profile` is set. Restores the auto thread budget afterwards.
+/// run when `profile` is set and an allocation profile from one extra
+/// pinned-sequential run when `alloc_profile` is set. Restores the auto
+/// thread budget afterwards.
 fn seq_vs_par<F: FnMut()>(
     reps: usize,
     profile: bool,
+    alloc_profile: bool,
     mut f: F,
-) -> (f64, f64, Option<par::ParProfile>) {
+) -> (f64, f64, Option<par::ParProfile>, Option<regress::AllocPoint>) {
     par::set_max_threads(1);
     let seq = time_reps(reps, &mut f);
     par::set_max_threads(0);
@@ -122,7 +136,21 @@ fn seq_vs_par<F: FnMut()>(
         par::set_profiling(false);
         par::profile_snapshot()
     });
-    (seq, par_t, prof)
+    let alloc = alloc_profile.then(|| {
+        // Pinned to one thread so the count is deterministic: worker
+        // charge-back makes the parallel totals correct too, but how
+        // often per-worker scratch pools re-warm depends on the thread
+        // budget. One extra warm-up under the pinned budget first — the
+        // timed reps above may have warmed a different pool set.
+        par::set_max_threads(1);
+        f();
+        telemetry::alloc::reset_peak();
+        let ((), d) = telemetry::alloc::alloc_delta(&mut f);
+        let peak_bytes = telemetry::alloc::global_stats().peak_bytes;
+        par::set_max_threads(0);
+        regress::AllocPoint { allocs: d.allocs, bytes: d.bytes, peak_bytes }
+    });
+    (seq, par_t, prof, alloc)
 }
 
 /// Deterministic pseudo-random residues for channel `c` of a degree-`n`
@@ -133,7 +161,13 @@ fn fill(n: usize, c: usize, m: Modulus) -> Vec<u64> {
         .collect()
 }
 
-fn rns_kernels(n: usize, reps: usize, profile: bool, out: &mut Vec<Measurement>) {
+fn rns_kernels(
+    n: usize,
+    reps: usize,
+    profile: bool,
+    alloc_profile: bool,
+    out: &mut Vec<Measurement>,
+) {
     let primes = generate_ntt_primes(50, n, CHANNELS).expect("enough 50-bit NTT primes");
     let moduli: Vec<Modulus> = primes.iter().map(|&q| Modulus::new(q).expect("prime")).collect();
     let ctx = RnsContext::new(n, RnsBasis::new(moduli.clone()).expect("basis")).expect("context");
@@ -146,7 +180,7 @@ fn rns_kernels(n: usize, reps: usize, profile: bool, out: &mut Vec<Measurement>)
     let mut bufs: Vec<Vec<u64>> = moduli.iter().enumerate().map(|(c, &m)| fill(n, c, m)).collect();
     let tables = ctx.tables();
     let ntt_work = (n as u64).saturating_mul(u64::from(n.trailing_zeros().max(1)));
-    let (seq, par_t, prof) = seq_vs_par(reps, profile, || {
+    let (seq, par_t, prof, alloc) = seq_vs_par(reps, profile, alloc_profile, || {
         par::par_iter_mut_in(par::WorkClass::Ntt, &mut bufs, ntt_work, |c, b| {
             tables[c].forward(b);
         })
@@ -159,8 +193,9 @@ fn rns_kernels(n: usize, reps: usize, profile: bool, out: &mut Vec<Measurement>)
         seq_s: seq,
         par_s: par_t,
         profile: prof,
+        alloc,
     });
-    let (seq, par_t, prof) = seq_vs_par(reps, profile, || {
+    let (seq, par_t, prof, alloc) = seq_vs_par(reps, profile, alloc_profile, || {
         par::par_iter_mut_in(par::WorkClass::Ntt, &mut bufs, ntt_work, |c, b| {
             tables[c].inverse(b);
         })
@@ -173,6 +208,7 @@ fn rns_kernels(n: usize, reps: usize, profile: bool, out: &mut Vec<Measurement>)
         seq_s: seq,
         par_s: par_t,
         profile: prof,
+        alloc,
     });
 
     // Modup: DIGIT source channels onto the remaining channels.
@@ -182,8 +218,9 @@ fn rns_kernels(n: usize, reps: usize, profile: bool, out: &mut Vec<Measurement>)
     let src_data: Vec<Vec<u64>> = src_idx.iter().map(|&c| fill(n, c, moduli[c])).collect();
     let src_refs: Vec<&[u64]> = src_data.iter().map(Vec::as_slice).collect();
     let mut modup_out = vec![Vec::new(); dst_idx.len()];
-    let (seq, par_t, prof) =
-        seq_vs_par(reps, profile, || plan.apply_into(&src_refs, &mut modup_out).expect("modup"));
+    let (seq, par_t, prof, alloc) = seq_vs_par(reps, profile, alloc_profile, || {
+        plan.apply_into(&src_refs, &mut modup_out).expect("modup")
+    });
     out.push(Measurement {
         kernel: "modup",
         n,
@@ -191,6 +228,7 @@ fn rns_kernels(n: usize, reps: usize, profile: bool, out: &mut Vec<Measurement>)
         seq_s: seq,
         par_s: par_t,
         profile: prof,
+        alloc,
     });
 
     // Moddown: CHANNELS-SPECIALS ciphertext channels, SPECIALS specials.
@@ -201,7 +239,7 @@ fn rns_kernels(n: usize, reps: usize, profile: bool, out: &mut Vec<Measurement>)
     let q_refs: Vec<&[u64]> = q_data.iter().map(Vec::as_slice).collect();
     let p_refs: Vec<&[u64]> = p_data.iter().map(Vec::as_slice).collect();
     let mut moddown_out = vec![Vec::new(); q_idx.len()];
-    let (seq, par_t, prof) = seq_vs_par(reps, profile, || {
+    let (seq, par_t, prof, alloc) = seq_vs_par(reps, profile, alloc_profile, || {
         ctx.moddown_into(&q_refs, &p_refs, &q_idx, &p_idx, &mut moddown_out).expect("moddown");
     });
     out.push(Measurement {
@@ -211,10 +249,17 @@ fn rns_kernels(n: usize, reps: usize, profile: bool, out: &mut Vec<Measurement>)
         seq_s: seq,
         par_s: par_t,
         profile: prof,
+        alloc,
     });
 }
 
-fn ckks_kernel(n: usize, reps: usize, profile: bool, out: &mut Vec<Measurement>) {
+fn ckks_kernel(
+    n: usize,
+    reps: usize,
+    profile: bool,
+    alloc_profile: bool,
+    out: &mut Vec<Measurement>,
+) {
     // Small chain so setup stays cheap; the kernel under test is the
     // mul + relinearize + rescale pipeline, whose cost scales with n.
     let (max_level, dnum, scale_bits) = if n <= 64 { (2, 2, 26) } else { (3, 2, 36) };
@@ -231,7 +276,7 @@ fn ckks_kernel(n: usize, reps: usize, profile: bool, out: &mut Vec<Measurement>)
     let ca = sk.encrypt(&ctx, &pt, &mut rng).expect("encrypt");
     let cb = sk.encrypt(&ctx, &pt, &mut rng).expect("encrypt");
     let level = ca.level();
-    let (seq, par_t, prof) = seq_vs_par(reps, profile, || {
+    let (seq, par_t, prof, alloc) = seq_vs_par(reps, profile, alloc_profile, || {
         let prod = ev.mul(&ca, &cb, &rlk).expect("mul");
         std::hint::black_box(ev.rescale(&prod).expect("rescale"));
     });
@@ -242,6 +287,7 @@ fn ckks_kernel(n: usize, reps: usize, profile: bool, out: &mut Vec<Measurement>)
         seq_s: seq,
         par_s: par_t,
         profile: prof,
+        alloc,
     });
 }
 
@@ -278,6 +324,13 @@ fn to_json(measurements: &[Measurement], note: &str, reps: usize) -> Json {
     host.insert("threads".to_string(), Json::Num(par::max_threads() as f64));
     host.insert("parallel_compiled".to_string(), Json::Bool(par::parallelism_compiled()));
     host.insert("checksum_enabled".to_string(), Json::Bool(fhe_math::checksum_enabled()));
+    host.insert(
+        "alloc_track_compiled".to_string(),
+        Json::Bool(telemetry::alloc::tracking_compiled()),
+    );
+    if let Some(mb) = bench::mem_total_mb() {
+        host.insert("mem_total_mb".to_string(), Json::Num(mb as f64));
+    }
     host.insert("reps".to_string(), Json::Num(reps as f64));
     doc.insert("host".to_string(), Json::Obj(host));
     doc.insert("note".to_string(), Json::Str(note.to_string()));
@@ -296,6 +349,13 @@ fn to_json(measurements: &[Measurement], note: &str, reps: usize) -> Json {
                     o.insert("speedup".to_string(), Json::Num(m.speedup()));
                     if let Some(p) = &m.profile {
                         o.insert("profile".to_string(), profile_to_json(p));
+                    }
+                    if let Some(a) = &m.alloc {
+                        let mut ao = std::collections::BTreeMap::new();
+                        ao.insert("allocs".to_string(), Json::Num(a.allocs as f64));
+                        ao.insert("bytes".to_string(), Json::Num(a.bytes as f64));
+                        ao.insert("peak_bytes".to_string(), Json::Num(a.peak_bytes as f64));
+                        o.insert("alloc".to_string(), Json::Obj(ao));
                     }
                     Json::Obj(o)
                 })
@@ -346,6 +406,14 @@ fn main() {
     let args = BenchArgs::parse();
     let smoke = args.rest.iter().any(|a| a == "--smoke");
     let profile = args.rest.iter().any(|a| a == "--profile");
+    let alloc_profile = args.rest.iter().any(|a| a == "--alloc-profile");
+    if alloc_profile && !telemetry::alloc::tracking_compiled() {
+        eprintln!(
+            "--alloc-profile: the alloc-track feature is not compiled in (built with \
+             --no-default-features?); rebuild with the default features to count allocations"
+        );
+        std::process::exit(2);
+    }
     // Benches measure the checksum-free fast path unless explicitly asked
     // to bound the overhead of the enabled path.
     let checksum = args.rest.iter().any(|a| a == "--checksum");
@@ -440,10 +508,10 @@ fn main() {
         if !rep.is_json() {
             println!("measuring n = {n}...");
         }
-        rns_kernels(n, reps, profile, &mut measurements);
+        rns_kernels(n, reps, profile, alloc_profile, &mut measurements);
         // CKKS at every size would dominate the run; sample the endpoints.
         if n == sizes[0] || n == *sizes.last().expect("nonempty") {
-            ckks_kernel(n, reps, profile, &mut measurements);
+            ckks_kernel(n, reps, profile, alloc_profile, &mut measurements);
         }
     }
     par::set_max_threads(0);
@@ -491,6 +559,9 @@ fn main() {
 
     if profile {
         report_profiles(&mut rep, &tel, &measurements);
+    }
+    if alloc_profile {
+        report_alloc_profiles(&mut rep, &measurements);
     }
 
     let mut doc = to_json(&measurements, &note, reps);
@@ -593,6 +664,46 @@ fn report_profiles(rep: &mut Reporter, tel: &telemetry::Telemetry, measurements:
     }
 }
 
+/// Renders the per-kernel allocation table (`--alloc-profile`).
+fn report_alloc_profiles(rep: &mut Reporter, measurements: &[Measurement]) {
+    let rows: Vec<Vec<String>> = measurements
+        .iter()
+        .filter_map(|m| {
+            m.alloc.map(|a| {
+                vec![
+                    m.kernel.to_string(),
+                    m.n.to_string(),
+                    m.channels.to_string(),
+                    a.allocs.to_string(),
+                    fmt_bytes(a.bytes),
+                    fmt_bytes(a.peak_bytes),
+                ]
+            })
+        })
+        .collect();
+    rep.table(
+        "Allocation profile: one warmed-up sequential call per kernel",
+        &["kernel", "n", "channels", "allocs", "bytes", "peak heap"],
+        &rows,
+    );
+    rep.note(
+        "allocs/bytes are heap requests attributed to the calling thread for one \
+         steady-state call; peak heap is the process-wide high-water mark over that \
+         call after a re-baseline (so it includes the buffers the call touched, not \
+         history).",
+    );
+}
+
+/// Formats a byte count with a binary-prefix unit.
+fn fmt_bytes(b: u64) -> String {
+    match b {
+        0..=1023 => format!("{b} B"),
+        1024..=1048575 => format!("{:.1} KiB", b as f64 / 1024.0),
+        1048576..=1073741823 => format!("{:.1} MiB", b as f64 / 1048576.0),
+        _ => format!("{:.2} GiB", b as f64 / 1073741824.0),
+    }
+}
+
 /// Diffs the fresh measurements against `baseline_path` and renders the
 /// delta table. Returns whether any kernel regressed beyond `tolerance`.
 fn run_compare(
@@ -620,6 +731,7 @@ fn run_compare(
         &regress::parse_host(&doc),
         par::max_threads() as u64,
         par::parallelism_compiled(),
+        bench::mem_total_mb(),
     );
     for w in &host_warnings {
         eprintln!("WARNING: {w}");
@@ -633,6 +745,7 @@ fn run_compare(
             channels: m.channels as u64,
             seq_s: m.seq_s,
             par_s: m.par_s,
+            alloc: m.alloc,
         })
         .collect();
     let report = regress::compare(&fresh, &baseline, tolerance).unwrap_or_else(|e| {
@@ -652,6 +765,7 @@ fn run_compare(
                 fmt_time(r.fresh.1),
                 format!("{:.2}", r.ratio.0),
                 format!("{:.2}", r.ratio.1),
+                r.alloc_ratio.map_or_else(|| "-".to_string(), |a| format!("{a:.2}")),
                 if r.regressed { "REGRESSED".to_string() } else { "ok".to_string() },
             ]
         })
@@ -662,7 +776,17 @@ fn run_compare(
             "Regression gate vs {baseline_path} (tolerance {:.0}%){mismatch_tag}",
             tolerance * 100.0
         ),
-        &["kernel", "n", "channels", "base par", "fresh par", "seq ratio", "par ratio", "status"],
+        &[
+            "kernel",
+            "n",
+            "channels",
+            "base par",
+            "fresh par",
+            "seq ratio",
+            "par ratio",
+            "alloc ratio",
+            "status",
+        ],
         &rows,
     );
     let n_reg = report.regressions();

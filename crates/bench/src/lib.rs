@@ -159,11 +159,32 @@ pub fn telemetry_from_args(args: &BenchArgs) -> telemetry::Telemetry {
 
 /// Records the facts needed to interpret a trace captured on another
 /// machine: worker-thread budget, whether the `parallel` feature was
-/// compiled in, and the producing git commit.
+/// compiled in, physical memory, and the producing git commit.
 pub fn stamp_host_meta(tel: &telemetry::Telemetry) {
     tel.set_meta("host.threads", &fhe_math::par::max_threads().to_string());
     tel.set_meta("host.parallel_compiled", &fhe_math::par::parallelism_compiled().to_string());
+    if let Some(mb) = mem_total_mb() {
+        tel.set_meta("host.mem_total_mb", &mb.to_string());
+    }
     tel.set_meta("git.commit", &git_commit());
+}
+
+/// Physical memory of this host in megabytes: `MemTotal` from
+/// `/proc/meminfo` on Linux, `None` elsewhere (baseline comparisons then
+/// skip the memory-class check rather than guessing).
+pub fn mem_total_mb() -> Option<u64> {
+    if !cfg!(target_os = "linux") {
+        return None;
+    }
+    let text = std::fs::read_to_string("/proc/meminfo").ok()?;
+    parse_mem_total_mb(&text)
+}
+
+/// Parses the `MemTotal: <n> kB` line of a `/proc/meminfo` document.
+fn parse_mem_total_mb(meminfo: &str) -> Option<u64> {
+    let line = meminfo.lines().find(|l| l.starts_with("MemTotal:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb / 1024)
 }
 
 /// Short git commit hash of the working tree, or `"unknown"` outside a
@@ -264,6 +285,19 @@ mod tests {
         assert_eq!(fmt_time(0.0023), "2.30 ms");
         assert_eq!(fmt_time(2.0), "2.00 s");
         assert_eq!(fmt_time(4.2e-5), "42.00 us");
+    }
+
+    #[test]
+    fn mem_total_parses_proc_meminfo_shape() {
+        let doc = "MemTotal:       32796552 kB\nMemFree:        11111111 kB\n";
+        assert_eq!(parse_mem_total_mb(doc), Some(32027));
+        assert_eq!(parse_mem_total_mb("MemFree: 1 kB\n"), None);
+        assert_eq!(parse_mem_total_mb("MemTotal: junk kB\n"), None);
+        // On Linux the live reading must agree with the parser's contract.
+        if cfg!(target_os = "linux") {
+            let mb = mem_total_mb().expect("/proc/meminfo readable on Linux");
+            assert!(mb > 0);
+        }
     }
 
     #[test]

@@ -8,10 +8,39 @@
 //! regresses. Keys present on only one side are counted but never gate —
 //! except that an *empty* intersection is an error, so a renamed kernel or
 //! a stale baseline cannot produce a vacuous pass.
+//!
+//! When both sides carry an `alloc` stanza (written by
+//! `--alloc-profile`), the same tolerance also gates the per-call
+//! allocation count and interval peak-heap bytes — with a small absolute
+//! slack ([`ALLOC_SLACK`], [`PEAK_SLACK`]) so tiny kernels whose counts
+//! sit near zero do not flap on one stray lazy-init allocation. Allocation
+//! counts are deterministic per build (unlike wall times), so this catches
+//! "the hot path started allocating" the moment it lands.
 
 use std::collections::BTreeMap;
 
 use telemetry::json::Json;
+
+/// Absolute slack on the allocation-count gate: a fresh run may exceed
+/// `base * (1 + tolerance)` by up to this many calls before regressing.
+/// Covers one-off lazy initialization that lands on whichever kernel runs
+/// it first.
+pub const ALLOC_SLACK: u64 = 64;
+
+/// Absolute slack (bytes) on the peak-heap gate, for the same reason.
+pub const PEAK_SLACK: u64 = 1 << 20;
+
+/// Allocation profile of one kernel invocation (`--alloc-profile`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocPoint {
+    /// Heap allocations attributed to one steady-state call.
+    pub allocs: u64,
+    /// Bytes requested by that call.
+    pub bytes: u64,
+    /// Peak live heap (process-wide) during the call, after a
+    /// `reset_peak` re-baseline.
+    pub peak_bytes: u64,
+}
 
 /// One measured kernel data point, keyed by `(kernel, n, channels)`.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,6 +55,8 @@ pub struct KernelPoint {
     pub seq_s: f64,
     /// Best wall time with the auto thread budget.
     pub par_s: f64,
+    /// Allocation profile, when the run used `--alloc-profile`.
+    pub alloc: Option<AllocPoint>,
 }
 
 impl KernelPoint {
@@ -49,6 +80,25 @@ pub fn parse_baseline(doc: &Json) -> Result<Vec<KernelPoint>, String> {
                     .and_then(Json::as_f64)
                     .ok_or_else(|| format!("kernels[{i}] missing numeric `{field}`"))
             };
+            // The alloc stanza is optional (pre-`--alloc-profile` schemas
+            // and timing-only runs), but when present it must be complete:
+            // a half-written stanza is a malformed baseline, not a hint.
+            let alloc = match k.get("alloc") {
+                None => None,
+                Some(a) => {
+                    let anum = |field: &str| {
+                        a.get(field)
+                            .and_then(Json::as_f64)
+                            .map(|v| v as u64)
+                            .ok_or_else(|| format!("kernels[{i}].alloc missing numeric `{field}`"))
+                    };
+                    Some(AllocPoint {
+                        allocs: anum("allocs")?,
+                        bytes: anum("bytes")?,
+                        peak_bytes: anum("peak_bytes")?,
+                    })
+                }
+            };
             Ok(KernelPoint {
                 kernel: k
                     .get("kernel")
@@ -59,6 +109,7 @@ pub fn parse_baseline(doc: &Json) -> Result<Vec<KernelPoint>, String> {
                 channels: num("channels")? as u64,
                 seq_s: num("seq_s")?,
                 par_s: num("par_s")?,
+                alloc,
             })
         })
         .collect()
@@ -73,6 +124,8 @@ pub struct BaselineHost {
     pub threads: Option<u64>,
     /// Whether the baseline was produced with the `parallel` feature.
     pub parallel_compiled: Option<bool>,
+    /// Physical memory of the recording host (`host.mem_total_mb`).
+    pub mem_total_mb: Option<u64>,
 }
 
 /// Extracts the comparability-relevant `host` fields of a baseline
@@ -85,16 +138,23 @@ pub fn parse_host(doc: &Json) -> BaselineHost {
             Json::Bool(b) => Some(*b),
             _ => None,
         }),
+        mem_total_mb: host
+            .and_then(|h| h.get("mem_total_mb"))
+            .and_then(Json::as_f64)
+            .map(|m| m as u64),
     }
 }
 
 /// Human-readable warnings when the baseline host and the current run are
-/// not comparable (different thread budget or parallel compilation);
-/// empty when they match or the baseline does not record the fields.
+/// not comparable (different thread budget, parallel compilation, or a
+/// different memory class — ≥ 2x apart in physical RAM, where allocator
+/// and page-cache behavior stop being comparable); empty when they match
+/// or either side does not record the fields.
 pub fn host_mismatch_warnings(
     base: &BaselineHost,
     threads: u64,
     parallel_compiled: bool,
+    mem_total_mb: Option<u64>,
 ) -> Vec<String> {
     let mut warnings = Vec::new();
     if let Some(bt) = base.threads {
@@ -110,6 +170,14 @@ pub fn host_mismatch_warnings(
             warnings.push(format!(
                 "baseline parallel_compiled={bp} but this build has parallel_compiled=\
                  {parallel_compiled}; sequential/parallel columns are not comparable"
+            ));
+        }
+    }
+    if let (Some(bm), Some(m)) = (base.mem_total_mb, mem_total_mb) {
+        if bm.max(m) >= 2 * bm.min(m).max(1) {
+            warnings.push(format!(
+                "baseline host had {bm} MB of RAM but this host has {m} MB (different \
+                 memory class); peak-heap columns and page-cache effects are not comparable"
             ));
         }
     }
@@ -131,7 +199,12 @@ pub struct CompareRow {
     pub fresh: (f64, f64),
     /// `fresh / base` per column.
     pub ratio: (f64, f64),
-    /// Whether either column exceeded the tolerance.
+    /// `fresh / base` allocation-count ratio, when both sides carry an
+    /// alloc stanza (a zero-alloc baseline reports the fresh count + 1
+    /// over 1 so any new allocation still shows a ratio > 1).
+    pub alloc_ratio: Option<f64>,
+    /// Whether any gated column (time or allocation) exceeded the
+    /// tolerance.
     pub regressed: bool,
 }
 
@@ -177,6 +250,24 @@ pub fn compare(
         };
         let ratio = (f.seq_s / b.seq_s, f.par_s / b.par_s);
         let limit = 1.0 + tolerance;
+        let mut regressed = ratio.0 > limit || ratio.1 > limit;
+        // Allocation gating only applies when both runs profiled: a
+        // timing-only fresh run against an alloc-profiled baseline (or
+        // vice versa) gates on wall times alone.
+        let alloc_ratio = match (&f.alloc, &b.alloc) {
+            (Some(fa), Some(ba)) => {
+                let over = |fresh: u64, base: u64, slack: u64| {
+                    fresh as f64 > base as f64 * limit + slack as f64
+                };
+                if over(fa.allocs, ba.allocs, ALLOC_SLACK)
+                    || over(fa.peak_bytes, ba.peak_bytes, PEAK_SLACK)
+                {
+                    regressed = true;
+                }
+                Some((fa.allocs + 1) as f64 / (ba.allocs + 1) as f64)
+            }
+            _ => None,
+        };
         rows.push(CompareRow {
             kernel: f.kernel.clone(),
             n: f.n,
@@ -184,7 +275,8 @@ pub fn compare(
             base: (b.seq_s, b.par_s),
             fresh: (f.seq_s, f.par_s),
             ratio,
-            regressed: ratio.0 > limit || ratio.1 > limit,
+            alloc_ratio,
+            regressed,
         });
     }
     if rows.is_empty() {
@@ -204,7 +296,14 @@ mod tests {
     use super::*;
 
     fn point(kernel: &str, n: u64, seq_s: f64, par_s: f64) -> KernelPoint {
-        KernelPoint { kernel: kernel.to_string(), n, channels: 8, seq_s, par_s }
+        KernelPoint { kernel: kernel.to_string(), n, channels: 8, seq_s, par_s, alloc: None }
+    }
+
+    fn alloc_point(kernel: &str, allocs: u64, peak_bytes: u64) -> KernelPoint {
+        KernelPoint {
+            alloc: Some(AllocPoint { allocs, bytes: allocs * 128, peak_bytes }),
+            ..point(kernel, 256, 1e-3, 5e-4)
+        }
     }
 
     #[test]
@@ -257,15 +356,38 @@ mod tests {
         assert_eq!(host.threads, Some(4));
         assert_eq!(host.parallel_compiled, Some(true));
         // Matching host: silent.
-        assert!(host_mismatch_warnings(&host, 4, true).is_empty());
+        assert!(host_mismatch_warnings(&host, 4, true, None).is_empty());
         // Thread-count and feature mismatches each warn.
-        assert_eq!(host_mismatch_warnings(&host, 1, true).len(), 1);
-        assert_eq!(host_mismatch_warnings(&host, 4, false).len(), 1);
-        assert_eq!(host_mismatch_warnings(&host, 1, false).len(), 2);
+        assert_eq!(host_mismatch_warnings(&host, 1, true, None).len(), 1);
+        assert_eq!(host_mismatch_warnings(&host, 4, false, None).len(), 1);
+        assert_eq!(host_mismatch_warnings(&host, 1, false, None).len(), 2);
         // Baselines without host metadata never warn.
         let bare = parse_host(&telemetry::json::parse(r#"{"kernels": []}"#).unwrap());
-        assert_eq!(bare, BaselineHost { threads: None, parallel_compiled: None });
-        assert!(host_mismatch_warnings(&bare, 64, false).is_empty());
+        assert_eq!(
+            bare,
+            BaselineHost { threads: None, parallel_compiled: None, mem_total_mb: None }
+        );
+        assert!(host_mismatch_warnings(&bare, 64, false, Some(1)).is_empty());
+    }
+
+    #[test]
+    fn memory_class_mismatch_warns_at_2x_only() {
+        let doc = telemetry::json::parse(
+            r#"{"host": {"threads": 4, "parallel_compiled": true, "mem_total_mb": 16000},
+                "kernels": []}"#,
+        )
+        .unwrap();
+        let host = parse_host(&doc);
+        assert_eq!(host.mem_total_mb, Some(16000));
+        // Same class (within 2x either way): silent.
+        assert!(host_mismatch_warnings(&host, 4, true, Some(16000)).is_empty());
+        assert!(host_mismatch_warnings(&host, 4, true, Some(9000)).is_empty());
+        assert!(host_mismatch_warnings(&host, 4, true, Some(31000)).is_empty());
+        // A 2x-or-more gap in either direction warns.
+        assert_eq!(host_mismatch_warnings(&host, 4, true, Some(32000)).len(), 1);
+        assert_eq!(host_mismatch_warnings(&host, 4, true, Some(8000)).len(), 1);
+        // Either side missing the field: silent.
+        assert!(host_mismatch_warnings(&host, 4, true, None).is_empty());
     }
 
     #[test]
@@ -285,5 +407,71 @@ mod tests {
         assert!(parse_baseline(&bad).is_err());
         let none = telemetry::json::parse(r#"{"tables": []}"#).unwrap();
         assert!(parse_baseline(&none).is_err());
+    }
+
+    #[test]
+    fn baseline_parser_reads_optional_alloc_stanza() {
+        let doc = telemetry::json::parse(
+            r#"{"kernels": [
+                {"kernel": "modup", "n": 256, "channels": 8, "seq_s": 1e-3, "par_s": 5e-4,
+                 "alloc": {"allocs": 120, "bytes": 65536, "peak_bytes": 131072}},
+                {"kernel": "ntt_fwd", "n": 256, "channels": 8, "seq_s": 1e-3, "par_s": 5e-4}]}"#,
+        )
+        .unwrap();
+        let pts = parse_baseline(&doc).unwrap();
+        assert_eq!(
+            pts[0].alloc,
+            Some(AllocPoint { allocs: 120, bytes: 65536, peak_bytes: 131072 })
+        );
+        assert_eq!(pts[1].alloc, None);
+
+        // A present-but-incomplete stanza is malformed, not ignored.
+        let half = telemetry::json::parse(
+            r#"{"kernels": [{"kernel": "x", "n": 1, "channels": 1, "seq_s": 1.0,
+                             "par_s": 1.0, "alloc": {"allocs": 3}}]}"#,
+        )
+        .unwrap();
+        assert!(parse_baseline(&half).unwrap_err().contains("alloc"));
+    }
+
+    #[test]
+    fn allocation_regressions_gate_with_slack() {
+        let base = vec![alloc_point("modup", 1000, 1 << 22)];
+        // Identical counts: clean, and the ratio is reported.
+        let rep = compare(&base, &base, 0.15).unwrap();
+        assert_eq!(rep.regressions(), 0);
+        assert_eq!(rep.rows[0].alloc_ratio, Some(1.0));
+        // Within tolerance + slack: clean (1000 * 1.15 + 64 = 1214).
+        let near = vec![alloc_point("modup", 1214, 1 << 22)];
+        assert_eq!(compare(&near, &base, 0.15).unwrap().regressions(), 0);
+        // Beyond it: regressed, even with identical wall times.
+        let over = vec![alloc_point("modup", 1215, 1 << 22)];
+        let rep = compare(&over, &base, 0.15).unwrap();
+        assert_eq!(rep.regressions(), 1);
+        assert!(rep.rows[0].alloc_ratio.unwrap() > 1.2);
+        // Peak-heap blowup regresses on its own (counts unchanged).
+        let fat = vec![alloc_point("modup", 1000, (1 << 22) * 10)];
+        assert_eq!(compare(&fat, &base, 0.15).unwrap().regressions(), 1);
+        // Fewer allocations never regress.
+        let lean = vec![alloc_point("modup", 10, 1 << 10)];
+        assert_eq!(compare(&lean, &base, 0.15).unwrap().regressions(), 0);
+    }
+
+    #[test]
+    fn alloc_gate_skipped_when_either_side_lacks_the_stanza() {
+        let base = vec![point("modup", 256, 1e-3, 5e-4)];
+        let fresh = vec![alloc_point("modup", 1_000_000, 1 << 30)];
+        let rep = compare(&fresh, &base, 0.15).unwrap();
+        assert_eq!(rep.regressions(), 0);
+        assert_eq!(rep.rows[0].alloc_ratio, None);
+        // Zero-alloc baseline: any new allocation pressure shows a ratio
+        // above 1, and slack still absorbs the tiny ones.
+        let zero = vec![alloc_point("modup", 0, 0)];
+        let few = vec![alloc_point("modup", 64, 0)];
+        let rep = compare(&few, &zero, 0.15).unwrap();
+        assert_eq!(rep.regressions(), 0, "slack absorbs 64 new allocs");
+        assert!(rep.rows[0].alloc_ratio.unwrap() > 1.0);
+        let many = vec![alloc_point("modup", 65, 0)];
+        assert_eq!(compare(&many, &zero, 0.15).unwrap().regressions(), 1);
     }
 }

@@ -69,6 +69,62 @@ fn self_compare_passes_and_injected_regression_fails() {
 }
 
 #[test]
+fn injected_allocation_regression_fails_with_identical_times() {
+    let out = tmp("alloc_self.json");
+    let first = smoke_run(&out, &["--alloc-profile", "--compare", out.to_str().unwrap()]);
+    if first.status.code() == Some(2) && !telemetry::alloc::tracking_compiled() {
+        // Built without alloc-track: the flag refuses, nothing to gate.
+        let _ = std::fs::remove_file(&out);
+        return;
+    }
+    assert!(
+        first.status.success(),
+        "alloc-profile self-compare must exit 0\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&first.stdout),
+        String::from_utf8_lossy(&first.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&first.stdout);
+    assert!(stdout.contains("Allocation profile"), "alloc table printed: {stdout}");
+
+    // Every kernel row of the written baseline carries a complete stanza.
+    let doc = json::parse(&std::fs::read_to_string(&out).unwrap()).unwrap();
+    let kernels = doc.get("kernels").and_then(Json::as_arr).unwrap();
+    assert!(!kernels.is_empty());
+    for k in kernels {
+        let a = k.get("alloc").expect("alloc stanza on every kernel row");
+        for field in ["allocs", "bytes", "peak_bytes"] {
+            assert!(a.get(field).and_then(Json::as_f64).is_some(), "numeric {field}");
+        }
+    }
+    assert!(doc
+        .get("host")
+        .and_then(|h| h.get("alloc_track_compiled"))
+        .is_some_and(|j| matches!(j, Json::Bool(true))));
+
+    // Doctor the baseline so every kernel appears to have allocated 10x
+    // less: wall times are untouched, so only the allocation gate can
+    // fire — and it must, well past the tolerance + slack.
+    let doctored = tmp("alloc_doctored.json");
+    std::fs::write(&doctored, scale_allocs(&doc, 0.1).to_string()).unwrap();
+    let fresh = tmp("alloc_fresh.json");
+    let bad = smoke_run(
+        &fresh,
+        &["--alloc-profile", "--compare", doctored.to_str().unwrap(), "--tolerance", "0.5"],
+    );
+    assert_eq!(
+        bad.status.code(),
+        Some(1),
+        "injected 10x allocation regression must exit 1\nstdout: {}",
+        String::from_utf8_lossy(&bad.stdout)
+    );
+    assert!(String::from_utf8_lossy(&bad.stdout).contains("REGRESSED"));
+
+    for p in [&out, &doctored, &fresh] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
 fn disjoint_baseline_is_an_error_not_a_pass() {
     let out = tmp("disjoint_fresh.json");
     let first = smoke_run(&out, &[]);
@@ -109,6 +165,19 @@ fn scale_times(doc: &Json, factor: f64) -> Json {
         for field in ["seq_s", "par_s"] {
             if let Some(Json::Num(v)) = entry.get_mut(field) {
                 *v *= factor;
+            }
+        }
+    })
+}
+
+/// Returns a copy of a baseline document with every kernel's allocation
+/// stanza scaled by `factor` (times untouched).
+fn scale_allocs(doc: &Json, factor: f64) -> Json {
+    map_kernels(doc, |entry| {
+        let Some(Json::Obj(alloc)) = entry.get_mut("alloc") else { panic!("alloc stanza") };
+        for field in ["allocs", "bytes", "peak_bytes"] {
+            if let Some(Json::Num(v)) = alloc.get_mut(field) {
+                *v = (*v * factor).floor();
             }
         }
     })

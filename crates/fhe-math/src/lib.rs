@@ -76,5 +76,5 @@ pub use poly::{Domain, Poly};
 pub use prime::{generate_ntt_primes, generate_primes_with_step, is_prime};
 pub use rns::{BconvPlan, RnsBasis, RnsContext, RnsPoly};
 pub use sampling::{sample_gaussian, sample_ternary, sample_uniform, GaussianSampler};
-pub use scratch::Scratch;
+pub use scratch::{scratch_stats, Scratch, ScratchStats};
 pub use strict::strict_checks_enabled;

@@ -475,28 +475,50 @@ where
     let chunk = items.len().div_ceil(threads);
     let region_start = profiling.then(Instant::now);
     let first_err: Mutex<Option<ParError>> = Mutex::new(None);
-    std::thread::scope(|scope| {
-        let f = &f;
-        let first_err = &first_err;
-        for (ci, slice) in items.chunks_mut(chunk).enumerate() {
-            let base = ci * chunk;
-            scope.spawn(move || {
-                let t0 = profiling.then(Instant::now);
-                let len = slice.len();
-                let res = run_contained(ci, ci, || {
-                    for (k, item) in slice.iter_mut().enumerate() {
-                        f(base + k, item);
+    // Worker heap traffic is charged back to the caller thread so the
+    // parallel path reports the same span-attributed allocations as the
+    // sequential one; the spawn scaffolding itself (thread stacks, join
+    // handles) is telemetry-exempt on the caller — it is backend overhead,
+    // not kernel work.
+    let region_allocs = AtomicU64::new(0);
+    let region_alloc_bytes = AtomicU64::new(0);
+    {
+        let _exempt = telemetry::alloc::exempt_scope();
+        std::thread::scope(|scope| {
+            let f = &f;
+            let first_err = &first_err;
+            let region_allocs = &region_allocs;
+            let region_alloc_bytes = &region_alloc_bytes;
+            for (ci, slice) in items.chunks_mut(chunk).enumerate() {
+                let base = ci * chunk;
+                scope.spawn(move || {
+                    let alloc_base = telemetry::alloc::thread_stats();
+                    let t0 = profiling.then(Instant::now);
+                    let len = slice.len();
+                    let res = run_contained(ci, ci, || {
+                        for (k, item) in slice.iter_mut().enumerate() {
+                            f(base + k, item);
+                        }
+                    });
+                    if let Some(t0) = t0 {
+                        record_chunk(ci, t0.elapsed().as_nanos() as u64, len);
+                    }
+                    let d = telemetry::alloc::thread_stats().since(alloc_base);
+                    if d.allocs != 0 || d.bytes != 0 {
+                        region_allocs.fetch_add(d.allocs, Ordering::Relaxed);
+                        region_alloc_bytes.fetch_add(d.bytes, Ordering::Relaxed);
+                    }
+                    if let Err(e) = res {
+                        store_error(first_err, e);
                     }
                 });
-                if let Some(t0) = t0 {
-                    record_chunk(ci, t0.elapsed().as_nanos() as u64, len);
-                }
-                if let Err(e) = res {
-                    store_error(first_err, e);
-                }
-            });
-        }
-    });
+            }
+        });
+    }
+    telemetry::alloc::charge_current_thread(
+        region_allocs.load(Ordering::Relaxed),
+        region_alloc_bytes.load(Ordering::Relaxed),
+    );
     if let Some(t0) = region_start {
         REGIONS.fetch_add(1, Ordering::Relaxed);
         REGION_WALL_NS.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
@@ -581,17 +603,40 @@ where
         let rb = run_contained(0, 1, b)?;
         return Ok((ra, rb));
     }
+    // Same charge-back scheme as `par_iter_mut_in`: side b's heap traffic
+    // lands on the caller, the spawn/join scaffolding is exempt. Side a
+    // runs on the caller thread between the two exempt windows, so its
+    // allocations attribute normally.
+    let side_b = AtomicU64::new(0);
+    let side_b_bytes = AtomicU64::new(0);
     let (ra, rb) = std::thread::scope(|scope| {
-        let hb = scope.spawn(move || run_contained(1, 1, b));
+        let hb = {
+            let _exempt = telemetry::alloc::exempt_scope();
+            scope.spawn(|| {
+                let alloc_base = telemetry::alloc::thread_stats();
+                let r = run_contained(1, 1, b);
+                let d = telemetry::alloc::thread_stats().since(alloc_base);
+                side_b.store(d.allocs, Ordering::Relaxed);
+                side_b_bytes.store(d.bytes, Ordering::Relaxed);
+                r
+            })
+        };
         let ra = run_contained(0, 0, a);
-        let rb = hb.join().unwrap_or_else(|payload| {
-            // `run_contained` already caught the body; reaching here means
-            // the containment wrapper itself panicked, which we still
-            // refuse to propagate as an unwind.
-            Err(ParError { worker: 1, chunk: 1, payload: payload_string(payload) })
-        });
+        let rb = {
+            let _exempt = telemetry::alloc::exempt_scope();
+            hb.join().unwrap_or_else(|payload| {
+                // `run_contained` already caught the body; reaching here means
+                // the containment wrapper itself panicked, which we still
+                // refuse to propagate as an unwind.
+                Err(ParError { worker: 1, chunk: 1, payload: payload_string(payload) })
+            })
+        };
         (ra, rb)
     });
+    telemetry::alloc::charge_current_thread(
+        side_b.load(Ordering::Relaxed),
+        side_b_bytes.load(Ordering::Relaxed),
+    );
     match (ra, rb) {
         (Ok(ra), Ok(rb)) => Ok((ra, rb)),
         (Err(e), _) => Err(e),

@@ -14,25 +14,78 @@
 //! pools live only for the parallel region, so cross-call reuse is a
 //! property of the sequential path and the caller thread — the parallel
 //! path amortizes its allocations across workers instead.
+//!
+//! Every pool keeps effectiveness watermarks — [`take`](Scratch::take)
+//! hits vs. misses and the most capacity the free-list ever held — and
+//! mirrors them into process-wide relaxed atomics so a sampler gauge (or
+//! [`scratch_stats`]) can answer "are the hot paths actually warm?"
+//! without walking threads.
 
 use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static GLOBAL_HITS: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_MISSES: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_HIGH_WATER: AtomicU64 = AtomicU64::new(0);
+
+/// Pool effectiveness counters (per pool via [`Scratch::stats`],
+/// process-wide via [`scratch_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScratchStats {
+    /// `take` calls served entirely from pooled capacity (no allocation).
+    pub hits: u64,
+    /// `take` calls that had to grow or allocate a buffer.
+    pub misses: u64,
+    /// Most bytes of capacity the free-list ever held at once. For the
+    /// process-wide view this is the maximum over individual pools, not
+    /// their sum — it bounds any one pool's retention.
+    pub high_water_bytes: u64,
+}
+
+/// Process-wide scratch-pool watermarks, aggregated over every pool on
+/// every thread (relaxed counters; exact once threads quiesce).
+pub fn scratch_stats() -> ScratchStats {
+    ScratchStats {
+        hits: GLOBAL_HITS.load(Ordering::Relaxed),
+        misses: GLOBAL_MISSES.load(Ordering::Relaxed),
+        high_water_bytes: GLOBAL_HIGH_WATER.load(Ordering::Relaxed),
+    }
+}
 
 /// A free-list of reusable `u64` buffers.
 #[derive(Debug, Default)]
 pub struct Scratch {
     pool: Vec<Vec<u64>>,
+    /// Total capacity bytes currently resident in `pool`.
+    pooled_bytes: u64,
+    stats: ScratchStats,
 }
 
 impl Scratch {
     /// An empty pool.
     pub const fn new() -> Self {
-        Scratch { pool: Vec::new() }
+        Scratch {
+            pool: Vec::new(),
+            pooled_bytes: 0,
+            stats: ScratchStats { hits: 0, misses: 0, high_water_bytes: 0 },
+        }
     }
 
     /// A zeroed buffer of length `len`, reusing pooled capacity when
     /// available.
     pub fn take(&mut self, len: usize) -> Vec<u64> {
         let mut buf = self.pool.pop().unwrap_or_default();
+        self.pooled_bytes -= (buf.capacity() * 8) as u64;
+        // A hit must not touch the allocator: the popped buffer's capacity
+        // already covers the request. Growing counts as a miss even when a
+        // buffer was pooled.
+        if buf.capacity() >= len {
+            self.stats.hits += 1;
+            GLOBAL_HITS.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.stats.misses += 1;
+            GLOBAL_MISSES.fetch_add(1, Ordering::Relaxed);
+        }
         buf.clear();
         buf.resize(len, 0);
         buf
@@ -43,13 +96,23 @@ impl Scratch {
         // Keep the pool bounded: drop tiny buffers and cap the list length
         // so a one-off giant workload cannot pin memory forever.
         if self.pool.len() < 64 && buf.capacity() > 0 {
+            self.pooled_bytes += (buf.capacity() * 8) as u64;
             self.pool.push(buf);
+            if self.pooled_bytes > self.stats.high_water_bytes {
+                self.stats.high_water_bytes = self.pooled_bytes;
+                GLOBAL_HIGH_WATER.fetch_max(self.pooled_bytes, Ordering::Relaxed);
+            }
         }
     }
 
     /// Number of pooled buffers (diagnostics/tests).
     pub fn pooled(&self) -> usize {
         self.pool.len()
+    }
+
+    /// This pool's hit/miss/high-water counters.
+    pub fn stats(&self) -> ScratchStats {
+        self.stats
     }
 
     /// Runs `f` with this thread's pool. Nested calls on the same thread
@@ -113,5 +176,38 @@ mod tests {
             });
             outer.put(buf);
         });
+    }
+
+    #[test]
+    fn watermarks_track_hits_misses_and_high_water() {
+        let global_before = scratch_stats();
+        let mut s = Scratch::new();
+        assert_eq!(s.stats(), ScratchStats::default());
+
+        // Cold pool: the first take allocates.
+        let a = s.take(128);
+        assert_eq!((s.stats().hits, s.stats().misses), (0, 1));
+        let cap_bytes = (a.capacity() * 8) as u64;
+        s.put(a);
+        assert_eq!(s.stats().high_water_bytes, cap_bytes);
+
+        // Warm pool, smaller request: served without allocating.
+        let b = s.take(64);
+        assert_eq!((s.stats().hits, s.stats().misses), (1, 1));
+        s.put(b);
+
+        // Warm pool, larger request: the pooled buffer must grow — a miss.
+        let c = s.take(4096);
+        assert_eq!((s.stats().hits, s.stats().misses), (1, 2));
+        let big_bytes = (c.capacity() * 8) as u64;
+        s.put(c);
+        assert_eq!(s.stats().high_water_bytes, big_bytes.max(cap_bytes));
+
+        // The process-wide view advanced by at least this pool's traffic
+        // (other tests run concurrently, so >=, not ==).
+        let global_after = scratch_stats();
+        assert!(global_after.hits > global_before.hits);
+        assert!(global_after.misses >= global_before.misses + 2);
+        assert!(global_after.high_water_bytes >= s.stats().high_water_bytes);
     }
 }

@@ -43,6 +43,12 @@ pub struct Cursor {
     named: BTreeMap<String, u64>,
     /// Last-seen cumulative histogram state, per name.
     hists: BTreeMap<String, Box<Histogram>>,
+    /// Last-seen process-global allocation counters.
+    alloc: crate::alloc::AllocStats,
+    /// Last-seen allocation size-class census.
+    alloc_hist: Option<Box<Histogram>>,
+    /// Last-seen cumulative per-span-name allocation attribution.
+    span_allocs: BTreeMap<String, (u64, u64)>,
     /// Events below this index are closed and fully attributed.
     frontier: usize,
     /// Duration already attributed to intervals, for events at or past the
@@ -84,15 +90,32 @@ pub struct DeltaSnapshot {
     pub hists: BTreeMap<String, Histogram>,
     /// Span wall/virtual time attributed to this interval, per span name.
     pub span_ns: BTreeMap<String, u64>,
+    /// Process-global allocator counter increments for the interval
+    /// (`allocs`, `deallocs`, `reallocs`, `bytes_allocated`,
+    /// `bytes_deallocated`; only keys that moved). Empty when the
+    /// `alloc-track` feature is off. Process-global, not handle-scoped:
+    /// rebinding a cursor to a new handle re-reports the full totals.
+    pub alloc: BTreeMap<String, u64>,
+    /// Interval size-class distribution of allocation requests (bytes, in
+    /// the shared log-linear buckets); `None` when nothing was allocated
+    /// in the interval or the feature is off.
+    pub alloc_size: Option<Histogram>,
+    /// Allocation pressure `(allocs, bytes)` attributed to spans that
+    /// closed in this interval, per span name.
+    pub span_allocs: BTreeMap<String, (u64, u64)>,
 }
 
 impl DeltaSnapshot {
-    /// Whether the interval recorded nothing at all.
+    /// Whether the interval recorded nothing *through the handle*. The
+    /// process-global allocator census ([`DeltaSnapshot::alloc`]) moves on
+    /// its own (the capture itself allocates) and is deliberately not
+    /// consulted, so an idle service still reports idle intervals.
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty()
             && self.named.is_empty()
             && self.hists.is_empty()
             && self.span_ns.is_empty()
+            && self.span_allocs.is_empty()
     }
 
     /// Folds `other` into `self`. Counters and span times add; histograms
@@ -116,6 +139,20 @@ impl DeltaSnapshot {
         }
         for (k, &v) in &other.span_ns {
             *self.span_ns.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, &v) in &other.alloc {
+            *self.alloc.entry(k.clone()).or_insert(0) += v;
+        }
+        if let Some(h) = &other.alloc_size {
+            match &mut self.alloc_size {
+                Some(mine) => mine.merge(h),
+                None => self.alloc_size = Some(h.clone()),
+            }
+        }
+        for (k, &(a, b)) in &other.span_allocs {
+            let e = self.span_allocs.entry(k.clone()).or_insert((0, 0));
+            e.0 += a;
+            e.1 += b;
         }
     }
 }
@@ -176,6 +213,52 @@ impl Telemetry {
                 None => {
                     out.hists.insert(name.clone(), (**h).clone());
                     cursor.hists.insert(name.clone(), h.clone());
+                }
+            }
+        }
+
+        // Allocation dimension: process-global monotone counters delta'd
+        // against the cursor's last sight, the size-class census as an
+        // interval histogram, and per-span-name attribution diffed from
+        // the cumulative map closed spans maintain.
+        if crate::alloc::tracking_compiled() {
+            let cur = crate::alloc::global_stats();
+            let prev = cursor.alloc;
+            for (key, now, then) in [
+                ("allocs", cur.allocs, prev.allocs),
+                ("deallocs", cur.deallocs, prev.deallocs),
+                ("reallocs", cur.reallocs, prev.reallocs),
+                ("bytes_allocated", cur.bytes_allocated, prev.bytes_allocated),
+                ("bytes_deallocated", cur.bytes_deallocated, prev.bytes_deallocated),
+            ] {
+                if now != then {
+                    out.alloc.insert(key.to_string(), now - then);
+                }
+            }
+            cursor.alloc = cur;
+            let census = crate::alloc::size_class_histogram();
+            match &mut cursor.alloc_hist {
+                Some(prev) if prev.count() == census.count() => {}
+                Some(prev) => {
+                    out.alloc_size = Some(census.diff(prev));
+                    **prev = census;
+                }
+                None => {
+                    out.alloc_size = Some(census.clone());
+                    cursor.alloc_hist = Some(Box::new(census));
+                }
+            }
+        }
+        for (name, &(a, b)) in &st.span_allocs {
+            match cursor.span_allocs.get_mut(name) {
+                Some(prev) if *prev == (a, b) => {}
+                Some(prev) => {
+                    out.span_allocs.insert(name.clone(), (a - prev.0, b - prev.1));
+                    *prev = (a, b);
+                }
+                None => {
+                    out.span_allocs.insert(name.clone(), (a, b));
+                    cursor.span_allocs.insert(name.clone(), (a, b));
                 }
             }
         }
@@ -341,6 +424,36 @@ mod tests {
         // returned, not a bogus diff against `a`'s values.
         assert_eq!(b.snapshot_delta(&mut cur).named["x"], 7);
         assert_eq!(cur.captures(), 1);
+    }
+
+    #[test]
+    fn alloc_dimension_deltas_and_merges() {
+        let tel = Telemetry::enabled();
+        let mut cur = Cursor::new();
+        {
+            let _s = tel.span("alloc.heavy");
+            std::hint::black_box(vec![0u8; 1 << 16]);
+        }
+        let d1 = tel.snapshot_delta(&mut cur);
+        if crate::alloc::tracking_compiled() {
+            assert!(d1.alloc.get("allocs").copied().unwrap_or(0) >= 1, "{:?}", d1.alloc);
+            assert!(d1.alloc_size.as_ref().is_some_and(|h| h.count() >= 1));
+            let &(a, b) = d1.span_allocs.get("alloc.heavy").expect("span attribution");
+            assert!(a >= 1, "span must attribute the vec allocation");
+            assert!(b >= 1 << 16, "span must attribute at least the vec's bytes, got {b}");
+        }
+        // A quiescent handle yields an empty interval even though the
+        // process-global census keeps moving underneath.
+        let d2 = tel.snapshot_delta(&mut cur);
+        assert!(d2.span_allocs.is_empty());
+        assert!(d2.is_empty(), "{d2:?}");
+        // Merging sums the per-span attribution.
+        let mut m = d1.clone();
+        m.merge(&d1.clone());
+        if crate::alloc::tracking_compiled() {
+            let &(a, b) = d1.span_allocs.get("alloc.heavy").unwrap();
+            assert_eq!(m.span_allocs.get("alloc.heavy"), Some(&(2 * a, 2 * b)));
+        }
     }
 
     #[test]

@@ -59,6 +59,15 @@ pub const SPAN_FAMILY: &str = "alchemist_span_time_ns_total";
 pub const HIST_FAMILY: &str = "alchemist_duration_ns";
 /// Gauge family for instantaneous sampler readings (worker occupancy &c).
 pub const GAUGE_FAMILY: &str = "alchemist_gauge";
+/// Process-wide allocator event counters, keyed by a `kind` label
+/// (`allocs`, `deallocs`, `reallocs`, `bytes_allocated`, `bytes_deallocated`).
+pub const ALLOC_FAMILY: &str = "alchemist_alloc_total";
+/// Per-span-name attributed allocation counts.
+pub const SPAN_ALLOCS_FAMILY: &str = "alchemist_span_allocs_total";
+/// Per-span-name attributed allocated bytes.
+pub const SPAN_ALLOC_BYTES_FAMILY: &str = "alchemist_span_alloc_bytes_total";
+/// Histogram family: allocation request-size distribution in bytes.
+pub const ALLOC_SIZE_FAMILY: &str = "alchemist_alloc_size_bytes";
 
 // Compile-time proof that every emitted family name is a legal Prometheus
 // identifier — a typo here fails the build, not the scrape.
@@ -72,6 +81,10 @@ const _: () = {
     assert!(is_valid_metric_name(SPAN_FAMILY));
     assert!(is_valid_metric_name(HIST_FAMILY));
     assert!(is_valid_metric_name(GAUGE_FAMILY));
+    assert!(is_valid_metric_name(ALLOC_FAMILY));
+    assert!(is_valid_metric_name(SPAN_ALLOCS_FAMILY));
+    assert!(is_valid_metric_name(SPAN_ALLOC_BYTES_FAMILY));
+    assert!(is_valid_metric_name(ALLOC_SIZE_FAMILY));
     // The grammar itself rejects what it should.
     assert!(!is_valid_metric_name(""));
     assert!(!is_valid_metric_name("9leading_digit"));
@@ -101,6 +114,31 @@ fn family_header(out: &mut String, name: &str, kind: &str, help: &str) {
     out.push(' ');
     out.push_str(kind);
     out.push('\n');
+}
+
+/// Emits one named histogram as cumulative `_bucket` series plus
+/// `_sum`/`_count`, the shared shape for latency and size families.
+fn histogram_series(out: &mut String, family: &str, name: &str, h: &crate::Histogram) {
+    let mut cumulative = 0u64;
+    for (le, count) in h.occupied_buckets() {
+        cumulative += count;
+        out.push_str(family);
+        out.push_str("_bucket{name=\"");
+        push_label_value(out, name);
+        out.push_str("\",le=\"");
+        out.push_str(&le.to_string());
+        out.push_str("\"} ");
+        out.push_str(&cumulative.to_string());
+        out.push('\n');
+    }
+    out.push_str(family);
+    out.push_str("_bucket{name=\"");
+    push_label_value(out, name);
+    out.push_str("\",le=\"+Inf\"} ");
+    out.push_str(&h.count().to_string());
+    out.push('\n');
+    series(out, &format!("{family}_sum"), "name", name, h.sum());
+    series(out, &format!("{family}_count"), "name", name, h.count());
 }
 
 fn series(out: &mut String, family: &str, label: &str, value: &str, sample: u64) {
@@ -158,27 +196,43 @@ pub fn render(agg: &DeltaSnapshot, gauges: &[(String, u64)]) -> String {
             "Latency distributions, nanoseconds, by recording name.",
         );
         for (name, h) in &agg.hists {
-            let mut cumulative = 0u64;
-            for (le, count) in h.occupied_buckets() {
-                cumulative += count;
-                out.push_str(HIST_FAMILY);
-                out.push_str("_bucket{name=\"");
-                push_label_value(&mut out, name);
-                out.push_str("\",le=\"");
-                out.push_str(&le.to_string());
-                out.push_str("\"} ");
-                out.push_str(&cumulative.to_string());
-                out.push('\n');
-            }
-            out.push_str(HIST_FAMILY);
-            out.push_str("_bucket{name=\"");
-            push_label_value(&mut out, name);
-            out.push_str("\",le=\"+Inf\"} ");
-            out.push_str(&h.count().to_string());
-            out.push('\n');
-            series(&mut out, &format!("{HIST_FAMILY}_sum"), "name", name, h.sum());
-            series(&mut out, &format!("{HIST_FAMILY}_count"), "name", name, h.count());
+            histogram_series(&mut out, HIST_FAMILY, name, h);
         }
+    }
+    if !agg.alloc.is_empty() {
+        family_header(&mut out, ALLOC_FAMILY, "counter", "Process-wide allocator events.");
+        for (kind, &value) in &agg.alloc {
+            series(&mut out, ALLOC_FAMILY, "kind", kind, value);
+        }
+    }
+    if !agg.span_allocs.is_empty() {
+        family_header(
+            &mut out,
+            SPAN_ALLOCS_FAMILY,
+            "counter",
+            "Heap allocations attributed to spans, by span name.",
+        );
+        for (name, &(allocs, _)) in &agg.span_allocs {
+            series(&mut out, SPAN_ALLOCS_FAMILY, "name", name, allocs);
+        }
+        family_header(
+            &mut out,
+            SPAN_ALLOC_BYTES_FAMILY,
+            "counter",
+            "Heap bytes attributed to spans, by span name.",
+        );
+        for (name, &(_, bytes)) in &agg.span_allocs {
+            series(&mut out, SPAN_ALLOC_BYTES_FAMILY, "name", name, bytes);
+        }
+    }
+    if let Some(h) = agg.alloc_size.as_ref().filter(|h| h.count() > 0) {
+        family_header(
+            &mut out,
+            ALLOC_SIZE_FAMILY,
+            "histogram",
+            "Allocation request sizes, bytes, process-wide.",
+        );
+        histogram_series(&mut out, ALLOC_SIZE_FAMILY, "process", h);
     }
     if !gauges.is_empty() {
         family_header(&mut out, GAUGE_FAMILY, "gauge", "Instantaneous sampler readings.");
@@ -251,6 +305,26 @@ mod tests {
         }
         assert!(bucket_lines >= 3, "expected per-bucket lines plus +Inf:\n{text}");
         assert_eq!(last, 6, "+Inf bucket must equal the total count");
+    }
+
+    #[test]
+    fn alloc_dimension_renders_when_tracked() {
+        if !crate::alloc::tracking_compiled() {
+            return;
+        }
+        let tel = Telemetry::enabled();
+        {
+            let _s = tel.span("alloc.expo");
+            let buf = vec![0u8; 4096];
+            std::hint::black_box(&buf);
+        }
+        let text = render(&agg_of(&tel), &[]);
+        assert!(text.contains("# TYPE alchemist_alloc_total counter"), "{text}");
+        assert!(text.contains("alchemist_alloc_total{kind=\"allocs\"}"), "{text}");
+        assert!(text.contains("alchemist_span_allocs_total{name=\"alloc.expo\"}"), "{text}");
+        assert!(text.contains("alchemist_span_alloc_bytes_total{name=\"alloc.expo\"}"), "{text}");
+        assert!(text.contains("alchemist_alloc_size_bytes_bucket{name=\"process\""), "{text}");
+        assert!(text.contains("alchemist_alloc_size_bytes_count{name=\"process\"}"), "{text}");
     }
 
     #[test]

@@ -45,6 +45,11 @@ pub enum FlightEvent {
         start_ns: u64,
         /// Duration in nanoseconds.
         dur_ns: u64,
+        /// Heap allocations attributed to the span (zero for virtual
+        /// spans and when the `alloc-track` feature is off).
+        allocs: u64,
+        /// Bytes requested by those allocations.
+        alloc_bytes: u64,
     },
     /// One named-counter increment.
     Count {
@@ -156,14 +161,20 @@ impl FlightRecorder {
         );
         for e in &events {
             match e {
-                FlightEvent::Span { name, tid, start_ns, dur_ns } => {
+                FlightEvent::Span { name, tid, start_ns, dur_ns, allocs, alloc_bytes } => {
                     out.push_str(&format!(
                         ",{{\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{},\"dur\":{},\"name\":",
                         *start_ns as f64 / 1000.0,
                         *dur_ns as f64 / 1000.0
                     ));
                     write_escaped(&mut out, name);
-                    out.push_str(",\"args\":{}}");
+                    if *allocs == 0 && *alloc_bytes == 0 {
+                        out.push_str(",\"args\":{}}");
+                    } else {
+                        out.push_str(&format!(
+                            ",\"args\":{{\"allocs\":{allocs},\"alloc_bytes\":{alloc_bytes}}}}}"
+                        ));
+                    }
                 }
                 FlightEvent::Count { name, amount, at_ns } => {
                     out.push_str(&format!(
@@ -243,7 +254,14 @@ mod tests {
     use crate::json::parse;
 
     fn span(name: &str, start: u64) -> FlightEvent {
-        FlightEvent::Span { name: name.into(), tid: 0, start_ns: start, dur_ns: 10 }
+        FlightEvent::Span {
+            name: name.into(),
+            tid: 0,
+            start_ns: start,
+            dur_ns: 10,
+            allocs: 0,
+            alloc_bytes: 0,
+        }
     }
 
     #[test]

@@ -23,9 +23,12 @@
 //! process-global handle via [`install`] + [`Span::enter`], which is a
 //! single atomic load when nothing is installed.
 
-#![forbid(unsafe_code)]
+// `deny` (not `forbid`) so the one audited exception — the
+// `GlobalAlloc` shim in `alloc` — can opt in with an explicit `allow`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod delta;
 pub mod expo;
 pub mod flight;
@@ -34,6 +37,7 @@ pub mod json;
 pub mod sampler;
 mod snapshot;
 
+pub use alloc::{AllocStats, ThreadAllocStats};
 pub use delta::{Cursor, DeltaSnapshot};
 pub use flight::{FlightEvent, FlightRecorder};
 pub use hist::Histogram;
@@ -134,6 +138,12 @@ pub(crate) struct EventRec {
     pub start_ns: u64,
     pub dur_ns: Option<u64>,
     pub parent: Option<usize>,
+    /// Heap allocations attributed to the opening thread while the span
+    /// was live (inclusive of children, like `dur_ns`). Zero until the
+    /// span closes, and always zero for virtual (simulated-time) spans.
+    pub allocs: u64,
+    /// Bytes requested by those allocations.
+    pub alloc_bytes: u64,
 }
 
 /// Virtual tracks (simulated time) start here to keep them visually apart
@@ -154,6 +164,11 @@ struct State {
     /// Free-form session metadata (host facts, feature flags) carried into
     /// every export so traces are self-describing.
     meta: std::collections::BTreeMap<String, String>,
+    /// Cumulative per-span-name allocation attribution
+    /// (`name → (allocs, bytes)`), updated when spans close. The
+    /// [`delta`] cursor diffs this map, so live sinks stream span-level
+    /// allocation pressure alongside span time.
+    span_allocs: std::collections::BTreeMap<String, (u64, u64)>,
     /// Per-thread open-span stacks (indices into `events`).
     stacks: HashMap<u64, Vec<usize>>,
     thread_ids: HashMap<std::thread::ThreadId, u64>,
@@ -241,6 +256,9 @@ impl Telemetry {
     #[inline]
     pub fn count_named(&self, name: &str, amount: u64) {
         let Some(inner) = &self.inner else { return };
+        // Recording allocates (map keys, flight mirror); keep telemetry's
+        // own bookkeeping out of span allocation attribution.
+        let _exempt = alloc::exempt_scope();
         let mut st = inner.state.lock().expect("telemetry state poisoned");
         match st.named.get_mut(name) {
             Some(v) => *v += amount,
@@ -264,6 +282,7 @@ impl Telemetry {
     #[inline]
     pub fn observe_ns(&self, name: &str, ns: u64) {
         let Some(inner) = &self.inner else { return };
+        let _exempt = alloc::exempt_scope();
         let mut st = inner.state.lock().expect("telemetry state poisoned");
         st.observe(name, ns);
     }
@@ -287,6 +306,7 @@ impl Telemetry {
     /// verbatim into every export. Later writes to the same key win.
     pub fn set_meta(&self, key: &str, value: &str) {
         let Some(inner) = &self.inner else { return };
+        let _exempt = alloc::exempt_scope();
         let mut st = inner.state.lock().expect("telemetry state poisoned");
         st.meta.insert(key.to_string(), value.to_string());
     }
@@ -298,6 +318,11 @@ impl Telemetry {
             return SpanGuard { rec: None };
         };
         let start_ns = inner.epoch.elapsed().as_nanos() as u64;
+        // The open path itself allocates (name clone, event push); exempt
+        // it so the *enclosing* span's allocation delta stays pure user
+        // code. The thread baseline is read while still exempt, so the
+        // new span's own delta starts from a quiescent counter.
+        let _exempt = alloc::exempt_scope();
         let mut st = inner.state.lock().expect("telemetry state poisoned");
         let tid = match st.thread_ids.get(&std::thread::current().id()) {
             Some(&t) => t,
@@ -310,9 +335,18 @@ impl Telemetry {
         };
         let parent = st.stacks.get(&tid).and_then(|s| s.last().copied());
         let idx = st.events.len();
-        st.events.push(EventRec { name: name.to_string(), tid, start_ns, dur_ns: None, parent });
+        st.events.push(EventRec {
+            name: name.to_string(),
+            tid,
+            start_ns,
+            dur_ns: None,
+            parent,
+            allocs: 0,
+            alloc_bytes: 0,
+        });
         st.stacks.entry(tid).or_default().push(idx);
-        SpanGuard { rec: Some((Arc::clone(inner), idx, tid)) }
+        drop(st);
+        SpanGuard { rec: Some((Arc::clone(inner), idx, tid, alloc::thread_stats())) }
     }
 
     /// Opens a virtual-time track (e.g. one simulator run). Timestamps on
@@ -346,29 +380,47 @@ impl Telemetry {
 
     /// An immutable copy of everything recorded so far. Open spans are
     /// included with the duration they have accumulated at this instant.
+    /// When the `alloc-track` feature is on, the snapshot also carries
+    /// the process-wide allocation totals and size-class distribution.
     pub fn snapshot(&self) -> Snapshot {
         let Some(inner) = &self.inner else {
             return Snapshot::empty();
         };
         let now_ns = inner.epoch.elapsed().as_nanos() as u64;
         let st = inner.state.lock().expect("telemetry state poisoned");
-        Snapshot::build(&st.events, &st.counters, &st.named, &st.hists, &st.meta, now_ns)
+        let mut snap =
+            Snapshot::build(&st.events, &st.counters, &st.named, &st.hists, &st.meta, now_ns);
+        drop(st);
+        if alloc::tracking_compiled() {
+            snap.set_alloc(alloc::global_stats(), alloc::size_class_histogram());
+        }
+        snap
     }
 }
 
-/// Closes its span when dropped.
+/// Closes its span when dropped, stamping both the elapsed wall time and
+/// the allocation delta `{allocs, bytes}` attributed to the opening
+/// thread while the span was live (see [`alloc`]).
 pub struct SpanGuard {
-    rec: Option<(Arc<Inner>, usize, u64)>,
+    rec: Option<(Arc<Inner>, usize, u64, alloc::ThreadAllocStats)>,
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        let Some((inner, idx, tid)) = self.rec.take() else { return };
+        let Some((inner, idx, tid, base)) = self.rec.take() else { return };
+        // Read the allocation delta before any closing bookkeeping can
+        // allocate. Thread counters are thread-local, so a guard dropped
+        // on a different thread than it was opened on reads a saturated
+        // zero rather than another thread's garbage.
+        let d = alloc::thread_stats().since(base);
         let end_ns = inner.epoch.elapsed().as_nanos() as u64;
+        let _exempt = alloc::exempt_scope();
         let mut st = inner.state.lock().expect("telemetry state poisoned");
         let start = st.events[idx].start_ns;
         let dur = end_ns.saturating_sub(start);
         st.events[idx].dur_ns = Some(dur);
+        st.events[idx].allocs = d.allocs;
+        st.events[idx].alloc_bytes = d.bytes;
         if let Some(stack) = st.stacks.get_mut(&tid) {
             // Out-of-order guard drops (e.g. explicit `drop`) still unwind
             // correctly: remove this index wherever it sits.
@@ -379,7 +431,7 @@ impl Drop for SpanGuard {
         // Every closed wall span also feeds the per-name latency histogram,
         // so repeated kernels get p50/p99 without extra instrumentation.
         // Split-borrow events/hists so the existing name needs no clone.
-        let State { events, hists, flight, .. } = &mut *st;
+        let State { events, hists, flight, span_allocs, .. } = &mut *st;
         let name = events[idx].name.as_str();
         match hists.get_mut(name) {
             Some(h) => h.record(dur),
@@ -389,10 +441,28 @@ impl Drop for SpanGuard {
                 hists.insert(name.to_string(), h);
             }
         }
+        if d.allocs != 0 || d.bytes != 0 {
+            match span_allocs.get_mut(name) {
+                Some(e) => {
+                    e.0 += d.allocs;
+                    e.1 += d.bytes;
+                }
+                None => {
+                    span_allocs.insert(name.to_string(), (d.allocs, d.bytes));
+                }
+            }
+        }
         let mirrored = flight.clone().map(|rec| (rec, name.to_string()));
         drop(st);
         if let Some((rec, name)) = mirrored {
-            rec.record(flight::FlightEvent::Span { name, tid, start_ns: start, dur_ns: dur });
+            rec.record(flight::FlightEvent::Span {
+                name,
+                tid,
+                start_ns: start,
+                dur_ns: dur,
+                allocs: d.allocs,
+                alloc_bytes: d.bytes,
+            });
         }
     }
 }
@@ -406,6 +476,7 @@ impl Drop for TimerGuard {
     fn drop(&mut self) {
         let Some((inner, name, start_ns)) = self.rec.take() else { return };
         let end_ns = inner.epoch.elapsed().as_nanos() as u64;
+        let _exempt = alloc::exempt_scope();
         let mut st = inner.state.lock().expect("telemetry state poisoned");
         st.observe(name, end_ns.saturating_sub(start_ns));
     }
@@ -455,6 +526,7 @@ impl VirtualTrack {
     /// Opens a nested span starting at `start_ns` of virtual time.
     pub fn open(&mut self, name: &str, start_ns: u64) {
         let Some((inner, tid)) = &self.rec else { return };
+        let _exempt = alloc::exempt_scope();
         let mut st = inner.state.lock().expect("telemetry state poisoned");
         let idx = st.events.len();
         st.events.push(EventRec {
@@ -463,6 +535,8 @@ impl VirtualTrack {
             start_ns,
             dur_ns: None,
             parent: self.stack.last().copied(),
+            allocs: 0,
+            alloc_bytes: 0,
         });
         self.stack.push(idx);
     }
@@ -472,6 +546,7 @@ impl VirtualTrack {
         let Some((inner, tid)) = &self.rec else { return };
         let Some(idx) = self.stack.pop() else { return };
         let tid = *tid;
+        let _exempt = alloc::exempt_scope();
         let mut st = inner.state.lock().expect("telemetry state poisoned");
         let start = st.events[idx].start_ns;
         let dur = end_ns.saturating_sub(start);
@@ -479,7 +554,16 @@ impl VirtualTrack {
         let mirrored = st.flight.clone().map(|rec| (rec, st.events[idx].name.clone()));
         drop(st);
         if let Some((rec, name)) = mirrored {
-            rec.record(flight::FlightEvent::Span { name, tid, start_ns: start, dur_ns: dur });
+            // Virtual spans are simulated time; they carry no allocation
+            // attribution.
+            rec.record(flight::FlightEvent::Span {
+                name,
+                tid,
+                start_ns: start,
+                dur_ns: dur,
+                allocs: 0,
+                alloc_bytes: 0,
+            });
         }
     }
 
@@ -487,6 +571,7 @@ impl VirtualTrack {
     pub fn leaf(&mut self, name: &str, start_ns: u64, dur_ns: u64) {
         let Some((inner, tid)) = &self.rec else { return };
         let tid = *tid;
+        let _exempt = alloc::exempt_scope();
         let mut st = inner.state.lock().expect("telemetry state poisoned");
         st.events.push(EventRec {
             name: name.to_string(),
@@ -494,11 +579,20 @@ impl VirtualTrack {
             start_ns,
             dur_ns: Some(dur_ns),
             parent: self.stack.last().copied(),
+            allocs: 0,
+            alloc_bytes: 0,
         });
         let recorder = st.flight.clone();
         drop(st);
         if let Some(rec) = recorder {
-            rec.record(flight::FlightEvent::Span { name: name.to_string(), tid, start_ns, dur_ns });
+            rec.record(flight::FlightEvent::Span {
+                name: name.to_string(),
+                tid,
+                start_ns,
+                dur_ns,
+                allocs: 0,
+                alloc_bytes: 0,
+            });
         }
     }
 }
@@ -623,6 +717,47 @@ mod tests {
         assert!(root.tid >= VIRTUAL_TID_BASE);
         let b = snap.spans().iter().find(|s| s.name == "step-b").unwrap();
         assert_eq!((b.start_ns, b.dur_ns), (100, 150));
+    }
+
+    #[test]
+    fn spans_attribute_their_allocations() {
+        if !alloc::tracking_compiled() {
+            return;
+        }
+        let tel = Telemetry::enabled();
+        {
+            let _outer = tel.span("alloc.outer");
+            {
+                let _inner = tel.span("alloc.inner");
+                let buf = vec![7u8; 32 * 1024];
+                std::hint::black_box(&buf);
+            }
+        }
+        {
+            // Telemetry's own bookkeeping is exempt, so a span whose body
+            // does not touch the heap reports zero.
+            let _quiet = tel.span("alloc.quiet");
+        }
+        let snap = tel.snapshot();
+        let get = |name: &str| snap.spans().iter().find(|s| s.name == name).unwrap().clone();
+        let inner = get("alloc.inner");
+        assert!(inner.allocs >= 1, "inner must see the vec: {inner:?}");
+        assert!(inner.alloc_bytes >= 32 * 1024, "{inner:?}");
+        // Attribution is inclusive: the parent covers its children, like
+        // dur_ns.
+        let outer = get("alloc.outer");
+        assert!(outer.allocs >= inner.allocs, "{outer:?} vs {inner:?}");
+        assert!(outer.alloc_bytes >= inner.alloc_bytes);
+        assert_eq!((get("alloc.quiet").allocs, get("alloc.quiet").alloc_bytes), (0, 0));
+        // The exporters carry the dimension: JSON span rows and the
+        // process-wide census, chrome args on allocating spans only.
+        let json = snap.to_json();
+        assert!(json.contains("\"alloc\":{\"allocs\":"), "{json}");
+        assert!(json.contains("\"allocs\":"), "{json}");
+        let trace = snap.to_chrome_trace();
+        assert!(trace.contains("\"args\":{\"allocs\":"), "{trace}");
+        let doc = json::parse(&json).expect("snapshot JSON parses");
+        Snapshot::validate_json(&doc).expect("snapshot JSON with alloc dimension validates");
     }
 
     #[test]

@@ -143,6 +143,14 @@ impl SamplerBuilder {
                     for source in &mut gauges {
                         source(&mut readings);
                     }
+                    // Built-in allocator gauges: live/peak are instantaneous
+                    // (non-monotone) readings, so they ride the gauge channel
+                    // rather than the delta's monotone counters.
+                    if crate::alloc::tracking_compiled() {
+                        let stats = crate::alloc::global_stats();
+                        readings.push(("alloc.live_bytes".into(), stats.live_bytes));
+                        readings.push(("alloc.peak_bytes".into(), stats.peak_bytes));
+                    }
                     cumulative.merge(&delta);
                     let sample = Sample {
                         seq: stats.ticks,
@@ -241,9 +249,16 @@ impl SampleSink for PrometheusSink {
 /// Line shape (groups absent when empty):
 /// `{"seq":3,"at_ms":40.1,"counters":{"meta_ops.ntt":5},"named":{...},
 ///   "spans":{"ckks.mul":123},"hists":{"k":{"count":2,"sum_ns":9}},
+///   "alloc":{"allocs":17,"bytes_allocated":4096},
+///   "span_allocs":{"ckks.mul":{"allocs":3,"bytes":2048}},
+///   "alloc_size":{"count":17,"sum_bytes":4096},
 ///   "gauges":{"par.worker.0.busy_ns":42}}`.
 pub struct JsonlSink {
     out: BufWriter<File>,
+    path: PathBuf,
+    /// Rotate when the live file would exceed this many bytes (None = never).
+    max_bytes: Option<u64>,
+    written: u64,
 }
 
 impl JsonlSink {
@@ -253,7 +268,43 @@ impl JsonlSink {
     ///
     /// Propagates file-creation errors.
     pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
-        Ok(JsonlSink { out: BufWriter::new(File::create(path)?) })
+        let path = path.as_ref().to_path_buf();
+        Ok(JsonlSink {
+            out: BufWriter::new(File::create(&path)?),
+            path,
+            max_bytes: None,
+            written: 0,
+        })
+    }
+
+    /// Like [`Self::create`], but rotates once the live file would exceed
+    /// `max_bytes`: the current file is flushed and atomically renamed to
+    /// `<path>.1` (replacing any previous rotation), then a fresh `path` is
+    /// created. At most two files ever exist, bounding disk use at roughly
+    /// `2 * max_bytes` for long-running samplers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation errors.
+    pub fn create_with_rotation(path: impl AsRef<Path>, max_bytes: u64) -> io::Result<Self> {
+        let mut sink = Self::create(path)?;
+        sink.max_bytes = Some(max_bytes.max(1));
+        Ok(sink)
+    }
+
+    /// The path rotated files are renamed to.
+    fn rotated_path(&self) -> PathBuf {
+        let mut name = self.path.file_name().unwrap_or_default().to_os_string();
+        name.push(".1");
+        self.path.with_file_name(name)
+    }
+
+    fn rotate(&mut self) -> io::Result<()> {
+        self.out.flush()?;
+        std::fs::rename(&self.path, self.rotated_path())?;
+        self.out = BufWriter::new(File::create(&self.path)?);
+        self.written = 0;
+        Ok(())
     }
 
     fn render_line(sample: &Sample<'_>) -> String {
@@ -297,6 +348,35 @@ impl JsonlSink {
             }
             line.push('}');
         }
+        if !delta.alloc.is_empty() {
+            line.push_str(",\"alloc\":{");
+            for (i, (kind, value)) in delta.alloc.iter().enumerate() {
+                if i > 0 {
+                    line.push(',');
+                }
+                write_escaped(&mut line, kind);
+                line.push_str(&format!(":{value}"));
+            }
+            line.push('}');
+        }
+        if !delta.span_allocs.is_empty() {
+            line.push_str(",\"span_allocs\":{");
+            for (i, (name, (allocs, bytes))) in delta.span_allocs.iter().enumerate() {
+                if i > 0 {
+                    line.push(',');
+                }
+                write_escaped(&mut line, name);
+                line.push_str(&format!(":{{\"allocs\":{allocs},\"bytes\":{bytes}}}"));
+            }
+            line.push('}');
+        }
+        if let Some(h) = delta.alloc_size.as_ref().filter(|h| h.count() > 0) {
+            line.push_str(&format!(
+                ",\"alloc_size\":{{\"count\":{},\"sum_bytes\":{}}}",
+                h.count(),
+                h.sum()
+            ));
+        }
         if !sample.gauges.is_empty() {
             line.push_str(",\"gauges\":{");
             for (i, (name, value)) in sample.gauges.iter().enumerate() {
@@ -315,7 +395,17 @@ impl JsonlSink {
 
 impl SampleSink for JsonlSink {
     fn on_sample(&mut self, sample: &Sample<'_>) -> io::Result<()> {
-        self.out.write_all(Self::render_line(sample).as_bytes())
+        let line = Self::render_line(sample);
+        if let Some(max) = self.max_bytes {
+            // Rotate *before* the line that would overflow, so the live
+            // file never exceeds max_bytes (a single oversized line still
+            // lands whole — lines are never split across files).
+            if self.written > 0 && self.written + line.len() as u64 > max {
+                self.rotate()?;
+            }
+        }
+        self.written += line.len() as u64;
+        self.out.write_all(line.as_bytes())
     }
 
     fn finish(&mut self) -> io::Result<()> {
@@ -394,6 +484,85 @@ mod tests {
         assert_eq!(
             doc.get("gauges").unwrap().get("par.worker.0.busy_ns").unwrap().as_f64(),
             Some(9.0)
+        );
+    }
+
+    #[test]
+    fn jsonl_sink_rotates_at_max_bytes() {
+        let dir = std::env::temp_dir().join(format!(
+            "alchemist-jsonl-rot-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ticks.jsonl");
+        let tel = Telemetry::enabled();
+        let mut cursor = Cursor::new();
+        // Tiny cap: every line (~30 bytes) overflows it, so each on_sample
+        // after the first rotates. Lines are still written whole.
+        let mut sink = JsonlSink::create_with_rotation(&path, 8).unwrap();
+        for seq in 0..3u64 {
+            tel.count_named("ev", 1);
+            let delta = tel.snapshot_delta(&mut cursor);
+            let sample = Sample {
+                seq,
+                at_ns: seq * 1_000_000,
+                delta: &delta,
+                cumulative: &delta,
+                gauges: &[],
+                last: seq == 2,
+            };
+            sink.on_sample(&sample).unwrap();
+        }
+        sink.finish().unwrap();
+        let rotated = sink.rotated_path();
+        drop(sink);
+        let live = std::fs::read_to_string(&path).unwrap();
+        let old = std::fs::read_to_string(&rotated).unwrap();
+        // Live file holds exactly the newest line; the rotation slot holds
+        // the one before it (earlier rotations were replaced by the rename).
+        assert_eq!(live.lines().count(), 1, "live: {live}");
+        assert_eq!(old.lines().count(), 1, "rotated: {old}");
+        assert!(live.contains("\"seq\":2"), "{live}");
+        assert!(old.contains("\"seq\":1"), "{old}");
+        for text in [&live, &old] {
+            for line in text.lines() {
+                parse(line).expect("rotated lines must stay valid JSON");
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ticks_carry_builtin_alloc_gauges_when_tracked() {
+        if !crate::alloc::tracking_compiled() {
+            return;
+        }
+        let tel = Telemetry::enabled();
+        let samples = Arc::new(AtomicU64::new(0));
+
+        struct GaugeProbe {
+            saw_live: Arc<AtomicU64>,
+        }
+        impl SampleSink for GaugeProbe {
+            fn on_sample(&mut self, sample: &Sample<'_>) -> io::Result<()> {
+                if sample.gauges.iter().any(|(n, _)| n == "alloc.live_bytes")
+                    && sample.gauges.iter().any(|(n, _)| n == "alloc.peak_bytes")
+                {
+                    self.saw_live.fetch_add(1, Ordering::SeqCst);
+                }
+                Ok(())
+            }
+        }
+        let sampler = SamplerBuilder::new(tel, Duration::from_millis(1))
+            .sink(GaugeProbe { saw_live: Arc::clone(&samples) })
+            .spawn();
+        std::thread::sleep(Duration::from_millis(5));
+        let stats = sampler.stop();
+        assert_eq!(
+            samples.load(Ordering::SeqCst),
+            stats.ticks,
+            "every tick must carry the built-in alloc gauges"
         );
     }
 

@@ -20,6 +20,13 @@ pub struct SpanRow {
     pub dur_ns: u64,
     /// Index of the parent span within [`Snapshot::spans`].
     pub parent: Option<usize>,
+    /// Heap allocations attributed to the span while it was open
+    /// (inclusive of children, like `dur_ns`). Zero for spans still open
+    /// at snapshot time, for virtual spans, and when the `alloc-track`
+    /// feature is off.
+    pub allocs: u64,
+    /// Bytes requested by those allocations.
+    pub alloc_bytes: u64,
 }
 
 impl SpanRow {
@@ -72,6 +79,17 @@ impl HistogramRow {
     }
 }
 
+/// Process-wide allocation accounting carried by a snapshot when the
+/// `alloc-track` feature is on (see [`crate::alloc`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllocReport {
+    /// Global allocator counters at snapshot time.
+    pub stats: crate::alloc::AllocStats,
+    /// Size-class distribution of allocation requests, in bytes (same
+    /// log-linear buckets as the duration histograms).
+    pub size_classes: Histogram,
+}
+
 /// A point-in-time copy of everything a [`crate::Telemetry`] handle has
 /// recorded, with export methods.
 #[derive(Debug, Clone, Default)]
@@ -81,6 +99,7 @@ pub struct Snapshot {
     named: Vec<(String, u64)>,
     hists: Vec<HistogramRow>,
     meta: Vec<(String, String)>,
+    alloc: Option<AllocReport>,
 }
 
 impl Snapshot {
@@ -122,6 +141,8 @@ impl Snapshot {
                     }
                 }),
                 parent: e.parent,
+                allocs: e.allocs,
+                alloc_bytes: e.alloc_bytes,
             })
             .collect();
         let counters = counters
@@ -142,7 +163,20 @@ impl Snapshot {
             .collect();
         let named = named.iter().map(|(k, &v)| (k.clone(), v)).collect();
         let meta = meta.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
-        Snapshot { spans, counters, named, hists, meta }
+        Snapshot { spans, counters, named, hists, meta, alloc: None }
+    }
+
+    /// Attaches the process-wide allocation report (called by
+    /// [`crate::Telemetry::snapshot`] when the `alloc-track` feature is
+    /// compiled in).
+    pub(crate) fn set_alloc(&mut self, stats: crate::alloc::AllocStats, size_classes: Histogram) {
+        self.alloc = Some(AllocReport { stats, size_classes });
+    }
+
+    /// The process-wide allocation report, when the `alloc-track` feature
+    /// produced one.
+    pub fn alloc(&self) -> Option<&AllocReport> {
+        self.alloc.as_ref()
     }
 
     /// All spans, in recording order (parents precede children).
@@ -244,6 +278,25 @@ impl Snapshot {
             for (name, value) in &self.named {
                 out.push_str(&format!("  {name:<42} {value}\n"));
             }
+        }
+        if let Some(a) = &self.alloc {
+            out.push_str("allocations (process-wide)\n");
+            out.push_str(&format!(
+                "  allocs {}  reallocs {}  deallocs {}\n",
+                a.stats.allocs, a.stats.reallocs, a.stats.deallocs
+            ));
+            out.push_str(&format!(
+                "  live {}  peak {}  allocated {}  max request {}\n",
+                fmt_bytes(a.stats.live_bytes),
+                fmt_bytes(a.stats.peak_bytes),
+                fmt_bytes(a.stats.bytes_allocated),
+                fmt_bytes(a.stats.max_request),
+            ));
+            out.push_str(&format!(
+                "  request size p50 {}  p99 {}\n",
+                fmt_bytes(a.size_classes.quantile(0.50)),
+                fmt_bytes(a.size_classes.quantile(0.99)),
+            ));
         }
         if !self.hists.is_empty() {
             out.push_str(&format!(
@@ -359,6 +412,15 @@ impl Snapshot {
                     return Err(format!("span \"parent\" must be a number or null, got {other:?}"))
                 }
             }
+            // Optional for backward compatibility: snapshots written before
+            // allocation tracking omit the alloc columns.
+            for key in ["allocs", "alloc_bytes"] {
+                if let Some(v) = row.get(key) {
+                    if v.as_f64().is_none() {
+                        return Err(format!("span {key:?} must be a number: {row:?}"));
+                    }
+                }
+            }
         }
         for row in rows("counters")? {
             for key in ["metric", "class"] {
@@ -396,6 +458,19 @@ impl Snapshot {
                 }
             }
         }
+        // Optional: only snapshots produced with the `alloc-track` feature
+        // carry process-wide allocation totals.
+        match obj.get("alloc") {
+            None => {}
+            Some(Json::Obj(alloc)) => {
+                for (k, v) in alloc {
+                    if v.as_f64().is_none() {
+                        return Err(format!("alloc entry {k:?} must be a number, got {v:?}"));
+                    }
+                }
+            }
+            Some(other) => return Err(format!("\"alloc\" must be an object, got {other:?}")),
+        }
         Ok(())
     }
 
@@ -426,7 +501,7 @@ impl Snapshot {
                 Some(p) => out.push_str(&p.to_string()),
                 None => out.push_str("null"),
             }
-            out.push('}');
+            out.push_str(&format!(",\"allocs\":{},\"alloc_bytes\":{}}}", s.allocs, s.alloc_bytes));
         }
         out.push_str("],\"counters\":[");
         for (i, c) in self.counters.iter().enumerate() {
@@ -461,7 +536,26 @@ impl Snapshot {
                 h.count, h.sum_ns, h.p50_ns, h.p90_ns, h.p99_ns, h.max_ns
             ));
         }
-        out.push_str("]}");
+        out.push(']');
+        if let Some(a) = &self.alloc {
+            out.push_str(&format!(
+                ",\"alloc\":{{\"allocs\":{},\"deallocs\":{},\"reallocs\":{},\
+                 \"bytes_allocated\":{},\"bytes_deallocated\":{},\"live_bytes\":{},\
+                 \"peak_bytes\":{},\"max_request\":{},\"size_p50_bytes\":{},\
+                 \"size_p99_bytes\":{}}}",
+                a.stats.allocs,
+                a.stats.deallocs,
+                a.stats.reallocs,
+                a.stats.bytes_allocated,
+                a.stats.bytes_deallocated,
+                a.stats.live_bytes,
+                a.stats.peak_bytes,
+                a.stats.max_request,
+                a.size_classes.quantile(0.50),
+                a.size_classes.quantile(0.99),
+            ));
+        }
+        out.push('}');
         out
     }
 
@@ -500,7 +594,14 @@ impl Snapshot {
             write_escaped(&mut out, if s.is_virtual() { "simulated" } else { "wall" });
             out.push_str(",\"name\":");
             write_escaped(&mut out, &s.name);
-            out.push_str(",\"args\":{}}");
+            if s.allocs == 0 && s.alloc_bytes == 0 {
+                out.push_str(",\"args\":{}}");
+            } else {
+                out.push_str(&format!(
+                    ",\"args\":{{\"allocs\":{},\"alloc_bytes\":{}}}}}",
+                    s.allocs, s.alloc_bytes
+                ));
+            }
         }
         for c in &self.counters {
             out.push_str(",{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":0,\"name\":");
@@ -539,6 +640,18 @@ impl Snapshot {
     /// Propagates filesystem errors.
     pub fn write_chrome_trace(&self, path: &std::path::Path) -> std::io::Result<()> {
         std::fs::write(path, self.to_chrome_trace())
+    }
+}
+
+fn fmt_bytes(b: u64) -> String {
+    if b >= 1 << 30 {
+        format!("{:.2} GiB", b as f64 / (1u64 << 30) as f64)
+    } else if b >= 1 << 20 {
+        format!("{:.2} MiB", b as f64 / (1u64 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.2} KiB", b as f64 / 1024.0)
+    } else {
+        format!("{b} B")
     }
 }
 

@@ -1,0 +1,73 @@
+//! Own-process test for the fault-dump flood guard: [`fault_dump`] must
+//! stop writing after [`MAX_FAULT_DUMPS`] dumps, and each dump must
+//! reflect the ring's eviction order (newest `capacity` events).
+//!
+//! This lives in its own integration-test binary because the dump
+//! sequence counter and the installed handle are process-global; sharing
+//! a process with other fault-dump callers would make the cap
+//! unobservable.
+
+use std::sync::Arc;
+
+use telemetry::flight::{
+    fault_dump, set_fault_dump_dir, FlightEvent, FlightRecorder, MAX_FAULT_DUMPS,
+};
+use telemetry::Telemetry;
+
+#[test]
+fn dump_cap_and_ring_order_hold_under_flood() {
+    let dir = std::env::temp_dir().join(format!("alchemist-fault-cap-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let tel = Telemetry::enabled();
+    let recorder = Arc::new(FlightRecorder::new(4));
+    assert!(tel.attach_flight_recorder(Arc::clone(&recorder)));
+    assert!(telemetry::install(tel.clone()), "this binary must own the global handle");
+    set_fault_dump_dir(Some(dir.clone()));
+
+    // Overfill the ring so every dump shows eviction already at work.
+    for i in 0..10u64 {
+        let _s = tel.span(&format!("flood.s{i}"));
+    }
+    let expected_names: Vec<String> = {
+        let events = recorder.events();
+        assert_eq!(events.len(), 4, "capacity-4 ring must hold 4 events");
+        events
+            .into_iter()
+            .map(|e| match e {
+                FlightEvent::Span { name, .. } | FlightEvent::Count { name, .. } => name,
+            })
+            .collect()
+    };
+    // Newest `capacity` spans survive, oldest evicted first.
+    assert_eq!(expected_names, ["flood.s6", "flood.s7", "flood.s8", "flood.s9"]);
+
+    // Flood well past the cap: exactly MAX_FAULT_DUMPS writes land, every
+    // call after that returns None without touching the filesystem.
+    let mut written = Vec::new();
+    for i in 0..(MAX_FAULT_DUMPS + 8) {
+        match fault_dump(&format!("flood-{i}")) {
+            Some(path) => {
+                assert!(i < MAX_FAULT_DUMPS, "dump {i} exceeded the cap");
+                written.push(path);
+            }
+            None => assert!(i >= MAX_FAULT_DUMPS, "dump {i} unexpectedly refused"),
+        }
+    }
+    assert_eq!(written.len() as u64, MAX_FAULT_DUMPS);
+    let on_disk = std::fs::read_dir(&dir).unwrap().count() as u64;
+    assert_eq!(on_disk, MAX_FAULT_DUMPS, "capped flood must not keep writing files");
+
+    // Each dump is the ring's view: the evicted spans are absent, the
+    // survivors present.
+    let first = std::fs::read_to_string(&written[0]).unwrap();
+    for survivor in &expected_names {
+        assert!(first.contains(survivor.as_str()), "{survivor} missing from dump");
+    }
+    assert!(!first.contains("flood.s0"), "evicted span leaked into dump");
+    assert!(!first.contains("flood.s5"), "evicted span leaked into dump");
+
+    set_fault_dump_dir(None);
+    assert!(fault_dump("after-clear").is_none(), "cleared dir must disable dumps");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -102,6 +102,19 @@ fn concurrent_deltas_sum_to_final_snapshot() {
 /// The Prometheus file the sampler leaves behind at shutdown must equal
 /// the exit-time state for every counter and histogram bucket — byte for
 /// byte the same exposition a fresh full-range delta renders to.
+///
+/// The allocator dimension is excluded from the byte-for-byte check: its
+/// census is process-global (this test binary's other threads allocate
+/// concurrently), so it keeps advancing between the sampler's final
+/// capture and our fresh delta. We assert its families are present
+/// instead.
+fn strip_alloc_dimension(text: &str) -> String {
+    text.lines()
+        .filter(|l| !l.contains("alloc") && !l.contains("alchemist_gauge"))
+        .flat_map(|l| [l, "\n"])
+        .collect()
+}
+
 #[test]
 fn exposition_file_matches_exit_snapshot() {
     let dir = std::env::temp_dir().join(format!(
@@ -136,8 +149,16 @@ fn exposition_file_matches_exit_snapshot() {
     let full = tel.snapshot_delta(&mut Cursor::new());
     let expected = expo::render(&full, &[]);
     let got = std::fs::read_to_string(&prom).unwrap();
-    assert_eq!(got, expected, "exposition file diverged from exit-time state");
+    assert_eq!(
+        strip_alloc_dimension(&got),
+        strip_alloc_dimension(&expected),
+        "exposition file diverged from exit-time state"
+    );
     assert!(got.contains("alchemist_events_total{name=\"live.ticks\"} 1000"), "{got}");
+    if telemetry::alloc::tracking_compiled() {
+        assert!(got.contains("alchemist_alloc_total{kind=\"allocs\"}"), "{got}");
+        assert!(got.contains("alchemist_gauge{name=\"alloc.live_bytes\"}"), "{got}");
+    }
 
     // The JSONL stream's interval values must also sum to the exit state.
     let mut jsonl_total = 0u64;
