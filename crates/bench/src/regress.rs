@@ -291,6 +291,159 @@ pub fn compare(
     Ok(CompareReport { rows, tolerance, fresh_only, base_only })
 }
 
+/// One measured service-throughput point (`BENCH_service.json`), keyed
+/// by `(workload, n, workers, packed)`.
+///
+/// Unlike kernel points, throughput gates as a *lower* bound and the
+/// latency quantiles as *upper* bounds: the service regresses when it
+/// serves fewer requests per second or takes longer per request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServicePoint {
+    /// Trace workload name (`mixed`, `ckks-only`, ...).
+    pub workload: String,
+    /// CKKS ring degree the server ran.
+    pub n: u64,
+    /// Worker threads.
+    pub workers: u64,
+    /// Whether slot packing was enabled.
+    pub packed: bool,
+    /// Requests replayed.
+    pub requests: u64,
+    /// Completed requests per second.
+    pub req_per_s: f64,
+    /// Median submit-to-completion latency, ms.
+    pub p50_ms: f64,
+    /// 99th-percentile latency, ms.
+    pub p99_ms: f64,
+}
+
+impl ServicePoint {
+    fn key(&self) -> (&str, u64, u64, bool) {
+        (&self.workload, self.n, self.workers, self.packed)
+    }
+}
+
+/// Extracts the `service` array of a `BENCH_service.json` document.
+pub fn parse_service_baseline(doc: &Json) -> Result<Vec<ServicePoint>, String> {
+    let arr = doc
+        .get("service")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "baseline has no `service` array".to_string())?;
+    arr.iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let num = |field: &str| {
+                p.get(field)
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("service[{i}] missing numeric `{field}`"))
+            };
+            Ok(ServicePoint {
+                workload: p
+                    .get("workload")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("service[{i}] missing `workload`"))?
+                    .to_string(),
+                n: num("n")? as u64,
+                workers: num("workers")? as u64,
+                packed: matches!(p.get("packed"), Some(Json::Bool(true))),
+                requests: num("requests")? as u64,
+                req_per_s: num("req_per_s")?,
+                p50_ms: num("p50_ms")?,
+                p99_ms: num("p99_ms")?,
+            })
+        })
+        .collect()
+}
+
+/// Verdict for one service key present on both sides.
+#[derive(Debug, Clone)]
+pub struct ServiceCompareRow {
+    /// Workload name.
+    pub workload: String,
+    /// `(n, workers, packed)` of the key.
+    pub n: u64,
+    /// Worker threads.
+    pub workers: u64,
+    /// Packing flag.
+    pub packed: bool,
+    /// `fresh / base` throughput ratio (< 1 is slower).
+    pub throughput_ratio: f64,
+    /// `fresh / base` p50 ratio (> 1 is slower).
+    pub p50_ratio: f64,
+    /// `fresh / base` p99 ratio (> 1 is slower).
+    pub p99_ratio: f64,
+    /// Whether any gated column exceeded the tolerance.
+    pub regressed: bool,
+}
+
+/// The full service diff.
+#[derive(Debug, Clone)]
+pub struct ServiceCompareReport {
+    /// One row per overlapping key, in fresh-run order.
+    pub rows: Vec<ServiceCompareRow>,
+    /// Relative degradation allowed before a row regresses.
+    pub tolerance: f64,
+    /// Fresh keys with no baseline entry (not gated).
+    pub fresh_only: usize,
+    /// Baseline keys the fresh run did not measure (not gated).
+    pub base_only: usize,
+}
+
+impl ServiceCompareReport {
+    /// Number of rows over tolerance.
+    pub fn regressions(&self) -> usize {
+        self.rows.iter().filter(|r| r.regressed).count()
+    }
+}
+
+/// Diffs a fresh service run against a baseline per
+/// `(workload, n, workers, packed)` key. Throughput gates as a lower
+/// bound, p50/p99 as upper bounds, all under the same `tolerance`.
+///
+/// # Errors
+///
+/// Errors when no key overlaps, like [`compare`].
+pub fn compare_service(
+    fresh: &[ServicePoint],
+    baseline: &[ServicePoint],
+    tolerance: f64,
+) -> Result<ServiceCompareReport, String> {
+    let base_by_key: BTreeMap<_, &ServicePoint> = baseline.iter().map(|p| (p.key(), p)).collect();
+    let mut rows = Vec::new();
+    let mut fresh_only = 0usize;
+    for f in fresh {
+        let Some(b) = base_by_key.get(&f.key()) else {
+            fresh_only += 1;
+            continue;
+        };
+        let limit = 1.0 + tolerance;
+        let throughput_ratio = f.req_per_s / b.req_per_s;
+        let p50_ratio = f.p50_ms / b.p50_ms;
+        let p99_ratio = f.p99_ms / b.p99_ms;
+        let regressed = throughput_ratio < 1.0 / limit || p50_ratio > limit || p99_ratio > limit;
+        rows.push(ServiceCompareRow {
+            workload: f.workload.clone(),
+            n: f.n,
+            workers: f.workers,
+            packed: f.packed,
+            throughput_ratio,
+            p50_ratio,
+            p99_ratio,
+            regressed,
+        });
+    }
+    if rows.is_empty() {
+        return Err(format!(
+            "no (workload, n, workers, packed) key overlaps the baseline \
+             ({} fresh vs {} baseline entries) — stale or mismatched baseline?",
+            fresh.len(),
+            baseline.len()
+        ));
+    }
+    let base_only = baseline.len() - rows.len();
+    Ok(ServiceCompareReport { rows, tolerance, fresh_only, base_only })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -473,5 +626,75 @@ mod tests {
         assert!(rep.rows[0].alloc_ratio.unwrap() > 1.0);
         let many = vec![alloc_point("modup", 65, 0)];
         assert_eq!(compare(&many, &zero, 0.15).unwrap().regressions(), 1);
+    }
+
+    fn svc(workload: &str, packed: bool, rps: f64, p50: f64, p99: f64) -> ServicePoint {
+        ServicePoint {
+            workload: workload.to_string(),
+            n: 64,
+            workers: 4,
+            packed,
+            requests: 512,
+            req_per_s: rps,
+            p50_ms: p50,
+            p99_ms: p99,
+        }
+    }
+
+    #[test]
+    fn service_baseline_round_trips_and_rejects_missing_fields() {
+        let doc = telemetry::json::parse(
+            r#"{"service": [{"workload": "mixed", "n": 64, "workers": 4, "packed": true,
+                             "requests": 512, "req_per_s": 900.0, "p50_ms": 2.0,
+                             "p99_ms": 9.5}]}"#,
+        )
+        .unwrap();
+        let pts = parse_service_baseline(&doc).unwrap();
+        assert_eq!(pts, vec![svc("mixed", true, 900.0, 2.0, 9.5)]);
+
+        let bad = telemetry::json::parse(
+            r#"{"service": [{"workload": "mixed", "n": 64, "workers": 4, "packed": true,
+                             "requests": 512, "req_per_s": 900.0, "p50_ms": 2.0}]}"#,
+        )
+        .unwrap();
+        assert!(parse_service_baseline(&bad).unwrap_err().contains("p99_ms"));
+        let none = telemetry::json::parse(r#"{"kernels": []}"#).unwrap();
+        assert!(parse_service_baseline(&none).unwrap_err().contains("service"));
+    }
+
+    #[test]
+    fn service_gates_throughput_low_and_latency_high() {
+        let base = vec![svc("mixed", true, 1000.0, 2.0, 10.0)];
+        // Identical: clean.
+        assert_eq!(compare_service(&base, &base, 0.2).unwrap().regressions(), 0);
+        // Faster and tighter: clean — improvement never regresses.
+        let better = vec![svc("mixed", true, 1500.0, 1.0, 5.0)];
+        assert_eq!(compare_service(&better, &base, 0.2).unwrap().regressions(), 0);
+        // Throughput down past tolerance: regressed.
+        let slow = vec![svc("mixed", true, 800.0, 2.0, 10.0)];
+        let rep = compare_service(&slow, &base, 0.2).unwrap();
+        assert_eq!(rep.regressions(), 1);
+        assert!(rep.rows[0].throughput_ratio < 1.0);
+        // p99 blowup alone regresses, even at equal throughput.
+        let spiky = vec![svc("mixed", true, 1000.0, 2.0, 13.0)];
+        assert_eq!(compare_service(&spiky, &base, 0.2).unwrap().regressions(), 1);
+        // Throughput slightly down, within tolerance: clean.
+        let near = vec![svc("mixed", true, 850.0, 2.1, 10.5)];
+        assert_eq!(compare_service(&near, &base, 0.2).unwrap().regressions(), 0);
+    }
+
+    #[test]
+    fn service_compare_requires_key_overlap() {
+        let base = vec![svc("mixed", true, 1000.0, 2.0, 10.0)];
+        let fresh = vec![svc("mixed", false, 1000.0, 2.0, 10.0)];
+        let err = compare_service(&fresh, &base, 0.2).unwrap_err();
+        assert!(err.contains("overlap"), "{err}");
+        // Partial overlap still gates the shared key and counts strays.
+        let both =
+            vec![svc("mixed", true, 1000.0, 2.0, 10.0), svc("ckks-only", true, 500.0, 1.0, 4.0)];
+        let rep = compare_service(&both, &base, 0.2).unwrap();
+        assert_eq!(rep.rows.len(), 1);
+        assert_eq!(rep.fresh_only, 1);
+        assert_eq!(rep.base_only, 0);
     }
 }

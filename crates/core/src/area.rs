@@ -113,6 +113,13 @@ impl AreaModel {
             ("Total".into(), 1, self.total_mm2(), self.total_mm2()),
         ]
     }
+
+    /// The `Total` row of a [`breakdown`](Self::breakdown)-shaped table,
+    /// if present. Library consumers of row sets that may have been
+    /// filtered or truncated use this instead of `rows.last().unwrap()`.
+    pub fn breakdown_total(rows: &[(String, usize, f64, f64)]) -> Option<f64> {
+        rows.last().map(|row| row.3)
+    }
 }
 
 #[cfg(test)]
@@ -147,7 +154,8 @@ mod tests {
     fn breakdown_totals_consistent() {
         let m = AreaModel::new(ArchConfig::paper());
         let rows = m.breakdown();
-        let total = rows.last().unwrap().3;
+        let total = AreaModel::breakdown_total(&rows).unwrap();
         assert!((total - m.total_mm2()).abs() < 1e-9);
+        assert_eq!(AreaModel::breakdown_total(&[]), None);
     }
 }

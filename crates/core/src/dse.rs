@@ -35,6 +35,23 @@ impl DsePoint {
     }
 }
 
+/// The point with the best performance per area, or `None` for an empty
+/// sweep. Library callers (report generators, config pickers) must handle
+/// the empty case instead of unwrapping: a filtered sweep — say, "points
+/// under 100 mm²" — can legitimately come back empty.
+pub fn best_point(points: &[DsePoint]) -> Option<&DsePoint> {
+    points.iter().max_by(|a, b| a.perf_per_area().total_cmp(&b.perf_per_area()))
+}
+
+/// The (area, latency) Pareto front: points no other point beats on both
+/// axes. Empty input yields an empty front; ties survive on both sides.
+pub fn pareto_front(points: &[DsePoint]) -> Vec<&DsePoint> {
+    points
+        .iter()
+        .filter(|p| !points.iter().any(|q| q.area_mm2 < p.area_mm2 && q.seconds < p.seconds))
+        .collect()
+}
+
 /// Rescales a step sequence for a different lane width `j`.
 ///
 /// Non-NTT Meta-OPs process `j` coefficients per op, so op counts scale by
@@ -57,10 +74,17 @@ fn rescale_for_lanes(steps: &[Step], j: usize) -> Vec<Step> {
 
 /// Sweeps the Meta-OP lane width over the bootstrapping workload.
 pub fn lane_sweep() -> Vec<DsePoint> {
+    lane_sweep_over(&[4, 8, 16])
+}
+
+/// [`lane_sweep`] over caller-chosen lane widths. An empty slice yields an
+/// empty sweep rather than panicking downstream.
+pub fn lane_sweep_over(lanes: &[usize]) -> Vec<DsePoint> {
     let p = CkksSimParams::paper();
     let base = bootstrapping(&p);
-    [4usize, 8, 16]
-        .into_iter()
+    lanes
+        .iter()
+        .copied()
         .map(|j| {
             let mut arch = ArchConfig::paper();
             arch.lanes = j;
@@ -78,10 +102,17 @@ pub fn lane_sweep() -> Vec<DsePoint> {
 
 /// Sweeps the computing-unit count over the bootstrapping workload.
 pub fn unit_sweep() -> Vec<DsePoint> {
+    unit_sweep_over(&[64, 128, 256])
+}
+
+/// [`unit_sweep`] over caller-chosen unit counts (empty-safe like
+/// [`lane_sweep_over`]).
+pub fn unit_sweep_over(unit_counts: &[usize]) -> Vec<DsePoint> {
     let p = CkksSimParams::paper();
     let base = bootstrapping(&p);
-    [64usize, 128, 256]
-        .into_iter()
+    unit_counts
+        .iter()
+        .copied()
         .map(|units| {
             let mut arch = ArchConfig::paper();
             arch.units = units;
@@ -148,9 +179,34 @@ mod tests {
     #[test]
     fn eight_lanes_win_perf_per_area() {
         let points = lane_sweep();
-        let best =
-            points.iter().max_by(|a, b| a.perf_per_area().total_cmp(&b.perf_per_area())).unwrap();
+        let best = best_point(&points).unwrap();
         assert_eq!(best.label, "j=8", "paper's DSE picks j = 8: {points:?}");
+    }
+
+    #[test]
+    fn empty_sweeps_are_safe() {
+        assert!(lane_sweep_over(&[]).is_empty());
+        assert!(unit_sweep_over(&[]).is_empty());
+        assert!(best_point(&[]).is_none());
+        assert!(pareto_front(&[]).is_empty());
+    }
+
+    #[test]
+    fn pareto_front_drops_dominated_points() {
+        let p = |label: &str, area: f64, s: f64| DsePoint {
+            label: label.into(),
+            area_mm2: area,
+            seconds: s,
+            utilization: 0.5,
+        };
+        let points = vec![
+            p("small-slow", 100.0, 2.0),
+            p("big-fast", 200.0, 1.0),
+            p("dominated", 250.0, 2.5),
+        ];
+        let front = pareto_front(&points);
+        let labels: Vec<&str> = front.iter().map(|d| d.label.as_str()).collect();
+        assert_eq!(labels, ["small-slow", "big-fast"]);
     }
 
     #[test]

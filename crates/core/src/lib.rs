@@ -47,4 +47,4 @@ pub mod workloads;
 pub use arch::ArchConfig;
 pub use area::{AreaModel, COMPONENT_AREAS_MM2};
 pub use layout::{DistributedFourStepNtt, SlotLayout};
-pub use sim::{ScheduleManifest, SimError, SimReport, Simulator, Step};
+pub use sim::{ManifestBuilder, ScheduleManifest, SimError, SimReport, Simulator, Step};

@@ -181,38 +181,107 @@ fn mix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// Incremental fingerprint accumulator behind [`ScheduleManifest::of`].
+///
+/// Generalizes the manifest so planning layers above the simulator (e.g.
+/// a service compiling request DAGs into execution plans) can fold their
+/// own structured fields — op kinds, tenant parameters, slot ranges —
+/// into the *same* order-sensitive digest scheme before lowering to
+/// [`Step`]s, instead of inventing a second fingerprint format. Steps
+/// pushed through [`push_step`](Self::push_step) produce digests
+/// bit-identical to `ScheduleManifest::of`; extra [`fold_u64`]
+/// (Self::fold_u64) / [`fold_bytes`](Self::fold_bytes) calls deliberately
+/// diverge the digest, which is exactly what distinguishes two plans that
+/// lower to the same steps but mean different things (e.g. different
+/// per-request slot assignments).
+#[derive(Debug, Clone)]
+pub struct ManifestBuilder {
+    digest: u64,
+    items: usize,
+    hbm_bytes: u64,
+    onchip_bytes: u64,
+    meta_ops: u64,
+}
+
+impl Default for ManifestBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ManifestBuilder {
+    /// An empty accumulator (same seed as [`ScheduleManifest::of`]).
+    pub fn new() -> Self {
+        ManifestBuilder {
+            digest: 0x243f_6a88_85a3_08d3, // π, arbitrary non-zero seed
+            items: 0,
+            hbm_bytes: 0,
+            onchip_bytes: 0,
+            meta_ops: 0,
+        }
+    }
+
+    /// Folds one raw 64-bit word (order-sensitive).
+    pub fn fold_u64(&mut self, x: u64) -> &mut Self {
+        self.digest = mix64(self.digest ^ x);
+        self
+    }
+
+    /// Folds a byte string, one mixer round per byte.
+    pub fn fold_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        for b in bytes {
+            self.fold_u64(u64::from(*b));
+        }
+        self
+    }
+
+    /// Folds one schedule step at the next position and accumulates its
+    /// traffic totals.
+    pub fn push_step(&mut self, s: &Step) -> &mut Self {
+        // Position is folded in explicitly so swapping two identical-
+        // digest steps still changes nothing, but swapping two distinct
+        // steps always does.
+        self.fold_u64(self.items as u64);
+        self.fold_bytes(s.label.as_bytes());
+        self.fold_u64(s.class as u64);
+        self.fold_u64(s.meta_ops);
+        self.fold_u64(u64::from(s.n));
+        self.fold_u64(u64::from(s.add_only));
+        self.fold_u64(s.hbm_bytes);
+        self.fold_u64(s.onchip_bytes);
+        self.items += 1;
+        self.hbm_bytes += s.hbm_bytes;
+        self.onchip_bytes += s.onchip_bytes;
+        self.meta_ops += s.meta_ops;
+        self
+    }
+
+    /// The digest accumulated so far (useful as a plan fingerprint on its
+    /// own, without the step totals).
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// Seals the accumulator into a manifest.
+    pub fn finish(&self) -> ScheduleManifest {
+        ScheduleManifest {
+            steps: self.items,
+            digest: self.digest,
+            hbm_bytes: self.hbm_bytes,
+            onchip_bytes: self.onchip_bytes,
+            meta_ops: self.meta_ops,
+        }
+    }
+}
+
 impl ScheduleManifest {
     /// Fingerprints a schedule.
     pub fn of(steps: &[Step]) -> Self {
-        let mut digest = 0x243f_6a88_85a3_08d3u64; // π, arbitrary non-zero seed
-        let mut hbm = 0u64;
-        let mut onchip = 0u64;
-        let mut ops = 0u64;
-        for (i, s) in steps.iter().enumerate() {
-            // Position is folded in explicitly so swapping two identical-
-            // digest steps still changes nothing, but swapping two distinct
-            // steps always does.
-            digest = mix64(digest ^ i as u64);
-            for b in s.label.as_bytes() {
-                digest = mix64(digest ^ u64::from(*b));
-            }
-            digest = mix64(digest ^ s.class as u64);
-            digest = mix64(digest ^ s.meta_ops);
-            digest = mix64(digest ^ u64::from(s.n));
-            digest = mix64(digest ^ u64::from(s.add_only));
-            digest = mix64(digest ^ s.hbm_bytes);
-            digest = mix64(digest ^ s.onchip_bytes);
-            hbm += s.hbm_bytes;
-            onchip += s.onchip_bytes;
-            ops += s.meta_ops;
+        let mut b = ManifestBuilder::new();
+        for s in steps {
+            b.push_step(s);
         }
-        ScheduleManifest {
-            steps: steps.len(),
-            digest,
-            hbm_bytes: hbm,
-            onchip_bytes: onchip,
-            meta_ops: ops,
-        }
+        b.finish()
     }
 
     /// Checks a schedule against this manifest, describing the first
@@ -698,6 +767,25 @@ mod tests {
         // The manifest totals mirror the schedule.
         assert_eq!(manifest.steps, 4);
         assert_eq!(manifest.hbm_bytes, (1 << 20) + (1 << 18));
+    }
+
+    #[test]
+    fn manifest_builder_matches_of_bit_for_bit() {
+        let steps = manifest_schedule();
+        let mut b = ManifestBuilder::new();
+        for s in &steps {
+            b.push_step(s);
+        }
+        assert_eq!(b.finish(), ScheduleManifest::of(&steps));
+        // Extra folded context (e.g. a plan's slot assignment) diverges
+        // the digest even when the lowered steps are identical.
+        let mut tagged = ManifestBuilder::new();
+        tagged.fold_bytes(b"tenant=42;slots=0..32");
+        for s in &steps {
+            tagged.push_step(s);
+        }
+        assert_ne!(tagged.finish().digest, b.finish().digest);
+        assert_eq!(tagged.finish().steps, steps.len());
     }
 
     #[test]

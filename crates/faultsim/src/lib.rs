@@ -777,6 +777,38 @@ pub fn run_campaign(seed: u64, cases: u64, tel: &telemetry::Telemetry) -> Campai
     run_campaign_classes(&FaultClass::ALL, seed, cases, tel)
 }
 
+/// Containment hooks shared with layers above the campaign runner.
+///
+/// The serving layer (`crates/service`) injects the same fault shapes the
+/// campaign exercises — coefficient bit flips, worker panics — but inside
+/// its own request lifecycle. These re-exports give it the sanctioned
+/// corruption surface and the process-global knob discipline without
+/// duplicating the logic.
+pub mod hooks {
+    use super::*;
+
+    /// Flips one pseudo-random bit of a CKKS ciphertext, bypassing the
+    /// reseal, and returns a human-readable description of the flip site.
+    /// Deterministic in `seed`.
+    pub fn flip_ckks_bit(ct: &mut Ciphertext, seed: u64) -> String {
+        let mut rng = SplitMix64::new(seed);
+        flip_ckks(ct, &mut rng)
+    }
+
+    /// See the crate-private [`quiet_panics`](super::quiet_panics):
+    /// silences the process-global panic hook around `f`. Callers must
+    /// hold [`par_knob_guard`].
+    pub fn quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+        super::quiet_panics(f)
+    }
+
+    /// See the crate-private [`par_knob_guard`](super::par_knob_guard):
+    /// serializes mutation of the process-global `fhe_math::par` knobs.
+    pub fn par_knob_guard() -> MutexGuard<'static, ()> {
+        super::par_knob_guard()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

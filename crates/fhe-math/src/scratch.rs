@@ -27,6 +27,14 @@ use std::sync::atomic::{AtomicU64, Ordering};
 static GLOBAL_HITS: AtomicU64 = AtomicU64::new(0);
 static GLOBAL_MISSES: AtomicU64 = AtomicU64::new(0);
 static GLOBAL_HIGH_WATER: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_TRIMS: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_TRIMMED_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Consecutive takes at well under the retained capacity before the pool
+/// halves itself (see [`Scratch::take`]). Small enough that a server
+/// worker decays within one batch of small requests, large enough that a
+/// bursty caller alternating big/small shapes never trims.
+const TRIM_STREAK: u32 = 32;
 
 /// Pool effectiveness counters (per pool via [`Scratch::stats`],
 /// process-wide via [`scratch_stats`]).
@@ -40,6 +48,11 @@ pub struct ScratchStats {
     /// process-wide view this is the maximum over individual pools, not
     /// their sum — it bounds any one pool's retention.
     pub high_water_bytes: u64,
+    /// Trim events: the pool halved its retained capacity after
+    /// [`TRIM_STREAK`] consecutive takes far below it.
+    pub trims: u64,
+    /// Total capacity bytes released back to the allocator by trims.
+    pub trimmed_bytes: u64,
 }
 
 /// Process-wide scratch-pool watermarks, aggregated over every pool on
@@ -49,6 +62,8 @@ pub fn scratch_stats() -> ScratchStats {
         hits: GLOBAL_HITS.load(Ordering::Relaxed),
         misses: GLOBAL_MISSES.load(Ordering::Relaxed),
         high_water_bytes: GLOBAL_HIGH_WATER.load(Ordering::Relaxed),
+        trims: GLOBAL_TRIMS.load(Ordering::Relaxed),
+        trimmed_bytes: GLOBAL_TRIMMED_BYTES.load(Ordering::Relaxed),
     }
 }
 
@@ -58,6 +73,9 @@ pub struct Scratch {
     pool: Vec<Vec<u64>>,
     /// Total capacity bytes currently resident in `pool`.
     pooled_bytes: u64,
+    /// Consecutive takes that requested less than half the retained
+    /// capacity; reaching [`TRIM_STREAK`] triggers a trim.
+    below_streak: u32,
     stats: ScratchStats,
 }
 
@@ -67,13 +85,42 @@ impl Scratch {
         Scratch {
             pool: Vec::new(),
             pooled_bytes: 0,
-            stats: ScratchStats { hits: 0, misses: 0, high_water_bytes: 0 },
+            below_streak: 0,
+            stats: ScratchStats {
+                hits: 0,
+                misses: 0,
+                high_water_bytes: 0,
+                trims: 0,
+                trimmed_bytes: 0,
+            },
         }
     }
 
     /// A zeroed buffer of length `len`, reusing pooled capacity when
     /// available.
+    ///
+    /// The pool also decays here: a take asking for less than half the
+    /// *largest* retained buffer bumps a streak counter, and
+    /// [`TRIM_STREAK`] such takes in a row halve the retention (largest
+    /// buffers dropped first). A long-running worker whose one giant
+    /// request is long gone therefore converges back toward its
+    /// steady-state footprint instead of pinning the peak forever. The
+    /// watermark is the largest buffer, not the pool total, so a warm
+    /// pool of many same-size buffers never trims itself: each take
+    /// matches the largest and resets the streak, keeping the zero-alloc
+    /// steady state intact.
     pub fn take(&mut self, len: usize) -> Vec<u64> {
+        let req_bytes = (len as u64).saturating_mul(8);
+        let largest = self.pool.iter().map(|b| (b.capacity() * 8) as u64).max().unwrap_or(0);
+        if largest > 0 && req_bytes.saturating_mul(2) < largest {
+            self.below_streak += 1;
+            if self.below_streak >= TRIM_STREAK {
+                self.trim(self.pooled_bytes / 2);
+                self.below_streak = 0;
+            }
+        } else {
+            self.below_streak = 0;
+        }
         let mut buf = self.pool.pop().unwrap_or_default();
         self.pooled_bytes -= (buf.capacity() * 8) as u64;
         // A hit must not touch the allocator: the popped buffer's capacity
@@ -105,9 +152,35 @@ impl Scratch {
         }
     }
 
+    /// Drops pooled buffers, largest first, until at most `target` bytes
+    /// of capacity remain. Largest-first matters: under sustained small
+    /// demand the big outlier is the one pinning memory, and the small
+    /// buffers that still serve the live shapes survive.
+    fn trim(&mut self, target: u64) {
+        let before = self.pooled_bytes;
+        while self.pooled_bytes > target {
+            let Some((idx, _)) = self.pool.iter().enumerate().max_by_key(|(_, b)| b.capacity())
+            else {
+                break;
+            };
+            let dropped = self.pool.swap_remove(idx);
+            self.pooled_bytes -= (dropped.capacity() * 8) as u64;
+        }
+        let released = before - self.pooled_bytes;
+        self.stats.trims += 1;
+        self.stats.trimmed_bytes += released;
+        GLOBAL_TRIMS.fetch_add(1, Ordering::Relaxed);
+        GLOBAL_TRIMMED_BYTES.fetch_add(released, Ordering::Relaxed);
+    }
+
     /// Number of pooled buffers (diagnostics/tests).
     pub fn pooled(&self) -> usize {
         self.pool.len()
+    }
+
+    /// Capacity bytes currently retained by the free-list.
+    pub fn retained_bytes(&self) -> u64 {
+        self.pooled_bytes
     }
 
     /// This pool's hit/miss/high-water counters.
@@ -176,6 +249,69 @@ mod tests {
             });
             outer.put(buf);
         });
+    }
+
+    #[test]
+    fn grow_then_shrink_releases_peak_capacity() {
+        let mut s = Scratch::new();
+        // Grow: one transient giant request (16 MiB) is pooled on put.
+        let big = s.take(1 << 21);
+        s.put(big);
+        let peak = s.retained_bytes();
+        assert!(peak >= (1u64 << 21) * 8);
+
+        // Under alloc-track the trim must actually return memory to the
+        // allocator, not just forget the pointer in our own accounting.
+        #[cfg(feature = "alloc-track")]
+        let live_before = telemetry::alloc::global_stats().live_bytes;
+
+        // Shrink: sustained small demand decays retention geometrically.
+        for _ in 0..(TRIM_STREAK as usize * 4) {
+            let b = s.take(64);
+            s.put(b);
+        }
+        assert!(s.stats().trims >= 1, "sustained small takes must trim");
+        assert!(
+            s.retained_bytes() < peak / 2,
+            "retained {} bytes, peak was {peak}",
+            s.retained_bytes()
+        );
+        assert!(s.stats().trimmed_bytes >= peak / 2);
+
+        #[cfg(feature = "alloc-track")]
+        {
+            let live_after = telemetry::alloc::global_stats().live_bytes;
+            // Concurrent tests allocate too, so demand only half the
+            // giant buffer's release to show up in the global gauge.
+            assert!(
+                live_before.saturating_sub(live_after) >= peak / 2,
+                "live bytes went {live_before} -> {live_after}, \
+                 expected a drop of at least {}",
+                peak / 2
+            );
+        }
+
+        // The small shapes that drove the decay still hit the pool.
+        let warm = s.stats();
+        let b = s.take(64);
+        s.put(b);
+        assert_eq!(s.stats().hits, warm.hits + 1);
+    }
+
+    #[test]
+    fn warm_uniform_pool_never_trims() {
+        let mut s = Scratch::new();
+        // A steady-state worker: same shape over and over, several
+        // buffers in flight at once. The decay policy must not evict
+        // capacity that is actively serving requests.
+        for _ in 0..(TRIM_STREAK as usize * 8) {
+            let a = s.take(1024);
+            let b = s.take(1024);
+            s.put(a);
+            s.put(b);
+        }
+        assert_eq!(s.stats().trims, 0);
+        assert_eq!(s.stats().misses, 2, "only the cold takes allocate");
     }
 
     #[test]

@@ -1,0 +1,117 @@
+//! CKKS slot packing: many small requests, one ciphertext.
+//!
+//! A toy request touching 8 slots wastes the other `N/2 − 8` slots of
+//! every ciphertext and — far worse — pays a full evaluation per
+//! request. Requests from the *same tenant* computing the *same
+//! program* (equal plan fingerprints) are slot-wise independent under
+//! CKKS's SIMD semantics, so the server lays them side by side in one
+//! ciphertext, evaluates the program once, and slices each member's
+//! result out of its slot range.
+//!
+//! Packing never crosses tenants (different secret keys) and never
+//! crosses fingerprints (different programs), which is why the packer
+//! keys on `(tenant, fingerprint)` — the grouping the admission queue's
+//! [`take_group`](crate::queue::AdmissionQueue::take_group) hands us.
+
+use std::ops::Range;
+
+/// One member's place inside a packed batch.
+#[derive(Debug, Clone)]
+pub struct PackSlot<T> {
+    /// The member itself (the server's queued ticket).
+    pub item: T,
+    /// Its slot range inside the batch ciphertext.
+    pub range: Range<usize>,
+}
+
+/// A group of same-tenant, same-program requests sharing one ciphertext.
+#[derive(Debug, Clone)]
+pub struct PackedBatch<T> {
+    /// Members with their slot ranges, in arrival order.
+    pub members: Vec<PackSlot<T>>,
+    /// Slots occupied (`members` ranges are contiguous from 0).
+    pub slots_used: usize,
+}
+
+impl<T> PackedBatch<T> {
+    /// Whether this batch actually coalesced anything.
+    pub fn is_packed(&self) -> bool {
+        self.members.len() > 1
+    }
+}
+
+/// Packs `items` (already grouped by tenant + fingerprint) into batches
+/// of at most `slot_capacity` slots, first-fit in arrival order. Items
+/// wider than the capacity get a batch of their own and are truncated
+/// nowhere — the caller validated width at compile time.
+pub fn pack<T>(
+    items: Vec<T>,
+    slots_of: impl Fn(&T) -> usize,
+    slot_capacity: usize,
+) -> Vec<PackedBatch<T>> {
+    let mut batches: Vec<PackedBatch<T>> = Vec::new();
+    let mut open: Option<PackedBatch<T>> = None;
+    for item in items {
+        let w = slots_of(&item);
+        let fits = open.as_ref().is_some_and(|b| b.slots_used + w <= slot_capacity);
+        if !fits {
+            if let Some(b) = open.take() {
+                batches.push(b);
+            }
+            open = Some(PackedBatch { members: Vec::new(), slots_used: 0 });
+        }
+        let b = open.as_mut().expect("just opened");
+        let start = b.slots_used;
+        b.members.push(PackSlot { item, range: start..start + w });
+        b.slots_used += w;
+    }
+    if let Some(b) = open {
+        batches.push(b);
+    }
+    batches
+}
+
+/// Builds the combined slot vector for a batch: each member's payload
+/// copied into its range.
+pub fn combined_payload<T>(batch: &PackedBatch<T>, payload_of: impl Fn(&T) -> &[f64]) -> Vec<f64> {
+    let mut slots = vec![0.0f64; batch.slots_used];
+    for m in &batch.members {
+        slots[m.range.clone()].copy_from_slice(payload_of(&m.item));
+    }
+    slots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_fit_respects_capacity_and_order() {
+        // widths 8+8+8 fit in 24; the 4th spills into a second batch.
+        let items: Vec<usize> = vec![8, 8, 8, 8];
+        let batches = pack(items, |&w| w, 24);
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0].members.len(), 3);
+        assert_eq!(batches[0].slots_used, 24);
+        assert_eq!(batches[0].members[2].range, 16..24);
+        assert_eq!(batches[1].members.len(), 1);
+        assert!(batches[0].is_packed());
+        assert!(!batches[1].is_packed());
+    }
+
+    #[test]
+    fn combined_payload_lays_members_side_by_side() {
+        let items = vec![vec![1.0, 2.0], vec![3.0], vec![4.0, 5.0]];
+        let batches = pack(items, Vec::len, 8);
+        assert_eq!(batches.len(), 1);
+        let slots = combined_payload(&batches[0], Vec::as_slice);
+        assert_eq!(slots, [1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn oversized_item_gets_its_own_batch() {
+        let batches = pack(vec![10usize, 3], |&w| w, 4);
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0].slots_used, 10, "wide item still packs alone");
+    }
+}

@@ -1,0 +1,559 @@
+//! The multi-tenant batch server.
+//!
+//! Std-only async: a bounded [`AdmissionQueue`] in front of a worker
+//! threadpool, responses delivered over per-request `mpsc` channels.
+//! Submission is synchronous and cheap — validate, compile, fingerprint,
+//! admit (or reject with a backoff hint) — and everything cryptographic
+//! happens on the workers.
+//!
+//! **Degradation, not death.** Every execution runs under
+//! `catch_unwind`. A packed batch that fails for any reason is *not*
+//! failed wholesale: the server re-runs its members as singletons, so a
+//! fault riding on one member costs exactly that member. A singleton
+//! failure produces a structured error back to its submitter plus a
+//! flight-recorder `fault_dump` when the failure is one of the
+//! containment lattice's classes — and the server keeps serving.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use alchemist_core::{ArchConfig, Simulator};
+use fhe_ckks::{CkksContext, CkksParams};
+use fhe_tfhe::TfheParams;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use telemetry::Histogram;
+
+use crate::error::ServiceError;
+use crate::exec::{execute_ckks, execute_tfhe};
+use crate::keycache::{KeyCache, KeyCacheStats};
+use crate::pack::{combined_payload, pack, PackedBatch};
+use crate::plan::{compile, Plan};
+use crate::queue::{AdmissionConfig, AdmissionQueue, QueueStats};
+use crate::request::{FaultFlag, Payload, Request, Scheme, TenantId};
+
+/// How long an idle worker waits on the queue before rechecking for
+/// shutdown.
+const WORKER_POLL: Duration = Duration::from_millis(20);
+
+/// Server configuration.
+pub struct ServerConfig {
+    /// Worker threads.
+    pub workers: usize,
+    /// Admission policy.
+    pub admission: AdmissionConfig,
+    /// Tenants whose eval keys stay resident.
+    pub key_cache_capacity: usize,
+    /// Whether to coalesce same-tenant same-program CKKS requests.
+    pub packing: bool,
+    /// Max members per packed batch.
+    pub max_batch: usize,
+    /// Server seed: tenant keys and per-request encryption randomness
+    /// derive from it, so a trace replays bit-identically.
+    pub seed: u64,
+    /// CKKS ring parameters.
+    pub params: CkksParams,
+    /// TFHE parameters.
+    pub tfhe: TfheParams,
+    /// Distinct tenants tracked with their own latency histogram
+    /// (first-come; the rest aggregate into one).
+    pub latency_tenants: usize,
+    /// Telemetry handle workers record into.
+    pub telemetry: telemetry::Telemetry,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            admission: AdmissionConfig::default(),
+            key_cache_capacity: 128,
+            packing: true,
+            max_batch: 8,
+            seed: 0xA1C4_E157_5E1D_0001,
+            params: CkksParams::toy().expect("toy params construct"),
+            tfhe: TfheParams::toy(),
+            latency_tenants: 64,
+            telemetry: telemetry::Telemetry::enabled(),
+        }
+    }
+}
+
+/// One finished request.
+#[derive(Debug)]
+pub struct Completion {
+    /// Submission id (monotonic per server).
+    pub id: u64,
+    /// Submitting tenant.
+    pub tenant: TenantId,
+    /// Decoded result slots (TFHE: one `0.0`/`1.0` bit), or the
+    /// structured failure.
+    pub result: Result<Vec<f64>, ServiceError>,
+    /// Submit-to-completion latency.
+    pub latency: Duration,
+    /// Members in the batch this request executed in (1 = singleton).
+    pub batch_size: usize,
+}
+
+/// Monotonic server counters.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    submitted: AtomicU64,
+    completed_ok: AtomicU64,
+    failed: AtomicU64,
+    faults_contained: AtomicU64,
+    batches: AtomicU64,
+    packed_batches: AtomicU64,
+    packed_members: AtomicU64,
+    degraded_batches: AtomicU64,
+}
+
+/// Point-in-time copy of [`ServerStats`].
+#[derive(Debug, Clone, Copy)]
+pub struct StatsSnapshot {
+    /// Requests offered to admission (accepted or not).
+    pub submitted: u64,
+    /// Requests answered with `Ok`.
+    pub completed_ok: u64,
+    /// Requests answered with a structured error.
+    pub failed: u64,
+    /// Failures the containment lattice classified (panic, checksum,
+    /// budget) — each also produced a flight `fault_dump`.
+    pub faults_contained: u64,
+    /// Batches executed (packed or singleton).
+    pub batches: u64,
+    /// Batches with more than one member.
+    pub packed_batches: u64,
+    /// Members that rode in packed batches.
+    pub packed_members: u64,
+    /// Packed batches that failed and were degraded to singletons.
+    pub degraded_batches: u64,
+}
+
+impl ServerStats {
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed_ok: self.completed_ok.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            faults_contained: self.faults_contained.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            packed_batches: self.packed_batches.load(Ordering::Relaxed),
+            packed_members: self.packed_members.load(Ordering::Relaxed),
+            degraded_batches: self.degraded_batches.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Per-tenant latency book: first `cap` distinct tenants get their own
+/// histogram, the long tail shares one.
+struct LatencyBook {
+    cap: usize,
+    per_tenant: HashMap<TenantId, Histogram>,
+    other: Histogram,
+    all: Histogram,
+}
+
+impl LatencyBook {
+    fn record(&mut self, tenant: TenantId, ns: u64) {
+        self.all.record(ns);
+        if let Some(h) = self.per_tenant.get_mut(&tenant) {
+            h.record(ns);
+        } else if self.per_tenant.len() < self.cap {
+            self.per_tenant.entry(tenant).or_default().record(ns);
+        } else {
+            self.other.record(ns);
+        }
+    }
+}
+
+/// `(tenant, completions, p50 ns, p99 ns)` rows from the latency book.
+pub type TenantLatencyRow = (TenantId, u64, u64, u64);
+
+struct Ticket {
+    id: u64,
+    req: Request,
+    plan: Arc<Plan>,
+    respond: mpsc::Sender<Completion>,
+    span: Option<telemetry::DetachedSpan>,
+    submitted: Instant,
+}
+
+struct Shared {
+    ctx: CkksContext,
+    tfhe_params: TfheParams,
+    queue: AdmissionQueue<Ticket>,
+    cache: Mutex<KeyCache>,
+    cache_stats: Arc<KeyCacheStats>,
+    stats: ServerStats,
+    latency: Mutex<LatencyBook>,
+    tel: telemetry::Telemetry,
+    sim: Simulator,
+    packing: bool,
+    max_batch: usize,
+    seed: u64,
+    closing: AtomicBool,
+    next_id: AtomicU64,
+}
+
+/// The running server. Dropping it drains the queue and joins the
+/// workers.
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Builds the CKKS context, spawns the workers, and starts serving.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Scheme`] if context construction fails.
+    pub fn start(config: ServerConfig) -> Result<Self, ServiceError> {
+        let ctx = CkksContext::new(config.params.clone())?;
+        let cache = KeyCache::new(config.key_cache_capacity, config.seed);
+        let cache_stats = cache.stats();
+        let shared = Arc::new(Shared {
+            ctx,
+            tfhe_params: config.tfhe,
+            queue: AdmissionQueue::new(config.admission),
+            cache: Mutex::new(cache),
+            cache_stats,
+            stats: ServerStats::default(),
+            latency: Mutex::new(LatencyBook {
+                cap: config.latency_tenants,
+                per_tenant: HashMap::new(),
+                other: Histogram::default(),
+                all: Histogram::default(),
+            }),
+            tel: config.telemetry,
+            sim: Simulator::new(ArchConfig::paper()),
+            packing: config.packing,
+            max_batch: config.max_batch.max(1),
+            seed: config.seed,
+            closing: AtomicBool::new(false),
+            next_id: AtomicU64::new(0),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("svc-worker-{w}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Ok(Server { shared, workers })
+    }
+
+    /// The server's CKKS context (tests encode expectations against it).
+    pub fn ctx(&self) -> &CkksContext {
+        &self.shared.ctx
+    }
+
+    /// Validates, compiles, and admits a request. Returns the channel
+    /// its [`Completion`] will arrive on.
+    ///
+    /// # Errors
+    ///
+    /// Synchronously: [`ServiceError::InvalidRequest`] from the plan
+    /// compiler, [`ServiceError::Rejected`] from admission,
+    /// [`ServiceError::Shutdown`] while draining.
+    pub fn submit(&self, req: Request) -> Result<mpsc::Receiver<Completion>, ServiceError> {
+        let shared = &self.shared;
+        shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        let plan = Arc::new(compile(&req, &shared.ctx)?);
+        let (tx, rx) = mpsc::channel();
+        let span = shared.tel.span("service.request").detach();
+        let ticket = Ticket {
+            id: shared.next_id.fetch_add(1, Ordering::Relaxed),
+            req,
+            plan,
+            respond: tx,
+            span: Some(span),
+            submitted: Instant::now(),
+        };
+        let tenant = ticket.req.tenant;
+        shared.queue.offer(tenant, ticket)?;
+        Ok(rx)
+    }
+
+    /// Queue + admission counters.
+    pub fn queue_stats(&self) -> Arc<QueueStats> {
+        self.shared.queue.stats()
+    }
+
+    /// Key-cache counters.
+    pub fn key_cache_stats(&self) -> Arc<KeyCacheStats> {
+        Arc::clone(&self.shared.cache_stats)
+    }
+
+    /// Server counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Aggregate `(completions, p50 ns, p99 ns)` over every request.
+    pub fn latency_overall(&self) -> (u64, u64, u64) {
+        let book = self.shared.latency.lock().expect("latency book poisoned");
+        (book.all.count(), book.all.quantile(0.5), book.all.quantile(0.99))
+    }
+
+    /// Per-tenant latency rows, busiest tenants first, at most `limit`.
+    pub fn latency_by_tenant(&self, limit: usize) -> Vec<TenantLatencyRow> {
+        let book = self.shared.latency.lock().expect("latency book poisoned");
+        let mut rows: Vec<TenantLatencyRow> = book
+            .per_tenant
+            .iter()
+            .map(|(&t, h)| (t, h.count(), h.quantile(0.5), h.quantile(0.99)))
+            .collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        rows.truncate(limit);
+        rows
+    }
+
+    /// Stops admission, drains queued work, joins the workers.
+    pub fn finish(mut self) -> StatsSnapshot {
+        self.drain();
+        self.shared.stats.snapshot()
+    }
+
+    fn drain(&mut self) {
+        self.shared.closing.store(true, Ordering::SeqCst);
+        self.shared.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let group = if shared.packing {
+            shared.queue.take_group(WORKER_POLL, shared.max_batch, |head, cand| {
+                head.0 == cand.0
+                    && head.1.req.scheme == Scheme::Ckks
+                    && cand.1.req.scheme == Scheme::Ckks
+                    && head.1.plan.fingerprint == cand.1.plan.fingerprint
+            })
+        } else {
+            shared.queue.take(WORKER_POLL).into_iter().collect()
+        };
+        if group.is_empty() {
+            if shared.closing.load(Ordering::SeqCst) && shared.queue.is_empty() {
+                return;
+            }
+            continue;
+        }
+        let tickets: Vec<Ticket> = group.into_iter().map(|(_, t)| t).collect();
+        let slot_capacity = shared.ctx.n() / 2;
+        for batch in pack(tickets, |t| t.req.slots_needed().max(1), slot_capacity) {
+            run_batch(shared, batch);
+        }
+    }
+}
+
+/// First injected fault riding on any member (the batch executes as one
+/// ciphertext, so one member's fault is the batch's fault — which is
+/// exactly what the degradation path exists to unwind).
+fn batch_fault(batch: &PackedBatch<Ticket>) -> (FaultFlag, u64) {
+    for m in &batch.members {
+        if m.item.req.fault != FaultFlag::None {
+            return (m.item.req.fault, m.item.id);
+        }
+    }
+    (FaultFlag::None, 0)
+}
+
+fn exec_rng(shared: &Shared, tenant: TenantId, fingerprint: u64, first_id: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(
+        shared
+            .seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(tenant)
+            .rotate_left(17)
+            .wrapping_add(fingerprint)
+            .rotate_left(17)
+            .wrapping_add(first_id),
+    )
+}
+
+fn run_batch(shared: &Shared, batch: PackedBatch<Ticket>) {
+    shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+    if batch.is_packed() {
+        shared.stats.packed_batches.fetch_add(1, Ordering::Relaxed);
+        shared.stats.packed_members.fetch_add(batch.members.len() as u64, Ordering::Relaxed);
+        shared.tel.count_named("service.batch.packed", 1);
+    }
+    let head = &batch.members[0].item;
+    let tenant = head.req.tenant;
+
+    // The schedule-integrity gate: the plan's manifest must still match
+    // its steps before anything cryptographic happens.
+    if let Err(e) = shared.sim.run_checked(&head.plan.steps, &head.plan.manifest) {
+        let err = ServiceError::PlanIntegrity { detail: e.to_string() };
+        for m in batch.members {
+            respond(shared, m.item, Err(err.clone()), 1);
+        }
+        return;
+    }
+
+    if head.req.scheme == Scheme::Tfhe || !batch.is_packed() {
+        // TFHE never packs; a lone CKKS request runs the singleton path.
+        for m in batch.members {
+            run_singleton(shared, m.item);
+        }
+        return;
+    }
+
+    let keys = {
+        let mut cache = shared.cache.lock().expect("key cache poisoned");
+        match cache.get_ckks(tenant, &shared.ctx) {
+            Ok(k) => k,
+            Err(e) => {
+                for m in batch.members {
+                    respond(shared, m.item, Err(e.clone()), 1);
+                }
+                return;
+            }
+        }
+    };
+    let slots = combined_payload(&batch, |t| match &t.req.payload {
+        Payload::CkksSlots(v) => v.as_slice(),
+        Payload::TfheBits(_) => &[],
+    });
+    let (fault, fault_id) = batch_fault(&batch);
+    let plan = Arc::clone(&head.plan);
+    let mut rng = exec_rng(shared, tenant, plan.fingerprint, head.id);
+    let _batch_span = shared.tel.span("service.batch");
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        execute_ckks(&shared.ctx, &keys, &plan, &slots, fault, fault_id, &mut rng)
+    }));
+    match outcome {
+        Ok(Ok(values)) => {
+            let size = batch.members.len();
+            for m in batch.members {
+                let out = values[m.range.clone()].to_vec();
+                respond(shared, m.item, Ok(out), size);
+            }
+        }
+        Ok(Err(_)) | Err(_) => {
+            // Degrade, don't die: the batch failed as a unit, so re-run
+            // each member alone. Only the faulted member fails again;
+            // the flight dump fires on that singleton failure, not here.
+            shared.stats.degraded_batches.fetch_add(1, Ordering::Relaxed);
+            shared.tel.count_named("service.batch.degraded", 1);
+            for m in batch.members {
+                run_singleton(shared, m.item);
+            }
+        }
+    }
+}
+
+fn run_singleton(shared: &Shared, ticket: Ticket) {
+    let tenant = ticket.req.tenant;
+    let plan = Arc::clone(&ticket.plan);
+    let fault = ticket.req.fault;
+    let mut rng = exec_rng(shared, tenant, plan.fingerprint, ticket.id);
+    let outcome = match ticket.req.scheme {
+        Scheme::Ckks => {
+            let keys = {
+                let mut cache = shared.cache.lock().expect("key cache poisoned");
+                match cache.get_ckks(tenant, &shared.ctx) {
+                    Ok(k) => k,
+                    Err(e) => {
+                        respond(shared, ticket, Err(e), 1);
+                        return;
+                    }
+                }
+            };
+            let Payload::CkksSlots(ref v) = ticket.req.payload else { unreachable!() };
+            let slots = v.clone();
+            catch_unwind(AssertUnwindSafe(|| {
+                execute_ckks(&shared.ctx, &keys, &plan, &slots, fault, ticket.id, &mut rng)
+            }))
+        }
+        Scheme::Tfhe => {
+            let keys = {
+                let mut cache = shared.cache.lock().expect("key cache poisoned");
+                match cache.get_tfhe(tenant, &shared.ctx, &shared.tfhe_params) {
+                    Ok(k) => k,
+                    Err(e) => {
+                        respond(shared, ticket, Err(e), 1);
+                        return;
+                    }
+                }
+            };
+            let Payload::TfheBits(ref b) = ticket.req.payload else { unreachable!() };
+            let bits = b.clone();
+            catch_unwind(AssertUnwindSafe(|| {
+                let (ck, sk) = keys.tfhe.as_ref().expect("tfhe keys present");
+                execute_tfhe(ck, sk, &plan, &bits, fault, &mut rng)
+            }))
+        }
+    };
+    let result = match outcome {
+        Ok(r) => r,
+        Err(payload) => {
+            let detail = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".into());
+            Err(ServiceError::WorkerPanic { detail })
+        }
+    };
+    respond(shared, ticket, result, 1);
+}
+
+fn respond(
+    shared: &Shared,
+    mut ticket: Ticket,
+    result: Result<Vec<f64>, ServiceError>,
+    batch_size: usize,
+) {
+    let latency = ticket.submitted.elapsed();
+    let ns = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
+    shared.tel.observe_ns("service.latency", ns);
+    shared.latency.lock().expect("latency book poisoned").record(ticket.req.tenant, ns);
+    match &result {
+        Ok(_) => {
+            shared.stats.completed_ok.fetch_add(1, Ordering::Relaxed);
+            shared.tel.count_named("service.request.ok", 1);
+        }
+        Err(e) => {
+            shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+            shared.tel.count_named("service.request.err", 1);
+            if e.is_contained_fault() {
+                shared.stats.faults_contained.fetch_add(1, Ordering::Relaxed);
+                shared.tel.count_named("service.fault.contained", 1);
+                telemetry::flight::fault_dump(&format!(
+                    "service: request {} (tenant {}) contained: {e}",
+                    ticket.id, ticket.req.tenant
+                ));
+            }
+        }
+    }
+    // Close the request span on this worker: its duration is the
+    // submit-to-completion wall time, its allocations both sides' work.
+    if let Some(span) = ticket.span.take() {
+        drop(span.attach());
+    }
+    let _ = ticket.respond.send(Completion {
+        id: ticket.id,
+        tenant: ticket.req.tenant,
+        result,
+        latency,
+        batch_size,
+    });
+}

@@ -1,0 +1,129 @@
+//! Degradation-not-death, end to end: every fault class in the
+//! containment lattice fails exactly the request it rides on, produces
+//! exactly one flight-recorder fault dump, and leaves the server
+//! serving.
+//!
+//! One test function on purpose: the fault-dump directory and the
+//! global telemetry handle are process-wide, so the dump counts are
+//! asserted sequentially in a single place.
+
+use std::path::PathBuf;
+use std::sync::mpsc::Receiver;
+
+use service::request::{FaultFlag, OpKind, Payload, Request, Scheme};
+use service::{Completion, Server, ServerConfig, ServiceError, INJECTED_SERVICE_PANIC};
+
+fn dump_count(dir: &PathBuf) -> usize {
+    std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.filter_map(Result::ok)
+                .filter(|e| e.file_name().to_string_lossy().starts_with("flight-"))
+                .count()
+        })
+        .unwrap_or(0)
+}
+
+/// `x² + 3` — one level, packs with its same-tenant clones.
+fn quad(tenant: u64, fault: FaultFlag) -> Request {
+    Request {
+        tenant,
+        scheme: Scheme::Ckks,
+        ops: vec![OpKind::Input, OpKind::Square { arg: 0 }, OpKind::AddConst { arg: 1, c: 3.0 }],
+        payload: Payload::CkksSlots(vec![0.5; 4]),
+        fault,
+    }
+}
+
+fn submit_all(server: &Server, reqs: Vec<Request>) -> Vec<Completion> {
+    let receivers: Vec<Receiver<Completion>> =
+        reqs.into_iter().map(|r| server.submit(r).expect("admitted")).collect();
+    receivers.into_iter().map(|rx| rx.recv().expect("completion arrives")).collect()
+}
+
+fn assert_one_contained(
+    done: &[Completion],
+    faulted: usize,
+    check: impl Fn(&ServiceError) -> bool,
+) {
+    for (i, c) in done.iter().enumerate() {
+        if i == faulted {
+            let e = c.result.as_ref().expect_err("faulted request fails");
+            assert!(check(e), "wrong error class: {e}");
+            assert!(e.is_contained_fault());
+        } else {
+            let values = c.result.as_ref().unwrap_or_else(|e| {
+                panic!("clean member {i} must survive the faulted batch, got {e}")
+            });
+            assert!((values[0] - 3.25).abs() < 1e-2, "x²+3 over 0.5, got {}", values[0]);
+        }
+    }
+}
+
+#[test]
+fn each_fault_class_fails_exactly_one_request_with_one_dump() {
+    let dir = std::env::temp_dir().join(format!("svc-containment-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let tel = telemetry::Telemetry::enabled();
+    assert!(tel.attach_flight_recorder(telemetry::FlightRecorder::new(256)));
+    telemetry::install(tel.clone());
+    telemetry::flight::set_fault_dump_dir(Some(dir.clone()));
+    // The injected panics are expected; keep the test output clean.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(|s| s.as_str() == INJECTED_SERVICE_PANIC)
+            .unwrap_or(false);
+        if !injected {
+            prev_hook(info);
+        }
+    }));
+
+    let server =
+        Server::start(ServerConfig { workers: 2, telemetry: tel, ..Default::default() }).unwrap();
+    assert_eq!(dump_count(&dir), 0);
+
+    // Noise-budget exhaustion: 4 clean + 1 burning, same tenant and
+    // program so the packer is free to coalesce them.
+    let mut reqs: Vec<Request> = (0..5).map(|_| quad(7, FaultFlag::None)).collect();
+    reqs[2].fault = FaultFlag::BudgetBurn;
+    let done = submit_all(&server, reqs);
+    assert_one_contained(&done, 2, |e| matches!(e, ServiceError::BudgetExhausted { .. }));
+    assert_eq!(dump_count(&dir), 1, "exactly one dump for one contained fault");
+
+    // Worker panic: the unwind is caught, classified, and dumped.
+    let mut reqs: Vec<Request> = (0..3).map(|_| quad(7, FaultFlag::None)).collect();
+    reqs[0].fault = FaultFlag::WorkerPanic;
+    let done = submit_all(&server, reqs);
+    assert_one_contained(
+        &done,
+        0,
+        |e| matches!(e, ServiceError::WorkerPanic { detail } if detail == INJECTED_SERVICE_PANIC),
+    );
+    assert_eq!(dump_count(&dir), 2);
+
+    // Ciphertext corruption: the integrity checksum refuses it.
+    #[cfg(feature = "integrity-checksum")]
+    {
+        let mut reqs: Vec<Request> = (0..3).map(|_| quad(7, FaultFlag::None)).collect();
+        reqs[1].fault = FaultFlag::BitFlip;
+        let done = submit_all(&server, reqs);
+        assert_one_contained(&done, 1, |e| matches!(e, ServiceError::IntegrityViolation { .. }));
+        assert_eq!(dump_count(&dir), 3);
+    }
+
+    // Degradation, not death: the server still answers afterwards.
+    let done = submit_all(&server, vec![quad(8, FaultFlag::None)]);
+    assert!((done[0].result.as_ref().unwrap()[0] - 3.25).abs() < 1e-2);
+
+    let faulted = if cfg!(feature = "integrity-checksum") { 3 } else { 2 };
+    let stats = server.finish();
+    assert_eq!(stats.failed, faulted, "only the faulted requests failed");
+    assert_eq!(stats.faults_contained, faulted, "every failure was classified");
+    assert_eq!(stats.completed_ok, stats.submitted - faulted);
+    assert_eq!(dump_count(&dir) as u64, faulted, "one dump per contained fault");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

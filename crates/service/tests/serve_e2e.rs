@@ -1,0 +1,56 @@
+//! End-to-end packed-vs-singleton verification: the same deterministic
+//! trace replays through a packing server and a singleton server, and
+//! both must produce results that agree with the templates' cleartext
+//! functions — the oracle both modes share. The packed run must actually
+//! pack (the trace's 90/10 tenant skew guarantees coalescible runs of
+//! same-tenant same-program requests) and must hit the key cache.
+
+use service::trace::{generate, replay, TraceConfig};
+use service::{Server, ServerConfig};
+
+fn run(packed: bool, cfg: &TraceConfig) -> (service::trace::TraceReport, service::StatsSnapshot) {
+    let entries = generate(cfg);
+    let server = Server::start(ServerConfig {
+        workers: 2,
+        packing: packed,
+        seed: 0xE2E,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let report = replay(&server, &entries);
+    let stats = server.finish();
+    (report, stats)
+}
+
+#[test]
+fn packed_and_singleton_replays_agree_with_the_cleartext_oracle() {
+    let cfg = TraceConfig { requests: 256, fault_every: 0, ..TraceConfig::default() };
+    let (packed, packed_stats) = run(true, &cfg);
+    let (single, single_stats) = run(false, &cfg);
+
+    // Every fault-free completion is verified against the template's
+    // plaintext function in both modes — zero tolerance for disagreement.
+    assert_eq!(packed.verify_failures, 0, "packed results match the oracle");
+    assert_eq!(single.verify_failures, 0, "singleton results match the oracle");
+    assert_eq!(packed.completed_ok, 256);
+    assert_eq!(single.completed_ok, 256);
+    assert_eq!(packed.verified, single.verified, "same trace, same checks");
+
+    // The packed mode must have genuinely coalesced: fewer batches than
+    // requests, some multi-member, and a pack ratio above 1.
+    assert!(packed_stats.packed_batches > 0, "no batch ever packed");
+    assert!(packed_stats.batches < 256, "packing must reduce batch count");
+    assert!(packed.pack_ratio > 1.0, "pack ratio {}", packed.pack_ratio);
+    // The singleton mode never packs.
+    assert_eq!(single_stats.packed_batches, 0);
+    assert_eq!(single_stats.batches, 256);
+
+    // The 64-tenant hot set at 90% keeps the key cache warm.
+    assert!(
+        packed.keycache_hit_rate > 0.5,
+        "hot-set replay should mostly hit the key cache, got {:.2}",
+        packed.keycache_hit_rate
+    );
+    assert_eq!(packed.faults_contained, 0);
+    assert_eq!(single.faults_contained, 0);
+}

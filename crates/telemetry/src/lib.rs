@@ -180,6 +180,19 @@ struct State {
 }
 
 impl State {
+    /// The export track id for the calling thread, assigned on first use.
+    fn tid_for_current_thread(&mut self) -> u64 {
+        match self.thread_ids.get(&std::thread::current().id()) {
+            Some(&t) => t,
+            None => {
+                let t = self.next_tid;
+                self.next_tid += 1;
+                self.thread_ids.insert(std::thread::current().id(), t);
+                t
+            }
+        }
+    }
+
     /// Records `ns` into the histogram `name`, creating it on first use
     /// (the only allocation this path can take).
     fn observe(&mut self, name: &str, ns: u64) {
@@ -324,15 +337,7 @@ impl Telemetry {
         // new span's own delta starts from a quiescent counter.
         let _exempt = alloc::exempt_scope();
         let mut st = inner.state.lock().expect("telemetry state poisoned");
-        let tid = match st.thread_ids.get(&std::thread::current().id()) {
-            Some(&t) => t,
-            None => {
-                let t = st.next_tid;
-                st.next_tid += 1;
-                st.thread_ids.insert(std::thread::current().id(), t);
-                t
-            }
-        };
+        let tid = st.tid_for_current_thread();
         let parent = st.stacks.get(&tid).and_then(|s| s.last().copied());
         let idx = st.events.len();
         st.events.push(EventRec {
@@ -419,8 +424,12 @@ impl Drop for SpanGuard {
         let start = st.events[idx].start_ns;
         let dur = end_ns.saturating_sub(start);
         st.events[idx].dur_ns = Some(dur);
-        st.events[idx].allocs = d.allocs;
-        st.events[idx].alloc_bytes = d.bytes;
+        // Accumulate (not assign): a span that hopped threads via
+        // detach/attach already banked the segments it spent on earlier
+        // threads into the event record.
+        st.events[idx].allocs += d.allocs;
+        st.events[idx].alloc_bytes += d.bytes;
+        let total = (st.events[idx].allocs, st.events[idx].alloc_bytes);
         if let Some(stack) = st.stacks.get_mut(&tid) {
             // Out-of-order guard drops (e.g. explicit `drop`) still unwind
             // correctly: remove this index wherever it sits.
@@ -460,9 +469,97 @@ impl Drop for SpanGuard {
                 tid,
                 start_ns: start,
                 dur_ns: dur,
-                allocs: d.allocs,
-                alloc_bytes: d.bytes,
+                allocs: total.0,
+                alloc_bytes: total.1,
             });
+        }
+    }
+}
+
+impl SpanGuard {
+    /// Detaches the span from the current thread so the work it covers can
+    /// hop threads (queue → worker) without losing attribution.
+    ///
+    /// Allocation counters are thread-local, so a plain [`SpanGuard`]
+    /// dropped on a different thread reads a saturated-zero delta and the
+    /// span silently loses its `{allocs, bytes}`. `detach` banks the delta
+    /// accumulated *so far on this thread* into the span record, pops the
+    /// span off this thread's open-span stack, and returns a [`Send`]
+    /// token; [`DetachedSpan::attach`] re-arms it against the receiving
+    /// thread's counters. Call it on the thread that currently owns the
+    /// guard — usually the one that opened or last attached it.
+    ///
+    /// Wall time keeps running across the hop, so the closed span reports
+    /// end-to-end latency (queue wait included).
+    pub fn detach(mut self) -> DetachedSpan {
+        let Some((inner, idx, tid, base)) = self.rec.take() else {
+            return DetachedSpan { rec: None };
+        };
+        let d = alloc::thread_stats().since(base);
+        let _exempt = alloc::exempt_scope();
+        let mut st = inner.state.lock().expect("telemetry state poisoned");
+        st.events[idx].allocs += d.allocs;
+        st.events[idx].alloc_bytes += d.bytes;
+        if let Some(stack) = st.stacks.get_mut(&tid) {
+            if let Some(pos) = stack.iter().rposition(|&i| i == idx) {
+                stack.remove(pos);
+            }
+        }
+        if d.allocs != 0 || d.bytes != 0 {
+            let State { events, span_allocs, .. } = &mut *st;
+            let name = events[idx].name.as_str();
+            match span_allocs.get_mut(name) {
+                Some(e) => {
+                    e.0 += d.allocs;
+                    e.1 += d.bytes;
+                }
+                None => {
+                    span_allocs.insert(name.to_string(), (d.allocs, d.bytes));
+                }
+            }
+        }
+        drop(st);
+        DetachedSpan { rec: Some((inner, idx)) }
+    }
+}
+
+/// A span mid-hop between threads (see [`SpanGuard::detach`]). Sendable;
+/// dropping it without [`attach`](DetachedSpan::attach) closes the span on
+/// the dropping thread (no further allocation is attributed).
+pub struct DetachedSpan {
+    rec: Option<(Arc<Inner>, usize)>,
+}
+
+impl DetachedSpan {
+    /// Re-arms the span on the calling thread: the event moves to this
+    /// thread's export track, joins its open-span stack (so spans opened
+    /// here nest under it), and subsequent allocations on this thread are
+    /// attributed to the span until the returned guard drops or detaches
+    /// again.
+    pub fn attach(mut self) -> SpanGuard {
+        self.attach_inner()
+    }
+
+    fn attach_inner(&mut self) -> SpanGuard {
+        let Some((inner, idx)) = self.rec.take() else {
+            return SpanGuard { rec: None };
+        };
+        let _exempt = alloc::exempt_scope();
+        let mut st = inner.state.lock().expect("telemetry state poisoned");
+        let tid = st.tid_for_current_thread();
+        st.events[idx].tid = tid;
+        st.stacks.entry(tid).or_default().push(idx);
+        drop(st);
+        SpanGuard { rec: Some((inner, idx, tid, alloc::thread_stats())) }
+    }
+}
+
+impl Drop for DetachedSpan {
+    fn drop(&mut self) {
+        if self.rec.is_some() {
+            // Attach-then-drop closes the span with the banked segments
+            // and zero extra attribution on this thread.
+            drop(self.attach_inner());
         }
     }
 }
@@ -758,6 +855,56 @@ mod tests {
         assert!(trace.contains("\"args\":{\"allocs\":"), "{trace}");
         let doc = json::parse(&json).expect("snapshot JSON parses");
         Snapshot::validate_json(&doc).expect("snapshot JSON with alloc dimension validates");
+    }
+
+    #[test]
+    fn detached_span_attributes_allocations_across_threads() {
+        let tel = Telemetry::enabled();
+        let guard = tel.span("svc.request");
+        let staged = vec![1u8; 16 * 1024];
+        std::hint::black_box(&staged);
+        let det = guard.detach();
+        let tel_worker = tel.clone();
+        std::thread::spawn(move || {
+            let reattached = det.attach();
+            {
+                // Spans opened on the worker nest under the hopped span.
+                let _child = tel_worker.span("svc.request.exec");
+            }
+            let worker_buf = vec![2u8; 64 * 1024];
+            std::hint::black_box(&worker_buf);
+            drop(reattached);
+        })
+        .join()
+        .unwrap();
+        let snap = tel.snapshot();
+        let spans = snap.spans();
+        let req_idx = spans.iter().position(|s| s.name == "svc.request").unwrap();
+        let req = spans[req_idx].clone();
+        assert!(req.dur_ns > 0, "span closed on the worker: {req:?}");
+        let child = spans.iter().find(|s| s.name == "svc.request.exec").unwrap();
+        assert_eq!(child.parent, Some(req_idx), "worker spans nest under the hopped span");
+        if alloc::tracking_compiled() {
+            // Both segments count: the opener's 16 KiB and the worker's
+            // 64 KiB. A plain cross-thread drop would report zero.
+            assert!(req.allocs >= 2, "{req:?}");
+            assert!(req.alloc_bytes >= 80 * 1024, "{req:?}");
+        }
+    }
+
+    #[test]
+    fn dropped_detached_span_still_closes() {
+        let tel = Telemetry::enabled();
+        let det = tel.span("svc.abandoned").detach();
+        drop(det);
+        assert!(tel.snapshot().spans().iter().any(|s| s.name == "svc.abandoned"));
+        // After the drop the open-span stack is balanced: a fresh span on
+        // this thread has no parent.
+        let g = tel.span("svc.after");
+        drop(g);
+        let snap = tel.snapshot();
+        let after = snap.spans().iter().find(|s| s.name == "svc.after").unwrap().clone();
+        assert_eq!(after.parent, None);
     }
 
     #[test]
