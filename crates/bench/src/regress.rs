@@ -315,6 +315,11 @@ pub struct ServicePoint {
     pub p50_ms: f64,
     /// 99th-percentile latency, ms.
     pub p99_ms: f64,
+    /// Injected faults the server contained (absent in old baselines: 0).
+    pub faults_contained: u64,
+    /// Admitted requests that never reached a terminal outcome (absent
+    /// in old baselines: 0). Any non-zero fresh value is a regression.
+    pub lost: u64,
 }
 
 impl ServicePoint {
@@ -350,6 +355,11 @@ pub fn parse_service_baseline(doc: &Json) -> Result<Vec<ServicePoint>, String> {
                 req_per_s: num("req_per_s")?,
                 p50_ms: num("p50_ms")?,
                 p99_ms: num("p99_ms")?,
+                // Containment columns postdate schema v1 baselines;
+                // default to 0 so old files still parse and gate.
+                faults_contained: p.get("faults_contained").and_then(Json::as_f64).unwrap_or(0.0)
+                    as u64,
+                lost: p.get("lost").and_then(Json::as_f64).unwrap_or(0.0) as u64,
             })
         })
         .collect()
@@ -372,6 +382,12 @@ pub struct ServiceCompareRow {
     pub p50_ratio: f64,
     /// `fresh / base` p99 ratio (> 1 is slower).
     pub p99_ratio: f64,
+    /// Requests the fresh run lost (admitted, never answered).
+    pub lost: u64,
+    /// Whether containment weakened: the fresh run lost requests, or —
+    /// on an identical trace — contained fewer injected faults than the
+    /// baseline did.
+    pub containment_regressed: bool,
     /// Whether any gated column exceeded the tolerance.
     pub regressed: bool,
 }
@@ -420,7 +436,15 @@ pub fn compare_service(
         let throughput_ratio = f.req_per_s / b.req_per_s;
         let p50_ratio = f.p50_ms / b.p50_ms;
         let p99_ratio = f.p99_ms / b.p99_ms;
-        let regressed = throughput_ratio < 1.0 / limit || p50_ratio > limit || p99_ratio > limit;
+        // Containment gates absolutely, not by ratio: a lost request is
+        // a bug at any tolerance, and fewer contained faults on the same
+        // deterministic trace means detection got weaker.
+        let containment_regressed =
+            f.lost > 0 || (f.requests == b.requests && f.faults_contained < b.faults_contained);
+        let regressed = throughput_ratio < 1.0 / limit
+            || p50_ratio > limit
+            || p99_ratio > limit
+            || containment_regressed;
         rows.push(ServiceCompareRow {
             workload: f.workload.clone(),
             n: f.n,
@@ -429,6 +453,8 @@ pub fn compare_service(
             throughput_ratio,
             p50_ratio,
             p99_ratio,
+            lost: f.lost,
+            containment_regressed,
             regressed,
         });
     }
@@ -638,6 +664,8 @@ mod tests {
             req_per_s: rps,
             p50_ms: p50,
             p99_ms: p99,
+            faults_contained: 0,
+            lost: 0,
         }
     }
 
@@ -681,6 +709,38 @@ mod tests {
         // Throughput slightly down, within tolerance: clean.
         let near = vec![svc("mixed", true, 850.0, 2.1, 10.5)];
         assert_eq!(compare_service(&near, &base, 0.2).unwrap().regressions(), 0);
+    }
+
+    #[test]
+    fn service_gates_containment_absolutely() {
+        let base =
+            vec![ServicePoint { faults_contained: 8, ..svc("mixed", true, 1000.0, 2.0, 10.0) }];
+        // A lost request regresses even with perfect performance.
+        let lossy = vec![ServicePoint {
+            faults_contained: 8,
+            lost: 1,
+            ..svc("mixed", true, 2000.0, 1.0, 5.0)
+        }];
+        let rep = compare_service(&lossy, &base, 0.2).unwrap();
+        assert_eq!(rep.regressions(), 1);
+        assert!(rep.rows[0].containment_regressed);
+        assert_eq!(rep.rows[0].lost, 1);
+        // Same trace, fewer contained faults: detection weakened.
+        let weaker =
+            vec![ServicePoint { faults_contained: 7, ..svc("mixed", true, 1000.0, 2.0, 10.0) }];
+        assert_eq!(compare_service(&weaker, &base, 0.2).unwrap().regressions(), 1);
+        // Different request count: the containment comparison is skipped.
+        let other_trace = vec![ServicePoint {
+            requests: 256,
+            faults_contained: 4,
+            ..svc("mixed", true, 1000.0, 2.0, 10.0)
+        }];
+        assert_eq!(compare_service(&other_trace, &base, 0.2).unwrap().regressions(), 0);
+        // Old baselines (no containment columns) parse as zeros and the
+        // fresh run containing *more* faults never regresses.
+        let richer =
+            vec![ServicePoint { faults_contained: 9, ..svc("mixed", true, 1000.0, 2.0, 10.0) }];
+        assert_eq!(compare_service(&richer, &base, 0.2).unwrap().regressions(), 0);
     }
 
     #[test]

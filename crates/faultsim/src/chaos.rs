@@ -1,0 +1,298 @@
+//! Service-level chaos primitives: fault classes that attack a running
+//! server's *liveness* rather than a single ciphertext's integrity, and
+//! the ledger that proves no request was lost while they did.
+//!
+//! The kernel-level campaigns in the crate root ask "does an injected
+//! corruption get detected?". A serving stack has a second failure
+//! axis — *time and state*: a worker that hangs, a client that walks
+//! away, a tenant that keeps poisoning batches, a burst of requests
+//! whose deadlines are already hopeless. The chaos classes here model
+//! those, and the [`OutcomeLedger`] pins the invariant every one of
+//! them must preserve: **every admitted request reaches exactly one
+//! terminal outcome**. Not zero (lost), not two (double-answered).
+//!
+//! The driver lives in the service crate (`chaos_campaign` bin), which
+//! already depends on faultsim; the types here stay server-agnostic so
+//! the ledger is reusable (and unit-testable) without a server.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A service-level chaos fault class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChaosClass {
+    /// A worker sleeps mid-batch past the watchdog's stall timeout; the
+    /// batch must be confiscated, failed with `WorkerStalled`, and the
+    /// worker respawned.
+    WorkerStall,
+    /// The client drops its completion receiver right after submitting;
+    /// the server must still drive the request to a terminal outcome.
+    ResponseDrop,
+    /// One tenant submits a run of fault-carrying requests; its circuit
+    /// breaker must open, quarantine it, half-open after the cooldown,
+    /// and close on clean probes.
+    PoisonTenant,
+    /// A burst of requests with adversarial deadlines (some already
+    /// expired at admission); each must complete or expire, never wedge.
+    DeadlineStorm,
+}
+
+/// All chaos classes, in campaign order.
+pub const ALL_CHAOS_CLASSES: [ChaosClass; 4] = [
+    ChaosClass::WorkerStall,
+    ChaosClass::ResponseDrop,
+    ChaosClass::PoisonTenant,
+    ChaosClass::DeadlineStorm,
+];
+
+impl ChaosClass {
+    /// Stable name used in reports, repro lines, and CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChaosClass::WorkerStall => "worker_stall",
+            ChaosClass::ResponseDrop => "response_drop",
+            ChaosClass::PoisonTenant => "poison_tenant",
+            ChaosClass::DeadlineStorm => "deadline_storm",
+        }
+    }
+
+    /// Parses a class from its [`name`](Self::name).
+    pub fn from_name(name: &str) -> Option<Self> {
+        ALL_CHAOS_CLASSES.iter().copied().find(|c| c.name() == name)
+    }
+
+    /// Per-class seed-stream tag (keeps classes decorrelated the same
+    /// way the kernel campaign tags its classes).
+    pub fn tag(self) -> u64 {
+        match self {
+            ChaosClass::WorkerStall => 0x57A1,
+            ChaosClass::ResponseDrop => 0xD209,
+            ChaosClass::PoisonTenant => 0x2015,
+            ChaosClass::DeadlineStorm => 0xDEAD,
+        }
+    }
+}
+
+impl fmt::Display for ChaosClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How an admitted request's life ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Terminal {
+    /// Answered `Ok`.
+    Completed,
+    /// Answered with a structured non-timing error.
+    Failed,
+    /// Answered `DeadlineExceeded`.
+    Expired,
+    /// Answered `WorkerStalled` after watchdog confiscation.
+    Stalled,
+    /// Answered `Shutdown` during teardown.
+    Shutdown,
+}
+
+/// All terminal kinds, in report order.
+pub const ALL_TERMINALS: [Terminal; 5] = [
+    Terminal::Completed,
+    Terminal::Failed,
+    Terminal::Expired,
+    Terminal::Stalled,
+    Terminal::Shutdown,
+];
+
+impl Terminal {
+    /// Stable report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Terminal::Completed => "completed",
+            Terminal::Failed => "failed",
+            Terminal::Expired => "expired",
+            Terminal::Stalled => "stalled",
+            Terminal::Shutdown => "shutdown",
+        }
+    }
+}
+
+impl fmt::Display for Terminal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Aggregated ledger state at a point in time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LedgerSummary {
+    /// Requests admitted (ledger entries opened).
+    pub admitted: u64,
+    /// Terminal counts by kind, indexed like [`ALL_TERMINALS`].
+    pub terminals: [u64; 5],
+    /// Admitted ids with no terminal outcome yet. Empty after a clean
+    /// drain; non-empty at quiescence = lost requests.
+    pub missing: Vec<u64>,
+    /// Requests that received more than one terminal outcome.
+    pub double_terminals: u64,
+    /// Terminals recorded for ids the ledger never admitted.
+    pub unknown_terminals: u64,
+}
+
+impl LedgerSummary {
+    /// Total terminals of every kind.
+    pub fn total_terminals(&self) -> u64 {
+        self.terminals.iter().sum()
+    }
+
+    /// Admitted requests still lacking a terminal outcome.
+    pub fn lost(&self) -> u64 {
+        self.missing.len() as u64
+    }
+}
+
+/// The no-lost-request checker: records every admission and every
+/// terminal outcome, and reports requests that got zero or two.
+///
+/// Thread-safe; the server's respond path records terminals from worker
+/// and watchdog threads while the driver admits from its own.
+#[derive(Debug, Default)]
+pub struct OutcomeLedger {
+    entries: Mutex<HashMap<u64, Option<Terminal>>>,
+    admitted: AtomicU64,
+    doubles: AtomicU64,
+    unknown: AtomicU64,
+}
+
+impl OutcomeLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        OutcomeLedger::default()
+    }
+
+    /// Records that request `id` was admitted. Ids must be unique per
+    /// ledger (the server's submission ids are).
+    pub fn admit(&self, id: u64) {
+        let mut entries = self.entries.lock().expect("ledger poisoned");
+        if let std::collections::hash_map::Entry::Vacant(v) = entries.entry(id) {
+            v.insert(None);
+            self.admitted.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Withdraws a provisional admission that never made it into the
+    /// system (the server admits before offering to the queue, then
+    /// retracts on a synchronous rejection). A no-op once a terminal has
+    /// been recorded for `id`.
+    pub fn retract(&self, id: u64) {
+        let mut entries = self.entries.lock().expect("ledger poisoned");
+        if let Some(&None) = entries.get(&id) {
+            entries.remove(&id);
+            self.admitted.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records request `id`'s terminal outcome. A second terminal for
+    /// the same id, or a terminal for an id never admitted, is counted
+    /// as a violation rather than panicking — the campaign must observe
+    /// broken invariants, not die on them.
+    pub fn record(&self, id: u64, terminal: Terminal) {
+        let mut entries = self.entries.lock().expect("ledger poisoned");
+        match entries.get_mut(&id) {
+            Some(slot @ None) => *slot = Some(terminal),
+            Some(Some(_)) => {
+                self.doubles.fetch_add(1, Ordering::Relaxed);
+            }
+            None => {
+                self.unknown.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Admitted requests with no terminal yet (the in-flight count while
+    /// traffic runs; the lost count at quiescence).
+    pub fn open_count(&self) -> u64 {
+        let entries = self.entries.lock().expect("ledger poisoned");
+        entries.values().filter(|t| t.is_none()).count() as u64
+    }
+
+    /// Snapshot of every invariant the ledger tracks.
+    pub fn summary(&self) -> LedgerSummary {
+        let entries = self.entries.lock().expect("ledger poisoned");
+        let mut terminals = [0u64; 5];
+        let mut missing = Vec::new();
+        for (&id, t) in entries.iter() {
+            match t {
+                Some(t) => {
+                    let idx = ALL_TERMINALS.iter().position(|k| k == t).expect("known terminal");
+                    terminals[idx] += 1;
+                }
+                None => missing.push(id),
+            }
+        }
+        missing.sort_unstable();
+        LedgerSummary {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            terminals,
+            missing,
+            double_terminals: self.doubles.load(Ordering::Relaxed),
+            unknown_terminals: self.unknown.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_names_round_trip() {
+        for c in ALL_CHAOS_CLASSES {
+            assert_eq!(ChaosClass::from_name(c.name()), Some(c));
+        }
+        assert_eq!(ChaosClass::from_name("nope"), None);
+    }
+
+    #[test]
+    fn clean_ledger_balances() {
+        let ledger = OutcomeLedger::new();
+        for id in 0..10 {
+            ledger.admit(id);
+        }
+        assert_eq!(ledger.open_count(), 10);
+        for id in 0..10 {
+            ledger.record(id, if id % 2 == 0 { Terminal::Completed } else { Terminal::Expired });
+        }
+        let s = ledger.summary();
+        assert_eq!(s.admitted, 10);
+        assert_eq!(s.lost(), 0);
+        assert_eq!(s.double_terminals, 0);
+        assert_eq!(s.unknown_terminals, 0);
+        assert_eq!(s.terminals[0], 5, "completed");
+        assert_eq!(s.terminals[2], 5, "expired");
+        assert_eq!(s.total_terminals(), 10);
+    }
+
+    #[test]
+    fn lost_and_double_terminals_are_detected_not_fatal() {
+        let ledger = OutcomeLedger::new();
+        ledger.admit(1);
+        ledger.admit(2);
+        ledger.record(1, Terminal::Completed);
+        ledger.record(1, Terminal::Failed); // double
+        ledger.record(9, Terminal::Shutdown); // never admitted
+        let s = ledger.summary();
+        assert_eq!(s.missing, vec![2], "request 2 was lost");
+        assert_eq!(s.double_terminals, 1);
+        assert_eq!(s.unknown_terminals, 1);
+    }
+
+    #[test]
+    fn readmitting_an_id_does_not_double_count() {
+        let ledger = OutcomeLedger::new();
+        ledger.admit(5);
+        ledger.admit(5);
+        assert_eq!(ledger.summary().admitted, 1);
+    }
+}

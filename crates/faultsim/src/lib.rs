@@ -35,6 +35,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
+
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::{Mutex, MutexGuard, OnceLock};

@@ -34,10 +34,17 @@
 //!   exit `2` instead of passing vacuously.
 //! * `--fault-dumps DIR` — write flight-recorder fault dumps there and
 //!   report how many landed.
+//! * `--live-metrics PATH` — run a background telemetry sampler during
+//!   each replay, streaming one JSONL line per tick (counters, spans,
+//!   and the server's live gauges: queue depth, in-flight totals and
+//!   busiest tenants, worker-pool strength, breaker states) into
+//!   `PATH.<mode>.jsonl`.
+//! * `--sample-ms N` — sampler tick interval (default 50).
 //! * `--json` — emit the report as JSON on stdout instead of tables.
 //!
 //! Exit status: `0` on success (contained faults included), `1` on
-//! verification failures or baseline regressions, `2` on usage errors.
+//! verification failures, lost requests, or baseline regressions, `2`
+//! on usage errors.
 
 use std::collections::BTreeMap;
 
@@ -72,6 +79,7 @@ fn parse_u64(s: &str) -> Option<u64> {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_mode(
     packed: bool,
     workers: usize,
@@ -80,6 +88,7 @@ fn run_mode(
     trace_cfg: &TraceConfig,
     dump_dir: Option<&std::path::Path>,
     tel: &telemetry::Telemetry,
+    live_metrics: Option<(&str, u64)>,
 ) -> ModeRun {
     let dumps_before = dump_dir.map(count_dumps).unwrap_or(0);
     let entries = generate(trace_cfg);
@@ -96,7 +105,22 @@ fn run_mode(
         eprintln!("server failed to start: {e}");
         std::process::exit(1);
     });
+    let sampler = live_metrics.map(|(base, tick_ms)| {
+        let mode = if packed { "packed" } else { "singleton" };
+        let path = format!("{base}.{mode}.jsonl");
+        let sink = telemetry::JsonlSink::create(&path).unwrap_or_else(|e| {
+            eprintln!("--live-metrics: cannot create {path}: {e}");
+            std::process::exit(2);
+        });
+        telemetry::SamplerBuilder::new(tel.clone(), std::time::Duration::from_millis(tick_ms))
+            .sink(sink)
+            .gauge_source(server.gauge_source())
+            .spawn()
+    });
     let report = replay(&server, &entries);
+    if let Some(sampler) = sampler {
+        sampler.stop();
+    }
     server.finish();
     let fault_dumps = dump_dir.map(count_dumps).unwrap_or(0) - dumps_before;
     ModeRun { packed, report, fault_dumps }
@@ -146,6 +170,7 @@ fn to_json(runs: &[ModeRun], workers: usize, n: usize, workload: &str, note: &st
                     o.insert("degraded_batches".to_string(), Json::Num(r.degraded_batches as f64));
                     o.insert("rejections".to_string(), Json::Num(r.rejections as f64));
                     o.insert("verify_failures".to_string(), Json::Num(r.verify_failures as f64));
+                    o.insert("lost".to_string(), Json::Num(r.lost as f64));
                     Json::Obj(o)
                 })
                 .collect(),
@@ -194,6 +219,8 @@ fn run_compare(
             req_per_s: run.report.req_per_s,
             p50_ms: run.report.p50_ms,
             p99_ms: run.report.p99_ms,
+            faults_contained: run.report.faults_contained,
+            lost: run.report.lost,
         })
         .collect();
     let cmp = regress::compare_service(&fresh, &baseline, tolerance).unwrap_or_else(|e| {
@@ -293,6 +320,15 @@ fn main() {
         })
         .unwrap_or(0.5);
     let dump_dir = take_value_flag(&args.rest, "--fault-dumps").map(std::path::PathBuf::from);
+    let live_metrics = take_value_flag(&args.rest, "--live-metrics");
+    let sample_ms = take_value_flag(&args.rest, "--sample-ms")
+        .map(|s| {
+            parse_u64(&s).filter(|m| *m >= 1).unwrap_or_else(|| {
+                eprintln!("--sample-ms must be a positive integer, got {s:?}");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(50);
     // Fault dumps route through the *global* telemetry handle's flight
     // recorder; the servers share the same handle so their spans land in
     // the dumps.
@@ -335,7 +371,16 @@ fn main() {
     let runs: Vec<ModeRun> = modes
         .iter()
         .map(|&packed| {
-            run_mode(packed, workers, &params, seed, &trace_cfg, dump_dir.as_deref(), &tel)
+            run_mode(
+                packed,
+                workers,
+                &params,
+                seed,
+                &trace_cfg,
+                dump_dir.as_deref(),
+                &tel,
+                live_metrics.as_deref().map(|p| (p, sample_ms)),
+            )
         })
         .collect();
 
@@ -403,6 +448,14 @@ fn main() {
     );
     rep.note(&note);
 
+    // Compare before writing: the default --out path is the baseline
+    // file itself, and writing first would clobber the baseline and
+    // turn the gate into a vacuous self-compare.
+    let mut regressed = false;
+    if let Some(bpath) = compare_path {
+        regressed = run_compare(&mut rep, &runs, workers, n, workload, &bpath, tolerance);
+    }
+
     let doc = to_json(&runs, workers, n, workload, &note);
     if let Err(e) = std::fs::write(&out_path, format!("{doc}\n")) {
         eprintln!("failed to write {out_path}: {e}");
@@ -411,17 +464,16 @@ fn main() {
     if !rep.is_json() {
         println!("wrote {out_path}");
     }
-
-    let mut regressed = false;
-    if let Some(bpath) = compare_path {
-        regressed = run_compare(&mut rep, &runs, workers, n, workload, &bpath, tolerance);
-    }
     let verify_failures: u64 = runs.iter().map(|r| r.report.verify_failures).sum();
     if verify_failures > 0 {
         rep.note(&format!("{verify_failures} result(s) disagreed with the cleartext oracle"));
     }
+    let lost: u64 = runs.iter().map(|r| r.report.lost).sum();
+    if lost > 0 {
+        rep.note(&format!("{lost} request(s) were admitted but never answered"));
+    }
     rep.finish();
-    if regressed || verify_failures > 0 {
+    if regressed || verify_failures > 0 || lost > 0 {
         std::process::exit(1);
     }
 }

@@ -49,6 +49,19 @@ pub enum ServiceError {
         /// The simulator's discrepancy description.
         detail: String,
     },
+    /// The request's deadline passed before a worker could start it; the
+    /// worker skipped the cryptographic work entirely.
+    DeadlineExceeded {
+        /// How far past the deadline the worker observed it, in ms.
+        expired_by_ms: u64,
+    },
+    /// The watchdog confiscated this request from a worker that exceeded
+    /// the stall timeout; the worker was respawned and only this batch's
+    /// members failed.
+    WorkerStalled {
+        /// How long the worker had been busy when confiscated, in ms.
+        stalled_for_ms: u64,
+    },
     /// A scheme-level evaluation error that is not one of the detection
     /// lattice's structured classes.
     Scheme {
@@ -73,6 +86,12 @@ impl fmt::Display for ServiceError {
                 write!(f, "noise budget exhausted ({budget_bits:.1} bits)")
             }
             ServiceError::PlanIntegrity { detail } => write!(f, "plan integrity: {detail}"),
+            ServiceError::DeadlineExceeded { expired_by_ms } => {
+                write!(f, "deadline exceeded ({expired_by_ms} ms past)")
+            }
+            ServiceError::WorkerStalled { stalled_for_ms } => {
+                write!(f, "worker stalled ({stalled_for_ms} ms); batch confiscated")
+            }
             ServiceError::Scheme { detail } => write!(f, "scheme error: {detail}"),
         }
     }
@@ -102,13 +121,14 @@ impl From<TfheError> for ServiceError {
 
 impl ServiceError {
     /// Whether this failure is *contained*: the fault lattice caught it
-    /// and only this request was affected.
+    /// and only this request (or this request's batch) was affected.
     pub fn is_contained_fault(&self) -> bool {
         matches!(
             self,
             ServiceError::WorkerPanic { .. }
                 | ServiceError::IntegrityViolation { .. }
                 | ServiceError::BudgetExhausted { .. }
+                | ServiceError::WorkerStalled { .. }
         )
     }
 }

@@ -17,6 +17,9 @@
 //! All three degrade exactly one request; none may take down a worker,
 //! a batch, or the server.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
 use fhe_ckks::{Ciphertext, CkksContext, Encoder, Evaluator};
 use fhe_tfhe::{gates, ClientKey, LweCiphertext, ServerKey};
 use rand_chacha::ChaCha8Rng;
@@ -29,6 +32,18 @@ use crate::request::{FaultFlag, OpKind};
 /// Panic payload of the injected worker fault (the containment tests
 /// assert it round-trips into the structured error).
 pub const INJECTED_SERVICE_PANIC: &str = "service: injected worker panic";
+
+/// Sleeps `ms` in small slices, returning early when `cancel` flips —
+/// the injected-stall surface must never block server shutdown.
+fn stall_sleep(ms: u64, cancel: &AtomicBool) {
+    let deadline = Instant::now() + Duration::from_millis(ms);
+    while Instant::now() < deadline {
+        if cancel.load(Ordering::Relaxed) {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
 
 /// Evaluates a compiled CKKS plan over `slots` under `keys`.
 ///
@@ -45,6 +60,7 @@ pub const INJECTED_SERVICE_PANIC: &str = "service: injected worker panic";
 ///
 /// Deliberately, when `fault` is [`FaultFlag::WorkerPanic`] — the
 /// caller contains it with `catch_unwind`.
+#[allow(clippy::too_many_arguments)]
 pub fn execute_ckks(
     ctx: &CkksContext,
     keys: &TenantKeys,
@@ -53,6 +69,7 @@ pub fn execute_ckks(
     fault: FaultFlag,
     fault_seed: u64,
     rng: &mut ChaCha8Rng,
+    cancel: &AtomicBool,
 ) -> Result<Vec<f64>, ServiceError> {
     let _span = telemetry::Span::enter("service.exec.ckks");
     let enc = Encoder::new(ctx);
@@ -69,6 +86,12 @@ pub fn execute_ckks(
     for (i, op) in plan.ops.iter().enumerate() {
         if fault == FaultFlag::WorkerPanic && i == panic_at {
             panic!("{INJECTED_SERVICE_PANIC}");
+        }
+        if let FaultFlag::WorkerStall { ms } = fault {
+            if i == panic_at {
+                telemetry::count_named("service.fault.stall.injected", 1);
+                stall_sleep(ms, cancel);
+            }
         }
         let ct = match *op {
             OpKind::Input => input.clone(),
@@ -118,6 +141,7 @@ pub fn execute_tfhe(
     bits: &[bool],
     fault: FaultFlag,
     rng: &mut ChaCha8Rng,
+    cancel: &AtomicBool,
 ) -> Result<Vec<f64>, ServiceError> {
     let _span = telemetry::Span::enter("service.exec.tfhe");
     let panic_at = plan.ops.len() / 2;
@@ -126,6 +150,12 @@ pub fn execute_tfhe(
     for (i, op) in plan.ops.iter().enumerate() {
         if fault == FaultFlag::WorkerPanic && i == panic_at {
             panic!("{INJECTED_SERVICE_PANIC}");
+        }
+        if let FaultFlag::WorkerStall { ms } = fault {
+            if i == panic_at {
+                telemetry::count_named("service.fault.stall.injected", 1);
+                stall_sleep(ms, cancel);
+            }
         }
         let ct = match *op {
             OpKind::Input => {
@@ -179,7 +209,7 @@ mod tests {
         let mut cache = KeyCache::new(4, 99);
         let keys = cache.get_ckks(11, &c).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(5);
-        execute_ckks(&c, &keys, &plan, &payload, fault, 0xF00D, &mut rng)
+        execute_ckks(&c, &keys, &plan, &payload, fault, 0xF00D, &mut rng, &AtomicBool::new(false))
     }
 
     #[test]
@@ -257,7 +287,37 @@ mod tests {
         let keys = cache.get_tfhe(12, &c, &params).unwrap();
         let (ck, sk) = keys.tfhe.as_ref().unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let got = execute_tfhe(ck, sk, &plan, &[true, true], FaultFlag::None, &mut rng).unwrap();
+        let got = execute_tfhe(
+            ck,
+            sk,
+            &plan,
+            &[true, true],
+            FaultFlag::None,
+            &mut rng,
+            &AtomicBool::new(false),
+        )
+        .unwrap();
         assert_eq!(got, vec![0.0], "NAND(1,1) = 0");
+    }
+
+    #[test]
+    fn injected_stall_sleeps_and_then_completes() {
+        let t0 = Instant::now();
+        let got = run(
+            vec![OpKind::Input, OpKind::Negate { arg: 0 }],
+            vec![0.5; 4],
+            FaultFlag::WorkerStall { ms: 30 },
+        )
+        .unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(30), "stall must actually sleep");
+        assert!((got[0] + 0.5).abs() < 1e-2, "stall does not corrupt the result");
+    }
+
+    #[test]
+    fn stall_sleep_cancels_promptly() {
+        let cancel = AtomicBool::new(true);
+        let t0 = Instant::now();
+        stall_sleep(5_000, &cancel);
+        assert!(t0.elapsed() < Duration::from_millis(500), "cancelled stall returns early");
     }
 }

@@ -18,7 +18,13 @@
 //!   faultsim containment lattice into the request lifecycle: a
 //!   poisoned worker, failed checksum, or exhausted noise budget fails
 //!   exactly one request with a structured error and a flight-recorder
-//!   fault dump, and the server keeps serving.
+//!   fault dump, and the server keeps serving. The resilience layer
+//!   (DESIGN.md §17) extends the same stance to *time*: per-request
+//!   deadlines, a watchdog that confiscates stalled batches and
+//!   respawns workers ([`supervise`]), and per-tenant circuit breakers
+//!   that quarantine serial poisoners ([`breaker`]) — all checked by a
+//!   chaos campaign whose ledger proves no admitted request is ever
+//!   lost (`chaos_campaign` bin).
 //! * **Observability** — telemetry spans follow requests across the
 //!   submit/worker thread boundary (`SpanGuard::detach`/`attach`),
 //!   per-tenant latency histograms and cache/pack/fault counters feed
@@ -32,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod breaker;
 pub mod error;
 pub mod exec;
 pub mod keycache;
@@ -40,8 +47,10 @@ pub mod plan;
 pub mod queue;
 pub mod request;
 pub mod server;
+pub mod supervise;
 pub mod trace;
 
+pub use breaker::{BreakerBank, BreakerConfig, BreakerState, BreakerStats};
 pub use error::ServiceError;
 pub use exec::INJECTED_SERVICE_PANIC;
 pub use keycache::{KeyCache, KeyCacheStats};
@@ -50,4 +59,5 @@ pub use plan::{compile, Plan};
 pub use queue::{AdmissionConfig, AdmissionQueue, QueueStats};
 pub use request::{FaultFlag, OpKind, Payload, Request, Scheme, TenantId};
 pub use server::{Completion, Server, ServerConfig, StatsSnapshot};
+pub use supervise::{SupervisorConfig, WorkerHealth};
 pub use trace::{generate, replay, Template, TraceConfig, TraceReport};

@@ -19,7 +19,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::error::ServiceError;
 use crate::request::TenantId;
@@ -33,11 +33,21 @@ pub struct AdmissionConfig {
     pub tenant_share: f64,
     /// Base client backoff hint; scaled up as the queue fills.
     pub base_retry_ms: u64,
+    /// Seed for the deterministic retry-hint jitter. Rejected clients
+    /// that share a clock would otherwise retry in lockstep; the jitter
+    /// spreads each hint into `[hint, 1.5 × hint]` while keeping a whole
+    /// campaign reproducible from its seed.
+    pub jitter_seed: u64,
 }
 
 impl Default for AdmissionConfig {
     fn default() -> Self {
-        AdmissionConfig { capacity: 256, tenant_share: 0.25, base_retry_ms: 5 }
+        AdmissionConfig {
+            capacity: 256,
+            tenant_share: 0.25,
+            base_retry_ms: 5,
+            jitter_seed: 0x9e37_79b9_7f4a_7c15,
+        }
     }
 }
 
@@ -83,13 +93,13 @@ pub struct AdmissionQueue<T> {
     inner: Mutex<Inner<T>>,
     ready: Condvar,
     stats: Arc<QueueStats>,
+    jitter_state: AtomicU64,
 }
 
 impl<T> AdmissionQueue<T> {
     /// An empty queue under `config`.
     pub fn new(config: AdmissionConfig) -> Self {
         AdmissionQueue {
-            config,
             inner: Mutex::new(Inner {
                 queue: VecDeque::new(),
                 per_tenant: HashMap::new(),
@@ -97,6 +107,8 @@ impl<T> AdmissionQueue<T> {
             }),
             ready: Condvar::new(),
             stats: Arc::new(QueueStats::default()),
+            jitter_state: AtomicU64::new(config.jitter_seed | 1),
+            config,
         }
     }
 
@@ -161,15 +173,38 @@ impl<T> AdmissionQueue<T> {
     }
 
     /// Backoff hint: base, scaled by how full the queue is (a full queue
-    /// quadruples the base so retry storms spread out).
+    /// quadruples the base so retry storms spread out), plus a
+    /// deterministic-seeded jitter of up to half the scaled hint so
+    /// synchronized rejected clients don't come back in lockstep. The
+    /// scaled value is the floor: jitter only ever adds.
     fn retry_hint(&self, depth: usize) -> u64 {
         let pressure = depth as f64 / self.config.capacity.max(1) as f64;
-        (self.config.base_retry_ms as f64 * (1.0 + 3.0 * pressure)).ceil() as u64
+        let scaled = (self.config.base_retry_ms as f64 * (1.0 + 3.0 * pressure)).ceil() as u64;
+        scaled + self.next_jitter() % (scaled / 2 + 1)
+    }
+
+    /// SplitMix64 step over the queue's jitter stream: deterministic for
+    /// a given seed and rejection ordinal, uncorrelated between
+    /// successive rejections.
+    fn next_jitter(&self) -> u64 {
+        let mut z = self
+            .jitter_state
+            .fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed)
+            .wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
     }
 
     /// Pops the oldest request, blocking up to `timeout`. `None` on
     /// timeout or when the queue is closed and drained.
+    ///
+    /// The `timeout` is an *overall* budget for the call: condvar wakeups
+    /// that lose the race for an item (another consumer got it first, or
+    /// the wakeup was spurious) re-wait only the remaining time, so a
+    /// taker under contention can never block past its budget.
     pub fn take(&self, timeout: Duration) -> Option<(TenantId, T)> {
+        let deadline = Instant::now().checked_add(timeout);
         let mut inner = self.inner.lock().expect("queue poisoned");
         loop {
             if let Some((tenant, item)) = inner.queue.pop_front() {
@@ -179,11 +214,16 @@ impl<T> AdmissionQueue<T> {
             if inner.closed {
                 return None;
             }
-            let (next, wait) = self.ready.wait_timeout(inner, timeout).expect("queue poisoned");
+            let remaining = match deadline {
+                Some(d) => match d.checked_duration_since(Instant::now()) {
+                    Some(r) if !r.is_zero() => r,
+                    _ => return None,
+                },
+                // `now + timeout` overflowed Instant: wait effectively forever.
+                None => Duration::from_secs(3600),
+            };
+            let (next, _wait) = self.ready.wait_timeout(inner, remaining).expect("queue poisoned");
             inner = next;
-            if wait.timed_out() && inner.queue.is_empty() {
-                return None;
-            }
         }
     }
 
@@ -230,6 +270,18 @@ impl<T> AdmissionQueue<T> {
         self.inner.lock().expect("queue poisoned").closed = true;
         self.ready.notify_all();
     }
+
+    /// The `limit` tenants holding the most queued slots, busiest first
+    /// (ties broken by tenant id) — the sampler's queue-pressure gauge.
+    pub fn top_tenants(&self, limit: usize) -> Vec<(TenantId, usize)> {
+        let inner = self.inner.lock().expect("queue poisoned");
+        let mut rows: Vec<(TenantId, usize)> =
+            inner.per_tenant.iter().map(|(&t, &n)| (t, n)).collect();
+        drop(inner);
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        rows.truncate(limit);
+        rows
+    }
 }
 
 #[cfg(test)]
@@ -237,7 +289,12 @@ mod tests {
     use super::*;
 
     fn q(capacity: usize, share: f64) -> AdmissionQueue<u32> {
-        AdmissionQueue::new(AdmissionConfig { capacity, tenant_share: share, base_retry_ms: 5 })
+        AdmissionQueue::new(AdmissionConfig {
+            capacity,
+            tenant_share: share,
+            base_retry_ms: 5,
+            ..AdmissionConfig::default()
+        })
     }
 
     #[test]
@@ -252,6 +309,70 @@ mod tests {
         };
         assert_eq!(reason, "queue-full");
         assert!(retry_after_ms >= 20, "full queue hints 4x base: {retry_after_ms}");
+        assert!(retry_after_ms <= 30, "jitter adds at most half the hint: {retry_after_ms}");
+    }
+
+    #[test]
+    fn retry_hints_jitter_deterministically_per_seed() {
+        let hints = |seed: u64| -> Vec<u64> {
+            let queue: AdmissionQueue<u32> = AdmissionQueue::new(AdmissionConfig {
+                capacity: 4,
+                tenant_share: 1.0,
+                jitter_seed: seed,
+                ..AdmissionConfig::default()
+            });
+            for i in 0..4 {
+                queue.offer(u64::from(i), i).unwrap();
+            }
+            (0..32)
+                .map(|i| match queue.offer(100 + i, 0).unwrap_err() {
+                    ServiceError::Rejected { retry_after_ms, .. } => retry_after_ms,
+                    e => panic!("expected rejection, got {e:?}"),
+                })
+                .collect()
+        };
+        let a = hints(7);
+        assert_eq!(a, hints(7), "same seed, same hint sequence");
+        assert_ne!(a, hints(8), "different seed decorrelates the herd");
+        let distinct: std::collections::HashSet<u64> = a.iter().copied().collect();
+        assert!(distinct.len() > 1, "hints must actually spread, got {a:?}");
+    }
+
+    #[test]
+    fn take_respects_overall_timeout_under_a_slow_producer() {
+        use std::sync::atomic::AtomicBool;
+        // A slow producer keeps offering items that a greedy sibling
+        // consumer steals back immediately. Every offer wakes the slow
+        // taker; before the fix each wakeup restarted its full wait, so
+        // its 50 ms budget stretched to the producer's lifetime.
+        let queue: Arc<AdmissionQueue<u32>> = Arc::new(AdmissionQueue::new(AdmissionConfig {
+            capacity: 64,
+            tenant_share: 1.0,
+            ..AdmissionConfig::default()
+        }));
+        let stop = Arc::new(AtomicBool::new(false));
+        let producer = {
+            let queue = Arc::clone(&queue);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let _ = queue.offer(1, 7);
+                    // Steal it right back so the sleeping taker that our
+                    // offer just woke finds the queue empty again.
+                    let _ = queue.take(Duration::ZERO);
+                    std::thread::sleep(Duration::from_millis(3));
+                }
+            })
+        };
+        let t0 = Instant::now();
+        let _ = queue.take(Duration::from_millis(50));
+        let elapsed = t0.elapsed();
+        stop.store(true, Ordering::Relaxed);
+        producer.join().unwrap();
+        assert!(
+            elapsed < Duration::from_millis(1_000),
+            "take must return within its overall budget, took {elapsed:?}"
+        );
     }
 
     #[test]

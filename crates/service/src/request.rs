@@ -124,6 +124,14 @@ pub enum FaultFlag {
     /// Repeated un-rescaled squarings burn the noise budget; decryption
     /// refuses with `BudgetExhausted`.
     BudgetBurn,
+    /// The worker sleeps `ms` milliseconds mid-evaluation (cancellable at
+    /// shutdown) — the chaos surface for the watchdog: a stall longer
+    /// than the supervisor's timeout gets the batch confiscated and the
+    /// worker respawned.
+    WorkerStall {
+        /// Injected stall duration in milliseconds.
+        ms: u64,
+    },
 }
 
 /// One unit of client work.

@@ -13,8 +13,33 @@
 //! failure produces a structured error back to its submitter plus a
 //! flight-recorder `fault_dump` when the failure is one of the
 //! containment lattice's classes — and the server keeps serving.
+//!
+//! **Liveness, not just correctness.** Three resilience mechanisms ride
+//! on the same lifecycle (DESIGN.md §17):
+//!
+//! * *Deadlines* — a request may carry a deadline from admission
+//!   ([`Server::submit_with_deadline`]). The packer refuses to coalesce
+//!   members whose remaining budgets differ more than 4×, workers check
+//!   the deadline before any cryptographic work, and expired requests
+//!   fail with [`ServiceError::DeadlineExceeded`] instead of occupying
+//!   a worker.
+//! * *Supervision* — workers stamp per-slot heartbeat atomics at batch
+//!   boundaries and stash their in-flight batch in the supervisor
+//!   ([`crate::supervise`]). A watchdog thread confiscates batches that
+//!   outlive the stall timeout, fails their members with
+//!   [`ServiceError::WorkerStalled`], fires a flight dump, and respawns
+//!   the worker so pool strength recovers.
+//! * *Circuit breakers* — contained faults feed each tenant's sliding
+//!   window ([`crate::breaker`]); a tenant past the threshold is
+//!   quarantined at admission (`reason: "tenant-quarantined"`) until
+//!   its cooldown elapses and clean probes close the breaker.
+//!
+//! Every admitted request reaches exactly one terminal outcome —
+//! completed, failed, expired, stalled, or shutdown — which the chaos
+//! campaign's [`faultsim::chaos::OutcomeLedger`] asserts end to end.
 
 use std::collections::HashMap;
+use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
@@ -22,12 +47,14 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use alchemist_core::{ArchConfig, Simulator};
+use faultsim::chaos::{OutcomeLedger, Terminal};
 use fhe_ckks::{CkksContext, CkksParams};
 use fhe_tfhe::TfheParams;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use telemetry::Histogram;
 
+use crate::breaker::{BreakerBank, BreakerConfig};
 use crate::error::ServiceError;
 use crate::exec::{execute_ckks, execute_tfhe};
 use crate::keycache::{KeyCache, KeyCacheStats};
@@ -35,6 +62,7 @@ use crate::pack::{combined_payload, pack, PackedBatch};
 use crate::plan::{compile, Plan};
 use crate::queue::{AdmissionConfig, AdmissionQueue, QueueStats};
 use crate::request::{FaultFlag, Payload, Request, Scheme, TenantId};
+use crate::supervise::{Supervisor, SupervisorConfig, WorkerHealth};
 
 /// How long an idle worker waits on the queue before rechecking for
 /// shutdown.
@@ -64,6 +92,16 @@ pub struct ServerConfig {
     pub latency_tenants: usize,
     /// Telemetry handle workers record into.
     pub telemetry: telemetry::Telemetry,
+    /// Deadline applied to requests submitted without an explicit one
+    /// (`None`: such requests never expire).
+    pub default_deadline: Option<Duration>,
+    /// Watchdog policy.
+    pub supervisor: SupervisorConfig,
+    /// Per-tenant circuit-breaker policy.
+    pub breaker: BreakerConfig,
+    /// Optional no-lost-request ledger: every admission and terminal
+    /// outcome is recorded into it (the chaos campaign's checker).
+    pub ledger: Option<Arc<OutcomeLedger>>,
 }
 
 impl Default for ServerConfig {
@@ -79,6 +117,10 @@ impl Default for ServerConfig {
             tfhe: TfheParams::toy(),
             latency_tenants: 64,
             telemetry: telemetry::Telemetry::enabled(),
+            default_deadline: None,
+            supervisor: SupervisorConfig::default(),
+            breaker: BreakerConfig::default(),
+            ledger: None,
         }
     }
 }
@@ -110,6 +152,8 @@ pub struct ServerStats {
     packed_batches: AtomicU64,
     packed_members: AtomicU64,
     degraded_batches: AtomicU64,
+    deadline_expired: AtomicU64,
+    stalled: AtomicU64,
 }
 
 /// Point-in-time copy of [`ServerStats`].
@@ -122,7 +166,7 @@ pub struct StatsSnapshot {
     /// Requests answered with a structured error.
     pub failed: u64,
     /// Failures the containment lattice classified (panic, checksum,
-    /// budget) — each also produced a flight `fault_dump`.
+    /// budget, stall) — each also produced a flight `fault_dump`.
     pub faults_contained: u64,
     /// Batches executed (packed or singleton).
     pub batches: u64,
@@ -132,6 +176,10 @@ pub struct StatsSnapshot {
     pub packed_members: u64,
     /// Packed batches that failed and were degraded to singletons.
     pub degraded_batches: u64,
+    /// Requests that failed with `DeadlineExceeded`.
+    pub deadline_expired: u64,
+    /// Requests that failed with `WorkerStalled` after confiscation.
+    pub stalled: u64,
 }
 
 impl ServerStats {
@@ -145,6 +193,8 @@ impl ServerStats {
             packed_batches: self.packed_batches.load(Ordering::Relaxed),
             packed_members: self.packed_members.load(Ordering::Relaxed),
             degraded_batches: self.degraded_batches.load(Ordering::Relaxed),
+            deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
+            stalled: self.stalled.load(Ordering::Relaxed),
         }
     }
 }
@@ -181,6 +231,16 @@ struct Ticket {
     respond: mpsc::Sender<Completion>,
     span: Option<telemetry::DetachedSpan>,
     submitted: Instant,
+    deadline: Option<Instant>,
+    probe: bool,
+}
+
+/// What a worker stashes in its supervision slot while executing: the
+/// batch's tickets with their slot ranges, so the watchdog can answer
+/// them if it has to confiscate.
+struct Inflight {
+    items: Vec<(Ticket, Range<usize>)>,
+    batch_size: usize,
 }
 
 struct Shared {
@@ -198,17 +258,27 @@ struct Shared {
     seed: u64,
     closing: AtomicBool,
     next_id: AtomicU64,
+    default_deadline: Option<Duration>,
+    sup: Supervisor<Inflight>,
+    supervisor_cfg: SupervisorConfig,
+    breaker: BreakerBank,
+    ledger: Option<Arc<OutcomeLedger>>,
+    inflight_total: AtomicU64,
+    inflight_by_tenant: Mutex<HashMap<TenantId, u64>>,
+    /// Worker threads, including watchdog respawns (joined at drain).
+    handles: Mutex<Vec<JoinHandle<()>>>,
 }
 
 /// The running server. Dropping it drains the queue and joins the
 /// workers.
 pub struct Server {
     shared: Arc<Shared>,
-    workers: Vec<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Builds the CKKS context, spawns the workers, and starts serving.
+    /// Builds the CKKS context, spawns the workers (and the watchdog,
+    /// when supervision is enabled), and starts serving.
     ///
     /// # Errors
     ///
@@ -217,6 +287,7 @@ impl Server {
         let ctx = CkksContext::new(config.params.clone())?;
         let cache = KeyCache::new(config.key_cache_capacity, config.seed);
         let cache_stats = cache.stats();
+        let workers = config.workers.max(1);
         let shared = Arc::new(Shared {
             ctx,
             tfhe_params: config.tfhe,
@@ -237,17 +308,33 @@ impl Server {
             seed: config.seed,
             closing: AtomicBool::new(false),
             next_id: AtomicU64::new(0),
+            default_deadline: config.default_deadline,
+            sup: Supervisor::new(workers),
+            supervisor_cfg: config.supervisor,
+            breaker: BreakerBank::new(config.breaker),
+            ledger: config.ledger,
+            inflight_total: AtomicU64::new(0),
+            inflight_by_tenant: Mutex::new(HashMap::new()),
+            handles: Mutex::new(Vec::new()),
         });
-        let workers = (0..config.workers.max(1))
-            .map(|w| {
-                let shared = Arc::clone(&shared);
+        {
+            let mut handles = shared.handles.lock().expect("handles poisoned");
+            for idx in 0..workers {
+                handles.push(spawn_worker(&shared, idx, 0));
+            }
+        }
+        let watchdog = if config.supervisor.enabled {
+            let shared = Arc::clone(&shared);
+            Some(
                 std::thread::Builder::new()
-                    .name(format!("svc-worker-{w}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn worker")
-            })
-            .collect();
-        Ok(Server { shared, workers })
+                    .name("svc-watchdog".into())
+                    .spawn(move || watchdog_loop(&shared))
+                    .expect("spawn watchdog"),
+            )
+        } else {
+            None
+        };
+        Ok(Server { shared, watchdog })
     }
 
     /// The server's CKKS context (tests encode expectations against it).
@@ -255,31 +342,85 @@ impl Server {
         &self.shared.ctx
     }
 
-    /// Validates, compiles, and admits a request. Returns the channel
-    /// its [`Completion`] will arrive on.
+    /// Validates, compiles, and admits a request under the server's
+    /// default deadline. Returns the channel its [`Completion`] will
+    /// arrive on.
     ///
     /// # Errors
     ///
     /// Synchronously: [`ServiceError::InvalidRequest`] from the plan
-    /// compiler, [`ServiceError::Rejected`] from admission,
-    /// [`ServiceError::Shutdown`] while draining.
+    /// compiler, [`ServiceError::Rejected`] from admission or a
+    /// quarantining breaker, [`ServiceError::Shutdown`] while draining.
     pub fn submit(&self, req: Request) -> Result<mpsc::Receiver<Completion>, ServiceError> {
+        self.submit_with_deadline(req, self.shared.default_deadline)
+    }
+
+    /// [`submit`](Self::submit) with an explicit deadline budget
+    /// (`None`: never expires). The deadline clock starts now — at
+    /// admission — so queueing time counts against it.
+    ///
+    /// # Errors
+    ///
+    /// As [`submit`](Self::submit); a quarantined tenant is rejected
+    /// with `reason: "tenant-quarantined"` and the cooldown remaining as
+    /// its `retry_after_ms`.
+    pub fn submit_with_deadline(
+        &self,
+        req: Request,
+        deadline: Option<Duration>,
+    ) -> Result<mpsc::Receiver<Completion>, ServiceError> {
         let shared = &self.shared;
         shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
         let plan = Arc::new(compile(&req, &shared.ctx)?);
+        let probe = match shared.breaker.admit(req.tenant) {
+            Ok(probe) => probe,
+            Err(retry_after_ms) => {
+                return Err(ServiceError::Rejected { retry_after_ms, reason: "tenant-quarantined" })
+            }
+        };
         let (tx, rx) = mpsc::channel();
         let span = shared.tel.span("service.request").detach();
+        let now = Instant::now();
         let ticket = Ticket {
             id: shared.next_id.fetch_add(1, Ordering::Relaxed),
             req,
             plan,
             respond: tx,
             span: Some(span),
-            submitted: Instant::now(),
+            submitted: now,
+            deadline: deadline.map(|d| now + d),
+            probe,
         };
+        let id = ticket.id;
         let tenant = ticket.req.tenant;
-        shared.queue.offer(tenant, ticket)?;
-        Ok(rx)
+        // Admit into the ledger *before* the queue: once `offer`
+        // succeeds a worker may respond instantly, and a terminal for an
+        // unknown id would read as a violation. A synchronous rejection
+        // retracts the provisional entry.
+        if let Some(ledger) = &shared.ledger {
+            ledger.admit(id);
+        }
+        match shared.queue.offer(tenant, ticket) {
+            Ok(()) => {
+                shared.inflight_total.fetch_add(1, Ordering::Relaxed);
+                *shared
+                    .inflight_by_tenant
+                    .lock()
+                    .expect("inflight map poisoned")
+                    .entry(tenant)
+                    .or_insert(0) += 1;
+                Ok(rx)
+            }
+            Err(e) => {
+                if let Some(ledger) = &shared.ledger {
+                    ledger.retract(id);
+                }
+                if probe {
+                    shared.breaker.release_probe(tenant);
+                }
+                Err(e)
+            }
+        }
     }
 
     /// Queue + admission counters.
@@ -295,6 +436,49 @@ impl Server {
     /// Server counters.
     pub fn stats(&self) -> StatsSnapshot {
         self.shared.stats.snapshot()
+    }
+
+    /// Worker-pool health: live workers, watchdog kicks, respawns.
+    pub fn worker_health(&self) -> WorkerHealth {
+        self.shared.sup.health()
+    }
+
+    /// The per-tenant breaker bank (state queries and transition stats).
+    pub fn breaker(&self) -> &BreakerBank {
+        &self.shared.breaker
+    }
+
+    /// Requests admitted but not yet answered.
+    pub fn inflight(&self) -> u64 {
+        self.shared.inflight_total.load(Ordering::Relaxed)
+    }
+
+    /// A sampler gauge source exposing live service pressure: queue
+    /// depth (total and busiest tenants), in-flight counts (total and
+    /// busiest tenants), worker-pool strength, and breaker states.
+    pub fn gauge_source(&self) -> telemetry::sampler::GaugeSource {
+        let shared = Arc::clone(&self.shared);
+        Box::new(move |readings: &mut Vec<(String, u64)>| {
+            readings.push(("service.queue.depth".into(), shared.queue.len() as u64));
+            readings
+                .push(("service.inflight".into(), shared.inflight_total.load(Ordering::Relaxed)));
+            readings.push(("service.workers.alive".into(), shared.sup.health().alive as u64));
+            let (open, half_open) = shared.breaker.open_counts();
+            readings.push(("service.breaker.open".into(), open));
+            readings.push(("service.breaker.half_open".into(), half_open));
+            for (tenant, depth) in shared.queue.top_tenants(4) {
+                readings.push((format!("service.queue.tenant.{tenant}"), depth as u64));
+            }
+            let by_tenant = shared.inflight_by_tenant.lock().expect("inflight map poisoned");
+            let mut rows: Vec<(TenantId, u64)> =
+                by_tenant.iter().filter(|(_, &n)| n > 0).map(|(&t, &n)| (t, n)).collect();
+            drop(by_tenant);
+            rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            rows.truncate(4);
+            for (tenant, n) in rows {
+                readings.push((format!("service.inflight.tenant.{tenant}"), n));
+            }
+        })
     }
 
     /// Aggregate `(completions, p50 ns, p99 ns)` over every request.
@@ -322,11 +506,41 @@ impl Server {
         self.shared.stats.snapshot()
     }
 
+    /// Stops admission and fails still-queued requests with
+    /// [`ServiceError::Shutdown`] instead of executing them; batches
+    /// already on workers finish (or are confiscated if stalled). Every
+    /// admitted request still gets exactly one terminal outcome.
+    pub fn shutdown_now(mut self) -> StatsSnapshot {
+        self.shared.closing.store(true, Ordering::SeqCst);
+        self.shared.queue.close();
+        // Race the workers for whatever is still queued; each ticket is
+        // popped exactly once, by us or by a draining worker.
+        while let Some((_, ticket)) = self.shared.queue.take(Duration::ZERO) {
+            respond(&self.shared, ticket, Err(ServiceError::Shutdown), 1);
+        }
+        self.drain();
+        self.shared.stats.snapshot()
+    }
+
     fn drain(&mut self) {
         self.shared.closing.store(true, Ordering::SeqCst);
         self.shared.queue.close();
-        for w in self.workers.drain(..) {
+        // Join the watchdog first: after it exits no new workers appear,
+        // so one sweep of the handle list joins the whole pool.
+        if let Some(w) = self.watchdog.take() {
             let _ = w.join();
+        }
+        loop {
+            let drained: Vec<JoinHandle<()>> = {
+                let mut handles = self.shared.handles.lock().expect("handles poisoned");
+                handles.drain(..).collect()
+            };
+            if drained.is_empty() {
+                break;
+            }
+            for h in drained {
+                let _ = h.join();
+            }
         }
     }
 }
@@ -337,28 +551,124 @@ impl Drop for Server {
     }
 }
 
-fn worker_loop(shared: &Shared) {
+fn spawn_worker(shared: &Arc<Shared>, idx: usize, generation: u64) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name(format!("svc-worker-{idx}-g{generation}"))
+        .spawn(move || worker_loop(&shared, idx, generation))
+        .expect("spawn worker")
+}
+
+/// How far past its deadline a request is, in ms (`None`: still live).
+fn expired_by(deadline: Option<Instant>, now: Instant) -> Option<u64> {
+    let d = deadline?;
+    if now < d {
+        return None;
+    }
+    Some(((now - d).as_millis().max(1)).min(u128::from(u64::MAX)) as u64)
+}
+
+/// Whether two tickets' remaining deadline budgets are close enough to
+/// share a batch: both unbounded, or within 4× of each other. Packing a
+/// 2 ms budget with a 10 s one would let the relaxed member's scheduling
+/// slack kill the urgent one.
+fn deadlines_pack_compatible(a: &Ticket, b: &Ticket) -> bool {
+    match (a.deadline, b.deadline) {
+        (None, None) => true,
+        (Some(x), Some(y)) => {
+            let now = Instant::now();
+            let rx = x.saturating_duration_since(now).as_millis() as u64 + 1;
+            let ry = y.saturating_duration_since(now).as_millis() as u64 + 1;
+            rx <= ry.saturating_mul(4) && ry <= rx.saturating_mul(4)
+        }
+        _ => false,
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>, idx: usize, generation: u64) {
+    shared.sup.worker_started();
     loop {
+        shared.sup.heartbeat(idx);
+        if shared.sup.generation(idx) != generation {
+            break; // Replaced by the watchdog; a successor owns the slot.
+        }
         let group = if shared.packing {
             shared.queue.take_group(WORKER_POLL, shared.max_batch, |head, cand| {
-                head.0 == cand.0
+                let base = head.0 == cand.0
                     && head.1.req.scheme == Scheme::Ckks
                     && cand.1.req.scheme == Scheme::Ckks
-                    && head.1.plan.fingerprint == cand.1.plan.fingerprint
+                    && head.1.plan.fingerprint == cand.1.plan.fingerprint;
+                if base && !deadlines_pack_compatible(&head.1, &cand.1) {
+                    telemetry::count_named("service.pack.deadline_refusal", 1);
+                    return false;
+                }
+                base
             })
         } else {
             shared.queue.take(WORKER_POLL).into_iter().collect()
         };
         if group.is_empty() {
             if shared.closing.load(Ordering::SeqCst) && shared.queue.is_empty() {
-                return;
+                break;
             }
             continue;
         }
         let tickets: Vec<Ticket> = group.into_iter().map(|(_, t)| t).collect();
         let slot_capacity = shared.ctx.n() / 2;
+        let mut confiscated = false;
         for batch in pack(tickets, |t| t.req.slots_needed().max(1), slot_capacity) {
-            run_batch(shared, batch);
+            if confiscated {
+                // We lost the slot mid-group: our successor owns it now,
+                // so hand the remainder back through the respond path.
+                for m in batch.members {
+                    respond(shared, m.item, Err(ServiceError::Shutdown), 1);
+                }
+                continue;
+            }
+            confiscated = !run_batch(shared, idx, generation, batch);
+        }
+        if confiscated {
+            break;
+        }
+    }
+    shared.sup.worker_stopped();
+}
+
+fn watchdog_loop(shared: &Arc<Shared>) {
+    let cfg = shared.supervisor_cfg;
+    loop {
+        // Sleep one interval in small slices so shutdown is prompt even
+        // under the default 250 ms scan cadence.
+        let mut slept = Duration::ZERO;
+        while slept < cfg.interval {
+            if shared.closing.load(Ordering::SeqCst) {
+                return;
+            }
+            let step = cfg.interval.saturating_sub(slept).min(Duration::from_millis(10));
+            std::thread::sleep(step);
+            slept += step;
+        }
+        for idx in shared.sup.stalled(cfg.stall_timeout) {
+            let Some((inflight, stalled_for_ms, new_generation)) = shared.sup.confiscate(idx)
+            else {
+                continue; // Finished between the scan and the lock.
+            };
+            shared.tel.count_named("service.watchdog.kick", 1);
+            telemetry::flight::fault_dump(&format!(
+                "service: watchdog confiscated worker {idx} after {stalled_for_ms} ms; \
+                 failing {} member(s) with WorkerStalled",
+                inflight.items.len()
+            ));
+            let size = inflight.batch_size;
+            for (ticket, _range) in inflight.items {
+                respond(shared, ticket, Err(ServiceError::WorkerStalled { stalled_for_ms }), size);
+            }
+            if !shared.closing.load(Ordering::SeqCst) {
+                let handle = spawn_worker(shared, idx, new_generation);
+                shared.handles.lock().expect("handles poisoned").push(handle);
+                shared.sup.record_respawn();
+                shared.tel.count_named("service.watchdog.respawn", 1);
+            }
         }
     }
 }
@@ -388,7 +698,32 @@ fn exec_rng(shared: &Shared, tenant: TenantId, fingerprint: u64, first_id: u64) 
     )
 }
 
-fn run_batch(shared: &Shared, batch: PackedBatch<Ticket>) {
+/// Executes one batch. Returns `false` when the watchdog confiscated
+/// the worker's slot mid-execution — the caller must exit its loop.
+fn run_batch(
+    shared: &Arc<Shared>,
+    idx: usize,
+    generation: u64,
+    batch: PackedBatch<Ticket>,
+) -> bool {
+    // Deadline gate: expired members fail *before* any cryptographic
+    // work (that is the point — an expired request must not occupy a
+    // worker). Live members keep their slot ranges.
+    let now = Instant::now();
+    let mut live = Vec::with_capacity(batch.members.len());
+    for m in batch.members {
+        match expired_by(m.item.deadline, now) {
+            Some(expired_by_ms) => {
+                respond(shared, m.item, Err(ServiceError::DeadlineExceeded { expired_by_ms }), 1);
+            }
+            None => live.push(m),
+        }
+    }
+    if live.is_empty() {
+        return true;
+    }
+    let batch = PackedBatch { members: live, slots_used: batch.slots_used };
+
     shared.stats.batches.fetch_add(1, Ordering::Relaxed);
     if batch.is_packed() {
         shared.stats.packed_batches.fetch_add(1, Ordering::Relaxed);
@@ -405,15 +740,17 @@ fn run_batch(shared: &Shared, batch: PackedBatch<Ticket>) {
         for m in batch.members {
             respond(shared, m.item, Err(err.clone()), 1);
         }
-        return;
+        return true;
     }
 
     if head.req.scheme == Scheme::Tfhe || !batch.is_packed() {
         // TFHE never packs; a lone CKKS request runs the singleton path.
         for m in batch.members {
-            run_singleton(shared, m.item);
+            if !run_singleton(shared, idx, generation, m.item) {
+                return false;
+            }
         }
-        return;
+        return true;
     }
 
     let keys = {
@@ -424,7 +761,7 @@ fn run_batch(shared: &Shared, batch: PackedBatch<Ticket>) {
                 for m in batch.members {
                     respond(shared, m.item, Err(e.clone()), 1);
                 }
-                return;
+                return true;
             }
         }
     };
@@ -435,17 +772,34 @@ fn run_batch(shared: &Shared, batch: PackedBatch<Ticket>) {
     let (fault, fault_id) = batch_fault(&batch);
     let plan = Arc::clone(&head.plan);
     let mut rng = exec_rng(shared, tenant, plan.fingerprint, head.id);
+    let size = batch.members.len();
+
+    // Stash the members in the supervision slot: from here until `end`,
+    // the watchdog can confiscate and answer them if we stall.
+    let items: Vec<(Ticket, Range<usize>)> =
+        batch.members.into_iter().map(|m| (m.item, m.range)).collect();
+    if let Err(inflight) = shared.sup.begin(idx, generation, Inflight { items, batch_size: size }) {
+        for (ticket, _range) in inflight.items {
+            respond(shared, ticket, Err(ServiceError::Shutdown), 1);
+        }
+        return false;
+    }
+
     let _batch_span = shared.tel.span("service.batch");
     let outcome = catch_unwind(AssertUnwindSafe(|| {
-        execute_ckks(&shared.ctx, &keys, &plan, &slots, fault, fault_id, &mut rng)
+        execute_ckks(&shared.ctx, &keys, &plan, &slots, fault, fault_id, &mut rng, &shared.closing)
     }));
+
+    let Some(inflight) = shared.sup.end(idx, generation) else {
+        return false; // Confiscated: the watchdog already answered them.
+    };
     match outcome {
         Ok(Ok(values)) => {
-            let size = batch.members.len();
-            for m in batch.members {
-                let out = values[m.range.clone()].to_vec();
-                respond(shared, m.item, Ok(out), size);
+            for (ticket, range) in inflight.items {
+                let out = values[range].to_vec();
+                respond(shared, ticket, Ok(out), size);
             }
+            true
         }
         Ok(Err(_)) | Err(_) => {
             // Degrade, don't die: the batch failed as a unit, so re-run
@@ -453,19 +807,34 @@ fn run_batch(shared: &Shared, batch: PackedBatch<Ticket>) {
             // the flight dump fires on that singleton failure, not here.
             shared.stats.degraded_batches.fetch_add(1, Ordering::Relaxed);
             shared.tel.count_named("service.batch.degraded", 1);
-            for m in batch.members {
-                run_singleton(shared, m.item);
+            for (ticket, _range) in inflight.items {
+                if !run_singleton(shared, idx, generation, ticket) {
+                    return false;
+                }
             }
+            true
         }
     }
 }
 
-fn run_singleton(shared: &Shared, ticket: Ticket) {
+/// Executes one request alone. Returns `false` on confiscation, like
+/// [`run_batch`].
+fn run_singleton(shared: &Arc<Shared>, idx: usize, generation: u64, ticket: Ticket) -> bool {
+    if let Some(expired_by_ms) = expired_by(ticket.deadline, Instant::now()) {
+        respond(shared, ticket, Err(ServiceError::DeadlineExceeded { expired_by_ms }), 1);
+        return true;
+    }
     let tenant = ticket.req.tenant;
+    let id = ticket.id;
     let plan = Arc::clone(&ticket.plan);
     let fault = ticket.req.fault;
-    let mut rng = exec_rng(shared, tenant, plan.fingerprint, ticket.id);
-    let outcome = match ticket.req.scheme {
+    let mut rng = exec_rng(shared, tenant, plan.fingerprint, id);
+
+    enum Work {
+        Ckks(Vec<f64>),
+        Tfhe(Vec<bool>),
+    }
+    let (keys, work) = match ticket.req.scheme {
         Scheme::Ckks => {
             let keys = {
                 let mut cache = shared.cache.lock().expect("key cache poisoned");
@@ -473,15 +842,12 @@ fn run_singleton(shared: &Shared, ticket: Ticket) {
                     Ok(k) => k,
                     Err(e) => {
                         respond(shared, ticket, Err(e), 1);
-                        return;
+                        return true;
                     }
                 }
             };
             let Payload::CkksSlots(ref v) = ticket.req.payload else { unreachable!() };
-            let slots = v.clone();
-            catch_unwind(AssertUnwindSafe(|| {
-                execute_ckks(&shared.ctx, &keys, &plan, &slots, fault, ticket.id, &mut rng)
-            }))
+            (keys, Work::Ckks(v.clone()))
         }
         Scheme::Tfhe => {
             let keys = {
@@ -490,18 +856,37 @@ fn run_singleton(shared: &Shared, ticket: Ticket) {
                     Ok(k) => k,
                     Err(e) => {
                         respond(shared, ticket, Err(e), 1);
-                        return;
+                        return true;
                     }
                 }
             };
             let Payload::TfheBits(ref b) = ticket.req.payload else { unreachable!() };
-            let bits = b.clone();
-            catch_unwind(AssertUnwindSafe(|| {
-                let (ck, sk) = keys.tfhe.as_ref().expect("tfhe keys present");
-                execute_tfhe(ck, sk, &plan, &bits, fault, &mut rng)
-            }))
+            (keys, Work::Tfhe(b.clone()))
         }
     };
+
+    let stash = Inflight { items: vec![(ticket, 0..0)], batch_size: 1 };
+    if let Err(inflight) = shared.sup.begin(idx, generation, stash) {
+        for (t, _range) in inflight.items {
+            respond(shared, t, Err(ServiceError::Shutdown), 1);
+        }
+        return false;
+    }
+
+    let outcome = catch_unwind(AssertUnwindSafe(|| match &work {
+        Work::Ckks(slots) => {
+            execute_ckks(&shared.ctx, &keys, &plan, slots, fault, id, &mut rng, &shared.closing)
+        }
+        Work::Tfhe(bits) => {
+            let (ck, sk) = keys.tfhe.as_ref().expect("tfhe keys present");
+            execute_tfhe(ck, sk, &plan, bits, fault, &mut rng, &shared.closing)
+        }
+    }));
+
+    let Some(mut inflight) = shared.sup.end(idx, generation) else {
+        return false;
+    };
+    let (ticket, _range) = inflight.items.pop().expect("singleton stash holds its ticket");
     let result = match outcome {
         Ok(r) => r,
         Err(payload) => {
@@ -514,6 +899,7 @@ fn run_singleton(shared: &Shared, ticket: Ticket) {
         }
     };
     respond(shared, ticket, result, 1);
+    true
 }
 
 fn respond(
@@ -526,10 +912,11 @@ fn respond(
     let ns = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
     shared.tel.observe_ns("service.latency", ns);
     shared.latency.lock().expect("latency book poisoned").record(ticket.req.tenant, ns);
-    match &result {
+    let terminal = match &result {
         Ok(_) => {
             shared.stats.completed_ok.fetch_add(1, Ordering::Relaxed);
             shared.tel.count_named("service.request.ok", 1);
+            Terminal::Completed
         }
         Err(e) => {
             shared.stats.failed.fetch_add(1, Ordering::Relaxed);
@@ -542,7 +929,34 @@ fn respond(
                     ticket.id, ticket.req.tenant
                 ));
             }
+            match e {
+                ServiceError::DeadlineExceeded { .. } => {
+                    shared.stats.deadline_expired.fetch_add(1, Ordering::Relaxed);
+                    shared.tel.count_named("service.deadline.expired", 1);
+                    Terminal::Expired
+                }
+                ServiceError::WorkerStalled { .. } => {
+                    shared.stats.stalled.fetch_add(1, Ordering::Relaxed);
+                    Terminal::Stalled
+                }
+                ServiceError::Shutdown => Terminal::Shutdown,
+                _ => Terminal::Failed,
+            }
         }
+    };
+    // Breaker: only containment-lattice faults count against the
+    // tenant; expiries, shutdowns, and clean completions report as
+    // non-faults (a probe needs its slot back either way).
+    let fault = result.as_ref().err().map(ServiceError::is_contained_fault).unwrap_or(false);
+    shared.breaker.record(ticket.req.tenant, fault, ticket.probe);
+    shared.inflight_total.fetch_sub(1, Ordering::Relaxed);
+    if let Some(n) =
+        shared.inflight_by_tenant.lock().expect("inflight map poisoned").get_mut(&ticket.req.tenant)
+    {
+        *n = n.saturating_sub(1);
+    }
+    if let Some(ledger) = &shared.ledger {
+        ledger.record(ticket.id, terminal);
     }
     // Close the request span on this worker: its duration is the
     // submit-to-completion wall time, its allocations both sides' work.
@@ -556,4 +970,55 @@ fn respond(
         latency,
         batch_size,
     });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ticket_with_deadline(deadline: Option<Duration>) -> Ticket {
+        let req = Request {
+            tenant: 1,
+            scheme: Scheme::Ckks,
+            ops: vec![crate::request::OpKind::Input],
+            payload: Payload::CkksSlots(vec![0.5; 4]),
+            fault: FaultFlag::None,
+        };
+        let ctx = CkksContext::new(CkksParams::toy().unwrap()).unwrap();
+        let plan = Arc::new(compile(&req, &ctx).unwrap());
+        let (tx, _rx) = mpsc::channel();
+        let now = Instant::now();
+        Ticket {
+            id: 0,
+            req,
+            plan,
+            respond: tx,
+            span: None,
+            submitted: now,
+            deadline: deadline.map(|d| now + d),
+            probe: false,
+        }
+    }
+
+    #[test]
+    fn deadline_budgets_within_4x_pack_together() {
+        let a = ticket_with_deadline(Some(Duration::from_millis(100)));
+        let b = ticket_with_deadline(Some(Duration::from_millis(300)));
+        assert!(deadlines_pack_compatible(&a, &b), "3x apart packs");
+        let c = ticket_with_deadline(Some(Duration::from_millis(10_000)));
+        assert!(!deadlines_pack_compatible(&a, &c), "100x apart must not pack");
+        let d = ticket_with_deadline(None);
+        let e = ticket_with_deadline(None);
+        assert!(deadlines_pack_compatible(&d, &e), "both unbounded packs");
+        assert!(!deadlines_pack_compatible(&a, &d), "bounded never packs with unbounded");
+    }
+
+    #[test]
+    fn expired_by_reports_ms_past_deadline() {
+        let now = Instant::now();
+        assert_eq!(expired_by(None, now), None, "no deadline never expires");
+        assert_eq!(expired_by(Some(now + Duration::from_secs(5)), now), None);
+        let past = expired_by(Some(now - Duration::from_millis(30)), now);
+        assert!(past.unwrap_or(0) >= 30, "reports how late, got {past:?}");
+    }
 }

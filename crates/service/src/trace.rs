@@ -229,6 +229,11 @@ pub struct TraceReport {
     pub verified: u64,
     /// Checks that disagreed beyond tolerance.
     pub verify_failures: u64,
+    /// Requests admitted but still unanswered when the report was taken.
+    /// The replay drains every outstanding completion first, so anything
+    /// non-zero is a lost request — the invariant the chaos campaign
+    /// hammers on.
+    pub lost: u64,
     /// Replay wall-clock seconds.
     pub wall_s: f64,
     /// Completed requests per second.
@@ -358,6 +363,7 @@ pub fn replay(server: &Server, entries: &[TraceEntry]) -> TraceReport {
         rejections,
         verified,
         verify_failures,
+        lost: server.inflight(),
         wall_s,
         req_per_s: completed_ok as f64 / wall_s,
         p50_ms: quantile(0.5),

@@ -13,7 +13,12 @@ use service::{AdmissionConfig, AdmissionQueue, Server, ServerConfig, ServiceErro
 #[test]
 fn depth_and_share_invariants_hold_under_random_traffic() {
     for seed in 0..8u64 {
-        let cfg = AdmissionConfig { capacity: 32, tenant_share: 0.25, base_retry_ms: 5 };
+        let cfg = AdmissionConfig {
+            capacity: 32,
+            tenant_share: 0.25,
+            base_retry_ms: 5,
+            ..AdmissionConfig::default()
+        };
         let cap = cfg.tenant_cap();
         let queue: AdmissionQueue<u64> = AdmissionQueue::new(cfg);
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -57,7 +62,12 @@ fn depth_and_share_invariants_hold_under_random_traffic() {
 
 #[test]
 fn full_queue_rejects_immediately_with_max_pressure_hint() {
-    let cfg = AdmissionConfig { capacity: 16, tenant_share: 1.0, base_retry_ms: 5 };
+    let cfg = AdmissionConfig {
+        capacity: 16,
+        tenant_share: 1.0,
+        base_retry_ms: 5,
+        ..AdmissionConfig::default()
+    };
     let queue: AdmissionQueue<u64> = AdmissionQueue::new(cfg);
     for i in 0..16 {
         queue.offer(i, i).unwrap();
@@ -71,7 +81,12 @@ fn full_queue_rejects_immediately_with_max_pressure_hint() {
             panic!("expected rejection, got {e:?}");
         };
         assert_eq!(reason, "queue-full");
-        assert_eq!(retry_after_ms, 20, "full queue = base * (1 + 3.0)");
+        // base * (1 + 3.0) = 20 is the floor; seeded jitter adds at most
+        // half the scaled hint on top so herds don't retry in lockstep.
+        assert!(
+            (20..=30).contains(&retry_after_ms),
+            "full queue hints in [4x base, 6x base], got {retry_after_ms}"
+        );
     }
     assert!(
         t0.elapsed() < Duration::from_millis(500),
@@ -87,7 +102,12 @@ fn full_queue_rejects_immediately_with_max_pressure_hint() {
 #[test]
 fn flooding_tenant_saturates_at_share_while_tail_is_admitted() {
     for seed in 0..4u64 {
-        let cfg = AdmissionConfig { capacity: 40, tenant_share: 0.25, base_retry_ms: 5 };
+        let cfg = AdmissionConfig {
+            capacity: 40,
+            tenant_share: 0.25,
+            base_retry_ms: 5,
+            ..AdmissionConfig::default()
+        };
         let cap = cfg.tenant_cap(); // 10 slots
         let queue: AdmissionQueue<u64> = AdmissionQueue::new(cfg);
         let mut rng = ChaCha8Rng::seed_from_u64(0xFA1A + seed);
@@ -141,7 +161,12 @@ fn flooding_tenant_saturates_at_share_while_tail_is_admitted() {
 fn server_submit_rejects_flooder_with_retry_hint() {
     let server = Server::start(ServerConfig {
         workers: 1,
-        admission: AdmissionConfig { capacity: 8, tenant_share: 0.25, base_retry_ms: 5 },
+        admission: AdmissionConfig {
+            capacity: 8,
+            tenant_share: 0.25,
+            base_retry_ms: 5,
+            ..AdmissionConfig::default()
+        },
         ..ServerConfig::default()
     })
     .unwrap();
